@@ -1,0 +1,631 @@
+(* Benchmark and figure-regeneration harness.
+
+   One section per figure/table of the paper (printed as data rows, shape
+   comparable with the published plots) plus Bechamel micro-benchmarks of
+   the underlying engines.
+
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- fig4 fig5  # selected sections
+
+   Sections: fig1 fig2 fig3 fig4 fig5 fig6 examples ablation delay
+   quality resistive stability sweep clustered lot micro *)
+
+open Dl_core
+module Coverage = Dl_fault.Coverage
+module Table = Dl_util.Table
+
+let section_banner name description =
+  Printf.printf "\n================ %s — %s ================\n" name description
+
+(* ---------------------------------------------------------------- fig 1 *)
+
+(* Analytic coverage-growth curves, the paper's exact parameters:
+   s_T = e^3, s_Θ = e^(3/2) (hence R = 2), θmax = 0.96. *)
+let fig1 () =
+  section_banner "Fig.1" "T(k) and Θ(k) growth curves (eqs. 7-8)";
+  let s_t = exp 3.0 in
+  let s_theta = Susceptibility.s_of_ratio ~s_t ~r:2.0 in
+  let theta_max = 0.96 in
+  let t = Table.create
+      [ ("k", Table.Right); ("T(k)", Table.Right); ("Theta(k)", Table.Right) ]
+  in
+  Array.iter
+    (fun k ->
+      let kf = float_of_int k in
+      Table.add_row t
+        [
+          string_of_int k;
+          Table.fmt_pct (Susceptibility.coverage_at ~s:s_t kf);
+          Table.fmt_pct (Susceptibility.weighted_coverage_at ~s:s_theta ~theta_max kf);
+        ])
+    (Coverage.log_spaced ~max:1_000_000 ~points:15);
+  Table.print t;
+  print_endline
+    "shape check: Θ(k) approaches 0.96 faster than T(k) approaches 1 (R = 2)."
+
+(* ---------------------------------------------------------------- fig 2 *)
+
+let fig2 () =
+  section_banner "Fig.2" "DL(T): Williams-Brown vs eq. 11 (Y=0.75, R=2, θmax=0.96)";
+  let params = { Projection.r = 2.0; theta_max = 0.96 } in
+  let t = Table.create
+      [ ("T", Table.Right); ("Williams-Brown", Table.Right); ("eq. 11", Table.Right) ]
+  in
+  List.iter
+    (fun cov ->
+      Table.add_row t
+        [
+          Table.fmt_pct cov;
+          Table.fmt_ppm (Williams_brown.defect_level ~yield:0.75 ~coverage:cov);
+          Table.fmt_ppm (Projection.defect_level ~yield:0.75 ~params ~coverage:cov);
+        ])
+    [ 0.0; 0.2; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 0.99; 1.0 ];
+  Table.print t;
+  Printf.printf
+    "shape check: eq. 11 below WB at mid coverage, floors at the residual %s.\n"
+    (Table.fmt_ppm (Projection.residual_defect_level ~yield:0.75 ~theta_max:0.96))
+
+(* ------------------------------------------------- shared c432s experiment *)
+
+let experiment =
+  lazy
+    (let c = Dl_netlist.Benchmarks.c432s () in
+     Printf.printf "\n[running the c432s experiment: layout extraction + ATPG + gate/switch fault simulation...]\n%!";
+     let t0 = Sys.time () in
+     let e = Experiment.run (Experiment.config ~seed:7 ~max_random_vectors:4096 c) in
+     Printf.printf "[experiment done in %.1fs cpu]\n%!" (Sys.time () -. t0);
+     e)
+
+(* ---------------------------------------------------------------- fig 3 *)
+
+let fig3 () =
+  let e = Lazy.force experiment in
+  section_banner "Fig.3" "histogram of extracted fault weights (c432s layout)";
+  Format.printf "%a" Dl_extract.Ifa.pp_summary e.extraction;
+  print_string
+    (Dl_util.Histogram.render ~width:46
+       (Dl_extract.Ifa.weight_histogram ~bins:14 e.extraction));
+  let ws = Array.map (fun (f : Dl_switch.Realistic.t) -> f.weight) e.extraction.faults in
+  let lo, hi = Dl_util.Stats.min_max ws in
+  Printf.printf
+    "shape check: weights span %.1f decades (paper: ~3 decades, 1e-9..1e-6);\n\
+     the equal-probability assumption is untenable.\n"
+    (log10 (hi /. lo))
+
+(* ---------------------------------------------------------------- fig 4 *)
+
+let fig4 () =
+  let e = Lazy.force experiment in
+  section_banner "Fig.4" "fault coverage vs vector count (c432s)";
+  Format.printf "%a@\n" Experiment.pp_summary e;
+  let ks = Experiment.sample_ks e ~points:16 in
+  let t = Table.create
+      [ ("k", Table.Right); ("T(k)", Table.Right); ("Theta(k)", Table.Right);
+        ("Gamma(k)", Table.Right) ]
+  in
+  Array.iter
+    (fun (k, tk, th, g) ->
+      Table.add_row t
+        [ string_of_int k; Table.fmt_pct tk; Table.fmt_pct th; Table.fmt_pct g ])
+    (Experiment.coverage_rows e ~ks);
+  Table.print t;
+  let final = Array.length e.vectors in
+  Printf.printf
+    "shape check: Γ saturates at %s < T(final) = %s (equal-likelihood opens are\n\
+     hard to detect); Θ saturates at %s < 1 (voltage testing is incomplete).\n"
+    (Table.fmt_pct (Coverage.at e.gamma_curve final))
+    (Table.fmt_pct (Coverage.at e.t_curve final))
+    (Table.fmt_pct (Coverage.at e.theta_curve final))
+
+(* ---------------------------------------------------------------- fig 5 *)
+
+let fig5 () =
+  let e = Lazy.force experiment in
+  section_banner "Fig.5" "DL vs stuck-at coverage: simulation, WB, fitted eq. 11";
+  let fit = Experiment.fit_params e () in
+  let fit_dl =
+    let ks = Experiment.sample_ks e ~points:100 in
+    Projection.fit_dl ~yield:e.yield (Experiment.dl_vs_t_points e ~ks)
+  in
+  Printf.printf
+    "fit on Θ(T) (eq. 9):  R = %.2f, θmax = %.3f\n\
+     fit on DL(T) (eq. 11): R = %.2f, θmax = %.3f   (paper's c432 fit: R = 1.9, θmax = 0.96)\n\n"
+    fit.params.r fit.params.theta_max fit_dl.params.r fit_dl.params.theta_max;
+  let ks = Experiment.sample_ks e ~points:14 in
+  let t = Table.create
+      [ ("T(k)", Table.Right); ("DL sim", Table.Right); ("WB", Table.Right);
+        ("eq.11 fitted", Table.Right) ]
+  in
+  Array.iter
+    (fun (tk, dl) ->
+      Table.add_row t
+        [
+          Table.fmt_pct tk;
+          Table.fmt_ppm dl;
+          Table.fmt_ppm (Williams_brown.defect_level ~yield:e.yield ~coverage:tk);
+          Table.fmt_ppm
+            (Projection.defect_level ~yield:e.yield ~params:fit.params ~coverage:tk);
+        ])
+    (Experiment.dl_vs_t_points e ~ks);
+  Table.print t;
+  print_endline
+    "shape check: the simulated cloud dips below WB at mid coverage (R > 1:\n\
+     likely bridges are easier to detect) and floors above WB near T -> 1\n\
+     (θmax < 1: residual defect level); the fitted eq. 11 tracks it."
+
+(* ---------------------------------------------------------------- fig 6 *)
+
+let fig6 () =
+  let e = Lazy.force experiment in
+  section_banner "Fig.6" "DL vs unweighted realistic coverage Γ";
+  let ks = Experiment.sample_ks e ~points:14 in
+  let t = Table.create
+      [ ("Gamma(k)", Table.Right); ("DL sim", Table.Right);
+        ("1-Y^(1-Gamma)", Table.Right) ]
+  in
+  Array.iter
+    (fun (g, dl) ->
+      Table.add_row t
+        [
+          Table.fmt_pct g;
+          Table.fmt_ppm dl;
+          Table.fmt_ppm (Williams_brown.defect_level ~yield:e.yield ~coverage:g);
+        ])
+    (Experiment.dl_vs_gamma_points e ~ks);
+  Table.print t;
+  print_endline
+    "shape check: a complete-but-unweighted fault set still cannot predict DL —\n\
+     the same deviation appears against 1 - Y^(1-Γ) (weights are essential)."
+
+(* -------------------------------------------------------- worked examples *)
+
+let examples () =
+  section_banner "Examples" "the paper's two worked numerical examples";
+  let t = Table.create
+      [ ("quantity", Table.Left); ("this library", Table.Right); ("paper", Table.Right) ]
+  in
+  let t1 =
+    Option.get
+      (Projection.required_coverage ~yield:0.75
+         ~params:{ Projection.r = 2.1; theta_max = 1.0 } ~target_dl:1e-4)
+  in
+  Table.add_row t [ "Ex.1 T for 100 ppm (R=2.1)"; Table.fmt_pct t1; "97.7%" ];
+  Table.add_row t
+    [ "Ex.1 T for 100 ppm (WB)";
+      Table.fmt_pct (Williams_brown.required_coverage ~yield:0.75 ~target_dl:1e-4);
+      "99.97%" ];
+  let dl2 =
+    Projection.defect_level ~yield:0.75
+      ~params:{ Projection.r = 1.0; theta_max = 0.99 } ~coverage:1.0
+  in
+  Table.add_row t
+    [ "Ex.2 DL at T=1 (θmax=.99)"; Table.fmt_ppm dl2; "2279 ppm (see EXPERIMENTS.md)" ];
+  Table.print t
+
+(* -------------------------------------------------------------- ablation *)
+
+(* Design-choice ablations called out in DESIGN.md: what the detection
+   technique and the weighting contribute. *)
+let ablation () =
+  let e = Lazy.force experiment in
+  section_banner "Ablation" "detection technique and weighting (c432s)";
+  let final = Array.length e.vectors in
+  let dl_of theta = Weighted.defect_level ~yield:e.yield ~theta in
+  let t = Table.create
+      [ ("configuration", Table.Left); ("coverage", Table.Right);
+        ("DL floor", Table.Right) ]
+  in
+  let theta_v = Coverage.at e.theta_curve final in
+  let theta_i = Coverage.at e.theta_iddq_curve final in
+  let gamma = Coverage.at e.gamma_curve final in
+  Table.add_row t
+    [ "voltage-only, weighted (paper)"; Table.fmt_pct theta_v;
+      Table.fmt_ppm (dl_of theta_v) ];
+  Table.add_row t
+    [ "voltage+IDDQ, weighted"; Table.fmt_pct theta_i; Table.fmt_ppm (dl_of theta_i) ];
+  Table.add_row t
+    [ "voltage-only, unweighted (Huisman)"; Table.fmt_pct gamma;
+      Table.fmt_ppm (dl_of gamma) ];
+  Table.print t;
+  print_endline
+    "reading: IDDQ removes most of the residual defect level (bridges fight);\n\
+     using the unweighted coverage as Θ misestimates the floor — weights matter."
+
+(* ------------------------------------------------------------- delay test *)
+
+(* The paper's closing argument: delay testing must join voltage testing.
+   Transition-fault coverage over the same vector sequence, plus the timing
+   profile that delay tests exercise. *)
+let delay () =
+  let e = Lazy.force experiment in
+  section_banner "Delay" "transition faults and timing (extension; paper refs [8], conclusions)";
+  let c = e.Experiment.mapped_circuit in
+  let faults = Dl_fault.Transition.universe c in
+  let r = Dl_fault.Transition.run c ~faults ~vectors:e.Experiment.vectors in
+  let curve = Dl_fault.Transition.coverage_curve r in
+  let t = Table.create
+      [ ("k", Table.Right); ("stuck-at T(k)", Table.Right);
+        ("transition TF(k)", Table.Right) ]
+  in
+  let ks = Experiment.sample_ks e ~points:10 in
+  Array.iter
+    (fun k ->
+      Table.add_row t
+        [ string_of_int k;
+          Table.fmt_pct (Coverage.at e.Experiment.t_curve k);
+          Table.fmt_pct (Coverage.at curve k) ])
+    ks;
+  Table.print t;
+  Printf.printf
+    "transition coverage lags stuck-at at every k (two conditions per      detection)
+and saturates at %s; a dedicated two-pattern ATPG      (Transition_atpg) covers the rest.
+"
+    (Table.fmt_pct (Dl_fault.Transition.coverage r));
+  let timing = Dl_logic.Timing.analyze c in
+  Printf.printf
+    "critical path: %.1f delay units through %d stages; worst slack %.2f
+"
+    (Dl_logic.Timing.critical_path_delay timing)
+    (List.length (Dl_logic.Timing.critical_path timing))
+    (Dl_logic.Timing.worst_slack timing)
+
+(* ----------------------------------------------------------- test quality *)
+
+let quality () =
+  let e = Lazy.force experiment in
+  section_banner "Quality" "n-detect profile and fault sampling (extension)";
+  let c = e.Experiment.mapped_circuit in
+  (* n-detect over a manageable prefix of the vector sequence *)
+  let budget = min 256 (Array.length e.Experiment.vectors) in
+  let vectors = Array.sub e.Experiment.vectors 0 budget in
+  let dict = Dl_fault.Dictionary.build c ~faults:e.Experiment.stuck_faults ~vectors in
+  let t = Table.create [ ("n", Table.Right); ("n-detect coverage", Table.Right) ] in
+  List.iter
+    (fun (n, cov) -> Table.add_row t [ string_of_int n; Table.fmt_pct cov ])
+    (Dl_fault.Dictionary.n_detect_profile dict ~max_n:8);
+  Table.print t;
+  Printf.printf "compacted test set: %d of %d vectors preserve coverage
+"
+    (List.length (Dl_fault.Dictionary.greedy_compaction dict))
+    budget;
+  (* sampling accuracy *)
+  let full = Dl_fault.Fault_sim.run c ~faults:e.Experiment.stuck_faults ~vectors in
+  let actual = Dl_fault.Fault_sim.coverage full in
+  let est =
+    Dl_fault.Sampling.estimate_coverage ~seed:5
+      ~sample_size:(Array.length e.Experiment.stuck_faults / 3)
+      c ~faults:e.Experiment.stuck_faults ~vectors
+  in
+  Printf.printf
+    "sampled coverage %.2f%% ± %.2f%% (95%%) vs exact %.2f%% — %s
+"
+    (100.0 *. est.coverage) (100.0 *. est.half_width) (100.0 *. actual)
+    (if Dl_fault.Sampling.interval_ok est ~actual then "interval covers" else "MISS")
+
+(* ---------------------------------------------------------- resistive bridges *)
+
+(* How much of the extracted bridge population stays voltage-detectable as
+   bridge resistance grows (Renovell's resistive bridging model): the
+   physical knob behind theta_max. *)
+let resistive () =
+  let e = Lazy.force experiment in
+  section_banner "Resistive" "bridge coverage vs short resistance (extension)";
+  let m = Dl_cell.Mapping.flatten e.Experiment.mapped_circuit in
+  let network = Dl_switch.Network.build m in
+  (* The 40 heaviest extracted bridges carry most of the weight. *)
+  let bridges =
+    Array.to_list e.Experiment.extraction.faults
+    |> List.filter_map (fun (f : Dl_switch.Realistic.t) ->
+           match f.kind with
+           | Dl_switch.Realistic.Bridge { node_a; node_b } ->
+               Some (f.weight, (node_a, node_b))
+           | _ -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.filteri (fun i _ -> i < 40)
+    |> List.map snd |> Array.of_list
+  in
+  let budget = min 128 (Array.length e.Experiment.vectors) in
+  let vectors = Array.sub e.Experiment.vectors 0 budget in
+  let sweep =
+    Dl_switch.Resistive.coverage_vs_resistance network ~bridges ~vectors
+      ~resistances:[| 0.0; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 |]
+  in
+  let t = Table.create
+      [ ("R_bridge (nmos units)", Table.Right); ("bridges detected", Table.Right) ]
+  in
+  Array.iter
+    (fun (r, cov) ->
+      Table.add_row t [ Printf.sprintf "%.1f" r; Table.fmt_pct cov ])
+    sweep;
+  Table.print t;
+  print_endline
+    "higher-resistance shorts stop flipping logic and escape the voltage test:
+     the resistive tail is part of the residual defect level that IDDQ recovers."
+
+(* ------------------------------------------------------------ clustered DL *)
+
+let clustered () =
+  section_banner "Clustered" "defect level under clustered statistics (extension)";
+  let t = Table.create
+      [ ("T", Table.Right); ("Poisson (WB)", Table.Right);
+        ("alpha = 2", Table.Right); ("alpha = 0.5", Table.Right) ]
+  in
+  List.iter
+    (fun cov ->
+      Table.add_row t
+        [
+          Table.fmt_pct cov;
+          Table.fmt_ppm (Williams_brown.defect_level ~yield:0.75 ~coverage:cov);
+          Table.fmt_ppm (Clustered.defect_level ~yield:0.75 ~alpha:2.0 ~coverage:cov);
+          Table.fmt_ppm (Clustered.defect_level ~yield:0.75 ~alpha:0.5 ~coverage:cov);
+        ])
+    [ 0.0; 0.5; 0.8; 0.9; 0.95; 0.99 ];
+  Table.print t;
+  print_endline
+    "clustering (small alpha) lowers DL at equal yield/coverage: faulty dies
+     carry several faults and partial tests catch them — the statistics-side
+     view of Agrawal's multiple-fault argument."
+
+(* ---------------------------------------------------------- seed stability *)
+
+(* The fitted parameters are statements about the circuit and the defect
+   statistics, not about one vector sequence: re-running with independent
+   ATPG seeds must give consistent (R, theta_max). *)
+let stability () =
+  section_banner "Stability" "fitted parameters across independent seeds (extension)";
+  let circuit = Dl_netlist.Benchmarks.c432s_small () in
+  let t = Table.create
+      [ ("seed", Table.Right); ("vectors", Table.Right); ("fitted R", Table.Right);
+        ("fitted θmax", Table.Right) ]
+  in
+  let rs = ref [] and thetas = ref [] in
+  List.iter
+    (fun seed ->
+      let e =
+        Experiment.run (Experiment.config ~seed ~max_random_vectors:512 circuit)
+      in
+      let fit = Experiment.fit_params e () in
+      rs := fit.params.r :: !rs;
+      thetas := fit.params.theta_max :: !thetas;
+      Table.add_row t
+        [
+          string_of_int seed;
+          string_of_int (Array.length e.vectors);
+          Printf.sprintf "%.3f" fit.params.r;
+          Printf.sprintf "%.3f" fit.params.theta_max;
+        ])
+    [ 3; 7; 13; 29; 71 ];
+  Table.print t;
+  let arr l = Array.of_list l in
+  Printf.printf "R = %.3f ± %.3f, θmax = %.3f ± %.3f over 5 seeds\n"
+    (Dl_util.Stats.mean (arr !rs))
+    (Dl_util.Stats.stddev (arr !rs))
+    (Dl_util.Stats.mean (arr !thetas))
+    (Dl_util.Stats.stddev (arr !thetas))
+
+(* -------------------------------------------------------------- stats sweep *)
+
+(* The physical reading of R: it tracks bridging dominance.  Sweep the
+   open-defect density and watch the fitted (R, theta_max) respond — more
+   opens (hard, equal-likelihood faults) pull R down and theta_max down. *)
+let sweep () =
+  section_banner "Sweep" "fitted (R, θmax) vs open-defect density (extension)";
+  let circuit = Dl_netlist.Benchmarks.c432s_small () in
+  let t = Table.create
+      [ ("open-density scale", Table.Right); ("fitted R", Table.Right);
+        ("fitted θmax", Table.Right); ("Θ final", Table.Right) ]
+  in
+  List.iter
+    (fun scale ->
+      let stats =
+        List.fold_left
+          (fun acc layer ->
+            Dl_extract.Defect_stats.scale_class acc
+              (Dl_extract.Defect_stats.Open_on layer) scale)
+          Dl_extract.Defect_stats.default
+          [ Dl_layout.Geom.Metal1; Dl_layout.Geom.Metal2; Dl_layout.Geom.Poly ]
+      in
+      let e =
+        Experiment.run
+          (Experiment.config ~seed:7 ~max_random_vectors:512 ~stats circuit)
+      in
+      let fit = Experiment.fit_params e () in
+      Table.add_row t
+        [
+          Printf.sprintf "%.1fx" scale;
+          Printf.sprintf "%.3f" fit.params.r;
+          Printf.sprintf "%.3f" fit.params.theta_max;
+          Table.fmt_pct (Coverage.at e.theta_curve (Array.length e.vectors));
+        ])
+    [ 0.2; 1.0; 5.0; 25.0 ];
+  Table.print t;
+  print_endline
+    "clean (metal) opens behave like detectable stuck-ats: they pull R toward\n\
+     1 and dilute the voltage-undetectable bridge tail, nudging theta_max up.";
+  (* Second knob: floating-gate (poly) opens are voltage-undetectable, the
+     direct driver of theta_max. *)
+  let t2 = Table.create
+      [ ("poly-open scale", Table.Right); ("fitted θmax", Table.Right);
+        ("Θ final", Table.Right); ("residual DL", Table.Right) ]
+  in
+  List.iter
+    (fun scale ->
+      let stats =
+        Dl_extract.Defect_stats.scale_class Dl_extract.Defect_stats.default
+          (Dl_extract.Defect_stats.Open_on Dl_layout.Geom.Poly) scale
+      in
+      let e =
+        Experiment.run
+          (Experiment.config ~seed:7 ~max_random_vectors:512 ~stats circuit)
+      in
+      let fit = Experiment.fit_params e () in
+      let theta_final = Coverage.at e.theta_curve (Array.length e.vectors) in
+      Table.add_row t2
+        [
+          Printf.sprintf "%.0fx" scale;
+          Printf.sprintf "%.3f" fit.params.theta_max;
+          Table.fmt_pct theta_final;
+          Table.fmt_ppm
+            (Projection.residual_defect_level ~yield:e.yield ~theta_max:theta_final);
+        ])
+    [ 1.0; 10.0; 50.0 ];
+  Table.print t2;
+  print_endline
+    "floating (unknown-level) opens are invisible to voltage testing: their\n\
+     density directly sets theta_max and hence the residual defect level --\n\
+     the knob the paper's conclusions point current/delay testing at."
+
+(* --------------------------------------------------------------- lot check *)
+
+let lot () =
+  let e = Lazy.force experiment in
+  section_banner "Lot" "Monte-Carlo production lot vs the analytic model";
+  let detected =
+    Array.map
+      (fun (d : Dl_switch.Swift.detection) -> d.voltage <> None)
+      e.Experiment.swift_result.detection
+  in
+  let lot =
+    Production.simulate ~seed:13 ~dies:200_000 ~weights:e.Experiment.scaled_weights
+      ~detected ()
+  in
+  let analytic =
+    Weighted.defect_level_of_weights ~weights:e.Experiment.scaled_weights ~detected
+  in
+  Printf.printf
+    "200k simulated dies with the extracted fault population:
+    \  observed yield        %.4f   (target 0.75)
+    \  empirical defect lvl  %s
+    \  eq. 3 prediction      %s
+"
+    (Production.observed_yield lot)
+    (Table.fmt_ppm (Production.defect_level lot))
+    (Table.fmt_ppm analytic)
+
+(* ---------------------------------------------------------- micro-benches *)
+
+let micro () =
+  section_banner "Micro" "Bechamel engine benchmarks (time per run)";
+  let open Bechamel in
+  let c432 = Dl_netlist.Transform.decompose_for_cells (Dl_netlist.Benchmarks.c432s ()) in
+  let small = Dl_netlist.Transform.decompose_for_cells (Dl_netlist.Benchmarks.c432s_small ()) in
+  let rng = Dl_util.Rng.create 99 in
+  let words = Dl_logic.Sim2.random_words rng c432 in
+  let faults = Dl_fault.Stuck_at.collapse c432 (Dl_fault.Stuck_at.universe c432) in
+  let vectors64 =
+    Array.init 64 (fun _ ->
+        Array.init (Dl_netlist.Circuit.input_count c432) (fun _ -> Dl_util.Rng.bool rng))
+  in
+  let scoap = Dl_atpg.Scoap.compute c432 in
+  let hard_fault = faults.(Array.length faults / 2) in
+  let mapping = Dl_cell.Mapping.flatten small in
+  let network = Dl_switch.Network.build mapping in
+  let layout = Dl_layout.Layout.synthesize mapping in
+  let bridge_region =
+    let a = mapping.Dl_cell.Mapping.signal_node.(small.Dl_netlist.Circuit.outputs.(0)) in
+    let b = mapping.Dl_cell.Mapping.signal_node.(small.Dl_netlist.Circuit.outputs.(1)) in
+    Dl_switch.Solver.make network
+      ~instances:
+        (List.filter_map (fun g -> Dl_switch.Network.owner_instance network g) [ a; b ])
+      ~modifications:[ Dl_switch.Solver.Bridge_nodes { node_a = a; node_b = b } ]
+  in
+  let tests =
+    [
+      Test.make ~name:"sim2: c432s, 64 patterns"
+        (Staged.stage (fun () -> ignore (Dl_logic.Sim2.run c432 words)));
+      Test.make ~name:"ppsfp: c432s block, all faults"
+        (Staged.stage (fun () ->
+             ignore (Dl_fault.Fault_sim.run c432 ~faults ~vectors:vectors64)));
+      Test.make ~name:"podem: one c432s fault"
+        (Staged.stage (fun () -> ignore (Dl_atpg.Podem.generate ~scoap c432 hard_fault)));
+      Test.make ~name:"scoap: c432s"
+        (Staged.stage (fun () -> ignore (Dl_atpg.Scoap.compute c432)));
+      Test.make ~name:"switch solver: bridge region"
+        (Staged.stage (fun () ->
+             ignore
+               (Dl_switch.Solver.solve bridge_region
+                  ~external_value:(fun _ -> Dl_logic.Ternary.V1)
+                  ~charge:(fun _ -> Dl_logic.Ternary.VX))));
+      Test.make ~name:"layout: c432s_small synthesize"
+        (Staged.stage (fun () -> ignore (Dl_layout.Layout.synthesize mapping)));
+      Test.make ~name:"ifa: c432s_small extract"
+        (Staged.stage (fun () -> ignore (Dl_extract.Ifa.extract layout)));
+      Test.make ~name:"eq.11 evaluation"
+        (Staged.stage (fun () ->
+             ignore
+               (Projection.defect_level ~yield:0.75
+                  ~params:{ Projection.r = 1.9; theta_max = 0.96 }
+                  ~coverage:0.9)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"dl" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table = Table.create [ ("benchmark", Table.Left); ("time/run", Table.Right) ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let ns =
+        match Analyze.OLS.estimates result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Table.add_row table [ name; pretty ])
+    (List.sort compare !rows);
+  Table.print table
+
+(* ------------------------------------------------------------------ main *)
+
+let sections =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("examples", examples);
+    ("ablation", ablation);
+    ("delay", delay);
+    ("quality", quality);
+    ("resistive", resistive);
+    ("stability", stability);
+    ("sweep", sweep);
+    ("clustered", clustered);
+    ("lot", lot);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S (have: %s)\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested

@@ -1,0 +1,320 @@
+(* dlproj — command-line front end for the defect-level projection flow.
+
+   Subcommands:
+     info       circuit statistics (netlist, mapping, testability)
+     atpg       generate a test set and report coverage
+     extract    synthesize layout + inductive fault analysis
+     project    closed-form DL projections from (Y, T, R, θmax)
+     pipeline   the full paper experiment on a benchmark
+     bench-io   read/write ISCAS-85 .bench files
+*)
+
+open Cmdliner
+module Circuit = Dl_netlist.Circuit
+module Table = Dl_util.Table
+
+let load_circuit spec =
+  match Dl_netlist.Benchmarks.by_name spec with
+  | Some c -> c
+  | None ->
+      if Sys.file_exists spec then begin
+        if Filename.check_suffix spec ".v" then Dl_netlist.Verilog.parse_file spec
+        else Dl_netlist.Bench_format.parse_file spec
+      end
+      else begin
+        Printf.eprintf
+          "error: %S is neither a built-in benchmark (%s) nor a netlist file\n" spec
+          (String.concat ", " (List.map fst Dl_netlist.Benchmarks.all));
+        exit 1
+      end
+
+let circuit_arg =
+  let doc =
+    "Circuit: a built-in benchmark name (c17, c432s, c432s_small, add8, ...) or \
+     a path to an ISCAS-85 .bench file."
+  in
+  Arg.(value & pos 0 string "c432s" & info [] ~docv:"CIRCUIT" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+(* ------------------------------------------------------------------ info *)
+
+let info_cmd =
+  let run spec =
+    let c = load_circuit spec in
+    Format.printf "%a@." Circuit.pp_summary c;
+    let mapped = Dl_netlist.Transform.decompose_for_cells c in
+    if Circuit.node_count mapped <> Circuit.node_count c then
+      Format.printf "after cell decomposition: %a@." Circuit.pp_summary mapped;
+    let m = Dl_cell.Mapping.flatten mapped in
+    Format.printf "%a@." Dl_cell.Mapping.pp_summary m;
+    let scoap = Dl_atpg.Scoap.compute mapped in
+    print_endline "hardest fault sites (SCOAP detect cost):";
+    List.iter
+      (fun (id, stuck, cost) ->
+        Printf.printf "  %s SA%d cost %d\n" (Circuit.name mapped id)
+          (if stuck then 1 else 0)
+          cost)
+      (Dl_atpg.Scoap.hardest_faults scoap 5);
+    let timing = Dl_logic.Timing.analyze mapped in
+    Printf.printf "critical path: %.2f delay units over %d stages\n"
+      (Dl_logic.Timing.critical_path_delay timing)
+      (List.length (Dl_logic.Timing.critical_path timing));
+    let cop = Dl_atpg.Cop.compute mapped in
+    let resistant = Dl_atpg.Cop.random_pattern_resistant cop mapped ~threshold:0.005 in
+    Printf.printf "random-pattern-resistant stem faults (COP p < 0.5%%): %d\n"
+      (List.length resistant)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Circuit statistics and testability profile.")
+    Term.(const run $ circuit_arg)
+
+(* ------------------------------------------------------------------ atpg *)
+
+let atpg_cmd =
+  let run spec seed max_random =
+    let c = Dl_netlist.Transform.decompose_for_cells (load_circuit spec) in
+    let r, faults = Dl_atpg.Atpg.full_flow ~seed ~max_random c in
+    Printf.printf
+      "%d collapsed faults, coverage %.2f%%\n\
+       vectors: %d random + %d deterministic\n\
+       random-detected %d, untestable %d, aborted %d\n"
+      (Array.length faults) (100.0 *. r.coverage) r.stats.random_vectors
+      r.stats.deterministic_vectors r.stats.random_detected r.stats.untestable
+      r.stats.aborted;
+    Array.iter
+      (fun f -> Printf.printf "  redundant: %s\n" (Dl_fault.Stuck_at.to_string c f))
+      r.untestable_faults
+  in
+  let max_random =
+    Arg.(value & opt int 4096 & info [ "max-random" ] ~docv:"N"
+           ~doc:"Random-phase vector budget.")
+  in
+  Cmd.v (Cmd.info "atpg" ~doc:"Generate a stuck-at test set (random + PODEM).")
+    Term.(const run $ circuit_arg $ seed_arg $ max_random)
+
+(* --------------------------------------------------------------- extract *)
+
+let extract_cmd =
+  let run spec histogram =
+    let c = Dl_netlist.Transform.decompose_for_cells (load_circuit spec) in
+    let m = Dl_cell.Mapping.flatten c in
+    let l = Dl_layout.Layout.synthesize m in
+    Format.printf "%a@." Dl_layout.Layout.pp_stats l;
+    let e = Dl_extract.Ifa.extract l in
+    Format.printf "%a" Dl_extract.Ifa.pp_summary e;
+    if histogram then begin
+      print_endline "fault-weight histogram:";
+      print_string (Dl_util.Histogram.render (Dl_extract.Ifa.weight_histogram e))
+    end
+  in
+  let histogram =
+    Arg.(value & flag & info [ "histogram" ] ~doc:"Print the fault-weight histogram.")
+  in
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"Synthesize a standard-cell layout and run inductive fault analysis.")
+    Term.(const run $ circuit_arg $ histogram)
+
+(* --------------------------------------------------------------- project *)
+
+let project_cmd =
+  let run yield coverage r theta_max target_ppm =
+    let params = { Dl_core.Projection.r; theta_max } in
+    let t = Table.create [ ("model", Table.Left); ("DL", Table.Right) ] in
+    Table.add_row t
+      [ "Williams-Brown";
+        Table.fmt_ppm (Dl_core.Williams_brown.defect_level ~yield ~coverage) ];
+    Table.add_row t
+      [ Printf.sprintf "eq.11 (R=%.2f, θmax=%.2f)" r theta_max;
+        Table.fmt_ppm (Dl_core.Projection.defect_level ~yield ~params ~coverage) ];
+    Table.add_row t
+      [ "residual (T=1)";
+        Table.fmt_ppm (Dl_core.Projection.residual_defect_level ~yield ~theta_max) ];
+    Table.print t;
+    match target_ppm with
+    | None -> ()
+    | Some ppm -> (
+        let target_dl = ppm /. 1e6 in
+        match Dl_core.Projection.required_coverage ~yield ~params ~target_dl with
+        | Some t ->
+            Printf.printf "coverage required for %.1f ppm: %s (WB: %s)\n" ppm
+              (Table.fmt_pct t)
+              (Table.fmt_pct
+                 (Dl_core.Williams_brown.required_coverage ~yield ~target_dl))
+        | None ->
+            Printf.printf
+              "%.1f ppm is below the residual defect level: unreachable with this \
+               detection technique\n"
+              ppm)
+  in
+  let yield_arg =
+    Arg.(value & opt float 0.75 & info [ "yield"; "y" ] ~docv:"Y" ~doc:"Process yield.")
+  in
+  let coverage_arg =
+    Arg.(value & opt float 0.95 & info [ "coverage"; "t" ] ~docv:"T"
+           ~doc:"Stuck-at fault coverage.")
+  in
+  let r_arg =
+    Arg.(value & opt float 1.9 & info [ "ratio"; "R" ] ~docv:"R" ~doc:"Susceptibility ratio (eq. 10).")
+  in
+  let theta_arg =
+    Arg.(value & opt float 0.96 & info [ "theta-max" ] ~docv:"θ"
+           ~doc:"Maximum realistic coverage of the detection technique.")
+  in
+  let target_arg =
+    Arg.(value & opt (some float) None & info [ "target-ppm" ] ~docv:"PPM"
+           ~doc:"Also solve for the coverage that reaches this DL target.")
+  in
+  Cmd.v (Cmd.info "project" ~doc:"Closed-form defect-level projections (eq. 11).")
+    Term.(const run $ yield_arg $ coverage_arg $ r_arg $ theta_arg $ target_arg)
+
+(* -------------------------------------------------------------- pipeline *)
+
+let pipeline_cmd =
+  let run spec seed max_random target_yield points report =
+    let c = load_circuit spec in
+    let cfg =
+      Dl_core.Experiment.config ~seed ~max_random_vectors:max_random ~target_yield c
+    in
+    let e = Dl_core.Experiment.run cfg in
+    Format.printf "%a@.@." Dl_core.Experiment.pp_summary e;
+    let ks = Dl_core.Experiment.sample_ks e ~points in
+    let t = Table.create
+        [ ("k", Table.Right); ("T(k)", Table.Right); ("Θ(k)", Table.Right);
+          ("Γ(k)", Table.Right); ("DL(Θ(k))", Table.Right) ]
+    in
+    Array.iter
+      (fun (k, tk, th, g) ->
+        Table.add_row t
+          [ string_of_int k; Table.fmt_pct tk; Table.fmt_pct th; Table.fmt_pct g;
+            Table.fmt_ppm (Dl_core.Experiment.defect_level_at e k) ])
+      (Dl_core.Experiment.coverage_rows e ~ks);
+    Table.print t;
+    let fit = Dl_core.Experiment.fit_params e () in
+    Printf.printf "\nfitted eq. 11: R = %.2f, θmax = %.3f (rmse %.4f)\n" fit.params.r
+      fit.params.theta_max fit.rmse;
+    match report with
+    | None -> ()
+    | Some path ->
+        Dl_core.Report.write_file path e;
+        Printf.printf "report written to %s\n" path
+  in
+  let max_random =
+    Arg.(value & opt int 2048 & info [ "max-random" ] ~docv:"N"
+           ~doc:"Random-phase vector budget.")
+  in
+  let target_yield =
+    Arg.(value & opt float 0.75 & info [ "yield" ] ~docv:"Y"
+           ~doc:"Yield the extracted weights are scaled to.")
+  in
+  let points =
+    Arg.(value & opt int 12 & info [ "points" ] ~docv:"N" ~doc:"Table rows.")
+  in
+  let report =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+           ~doc:"Also write a markdown report of the run.")
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Full experiment: layout, IFA, ATPG, gate+switch fault simulation, \
+             DL projection and (R, θmax) fit.")
+    Term.(const run $ circuit_arg $ seed_arg $ max_random $ target_yield $ points
+          $ report)
+
+(* ------------------------------------------------------------ transition *)
+
+let transition_cmd =
+  let run spec seed =
+    let c = Dl_netlist.Transform.decompose_for_cells (load_circuit spec) in
+    let faults = Dl_fault.Transition.universe c in
+    let r = Dl_atpg.Transition_atpg.run ~seed c ~faults in
+    Printf.printf
+      "%d transition faults: two-pattern coverage %.2f%% with %d pairs \
+       (untestable %d, aborted %d)\n"
+      (Array.length faults) (100.0 *. r.coverage) (Array.length r.pairs)
+      r.untestable r.aborted
+  in
+  Cmd.v
+    (Cmd.info "transition"
+       ~doc:"Two-pattern (transition/delay fault) test generation.")
+    Term.(const run $ circuit_arg $ seed_arg)
+
+(* --------------------------------------------------------------- compact *)
+
+let compact_cmd =
+  let run spec seed count =
+    let c = Dl_netlist.Transform.decompose_for_cells (load_circuit spec) in
+    let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+    let rng = Dl_util.Rng.create seed in
+    let vectors =
+      Array.init count (fun _ ->
+          Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng))
+    in
+    let _, stats = Dl_atpg.Compaction.compact c ~faults ~vectors in
+    Printf.printf "%d random vectors -> %d after compaction (%d passes)\n"
+      stats.original stats.compacted stats.passes_run
+  in
+  let count =
+    Arg.(value & opt int 512 & info [ "vectors" ] ~docv:"N"
+           ~doc:"Random vectors to generate before compacting.")
+  in
+  Cmd.v
+    (Cmd.info "compact" ~doc:"Static test compaction by re-ordered fault simulation.")
+    Term.(const run $ circuit_arg $ seed_arg $ count)
+
+(* -------------------------------------------------------------- bench-io *)
+
+let bench_io_cmd =
+  let run spec out =
+    let c = load_circuit spec in
+    let render path_opt =
+      match path_opt with
+      | Some path when Filename.check_suffix path ".v" ->
+          Dl_netlist.Verilog.write_file path c;
+          Printf.printf "wrote %s (verilog)\n" path
+      | Some path ->
+          Dl_netlist.Bench_format.write_file path c;
+          Printf.printf "wrote %s\n" path
+      | None -> print_string (Dl_netlist.Bench_format.to_string c)
+    in
+    render out
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of stdout (.v selects Verilog, \
+                 anything else ISCAS-85 .bench).")
+  in
+  Cmd.v
+    (Cmd.info "bench-io"
+       ~doc:"Convert circuits between ISCAS-85 .bench and structural Verilog.")
+    Term.(const run $ circuit_arg $ out)
+
+(* ------------------------------------------------------------------ svg *)
+
+let svg_cmd =
+  let run spec out scale =
+    let c = Dl_netlist.Transform.decompose_for_cells (load_circuit spec) in
+    let l = Dl_layout.Layout.synthesize (Dl_cell.Mapping.flatten c) in
+    Dl_layout.Svg.write_file ~scale out l;
+    Format.printf "%a@." Dl_layout.Layout.pp_stats l;
+    Printf.printf "wrote %s\n" out
+  in
+  let out =
+    Arg.(value & opt string "layout.svg" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output SVG path.")
+  in
+  let scale =
+    Arg.(value & opt float 2.0 & info [ "scale" ] ~docv:"PX"
+           ~doc:"Pixels per lambda.")
+  in
+  Cmd.v (Cmd.info "svg" ~doc:"Render the synthesized layout to SVG.")
+    Term.(const run $ circuit_arg $ out $ scale)
+
+let () =
+  let doc = "defect-level projection from layout-extracted realistic faults" in
+  let main = Cmd.group (Cmd.info "dlproj" ~version:"1.0.0" ~doc)
+      [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd;
+        transition_cmd; compact_cmd; bench_io_cmd; svg_cmd ]
+  in
+  exit (Cmd.eval main)

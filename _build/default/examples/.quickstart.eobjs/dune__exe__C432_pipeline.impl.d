@@ -1,0 +1,1 @@
+examples/c432_pipeline.ml: Array Dl_core Dl_extract Dl_fault Dl_layout Dl_netlist Dl_util Experiment Format Printf Projection Sys Weighted Williams_brown

@@ -1,0 +1,1 @@
+examples/c432_pipeline.mli:

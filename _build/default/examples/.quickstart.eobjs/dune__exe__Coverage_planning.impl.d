@@ -1,0 +1,1 @@
+examples/coverage_planning.ml: Dl_core Dl_util List Printf Projection Susceptibility Williams_brown

@@ -1,0 +1,1 @@
+examples/defect_tuning.ml: Array Dl_core Dl_extract Dl_layout Dl_netlist Dl_util Experiment Float List Printf

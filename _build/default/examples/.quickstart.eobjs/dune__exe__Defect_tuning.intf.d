@@ -1,0 +1,1 @@
+examples/defect_tuning.mli:

@@ -1,0 +1,1 @@
+examples/diagnosis.ml: Array Dl_atpg Dl_cell Dl_extract Dl_fault Dl_layout Dl_netlist Dl_switch Fun List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agrawal Dl_core Dl_util List Printf Projection Susceptibility Williams_brown

@@ -1,0 +1,1 @@
+examples/random_test_planning.ml: Array Dl_atpg Dl_core Dl_fault Dl_netlist Dl_util List Printf Susceptibility Williams_brown

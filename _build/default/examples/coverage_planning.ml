@@ -1,0 +1,77 @@
+(* Production test planning with the proposed model: how much stuck-at
+   coverage does a defect-level target require across the (Y, R, θmax)
+   space?  Generalizes the paper's Example 1 and shows where Williams-Brown
+   over-tests and where targets are simply unreachable with voltage-only
+   testing.
+
+     dune exec examples/coverage_planning.exe
+*)
+
+open Dl_core
+module Table = Dl_util.Table
+
+let targets_ppm = [ 1000.0; 100.0; 10.0 ]
+
+let cell ~yield ~params target_ppm =
+  let target_dl = target_ppm /. 1e6 in
+  match Projection.required_coverage ~yield ~params ~target_dl with
+  | Some t -> Table.fmt_pct t
+  | None -> "unreachable"
+
+let () =
+  print_endline "== Required stuck-at coverage per DL target ==\n";
+  List.iter
+    (fun yield_ ->
+      Printf.printf "-- yield Y = %.2f --\n" yield_;
+      let t =
+        Table.create
+          (("model", Table.Left)
+          :: List.map (fun p -> (Printf.sprintf "%.0f ppm" p, Table.Right)) targets_ppm)
+      in
+      Table.add_row t
+        ("Williams-Brown"
+        :: List.map
+             (fun p ->
+               Table.fmt_pct
+                 (Williams_brown.required_coverage ~yield:yield_ ~target_dl:(p /. 1e6)))
+             targets_ppm);
+      List.iter
+        (fun (r, theta_max) ->
+          let params = { Projection.r; theta_max } in
+          Table.add_row t
+            (Printf.sprintf "eq.11 R=%.1f θmax=%.2f" r theta_max
+            :: List.map (cell ~yield:yield_ ~params) targets_ppm))
+        [ (1.5, 1.0); (2.1, 1.0); (1.9, 0.96); (1.0, 0.99) ];
+      Table.print t;
+      print_newline ())
+    [ 0.9; 0.75; 0.5 ];
+
+  print_endline "== Reading the table ==";
+  print_endline
+    "R > 1 (bridging-dominated defects) relaxes the coverage requirement\n\
+     substantially versus Williams-Brown; θmax < 1 makes tight targets\n\
+     unreachable by voltage-only stuck-at testing no matter the coverage —\n\
+     the residual defect level calls for IDDQ or delay test augmentation.\n";
+
+  (* Vector-budget planning: combine eq. 11 with the test-length model. *)
+  print_endline "== Vector budget for a 1000 ppm target (Y=0.75, s_T = e^3) ==";
+  let s_t = exp 3.0 in
+  let t = Table.create
+      [ ("model", Table.Left); ("required T", Table.Right); ("random vectors", Table.Right) ]
+  in
+  let add name t_req =
+    match t_req with
+    | None -> Table.add_row t [ name; "unreachable"; "-" ]
+    | Some tv when tv >= 1.0 ->
+        Table.add_row t [ name; Table.fmt_pct tv; "deterministic only" ]
+    | Some tv ->
+        Table.add_row t
+          [ name; Table.fmt_pct tv;
+            Printf.sprintf "%.0f" (Susceptibility.test_length ~s:s_t ~target:tv) ]
+  in
+  add "Williams-Brown"
+    (Some (Williams_brown.required_coverage ~yield:0.75 ~target_dl:1e-3));
+  add "eq.11 R=1.9 θmax=0.96"
+    (Projection.required_coverage ~yield:0.75
+       ~params:{ Projection.r = 1.9; theta_max = 0.96 } ~target_dl:1e-3);
+  Table.print t

@@ -1,0 +1,83 @@
+(* Quickstart: the four defect-level models on closed-form inputs, including
+   the paper's two worked examples.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Dl_core
+module Table = Dl_util.Table
+
+let yield_ = 0.75
+
+let () =
+  print_endline "== Defect-level models at Y = 0.75 ==\n";
+  (* Compare the four models across a coverage sweep. *)
+  let t = Table.create
+      [ ("T", Table.Right); ("Williams-Brown", Table.Right);
+        ("Agrawal n=3", Table.Right); ("eq.11 R=1.9 th=.96", Table.Right) ]
+  in
+  let params = { Projection.r = 1.9; theta_max = 0.96 } in
+  List.iter
+    (fun cov ->
+      Table.add_row t
+        [
+          Table.fmt_pct cov;
+          Table.fmt_ppm (Williams_brown.defect_level ~yield:yield_ ~coverage:cov);
+          Table.fmt_ppm (Agrawal.defect_level ~yield:yield_ ~coverage:cov ~n:3.0);
+          Table.fmt_ppm (Projection.defect_level ~yield:yield_ ~params ~coverage:cov);
+        ])
+    [ 0.0; 0.5; 0.8; 0.9; 0.95; 0.99; 0.999; 1.0 ];
+  Table.print t;
+  print_newline ();
+
+  (* Paper Example 1: required coverage for a 100 ppm target. *)
+  print_endline "== Example 1 (paper section 2) ==";
+  let target = 1e-4 in
+  let t_wb = Williams_brown.required_coverage ~yield:yield_ ~target_dl:target in
+  let params1 = { Projection.r = 2.1; theta_max = 1.0 } in
+  (match Projection.required_coverage ~yield:yield_ ~params:params1 ~target_dl:target with
+  | Some t_new ->
+      Printf.printf
+        "DL target %s at Y=%.2f, R=2.1, θmax=1:\n\
+        \  proposed model needs T = %s   (paper: 97.7%%)\n\
+        \  Williams-Brown needs T = %s   (paper: 99.97%%) — much more stringent\n\n"
+        (Table.fmt_ppm target) yield_ (Table.fmt_pct t_new) (Table.fmt_pct t_wb)
+  | None -> assert false);
+
+  (* Paper Example 2: the residual defect level of an incomplete test. *)
+  print_endline "== Example 2 (paper section 2) ==";
+  let params2 = { Projection.r = 1.0; theta_max = 0.99 } in
+  let dl = Projection.defect_level ~yield:yield_ ~params:params2 ~coverage:1.0 in
+  Printf.printf
+    "T = 100%%, θmax = 0.99, R = 1: DL = %s\n\
+    \  (exact value of eq. 11; the paper prints 2279 ppm — see EXPERIMENTS.md)\n\
+    \  Williams-Brown would predict 0 ppm at T = 100%%.\n\n"
+    (Table.fmt_ppm dl);
+
+  (* Residual defect level across detection-technique completeness. *)
+  print_endline "== Residual defect level 1 - Y^(1-θmax) ==";
+  let t2 = Table.create [ ("θmax", Table.Right); ("residual DL", Table.Right) ] in
+  List.iter
+    (fun tm ->
+      Table.add_row t2
+        [
+          Printf.sprintf "%.3f" tm;
+          Table.fmt_ppm (Projection.residual_defect_level ~yield:yield_ ~theta_max:tm);
+        ])
+    [ 0.90; 0.95; 0.96; 0.99; 0.999; 1.0 ];
+  Table.print t2;
+  print_newline ();
+
+  (* Test length planning via the susceptibility model (eq. 7). *)
+  print_endline "== Random-test length for target stuck-at coverage (s_T = e^3) ==";
+  let s = exp 3.0 in
+  let t3 = Table.create [ ("target T", Table.Right); ("vectors", Table.Right) ] in
+  List.iter
+    (fun target ->
+      Table.add_row t3
+        [
+          Table.fmt_pct target;
+          Printf.sprintf "%.0f" (Susceptibility.test_length ~s ~target);
+        ])
+    [ 0.5; 0.9; 0.99; 0.999 ];
+  Table.print t3

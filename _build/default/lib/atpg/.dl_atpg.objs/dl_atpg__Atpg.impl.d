@@ -1,0 +1,1 @@
+lib/atpg/atpg.ml: Array Circuit Dl_fault Dl_netlist List Podem Random_gen Scoap

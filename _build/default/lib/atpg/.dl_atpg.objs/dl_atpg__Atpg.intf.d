@@ -1,0 +1,1 @@
+lib/atpg/atpg.mli: Circuit Dl_fault Dl_netlist

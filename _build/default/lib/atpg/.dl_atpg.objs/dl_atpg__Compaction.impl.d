@@ -1,0 +1,1 @@
+lib/atpg/compaction.ml: Array Circuit Dl_fault Dl_netlist Dl_util Fun List

@@ -1,0 +1,1 @@
+lib/atpg/compaction.mli: Circuit Dl_fault Dl_netlist

@@ -1,0 +1,1 @@
+lib/atpg/cop.ml: Array Circuit Dl_fault Dl_netlist Fun Gate List

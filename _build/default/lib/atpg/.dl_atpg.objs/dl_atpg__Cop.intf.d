@@ -1,0 +1,1 @@
+lib/atpg/cop.mli: Circuit Dl_fault Dl_netlist

@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Circuit Dl_fault Dl_logic Dl_netlist Dl_util Gate Hashtbl List Option Scoap

@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Circuit Dl_fault Dl_netlist Scoap

@@ -1,0 +1,1 @@
+lib/atpg/random_gen.ml: Array Circuit Dl_fault Dl_netlist Dl_util Fun List Seq

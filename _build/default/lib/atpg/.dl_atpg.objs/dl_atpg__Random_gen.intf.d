@@ -1,0 +1,1 @@
+lib/atpg/random_gen.mli: Circuit Dl_fault Dl_netlist

@@ -1,0 +1,1 @@
+lib/atpg/scoap.ml: Array Circuit Dl_netlist Gate List

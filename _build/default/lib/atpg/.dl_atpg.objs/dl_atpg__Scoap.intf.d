@@ -1,0 +1,1 @@
+lib/atpg/scoap.mli: Circuit Dl_netlist

@@ -1,0 +1,1 @@
+lib/atpg/transition_atpg.ml: Array Circuit Dl_fault Dl_logic Dl_netlist Dl_util List Podem Scoap

@@ -1,0 +1,1 @@
+lib/atpg/transition_atpg.mli: Circuit Dl_fault Dl_netlist Scoap

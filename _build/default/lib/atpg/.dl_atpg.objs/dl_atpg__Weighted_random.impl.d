@@ -1,0 +1,1 @@
+lib/atpg/weighted_random.ml: Array Circuit Cop Dl_fault Dl_netlist Dl_util

@@ -1,0 +1,1 @@
+lib/atpg/weighted_random.mli: Circuit Dl_fault Dl_netlist

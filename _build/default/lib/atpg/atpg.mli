@@ -1,0 +1,45 @@
+(** Complete test-generation flow as used in the paper's experimental setup:
+    "the first vectors are random vectors, being the last vectors
+    deterministically generated" (with a complete branch-and-bound
+    generator), against the single stuck-at fault model. *)
+
+open Dl_netlist
+
+type stats = {
+  total_faults : int;
+  random_detected : int;       (** Faults caught by the random prefix. *)
+  deterministic_detected : int;(** Additional faults caught by ATPG vectors. *)
+  untestable : int;            (** Proved redundant by PODEM. *)
+  aborted : int;               (** Backtrack limit reached. *)
+  random_vectors : int;
+  deterministic_vectors : int;
+}
+
+type result = {
+  vectors : bool array array;
+      (** Full ordered sequence: random prefix then deterministic suffix. *)
+  stats : stats;
+  coverage : float;            (** Final stuck-at coverage on the fault list. *)
+  untestable_faults : Dl_fault.Stuck_at.t array;
+      (** Faults PODEM proved redundant. *)
+  aborted_faults : Dl_fault.Stuck_at.t array;
+      (** Faults abandoned at the backtrack limit (counted as undetected). *)
+}
+
+val run :
+  ?seed:int ->
+  ?max_random:int ->
+  ?stale_limit:int ->
+  ?backtrack_limit:int ->
+  Circuit.t ->
+  faults:Dl_fault.Stuck_at.t array ->
+  result
+(** Generate a test set for the given fault list (typically
+    [Stuck_at.collapse c (Stuck_at.universe c)]).  Each deterministic vector
+    is fault-simulated against the remaining faults so incidental detections
+    drop them too. *)
+
+val full_flow :
+  ?seed:int -> ?max_random:int -> Circuit.t -> result * Dl_fault.Stuck_at.t array
+(** Convenience: build the collapsed fault universe, run the flow, and
+    return the collapsed fault list alongside. *)

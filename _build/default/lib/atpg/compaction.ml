@@ -1,0 +1,48 @@
+open Dl_netlist
+module Fault_sim = Dl_fault.Fault_sim
+
+type stats = { original : int; compacted : int; passes_run : int }
+
+let useful_mask (c : Circuit.t) ~faults ~vectors ~order =
+  let n = Array.length vectors in
+  if Array.length order <> n then
+    invalid_arg "Compaction.useful_mask: order length mismatch";
+  let reordered = Array.map (fun i -> vectors.(i)) order in
+  let r = Fault_sim.run c ~faults ~vectors:reordered in
+  let useful = Array.make n false in
+  Array.iter
+    (function
+      | Some pos -> useful.(order.(pos)) <- true
+      | None -> ())
+    r.first_detection;
+  useful
+
+let apply_mask vectors mask =
+  let kept = ref [] in
+  Array.iteri (fun i v -> if mask.(i) then kept := v :: !kept) vectors;
+  Array.of_list (List.rev !kept)
+
+let compact ?(seed = 1) ?(max_passes = 4) (c : Circuit.t) ~faults ~vectors =
+  if max_passes < 1 then invalid_arg "Compaction.compact: max_passes must be >= 1";
+  let rng = Dl_util.Rng.create seed in
+  let original = Array.length vectors in
+  let current = ref vectors in
+  let passes_run = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !passes_run < max_passes do
+    incr passes_run;
+    let n = Array.length !current in
+    let order =
+      if !passes_run = 1 then Array.init n (fun i -> n - 1 - i)
+      else begin
+        let o = Array.init n Fun.id in
+        Dl_util.Rng.shuffle rng o;
+        o
+      end
+    in
+    let mask = useful_mask c ~faults ~vectors:!current ~order in
+    let next = apply_mask !current mask in
+    if Array.length next = n then continue_ := false;
+    current := next
+  done;
+  (!current, { original; compacted = Array.length !current; passes_run = !passes_run })

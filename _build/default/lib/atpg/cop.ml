@@ -1,0 +1,135 @@
+open Dl_netlist
+module Stuck_at = Dl_fault.Stuck_at
+
+type t = {
+  circuit : Circuit.t;
+  p1 : float array;   (* P[node = 1] *)
+  obs : float array;  (* P[change propagates to an output] *)
+}
+
+let xor2 a b = (a *. (1.0 -. b)) +. (b *. (1.0 -. a))
+
+let compute ?input_bias (c : Circuit.t) =
+  let n = Circuit.node_count c in
+  let p1 = Array.make n 0.5 in
+  (match input_bias with
+  | None -> ()
+  | Some bias ->
+      if Array.length bias <> Array.length c.inputs then
+        invalid_arg "Cop.compute: one bias per primary input required";
+      Array.iteri
+        (fun i pi ->
+          if not (bias.(i) >= 0.0 && bias.(i) <= 1.0) then
+            invalid_arg "Cop.compute: bias outside [0,1]";
+          p1.(pi) <- bias.(i))
+        c.inputs);
+  Array.iter
+    (fun id ->
+      let nd = c.nodes.(id) in
+      let ps = Array.map (fun s -> p1.(s)) nd.fanin in
+      let prod f = Array.fold_left (fun acc p -> acc *. f p) 1.0 ps in
+      let v =
+        match nd.kind with
+        | Gate.Input -> p1.(id)
+        | Gate.Buf -> ps.(0)
+        | Gate.Not -> 1.0 -. ps.(0)
+        | Gate.And -> prod Fun.id
+        | Gate.Nand -> 1.0 -. prod Fun.id
+        | Gate.Or -> 1.0 -. prod (fun p -> 1.0 -. p)
+        | Gate.Nor -> prod (fun p -> 1.0 -. p)
+        | Gate.Xor -> Array.fold_left xor2 0.0 ps
+        | Gate.Xnor -> 1.0 -. Array.fold_left xor2 0.0 ps
+      in
+      p1.(id) <- v)
+    c.topo_order;
+  (* Sensitization of one input through its gate: probability the other
+     inputs sit at non-controlling values. *)
+  let sensitization (nd : Circuit.node) pin =
+    match nd.kind with
+    | Gate.Input -> 0.0
+    | Gate.Buf | Gate.Not | Gate.Xor | Gate.Xnor -> 1.0
+    | Gate.And | Gate.Nand ->
+        let acc = ref 1.0 in
+        Array.iteri (fun p src -> if p <> pin then acc := !acc *. p1.(src)) nd.fanin;
+        !acc
+    | Gate.Or | Gate.Nor ->
+        let acc = ref 1.0 in
+        Array.iteri
+          (fun p src -> if p <> pin then acc := !acc *. (1.0 -. p1.(src)))
+          nd.fanin;
+        !acc
+  in
+  let obs = Array.make n 0.0 in
+  Array.iter (fun o -> obs.(o) <- 1.0) c.outputs;
+  let order = c.topo_order in
+  for i = Array.length order - 1 downto 0 do
+    let id = order.(i) in
+    (* Independent-OR over fanout branches (plus direct observation when the
+       node is itself an output, already seeded with 1). *)
+    let miss = ref (1.0 -. obs.(id)) in
+    Array.iter
+      (fun succ ->
+        let nd = c.nodes.(succ) in
+        Array.iteri
+          (fun pin src ->
+            if src = id then begin
+              let through = obs.(succ) *. sensitization nd pin in
+              miss := !miss *. (1.0 -. through)
+            end)
+          nd.fanin)
+      c.fanouts.(id);
+    obs.(id) <- 1.0 -. !miss
+  done;
+  { circuit = c; p1; obs }
+
+let probability_one t id = t.p1.(id)
+let observability t id = t.obs.(id)
+
+let detection_probability t (f : Stuck_at.t) =
+  let c = t.circuit in
+  match f.site with
+  | Stuck_at.Stem id ->
+      let excite =
+        match f.polarity with Stuck_at.Sa0 -> t.p1.(id) | Stuck_at.Sa1 -> 1.0 -. t.p1.(id)
+      in
+      excite *. t.obs.(id)
+  | Stuck_at.Branch { gate; pin } ->
+      let src = c.nodes.(gate).fanin.(pin) in
+      let excite =
+        match f.polarity with
+        | Stuck_at.Sa0 -> t.p1.(src)
+        | Stuck_at.Sa1 -> 1.0 -. t.p1.(src)
+      in
+      let nd = c.nodes.(gate) in
+      let sens =
+        match nd.kind with
+        | Gate.Input -> 0.0
+        | Gate.Buf | Gate.Not | Gate.Xor | Gate.Xnor -> 1.0
+        | Gate.And | Gate.Nand ->
+            let acc = ref 1.0 in
+            Array.iteri (fun p s -> if p <> pin then acc := !acc *. t.p1.(s)) nd.fanin;
+            !acc
+        | Gate.Or | Gate.Nor ->
+            let acc = ref 1.0 in
+            Array.iteri
+              (fun p s -> if p <> pin then acc := !acc *. (1.0 -. t.p1.(s)))
+              nd.fanin;
+            !acc
+      in
+      excite *. sens *. t.obs.(gate)
+
+let detectabilities t faults =
+  Dl_fault.Detectability.of_probabilities
+    (Array.map (fun f -> detection_probability t f) faults)
+
+let random_pattern_resistant t (c : Circuit.t) ~threshold =
+  let out = ref [] in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      List.iter
+        (fun polarity ->
+          let f = { Stuck_at.site = Stuck_at.Stem nd.id; polarity } in
+          if detection_probability t f < threshold then out := f :: !out)
+        [ Stuck_at.Sa0; Stuck_at.Sa1 ])
+    c.nodes;
+  List.rev !out

@@ -1,0 +1,36 @@
+(** COP probabilistic testability (Brglez's Controllability/Observability
+    Program): signal 1-probabilities and observabilities computed in one
+    topological pass under an input-independence assumption, and the
+    per-fault detection probabilities they induce (STAFAN-style).
+
+    These are the analytic counterparts of the Monte-Carlo estimates in
+    {!Dl_fault.Detectability}; on fanout-reconvergent circuits they are
+    approximations (correlation is ignored), which is exactly why the
+    empirical route exists.  Together they ground the paper's
+    susceptibility parameter [s] (eq. 7) in circuit structure. *)
+
+open Dl_netlist
+
+type t
+
+val compute : ?input_bias:float array -> Circuit.t -> t
+(** [input_bias] gives each primary input's 1-probability (default 0.5
+    everywhere, i.e. uniform random patterns). *)
+
+val probability_one : t -> int -> float
+(** P[node = 1] under random inputs. *)
+
+val observability : t -> int -> float
+(** P[a value change at the node propagates to some output] (COP
+    approximation; 1.0 at primary outputs). *)
+
+val detection_probability : t -> Dl_fault.Stuck_at.t -> float
+(** STAFAN estimate: excitation probability times observability of the
+    fault site. *)
+
+val detectabilities : t -> Dl_fault.Stuck_at.t array -> Dl_fault.Detectability.t
+(** Package per-fault estimates for the coverage-curve machinery. *)
+
+val random_pattern_resistant : t -> Circuit.t -> threshold:float -> Dl_fault.Stuck_at.t list
+(** Stuck-at stem faults whose estimated detection probability falls below
+    [threshold] — the deterministic-ATPG workload predictor. *)

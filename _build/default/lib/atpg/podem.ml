@@ -1,0 +1,318 @@
+open Dl_netlist
+module Ternary = Dl_logic.Ternary
+module Sim3 = Dl_logic.Sim3
+module Stuck_at = Dl_fault.Stuck_at
+
+type outcome = Test of bool array | Untestable | Aborted
+
+type state = {
+  circuit : Circuit.t;
+  scoap : Scoap.t;
+  fault : Stuck_at.t;
+  fault_line : int; (* node whose good value must be the fault complement *)
+  stuck : bool;
+  pi_values : Ternary.t array;
+  pi_position : (int, int) Hashtbl.t; (* node id -> PI position *)
+  rng : Dl_util.Rng.t option;
+      (* randomized tie-breaking for restart diversification *)
+  mutable good : Ternary.t array;
+  mutable bad : Ternary.t array;
+}
+
+(* With a restart rng, occasionally take a non-greedy choice so successive
+   attempts explore different regions of the decision tree. *)
+let diversify st best alternatives =
+  match st.rng with
+  | None -> best
+  | Some rng ->
+      if alternatives <> [] && Dl_util.Rng.bernoulli rng 0.3 then
+        Dl_util.Rng.choose rng (Array.of_list alternatives)
+      else best
+
+let is_x = function Ternary.VX -> true | Ternary.V0 | Ternary.V1 -> false
+
+let has_d st id =
+  match (st.good.(id), st.bad.(id)) with
+  | Ternary.V0, Ternary.V1 | Ternary.V1, Ternary.V0 -> true
+  | _ -> false
+
+let simulate st =
+  st.good <- Sim3.run st.circuit st.pi_values;
+  st.bad <-
+    Sim3.run_with_fault st.circuit
+      ~site:(Stuck_at.to_sim3_site st.fault.site)
+      ~stuck:st.stuck st.pi_values
+
+let po_has_d st = Array.exists (fun o -> has_d st o) st.circuit.outputs
+
+(* For a branch fault the difference is born inside the host gate: once the
+   source line carries the fault complement, the host gate belongs to the
+   frontier even though no fanin shows a D. *)
+let host_gate_activated st =
+  match st.fault.site with
+  | Stuck_at.Branch { gate; _ } ->
+      if Ternary.to_bool st.good.(st.fault_line) = Some (not st.stuck) then Some gate
+      else None
+  | Stuck_at.Stem _ -> None
+
+let d_frontier st =
+  let c = st.circuit in
+  let frontier = ref [] in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      if
+        nd.kind <> Gate.Input
+        && (not (has_d st nd.id))
+        && (is_x st.good.(nd.id) || is_x st.bad.(nd.id))
+        && (Array.exists (fun src -> has_d st src) nd.fanin
+           || host_gate_activated st = Some nd.id)
+      then frontier := nd.id :: !frontier)
+    c.nodes;
+  (* Prefer gates closest to an output. *)
+  List.sort
+    (fun a b -> compare (Scoap.observability st.scoap a) (Scoap.observability st.scoap b))
+    !frontier
+
+(* Can a difference still reach a primary output?  Forward search from D
+   nodes through X-valued nodes. *)
+let x_path_exists st =
+  let c = st.circuit in
+  let n = Circuit.node_count c in
+  let visited = Array.make n false in
+  (* Every node along the path must still be undetermined in at least one
+     machine, or the difference cannot travel through it. *)
+  let x_ish id = is_x st.good.(id) || is_x st.bad.(id) in
+  let rec forward id =
+    if visited.(id) || not (x_ish id) then false
+    else begin
+      visited.(id) <- true;
+      if Circuit.is_output c id then true
+      else Array.exists forward c.fanouts.(id)
+    end
+  in
+  let from_node id = Array.exists forward c.fanouts.(id) in
+  let any = ref false in
+  Array.iteri
+    (fun id _ ->
+      if (not !any) && has_d st id then
+        if Circuit.is_output c id || from_node id then any := true)
+    c.nodes;
+  (* A still-unobserved branch fault can reach out through its host gate. *)
+  (match host_gate_activated st with
+  | Some gate when not !any ->
+      if
+        (is_x st.good.(gate) || is_x st.bad.(gate))
+        && (Circuit.is_output c gate || forward gate)
+      then any := true
+  | _ -> ());
+  !any
+
+(* Backtrace an objective (node, value) to an unassigned primary input,
+   guided by SCOAP controllabilities. *)
+let backtrace st node value =
+  let c = st.circuit in
+  let rec walk id v depth =
+    if depth > Circuit.node_count c then None
+    else begin
+      let nd = c.nodes.(id) in
+      match nd.kind with
+      | Gate.Input -> (
+          match Hashtbl.find_opt st.pi_position id with
+          | Some pos when is_x st.pi_values.(pos) -> Some (pos, v)
+          | _ -> None)
+      | Gate.Buf -> walk nd.fanin.(0) v (depth + 1)
+      | Gate.Not -> walk nd.fanin.(0) (not v) (depth + 1)
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+          let inverts = Gate.inversion nd.kind in
+          let core_target = if inverts then not v else v in
+          let ctrl =
+            match Gate.controlling_value nd.kind with
+            | Some b -> b
+            | None -> assert false
+          in
+          let x_pins =
+            Array.to_list nd.fanin |> List.filter (fun src -> is_x st.good.(src))
+          in
+          (match x_pins with
+          | [] -> None
+          | _ ->
+              (* AND core: target 1 needs all inputs non-controlling (pick the
+                 hardest X input first); target 0 needs any input controlling
+                 (pick the easiest). Same logic covers OR by duality. *)
+              let all_needed = core_target <> Gate.controlled_response nd.kind in
+              let needed_value = if all_needed then not ctrl else ctrl in
+              let cost src = Scoap.cc st.scoap src needed_value in
+              let pick =
+                List.fold_left
+                  (fun best src ->
+                    match best with
+                    | None -> Some src
+                    | Some cur ->
+                        let better =
+                          if all_needed then cost src > cost cur
+                          else cost src < cost cur
+                        in
+                        if better then Some src else best)
+                  None x_pins
+              in
+              (match pick with
+              | Some src -> walk (diversify st src x_pins) needed_value (depth + 1)
+              | None -> None))
+      | Gate.Xor | Gate.Xnor ->
+          let parity_target = if nd.kind = Gate.Xnor then not v else v in
+          let definite_parity =
+            Array.fold_left
+              (fun acc src ->
+                match st.good.(src) with
+                | Ternary.V1 -> not acc
+                | Ternary.V0 | Ternary.VX -> acc)
+              false nd.fanin
+          in
+          let x_pins =
+            Array.to_list nd.fanin |> List.filter (fun src -> is_x st.good.(src))
+          in
+          (match x_pins with
+          | [] -> None
+          | src :: _ ->
+              (* Aim the chosen input so that parity closes if the remaining
+                 X inputs settle at 0. *)
+              let v' = parity_target <> definite_parity in
+              walk src v' (depth + 1))
+    end
+  in
+  walk node value 0
+
+let fill_vector st =
+  Array.map
+    (fun v -> match v with Ternary.V1 -> true | Ternary.V0 | Ternary.VX -> false)
+    st.pi_values
+
+let generate_once ?(backtrack_limit = 10_000) ~scoap ?rng (c : Circuit.t)
+    (fault : Stuck_at.t) =
+  let fault_line =
+    match fault.site with
+    | Stuck_at.Stem id -> id
+    | Stuck_at.Branch { gate; pin } -> c.nodes.(gate).fanin.(pin)
+  in
+  let pi_position = Hashtbl.create 16 in
+  Array.iteri (fun pos id -> Hashtbl.replace pi_position id pos) c.inputs;
+  let st =
+    {
+      circuit = c;
+      scoap;
+      fault;
+      fault_line;
+      stuck = Stuck_at.polarity_bool fault.polarity;
+      pi_values = Array.make (Array.length c.inputs) Ternary.VX;
+      pi_position;
+      rng;
+      good = [||];
+      bad = [||];
+    }
+  in
+  (* Decision stack: (pi position, current value, already flipped). *)
+  let stack = ref [] in
+  let backtracks = ref 0 in
+  let result = ref None in
+  let conflict () =
+    let rec unwind () =
+      match !stack with
+      | [] -> result := Some Untestable
+      | (pos, v, flipped) :: rest ->
+          if flipped then begin
+            st.pi_values.(pos) <- Ternary.VX;
+            stack := rest;
+            unwind ()
+          end
+          else begin
+            incr backtracks;
+            if !backtracks > backtrack_limit then result := Some Aborted
+            else begin
+              let v' = not v in
+              st.pi_values.(pos) <- Ternary.of_bool v';
+              stack := (pos, v', true) :: rest
+            end
+          end
+    in
+    unwind ()
+  in
+  while !result = None do
+    simulate st;
+    if po_has_d st then result := Some (Test (fill_vector st))
+    else begin
+      let line_good = st.good.(st.fault_line) in
+      let excitation_lost =
+        match Ternary.to_bool line_good with
+        | Some v -> v = st.stuck
+        | None -> false
+      in
+      if excitation_lost then conflict ()
+      else if is_x line_good then begin
+        (* Activation objective: drive the fault line to the complement. *)
+        match backtrace st st.fault_line (not st.stuck) with
+        | Some (pos, v) ->
+            st.pi_values.(pos) <- Ternary.of_bool v;
+            stack := (pos, v, false) :: !stack
+        | None -> conflict ()
+      end
+      else begin
+        (* Activated but not yet observed: extend an X-path via the
+           D-frontier. *)
+        match d_frontier st with
+        | [] -> conflict ()
+        | frontier ->
+            if not (x_path_exists st) then conflict ()
+            else begin
+              (* Pick the first frontier gate that yields a feasible
+                 objective. *)
+              let rec try_gates = function
+                | [] -> conflict ()
+                | gate :: rest -> (
+                    let nd = c.nodes.(gate) in
+                    let objective =
+                      match Gate.controlling_value nd.kind with
+                      | Some ctrl ->
+                          Array.to_list nd.fanin
+                          |> List.find_opt (fun src -> is_x st.good.(src))
+                          |> Option.map (fun src -> (src, not ctrl))
+                      | None ->
+                          Array.to_list nd.fanin
+                          |> List.find_opt (fun src -> is_x st.good.(src))
+                          |> Option.map (fun src -> (src, false))
+                    in
+                    match objective with
+                    | None -> try_gates rest
+                    | Some (node, v) -> (
+                        match backtrace st node v with
+                        | Some (pos, pv) ->
+                            st.pi_values.(pos) <- Ternary.of_bool pv;
+                            stack := (pos, pv, false) :: !stack
+                        | None -> try_gates rest))
+              in
+              try_gates frontier
+            end
+      end
+    end
+  done;
+  match !result with
+  | Some (Test vector) ->
+      (* Defensive verification through an independent oracle. *)
+      if Dl_fault.Fault_sim.detects_fault c fault vector then Test vector
+      else Aborted
+  | Some other -> other
+  | None -> Aborted
+
+
+(* Chronological backtracking thrashes on heavily reconvergent cones;
+   randomized restarts recover most aborts cheaply (the deterministic pass
+   runs first, so easy faults are unaffected). *)
+let generate ?(backtrack_limit = 10_000) ?(restarts = 4) ?scoap (c : Circuit.t)
+    (fault : Stuck_at.t) =
+  let scoap = match scoap with Some s -> s | None -> Scoap.compute c in
+  let rec attempt i =
+    let rng = if i = 0 then None else Some (Dl_util.Rng.create (i * 7919)) in
+    match generate_once ~backtrack_limit ~scoap ?rng c fault with
+    | Aborted when i < restarts -> attempt (i + 1)
+    | outcome -> outcome
+  in
+  attempt 0

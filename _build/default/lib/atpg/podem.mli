@@ -1,0 +1,29 @@
+(** PODEM (Goel 1981): complete branch-and-bound deterministic test
+    generation for single stuck-at faults, with SCOAP-guided backtrace.
+
+    Stands in for the FAN generator the paper used; both are complete
+    stuck-at ATPG algorithms and the defect-level experiment only consumes
+    the resulting vector sequence (see DESIGN.md §4). *)
+
+open Dl_netlist
+
+type outcome =
+  | Test of bool array
+      (** A vector (one bool per PI, [c.inputs] order) detecting the fault;
+          don't-care positions are filled deterministically with 0. *)
+  | Untestable  (** Search space exhausted: the fault is redundant. *)
+  | Aborted  (** Backtrack limit hit before a verdict. *)
+
+val generate :
+  ?backtrack_limit:int ->
+  ?restarts:int ->
+  ?scoap:Scoap.t ->
+  Circuit.t ->
+  Dl_fault.Stuck_at.t ->
+  outcome
+(** [generate c fault] runs PODEM for one fault.  [backtrack_limit] defaults
+    to 10_000 per attempt; after an abort the search restarts with
+    randomized tie-breaking, up to [restarts] (default 4) extra attempts.
+    Pass a precomputed [scoap] to amortize testability analysis across
+    faults.  Every returned [Test] vector is verified by dual simulation
+    before being reported. *)

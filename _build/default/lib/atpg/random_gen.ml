@@ -1,0 +1,61 @@
+open Dl_netlist
+module Rng = Dl_util.Rng
+
+type result = {
+  vectors : bool array array;
+  detected : int;
+  remaining : Dl_fault.Stuck_at.t array;
+  first_detection : int option array;
+}
+
+let run ?(seed = 7) ?(max_vectors = 4096) ?(stale_limit = 512) (c : Circuit.t)
+    ~faults =
+  if max_vectors < 0 then invalid_arg "Random_gen.run: negative max_vectors";
+  let rng = Rng.create seed in
+  let npi = Array.length c.inputs in
+  let n_faults = Array.length faults in
+  let first_detection = Array.make n_faults None in
+  let all_vectors = ref [] in
+  let applied = ref 0 in
+  let last_useful = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !applied < max_vectors do
+    let count = min 64 (max_vectors - !applied) in
+    let block =
+      Array.init count (fun _ -> Array.init npi (fun _ -> Rng.bool rng))
+    in
+    (* Simulate only the still-undetected faults against this block. *)
+    let live_idx = ref [] in
+    for i = n_faults - 1 downto 0 do
+      if first_detection.(i) = None then live_idx := i :: !live_idx
+    done;
+    let live_idx = Array.of_list !live_idx in
+    let live_faults = Array.map (fun i -> faults.(i)) live_idx in
+    let r = Dl_fault.Fault_sim.run c ~faults:live_faults ~vectors:block in
+    Array.iteri
+      (fun j d ->
+        match d with
+        | Some local ->
+            let global = !applied + local in
+            first_detection.(live_idx.(j)) <- Some global;
+            if global + 1 > !last_useful then last_useful := global + 1
+        | None -> ())
+      r.first_detection;
+    all_vectors := block :: !all_vectors;
+    applied := !applied + count;
+    if !applied - !last_useful >= stale_limit then stop := true;
+    if Array.for_all (fun d -> d <> None) first_detection then stop := true
+  done;
+  let vectors = Array.concat (List.rev !all_vectors) in
+  let detected =
+    Array.fold_left
+      (fun acc d -> match d with Some _ -> acc + 1 | None -> acc)
+      0 first_detection
+  in
+  let remaining =
+    Array.of_seq
+      (Seq.filter_map
+         (fun i -> if first_detection.(i) = None then Some faults.(i) else None)
+         (Array.to_seq (Array.init n_faults Fun.id)))
+  in
+  { vectors; detected; remaining; first_detection }

@@ -1,0 +1,26 @@
+(** Random-pattern test generation phase.
+
+    The paper's vector sequence starts with random vectors ("more than 80%
+    fault coverage is in general achieved with random vectors") before the
+    deterministic generator tops up.  This module produces that prefix and
+    reports which faults remain. *)
+
+open Dl_netlist
+
+type result = {
+  vectors : bool array array;      (** The generated sequence, in order. *)
+  detected : int;                  (** Faults detected by the sequence. *)
+  remaining : Dl_fault.Stuck_at.t array;  (** Faults still undetected. *)
+  first_detection : int option array;     (** Indexed like the input faults. *)
+}
+
+val run :
+  ?seed:int ->
+  ?max_vectors:int ->
+  ?stale_limit:int ->
+  Circuit.t ->
+  faults:Dl_fault.Stuck_at.t array ->
+  result
+(** [run c ~faults] generates uniform random vectors in blocks of 64 until
+    either [max_vectors] (default 4096) are applied or [stale_limit]
+    (default 512) consecutive vectors detect nothing new. *)

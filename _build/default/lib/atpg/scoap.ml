@@ -1,0 +1,113 @@
+open Dl_netlist
+
+type t = {
+  cc0 : int array;
+  cc1 : int array;
+  obs : int array;
+  circuit : Circuit.t;
+}
+
+let big = 1_000_000 (* effectively-infinite cost cap to avoid overflow *)
+
+let cap x = min x big
+
+(* Fold XOR controllabilities pairwise: cost of an even/odd parity over a
+   growing prefix of inputs. *)
+let xor_cc c0s c1s =
+  let combine (e, o) (c0, c1) =
+    (* even parity: both even or both odd; odd: mixed. *)
+    (cap (min (e + c0) (o + c1)), cap (min (e + c1) (o + c0)))
+  in
+  let rec fold acc = function
+    | [] -> acc
+    | (c0, c1) :: rest -> fold (combine acc (c0, c1)) rest
+  in
+  match List.combine c0s c1s with
+  | [] -> invalid_arg "Scoap.xor_cc: no inputs"
+  | (c0, c1) :: rest -> fold (c0, c1) rest
+
+let compute (c : Circuit.t) =
+  let n = Circuit.node_count c in
+  let cc0 = Array.make n big and cc1 = Array.make n big in
+  Array.iter
+    (fun id ->
+      let nd = c.nodes.(id) in
+      let in0 = Array.to_list (Array.map (fun s -> cc0.(s)) nd.fanin) in
+      let in1 = Array.to_list (Array.map (fun s -> cc1.(s)) nd.fanin) in
+      let sum xs = cap (List.fold_left ( + ) 0 xs) in
+      let mn xs = List.fold_left min big xs in
+      let v0, v1 =
+        match nd.kind with
+        | Gate.Input -> (1, 1)
+        | Gate.Buf -> (List.hd in0 + 1, List.hd in1 + 1)
+        | Gate.Not -> (List.hd in1 + 1, List.hd in0 + 1)
+        | Gate.And -> (mn in0 + 1, sum in1 + 1)
+        | Gate.Nand -> (sum in1 + 1, mn in0 + 1)
+        | Gate.Or -> (sum in0 + 1, mn in1 + 1)
+        | Gate.Nor -> (mn in1 + 1, sum in0 + 1)
+        | Gate.Xor ->
+            let e, o = xor_cc in0 in1 in
+            (e + 1, o + 1)
+        | Gate.Xnor ->
+            let e, o = xor_cc in0 in1 in
+            (o + 1, e + 1)
+      in
+      cc0.(id) <- cap v0;
+      cc1.(id) <- cap v1)
+    c.topo_order;
+  let obs = Array.make n big in
+  Array.iter (fun o -> obs.(o) <- 0) c.outputs;
+  (* Reverse topological order: gate observabilities flow to their inputs;
+     a multi-fanout stem takes the best branch. *)
+  let order = Array.copy c.topo_order in
+  let len = Array.length order in
+  for i = len - 1 downto 0 do
+    let id = order.(i) in
+    let nd = c.nodes.(id) in
+    if nd.kind <> Gate.Input && obs.(id) < big then begin
+      let fanin = nd.fanin in
+      Array.iteri
+        (fun pin src ->
+          let side_cost =
+            (* Cost of making every *other* input transparent. *)
+            let acc = ref 0 in
+            Array.iteri
+              (fun p other ->
+                if p <> pin then
+                  let cost =
+                    match Gate.controlling_value nd.kind with
+                    | Some ctrl ->
+                        (* Others must sit at the non-controlling value. *)
+                        if ctrl then cc0.(other) else cc1.(other)
+                    | None ->
+                        (* XOR-like or single-input: any definite value. *)
+                        min cc0.(other) cc1.(other)
+                  in
+                  acc := cap (!acc + cost))
+              fanin;
+            !acc
+          in
+          let through = cap (obs.(id) + side_cost + 1) in
+          if through < obs.(src) then obs.(src) <- through)
+        fanin
+    end
+  done;
+  { cc0; cc1; obs; circuit = c }
+
+let cc0 t id = t.cc0.(id)
+let cc1 t id = t.cc1.(id)
+let cc t id v = if v then t.cc1.(id) else t.cc0.(id)
+let observability t id = t.obs.(id)
+
+let hardest_faults t n =
+  let sites = ref [] in
+  Array.iteri
+    (fun id _ ->
+      (* Stuck-at-0 is excited by driving 1 and vice versa. *)
+      sites :=
+        (id, false, cap (t.cc1.(id) + t.obs.(id)))
+        :: (id, true, cap (t.cc0.(id) + t.obs.(id)))
+        :: !sites)
+    t.cc0;
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) !sites
+  |> List.filteri (fun i _ -> i < n)

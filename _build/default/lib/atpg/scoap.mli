@@ -1,0 +1,26 @@
+(** SCOAP testability measures (Goldstein 1979): combinational 0/1
+    controllability and observability.  Used to guide PODEM's backtrace and
+    reported as a circuit testability profile. *)
+
+open Dl_netlist
+
+type t
+
+val compute : Circuit.t -> t
+
+val cc0 : t -> int -> int
+(** Cost of setting node [id] to 0 (>= 1; PIs cost 1). *)
+
+val cc1 : t -> int -> int
+(** Cost of setting node [id] to 1. *)
+
+val cc : t -> int -> bool -> int
+(** [cc t id v]: {!cc0} or {!cc1} selected by [v]. *)
+
+val observability : t -> int -> int
+(** Cost of observing node [id] at a primary output (POs cost 0). *)
+
+val hardest_faults : t -> int -> (int * bool * int) list
+(** The [n] costliest (node, stuck-value, detect-cost) sites, where
+    detect-cost = controllability of the fault-exciting value plus
+    observability — a quick testability hot-spot report. *)

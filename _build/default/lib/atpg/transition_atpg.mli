@@ -1,0 +1,34 @@
+(** Two-pattern test generation for transition faults: the capture vector
+    comes from PODEM on the reduced stuck-at fault, the launch vector from
+    justifying the opposite value at the fault node (a PODEM run with the
+    node's complementary stuck-at, which forces the line to the launch
+    value; a random-fill fallback covers the trivial cases). *)
+
+open Dl_netlist
+
+type outcome =
+  | Pair of bool array * bool array  (** (launch, capture), verified. *)
+  | Untestable
+      (** The reduced stuck-at is redundant or the launch value is
+          unjustifiable. *)
+  | Aborted
+
+val generate :
+  ?seed:int ->
+  ?backtrack_limit:int ->
+  ?scoap:Scoap.t ->
+  Circuit.t ->
+  Dl_fault.Transition.t ->
+  outcome
+
+type result = {
+  pairs : (bool array * bool array) array;
+  coverage : float;
+  untestable : int;
+  aborted : int;
+}
+
+val run :
+  ?seed:int -> Circuit.t -> faults:Dl_fault.Transition.t array -> result
+(** Generate pairs for every fault, fault-simulating each accepted pair
+    against the remaining faults (two-pattern dropping). *)

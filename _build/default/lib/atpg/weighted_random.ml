@@ -1,0 +1,46 @@
+open Dl_netlist
+
+let expected_coverage (c : Circuit.t) ~faults ~bias ~k =
+  let cop = Cop.compute ~input_bias:bias c in
+  let d = Cop.detectabilities cop faults in
+  Dl_fault.Detectability.expected_coverage d k
+
+let default_levels = [| 0.1; 0.25; 0.5; 0.75; 0.9 |]
+
+let optimize_bias ?(iterations = 2) ?(levels = default_levels) ?(budget = 1024)
+    (c : Circuit.t) ~faults =
+  if Array.length levels = 0 then invalid_arg "Weighted_random: empty level set";
+  Array.iter
+    (fun l ->
+      if not (l > 0.0 && l < 1.0) then
+        invalid_arg "Weighted_random: bias levels must be in (0, 1)")
+    levels;
+  let npi = Circuit.input_count c in
+  let bias = Array.make npi 0.5 in
+  let score () = expected_coverage c ~faults ~bias ~k:budget in
+  let best = ref (score ()) in
+  for _ = 1 to iterations do
+    for pi = 0 to npi - 1 do
+      let keep = bias.(pi) in
+      let best_level = ref keep in
+      Array.iter
+        (fun level ->
+          bias.(pi) <- level;
+          let s = score () in
+          if s > !best +. 1e-12 then begin
+            best := s;
+            best_level := level
+          end)
+        levels;
+      bias.(pi) <- !best_level
+    done
+  done;
+  bias
+
+let generate ?(seed = 1) (c : Circuit.t) ~bias ~count =
+  if Array.length bias <> Circuit.input_count c then
+    invalid_arg "Weighted_random.generate: one bias per primary input required";
+  if count < 0 then invalid_arg "Weighted_random.generate: negative count";
+  let rng = Dl_util.Rng.create seed in
+  Array.init count (fun _ ->
+      Array.map (fun p -> Dl_util.Rng.bernoulli rng p) bias)

@@ -1,0 +1,32 @@
+(** Weighted-random test generation: bias each primary input's
+    1-probability to maximize the detection probability of the hard
+    (random-pattern-resistant) faults, instead of sampling uniformly —
+    the classical remedy when eq. 7's susceptibility is poor.
+
+    The optimizer is a coordinate ascent over input biases scored by the
+    COP-estimated coverage of the target faults after a fixed budget of
+    vectors. *)
+
+open Dl_netlist
+
+val optimize_bias :
+  ?iterations:int ->
+  ?levels:float array ->
+  ?budget:int ->
+  Circuit.t ->
+  faults:Dl_fault.Stuck_at.t array ->
+  float array
+(** [optimize_bias c ~faults] returns one 1-probability per primary input.
+    [levels] is the candidate bias alphabet (default
+    [|0.1; 0.25; 0.5; 0.75; 0.9|]); [budget] the vector count the score
+    targets (default 1024); [iterations] full coordinate sweeps
+    (default 2). *)
+
+val generate :
+  ?seed:int -> Circuit.t -> bias:float array -> count:int -> bool array array
+(** Sample [count] vectors with the given per-input biases. *)
+
+val expected_coverage :
+  Circuit.t -> faults:Dl_fault.Stuck_at.t array -> bias:float array -> k:int -> float
+(** COP-predicted coverage of [faults] after [k] biased vectors (the
+    optimizer's objective, exposed for inspection). *)

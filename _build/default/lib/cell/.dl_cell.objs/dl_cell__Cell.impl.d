@@ -1,0 +1,1 @@
+lib/cell/cell.ml: Char Dl_netlist Hashtbl List Printf

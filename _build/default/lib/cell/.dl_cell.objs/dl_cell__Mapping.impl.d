@@ -1,0 +1,1 @@
+lib/cell/mapping.ml: Array Cell Circuit Dl_netlist Format Gate List Printf

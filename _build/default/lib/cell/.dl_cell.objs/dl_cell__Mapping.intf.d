@@ -1,0 +1,1 @@
+lib/cell/mapping.mli: Cell Circuit Dl_netlist Format

@@ -1,0 +1,1 @@
+lib/core/clustered.ml: Array Dl_util Projection

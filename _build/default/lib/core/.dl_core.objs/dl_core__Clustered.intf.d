@@ -1,0 +1,1 @@
+lib/core/clustered.mli: Projection

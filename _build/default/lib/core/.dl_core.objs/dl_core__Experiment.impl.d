@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Circuit Dl_atpg Dl_cell Dl_extract Dl_fault Dl_layout Dl_netlist Dl_switch Format Projection Seq Transform Weighted

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Circuit Dl_atpg Dl_extract Dl_fault Dl_netlist Dl_switch Format Projection

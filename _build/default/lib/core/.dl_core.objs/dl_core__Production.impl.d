@@ -1,0 +1,1 @@
+lib/core/production.ml: Array Dl_util Float

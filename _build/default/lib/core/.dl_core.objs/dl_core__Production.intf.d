@@ -1,0 +1,1 @@
+lib/core/production.mli: Dl_util

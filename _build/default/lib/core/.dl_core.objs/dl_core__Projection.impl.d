@@ -1,0 +1,1 @@
+lib/core/projection.ml: Array Dl_util Float List Option

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Dl_extract Dl_fault Dl_netlist Experiment Fun List Printf Projection Weighted Williams_brown

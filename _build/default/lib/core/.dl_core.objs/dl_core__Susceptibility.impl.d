@@ -1,0 +1,1 @@
+lib/core/susceptibility.ml: Array Dl_util Float List Option

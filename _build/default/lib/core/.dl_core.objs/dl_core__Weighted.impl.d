@@ -1,0 +1,1 @@
+lib/core/weighted.ml: Array Dl_util Float

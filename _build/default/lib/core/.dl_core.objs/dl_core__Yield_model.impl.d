@@ -1,0 +1,1 @@
+lib/core/yield_model.ml: Array Dl_util Float

@@ -1,0 +1,21 @@
+let defect_level ~yield ~coverage ~n =
+  if not (yield > 0.0 && yield <= 1.0) then
+    invalid_arg "Agrawal.defect_level: yield must be in (0, 1]";
+  if not (coverage >= 0.0 && coverage <= 1.0) then
+    invalid_arg "Agrawal.defect_level: coverage must be in [0, 1]";
+  if n < 1.0 then invalid_arg "Agrawal.defect_level: n must be >= 1";
+  let escaped = (1.0 -. coverage) *. (1.0 -. yield) *. exp (-.(n -. 1.0) *. coverage) in
+  escaped /. (yield +. escaped)
+
+let defect_level_curve ~yield ~n ~coverages =
+  Array.map (fun t -> (t, defect_level ~yield ~coverage:t ~n)) coverages
+
+let fit_n ~yield points =
+  let data = Dl_util.Fit.make_data points in
+  let model p t = defect_level ~yield ~coverage:t ~n:p.(0) in
+  let r =
+    Dl_util.Fit.curve_fit ~model ~lo:[| 1.0 |] ~hi:[| 100.0 |] ~init:[| 2.0 |] data
+  in
+  (r.params.(0), r.rmse)
+
+let n_of_mean_defects ~lambda = Dl_util.Prob.truncated_poisson_mean ~lambda

@@ -1,0 +1,25 @@
+(** The Agrawal–Seth–Agrawal defect-level model (eq. 2 of the paper; JSSC
+    1982): a Poisson number of faults per faulty chip with mean [n],
+
+    {v
+      DL = (1-T)(1-Y) e^{-(n-1)T} / (Y + (1-T)(1-Y) e^{-(n-1)T})
+    v}
+
+    The paper uses this as the prior-work baseline whose [n] must be
+    obtained by a-posteriori curve fitting. *)
+
+val defect_level : yield:float -> coverage:float -> n:float -> float
+(** @raise Invalid_argument for [yield] outside (0,1], [coverage] outside
+    [0,1] or [n < 1]. *)
+
+val defect_level_curve :
+  yield:float -> n:float -> coverages:float array -> (float * float) array
+
+val fit_n :
+  yield:float -> (float * float) list -> float * float
+(** [fit_n ~yield points] least-squares fits [n] to observed
+    [(coverage, defect-level)] points; returns [(n, rmse)]. *)
+
+val n_of_mean_defects : lambda:float -> float
+(** The physical reading of [n]: with defects Poisson(lambda) per chip, the
+    average number on a *faulty* chip is [lambda / (1 - e^-lambda)]. *)

@@ -1,0 +1,45 @@
+let check ~yield ~alpha =
+  if not (yield > 0.0 && yield <= 1.0) then
+    invalid_arg "Clustered: yield must be in (0, 1]";
+  if alpha <= 0.0 then invalid_arg "Clustered: alpha must be positive"
+
+let mean_faults ~yield ~alpha =
+  check ~yield ~alpha;
+  (* P[N = 0] = (1 + m/alpha)^-alpha = Y. *)
+  alpha *. ((yield ** (-1.0 /. alpha)) -. 1.0)
+
+let defect_level ~yield ~alpha ~coverage =
+  check ~yield ~alpha;
+  if not (coverage >= 0.0 && coverage <= 1.0) then
+    invalid_arg "Clustered.defect_level: coverage must be in [0, 1]";
+  let m = mean_faults ~yield ~alpha in
+  (* DL = 1 - P[N_undetected = 0 | N_detected = 0]
+        = 1 - Y * (1 + m T / alpha)^alpha. *)
+  let dl = 1.0 -. (yield *. ((1.0 +. (m *. coverage /. alpha)) ** alpha)) in
+  Dl_util.Numerics.clamp01 dl
+
+let defect_level_projected ~yield ~alpha ~params ~coverage =
+  let theta = Projection.theta_of_coverage params coverage in
+  defect_level ~yield ~alpha ~coverage:theta
+
+let required_coverage ~yield ~alpha ~target_dl =
+  check ~yield ~alpha;
+  if not (target_dl >= 0.0 && target_dl < 1.0) then
+    invalid_arg "Clustered.required_coverage: target must be in [0, 1)";
+  if yield = 1.0 then 0.0
+  else if target_dl >= 1.0 -. yield then 0.0
+  else begin
+    let m = mean_faults ~yield ~alpha in
+    let t = alpha *. ((((1.0 -. target_dl) /. yield) ** (1.0 /. alpha)) -. 1.0) /. m in
+    Dl_util.Numerics.clamp01 t
+  end
+
+let fit_alpha ~yield points =
+  let data = Dl_util.Fit.make_data points in
+  (* Fit in log-alpha space: the effect of alpha spans decades. *)
+  let model p t = defect_level ~yield ~alpha:(exp p.(0)) ~coverage:t in
+  let r =
+    Dl_util.Fit.curve_fit ~model ~lo:[| log 1e-2 |] ~hi:[| log 1e6 |]
+      ~init:[| log 2.0 |] data
+  in
+  (exp r.params.(0), r.rmse)

@@ -1,0 +1,40 @@
+(** Defect level under clustered defect statistics.
+
+    The Williams–Brown derivation assumes Poisson fault counts (independent
+    random defects).  Real process lines cluster: Stapper models the defect
+    count as a gamma-mixed Poisson (negative binomial) with clustering
+    parameter [alpha].  Conditioning on "passed the test" (no detected-class
+    fault present) gives the clustered counterpart of eq. 1:
+
+    {v DL = 1 - ((alpha + m*T) / (alpha + m))^alpha v}
+
+    with [m = -alpha * (Y^(-1/alpha) - 1)] the mean fault count implied by
+    the yield.  As [alpha -> infinity] this converges to Williams–Brown;
+    small [alpha] (heavy clustering) lowers the defect level at equal yield
+    and coverage, because faulty chips carry many faults and are caught by
+    partial tests — the clustered-statistics analogue of Agrawal's
+    multiple-fault argument.
+
+    The same substitution applies to the paper's eq. 11: replace [T] by
+    [Θ(T) = θmax (1 - (1-T)^R)]. *)
+
+val mean_faults : yield:float -> alpha:float -> float
+(** [m] such that the negative binomial with clustering [alpha] has
+    P[N = 0] = yield. *)
+
+val defect_level : yield:float -> alpha:float -> coverage:float -> float
+(** Clustered DL at the given (weighted or unweighted) coverage.
+    @raise Invalid_argument for yield outside (0,1], alpha <= 0 or coverage
+    outside [0,1]. *)
+
+val defect_level_projected :
+  yield:float -> alpha:float -> params:Projection.params -> coverage:float -> float
+(** Clustered DL with the paper's coverage mapping (eq. 9) applied first:
+    the clustered generalization of eq. 11. *)
+
+val required_coverage : yield:float -> alpha:float -> target_dl:float -> float
+(** Invert {!defect_level} for the coverage reaching a DL target. *)
+
+val fit_alpha : yield:float -> (float * float) list -> float * float
+(** Least-squares fit of [alpha] to observed [(coverage, DL)] points;
+    returns [(alpha, rmse)]. *)

@@ -1,0 +1,155 @@
+open Dl_netlist
+module Coverage = Dl_fault.Coverage
+module Ifa = Dl_extract.Ifa
+module Realistic = Dl_switch.Realistic
+module Swift = Dl_switch.Swift
+
+type config = {
+  circuit : Circuit.t;
+  seed : int;
+  max_random_vectors : int;
+  target_yield : float;
+  stats : Dl_extract.Defect_stats.t;
+  min_weight_ratio : float;
+  rows : int option;
+}
+
+let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
+    ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
+    circuit =
+  if not (target_yield > 0.0 && target_yield < 1.0) then
+    invalid_arg "Experiment.config: target yield must be in (0, 1)";
+  { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio; rows }
+
+type t = {
+  cfg : config;
+  mapped_circuit : Circuit.t;
+  vectors : bool array array;
+  atpg_stats : Dl_atpg.Atpg.stats;
+  stuck_faults : Dl_fault.Stuck_at.t array;
+  extraction : Ifa.extraction;
+  scale_factor : float;
+  yield : float;
+  scaled_weights : float array;
+  t_curve : Coverage.t;
+  theta_curve : Coverage.t;
+  gamma_curve : Coverage.t;
+  theta_iddq_curve : Coverage.t;
+  swift_result : Swift.result;
+}
+
+let run cfg =
+  (* 1. Technology-map the netlist. *)
+  let c = Transform.decompose_for_cells cfg.circuit in
+  (* 2. Test generation: random prefix then deterministic top-up. *)
+  let atpg, all_stuck_faults =
+    Dl_atpg.Atpg.full_flow ~seed:cfg.seed ~max_random:cfg.max_random_vectors c
+  in
+  let vectors = atpg.vectors in
+  (* The paper neglects redundant stuck-at faults ("so that T(k) -> 1 when
+     k -> infinity"); drop the PODEM-proven-redundant ones from the T
+     denominator.  Aborted faults stay: they are potentially testable. *)
+  let stuck_faults =
+    Array.of_seq
+      (Seq.filter
+         (fun f ->
+           not
+             (Array.exists
+                (fun u -> Dl_fault.Stuck_at.equal u f)
+                atpg.untestable_faults))
+         (Array.to_seq all_stuck_faults))
+  in
+  (* 3. Gate-level stuck-at fault simulation over the same sequence. *)
+  let sim = Dl_fault.Fault_sim.run c ~faults:stuck_faults ~vectors in
+  let t_curve = Coverage.make sim.first_detection in
+  (* 4. Layout synthesis and inductive fault analysis. *)
+  let mapping = Dl_cell.Mapping.flatten c in
+  let layout = Dl_layout.Layout.synthesize ?rows:cfg.rows mapping in
+  let extraction =
+    Ifa.extract ~stats:cfg.stats ~min_weight_ratio:cfg.min_weight_ratio layout
+  in
+  (* 5. Scale the extracted weights so eq. 5 matches the target yield. *)
+  let raw_weights = Array.map (fun (f : Realistic.t) -> f.weight) extraction.faults in
+  let scaled_weights, scale_factor =
+    Weighted.scale_to_yield ~weights:raw_weights ~target_yield:cfg.target_yield
+  in
+  (* 6. Switch-level realistic fault simulation. *)
+  let network = Dl_switch.Network.build mapping in
+  let swift_result = Swift.run network ~faults:extraction.faults ~vectors in
+  let voltage_firsts =
+    Array.map (fun (d : Swift.detection) -> d.voltage) swift_result.detection
+  in
+  let theta_curve = Coverage.make ~weights:scaled_weights voltage_firsts in
+  let gamma_curve = Coverage.make voltage_firsts in
+  let theta_iddq_curve =
+    let firsts =
+      Array.map
+        (fun (d : Swift.detection) ->
+          match (d.voltage, d.iddq) with
+          | Some a, Some b -> Some (min a b)
+          | (Some _ as x), None | None, (Some _ as x) -> x
+          | None, None -> None)
+        swift_result.detection
+    in
+    Coverage.make ~weights:scaled_weights firsts
+  in
+  {
+    cfg;
+    mapped_circuit = c;
+    vectors;
+    atpg_stats = atpg.stats;
+    stuck_faults;
+    extraction;
+    scale_factor;
+    yield = cfg.target_yield;
+    scaled_weights;
+    t_curve;
+    theta_curve;
+    gamma_curve;
+    theta_iddq_curve;
+    swift_result;
+  }
+
+let defect_level_at t k =
+  Weighted.defect_level ~yield:t.yield ~theta:(Coverage.at t.theta_curve k)
+
+let sample_ks t ~points =
+  Coverage.log_spaced ~max:(Array.length t.vectors) ~points
+
+let coverage_rows t ~ks =
+  Array.map
+    (fun k ->
+      ( k,
+        Coverage.at t.t_curve k,
+        Coverage.at t.theta_curve k,
+        Coverage.at t.gamma_curve k ))
+    ks
+
+let dl_vs_t_points t ~ks =
+  Array.map (fun k -> (Coverage.at t.t_curve k, defect_level_at t k)) ks
+
+let dl_vs_gamma_points t ~ks =
+  Array.map (fun k -> (Coverage.at t.gamma_curve k, defect_level_at t k)) ks
+
+let fit_params t ?(points = 100) () =
+  let ks = sample_ks t ~points in
+  let samples =
+    Array.map (fun k -> (Coverage.at t.t_curve k, Coverage.at t.theta_curve k)) ks
+  in
+  Projection.fit_theta samples
+
+let pp_summary ppf t =
+  let n = Array.length t.vectors in
+  Format.fprintf ppf
+    "experiment %s: %d vectors (%d random + %d deterministic), %d stuck faults \
+     (T final %.4f), %d realistic faults (Θ final %.4f, Γ final %.4f, Θ+IDDQ \
+     %.4f), Y scaled by %.3e to %.2f"
+    t.mapped_circuit.title n t.atpg_stats.random_vectors
+    t.atpg_stats.deterministic_vectors
+    (Array.length t.stuck_faults)
+    (Coverage.at t.t_curve n)
+    (Array.length t.extraction.faults)
+    (Coverage.at t.theta_curve n)
+    (Coverage.at t.gamma_curve n)
+    (Coverage.at t.theta_iddq_curve n)
+    t.scale_factor t.yield

@@ -1,0 +1,69 @@
+(** The paper's end-to-end experiment (section 3): netlist → standard-cell
+    layout → layout fault extraction (*lift*) → stuck-at ATPG (random
+    prefix + deterministic top-up) → gate-level stuck-at fault simulation
+    [T(k)] and switch-level realistic fault simulation [Θ(k), Γ(k)] over
+    the same vector sequence → defect-level projection and model fitting.
+
+    One [run] produces everything Figs. 3-6 plot. *)
+
+open Dl_netlist
+
+type config = {
+  circuit : Circuit.t;
+  seed : int;
+  max_random_vectors : int;
+  target_yield : float;
+      (** The extracted yield is rescaled to this value (paper: 0.75). *)
+  stats : Dl_extract.Defect_stats.t;
+  min_weight_ratio : float;
+      (** Realistic-fault pruning threshold (see {!Dl_extract.Ifa.extract}). *)
+  rows : int option;  (** Layout row override. *)
+}
+
+val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
+  ?stats:Dl_extract.Defect_stats.t -> ?min_weight_ratio:float ->
+  ?rows:int -> Circuit.t -> config
+(** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
+    pruning. *)
+
+type t = {
+  cfg : config;
+  mapped_circuit : Circuit.t;  (** After decomposition for the cell library. *)
+  vectors : bool array array;  (** The ATPG vector sequence, in order. *)
+  atpg_stats : Dl_atpg.Atpg.stats;
+  stuck_faults : Dl_fault.Stuck_at.t array;  (** Collapsed universe. *)
+  extraction : Dl_extract.Ifa.extraction;
+  scale_factor : float;        (** Weight scaling applied for target yield. *)
+  yield : float;               (** = [cfg.target_yield]. *)
+  scaled_weights : float array;  (** Per realistic fault, after scaling. *)
+  t_curve : Dl_fault.Coverage.t;       (** Stuck-at coverage T(k). *)
+  theta_curve : Dl_fault.Coverage.t;   (** Weighted realistic Θ(k), voltage. *)
+  gamma_curve : Dl_fault.Coverage.t;   (** Unweighted realistic Γ(k). *)
+  theta_iddq_curve : Dl_fault.Coverage.t;
+      (** Θ(k) when IDDQ accompanies every vector. *)
+  swift_result : Dl_switch.Swift.result;
+}
+
+val run : config -> t
+
+val defect_level_at : t -> int -> float
+(** [DL(Θ(k))] through eq. 3 with the scaled yield: the quantity the paper
+    treats as the actual defect level. *)
+
+val coverage_rows : t -> ks:int array -> (int * float * float * float) array
+(** Fig. 4 data: [(k, T(k), Θ(k), Γ(k))]. *)
+
+val dl_vs_t_points : t -> ks:int array -> (float * float) array
+(** Fig. 5 scatter: [(T(k), DL(Θ(k)))]. *)
+
+val dl_vs_gamma_points : t -> ks:int array -> (float * float) array
+(** Fig. 6 scatter: [(Γ(k), DL(Θ(k)))]. *)
+
+val fit_params : t -> ?points:int -> unit -> Projection.fit
+(** Fit [(R, θmax)] on the [(T(k), Θ(k))] relation (eq. 9) over log-spaced
+    sample counts (default 100). *)
+
+val sample_ks : t -> points:int -> int array
+(** Log-spaced vector counts covering the applied sequence. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+module Rng = Dl_util.Rng
+
+type lot = {
+  dies : int;
+  passed : int;
+  defective_passed : int;
+  defective_total : int;
+}
+
+let defect_level lot =
+  if lot.passed = 0 then 0.0
+  else float_of_int lot.defective_passed /. float_of_int lot.passed
+
+let observed_yield lot =
+  if lot.dies = 0 then 1.0
+  else float_of_int (lot.dies - lot.defective_total) /. float_of_int lot.dies
+
+(* Marsaglia-Tsang Gamma(shape, scale 1) generator; the shape < 1 case uses
+   the boosting identity Gamma(a) = Gamma(a+1) * U^(1/a). *)
+let rec gamma_shape rng alpha =
+  if alpha < 1.0 then begin
+    let u = 1.0 -. Rng.float rng 1.0 in
+    gamma_shape rng (alpha +. 1.0) *. (u ** (1.0 /. alpha))
+  end
+  else begin
+    let d = alpha -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = Rng.gaussian rng in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then draw ()
+      else begin
+        let v3 = v *. v *. v in
+        let u = 1.0 -. Rng.float rng 1.0 in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v3) +. (d *. log v3) then d *. v3
+        else draw ()
+      end
+    in
+    draw ()
+  end
+
+let gamma_sample rng ~alpha =
+  if alpha <= 0.0 then invalid_arg "Production.gamma_sample: alpha must be positive";
+  (* Divide by the mean (= shape) for a mean-1 severity factor. *)
+  gamma_shape rng alpha /. alpha
+
+let check_inputs ~dies ~weights ~detected =
+  if dies <= 0 then invalid_arg "Production.simulate: dies must be positive";
+  if Array.length weights <> Array.length detected then
+    invalid_arg "Production.simulate: weights and detected differ in length";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Production.simulate: negative weight")
+    weights
+
+let run_lot rng ~dies ~weights ~detected ~severity =
+  let n = Array.length weights in
+  let passed = ref 0 and defective_passed = ref 0 and defective_total = ref 0 in
+  for _ = 1 to dies do
+    let g = severity rng in
+    let any_fault = ref false and any_detected = ref false in
+    for j = 0 to n - 1 do
+      let p = -.Float.expm1 (-.(g *. weights.(j))) in
+      if p > 0.0 && Rng.bernoulli rng p then begin
+        any_fault := true;
+        if detected.(j) then any_detected := true
+      end
+    done;
+    if !any_fault then incr defective_total;
+    if not !any_detected then begin
+      incr passed;
+      if !any_fault then incr defective_passed
+    end
+  done;
+  {
+    dies;
+    passed = !passed;
+    defective_passed = !defective_passed;
+    defective_total = !defective_total;
+  }
+
+let simulate ?(seed = 1) ~dies ~weights ~detected () =
+  check_inputs ~dies ~weights ~detected;
+  let rng = Rng.create seed in
+  run_lot rng ~dies ~weights ~detected ~severity:(fun _ -> 1.0)
+
+let simulate_clustered ?(seed = 1) ~dies ~alpha ~weights ~detected () =
+  check_inputs ~dies ~weights ~detected;
+  if alpha <= 0.0 then invalid_arg "Production.simulate_clustered: alpha must be positive";
+  let rng = Rng.create seed in
+  run_lot rng ~dies ~weights ~detected ~severity:(fun rng -> gamma_sample rng ~alpha)

@@ -1,0 +1,52 @@
+(** Monte-Carlo production-lot simulation: the ground-truth check of the
+    defect-level algebra.
+
+    Eq. 3 (and hence eq. 11) is a probabilistic statement about a
+    population of dies: each fault [j] occurs independently on a die with
+    probability [p_j = 1 - e^{-w_j}]; a die is *faulty* if any fault is
+    present and *escapes* if none of its present faults is detected by the
+    test.  Sampling that population directly and counting
+    [DL = P(faulty | passed)] must reproduce eq. 3 — this module does the
+    sampling, for both Poisson (independent) and gamma-clustered defect
+    statistics. *)
+
+type lot = {
+  dies : int;
+  passed : int;            (** Dies with no detected fault. *)
+  defective_passed : int;  (** Escapes: passed but some fault present. *)
+  defective_total : int;   (** All faulty dies (yield check). *)
+}
+
+val defect_level : lot -> float
+(** Empirical [defective_passed / passed]; 0 for an empty lot. *)
+
+val observed_yield : lot -> float
+(** Empirical fraction of fault-free dies. *)
+
+val simulate :
+  ?seed:int ->
+  dies:int ->
+  weights:float array ->
+  detected:bool array ->
+  unit ->
+  lot
+(** Independent (Poisson) fault occurrence per die.  [detected.(j)] says
+    whether the applied test catches fault [j] when present (single-fault
+    detection is assumed to survive in multi-fault dies — the same
+    assumption the analytic model makes). *)
+
+val simulate_clustered :
+  ?seed:int ->
+  dies:int ->
+  alpha:float ->
+  weights:float array ->
+  detected:bool array ->
+  unit ->
+  lot
+(** Gamma-mixed occurrence: each die draws a severity factor
+    [g ~ Gamma(alpha, 1/alpha)] and fault [j] occurs with rate [g * w_j] —
+    Stapper's clustered statistics at die granularity. *)
+
+val gamma_sample : Dl_util.Rng.t -> alpha:float -> float
+(** Mean-1 gamma variate (Marsaglia–Tsang; boosted for alpha < 1).
+    Exposed for tests. *)

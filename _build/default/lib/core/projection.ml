@@ -1,0 +1,97 @@
+module Numerics = Dl_util.Numerics
+
+type params = { r : float; theta_max : float }
+
+let check_params { r; theta_max } =
+  if r <= 0.0 then invalid_arg "Projection: R must be positive";
+  if not (theta_max > 0.0 && theta_max <= 1.0) then
+    invalid_arg "Projection: theta_max must be in (0, 1]"
+
+let check_yield yield =
+  if not (yield > 0.0 && yield <= 1.0) then
+    invalid_arg "Projection: yield must be in (0, 1]"
+
+let theta_of_coverage params t =
+  check_params params;
+  if not (t >= 0.0 && t <= 1.0) then
+    invalid_arg "Projection.theta_of_coverage: coverage must be in [0, 1]";
+  params.theta_max *. (1.0 -. Numerics.pow1m (1.0 -. t) params.r)
+
+let defect_level ~yield ~params ~coverage =
+  check_yield yield;
+  let theta = theta_of_coverage params coverage in
+  1.0 -. Numerics.pow1m yield (1.0 -. theta)
+
+let residual_defect_level ~yield ~theta_max =
+  check_yield yield;
+  if not (theta_max > 0.0 && theta_max <= 1.0) then
+    invalid_arg "Projection.residual_defect_level: theta_max must be in (0, 1]";
+  1.0 -. Numerics.pow1m yield (1.0 -. theta_max)
+
+let required_coverage ~yield ~params ~target_dl =
+  check_yield yield;
+  check_params params;
+  if not (target_dl >= 0.0 && target_dl < 1.0) then
+    invalid_arg "Projection.required_coverage: target must be in [0, 1)";
+  if yield = 1.0 then Some 0.0
+  else if target_dl >= defect_level ~yield ~params ~coverage:0.0 then Some 0.0
+  else if target_dl <= residual_defect_level ~yield ~theta_max:params.theta_max
+  then None
+  else begin
+    (* Invert eq. 11 in closed form:
+       (1-T)^R = 1 - (1 - ln(1-DL)/ln Y) / θmax. *)
+    let theta = 1.0 -. (Float.log1p (-.target_dl) /. log yield) in
+    let base = 1.0 -. (theta /. params.theta_max) in
+    let t = 1.0 -. Numerics.pow1m base (1.0 /. params.r) in
+    Some (Numerics.clamp01 t)
+  end
+
+let defect_level_curve ~yield ~params ~coverages =
+  Array.map (fun t -> (t, defect_level ~yield ~params ~coverage:t)) coverages
+
+type fit = { params : params; rmse : float }
+
+let lo = [| 0.05; 0.01 |]
+let hi = [| 50.0; 1.0 |]
+
+(* Multi-start: the boundary theta_max = 1 attracts a local optimum. *)
+let starts =
+  List.concat_map
+    (fun r0 -> List.map (fun t0 -> [| r0; t0 |]) [ 0.6; 0.9; 0.99 ])
+    [ 0.7; 1.0; 1.5; 2.5; 5.0 ]
+
+let best_fit ~model data =
+  List.fold_left
+    (fun acc init ->
+      let r = Dl_util.Fit.curve_fit ~model ~lo ~hi ~init data in
+      match acc with
+      | Some (b : Dl_util.Fit.fit) when b.rss <= r.rss -> acc
+      | _ -> Some r)
+    None starts
+  |> Option.get
+
+let fit_dl ~yield points =
+  check_yield yield;
+  if Array.length points = 0 then invalid_arg "Projection.fit_dl: no points";
+  (* Fit on log10 DL so the ppm tail matters as much as the knee. *)
+  let floor_dl = 1e-12 in
+  let log_points =
+    Array.to_list
+      (Array.map (fun (t, dl) -> (t, log10 (Float.max floor_dl dl))) points)
+  in
+  let data = Dl_util.Fit.make_data log_points in
+  let model p t =
+    let dl =
+      defect_level ~yield ~params:{ r = p.(0); theta_max = p.(1) } ~coverage:t
+    in
+    log10 (Float.max floor_dl dl)
+  in
+  let r = best_fit ~model data in
+  { params = { r = r.params.(0); theta_max = r.params.(1) }; rmse = r.rmse }
+
+let fit_theta points =
+  if Array.length points = 0 then invalid_arg "Projection.fit_theta: no points";
+  let data = Dl_util.Fit.make_data (Array.to_list points) in
+  let model p t = theta_of_coverage { r = p.(0); theta_max = p.(1) } t in
+  let r = best_fit ~model data in
+  { params = { r = r.params.(0); theta_max = r.params.(1) }; rmse = r.rmse }

@@ -1,0 +1,47 @@
+(** The paper's proposed defect-level model (eqs. 9-11): eliminating the
+    vector count between the two coverage-growth laws gives
+
+    {v Θ = θmax (1 - (1-T)^R) v}            (eq. 9)
+
+    and substituting into the weighted model yields the headline equation
+
+    {v DL(T) = 1 - Y^(1 - θmax (1 - (1-T)^R)) v}    (eq. 11)
+
+    [R > 1] means the faults that dominate yield loss (bridges, under
+    bridging-dominant defect statistics) are *easier* to detect than the
+    average stuck-at fault; [θmax < 1] captures the incompleteness of
+    voltage-only stuck-at testing and leaves the *residual defect level*
+    [1 - Y^(1-θmax)] that no amount of such testing removes.  For
+    [R = 1, θmax = 1] the model reduces exactly to Williams–Brown. *)
+
+type params = { r : float; theta_max : float }
+
+val theta_of_coverage : params -> float -> float
+(** eq. 9. @raise Invalid_argument unless [r > 0], [0 < θmax <= 1] and the
+    coverage is in [0,1]. *)
+
+val defect_level : yield:float -> params:params -> coverage:float -> float
+(** eq. 11. *)
+
+val residual_defect_level : yield:float -> theta_max:float -> float
+(** [1 - Y^(1-θmax)]: the floor reached at T = 1. *)
+
+val required_coverage :
+  yield:float -> params:params -> target_dl:float -> float option
+(** Stuck-at coverage needed for a defect-level target (the paper's
+    Example 1); [None] when the target lies below the residual defect
+    level, i.e. is unreachable with this detection technique. *)
+
+val defect_level_curve :
+  yield:float -> params:params -> coverages:float array -> (float * float) array
+
+type fit = { params : params; rmse : float }
+
+val fit_dl : yield:float -> (float * float) array -> fit
+(** Fit [(R, θmax)] to observed [(T, DL)] points by least squares on a
+    log-defect-level scale (fallout spans decades, so a linear-scale fit
+    would see only the high-DL knee). *)
+
+val fit_theta : (float * float) array -> fit
+(** Fit [(R, θmax)] to [(T, Θ)] points via eq. 9 — the better-conditioned
+    form when weighted-coverage data is available directly (simulation). *)

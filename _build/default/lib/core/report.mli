@@ -1,0 +1,9 @@
+(** Markdown report generation: turn one {!Experiment} run into the
+    paper-vs-measured record a user would paste into a lab notebook —
+    extraction summary, coverage table, fitted parameters, residual defect
+    level and the detection-technique ablation. *)
+
+val of_experiment : ?points:int -> Experiment.t -> string
+(** Render the full report ([points] table rows, default 12). *)
+
+val write_file : ?points:int -> string -> Experiment.t -> unit

@@ -1,0 +1,71 @@
+let check_s s =
+  if not (s > 1.0) then invalid_arg "Susceptibility: s must be > 1"
+
+let coverage_at ~s k =
+  check_s s;
+  if k < 1.0 then invalid_arg "Susceptibility.coverage_at: k must be >= 1";
+  1.0 -. exp (-.log k /. log s)
+
+let weighted_coverage_at ~s ~theta_max k =
+  if not (theta_max > 0.0 && theta_max <= 1.0) then
+    invalid_arg "Susceptibility: theta_max must be in (0, 1]";
+  theta_max *. coverage_at ~s k
+
+let test_length ~s ~target =
+  check_s s;
+  if not (target >= 0.0 && target < 1.0) then
+    invalid_arg "Susceptibility.test_length: target must be in [0, 1)";
+  exp (-.Float.log1p (-.target) *. log s)
+
+let ratio ~s_t ~s_theta =
+  check_s s_t;
+  check_s s_theta;
+  log s_t /. log s_theta
+
+let s_of_ratio ~s_t ~r =
+  check_s s_t;
+  if r <= 0.0 then invalid_arg "Susceptibility.s_of_ratio: r must be positive";
+  exp (log s_t /. r)
+
+type fit = { s : float; theta_max : float; rmse : float }
+
+let fit_curve ?fixed_theta_max samples =
+  if Array.length samples = 0 then invalid_arg "Susceptibility.fit_curve: no samples";
+  Array.iter
+    (fun (k, _) ->
+      if k < 1.0 then invalid_arg "Susceptibility.fit_curve: k must be >= 1")
+    samples;
+  let data = Dl_util.Fit.make_data (Array.to_list samples) in
+  match fixed_theta_max with
+  | Some theta_max ->
+      if not (theta_max > 0.0 && theta_max <= 1.0) then
+        invalid_arg "Susceptibility.fit_curve: theta_max must be in (0, 1]";
+      let model p k = weighted_coverage_at ~s:p.(0) ~theta_max k in
+      let r =
+        Dl_util.Fit.curve_fit ~model ~lo:[| 1.000001 |] ~hi:[| 1e9 |]
+          ~init:[| 20.0 |] data
+      in
+      { s = r.params.(0); theta_max; rmse = r.rmse }
+  | None ->
+      (* The (s, theta_max) landscape has a local optimum pinned at the
+         theta_max = 1 boundary; multi-start avoids it. *)
+      let model p k = weighted_coverage_at ~s:p.(0) ~theta_max:p.(1) k in
+      let starts =
+        List.concat_map
+          (fun s0 -> List.map (fun t0 -> [| s0; t0 |]) [ 0.5; 0.9; 0.99 ])
+          [ 2.0; 7.0; 20.0; 100.0; 1e4 ]
+      in
+      let best =
+        List.fold_left
+          (fun acc init ->
+            let r =
+              Dl_util.Fit.curve_fit ~model ~lo:[| 1.000001; 0.01 |]
+                ~hi:[| 1e9; 1.0 |] ~init data
+            in
+            match acc with
+            | Some (b : Dl_util.Fit.fit) when b.rss <= r.rss -> acc
+            | _ -> Some r)
+          None starts
+      in
+      let r = Option.get best in
+      { s = r.params.(0); theta_max = r.params.(1); rmse = r.rmse }

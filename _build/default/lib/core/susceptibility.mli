@@ -1,0 +1,34 @@
+(** Random-test coverage-growth model (eqs. 7-8; Williams, IEEE D&T 1985):
+
+    {v
+      T(k) = 1 - exp (- ln k / ln s_T)
+      Θ(k) = θmax (1 - exp (- ln k / ln s_Θ))
+    v}
+
+    where [k] is the number of random vectors applied and [s > 1] is the
+    *fault susceptibility* of the fault population (larger susceptibility =
+    slower coverage growth).  The ratio [R = ln s_T / ln s_Θ] (eq. 10)
+    links stuck-at and realistic coverage in the paper's model. *)
+
+val coverage_at : s:float -> float -> float
+(** [coverage_at ~s k] = eq. 7 evaluated at [k >= 1] vectors.
+    @raise Invalid_argument unless [s > 1] and [k >= 1]. *)
+
+val weighted_coverage_at : s:float -> theta_max:float -> float -> float
+(** eq. 8. *)
+
+val test_length : s:float -> target:float -> float
+(** Vectors needed to reach a target coverage (inverse of eq. 7):
+    [k = exp (-ln(1-T) ln s)]. The self-test-length result of Williams'85. *)
+
+val ratio : s_t:float -> s_theta:float -> float
+(** eq. 10: [R = ln s_T / ln s_Θ]. *)
+
+val s_of_ratio : s_t:float -> r:float -> float
+(** The realistic susceptibility implied by a ratio: [s_Θ = s_T^(1/R)]. *)
+
+type fit = { s : float; theta_max : float; rmse : float }
+
+val fit_curve : ?fixed_theta_max:float -> (float * float) array -> fit
+(** Least-squares fit of eq. 8 to observed [(k, coverage)] samples; with
+    [fixed_theta_max] only [s] is free (use 1.0 to fit eq. 7). *)

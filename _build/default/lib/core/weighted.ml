@@ -1,0 +1,54 @@
+let weight_of_probability p =
+  if not (p >= 0.0 && p < 1.0) then
+    invalid_arg "Weighted.weight_of_probability: need 0 <= p < 1";
+  -.Float.log1p (-.p)
+
+let probability_of_weight w =
+  if w < 0.0 then invalid_arg "Weighted.probability_of_weight: negative weight";
+  -.Float.expm1 (-.w)
+
+let check_weights weights =
+  Array.iter
+    (fun w -> if w < 0.0 || Float.is_nan w then invalid_arg "Weighted: bad weight")
+    weights
+
+let yield_of_weights weights =
+  check_weights weights;
+  exp (-.Dl_util.Stats.total weights)
+
+let total_weight_for_yield y =
+  if not (y > 0.0 && y <= 1.0) then
+    invalid_arg "Weighted.total_weight_for_yield: yield must be in (0, 1]";
+  -.log y
+
+let scale_to_yield ~weights ~target_yield =
+  check_weights weights;
+  let current = Dl_util.Stats.total weights in
+  if current <= 0.0 then
+    invalid_arg "Weighted.scale_to_yield: zero total weight cannot be scaled";
+  let factor = total_weight_for_yield target_yield /. current in
+  (Array.map (fun w -> w *. factor) weights, factor)
+
+let coverage ~weights ~detected =
+  check_weights weights;
+  if Array.length weights <> Array.length detected then
+    invalid_arg "Weighted.coverage: arrays differ in length";
+  let total = Dl_util.Stats.total weights in
+  if total = 0.0 then 1.0
+  else begin
+    let caught =
+      Dl_util.Stats.total
+        (Array.mapi (fun i w -> if detected.(i) then w else 0.0) weights)
+    in
+    caught /. total
+  end
+
+let defect_level ~yield ~theta =
+  if not (yield > 0.0 && yield <= 1.0) then
+    invalid_arg "Weighted.defect_level: yield must be in (0, 1]";
+  if not (theta >= 0.0 && theta <= 1.0) then
+    invalid_arg "Weighted.defect_level: theta must be in [0, 1]";
+  1.0 -. Dl_util.Numerics.pow1m yield (1.0 -. theta)
+
+let defect_level_of_weights ~weights ~detected =
+  defect_level ~yield:(yield_of_weights weights) ~theta:(coverage ~weights ~detected)

@@ -1,0 +1,33 @@
+let check_yield yield =
+  if not (yield > 0.0 && yield <= 1.0) then
+    invalid_arg "Williams_brown: yield must be in (0, 1]"
+
+let check_coverage coverage =
+  if not (coverage >= 0.0 && coverage <= 1.0) then
+    invalid_arg "Williams_brown: coverage must be in [0, 1]"
+
+let defect_level ~yield ~coverage =
+  check_yield yield;
+  check_coverage coverage;
+  1.0 -. Dl_util.Numerics.pow1m yield (1.0 -. coverage)
+
+let required_coverage ~yield ~target_dl =
+  check_yield yield;
+  if not (target_dl >= 0.0 && target_dl < 1.0) then
+    invalid_arg "Williams_brown.required_coverage: target must be in [0, 1)";
+  if yield = 1.0 then 0.0
+  else begin
+    let t = 1.0 -. (Float.log1p (-.target_dl) /. log yield) in
+    Dl_util.Numerics.clamp01 t
+  end
+
+let yield_from ~coverage ~defect_level =
+  check_coverage coverage;
+  if not (defect_level >= 0.0 && defect_level < 1.0) then
+    invalid_arg "Williams_brown.yield_from: defect level must be in [0, 1)";
+  if coverage >= 1.0 then
+    invalid_arg "Williams_brown.yield_from: coverage 1 carries no yield information";
+  (1.0 -. defect_level) ** (1.0 /. (1.0 -. coverage))
+
+let defect_level_curve ~yield ~coverages =
+  Array.map (fun t -> (t, defect_level ~yield ~coverage:t)) coverages

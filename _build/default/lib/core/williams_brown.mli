@@ -1,0 +1,25 @@
+(** The Williams–Brown defect-level model (eq. 1 of the paper; Williams &
+    Brown, IEEE ToC 1981):
+
+    {v DL = 1 - Y^(1-T) v}
+
+    assuming equally probable single stuck-at faults.  All quantities are
+    fractions in [0,1]; DL is often quoted in ppm (use
+    {!Dl_util.Numerics.ppm}). *)
+
+val defect_level : yield:float -> coverage:float -> float
+(** [defect_level ~yield ~coverage] = [1 - yield**(1-coverage)].
+    @raise Invalid_argument outside [0 < yield <= 1] or [0 <= coverage <= 1]. *)
+
+val required_coverage : yield:float -> target_dl:float -> float
+(** Coverage needed to reach a defect-level target:
+    [T = 1 - ln(1-DL)/ln Y].  @raise Invalid_argument if the target is not
+    reachable ([target_dl >= 1 - yield] is always reachable since DL(0) =
+    1 - Y; targets above that need no testing and return 0). *)
+
+val yield_from : coverage:float -> defect_level:float -> float
+(** Invert eq. 1 for yield: [Y = (1-DL)^(1/(1-T))].  Useful for estimating
+    process yield from observed fallout at known coverage. *)
+
+val defect_level_curve : yield:float -> coverages:float array -> (float * float) array
+(** Sampled (T, DL) pairs. *)

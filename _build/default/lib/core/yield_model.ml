@@ -1,0 +1,49 @@
+let check_ad name area density =
+  if area < 0.0 || density < 0.0 then
+    invalid_arg ("Yield_model." ^ name ^ ": negative area or density")
+
+let poisson ~area ~density =
+  check_ad "poisson" area density;
+  exp (-.(area *. density))
+
+let negative_binomial ~area ~density ~alpha =
+  check_ad "negative_binomial" area density;
+  if alpha <= 0.0 then invalid_arg "Yield_model.negative_binomial: alpha must be > 0";
+  (1.0 +. (area *. density /. alpha)) ** -.alpha
+
+let murphy ~area ~density =
+  check_ad "murphy" area density;
+  let ad = area *. density in
+  if ad = 0.0 then 1.0
+  else begin
+    let r = -.Float.expm1 (-.ad) /. ad in
+    r *. r
+  end
+
+let seeds ~area ~density =
+  check_ad "seeds" area density;
+  1.0 /. (1.0 +. (area *. density))
+
+let check_yield yield =
+  if not (yield > 0.0 && yield <= 1.0) then
+    invalid_arg "Yield_model: yield must be in (0, 1]"
+
+let defects_per_chip ~yield =
+  check_yield yield;
+  -.log yield
+
+let mean_faults_on_faulty_chip ~yield =
+  check_yield yield;
+  if yield = 1.0 then 1.0
+  else Dl_util.Prob.truncated_poisson_mean ~lambda:(-.log yield)
+
+let faulty_chip_fault_distribution ~yield ~max_faults =
+  check_yield yield;
+  if max_faults < 1 then
+    invalid_arg "Yield_model.faulty_chip_fault_distribution: need max_faults >= 1";
+  let lambda = -.log yield in
+  let p_faulty = 1.0 -. yield in
+  Array.init max_faults (fun i ->
+      let k = i + 1 in
+      if p_faulty = 0.0 then 0.0
+      else Dl_util.Prob.poisson_pmf ~lambda k /. p_faulty)

@@ -1,0 +1,28 @@
+(** Integrated-circuit yield statistics (Stapper et al., Proc. IEEE 1983 —
+    the paper's reference [2] for predicting Y and computing fault
+    weights). *)
+
+val poisson : area:float -> density:float -> float
+(** [Y = exp (-A D)]: Poisson (random-defect) yield. *)
+
+val negative_binomial : area:float -> density:float -> alpha:float -> float
+(** Stapper's clustered yield [Y = (1 + A D / α)^-α]; converges to
+    {!poisson} as [α → ∞]. *)
+
+val murphy : area:float -> density:float -> float
+(** Murphy's yield integral with a triangular density distribution:
+    [Y = ((1 - e^{-AD}) / AD)²]. *)
+
+val seeds : area:float -> density:float -> float
+(** Seeds' exponential-distribution model: [Y = 1 / (1 + A D)]. *)
+
+val defects_per_chip : yield:float -> float
+(** Invert the Poisson model: [λ = -ln Y], the mean defect count per chip
+    (equals the total fault weight of eq. 5). *)
+
+val mean_faults_on_faulty_chip : yield:float -> float
+(** [λ / (1 - e^{-λ})] with [λ = -ln Y]: the physically grounded value of
+    Agrawal's [n] parameter. *)
+
+val faulty_chip_fault_distribution : yield:float -> max_faults:int -> float array
+(** P[N = k | N >= 1] for k = 1..max under Poisson defect counts. *)

@@ -1,0 +1,1 @@
+lib/extract/critical_area.ml: Defect_stats Dl_util Float

@@ -1,0 +1,1 @@
+lib/extract/critical_area.mli:

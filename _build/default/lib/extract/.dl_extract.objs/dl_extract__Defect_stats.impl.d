@@ -1,0 +1,1 @@
+lib/extract/defect_stats.ml: Dl_layout List Option

@@ -1,0 +1,1 @@
+lib/extract/defect_stats.mli: Dl_layout

@@ -1,0 +1,1 @@
+lib/extract/dot_throw.ml: Array Dl_layout Dl_util Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/extract/dot_throw.mli: Dl_layout

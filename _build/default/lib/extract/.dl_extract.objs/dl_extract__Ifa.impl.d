@@ -1,0 +1,1 @@
+lib/extract/ifa.ml: Array Critical_area Defect_stats Dl_cell Dl_layout Dl_netlist Dl_switch Dl_util Float Format Hashtbl List Option Printf

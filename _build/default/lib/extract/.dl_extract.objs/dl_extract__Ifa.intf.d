@@ -1,0 +1,1 @@
+lib/extract/ifa.mli: Defect_stats Dl_layout Dl_switch Dl_util Format

@@ -1,0 +1,25 @@
+let check name v = if v < 0.0 then invalid_arg ("Critical_area." ^ name ^ ": negative argument")
+
+let band ~run ~gap ~x0 =
+  check "band" run;
+  check "band" gap;
+  if x0 <= 0.0 then invalid_arg "Critical_area: x0 must be positive";
+  if gap >= x0 then run *. x0 *. x0 /. gap else run *. ((2.0 *. x0) -. gap)
+
+let short_parallel ~run ~spacing ~x0 = band ~run ~gap:spacing ~x0
+
+let open_wire ~length ~width ~x0 = band ~run:length ~gap:width ~x0
+
+let short_parallel_numeric ?(x_max = 1e6) ~run ~spacing ~x0 () =
+  (* A(x) = run * (x - s) for x > s; integrate against 2 x0^2 / x^3 from
+     max(s, x0).  Integrand decays as 1/x^2, so log-spaced Simpson panels
+     keep the tail accurate. *)
+  let lo = Float.max spacing x0 in
+  let f u =
+    (* substitute x = e^u: dx = x du *)
+    let x = exp u in
+    run *. (x -. spacing) *. Defect_stats.size_pdf ~x0 x *. x
+  in
+  Dl_util.Numerics.integrate ~steps:4096 ~f (log lo) (log x_max)
+
+let interaction_distance ~x0 = 25.0 *. x0

@@ -1,0 +1,26 @@
+(** Critical-area computation for spot defects under the inverse-cube size
+    distribution.
+
+    For two parallel wires with facing run [l] and spacing [s], a defect of
+    diameter [x > s] centered in a band of width [x - s] along the run
+    shorts them; averaging the band over [f(x) = 2 x0²/x³] gives the classic
+    closed forms used here.  The fault weight is then
+    [w = A_c * D] (eq. 4 of the paper, with [w = A_j D_j]). *)
+
+val short_parallel : run:float -> spacing:float -> x0:float -> float
+(** Average critical area for a short between facing wires.
+    [= run * x0² / s] when [s >= x0], [run * (2 x0 - s)] when [0 <= s < x0]
+    (no defect is smaller than [x0]). *)
+
+val open_wire : length:float -> width:float -> x0:float -> float
+(** Average critical area for an open of a wire segment; same form with the
+    wire width in place of the spacing. *)
+
+val short_parallel_numeric :
+  ?x_max:float -> run:float -> spacing:float -> x0:float -> unit -> float
+(** Numerical integration of the same quantity (for validation; agrees with
+    {!short_parallel} as [x_max -> infinity]). *)
+
+val interaction_distance : x0:float -> float
+(** Spacing beyond which the short critical area is negligible (< 4% of the
+    touching-wires value); pairs farther apart are not enumerated. *)

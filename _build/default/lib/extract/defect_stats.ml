@@ -1,0 +1,65 @@
+module Geom = Dl_layout.Geom
+
+type defect_class =
+  | Short_on of Geom.layer
+  | Open_on of Geom.layer
+  | Oxide_pinhole
+  | Contact_open
+
+type entry = { density : float; x0 : float }
+
+type t = (defect_class * entry) list
+
+let zero = { density = 0.0; x0 = 2.0 }
+
+(* Relative densities follow Maly's CMOS characterization: metal shorts
+   dominate, poly next, opens a factor of ~5 rarer.  The absolute scale is
+   arbitrary (experiments rescale total weight to a target yield, exactly as
+   the paper scales c432's yield to 0.75). *)
+let default : t =
+  [
+    (Short_on Geom.Metal1, { density = 2.0e-9; x0 = 4.0 });
+    (Short_on Geom.Metal2, { density = 1.5e-9; x0 = 4.0 });
+    (Short_on Geom.Poly, { density = 1.0e-9; x0 = 3.0 });
+    (Short_on Geom.Diffusion_n, { density = 4.0e-10; x0 = 3.0 });
+    (Short_on Geom.Diffusion_p, { density = 4.0e-10; x0 = 3.0 });
+    (Open_on Geom.Metal1, { density = 4.0e-10; x0 = 4.0 });
+    (Open_on Geom.Metal2, { density = 3.0e-10; x0 = 4.0 });
+    (Open_on Geom.Poly, { density = 2.5e-10; x0 = 3.0 });
+    (Open_on Geom.Diffusion_n, { density = 1.5e-10; x0 = 3.0 });
+    (Open_on Geom.Diffusion_p, { density = 1.5e-10; x0 = 3.0 });
+    (Oxide_pinhole, { density = 8.0e-10; x0 = 2.0 });
+    (Contact_open, { density = 2.0e-9; x0 = 2.0 });
+  ]
+
+let make entries =
+  List.iter
+    (fun (_, e) ->
+      if e.density < 0.0 then invalid_arg "Defect_stats.make: negative density";
+      if e.x0 <= 0.0 then invalid_arg "Defect_stats.make: non-positive x0")
+    entries;
+  entries
+
+let entry t cls = Option.value ~default:zero (List.assoc_opt cls t)
+let density t cls = (entry t cls).density
+let x0 t cls = (entry t cls).x0
+
+let scale t factor =
+  if factor < 0.0 then invalid_arg "Defect_stats.scale: negative factor";
+  List.map (fun (cls, e) -> (cls, { e with density = e.density *. factor })) t
+
+let scale_class t cls factor =
+  if factor < 0.0 then invalid_arg "Defect_stats.scale_class: negative factor";
+  List.map
+    (fun (c, e) -> if c = cls then (c, { e with density = e.density *. factor }) else (c, e))
+    t
+
+let classes t = List.filter_map (fun (c, e) -> if e.density > 0.0 then Some c else None) t
+
+let class_name = function
+  | Short_on layer -> "short-" ^ Geom.layer_name layer
+  | Open_on layer -> "open-" ^ Geom.layer_name layer
+  | Oxide_pinhole -> "oxide-pinhole"
+  | Contact_open -> "contact-open"
+
+let size_pdf ~x0 x = if x < x0 then 0.0 else 2.0 *. x0 *. x0 /. (x ** 3.0)

@@ -1,0 +1,50 @@
+(** Spot-defect statistics: per-class defect densities and the defect size
+    distribution.
+
+    The size distribution is the industry-standard inverse-cube law
+    [f(x) = 2 x0^2 / x^3] for [x >= x0] (Stapper), with [x0] the resolution
+    / minimum defect diameter per class.  Densities follow the relative
+    magnitudes Maly reported for CMOS process lines: conducting-layer
+    *shorts* (extra material) dominate — which is what makes bridging
+    faults the most likely realistic faults and drives the paper's [R > 1]
+    — with *opens* (missing material) several times rarer, plus gate-oxide
+    pinholes and contact/via opens. *)
+
+type defect_class =
+  | Short_on of Dl_layout.Geom.layer  (** Extra material bridging wires. *)
+  | Open_on of Dl_layout.Geom.layer   (** Missing material breaking a wire. *)
+  | Oxide_pinhole                      (** Gate-oxide short: device stuck-on. *)
+  | Contact_open                       (** Missing contact or via. *)
+
+type entry = {
+  density : float;  (** Average defects per lambda^2 of critical area. *)
+  x0 : float;       (** Minimum defect diameter (lambda). *)
+}
+
+type t
+
+val default : t
+(** Maly-style CMOS defaults (see DESIGN.md §4 for the substitution note). *)
+
+val make : (defect_class * entry) list -> t
+(** Unlisted classes get zero density. *)
+
+val entry : t -> defect_class -> entry
+
+val density : t -> defect_class -> float
+val x0 : t -> defect_class -> float
+
+val scale : t -> float -> t
+(** Multiply every density by a factor (process maturity knob). *)
+
+val scale_class : t -> defect_class -> float -> t
+(** Multiply one class's density (the "tune assumed defect statistics"
+    use-case from the paper's conclusions). *)
+
+val classes : t -> defect_class list
+(** Classes with non-zero density, deterministic order. *)
+
+val class_name : defect_class -> string
+
+val size_pdf : x0:float -> float -> float
+(** [size_pdf ~x0 x]: the 2 x0²/x³ density (0 below [x0]). *)

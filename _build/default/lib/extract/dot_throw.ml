@@ -1,0 +1,92 @@
+module Geom = Dl_layout.Geom
+module Layout = Dl_layout.Layout
+module Rng = Dl_util.Rng
+
+type short_hit = { net_a : int; net_b : int }
+
+type result = {
+  thrown : int;
+  shorts : (short_hit * int) list;
+  opens : (int * int) list;
+  chip_area : float;
+}
+
+(* Inverse CDF of the 2 x0^2 / x^3 size law: F(d) = 1 - (x0/d)^2. *)
+let sample_diameter rng ~x0 =
+  let u = Rng.float rng 1.0 in
+  x0 /. sqrt (1.0 -. u)
+
+let circle_overlaps_rect ~cx ~cy ~radius (r : Geom.rect) =
+  let nx = Float.max (float_of_int r.x0) (Float.min cx (float_of_int r.x1)) in
+  let ny = Float.max (float_of_int r.y0) (Float.min cy (float_of_int r.y1)) in
+  let dx = cx -. nx and dy = cy -. ny in
+  (dx *. dx) +. (dy *. dy) < radius *. radius
+
+let throw_shorts ?(seed = 1) ~samples ~layer ~x0 (l : Layout.t) =
+  if samples <= 0 then invalid_arg "Dot_throw.throw_shorts: samples must be positive";
+  if x0 <= 0.0 then invalid_arg "Dot_throw.throw_shorts: x0 must be positive";
+  let rng = Rng.create seed in
+  let rects = Layout.rects_on l layer in
+  let w = float_of_int l.Layout.width and h = float_of_int l.Layout.height in
+  let short_counts : (short_hit, int) Hashtbl.t = Hashtbl.create 64 in
+  let open_counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  for _ = 1 to samples do
+    let cx = Rng.float rng w and cy = Rng.float rng h in
+    let d = sample_diameter rng ~x0 in
+    let radius = d /. 2.0 in
+    (* Nets the defect touches on this layer. *)
+    let touched = ref [] in
+    Array.iter
+      (fun (r : Geom.rect) ->
+        if
+          circle_overlaps_rect ~cx ~cy ~radius r
+          && not (List.mem r.Geom.net !touched)
+        then touched := r.Geom.net :: !touched)
+      rects;
+    (* Shorts: every distinct pair of touched nets. *)
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter
+            (fun b ->
+              if a <> b then begin
+                let hit = { net_a = min a b; net_b = max a b } in
+                Hashtbl.replace short_counts hit
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt short_counts hit))
+              end)
+            rest;
+          pairs rest
+    in
+    pairs !touched;
+    (* Opens: the defect severs a wire it spans entirely across the narrow
+       dimension (center inside, diameter >= width). *)
+    Array.iter
+      (fun (r : Geom.rect) ->
+        let inside =
+          cx >= float_of_int r.x0 && cx < float_of_int r.x1
+          && cy >= float_of_int r.y0
+          && cy < float_of_int r.y1
+        in
+        let wire_w = float_of_int (min (Geom.width r) (Geom.height r)) in
+        if inside && d >= wire_w then
+          Hashtbl.replace open_counts r.Geom.net
+            (1 + Option.value ~default:0 (Hashtbl.find_opt open_counts r.Geom.net)))
+      rects
+  done;
+  {
+    thrown = samples;
+    shorts =
+      Hashtbl.fold (fun hit count acc -> (hit, count) :: acc) short_counts []
+      |> List.sort compare;
+    opens =
+      Hashtbl.fold (fun net count acc -> (net, count) :: acc) open_counts []
+      |> List.sort compare;
+    chip_area = w *. h;
+  }
+
+let empirical_weight r ~density ~hits =
+  float_of_int hits /. float_of_int r.thrown *. r.chip_area *. density
+
+let total_short_weight r ~density =
+  let hits = List.fold_left (fun acc (_, c) -> acc + c) 0 r.shorts in
+  empirical_weight r ~density ~hits

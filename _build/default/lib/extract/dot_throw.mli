@@ -1,0 +1,35 @@
+(** Monte-Carlo critical-area estimation by defect sampling ("dot
+    throwing") — the reference method the closed-form critical areas of
+    {!Critical_area} approximate.
+
+    Circular defects are thrown uniformly over the chip with diameters
+    drawn from the inverse-cube size distribution; each defect is checked
+    against the geometry: a *short* defect bridges two different-net shapes
+    of its layer if it overlaps both; an *open* defect breaks a wire if it
+    spans the wire's width.  The fraction of hitting defects times chip
+    area times density is the empirical fault weight. *)
+
+type short_hit = { net_a : int; net_b : int }
+
+type result = {
+  thrown : int;
+  shorts : (short_hit * int) list;  (** Hit counts per net pair. *)
+  opens : (int * int) list;         (** Hit counts per net (by net id). *)
+  chip_area : float;
+}
+
+val throw_shorts :
+  ?seed:int ->
+  samples:int ->
+  layer:Dl_layout.Geom.layer ->
+  x0:float ->
+  Dl_layout.Layout.t ->
+  result
+(** Sample short defects on one layer. *)
+
+val empirical_weight : result -> density:float -> hits:int -> float
+(** Convert a hit count to a fault weight: [hits/thrown * chip_area *
+    density] (the density is per unit area, as in {!Defect_stats}). *)
+
+val total_short_weight : result -> density:float -> float
+(** Empirical total bridge weight on the sampled layer. *)

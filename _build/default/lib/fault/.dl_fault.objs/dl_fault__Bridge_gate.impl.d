@@ -1,0 +1,1 @@
+lib/fault/bridge_gate.ml: Array Circuit Dl_logic Dl_netlist Dl_util Gate Hashtbl List Seq

@@ -1,0 +1,1 @@
+lib/fault/bridge_gate.mli: Circuit Dl_netlist

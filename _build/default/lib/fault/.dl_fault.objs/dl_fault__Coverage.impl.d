@@ -1,0 +1,1 @@
+lib/fault/coverage.ml: Array Dl_util Float Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/fault/detectability.ml: Array Circuit Dl_netlist Dl_util Fault_sim

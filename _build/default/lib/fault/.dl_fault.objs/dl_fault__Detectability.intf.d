@@ -1,0 +1,1 @@
+lib/fault/detectability.mli: Circuit Dl_netlist Stuck_at

@@ -1,0 +1,1 @@
+lib/fault/dictionary.ml: Array Bytes Char Fault_sim Fun Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/fault/dictionary.mli: Circuit Dl_netlist Stuck_at

@@ -1,0 +1,1 @@
+lib/fault/fault_sim.ml: Array Circuit Dl_logic Dl_netlist Gate Int64 List Stuck_at

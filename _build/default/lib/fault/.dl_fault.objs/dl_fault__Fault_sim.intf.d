@@ -1,0 +1,1 @@
+lib/fault/fault_sim.mli: Circuit Dl_netlist Stuck_at

@@ -1,0 +1,1 @@
+lib/fault/sampling.ml: Array Dl_util Fault_sim Float

@@ -1,0 +1,1 @@
+lib/fault/sampling.mli: Circuit Dl_netlist Stuck_at

@@ -1,0 +1,1 @@
+lib/fault/stuck_at.ml: Array Circuit Dl_logic Dl_netlist Gate Hashtbl List Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/fault/stuck_at.mli: Circuit Dl_logic Dl_netlist

@@ -1,0 +1,1 @@
+lib/fault/transition.ml: Array Circuit Coverage Dl_logic Dl_netlist Fault_sim Int64 List Printf Stuck_at

@@ -1,0 +1,1 @@
+lib/fault/transition.mli: Circuit Coverage Dl_netlist

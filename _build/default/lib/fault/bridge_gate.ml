@@ -1,0 +1,92 @@
+open Dl_netlist
+module Ternary = Dl_logic.Ternary
+
+type behaviour = Wired_and | Wired_or | A_dominates | B_dominates
+
+type t = { net_a : int; net_b : int; behaviour : behaviour }
+
+let resolved_values behaviour ~a ~b =
+  match behaviour with
+  | Wired_and -> (a && b, a && b)
+  | Wired_or -> (a || b, a || b)
+  | A_dominates -> (a, a)
+  | B_dominates -> (b, b)
+
+(* Single-pass evaluation: the shorted values are injected and propagated
+   once; a feedback bridge (one net in the other's cone) is treated
+   combinationally, the standard gate-level approximation. *)
+let faulty_map (c : Circuit.t) f good =
+  let a = good.(f.net_a) and b = good.(f.net_b) in
+  let a', b' = resolved_values f.behaviour ~a ~b in
+  Dl_logic.Propagate.run c good
+    [ (f.net_a, Ternary.of_bool a'); (f.net_b, Ternary.of_bool b') ]
+
+let detects (c : Circuit.t) f vector =
+  let good = Dl_logic.Sim2.run_single c vector in
+  Dl_logic.Propagate.po_detects c good (faulty_map c f good)
+
+type result = {
+  faults : t array;
+  first_detection : int option array;
+  vectors_applied : int;
+}
+
+let run (c : Circuit.t) ~faults ~vectors =
+  let n = Array.length faults in
+  Array.iter
+    (fun f ->
+      let bound = Circuit.node_count c in
+      if f.net_a < 0 || f.net_a >= bound || f.net_b < 0 || f.net_b >= bound then
+        invalid_arg "Bridge_gate.run: net id out of range";
+      if f.net_a = f.net_b then invalid_arg "Bridge_gate.run: self-bridge")
+    faults;
+  let first_detection = Array.make n None in
+  Array.iteri
+    (fun k vector ->
+      let good = Dl_logic.Sim2.run_single c vector in
+      for i = 0 to n - 1 do
+        if first_detection.(i) = None then
+          if Dl_logic.Propagate.po_detects c good (faulty_map c faults.(i) good)
+          then first_detection.(i) <- Some k
+      done)
+    vectors;
+  { faults; first_detection; vectors_applied = Array.length vectors }
+
+let coverage r =
+  if Array.length r.faults = 0 then 1.0
+  else begin
+    let hit =
+      Array.fold_left
+        (fun acc d -> match d with Some _ -> acc + 1 | None -> acc)
+        0 r.first_detection
+    in
+    float_of_int hit /. float_of_int (Array.length r.faults)
+  end
+
+let candidate_pairs ?(seed = 1) ?(count = 100) (c : Circuit.t) =
+  let rng = Dl_util.Rng.create seed in
+  let gates =
+    Array.of_seq
+      (Seq.filter_map
+         (fun (nd : Circuit.node) ->
+           if nd.kind = Gate.Input then None else Some nd.id)
+         (Array.to_seq c.nodes))
+  in
+  if Array.length gates < 2 then [||]
+  else begin
+    let seen = Hashtbl.create count in
+    let out = ref [] in
+    let tries = ref 0 in
+    while Hashtbl.length seen < count && !tries < count * 50 do
+      incr tries;
+      let a = Dl_util.Rng.choose rng gates and b = Dl_util.Rng.choose rng gates in
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          out := key :: !out
+        end
+      end
+    done;
+    Array.of_list (List.rev !out)
+  end

@@ -1,0 +1,45 @@
+(** Gate-level bridging-fault models.
+
+    Before switch-level simulation became routine, bridges were modeled at
+    gate level with a behavioural rule for the shorted value: wired-AND
+    (the CMOS-typical outcome with strong pull-downs), wired-OR, or
+    one-net-dominates.  This module provides that family — both as a cheap
+    simulator in its own right and as the cross-check for the switch-level
+    strength model (a hard short whose pull-downs win everywhere behaves
+    exactly wired-AND). *)
+
+open Dl_netlist
+
+type behaviour =
+  | Wired_and
+  | Wired_or
+  | A_dominates  (** Net [a] drives both. *)
+  | B_dominates
+
+type t = {
+  net_a : int;  (** Circuit node id. *)
+  net_b : int;
+  behaviour : behaviour;
+}
+
+val resolved_values : behaviour -> a:bool -> b:bool -> bool * bool
+(** Faulty values [(a', b')] of the two nets when the good values are
+    [(a, b)]. *)
+
+val detects : Circuit.t -> t -> bool array -> bool
+(** Single-vector detection by static voltage. *)
+
+type result = {
+  faults : t array;
+  first_detection : int option array;
+  vectors_applied : int;
+}
+
+val run : Circuit.t -> faults:t array -> vectors:bool array array -> result
+
+val coverage : result -> float
+
+val candidate_pairs :
+  ?seed:int -> ?count:int -> Circuit.t -> (int * int) array
+(** Deterministic sample of distinct gate-output net pairs for bridge
+    studies when no layout is available (default 100 pairs). *)

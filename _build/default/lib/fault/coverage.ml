@@ -1,0 +1,86 @@
+type t = {
+  weights : float array;
+  total_weight : float;
+  (* Detection events sorted by vector index: (index, weight). *)
+  events : (int * float) array;
+}
+
+let make ?weights first_detection =
+  let n = Array.length first_detection in
+  let weights =
+    match weights with
+    | None -> Array.make n 1.0
+    | Some w ->
+        if Array.length w <> n then
+          invalid_arg "Coverage.make: weights length mismatch";
+        Array.iter
+          (fun x -> if x < 0.0 then invalid_arg "Coverage.make: negative weight")
+          w;
+        Array.copy w
+  in
+  let events = ref [] in
+  Array.iteri
+    (fun i d ->
+      match d with Some k -> events := (k, weights.(i)) :: !events | None -> ())
+    first_detection;
+  let events = Array.of_list !events in
+  Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) events;
+  let total_weight = Dl_util.Stats.total weights in
+  { weights; total_weight; events }
+
+let total_faults t = Array.length t.weights
+let total_weight t = t.total_weight
+
+let at t k =
+  if t.total_weight = 0.0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    (try
+       Array.iter
+         (fun (idx, w) -> if idx < k then acc := !acc +. w else raise Exit)
+         t.events
+     with Exit -> ());
+    !acc /. t.total_weight
+  end
+
+let final t =
+  if t.total_weight = 0.0 then 1.0
+  else Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 t.events /. t.total_weight
+
+let curve t ~ks = Array.map (fun k -> (k, at t k)) ks
+
+let log_spaced ~max ~points =
+  if max < 1 then invalid_arg "Coverage.log_spaced: need max >= 1";
+  if points < 1 then invalid_arg "Coverage.log_spaced: need points >= 1";
+  let raw =
+    Array.init points (fun i ->
+        let frac =
+          if points = 1 then 1.0 else float_of_int i /. float_of_int (points - 1)
+        in
+        int_of_float (Float.round (exp (frac *. log (float_of_int max)))))
+  in
+  let seen = Hashtbl.create points in
+  let out = ref [] in
+  Array.iter
+    (fun k ->
+      let k = Stdlib.max 1 (Stdlib.min max k) in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        out := k :: !out
+      end)
+    raw;
+  if not (Hashtbl.mem seen max) then out := max :: !out;
+  let arr = Array.of_list !out in
+  Array.sort Stdlib.compare arr;
+  arr
+
+let detections_in_order t =
+  if t.total_weight = 0.0 then [||]
+  else begin
+    let acc = ref 0.0 in
+    Array.map
+      (fun (idx, w) ->
+        acc := !acc +. w;
+        (idx, !acc /. t.total_weight))
+      t.events
+  end

@@ -1,0 +1,34 @@
+(** Coverage-versus-test-length curves built from first-detection records.
+
+    Works for both the unweighted stuck-at coverage [T(k)] (and the
+    unweighted realistic coverage [Γ(k)]) and the weighted realistic
+    coverage [Θ(k)] of the paper (eq. 6): supply per-fault weights to weight
+    each detection. *)
+
+type t
+
+val make : ?weights:float array -> int option array -> t
+(** [make ~weights first_detection] — [first_detection.(i)] is the index of
+    the first vector detecting fault [i] ([None] if never).  [weights]
+    defaults to all-ones (unweighted coverage). *)
+
+val total_faults : t -> int
+val total_weight : t -> float
+
+val at : t -> int -> float
+(** [at t k]: coverage after the first [k] vectors (detections at indices
+    [< k]), in [\[0,1\]]. *)
+
+val final : t -> float
+(** Coverage with the complete vector set. *)
+
+val curve : t -> ks:int array -> (int * float) array
+(** Sample the curve at the given vector counts. *)
+
+val log_spaced : max:int -> points:int -> int array
+(** Roughly log-spaced distinct integers in [\[1, max\]], always including
+    both endpoints — the natural x-axis for Fig. 4. *)
+
+val detections_in_order : t -> (int * float) array
+(** [(vector_index, cumulative_coverage)] at each detection event, in
+    vector order: the exact staircase of the coverage curve. *)

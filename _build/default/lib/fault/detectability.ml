@@ -1,0 +1,75 @@
+open Dl_netlist
+
+type t = { probs : float array }
+
+let estimate ?(seed = 1) ~samples (c : Circuit.t) ~faults =
+  if samples <= 0 then invalid_arg "Detectability.estimate: samples must be positive";
+  let rng = Dl_util.Rng.create seed in
+  let n = Array.length faults in
+  let hits = Array.make n 0 in
+  let vectors =
+    Array.init samples (fun _ ->
+        Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng))
+  in
+  let on_detect ~fault_index ~vector_index:_ =
+    hits.(fault_index) <- hits.(fault_index) + 1
+  in
+  let (_ : Fault_sim.result) =
+    Fault_sim.run ~drop_detected:false ~on_detect c ~faults ~vectors
+  in
+  { probs = Array.map (fun h -> float_of_int h /. float_of_int samples) hits }
+
+let of_probabilities probs =
+  Array.iter
+    (fun p ->
+      if not (p >= 0.0 && p <= 1.0) then
+        invalid_arg "Detectability.of_probabilities: probability outside [0,1]")
+    probs;
+  { probs = Array.copy probs }
+
+let probabilities t = Array.copy t.probs
+
+let expected_coverage t k =
+  if k < 0 then invalid_arg "Detectability.expected_coverage: negative k";
+  let n = Array.length t.probs in
+  if n = 0 then 1.0
+  else begin
+    let escaping =
+      Dl_util.Stats.total
+        (Array.map (fun p -> Dl_util.Numerics.pow1m (1.0 -. p) (float_of_int k)) t.probs)
+    in
+    1.0 -. (escaping /. float_of_int n)
+  end
+
+let expected_curve t ~ks = Array.map (fun k -> (k, expected_coverage t k)) ks
+
+let escape_probability t k = 1.0 -. expected_coverage t k
+
+let mean_detectability t = Dl_util.Stats.mean t.probs
+
+let hardest t n =
+  let indexed = Array.mapi (fun i p -> (i, p)) t.probs in
+  Array.sort (fun (_, a) (_, b) -> compare a b) indexed;
+  Array.to_list (Array.sub indexed 0 (min n (Array.length indexed)))
+
+let test_length_for t ~target =
+  if not (target >= 0.0 && target <= 1.0) then
+    invalid_arg "Detectability.test_length_for: target outside [0,1]";
+  let detectable =
+    Array.fold_left (fun acc p -> if p > 0.0 then acc + 1 else acc) 0 t.probs
+  in
+  let ceiling = float_of_int detectable /. float_of_int (max 1 (Array.length t.probs)) in
+  if target > ceiling then None
+  else begin
+    (* Exponential search then bisection on the monotone expected curve. *)
+    let rec upper k = if expected_coverage t k >= target then k else upper (2 * k) in
+    let hi = upper 1 in
+    let rec bisect lo hi =
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = (lo + hi) / 2 in
+        if expected_coverage t mid >= target then bisect lo mid else bisect mid hi
+      end
+    in
+    Some (if expected_coverage t 0 >= target then 0 else bisect 0 hi)
+  end

@@ -1,0 +1,48 @@
+(** Per-fault random-pattern detection probabilities and the coverage
+    curves they induce.
+
+    The susceptibility law of eq. 7 is an aggregate description; underneath
+    it, each fault [i] has a detection probability [p_i] per random vector
+    (Wagner/Chin/McCluskey pseudo-random testing; the paper's refs [18-20]),
+    and the expected coverage after [k] independent vectors is
+
+    {v T(k) = 1 - (1/n) Σ_i (1 - p_i)^k v}
+
+    This module estimates the [p_i] empirically by no-drop fault simulation
+    over a Monte-Carlo vector sample and evaluates the induced curve — the
+    first-principles counterpart that {!Dl_core.Susceptibility.fit_curve}
+    can then summarize into a single [s]. *)
+
+open Dl_netlist
+
+type t
+
+val estimate :
+  ?seed:int -> samples:int -> Circuit.t -> faults:Stuck_at.t array -> t
+(** Estimate detection probabilities from [samples] uniform random vectors
+    (no fault dropping; cost grows with [samples] x faults). *)
+
+val of_probabilities : float array -> t
+(** Wrap known probabilities (e.g. analytic ones, for tests). *)
+
+val probabilities : t -> float array
+
+val expected_coverage : t -> int -> float
+(** Expected coverage after [k] random vectors. *)
+
+val expected_curve : t -> ks:int array -> (int * float) array
+
+val escape_probability : t -> int -> float
+(** Expected fraction of faults escaping a [k]-vector random test:
+    [1 - expected_coverage]. *)
+
+val mean_detectability : t -> float
+
+val hardest : t -> int -> (int * float) list
+(** The [n] lowest-probability fault indices (random-pattern-resistant
+    faults, the candidates for deterministic top-up). *)
+
+val test_length_for : t -> target:float -> int option
+(** Smallest [k] whose expected coverage reaches [target]; [None] if the
+    target exceeds the fraction of faults with nonzero estimated
+    probability. *)

@@ -1,0 +1,138 @@
+type t = {
+  n_faults : int;
+  n_vectors : int;
+  (* Row-major bitset: bit (f * n_vectors + v). *)
+  bits : Bytes.t;
+}
+
+let bit_index t ~fault ~vector = (fault * t.n_vectors) + vector
+
+let get_bit t i =
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit t i =
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl (i land 7))))
+
+let build c ~faults ~vectors =
+  let n_faults = Array.length faults in
+  let n_vectors = Array.length vectors in
+  let t =
+    {
+      n_faults;
+      n_vectors;
+      bits = Bytes.make (((n_faults * n_vectors) + 7) / 8) '\000';
+    }
+  in
+  let on_detect ~fault_index ~vector_index =
+    set_bit t (bit_index t ~fault:fault_index ~vector:vector_index)
+  in
+  let _ = Fault_sim.run ~drop_detected:false ~on_detect c ~faults ~vectors in
+  t
+
+let fault_count t = t.n_faults
+let vector_count t = t.n_vectors
+
+let check t ~fault ~vector =
+  if fault < 0 || fault >= t.n_faults then invalid_arg "Dictionary: fault out of range";
+  if vector < 0 || vector >= t.n_vectors then
+    invalid_arg "Dictionary: vector out of range"
+
+let detects t ~fault ~vector =
+  check t ~fault ~vector;
+  get_bit t (bit_index t ~fault ~vector)
+
+let detecting_vectors t fault =
+  check t ~fault ~vector:0;
+  List.filter
+    (fun v -> get_bit t (bit_index t ~fault ~vector:v))
+    (List.init t.n_vectors Fun.id)
+
+let detected_faults t vector =
+  check t ~fault:0 ~vector;
+  List.filter
+    (fun f -> get_bit t (bit_index t ~fault:f ~vector))
+    (List.init t.n_faults Fun.id)
+
+let detection_counts t =
+  Array.init t.n_vectors (fun v -> List.length (detected_faults t v))
+
+let candidates t ~failing ~passing =
+  List.filter
+    (fun f ->
+      List.for_all (fun v -> detects t ~fault:f ~vector:v) failing
+      && List.for_all (fun v -> not (detects t ~fault:f ~vector:v)) passing)
+    (List.init t.n_faults Fun.id)
+
+let essential_vectors t =
+  let essential = Hashtbl.create 16 in
+  for f = 0 to t.n_faults - 1 do
+    match detecting_vectors t f with
+    | [ only ] -> Hashtbl.replace essential only ()
+    | _ -> ()
+  done;
+  Hashtbl.fold (fun v () acc -> v :: acc) essential [] |> List.sort Stdlib.compare
+
+let greedy_compaction t =
+  let covered = Array.make t.n_faults false in
+  (* Faults never detected by any vector cannot constrain the cover. *)
+  for f = 0 to t.n_faults - 1 do
+    if detecting_vectors t f = [] then covered.(f) <- true
+  done;
+  let chosen = ref [] in
+  let remaining () = Array.exists not covered in
+  while remaining () do
+    let best = ref (-1) and best_gain = ref 0 in
+    for v = 0 to t.n_vectors - 1 do
+      let gain =
+        List.length (List.filter (fun f -> not covered.(f)) (detected_faults t v))
+      in
+      if gain > !best_gain then begin
+        best := v;
+        best_gain := gain
+      end
+    done;
+    if !best < 0 then
+      (* Unreachable given the pre-pass above, but keep the loop total. *)
+      Array.iteri (fun f _ -> covered.(f) <- true) covered
+    else begin
+      chosen := !best :: !chosen;
+      List.iter (fun f -> covered.(f) <- true) (detected_faults t !best)
+    end
+  done;
+  List.rev !chosen
+
+let detection_counts_per_fault t =
+  Array.init t.n_faults (fun f -> List.length (detecting_vectors t f))
+
+let n_detect_coverage t ~n =
+  if n <= 0 then invalid_arg "Dictionary.n_detect_coverage: n must be positive";
+  if t.n_faults = 0 then 1.0
+  else begin
+    let counts = detection_counts_per_fault t in
+    let hit = Array.fold_left (fun acc c -> if c >= n then acc + 1 else acc) 0 counts in
+    float_of_int hit /. float_of_int t.n_faults
+  end
+
+let n_detect_profile t ~max_n =
+  List.init max_n (fun i -> (i + 1, n_detect_coverage t ~n:(i + 1)))
+
+let closest_candidates t ~failing ~passing ~limit =
+  if limit <= 0 then invalid_arg "Dictionary.closest_candidates: limit must be positive";
+  let score f =
+    let miss =
+      List.fold_left
+        (fun acc v -> if detects t ~fault:f ~vector:v then acc else acc + 1)
+        0 failing
+    in
+    let extra =
+      List.fold_left
+        (fun acc v -> if detects t ~fault:f ~vector:v then acc + 1 else acc)
+        0 passing
+    in
+    miss + extra
+  in
+  List.init t.n_faults (fun f -> (f, score f))
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+  |> List.filteri (fun i _ -> i < limit)

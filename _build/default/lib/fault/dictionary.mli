@@ -1,0 +1,57 @@
+(** Full-response fault dictionaries: which vectors detect which faults.
+
+    Built by a no-drop PPSFP pass; supports the classic diagnosis queries
+    (candidate faults for an observed failing-vector signature) and test
+    compaction analysis. *)
+
+open Dl_netlist
+
+type t
+
+val build : Circuit.t -> faults:Stuck_at.t array -> vectors:bool array array -> t
+
+val fault_count : t -> int
+val vector_count : t -> int
+
+val detects : t -> fault:int -> vector:int -> bool
+
+val detecting_vectors : t -> int -> int list
+(** Vectors (ascending) that detect the given fault index. *)
+
+val detected_faults : t -> int -> int list
+(** Fault indices (ascending) detected by the given vector. *)
+
+val detection_counts : t -> int array
+(** Per-vector number of detected faults (the "value" of each vector). *)
+
+val candidates : t -> failing:int list -> passing:int list -> int list
+(** Diagnosis: fault indices whose signature detects every [failing] vector
+    and no [passing] vector. *)
+
+val essential_vectors : t -> int list
+(** Vectors that are the unique detector of at least one detected fault. *)
+
+val greedy_compaction : t -> int list
+(** A small vector subset preserving total fault coverage (greedy
+    set-cover order). *)
+
+val detection_counts_per_fault : t -> int array
+(** Number of vectors detecting each fault. *)
+
+val n_detect_coverage : t -> n:int -> float
+(** Fraction of faults detected by at least [n] distinct vectors.  N-detect
+    coverage is the classical surrogate for non-target defect coverage
+    (Kapur/Park/Mercer: "all tests for a fault are not equally valuable"):
+    faults observed through several distinct paths give collateral coverage
+    of the unmodeled defects around them. *)
+
+val n_detect_profile : t -> max_n:int -> (int * float) list
+(** [(n, n_detect_coverage n)] for n = 1..max_n. *)
+
+val closest_candidates :
+  t -> failing:int list -> passing:int list -> limit:int -> (int * int) list
+(** Diagnosis under imperfect signature match: fault indices ranked by the
+    number of disagreements with the observed signature (failing vectors the
+    fault does not explain plus passing vectors it would fail), best first.
+    The realistic-defect diagnosis workflow: exact stuck-at matches rarely
+    exist for bridges, but the nearest candidates localize the defect. *)

@@ -1,0 +1,226 @@
+open Dl_netlist
+module Sim2 = Dl_logic.Sim2
+
+type result = {
+  faults : Stuck_at.t array;
+  first_detection : int option array;
+  vectors_applied : int;
+  gate_evaluations : int;
+}
+
+(* Pending-node schedule bucketed by level, so faulty values propagate in
+   topological order and each node is evaluated once per fault/block. *)
+module Schedule = struct
+  type t = {
+    buckets : int list array;
+    queued : bool array;
+    mutable level : int;
+    mutable remaining : int;
+  }
+
+  let create depth nodes =
+    {
+      buckets = Array.make (depth + 1) [];
+      queued = Array.make nodes false;
+      level = 0;
+      remaining = 0;
+    }
+
+  let push t ~level id =
+    if not t.queued.(id) then begin
+      t.queued.(id) <- true;
+      t.buckets.(level) <- id :: t.buckets.(level);
+      if level < t.level then t.level <- level;
+      t.remaining <- t.remaining + 1
+    end
+
+  let reset t = t.level <- 0
+
+  let pop t =
+    if t.remaining = 0 then None
+    else begin
+      while t.buckets.(t.level) = [] do
+        t.level <- t.level + 1
+      done;
+      match t.buckets.(t.level) with
+      | [] -> assert false
+      | id :: rest ->
+          t.buckets.(t.level) <- rest;
+          t.queued.(id) <- false;
+          t.remaining <- t.remaining - 1;
+          Some id
+    end
+end
+
+let lowest_set_bit w =
+  if w = 0L then None
+  else begin
+    let rec scan i =
+      if Int64.logand (Int64.shift_right_logical w i) 1L = 1L then i else scan (i + 1)
+    in
+    Some (scan 0)
+  end
+
+let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
+  let n_nodes = Circuit.node_count c in
+  let n_faults = Array.length faults in
+  let first_detection = Array.make n_faults None in
+  let live = Array.make n_faults true in
+  let gate_evaluations = ref 0 in
+  let schedule = Schedule.create (Circuit.depth c) n_nodes in
+  let faulty = Array.make n_nodes 0L in
+  let touched = Array.make n_nodes false in
+  let touched_list = ref [] in
+  let is_output = Array.make n_nodes false in
+  Array.iter (fun o -> is_output.(o) <- true) c.outputs;
+  let touch id v =
+    if not touched.(id) then begin
+      touched.(id) <- true;
+      touched_list := id :: !touched_list
+    end;
+    faulty.(id) <- v
+  in
+  let clear_touched () =
+    List.iter (fun id -> touched.(id) <- false) !touched_list;
+    touched_list := [];
+    Schedule.reset schedule
+  in
+  let value_of good id = if touched.(id) then faulty.(id) else good.(id) in
+  let n_vectors = Array.length vectors in
+  let n_blocks = (n_vectors + 63) / 64 in
+  let block = ref 0 in
+  while !block < n_blocks do
+    let base = !block * 64 in
+    let count = min 64 (n_vectors - base) in
+    let patterns = Array.sub vectors base count in
+    let words = Sim2.words_of_patterns c patterns in
+    let good = Sim2.run c words in
+    let valid_mask =
+      if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
+    in
+    for fi = 0 to n_faults - 1 do
+      if live.(fi) then begin
+        let f : Stuck_at.t = faults.(fi) in
+        let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
+        (* Seed the faulty machine at the fault site. *)
+        let detect_word = ref 0L in
+        let seeded =
+          match f.site with
+          | Stuck_at.Stem id ->
+              let diff = Int64.logand (Int64.logxor good.(id) stuck_word) valid_mask in
+              if diff = 0L then false
+              else begin
+                touch id stuck_word;
+                if is_output.(id) then detect_word := diff;
+                Array.iter
+                  (fun succ -> Schedule.push schedule ~level:c.levels.(succ) succ)
+                  c.fanouts.(id);
+                true
+              end
+          | Stuck_at.Branch { gate; pin } ->
+              let nd = c.nodes.(gate) in
+              let ins = Array.map (fun src -> good.(src)) nd.fanin in
+              ins.(pin) <- stuck_word;
+              incr gate_evaluations;
+              let v = Gate.eval_word nd.kind ins in
+              let diff = Int64.logand (Int64.logxor good.(gate) v) valid_mask in
+              if diff = 0L then false
+              else begin
+                touch gate v;
+                if is_output.(gate) then detect_word := diff;
+                Array.iter
+                  (fun succ -> Schedule.push schedule ~level:c.levels.(succ) succ)
+                  c.fanouts.(gate);
+                true
+              end
+        in
+        if seeded then begin
+          let rec drain () =
+            match Schedule.pop schedule with
+            | None -> ()
+            | Some id ->
+                let nd = c.nodes.(id) in
+                let ins = Array.map (value_of good) nd.fanin in
+                (* A branch fault keeps forcing its pin on every evaluation
+                   of its host gate. *)
+                (match f.site with
+                | Stuck_at.Branch { gate; pin } when gate = id ->
+                    ins.(pin) <- stuck_word
+                | _ -> ());
+                incr gate_evaluations;
+                let v = Gate.eval_word nd.kind ins in
+                let forced =
+                  match f.site with
+                  | Stuck_at.Stem sid when sid = id -> stuck_word
+                  | _ -> v
+                in
+                let diff = Int64.logand (Int64.logxor good.(id) forced) valid_mask in
+                if diff <> 0L || touched.(id) then begin
+                  touch id forced;
+                  if diff <> 0L then begin
+                    if is_output.(id) then detect_word := Int64.logor !detect_word diff;
+                    Array.iter
+                      (fun succ -> Schedule.push schedule ~level:c.levels.(succ) succ)
+                      c.fanouts.(id)
+                  end
+                end;
+                drain ()
+          in
+          drain ();
+          if !detect_word <> 0L then begin
+            (match lowest_set_bit !detect_word with
+            | Some bit ->
+                let vec = base + bit in
+                if first_detection.(fi) = None then first_detection.(fi) <- Some vec
+            | None -> ());
+            (match on_detect with
+            | Some callback ->
+                for bit = 0 to count - 1 do
+                  if Int64.logand (Int64.shift_right_logical !detect_word bit) 1L = 1L
+                  then callback ~fault_index:fi ~vector_index:(base + bit)
+                done
+            | None -> ());
+            if drop_detected then live.(fi) <- false
+          end;
+          clear_touched ()
+        end
+      end
+    done;
+    incr block
+  done;
+  {
+    faults;
+    first_detection;
+    vectors_applied = n_vectors;
+    gate_evaluations = !gate_evaluations;
+  }
+
+let detected_count r =
+  Array.fold_left
+    (fun acc d -> match d with Some _ -> acc + 1 | None -> acc)
+    0 r.first_detection
+
+let coverage r =
+  if Array.length r.faults = 0 then 1.0
+  else float_of_int (detected_count r) /. float_of_int (Array.length r.faults)
+
+let detects_fault (c : Circuit.t) (f : Stuck_at.t) vector =
+  let module Sim3 = Dl_logic.Sim3 in
+  let module Ternary = Dl_logic.Ternary in
+  let pi = Array.map Ternary.of_bool vector in
+  let good = Sim3.outputs_of c (Sim3.run c pi) in
+  let bad =
+    Sim3.outputs_of c
+      (Sim3.run_with_fault c
+         ~site:(Stuck_at.to_sim3_site f.site)
+         ~stuck:(Stuck_at.polarity_bool f.polarity)
+         pi)
+  in
+  let differs = ref false in
+  Array.iteri
+    (fun i g ->
+      match (g, bad.(i)) with
+      | Ternary.V0, Ternary.V1 | Ternary.V1, Ternary.V0 -> differs := true
+      | _ -> ())
+    good;
+  !differs

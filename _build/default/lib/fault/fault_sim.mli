@@ -1,0 +1,40 @@
+(** Parallel-pattern single-fault-propagation (PPSFP) stuck-at fault
+    simulation: 64 test vectors per pass, cone-limited faulty-value
+    propagation, optional fault dropping.
+
+    This produces the [T(k)] data of the paper's Fig. 4/5 at gate level. *)
+
+open Dl_netlist
+
+type result = {
+  faults : Stuck_at.t array;       (** As supplied, same order. *)
+  first_detection : int option array;
+      (** [first_detection.(i)]: index (0-based) of the first vector that
+          detects fault [i], or [None] if undetected by the set. *)
+  vectors_applied : int;
+  gate_evaluations : int;          (** Faulty-machine gate evaluations. *)
+}
+
+val run :
+  ?drop_detected:bool ->
+  ?on_detect:(fault_index:int -> vector_index:int -> unit) ->
+  Circuit.t ->
+  faults:Stuck_at.t array ->
+  vectors:bool array array ->
+  result
+(** [run c ~faults ~vectors] simulates every fault against the vector
+    sequence.  With [drop_detected] (default [true]) a fault is not
+    simulated after its first detection — the standard production mode; set
+    it to [false] to observe every detection (e.g. for dictionaries, via
+    [on_detect], which fires once per fault/vector detection event in
+    increasing vector order per fault). *)
+
+val detected_count : result -> int
+
+val coverage : result -> float
+(** Final fault coverage [m/n]. *)
+
+val detects_fault : Circuit.t -> Stuck_at.t -> bool array -> bool
+(** [detects_fault c f v]: single-vector oracle via dual ternary
+    simulation; independent of the PPSFP machinery (used for
+    cross-checking). *)

@@ -1,0 +1,49 @@
+type estimate = {
+  coverage : float;
+  half_width : float;
+  confidence : float;
+  sample_size : int;
+  detected_in_sample : int;
+}
+
+(* Two-sided standard-normal quantile by bisection on the error function. *)
+let z_of_confidence confidence =
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Sampling: confidence must be in (0, 1)";
+  let phi z = 0.5 *. (1.0 +. Float.erf (z /. sqrt 2.0)) in
+  let target = 0.5 +. (confidence /. 2.0) in
+  Dl_util.Numerics.brent ~f:(fun z -> phi z -. target) 0.0 10.0
+
+let estimate_coverage ?(seed = 1) ?(confidence = 0.95) ~sample_size c ~faults
+    ~vectors =
+  let n = Array.length faults in
+  if sample_size <= 0 || sample_size > n then
+    invalid_arg "Sampling.estimate_coverage: sample size out of range";
+  let rng = Dl_util.Rng.create seed in
+  let sample = Dl_util.Rng.sample rng faults sample_size in
+  let r = Fault_sim.run c ~faults:sample ~vectors in
+  let detected = Fault_sim.detected_count r in
+  let p = float_of_int detected /. float_of_int sample_size in
+  let z = z_of_confidence confidence in
+  (* Normal approximation with finite-population correction. *)
+  let fpc =
+    if n <= 1 then 0.0
+    else sqrt (float_of_int (n - sample_size) /. float_of_int (n - 1))
+  in
+  let stderr = sqrt (p *. (1.0 -. p) /. float_of_int sample_size) *. fpc in
+  {
+    coverage = p;
+    half_width = z *. stderr;
+    confidence;
+    sample_size;
+    detected_in_sample = detected;
+  }
+
+let required_sample_size ?(confidence = 0.95) ~half_width () =
+  if half_width <= 0.0 then
+    invalid_arg "Sampling.required_sample_size: half_width must be positive";
+  let z = z_of_confidence confidence in
+  int_of_float (Float.ceil (z *. z /. (4.0 *. half_width *. half_width)))
+
+let interval_ok e ~actual =
+  actual >= e.coverage -. e.half_width && actual <= e.coverage +. e.half_width

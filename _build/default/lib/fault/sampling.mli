@@ -1,0 +1,34 @@
+(** Statistical fault sampling (Agrawal 1981): estimate fault coverage from
+    a random sample of the fault universe instead of simulating every
+    fault — the standard production shortcut for multi-million-fault
+    designs, with a confidence interval for the estimate. *)
+
+open Dl_netlist
+
+type estimate = {
+  coverage : float;      (** Point estimate from the sample. *)
+  half_width : float;    (** Confidence half-interval. *)
+  confidence : float;    (** The confidence level used. *)
+  sample_size : int;
+  detected_in_sample : int;
+}
+
+val estimate_coverage :
+  ?seed:int ->
+  ?confidence:float ->
+  sample_size:int ->
+  Circuit.t ->
+  faults:Stuck_at.t array ->
+  vectors:bool array array ->
+  estimate
+(** Simulate only a uniform random sample of [faults] against [vectors].
+    [confidence] defaults to 0.95 (normal-approximation interval, finite-
+    population corrected).  @raise Invalid_argument if [sample_size]
+    exceeds the fault count or is not positive. *)
+
+val required_sample_size : ?confidence:float -> half_width:float -> unit -> int
+(** Sample size so the interval half-width is at most [half_width] in the
+    worst case (p = 1/2): the classic [z²/(4 e²)] bound. *)
+
+val interval_ok : estimate -> actual:float -> bool
+(** Whether the true coverage lies inside the interval (for validation). *)

@@ -1,0 +1,145 @@
+open Dl_netlist
+
+type polarity = Sa0 | Sa1
+
+type site = Stem of int | Branch of { gate : int; pin : int }
+
+type t = { site : site; polarity : polarity }
+
+let site_key = function
+  | Stem id -> (0, id, 0)
+  | Branch { gate; pin } -> (1, gate, pin)
+
+let compare a b =
+  let c = Stdlib.compare (site_key a.site) (site_key b.site) in
+  if c <> 0 then c else Stdlib.compare a.polarity b.polarity
+
+let equal a b = compare a b = 0
+
+let polarity_bool = function Sa0 -> false | Sa1 -> true
+
+let to_string (c : Circuit.t) f =
+  let pol = match f.polarity with Sa0 -> "SA0" | Sa1 -> "SA1" in
+  match f.site with
+  | Stem id -> Printf.sprintf "%s %s" (Circuit.name c id) pol
+  | Branch { gate; pin } ->
+      Printf.sprintf "%s.in%d %s" (Circuit.name c gate) pin pol
+
+let to_sim3_site = function
+  | Stem id -> Dl_logic.Sim3.Stem id
+  | Branch { gate; pin } -> Dl_logic.Sim3.Branch { gate; pin }
+
+let universe (c : Circuit.t) =
+  let faults = ref [] in
+  let add site =
+    faults := { site; polarity = Sa1 } :: { site; polarity = Sa0 } :: !faults
+  in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      add (Stem nd.id);
+      Array.iteri
+        (fun pin src ->
+          if Array.length c.fanouts.(src) > 1 then add (Branch { gate = nd.id; pin }))
+        nd.fanin)
+    c.nodes;
+  let arr = Array.of_list !faults in
+  Array.sort compare arr;
+  arr
+
+(* Union-find over fault indices for equivalence collapsing. *)
+module Uf = struct
+  let create n = Array.init n (fun i -> i)
+
+  let rec find t i = if t.(i) = i then i else begin
+    t.(i) <- find t t.(i);
+    t.(i)
+  end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    (* Keep the smaller index as representative for determinism. *)
+    if ra < rb then t.(rb) <- ra else if rb < ra then t.(ra) <- rb
+end
+
+let build_index faults =
+  let tbl = Hashtbl.create (Array.length faults) in
+  Array.iteri (fun i f -> Hashtbl.replace tbl (site_key f.site, f.polarity) i) faults;
+  fun site polarity -> Hashtbl.find_opt tbl (site_key site, polarity)
+
+let unify (c : Circuit.t) faults =
+  let uf = Uf.create (Array.length faults) in
+  let lookup = build_index faults in
+  let join s1 p1 s2 p2 =
+    match (lookup s1 p1, lookup s2 p2) with
+    | Some a, Some b -> Uf.union uf a b
+    | _ -> ()
+  in
+  (* The fault "as seen at gate input pin": the branch fault if the net has
+     fanout, otherwise the driver's stem fault. *)
+  let pin_site (nd : Circuit.node) pin =
+    let src = nd.fanin.(pin) in
+    if Array.length c.fanouts.(src) > 1 then Branch { gate = nd.id; pin }
+    else Stem src
+  in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      match nd.kind with
+      | Gate.Input -> ()
+      | Gate.Buf | Gate.Not ->
+          let inv = Gate.inversion nd.kind in
+          let flip p = if inv then (match p with Sa0 -> Sa1 | Sa1 -> Sa0) else p in
+          let s_in = pin_site nd 0 in
+          join s_in Sa0 (Stem nd.id) (flip Sa0);
+          join s_in Sa1 (Stem nd.id) (flip Sa1)
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+          let ctrl =
+            match Gate.controlling_value nd.kind with
+            | Some b -> b
+            | None -> assert false
+          in
+          let ctrl_pol = if ctrl then Sa1 else Sa0 in
+          let resp = Gate.controlled_response nd.kind in
+          let resp_pol = if resp then Sa1 else Sa0 in
+          Array.iteri
+            (fun pin _ -> join (pin_site nd pin) ctrl_pol (Stem nd.id) resp_pol)
+            nd.fanin
+      | Gate.Xor | Gate.Xnor -> ())
+    c.nodes;
+  uf
+
+let equivalence_classes c faults =
+  let uf = unify c faults in
+  let groups = Hashtbl.create 64 in
+  Array.iteri
+    (fun i f ->
+      let root = Uf.find uf i in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups root) in
+      Hashtbl.replace groups root (f :: cur))
+    faults;
+  let roots = Hashtbl.fold (fun root _ acc -> root :: acc) groups [] in
+  List.sort Stdlib.compare roots
+  |> List.map (fun root -> Array.of_list (List.rev (Hashtbl.find groups root)))
+  |> Array.of_list
+
+let collapse c faults =
+  let uf = unify c faults in
+  let kept = ref [] in
+  Array.iteri (fun i f -> if Uf.find uf i = i then kept := f :: !kept) faults;
+  Array.of_list (List.rev !kept)
+
+let checkpoints (c : Circuit.t) =
+  let faults = ref [] in
+  let add site =
+    faults := { site; polarity = Sa1 } :: { site; polarity = Sa0 } :: !faults
+  in
+  Array.iter (fun id -> add (Stem id)) c.inputs;
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      Array.iteri
+        (fun pin src ->
+          if Array.length c.fanouts.(src) > 1 then add (Branch { gate = nd.id; pin }))
+        nd.fanin)
+    c.nodes;
+  let arr = Array.of_list !faults in
+  Array.sort compare arr;
+  arr

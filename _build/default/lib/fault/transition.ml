@@ -1,0 +1,88 @@
+open Dl_netlist
+
+type edge = Rise | Fall
+
+type t = { node : int; edge : edge }
+
+let universe (c : Circuit.t) =
+  Array.concat
+    (List.map
+       (fun edge -> Array.init (Circuit.node_count c) (fun node -> { node; edge }))
+       [ Rise; Fall ])
+
+let to_string c f =
+  Printf.sprintf "%s %s" (Circuit.name c f.node)
+    (match f.edge with Rise -> "STR" | Fall -> "STF")
+
+type result = {
+  faults : t array;
+  first_detection : int option array;
+  vectors_applied : int;
+}
+
+(* The slow transition behaves as a stuck-at of the *previous* value during
+   the capture vector: STR = SA0 captured after a 0 launch, STF = SA1 after
+   a 1 launch. *)
+let stuck_of f =
+  match f.edge with
+  | Rise -> { Stuck_at.site = Stuck_at.Stem f.node; polarity = Stuck_at.Sa0 }
+  | Fall -> { Stuck_at.site = Stuck_at.Stem f.node; polarity = Stuck_at.Sa1 }
+
+let run (c : Circuit.t) ~faults ~vectors =
+  let n_vectors = Array.length vectors in
+  let n_faults = Array.length faults in
+  let first_detection = Array.make n_faults None in
+  if n_vectors >= 2 then begin
+    (* Fault-free value of every node on every vector, bit-packed. *)
+    let words = (n_vectors + 63) / 64 in
+    let good = Array.make_matrix (Circuit.node_count c) words 0L in
+    Array.iteri
+      (fun k v ->
+        let values = Dl_logic.Sim2.run_single c v in
+        Array.iteri
+          (fun node b ->
+            if b then
+              good.(node).(k / 64) <-
+                Int64.logor good.(node).(k / 64) (Int64.shift_left 1L (k mod 64)))
+          values)
+      vectors;
+    let good_at node k =
+      Int64.logand (Int64.shift_right_logical good.(node).(k / 64) (k mod 64)) 1L = 1L
+    in
+    let stuck_faults = Array.map stuck_of faults in
+    let on_detect ~fault_index ~vector_index =
+      if vector_index >= 1 && first_detection.(fault_index) = None then begin
+        let f = faults.(fault_index) in
+        let launch_value = good_at f.node (vector_index - 1) in
+        let launched =
+          match f.edge with Rise -> not launch_value | Fall -> launch_value
+        in
+        if launched then first_detection.(fault_index) <- Some vector_index
+      end
+    in
+    let (_ : Fault_sim.result) =
+      Fault_sim.run ~drop_detected:false ~on_detect c ~faults:stuck_faults ~vectors
+    in
+    ()
+  end;
+  { faults; first_detection; vectors_applied = n_vectors }
+
+let coverage r =
+  if Array.length r.faults = 0 then 1.0
+  else begin
+    let hit =
+      Array.fold_left
+        (fun acc d -> match d with Some _ -> acc + 1 | None -> acc)
+        0 r.first_detection
+    in
+    float_of_int hit /. float_of_int (Array.length r.faults)
+  end
+
+let coverage_curve r = Coverage.make r.first_detection
+
+let detects_pair c f ~v1 ~v2 =
+  let good1 = Dl_logic.Sim2.run_single c v1 in
+  let launched =
+    match f.edge with Rise -> not good1.(f.node) | Fall -> good1.(f.node)
+  in
+  launched && Fault_sim.detects_fault c (stuck_of f) v2

@@ -1,0 +1,38 @@
+(** Gross-delay transition faults (slow-to-rise / slow-to-fall).
+
+    The paper's conclusion calls for delay testing alongside voltage and
+    current testing; the transition fault is its standard abstract model.
+    Under the gross-delay assumption, a slow-to-rise fault at node [n] is
+    detected by the consecutive vector pair [(v1, v2)] iff [v1] sets [n]
+    to 0 (the launch) and [v2] detects [n] stuck-at-0 (the capture) —
+    which reduces two-pattern simulation to the stuck-at machinery. *)
+
+open Dl_netlist
+
+type edge = Rise | Fall
+
+type t = { node : int; edge : edge }
+
+val universe : Circuit.t -> t array
+(** Both transitions at every node (2 x node count). *)
+
+val to_string : Circuit.t -> t -> string
+
+type result = {
+  faults : t array;
+  first_detection : int option array;
+      (** Index of the capture vector of the first detecting pair; pairs
+          are consecutive positions in the applied sequence, so index k
+          means the pair (k-1, k). *)
+  vectors_applied : int;
+}
+
+val run : Circuit.t -> faults:t array -> vectors:bool array array -> result
+(** Two-pattern simulation of the whole (ordered) vector sequence. *)
+
+val coverage : result -> float
+
+val coverage_curve : result -> Coverage.t
+
+val detects_pair : Circuit.t -> t -> v1:bool array -> v2:bool array -> bool
+(** Single-pair oracle via the launch/capture reduction (for tests). *)

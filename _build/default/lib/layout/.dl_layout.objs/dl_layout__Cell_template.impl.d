@@ -1,0 +1,1 @@
+lib/layout/cell_template.ml: Array Dl_cell Geom List Seq

@@ -1,0 +1,1 @@
+lib/layout/cell_template.mli: Dl_cell Geom

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Array Cell_template Dl_cell Dl_netlist Float Format Geom Hashtbl List Option Seq String

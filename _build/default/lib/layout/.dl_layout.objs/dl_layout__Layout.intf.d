@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Cell_template Dl_cell Format Geom

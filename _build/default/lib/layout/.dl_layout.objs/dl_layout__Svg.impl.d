@@ -1,0 +1,1 @@
+lib/layout/svg.ml: Array Buffer Dl_cell Fun Geom Layout List Printf String

@@ -1,0 +1,136 @@
+module Mapping = Dl_cell.Mapping
+module Cell = Dl_cell.Cell
+
+type pin = { node : int; x : int; y : int }
+
+type t = {
+  width : int;
+  height : int;
+  rects : Geom.rect list;
+  input_pins : pin list;
+  output_pin : pin;
+}
+
+let cell_height = 40
+
+(* Vertical bands of the cell image. *)
+let gnd_rail_y = (0, 4)
+let ndiff_y = (10, 16)
+let npoly_y = (6, 20)
+let mid_y = (18, 22)
+let ppoly_y = (22, 34)
+let pdiff_y = (24, 30)
+let vdd_rail_y = (36, 40)
+let pin_pad_y = (31, 35)
+
+let island_w = 3 (* diffusion island width *)
+let gate_w = 2 (* poly gate width *)
+let diff_gap = 3 (* gap between unrelated diffusion chains *)
+
+(* Lay one channel row out as diffusion chains with shared islands: walking
+   the transistors in order, a device whose source (or drain, flipping the
+   device) matches the previous island extends the chain; otherwise a new
+   chain starts after a gap.  Returns the row width, the geometry, and the
+   poly gate x-center per transistor. *)
+let layout_row transistors ~poly_band ~diff_band ~diff_layer ~add =
+  let poly_lo, poly_hi = poly_band and diff_lo, diff_hi = diff_band in
+  let island x net =
+    add diff_layer ~x0:x ~y0:diff_lo ~x1:(x + island_w) ~y1:diff_hi ~net
+  in
+  let poly x net = add Geom.Poly ~x0:x ~y0:poly_lo ~x1:(x + gate_w) ~y1:poly_hi ~net in
+  let cursor = ref 0 in
+  let prev_net = ref None in
+  let centers =
+    Array.map
+      (fun (tr : Mapping.transistor) ->
+        let near, far =
+          match !prev_net with
+          | Some p when p = tr.drain -> (tr.drain, tr.source)
+          | _ -> (tr.source, tr.drain)
+        in
+        (match !prev_net with
+        | Some p when p = near -> () (* share the previous island *)
+        | _ ->
+            if !prev_net <> None then cursor := !cursor + diff_gap;
+            island !cursor near;
+            cursor := !cursor + island_w);
+        let gx = !cursor in
+        poly gx tr.gate;
+        cursor := !cursor + gate_w;
+        island !cursor far;
+        cursor := !cursor + island_w;
+        prev_net := Some far;
+        (gx + (gate_w / 2), tr))
+      transistors
+  in
+  (!cursor, centers)
+
+let build (m : Mapping.network) ~instance_index =
+  let inst = m.Mapping.instances.(instance_index) in
+  let ts =
+    let n = List.length inst.cell.Cell.transistors in
+    Array.init n (fun k -> m.Mapping.transistors.(inst.first_transistor + k))
+  in
+  let by_channel ch =
+    Array.of_seq
+      (Seq.filter (fun (tr : Mapping.transistor) -> tr.channel = ch) (Array.to_seq ts))
+  in
+  let nmos = by_channel Cell.Nmos and pmos = by_channel Cell.Pmos in
+  let rects = ref [] in
+  let add layer ~x0 ~y0 ~x1 ~y1 ~net =
+    rects := Geom.make_rect layer ~x0 ~y0 ~x1 ~y1 ~net :: !rects
+  in
+  let nw, ncenters = layout_row nmos ~poly_band:npoly_y ~diff_band:ndiff_y
+      ~diff_layer:Geom.Diffusion_n ~add
+  in
+  let pw, pcenters = layout_row pmos ~poly_band:ppoly_y ~diff_band:pdiff_y
+      ~diff_layer:Geom.Diffusion_p ~add
+  in
+  let width = max nw pw + 8 in
+  (* Power rails. *)
+  let y0, y1 = gnd_rail_y in
+  add Geom.Metal1 ~x0:0 ~y0 ~x1:width ~y1 ~net:m.Mapping.gnd;
+  let y0, y1 = vdd_rail_y in
+  add Geom.Metal1 ~x0:0 ~y0 ~x1:width ~y1 ~net:m.Mapping.vdd;
+  (* Output spine and mid strap in metal1, with contacts at output islands. *)
+  add Geom.Metal1 ~x0:(width - 4) ~y0:4 ~x1:(width - 2) ~y1:36 ~net:inst.output_node;
+  let y0, y1 = mid_y in
+  add Geom.Metal1 ~x0:2 ~y0 ~x1:(width - 2) ~y1 ~net:inst.output_node;
+  let contact_output (gx, (tr : Mapping.transistor)) =
+    if tr.source = inst.output_node || tr.drain = inst.output_node then begin
+      let y = match tr.channel with Cell.Nmos -> 17 | Cell.Pmos -> 23 in
+      add Geom.Contact ~x0:(gx + 3) ~y0:(y - 1) ~x1:(gx + 5) ~y1:(y + 1)
+        ~net:inst.output_node
+    end
+  in
+  Array.iter contact_output ncenters;
+  Array.iter contact_output pcenters;
+  (* Input pins: metal1 landing pad plus contact over the first poly gate of
+     the port (preferring the PMOS row, which sits under the pad band). *)
+  let gate_x node =
+    let find centers =
+      Array.fold_left
+        (fun acc (gx, (tr : Mapping.transistor)) ->
+          match acc with Some _ -> acc | None -> if tr.gate = node then Some gx else None)
+        None centers
+    in
+    match find pcenters with Some gx -> gx | None -> (
+      match find ncenters with Some gx -> gx | None -> 1)
+  in
+  let pin_of_input node =
+    let gx = gate_x node in
+    let y0, y1 = pin_pad_y in
+    let x0 = max 0 (gx - 2) in
+    add Geom.Metal1 ~x0 ~y0 ~x1:(x0 + 4) ~y1 ~net:node;
+    add Geom.Contact ~x0:(x0 + 1) ~y0:(y0 + 1) ~x1:(x0 + 3) ~y1:(y1 - 1) ~net:node;
+    { node; x = x0 + 2; y = (y0 + y1) / 2 }
+  in
+  let input_pins = Array.to_list (Array.map pin_of_input inst.input_nodes) in
+  let output_pin = { node = inst.output_node; x = width - 3; y = 20 } in
+  {
+    width;
+    height = cell_height;
+    rects = List.rev !rects;
+    input_pins;
+    output_pin;
+  }

@@ -1,0 +1,26 @@
+(** Per-instance cell layout templates on the lambda grid.
+
+    Every cell follows the classic two-row standard-cell image: GND rail at
+    the bottom, VDD rail at the top, an NMOS diffusion row and a PMOS
+    diffusion row, one poly column per transistor, a metal1 output spine,
+    and metal1 landing pads for the input pins.  Geometry is emitted in
+    cell-local coordinates; {!Layout} translates instances into place. *)
+
+type pin = {
+  node : int;  (** Network node this pin connects. *)
+  x : int;     (** Cell-local pin position (center). *)
+  y : int;
+}
+
+type t = {
+  width : int;
+  height : int;
+  rects : Geom.rect list;  (** Cell-local geometry, nets = network nodes. *)
+  input_pins : pin list;   (** In cell input-port order. *)
+  output_pin : pin;
+}
+
+val cell_height : int
+(** Uniform standard-cell height (lambda). *)
+
+val build : Dl_cell.Mapping.network -> instance_index:int -> t

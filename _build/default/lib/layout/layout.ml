@@ -1,0 +1,339 @@
+module Mapping = Dl_cell.Mapping
+module Circuit = Dl_netlist.Circuit
+module Gate = Dl_netlist.Gate
+
+type placement = {
+  instance : int;
+  row : int;
+  x : int;
+  y : int;
+  template : Cell_template.t;
+}
+
+type pad = { signal : int; pad_x : int; pad_y : int }
+
+type tag =
+  | Cell_rect of int
+  | Trunk of int
+  | Pin_drop of { gate : int; pin : int }
+  | Driver_drop of int
+  | Pad_rect of int
+
+type t = {
+  network : Mapping.network;
+  rects : Geom.rect array;
+  tags : tag array;
+  width : int;
+  height : int;
+  placements : placement array;
+  input_pads : pad array;
+  rows : int;
+  channel_tracks : int array;
+}
+
+let cell_gap = 4
+let track_pitch = 4
+let wire_width = 2
+let channel_margin = 4
+
+(* A routing terminal: a pin or pad position with its preferred channel. *)
+type terminal_kind = Term_in of int * int | Term_out of int | Term_pad of int
+
+type terminal = {
+  t_net : int;        (* network node *)
+  t_x : int;          (* absolute x of the wire center-left *)
+  mutable t_y : int;  (* absolute y (pads: set once channel ys are known) *)
+  t_pref : int;       (* preferred channel index *)
+  t_kind : terminal_kind;
+}
+
+let synthesize ?rows (m : Mapping.network) =
+  let n_inst = Array.length m.Mapping.instances in
+  let templates =
+    Array.init n_inst (fun i -> Cell_template.build m ~instance_index:i)
+  in
+  let total_width =
+    Array.fold_left (fun acc (tpl : Cell_template.t) -> acc + tpl.width + cell_gap)
+      0 templates
+  in
+  let n_rows =
+    match rows with
+    | Some r when r >= 1 -> r
+    | Some _ -> invalid_arg "Layout.synthesize: rows must be >= 1"
+    | None ->
+        max 1
+          (int_of_float
+             (Float.round (sqrt (float_of_int total_width /. (3.0 *. 40.0)))))
+  in
+  let target = (total_width / n_rows) + 1 in
+  (* Row assignment in instance (topological) order. *)
+  let row_of = Array.make n_inst 0 in
+  let x_of = Array.make n_inst 0 in
+  let row_widths = Array.make n_rows 0 in
+  let row = ref 0 and cursor = ref 0 in
+  Array.iteri
+    (fun i (tpl : Cell_template.t) ->
+      if !cursor > 0 && !cursor + tpl.width > target && !row < n_rows - 1 then begin
+        row_widths.(!row) <- !cursor;
+        incr row;
+        cursor := 0
+      end;
+      row_of.(i) <- !row;
+      x_of.(i) <- !cursor;
+      cursor := !cursor + tpl.width + cell_gap)
+    templates;
+  row_widths.(!row) <- !cursor;
+  let chip_core_width = Array.fold_left max 1 row_widths in
+  let width = chip_core_width + (2 * channel_margin) in
+  let c = m.Mapping.circuit in
+  (* Terminals per routed net (keyed by circuit node id). *)
+  let inst_of_gate = Array.make (Circuit.node_count c) (-1) in
+  Array.iteri
+    (fun ii (inst : Mapping.instance) -> inst_of_gate.(inst.gate_id) <- ii)
+    m.Mapping.instances;
+  let terminals : (int, terminal list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_terminal cnode t =
+    match Hashtbl.find_opt terminals cnode with
+    | Some l -> l := t :: !l
+    | None -> Hashtbl.replace terminals cnode (ref [ t ])
+  in
+  let pin_terminal ii (pin : Cell_template.pin) cnode kind =
+    {
+      t_net = m.Mapping.signal_node.(cnode);
+      t_x = channel_margin + x_of.(ii) + pin.x - 1;
+      t_y = 0 (* filled after stacking *);
+      t_pref = row_of.(ii) + 1;
+      t_kind = kind;
+    }
+  in
+  (* Cell pins. *)
+  Array.iteri
+    (fun ii (inst : Mapping.instance) ->
+      let tpl = templates.(ii) in
+      add_terminal inst.gate_id
+        (pin_terminal ii tpl.output_pin inst.gate_id (Term_out inst.gate_id));
+      let nd = c.nodes.(inst.gate_id) in
+      List.iteri
+        (fun pin_idx (pin : Cell_template.pin) ->
+          let src = nd.fanin.(pin_idx) in
+          add_terminal src
+            (pin_terminal ii pin src (Term_in (inst.gate_id, pin_idx))))
+        tpl.input_pins)
+    m.Mapping.instances;
+  (* Pads: PIs in the top channel, POs in the bottom channel. *)
+  let spread count k =
+    channel_margin + ((k + 1) * chip_core_width / (count + 1))
+  in
+  let input_pads = ref [] in
+  Array.iteri
+    (fun k pi ->
+      let x = spread (Array.length c.inputs) k in
+      add_terminal pi
+        {
+          t_net = m.Mapping.signal_node.(pi);
+          t_x = x;
+          t_y = 0;
+          t_pref = n_rows;
+          t_kind = Term_pad pi;
+        };
+      input_pads := { signal = pi; pad_x = x; pad_y = 0 } :: !input_pads)
+    c.inputs;
+  Array.iteri
+    (fun k po ->
+      let x = spread (Array.length c.outputs) k in
+      add_terminal po
+        {
+          t_net = m.Mapping.signal_node.(po);
+          t_x = x;
+          t_y = 0;
+          t_pref = 0;
+          t_kind = Term_pad po;
+        })
+    c.outputs;
+  (* Trunk channel per net: median of terminal preferences. *)
+  let nets =
+    Hashtbl.fold (fun cnode terms acc -> (cnode, List.rev !terms) :: acc) terminals []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let trunk_channel terms =
+    let prefs = List.map (fun t -> t.t_pref) terms |> List.sort compare in
+    List.nth prefs (List.length prefs / 2)
+  in
+  let net_channel = List.map (fun (cnode, terms) -> (cnode, trunk_channel terms)) nets in
+  (* Left-edge track assignment per channel. *)
+  let n_channels = n_rows + 1 in
+  let channel_nets = Array.make n_channels [] in
+  List.iter
+    (fun (cnode, terms) ->
+      let ch = List.assoc cnode net_channel in
+      let xs = List.map (fun t -> t.t_x) terms in
+      let x0 = List.fold_left min max_int xs - 1 in
+      let x1 = List.fold_left max min_int xs + wire_width + 1 in
+      channel_nets.(ch) <- (cnode, x0, x1, terms) :: channel_nets.(ch))
+    nets;
+  let channel_tracks = Array.make n_channels 0 in
+  let track_of_net : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun ch lst ->
+      let sorted = List.sort (fun (_, a, _, _) (_, b, _, _) -> compare a b) lst in
+      let track_last = ref [||] in
+      List.iter
+        (fun (cnode, x0, x1, _) ->
+          let placed = ref false in
+          Array.iteri
+            (fun ti last ->
+              if (not !placed) && last + 2 <= x0 then begin
+                !track_last.(ti) <- x1;
+                Hashtbl.replace track_of_net cnode ti;
+                placed := true
+              end)
+            !track_last;
+          if not !placed then begin
+            track_last := Array.append !track_last [| x1 |];
+            Hashtbl.replace track_of_net cnode (Array.length !track_last - 1)
+          end)
+        sorted;
+      channel_tracks.(ch) <- Array.length !track_last)
+    channel_nets;
+  (* Vertical stacking: channel 0, row 0, channel 1, row 1, ..., channel R. *)
+  let channel_height ch = (2 * channel_margin) + (channel_tracks.(ch) * track_pitch) in
+  let channel_y = Array.make n_channels 0 in
+  let row_y = Array.make n_rows 0 in
+  let y = ref 0 in
+  for ch = 0 to n_channels - 1 do
+    channel_y.(ch) <- !y;
+    y := !y + channel_height ch;
+    if ch < n_rows then begin
+      row_y.(ch) <- !y;
+      y := !y + Cell_template.cell_height
+    end
+  done;
+  let height = !y in
+  let trunk_y cnode =
+    let ch = List.assoc cnode net_channel in
+    let track = Option.value ~default:0 (Hashtbl.find_opt track_of_net cnode) in
+    channel_y.(ch) + channel_margin + (track * track_pitch)
+  in
+  (* Fill in terminal and pad y positions. *)
+  List.iter
+    (fun (cnode, terms) ->
+      List.iter
+        (fun t ->
+          if (match t.t_kind with Term_pad _ -> true | _ -> false) then
+            t.t_y <- trunk_y cnode
+          else begin
+            (* Cell pin: recover its row from the preference. *)
+            let r = t.t_pref - 1 in
+            t.t_y <- row_y.(r)
+          end)
+        terms)
+    nets;
+  let rects = ref [] in
+  let add tag r = rects := (r, tag) :: !rects in
+  (* Cell geometry, translated into place. *)
+  let placements =
+    Array.init n_inst (fun ii ->
+        let tpl = templates.(ii) in
+        let px = channel_margin + x_of.(ii) and py = row_y.(row_of.(ii)) in
+        List.iter (fun r -> add (Cell_rect ii) (Geom.translate r ~dx:px ~dy:py)) tpl.rects;
+        { instance = ii; row = row_of.(ii); x = px; y = py; template = tpl })
+  in
+  (* Routing geometry: metal1 trunks, metal2 verticals, vias. *)
+  let vertical_occupancy : (int * int * int * int) list ref = ref [] in
+  let place_vertical ~tag ~net ~x ~y0 ~y1 =
+    (* Pad the checked extent so via stubs at either end cannot collide. *)
+    let py0 = y0 - 2 and py1 = y1 + 2 in
+    let rec fit x tries =
+      let clash =
+        List.exists
+          (fun (ox, oy0, oy1, onet) ->
+            onet <> net && abs (ox - x) < wire_width + 1 && oy0 < py1 && py0 < oy1)
+          !vertical_occupancy
+      in
+      if clash && tries < 40 then fit (x + wire_width + 1) (tries + 1) else x
+    in
+    let x = fit x 0 in
+    vertical_occupancy := (x, py0, py1, net) :: !vertical_occupancy;
+    add tag (Geom.make_rect Geom.Metal2 ~x0:x ~y0 ~x1:(x + wire_width) ~y1 ~net);
+    x
+  in
+  List.iter
+    (fun (cnode, terms) ->
+      let net = m.Mapping.signal_node.(cnode) in
+      let ty = trunk_y cnode in
+      let xs = List.map (fun t -> t.t_x) terms in
+      let x0 = List.fold_left min max_int xs in
+      let x1 = List.fold_left max min_int xs + wire_width in
+      (* Trunk in metal1 along its channel track. *)
+      add (Trunk cnode)
+        (Geom.make_rect Geom.Metal1 ~x0 ~y0:ty ~x1:(max x1 (x0 + wire_width)) ~y1:(ty + wire_width) ~net);
+      List.iter
+        (fun t ->
+          let pin_y = t.t_y in
+          match t.t_kind with
+          | Term_pad signal ->
+            (* Pad: a metal1 square on the trunk. *)
+            add (Pad_rect signal)
+              (Geom.make_rect Geom.Metal1 ~x0:(t.t_x - 1) ~y0:(ty - 1)
+                 ~x1:(t.t_x + wire_width + 1) ~y1:(ty + wire_width + 1) ~net)
+          | Term_in _ | Term_out _ -> begin
+            (* Vertical metal2 from the pin row up/down to the trunk. *)
+            let pin_abs_y =
+              (* input pins sit near the cell top, output pins mid-cell; we
+                 approximate both with the cell band they live in. *)
+              pin_y + 20
+            in
+            let y0 = min pin_abs_y ty and y1 = max pin_abs_y (ty + wire_width) in
+            let tag =
+              match t.t_kind with
+              | Term_in (gate, pin) -> Pin_drop { gate; pin }
+              | Term_out g -> Driver_drop g
+              | Term_pad s -> Pad_rect s
+            in
+            if y1 > y0 then begin
+              let x = place_vertical ~tag ~net ~x:t.t_x ~y0 ~y1 in
+              (* Vias at both ends. *)
+              add tag (Geom.make_rect Geom.Via ~x0:x ~y0:(pin_abs_y - 1) ~x1:(x + wire_width) ~y1:(pin_abs_y + 1) ~net);
+              add tag (Geom.make_rect Geom.Via ~x0:x ~y0:ty ~x1:(x + wire_width) ~y1:(ty + wire_width) ~net)
+            end
+          end)
+        terms)
+    nets;
+  let input_pads =
+    Array.of_list
+      (List.rev_map
+         (fun p -> { p with pad_y = trunk_y p.signal })
+         !input_pads)
+  in
+  let pairs = Array.of_list (List.rev !rects) in
+  {
+    network = m;
+    rects = Array.map fst pairs;
+    tags = Array.map snd pairs;
+    width;
+    height;
+    placements;
+    input_pads;
+    rows = n_rows;
+    channel_tracks;
+  }
+
+let rects_on t layer =
+  Array.of_seq (Seq.filter (fun (r : Geom.rect) -> r.layer = layer) (Array.to_seq t.rects))
+
+let wire_length t layer =
+  Array.fold_left
+    (fun acc (r : Geom.rect) ->
+      if r.layer = layer then acc + max (Geom.width r) (Geom.height r) else acc)
+    0 t.rects
+
+let net_rects t net =
+  Array.to_list t.rects |> List.filter (fun (r : Geom.rect) -> r.net = net)
+
+let pp_stats ppf t =
+  Format.fprintf ppf
+    "%s layout: %dx%d lambda, %d rows, %d rects, m1 wire %d, m2 wire %d, tracks %s"
+    t.network.Mapping.circuit.title t.width t.height t.rows (Array.length t.rects)
+    (wire_length t Geom.Metal1) (wire_length t Geom.Metal2)
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int t.channel_tracks)))

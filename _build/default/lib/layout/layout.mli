@@ -1,0 +1,55 @@
+(** Full-chip layout synthesis: row-based placement of cell templates plus
+    two-layer channel routing (metal1 trunks in channels assigned by the
+    left-edge algorithm, metal2 verticals over the cells, vias at bends).
+
+    The result is the geometric database the inductive fault analysis
+    ({!Dl_extract}) scans for critical areas — the reproduction of the
+    paper's "layout obtained with a commercial standard cell design
+    system". *)
+
+type placement = {
+  instance : int;       (** Instance index in the network. *)
+  row : int;            (** 0 = bottom row. *)
+  x : int;              (** Absolute left edge. *)
+  y : int;              (** Absolute bottom edge. *)
+  template : Cell_template.t;
+}
+
+type pad = {
+  signal : int;  (** Circuit node (a PI or PO). *)
+  pad_x : int;
+  pad_y : int;
+}
+
+type tag =
+  | Cell_rect of int  (** Geometry inside cell instance [i]. *)
+  | Trunk of int      (** Channel trunk wire of circuit net [n]. *)
+  | Pin_drop of { gate : int; pin : int }
+      (** Vertical drop / via serving input [pin] of circuit gate. *)
+  | Driver_drop of int  (** Vertical drop / via at the driver of net [n]. *)
+  | Pad_rect of int     (** I/O pad of circuit net [n]. *)
+
+type t = {
+  network : Dl_cell.Mapping.network;
+  rects : Geom.rect array;     (** Entire geometric database. *)
+  tags : tag array;            (** Provenance, parallel to [rects]. *)
+  width : int;
+  height : int;
+  placements : placement array;
+  input_pads : pad array;
+  rows : int;
+  channel_tracks : int array;  (** Tracks used per channel (diagnostics). *)
+}
+
+val synthesize : ?rows:int -> Dl_cell.Mapping.network -> t
+(** [rows] defaults to a near-square aspect heuristic. *)
+
+val rects_on : t -> Geom.layer -> Geom.rect array
+
+val wire_length : t -> Geom.layer -> int
+(** Total length (long dimension) of wires on a routing layer. *)
+
+val net_rects : t -> int -> Geom.rect list
+(** All geometry labeled with the given network node. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+let layer_style = function
+  | Geom.Diffusion_n -> ("#1b7f3a", 0.8)
+  | Geom.Diffusion_p -> ("#b8860b", 0.8)
+  | Geom.Poly -> ("#cc2222", 0.8)
+  | Geom.Metal1 -> ("#2255cc", 0.55)
+  | Geom.Metal2 -> ("#aa22aa", 0.45)
+  | Geom.Contact -> ("#111111", 0.9)
+  | Geom.Via -> ("#333366", 0.9)
+
+(* Draw in a fixed layer order so routing sits on top of cell geometry. *)
+let draw_order =
+  [
+    Geom.Diffusion_n;
+    Geom.Diffusion_p;
+    Geom.Poly;
+    Geom.Metal1;
+    Geom.Metal2;
+    Geom.Contact;
+    Geom.Via;
+  ]
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(scale = 2.0) (l : Layout.t) =
+  if scale <= 0.0 then invalid_arg "Svg.render: scale must be positive";
+  let m = l.Layout.network in
+  let net_name n =
+    if n >= 0 && n < Array.length m.Dl_cell.Mapping.node_names then
+      m.Dl_cell.Mapping.node_names.(n)
+    else "?"
+  in
+  let buf = Buffer.create 65536 in
+  let w = float_of_int l.Layout.width *. scale in
+  let h = float_of_int l.Layout.height *. scale in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+        viewBox=\"0 0 %.0f %.0f\">\n<rect width=\"100%%\" height=\"100%%\" \
+        fill=\"#f8f8f4\"/>\n"
+       w h w h);
+  List.iter
+    (fun layer ->
+      let color, opacity = layer_style layer in
+      Buffer.add_string buf (Printf.sprintf "<g fill=\"%s\" fill-opacity=\"%.2f\">\n" color opacity);
+      Array.iter
+        (fun (r : Geom.rect) ->
+          if r.layer = layer then begin
+            (* SVG y grows downward; flip so row 0 sits at the bottom. *)
+            let x = float_of_int r.x0 *. scale in
+            let y = float_of_int (l.Layout.height - r.y1) *. scale in
+            let rw = float_of_int (Geom.width r) *. scale in
+            let rh = float_of_int (Geom.height r) *. scale in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\">\
+                  <title>%s %s</title></rect>\n"
+                 x y rw rh
+                 (Geom.layer_name r.layer)
+                 (escape (net_name r.net)))
+          end)
+        l.Layout.rects;
+      Buffer.add_string buf "</g>\n")
+    draw_order;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file ?scale path l =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?scale l))

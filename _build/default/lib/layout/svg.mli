@@ -1,0 +1,10 @@
+(** SVG rendering of a synthesized layout — the visual check on placement,
+    routing and the geometry the fault extractor scans. *)
+
+val render : ?scale:float -> Layout.t -> string
+(** A self-contained SVG document: one semi-transparent rectangle per shape,
+    colored by layer (diffusion green/amber, poly red, metal1 blue, metal2
+    magenta, contacts/vias dark), with a tooltip carrying layer and net
+    name.  [scale] is pixels per lambda (default 2). *)
+
+val write_file : ?scale:float -> string -> Layout.t -> unit

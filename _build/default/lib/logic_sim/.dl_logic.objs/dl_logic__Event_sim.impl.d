@@ -1,0 +1,1 @@
+lib/logic_sim/event_sim.ml: Array Circuit Dl_netlist Gate

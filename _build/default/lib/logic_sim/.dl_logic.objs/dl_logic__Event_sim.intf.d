@@ -1,0 +1,1 @@
+lib/logic_sim/event_sim.mli: Circuit Dl_netlist

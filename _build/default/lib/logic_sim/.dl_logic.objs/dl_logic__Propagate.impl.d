@@ -1,0 +1,1 @@
+lib/logic_sim/propagate.ml: Array Circuit Dl_netlist Gate Hashtbl List Ternary

@@ -1,0 +1,1 @@
+lib/logic_sim/propagate.mli: Circuit Dl_netlist Hashtbl Ternary

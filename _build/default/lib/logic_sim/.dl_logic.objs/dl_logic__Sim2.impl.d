@@ -1,0 +1,1 @@
+lib/logic_sim/sim2.ml: Array Circuit Dl_netlist Dl_util Gate Int64

@@ -1,0 +1,1 @@
+lib/logic_sim/sim2.mli: Circuit Dl_netlist Dl_util

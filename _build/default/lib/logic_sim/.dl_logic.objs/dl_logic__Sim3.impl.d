@@ -1,0 +1,1 @@
+lib/logic_sim/sim3.ml: Array Circuit Dl_netlist Gate Ternary

@@ -1,0 +1,1 @@
+lib/logic_sim/sim3.mli: Circuit Dl_netlist Ternary

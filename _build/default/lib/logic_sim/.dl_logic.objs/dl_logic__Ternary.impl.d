@@ -1,0 +1,1 @@
+lib/logic_sim/ternary.ml: Array Dl_netlist Gate

@@ -1,0 +1,1 @@
+lib/logic_sim/ternary.mli: Dl_netlist

@@ -1,0 +1,1 @@
+lib/logic_sim/timing.ml: Array Circuit Dl_netlist Dl_util Float Gate Option Seq

@@ -1,0 +1,1 @@
+lib/logic_sim/timing.mli: Circuit Dl_netlist Dl_util Gate

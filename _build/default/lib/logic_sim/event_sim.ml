@@ -1,0 +1,134 @@
+open Dl_netlist
+
+module Level_queue = struct
+  (* Nodes pending evaluation, bucketed by level so each node is evaluated
+     at most once per propagation wave. *)
+  type t = {
+    buckets : int list array;
+    pending : bool array;
+    mutable lowest : int;
+    mutable count : int;
+  }
+
+  let create depth nodes =
+    {
+      buckets = Array.make (depth + 1) [];
+      pending = Array.make nodes false;
+      lowest = depth + 1;
+      count = 0;
+    }
+
+  let push q ~level id =
+    if not q.pending.(id) then begin
+      q.pending.(id) <- true;
+      q.buckets.(level) <- id :: q.buckets.(level);
+      if level < q.lowest then q.lowest <- level;
+      q.count <- q.count + 1
+    end
+
+  let pop q =
+    if q.count = 0 then None
+    else begin
+      let rec find level =
+        match q.buckets.(level) with
+        | [] -> find (level + 1)
+        | id :: rest ->
+            q.buckets.(level) <- rest;
+            q.lowest <- level;
+            (level, id)
+      in
+      let _, id = find q.lowest in
+      q.pending.(id) <- false;
+      q.count <- q.count - 1;
+      Some id
+    end
+end
+
+type t = {
+  circuit : Circuit.t;
+  values : bool array;
+  queue : Level_queue.t;
+  mutable eval_count : int;
+}
+
+let eval_node t id =
+  let nd = t.circuit.nodes.(id) in
+  let ins = Array.map (fun src -> t.values.(src)) nd.fanin in
+  t.eval_count <- t.eval_count + 1;
+  Gate.eval nd.kind ins
+
+let propagate t =
+  let performed = ref 0 in
+  let rec drain () =
+    match Level_queue.pop t.queue with
+    | None -> ()
+    | Some id ->
+        let v = eval_node t id in
+        incr performed;
+        if v <> t.values.(id) then begin
+          t.values.(id) <- v;
+          Array.iter
+            (fun succ ->
+              Level_queue.push t.queue ~level:t.circuit.levels.(succ) succ)
+            t.circuit.fanouts.(id)
+        end;
+        drain ()
+  in
+  drain ();
+  !performed
+
+let create c =
+  let t =
+    {
+      circuit = c;
+      values = Array.make (Circuit.node_count c) false;
+      queue = Level_queue.create (Circuit.depth c) (Circuit.node_count c);
+      eval_count = 0;
+    }
+  in
+  (* Settle the all-zero input state. *)
+  Array.iter
+    (fun id ->
+      let nd = c.nodes.(id) in
+      if nd.kind <> Gate.Input then t.values.(id) <- eval_node t id)
+    c.topo_order;
+  t
+
+let schedule_fanout t id =
+  Array.iter
+    (fun succ -> Level_queue.push t.queue ~level:t.circuit.levels.(succ) succ)
+    t.circuit.fanouts.(id)
+
+let set_input t pos v =
+  let c = t.circuit in
+  if pos < 0 || pos >= Array.length c.inputs then
+    invalid_arg "Event_sim.set_input: position out of range";
+  let id = c.inputs.(pos) in
+  if t.values.(id) = v then 0
+  else begin
+    t.values.(id) <- v;
+    schedule_fanout t id;
+    propagate t
+  end
+
+let set_inputs t bits =
+  let c = t.circuit in
+  if Array.length bits <> Array.length c.inputs then
+    invalid_arg "Event_sim.set_inputs: width mismatch";
+  Array.iteri
+    (fun pos v ->
+      let id = c.inputs.(pos) in
+      if t.values.(id) <> v then begin
+        t.values.(id) <- v;
+        schedule_fanout t id
+      end)
+    bits;
+  propagate t
+
+let value t id = t.values.(id)
+
+let output_values t = Array.map (fun id -> t.values.(id)) t.circuit.outputs
+
+let node_values t = Array.copy t.values
+
+let evaluations t = t.eval_count

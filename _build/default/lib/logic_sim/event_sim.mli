@@ -1,0 +1,31 @@
+(** Event-driven single-pattern simulator.
+
+    Maintains a persistent value state and propagates only the cone affected
+    by changed inputs — the classical selective-trace technique.  Used as an
+    independent reference implementation against {!Sim2} and for workloads
+    with low input activity. *)
+
+open Dl_netlist
+
+type t
+
+val create : Circuit.t -> t
+(** Initial state: all inputs 0, circuit settled. *)
+
+val set_inputs : t -> bool array -> int
+(** Assign all primary inputs (in [c.inputs] order) and propagate events.
+    Returns the number of gate evaluations performed. *)
+
+val set_input : t -> int -> bool -> int
+(** Assign a single primary input by PI position and propagate. *)
+
+val value : t -> int -> bool
+(** Current value of node [id]. *)
+
+val output_values : t -> bool array
+
+val node_values : t -> bool array
+(** Snapshot of all node values. *)
+
+val evaluations : t -> int
+(** Total gate evaluations since creation (activity metric). *)

@@ -1,0 +1,51 @@
+open Dl_netlist
+
+
+(* Evaluate the fanout cone of the seed overrides against the good machine;
+   returns the sparse faulty-value map. *)
+let run (c : Circuit.t) good seeds =
+  let map : (int, Ternary.t) Hashtbl.t = Hashtbl.create 32 in
+  let depth = Circuit.depth c in
+  let buckets = Array.make (depth + 1) [] in
+  let queued = Array.make (Circuit.node_count c) false in
+  let push id =
+    if not queued.(id) then begin
+      queued.(id) <- true;
+      let l = c.levels.(id) in
+      buckets.(l) <- id :: buckets.(l)
+    end
+  in
+  let good3 id = Ternary.of_bool good.(id) in
+  List.iter
+    (fun (id, v) ->
+      if not (Ternary.equal v (good3 id)) then begin
+        Hashtbl.replace map id v;
+        Array.iter push c.fanouts.(id)
+      end)
+    seeds;
+  let value id = match Hashtbl.find_opt map id with Some v -> v | None -> good3 id in
+  for level = 0 to depth do
+    List.iter
+      (fun id ->
+        queued.(id) <- false;
+        let nd = c.nodes.(id) in
+        if nd.kind <> Gate.Input && not (Hashtbl.mem map id) then begin
+          let v = Ternary.eval nd.kind (Array.map value nd.fanin) in
+          if not (Ternary.equal v (good3 id)) then begin
+            Hashtbl.replace map id v;
+            Array.iter push c.fanouts.(id)
+          end
+        end)
+      (List.rev buckets.(level));
+    buckets.(level) <- []
+  done;
+  map
+
+let po_detects (c : Circuit.t) good map =
+  Array.exists
+    (fun o ->
+      match Hashtbl.find_opt map o with
+      | Some Ternary.V0 -> good.(o)
+      | Some Ternary.V1 -> not good.(o)
+      | Some Ternary.VX | None -> false)
+    c.outputs

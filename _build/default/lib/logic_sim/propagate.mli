@@ -1,0 +1,17 @@
+(** Three-valued downstream propagation of fault effects: evaluate only the
+    fanout cone of a set of overridden nodes against known fault-free
+    values.  Shared by the switch-level simulators and the gate-level
+    bridging-fault model. *)
+
+open Dl_netlist
+
+val run :
+  Circuit.t -> bool array -> (int * Ternary.t) list ->
+  (int, Ternary.t) Hashtbl.t
+(** [run c good seeds] evaluates the fanout cone of the seed overrides
+    against the fault-free values [good] (one bool per node) and returns
+    the sparse map of nodes whose faulty value differs (or is X). *)
+
+val po_detects :
+  Circuit.t -> bool array -> (int, Ternary.t) Hashtbl.t -> bool
+(** Whether some primary output settles to a definite wrong value. *)

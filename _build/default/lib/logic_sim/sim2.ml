@@ -1,0 +1,57 @@
+open Dl_netlist
+
+let run (c : Circuit.t) pi_words =
+  if Array.length pi_words <> Array.length c.inputs then
+    invalid_arg "Sim2.run: one word per primary input required";
+  let values = Array.make (Circuit.node_count c) 0L in
+  Array.iteri (fun i id -> values.(id) <- pi_words.(i)) c.inputs;
+  Array.iter
+    (fun id ->
+      let nd = c.nodes.(id) in
+      if nd.kind <> Gate.Input then begin
+        let ins = Array.map (fun src -> values.(src)) nd.fanin in
+        values.(id) <- Gate.eval_word nd.kind ins
+      end)
+    c.topo_order;
+  values
+
+let outputs_of (c : Circuit.t) values =
+  Array.map (fun id -> values.(id)) c.outputs
+
+let bools_to_words bits = Array.map (fun b -> if b then -1L else 0L) bits
+
+let run_single c pi_bits =
+  let values = run c (bools_to_words pi_bits) in
+  Array.map (fun w -> Int64.logand w 1L = 1L) values
+
+let output_bits c pi_bits =
+  let values = run_single c pi_bits in
+  Array.map (fun id -> values.(id)) c.outputs
+
+let random_words rng (c : Circuit.t) =
+  Array.init (Array.length c.inputs) (fun _ -> Dl_util.Rng.word rng)
+
+let pattern_of_words (c : Circuit.t) pi_words bit =
+  if bit < 0 || bit > 63 then invalid_arg "Sim2.pattern_of_words: bit out of range";
+  if Array.length pi_words <> Array.length c.inputs then
+    invalid_arg "Sim2.pattern_of_words: word count mismatch";
+  Array.map
+    (fun w -> Int64.logand (Int64.shift_right_logical w bit) 1L = 1L)
+    pi_words
+
+let words_of_patterns (c : Circuit.t) patterns =
+  let npi = Array.length c.inputs in
+  if Array.length patterns > 64 then
+    invalid_arg "Sim2.words_of_patterns: more than 64 patterns";
+  Array.iter
+    (fun p ->
+      if Array.length p <> npi then
+        invalid_arg "Sim2.words_of_patterns: pattern width mismatch")
+    patterns;
+  Array.init npi (fun pi ->
+      let w = ref 0L in
+      Array.iteri
+        (fun bit p ->
+          if p.(pi) then w := Int64.logor !w (Int64.shift_left 1L bit))
+        patterns;
+      !w)

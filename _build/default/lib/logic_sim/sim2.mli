@@ -1,0 +1,31 @@
+(** Two-valued compiled simulation, 64 patterns per machine word.
+
+    This is the workhorse behind parallel-pattern fault simulation: bit [i]
+    of every word carries pattern [i] through the whole circuit. *)
+
+open Dl_netlist
+
+val run : Circuit.t -> int64 array -> int64 array
+(** [run c pi_words] evaluates the circuit; [pi_words] has one word per
+    primary input in [c.inputs] order.  Returns one word per node, indexed
+    by node id. *)
+
+val outputs_of : Circuit.t -> int64 array -> int64 array
+(** Project node values to primary outputs, in [c.outputs] order. *)
+
+val run_single : Circuit.t -> bool array -> bool array
+(** Single-pattern convenience wrapper (one bool per PI, returns one bool
+    per node). *)
+
+val output_bits : Circuit.t -> bool array -> bool array
+(** Single-pattern primary-output response. *)
+
+val random_words : Dl_util.Rng.t -> Circuit.t -> int64 array
+(** Fresh fully-random PI words (64 random patterns). *)
+
+val pattern_of_words : Circuit.t -> int64 array -> int -> bool array
+(** Extract pattern [bit] (0..63) from PI words as a bool vector. *)
+
+val words_of_patterns : Circuit.t -> bool array array -> int64 array
+(** Pack up to 64 patterns (each one bool per PI) into words; missing high
+    patterns are zero-filled. *)

@@ -1,0 +1,52 @@
+open Dl_netlist
+
+type site = Stem of int | Branch of { gate : int; pin : int }
+
+let run_internal (c : Circuit.t) ~fault pi_values =
+  if Array.length pi_values <> Array.length c.inputs then
+    invalid_arg "Sim3.run: one value per primary input required";
+  let values = Array.make (Circuit.node_count c) Ternary.VX in
+  Array.iteri (fun i id -> values.(id) <- pi_values.(i)) c.inputs;
+  let forced_stem, forced_branch =
+    match fault with
+    | None -> (None, None)
+    | Some (Stem id, v) -> (Some (id, v), None)
+    | Some (Branch { gate; pin }, v) -> (None, Some (gate, pin, v))
+  in
+  (match forced_stem with
+  | Some (id, v) when c.nodes.(id).kind = Gate.Input ->
+      values.(id) <- Ternary.of_bool v
+  | _ -> ());
+  Array.iter
+    (fun id ->
+      let nd = c.nodes.(id) in
+      if nd.kind <> Gate.Input then begin
+        let ins = Array.map (fun src -> values.(src)) nd.fanin in
+        (match forced_branch with
+        | Some (gate, pin, v) when gate = id -> ins.(pin) <- Ternary.of_bool v
+        | _ -> ());
+        let out = Ternary.eval nd.kind ins in
+        values.(id) <-
+          (match forced_stem with
+          | Some (fid, v) when fid = id -> Ternary.of_bool v
+          | _ -> out)
+      end)
+    c.topo_order;
+  values
+
+let run c pi_values = run_internal c ~fault:None pi_values
+
+let run_with_fault c ~site ~stuck pi_values =
+  (match site with
+  | Stem id ->
+      if id < 0 || id >= Circuit.node_count c then
+        invalid_arg "Sim3.run_with_fault: stem id out of range"
+  | Branch { gate; pin } ->
+      if gate < 0 || gate >= Circuit.node_count c then
+        invalid_arg "Sim3.run_with_fault: gate id out of range";
+      if pin < 0 || pin >= Array.length c.nodes.(gate).fanin then
+        invalid_arg "Sim3.run_with_fault: pin out of range");
+  run_internal c ~fault:(Some (site, stuck)) pi_values
+
+let outputs_of (c : Circuit.t) values =
+  Array.map (fun id -> values.(id)) c.outputs

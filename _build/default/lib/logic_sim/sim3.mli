@@ -1,0 +1,21 @@
+(** Ternary full-circuit simulation (one {!Ternary.t} per node). *)
+
+open Dl_netlist
+
+type site =
+  | Stem of int  (** Node output, by node id. *)
+  | Branch of { gate : int; pin : int }
+      (** Input [pin] of node [gate] (a fanout branch). *)
+
+val run : Circuit.t -> Ternary.t array -> Ternary.t array
+(** [run c pi_values] evaluates the circuit on a (possibly partial, i.e.
+    X-containing) primary-input assignment; one value per PI in [c.inputs]
+    order, result indexed by node id. *)
+
+val run_with_fault :
+  Circuit.t -> site:site -> stuck:bool -> Ternary.t array -> Ternary.t array
+(** Same, but with a stuck-at fault injected at [site]: a [Stem] forces the
+    node's output, a [Branch] forces the value seen by one gate input.
+    Used by PODEM via dual (good/faulty) simulation. *)
+
+val outputs_of : Circuit.t -> Ternary.t array -> Ternary.t array

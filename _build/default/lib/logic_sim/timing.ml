@@ -1,0 +1,125 @@
+open Dl_netlist
+
+type delay_model = Unit_delay | Per_gate of (Gate.kind -> float)
+
+let default_delays = function
+  | Gate.Input -> 0.0
+  | Gate.Buf -> 0.6
+  | Gate.Not -> 0.4
+  | Gate.Nand | Gate.Nor -> 0.7
+  | Gate.And | Gate.Or -> 1.1 (* inverting stage plus output inverter *)
+  | Gate.Xor | Gate.Xnor -> 1.6
+
+type t = {
+  circuit : Circuit.t;
+  delays : float array;   (* per node *)
+  arrival : float array;
+  required : float array;
+  clock_period : float;
+}
+
+let analyze ?(model = Per_gate default_delays) ?clock_period (c : Circuit.t) =
+  let delay_of kind =
+    match model with
+    | Unit_delay -> if kind = Gate.Input then 0.0 else 1.0
+    | Per_gate f -> if kind = Gate.Input then 0.0 else f kind
+  in
+  let n = Circuit.node_count c in
+  let delays = Array.map (fun (nd : Circuit.node) -> delay_of nd.kind) c.nodes in
+  let arrival = Array.make n 0.0 in
+  Array.iter
+    (fun id ->
+      let nd = c.nodes.(id) in
+      if nd.kind <> Gate.Input then
+        arrival.(id) <-
+          delays.(id)
+          +. Array.fold_left (fun acc src -> Float.max acc arrival.(src)) 0.0 nd.fanin)
+    c.topo_order;
+  let critical = Array.fold_left Float.max 0.0 arrival in
+  let clock_period = Option.value clock_period ~default:critical in
+  let required = Array.make n infinity in
+  Array.iter (fun o -> required.(o) <- clock_period) c.outputs;
+  let order = c.topo_order in
+  for i = Array.length order - 1 downto 0 do
+    let id = order.(i) in
+    let nd = c.nodes.(id) in
+    Array.iter
+      (fun succ ->
+        let through = required.(succ) -. delays.(succ) in
+        if through < required.(id) then required.(id) <- through)
+      c.fanouts.(id);
+    ignore nd
+  done;
+  { circuit = c; delays; arrival; required; clock_period }
+
+let arrival t id = t.arrival.(id)
+let required t id = t.required.(id)
+
+let slack t id = t.required.(id) -. t.arrival.(id)
+
+let critical_path_delay t = Array.fold_left Float.max 0.0 t.arrival
+
+let critical_path t =
+  let c = t.circuit in
+  (* Walk back from the latest-arriving output through the latest fanins. *)
+  let start =
+    Array.fold_left
+      (fun best o ->
+        match best with
+        | Some b when t.arrival.(b) >= t.arrival.(o) -> best
+        | _ -> Some o)
+      None c.outputs
+  in
+  match start with
+  | None -> []
+  | Some start ->
+      let rec walk id acc =
+        let nd = c.nodes.(id) in
+        if nd.kind = Gate.Input then id :: acc
+        else begin
+          let pred =
+            Array.fold_left
+              (fun best src ->
+                match best with
+                | Some b when t.arrival.(b) >= t.arrival.(src) -> best
+                | _ -> Some src)
+              None nd.fanin
+          in
+          match pred with None -> id :: acc | Some p -> walk p (id :: acc)
+        end
+      in
+      walk start []
+
+let worst_slack t =
+  let c = t.circuit in
+  let worst = ref infinity in
+  Array.iteri
+    (fun id _ -> if slack t id < !worst then worst := slack t id)
+    c.nodes;
+  !worst
+
+let path_delay t path =
+  let c = t.circuit in
+  let rec walk acc = function
+    | [] -> acc
+    | [ last ] -> acc +. t.delays.(last)
+    | a :: (b :: _ as rest) ->
+        let connected = Array.exists (fun s -> s = a) c.nodes.(b).fanin in
+        if not connected then invalid_arg "Timing.path_delay: nodes not connected";
+        walk (acc +. t.delays.(a)) rest
+  in
+  walk 0.0 path
+
+let slack_histogram t ~bins =
+  let c = t.circuit in
+  let slacks =
+    Array.to_seq c.nodes
+    |> Seq.filter_map (fun (nd : Circuit.node) ->
+           if nd.kind = Gate.Input then None else Some (slack t nd.id))
+    |> Array.of_seq
+  in
+  let lo, hi = Dl_util.Stats.min_max slacks in
+  let hi = if hi <= lo then lo +. 1.0 else hi in
+  let h = Dl_util.Histogram.create (Dl_util.Histogram.Linear { lo; hi; bins }) in
+  Dl_util.Histogram.add_many h slacks;
+  h

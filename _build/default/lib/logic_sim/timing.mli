@@ -1,0 +1,42 @@
+(** Static timing analysis over the gate-level netlist: arrival times,
+    required times, slack and critical paths under a per-gate delay model.
+    Substrate for delay-fault reasoning (Park/Mercer/Williams' statistical
+    delay-fault testing is the paper's reference [8]). *)
+
+open Dl_netlist
+
+type delay_model = Unit_delay | Per_gate of (Gate.kind -> float)
+
+val default_delays : Gate.kind -> float
+(** A simple load-independent cell-delay table: inverting primitives are
+    fast, wide gates slower, XOR slowest. *)
+
+type t
+
+val analyze : ?model:delay_model -> ?clock_period:float -> Circuit.t -> t
+(** [clock_period] defaults to the critical-path delay (zero worst slack). *)
+
+val arrival : t -> int -> float
+(** Latest-arrival time at node [id] (0 at primary inputs). *)
+
+val required : t -> int -> float
+(** Latest time the node may switch and still meet the clock at every
+    reachable output. *)
+
+val slack : t -> int -> float
+(** [required - arrival]; negative on violating paths. *)
+
+val critical_path_delay : t -> float
+
+val critical_path : t -> int list
+(** Node ids of one maximal-delay path, input to output. *)
+
+val worst_slack : t -> float
+
+val path_delay : t -> int list -> float
+(** Total delay accumulated along a connected node path.
+    @raise Invalid_argument if consecutive nodes are not connected. *)
+
+val slack_histogram : t -> bins:int -> Dl_util.Histogram.t
+(** Distribution of node slacks — the input to statistical delay-fault
+    coverage arguments (small-slack nodes are the delay-test targets). *)

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Circuit Dl_util Gate Hashtbl List Option Printf

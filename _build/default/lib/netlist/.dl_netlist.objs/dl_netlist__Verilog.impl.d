@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Circuit Fun Gate List Option Printf Seq String

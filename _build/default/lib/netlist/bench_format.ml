@@ -1,0 +1,120 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '[' | ']' | '-' | '$' -> true
+  | _ -> false
+
+let check_ident lineno s =
+  if s = "" then fail lineno "empty signal name";
+  String.iter
+    (fun ch ->
+      if not (is_ident_char ch) then
+        fail lineno "invalid character %C in signal name %S" ch s)
+    s;
+  s
+
+(* "INPUT(g1)" -> Some ("INPUT", "g1") for declaration lines. *)
+let parse_decl lineno line =
+  match String.index_opt line '(' with
+  | None -> fail lineno "expected '(' in declaration"
+  | Some lp ->
+      let keyword = String.trim (String.sub line 0 lp) in
+      (match String.rindex_opt line ')' with
+      | None -> fail lineno "missing ')'"
+      | Some rp when rp < lp -> fail lineno "mismatched parentheses"
+      | Some rp ->
+          let arg = String.trim (String.sub line (lp + 1) (rp - lp - 1)) in
+          (String.uppercase_ascii keyword, check_ident lineno arg))
+
+let parse_gate lineno builder line eq_pos =
+  let lhs = check_ident lineno (String.trim (String.sub line 0 eq_pos)) in
+  let rhs = String.trim (String.sub line (eq_pos + 1) (String.length line - eq_pos - 1)) in
+  match String.index_opt rhs '(' with
+  | None -> fail lineno "expected GATE(...) on right-hand side"
+  | Some lp ->
+      let kind_name = String.trim (String.sub rhs 0 lp) in
+      let kind =
+        match Gate.of_string kind_name with
+        | Some k -> k
+        | None -> fail lineno "unknown gate type %S" kind_name
+      in
+      (match String.rindex_opt rhs ')' with
+      | None -> fail lineno "missing ')'"
+      | Some rp when rp < lp -> fail lineno "mismatched parentheses"
+      | Some rp ->
+          let args = String.sub rhs (lp + 1) (rp - lp - 1) in
+          let fanin =
+            String.split_on_char ',' args
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+            |> List.map (check_ident lineno)
+          in
+          if fanin = [] then fail lineno "gate %S has no inputs" lhs;
+          (try Circuit.Builder.add_gate builder lhs kind fanin
+           with Circuit.Malformed m -> fail lineno "%s" m))
+
+let parse_string ?(title = "bench") text =
+  let builder = Circuit.Builder.create ~title in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then
+        match String.index_opt line '=' with
+        | Some eq -> parse_gate lineno builder line eq
+        | None -> (
+            match parse_decl lineno line with
+            | "INPUT", name -> (
+                try Circuit.Builder.add_input builder name
+                with Circuit.Malformed m -> fail lineno "%s" m)
+            | "OUTPUT", name -> Circuit.Builder.add_output builder name
+            | kw, _ -> fail lineno "unknown declaration %S" kw))
+    lines;
+  Circuit.Builder.finalize builder
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let title = Filename.remove_extension (Filename.basename path) in
+  parse_string ~title text
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" c.title);
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Circuit.name c i)))
+    c.inputs;
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Circuit.name c i)))
+    c.outputs;
+  Array.iter
+    (fun i ->
+      let nd = c.nodes.(i) in
+      if nd.kind <> Gate.Input then begin
+        let args =
+          Array.to_list nd.fanin |> List.map (Circuit.name c) |> String.concat ", "
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" nd.name (Gate.to_string nd.kind) args)
+      end)
+    c.topo_order;
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))

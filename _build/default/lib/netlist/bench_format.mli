@@ -1,0 +1,26 @@
+(** Reader and writer for the ISCAS-85 ".bench" netlist format used by the
+    benchmark suite the paper evaluates on (Brglez & Fujiwara, ISCAS'85).
+
+    Grammar accepted (case-insensitive keywords, [#] comments):
+    {v
+      INPUT(name)
+      OUTPUT(name)
+      name = GATE(a, b, ...)
+    v}
+    Output declarations may name a gate defined later.  A signal that is
+    declared [OUTPUT] but never defined as a gate or input is an error. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?title:string -> string -> Circuit.t
+(** @raise Parse_error on syntax errors
+    @raise Circuit.Malformed on structural errors *)
+
+val parse_file : string -> Circuit.t
+(** Title defaults to the basename without extension. *)
+
+val to_string : Circuit.t -> string
+(** Render a circuit back to bench syntax; [parse_string (to_string c)] is
+    structurally identical to [c]. *)
+
+val write_file : string -> Circuit.t -> unit

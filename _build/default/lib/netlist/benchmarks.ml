@@ -1,0 +1,43 @@
+let c17_text =
+  "# c17 (ISCAS-85)\n\
+   INPUT(n1)\n\
+   INPUT(n2)\n\
+   INPUT(n3)\n\
+   INPUT(n6)\n\
+   INPUT(n7)\n\
+   OUTPUT(n22)\n\
+   OUTPUT(n23)\n\
+   n10 = NAND(n1, n3)\n\
+   n11 = NAND(n3, n6)\n\
+   n16 = NAND(n2, n11)\n\
+   n19 = NAND(n11, n7)\n\
+   n22 = NAND(n10, n16)\n\
+   n23 = NAND(n16, n19)\n"
+
+let c17 () = Bench_format.parse_string ~title:"c17" c17_text
+
+(* c432 is a bus interrupt controller built from 9-bit priority logic
+   (36 PI, 7 PO, 160 gates dominated by NAND with a significant XOR
+   population); the structured generator mirrors that composition. *)
+let c432s () = Generator.priority_controller ~title:"c432s" ~slices:9 ()
+
+let c432s_small () =
+  Generator.priority_controller ~title:"c432s_small" ~slices:3 ()
+
+let all =
+  [
+    ("c17", c17);
+    ("c432s", c432s);
+    ("c432s_small", c432s_small);
+    ("add8", fun () -> Generator.ripple_adder 8);
+    ("add16", fun () -> Generator.ripple_adder 16);
+    ("cmp8", fun () -> Generator.equality_comparator 8);
+    ("par16", fun () -> Generator.parity_tree 16);
+    ("mux3", fun () -> Generator.multiplexer 3);
+    ("dec4", fun () -> Generator.decoder 4);
+    ("cla8", fun () -> Generator.carry_lookahead_adder 8);
+    ("mul4", fun () -> Generator.array_multiplier 4);
+  ]
+
+let by_name name =
+  List.assoc_opt name all |> Option.map (fun make -> make ())

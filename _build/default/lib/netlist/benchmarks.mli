@@ -1,0 +1,22 @@
+(** Built-in benchmark circuits.
+
+    [c17] is the exact ISCAS-85 c17 netlist.  [c432s] is the deterministic
+    c432-scale synthetic circuit standing in for the paper's c432 layout
+    (same 36-PI/7-PO interface and ISCAS-85 gate-mix profile; see DESIGN.md
+    §4 for the substitution rationale). *)
+
+val c17 : unit -> Circuit.t
+(** 5 inputs, 2 outputs, 6 NAND gates — the smallest ISCAS-85 circuit. *)
+
+val c432s : unit -> Circuit.t
+(** 36 inputs, 7 outputs, ~160 gates with the published c432 gate mix
+    (NAND-dominated with NOT, NOR, XOR, AND).  Deterministic. *)
+
+val c432s_small : unit -> Circuit.t
+(** A ~40-gate circuit with the same mix, for fast integration tests. *)
+
+val by_name : string -> Circuit.t option
+(** Lookup by benchmark name. *)
+
+val all : (string * (unit -> Circuit.t)) list
+(** Name/constructor pairs for every built-in benchmark. *)

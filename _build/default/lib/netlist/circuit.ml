@@ -1,0 +1,194 @@
+type node = {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  fanin : int array;
+}
+
+type t = {
+  title : string;
+  nodes : node array;
+  inputs : int array;
+  outputs : int array;
+  fanouts : int array array;
+  levels : int array;
+  topo_order : int array;
+}
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+module Builder = struct
+  type decl = { d_name : string; d_kind : Gate.kind; d_fanin : string list }
+
+  type nonrec t = {
+    b_title : string;
+    mutable decls : decl list; (* reversed *)
+    mutable out_names : string list; (* reversed *)
+    seen : (string, unit) Hashtbl.t;
+  }
+
+  let create ~title =
+    { b_title = title; decls = []; out_names = []; seen = Hashtbl.create 64 }
+
+  let declare b name kind fanin =
+    if Hashtbl.mem b.seen name then malformed "duplicate signal %S" name;
+    Hashtbl.add b.seen name ();
+    b.decls <- { d_name = name; d_kind = kind; d_fanin = fanin } :: b.decls
+
+  let add_input b name = declare b name Gate.Input []
+
+  let add_gate b name kind fanin =
+    if kind = Gate.Input then malformed "use add_input for primary inputs";
+    if not (Gate.arity_ok kind (List.length fanin)) then
+      malformed "gate %S: %s cannot take %d inputs" name (Gate.to_string kind)
+        (List.length fanin);
+    declare b name kind fanin
+
+  let add_output b name = b.out_names <- name :: b.out_names
+
+  let finalize b =
+    let decls = Array.of_list (List.rev b.decls) in
+    let n = Array.length decls in
+    if n = 0 then malformed "empty circuit";
+    let index = Hashtbl.create n in
+    Array.iteri (fun i d -> Hashtbl.replace index d.d_name i) decls;
+    let resolve ctx name =
+      match Hashtbl.find_opt index name with
+      | Some i -> i
+      | None -> malformed "%s references undeclared signal %S" ctx name
+    in
+    let nodes =
+      Array.mapi
+        (fun i d ->
+          let fanin =
+            Array.of_list
+              (List.map (resolve (Printf.sprintf "gate %S" d.d_name)) d.d_fanin)
+          in
+          { id = i; name = d.d_name; kind = d.d_kind; fanin })
+        decls
+    in
+    let outputs =
+      Array.of_list
+        (List.rev_map (fun nm -> resolve "OUTPUT declaration" nm) b.out_names)
+    in
+    if Array.length outputs = 0 then malformed "circuit has no outputs";
+    let inputs =
+      Array.of_seq
+        (Seq.filter_map
+           (fun nd -> if nd.kind = Gate.Input then Some nd.id else None)
+           (Array.to_seq nodes))
+    in
+    if Array.length inputs = 0 then malformed "circuit has no inputs";
+    (* Fanout lists. *)
+    let fanout_lists = Array.make n [] in
+    Array.iter
+      (fun nd ->
+        Array.iter (fun src -> fanout_lists.(src) <- nd.id :: fanout_lists.(src)) nd.fanin)
+      nodes;
+    let fanouts = Array.map (fun l -> Array.of_list (List.rev l)) fanout_lists in
+    (* Kahn topological sort doubles as the cycle check. *)
+    let indeg = Array.map (fun nd -> Array.length nd.fanin) nodes in
+    let queue = Queue.create () in
+    Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+    let topo = Array.make n (-1) in
+    let filled = ref 0 in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      topo.(!filled) <- i;
+      incr filled;
+      Array.iter
+        (fun succ ->
+          indeg.(succ) <- indeg.(succ) - 1;
+          if indeg.(succ) = 0 then Queue.add succ queue)
+        fanouts.(i)
+    done;
+    if !filled <> n then malformed "circuit contains a combinational cycle";
+    let levels = Array.make n 0 in
+    Array.iter
+      (fun i ->
+        let nd = nodes.(i) in
+        if nd.kind <> Gate.Input then
+          levels.(i) <-
+            1 + Array.fold_left (fun acc src -> max acc levels.(src)) 0 nd.fanin)
+      topo;
+    {
+      title = b.b_title;
+      nodes;
+      inputs;
+      outputs;
+      fanouts;
+      levels;
+      topo_order = topo;
+    }
+end
+
+let node_count c = Array.length c.nodes
+let input_count c = Array.length c.inputs
+let output_count c = Array.length c.outputs
+let gate_count c = node_count c - input_count c
+
+let depth c = Array.fold_left max 0 c.levels
+
+let find_opt c name =
+  let n = node_count c in
+  let rec scan i =
+    if i >= n then None
+    else if String.equal c.nodes.(i).name name then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let find c name =
+  match find_opt c name with Some i -> i | None -> raise Not_found
+
+let name c id = c.nodes.(id).name
+
+let is_output c id = Array.exists (fun o -> o = id) c.outputs
+
+let gate_mix c =
+  let tally = Hashtbl.create 8 in
+  Array.iter
+    (fun nd ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tally nd.kind) in
+      Hashtbl.replace tally nd.kind (cur + 1))
+    c.nodes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let line_count c =
+  Array.fold_left (fun acc nd -> acc + 1 + Array.length nd.fanin) 0 c.nodes
+
+let validate c =
+  let n = node_count c in
+  let seen = Hashtbl.create n in
+  Array.iteri
+    (fun i nd ->
+      if nd.id <> i then malformed "node %d has inconsistent id %d" i nd.id;
+      if Hashtbl.mem seen nd.name then malformed "duplicate signal %S" nd.name;
+      Hashtbl.add seen nd.name ();
+      if not (Gate.arity_ok nd.kind (Array.length nd.fanin)) then
+        malformed "gate %S has bad arity" nd.name;
+      Array.iter
+        (fun src ->
+          if src < 0 || src >= n then malformed "gate %S has dangling fanin" nd.name;
+          if nd.kind <> Gate.Input && c.levels.(src) >= c.levels.(i) then
+            malformed "levels not monotone at %S" nd.name)
+        nd.fanin)
+    c.nodes;
+  if Array.length c.topo_order <> n then malformed "topo order incomplete";
+  Array.iter
+    (fun o -> if o < 0 || o >= n then malformed "dangling output id %d" o)
+    c.outputs
+
+let pp_summary ppf c =
+  let mix =
+    gate_mix c
+    |> List.map (fun (k, v) -> Printf.sprintf "%s:%d" (Gate.to_string k) v)
+    |> String.concat " "
+  in
+  Format.fprintf ppf
+    "%s: %d nodes (%d PI, %d gates, %d PO), depth %d, %d fault lines [%s]"
+    c.title (node_count c) (input_count c) (gate_count c) (output_count c)
+    (depth c) (line_count c) mix

@@ -1,0 +1,81 @@
+(** Combinational gate-level circuits.
+
+    A circuit is a DAG of named nodes; primary inputs are nodes of kind
+    {!Gate.Input}, primary outputs are a designated subset of nodes.  The
+    representation is immutable after construction; use {!Builder} to
+    assemble one, or {!Bench_format} to parse ISCAS-85 files. *)
+
+type node = {
+  id : int;              (** Dense index into {!nodes}. *)
+  name : string;         (** Unique signal name. *)
+  kind : Gate.kind;
+  fanin : int array;     (** Ids of driving nodes, in pin order. *)
+}
+
+type t = private {
+  title : string;
+  nodes : node array;        (** Indexed by [id]. *)
+  inputs : int array;        (** Primary-input node ids, declaration order. *)
+  outputs : int array;       (** Primary-output node ids, declaration order. *)
+  fanouts : int array array; (** [fanouts.(i)]: ids of nodes reading node [i]. *)
+  levels : int array;        (** [levels.(i)]: longest path from any PI. *)
+  topo_order : int array;    (** All node ids in topological order. *)
+}
+
+exception Malformed of string
+(** Raised by {!Builder.finalize} on cycles, dangling references, arity
+    violations or duplicate names. *)
+
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : title:string -> t
+
+  val add_input : t -> string -> unit
+  (** Declare a primary input. *)
+
+  val add_gate : t -> string -> Gate.kind -> string list -> unit
+  (** [add_gate b name kind fanin_names] declares a gate driven by the named
+      signals (which may be declared later). *)
+
+  val add_output : t -> string -> unit
+  (** Mark a declared-or-future signal as a primary output. *)
+
+  val finalize : t -> circuit
+  (** Resolve names, check well-formedness, levelize. @raise Malformed *)
+end
+
+val node_count : t -> int
+val gate_count : t -> int
+(** Number of non-input nodes. *)
+
+val input_count : t -> int
+val output_count : t -> int
+
+val depth : t -> int
+(** Maximum level over all nodes (0 for an input-only circuit). *)
+
+val find : t -> string -> int
+(** Node id by name. @raise Not_found *)
+
+val find_opt : t -> string -> int option
+
+val name : t -> int -> string
+(** Name of node [id]. *)
+
+val is_output : t -> int -> bool
+
+val gate_mix : t -> (Gate.kind * int) list
+(** Count of nodes per kind, descending by count. *)
+
+val line_count : t -> int
+(** Number of fault-site lines: one stem per node plus one branch per
+    gate-input pin (the classical stuck-at line universe). *)
+
+val validate : t -> unit
+(** Re-check all invariants; raises [Malformed] on violation.  Useful in
+    tests after structural surgery. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-paragraph human summary (counts, depth, gate mix). *)

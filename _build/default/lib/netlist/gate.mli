@@ -1,0 +1,47 @@
+(** Combinational gate primitives of the ISCAS-85 benchmark suite.
+
+    [Input] marks primary-input nodes; all other kinds are logic gates.
+    Gates are n-ary where the function allows it ([Not]/[Buf] are unary). *)
+
+type kind =
+  | Input
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+val all_logic : kind list
+(** Every kind except [Input]. *)
+
+val to_string : kind -> string
+(** Upper-case ISCAS name, e.g. [Nand -> "NAND"]. *)
+
+val of_string : string -> kind option
+(** Case-insensitive parse of the ISCAS name ([Input] is not parseable this
+    way; the bench format declares inputs separately). *)
+
+val arity_ok : kind -> int -> bool
+(** Whether a gate of this kind may have the given number of inputs. *)
+
+val eval : kind -> bool array -> bool
+(** Evaluate on concrete inputs.  Raises [Invalid_argument] on arity
+    violations or when applied to [Input]. *)
+
+val eval_word : kind -> int64 array -> int64
+(** Bitwise 64-way parallel evaluation: bit [i] of the result is the gate
+    evaluated on bit [i] of each input word. *)
+
+val controlling_value : kind -> bool option
+(** The input value that forces the output regardless of other inputs
+    (e.g. [Some false] for AND/NAND); [None] for XOR/XNOR/BUF/NOT. *)
+
+val controlled_response : kind -> bool
+(** Output when some input is at the controlling value.  Meaningful only
+    when {!controlling_value} is [Some _]. *)
+
+val inversion : kind -> bool
+(** Whether the gate inverts ([Not], [Nand], [Nor], [Xnor]). *)

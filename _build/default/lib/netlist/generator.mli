@@ -1,0 +1,57 @@
+(** Parametric combinational circuit generators.
+
+    Two uses: (1) the c432-scale synthetic benchmark standing in for the
+    paper's ISCAS-85 c432 layout (see DESIGN.md §4), and (2) structured
+    arithmetic circuits for tests and extra workloads. *)
+
+val random :
+  ?seed:int ->
+  ?title:string ->
+  inputs:int ->
+  outputs:int ->
+  profile:(Gate.kind * int) list ->
+  unit ->
+  Circuit.t
+(** [random ~inputs ~outputs ~profile ()] builds a random DAG with the given
+    number of primary inputs and (approximately, see below) the given gate
+    mix.  Fanin selection is biased toward recent signals, producing
+    realistic logic depth; every primary input is guaranteed to drive logic.
+    Surplus sink signals are funneled through extra NAND gates so that the
+    circuit ends with exactly [outputs] primary outputs (the reported gate
+    count may therefore slightly exceed the profile total). *)
+
+val ripple_adder : ?title:string -> int -> Circuit.t
+(** [ripple_adder n]: n-bit ripple-carry adder (2n+1 inputs: a, b, cin;
+    n+1 outputs: sum, cout), built from XOR/AND/OR full adders. *)
+
+val equality_comparator : ?title:string -> int -> Circuit.t
+(** [equality_comparator n]: outputs 1 iff two n-bit words are equal
+    (XNOR reduction tree). *)
+
+val parity_tree : ?title:string -> int -> Circuit.t
+(** [parity_tree n]: XOR reduction of n inputs. *)
+
+val multiplexer : ?title:string -> int -> Circuit.t
+(** [multiplexer s]: 2^s-to-1 mux with s select lines (AND/OR/NOT). *)
+
+val decoder : ?title:string -> int -> Circuit.t
+(** [decoder s]: s-to-2^s one-hot decoder. *)
+
+val priority_controller : ?title:string -> slices:int -> unit -> Circuit.t
+(** [priority_controller ~slices ()] builds a structured interrupt/priority
+    controller in the spirit of ISCAS-85 c432: [slices] input groups of four
+    (enable, two data bits, select), per-slice decode logic (NAND/NOR/NOT/
+    XOR), two priority chains, a parity tree and NAND merge trees feeding 7
+    outputs.  With [slices = 9] the interface matches c432 (36 inputs,
+    7 outputs) at a similar gate count and mix.  Unlike {!random} output,
+    the logic is essentially irredundant, so stuck-at coverage can approach
+    100% as the paper assumes. *)
+
+val carry_lookahead_adder : ?title:string -> int -> Circuit.t
+(** [carry_lookahead_adder n]: n-bit adder with single-level carry
+    lookahead (generate/propagate terms and flattened carry equations);
+    logically equivalent to {!ripple_adder} but shallow. *)
+
+val array_multiplier : ?title:string -> int -> Circuit.t
+(** [array_multiplier n]: n x n combinational array multiplier built from
+    partial-product AND terms and ripple-carry rows (2n outputs). *)

@@ -1,0 +1,74 @@
+let fits ~max_stack (nd : Circuit.node) =
+  let arity = Array.length nd.fanin in
+  match nd.kind with
+  | Gate.Input | Gate.Buf | Gate.Not -> true
+  | Gate.Xor | Gate.Xnor -> arity <= 2
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor -> arity <= max_stack
+
+let is_cell_mappable ?(max_stack = 4) (c : Circuit.t) =
+  Array.for_all (fits ~max_stack) c.nodes
+
+let decompose_for_cells ?(max_stack = 4) (c : Circuit.t) =
+  if max_stack < 2 then invalid_arg "Transform.decompose_for_cells: max_stack < 2";
+  let b = Circuit.Builder.create ~title:c.title in
+  let counter = ref 0 in
+  let helper base =
+    incr counter;
+    Printf.sprintf "%s_dx%d" base !counter
+  in
+  (* Reduce [names] to at most [width] signals by folding groups of [width]
+     through [inner] gates; used for wide AND/OR/XOR trees. *)
+  let rec reduce_tree base inner width names =
+    if List.length names <= width then names
+    else begin
+      let rec group acc current = function
+        | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+        | x :: rest ->
+            if List.length current = width then
+              group (List.rev current :: acc) [ x ] rest
+            else group acc (x :: current) rest
+      in
+      let folded =
+        List.map
+          (fun grp ->
+            match grp with
+            | [ single ] -> single
+            | _ ->
+                let nm = helper base in
+                Circuit.Builder.add_gate b nm inner grp;
+                nm)
+          (group [] [] names)
+      in
+      reduce_tree base inner width folded
+    end
+  in
+  Array.iter
+    (fun id ->
+      let nd = c.nodes.(id) in
+      let name = nd.name in
+      let fanin_names = Array.to_list (Array.map (Circuit.name c) nd.fanin) in
+      if nd.kind = Gate.Input then Circuit.Builder.add_input b name
+      else if fits ~max_stack nd then Circuit.Builder.add_gate b name nd.kind fanin_names
+      else begin
+        match nd.kind with
+        | Gate.And | Gate.Nand ->
+            (* Fold with AND trees, keep the final (possibly inverting)
+               stage at the original name. *)
+            let reduced = reduce_tree name Gate.And max_stack fanin_names in
+            Circuit.Builder.add_gate b name nd.kind reduced
+        | Gate.Or | Gate.Nor ->
+            let reduced = reduce_tree name Gate.Or max_stack fanin_names in
+            Circuit.Builder.add_gate b name nd.kind reduced
+        | Gate.Xor | Gate.Xnor ->
+            let reduced = reduce_tree name Gate.Xor 2 fanin_names in
+            Circuit.Builder.add_gate b name nd.kind reduced
+        | Gate.Input | Gate.Buf | Gate.Not -> assert false
+      end)
+    c.topo_order;
+  Array.iter (fun o -> Circuit.Builder.add_output b (Circuit.name c o)) c.outputs;
+  Circuit.Builder.finalize b
+
+let stats_delta before after =
+  Printf.sprintf "%s: %d -> %d nodes (depth %d -> %d)" before.Circuit.title
+    (Circuit.node_count before) (Circuit.node_count after) (Circuit.depth before)
+    (Circuit.depth after)

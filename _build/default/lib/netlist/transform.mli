@@ -1,0 +1,15 @@
+(** Structural netlist transformations. *)
+
+val decompose_for_cells : ?max_stack:int -> Circuit.t -> Circuit.t
+(** Rewrite a circuit so every gate fits a standard-cell library:
+    XOR/XNOR become trees of 2-input gates, and AND/OR/NAND/NOR wider than
+    [max_stack] (default 4, the longest practical CMOS series stack) are
+    split into trees.  Signal names of original nodes are preserved, so
+    fault sites and coverage results remain comparable; helper nodes get a
+    ["_dx"] suffix. *)
+
+val is_cell_mappable : ?max_stack:int -> Circuit.t -> bool
+(** Whether every gate already fits the cell library. *)
+
+val stats_delta : Circuit.t -> Circuit.t -> string
+(** Human-readable summary of what a transformation changed. *)

@@ -1,0 +1,256 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ lexer *)
+
+type token = Ident of string | Punct of char
+
+type lexer = { mutable tokens : (token * int) list }
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | '\\' -> true
+  | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '.' | '[' | ']' -> true
+  | _ -> false
+
+let tokenize text =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    let ch = text.[!i] in
+    if ch = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if ch = ' ' || ch = '\t' || ch = '\r' then incr i
+    else if ch = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if ch = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i + 1 < n && not !closed do
+        if text.[!i] = '\n' then incr line;
+        if text.[!i] = '*' && text.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail !line "unterminated block comment"
+    end
+    else if is_ident_start ch then begin
+      (* Verilog escaped identifiers start with '\' and end at whitespace. *)
+      let start = !i in
+      if ch = '\\' then begin
+        incr i;
+        while !i < n && text.[!i] <> ' ' && text.[!i] <> '\t' && text.[!i] <> '\n' do
+          incr i
+        done;
+        tokens := (Ident (String.sub text (start + 1) (!i - start - 1)), !line) :: !tokens
+      end
+      else begin
+        while !i < n && is_ident_char text.[!i] do
+          incr i
+        done;
+        tokens := (Ident (String.sub text start (!i - start)), !line) :: !tokens
+      end
+    end
+    else
+      match ch with
+      | '(' | ')' | ',' | ';' ->
+          tokens := (Punct ch, !line) :: !tokens;
+          incr i
+      | _ -> fail !line "unexpected character %C" ch
+  done;
+  { tokens = List.rev !tokens }
+
+let peek lx = match lx.tokens with [] -> None | (t, l) :: _ -> Some (t, l)
+
+let next lx =
+  match lx.tokens with
+  | [] -> fail 0 "unexpected end of input"
+  | (t, l) :: rest ->
+      lx.tokens <- rest;
+      (t, l)
+
+let expect_punct lx ch =
+  match next lx with
+  | Punct c, _ when c = ch -> ()
+  | _, l -> fail l "expected %C" ch
+
+let expect_ident lx =
+  match next lx with
+  | Ident s, l -> (s, l)
+  | Punct c, l -> fail l "expected identifier, found %C" c
+
+let expect_keyword lx kw =
+  let s, l = expect_ident lx in
+  if String.lowercase_ascii s <> kw then fail l "expected %S" kw
+
+(* Comma-separated identifier list terminated by ';'. *)
+let ident_list lx =
+  let rec loop acc =
+    let name, _ = expect_ident lx in
+    match next lx with
+    | Punct ',', _ -> loop (name :: acc)
+    | Punct ';', _ -> List.rev (name :: acc)
+    | _, l -> fail l "expected ',' or ';'"
+  in
+  loop []
+
+(* ----------------------------------------------------------------- parser *)
+
+let primitive_of_string = function
+  | "and" -> Some Gate.And
+  | "nand" -> Some Gate.Nand
+  | "or" -> Some Gate.Or
+  | "nor" -> Some Gate.Nor
+  | "xor" -> Some Gate.Xor
+  | "xnor" -> Some Gate.Xnor
+  | "not" -> Some Gate.Not
+  | "buf" -> Some Gate.Buf
+  | _ -> None
+
+let parse_string ?title text =
+  let lx = tokenize text in
+  expect_keyword lx "module";
+  let module_name, _ = expect_ident lx in
+  let title = Option.value title ~default:module_name in
+  (* Port list (names are re-declared as input/output below). *)
+  (match peek lx with
+  | Some (Punct '(', _) ->
+      expect_punct lx '(';
+      let rec skip_ports () =
+        match next lx with
+        | Punct ')', _ -> ()
+        | Ident _, _ | Punct ',', _ -> skip_ports ()
+        | Punct c, l -> fail l "unexpected %C in port list" c
+      in
+      skip_ports ();
+      expect_punct lx ';'
+  | _ -> fail 0 "expected port list");
+  let builder = Circuit.Builder.create ~title in
+  let outputs = ref [] in
+  let finished = ref false in
+  while not !finished do
+    let word, l = expect_ident lx in
+    match String.lowercase_ascii word with
+    | "endmodule" -> finished := true
+    | "input" ->
+        List.iter
+          (fun nm ->
+            try Circuit.Builder.add_input builder nm
+            with Circuit.Malformed m -> fail l "%s" m)
+          (ident_list lx)
+    | "output" -> outputs := !outputs @ ident_list lx
+    | "wire" ->
+        (* declarations only; connectivity comes from the instances *)
+        ignore (ident_list lx)
+    | kw -> (
+        match primitive_of_string kw with
+        | None -> fail l "unsupported construct %S" word
+        | Some kind ->
+            (* optional instance name *)
+            (match peek lx with
+            | Some (Ident _, _) -> ignore (expect_ident lx)
+            | _ -> ());
+            expect_punct lx '(';
+            let rec terminals acc =
+              let name, _ = expect_ident lx in
+              match next lx with
+              | Punct ',', _ -> terminals (name :: acc)
+              | Punct ')', _ -> List.rev (name :: acc)
+              | _, l -> fail l "expected ',' or ')'"
+            in
+            let ts = terminals [] in
+            expect_punct lx ';';
+            (match ts with
+            | out :: (_ :: _ as ins) -> (
+                try Circuit.Builder.add_gate builder out kind ins
+                with Circuit.Malformed m -> fail l "%s" m)
+            | _ -> fail l "primitive needs an output and at least one input"))
+  done;
+  List.iter (Circuit.Builder.add_output builder) !outputs;
+  Circuit.Builder.finalize builder
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string text
+
+(* ----------------------------------------------------------------- writer *)
+
+let primitive_name = function
+  | Gate.And -> "and"
+  | Gate.Nand -> "nand"
+  | Gate.Or -> "or"
+  | Gate.Nor -> "nor"
+  | Gate.Xor -> "xor"
+  | Gate.Xnor -> "xnor"
+  | Gate.Not -> "not"
+  | Gate.Buf -> "buf"
+  | Gate.Input -> invalid_arg "Verilog: Input is not a primitive"
+
+(* Names must be valid simple identifiers; escape the rest. *)
+let mangle name =
+  let simple =
+    String.length name > 0
+    && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true | _ -> false)
+         name
+  in
+  if simple then name else "\\" ^ name ^ " "
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  let names l = String.concat ", " (List.map mangle l) in
+  let input_names = Array.to_list (Array.map (Circuit.name c) c.inputs) in
+  let output_names = Array.to_list (Array.map (Circuit.name c) c.outputs) in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (%s);\n" (mangle c.title)
+       (names (input_names @ output_names)));
+  Buffer.add_string buf (Printf.sprintf "  input %s;\n" (names input_names));
+  Buffer.add_string buf (Printf.sprintf "  output %s;\n" (names output_names));
+  let wires =
+    Array.to_seq c.nodes
+    |> Seq.filter_map (fun (nd : Circuit.node) ->
+           if nd.kind <> Gate.Input && not (Circuit.is_output c nd.id) then
+             Some nd.name
+           else None)
+    |> List.of_seq
+  in
+  if wires <> [] then Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (names wires));
+  Array.iteri
+    (fun idx id ->
+      let nd = c.nodes.(id) in
+      if nd.kind <> Gate.Input then begin
+        let ins = Array.to_list (Array.map (Circuit.name c) nd.fanin) in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s g%d (%s);\n"
+             (primitive_name nd.kind)
+             idx
+             (names (nd.name :: ins)))
+      end)
+    c.topo_order;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))

@@ -1,0 +1,31 @@
+(** Structural Verilog reader and writer for the gate-primitive subset that
+    combinational benchmark netlists use:
+
+    {v
+      module name (ports...);
+        input a, b;
+        output y;
+        wire w1;
+        nand g1 (w1, a, b);   // output first, then inputs
+        not  g2 (y, w1);
+      endmodule
+    v}
+
+    Supported primitives: [and or nand nor xor xnor not buf].  Instance
+    names are optional (as Verilog allows); line ([//]) and block comments
+    are skipped. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?title:string -> string -> Circuit.t
+(** Title defaults to the module name.
+    @raise Parse_error on syntax errors
+    @raise Circuit.Malformed on structural errors *)
+
+val parse_file : string -> Circuit.t
+
+val to_string : Circuit.t -> string
+(** Render a circuit as a structural Verilog module;
+    [parse_string (to_string c)] is behaviourally identical to [c]. *)
+
+val write_file : string -> Circuit.t -> unit

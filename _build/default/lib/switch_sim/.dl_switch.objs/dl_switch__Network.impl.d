@@ -1,0 +1,1 @@
+lib/switch_sim/network.ml: Array Dl_cell List Mapping

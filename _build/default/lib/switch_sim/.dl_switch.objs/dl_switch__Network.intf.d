@@ -1,0 +1,1 @@
+lib/switch_sim/network.mli: Dl_cell Mapping

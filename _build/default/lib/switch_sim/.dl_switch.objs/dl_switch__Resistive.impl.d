@@ -1,0 +1,1 @@
+lib/switch_sim/resistive.ml: Array Dl_cell Dl_logic Dl_netlist List Network Solver Swift

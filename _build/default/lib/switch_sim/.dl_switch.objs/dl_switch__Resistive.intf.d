@@ -1,0 +1,1 @@
+lib/switch_sim/resistive.mli: Network

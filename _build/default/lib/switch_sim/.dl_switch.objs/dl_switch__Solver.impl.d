@@ -1,0 +1,1 @@
+lib/switch_sim/solver.ml: Array Dl_cell Dl_logic Hashtbl List Network Printf Sys Ternary

@@ -1,0 +1,1 @@
+lib/switch_sim/solver.mli: Dl_logic Network Ternary

@@ -1,0 +1,1 @@
+lib/switch_sim/swift.ml: Array Circuit Dl_cell Dl_fault Dl_logic Dl_netlist Hashtbl Int64 List Network Realistic Solver

@@ -1,0 +1,1 @@
+lib/switch_sim/swift.mli: Dl_fault Network Realistic

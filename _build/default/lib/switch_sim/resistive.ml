@@ -1,0 +1,85 @@
+module Ternary = Dl_logic.Ternary
+module Mapping = Dl_cell.Mapping
+
+type detection = { voltage : int option; iddq : int option }
+
+let signal_of (m : Mapping.network) g =
+  let n = Dl_netlist.Circuit.node_count m.circuit in
+  if g >= 2 && g < 2 + n then Some (g - 2) else None
+
+let detect ?(resistance = 0.0) net ~node_a ~node_b ~vectors =
+  let m = Network.mapping net in
+  let c = m.Mapping.circuit in
+  let instances =
+    List.sort_uniq compare
+      (List.filter_map (fun g -> Network.owner_instance net g) [ node_a; node_b ])
+  in
+  let region =
+    Solver.make net ~instances
+      ~modifications:[ Solver.Resistive_bridge { node_a; node_b; resistance } ]
+  in
+  let output_signals =
+    List.filter_map
+      (fun g -> match signal_of m g with Some cn -> Some (g, cn) | None -> None)
+      (Solver.observable_nodes region)
+  in
+  let goods = Swift.good_values net vectors in
+  let voltage = ref None and iddq = ref None in
+  (try
+     Array.iteri
+       (fun k good ->
+         let ext g =
+           match signal_of m g with
+           | Some cn -> Ternary.of_bool good.(cn)
+           | None -> Ternary.VX
+         in
+         let outcome =
+           Solver.solve region ~external_value:ext ~charge:(fun _ -> Ternary.VX)
+         in
+         if !iddq = None && outcome.fight then iddq := Some k;
+         let seeds =
+           List.filter_map
+             (fun (g, cn) ->
+               match List.assoc_opt g outcome.values with
+               | Some v -> Some (cn, v)
+               | None -> None)
+             output_signals
+         in
+         let map = Dl_logic.Propagate.run c good seeds in
+         if !voltage = None && Dl_logic.Propagate.po_detects c good map then voltage := Some k;
+         if !voltage <> None && !iddq <> None then raise Exit)
+       goods
+   with Exit -> ());
+  { voltage = !voltage; iddq = !iddq }
+
+let critical_resistance ?(r_max = 64.0) ?(tolerance = 0.05) net ~node_a ~node_b
+    ~vectors =
+  let detected r = (detect ~resistance:r net ~node_a ~node_b ~vectors).voltage <> None in
+  if not (detected 0.0) then None
+  else if detected r_max then Some r_max
+  else begin
+    (* Detection is monotone in resistance under the strength model:
+       bisection finds the threshold. *)
+    let rec bisect lo hi =
+      if hi -. lo <= tolerance then lo
+      else begin
+        let mid = 0.5 *. (lo +. hi) in
+        if detected mid then bisect mid hi else bisect lo mid
+      end
+    in
+    Some (bisect 0.0 r_max)
+  end
+
+let coverage_vs_resistance net ~bridges ~vectors ~resistances =
+  Array.map
+    (fun r ->
+      let hit =
+        Array.fold_left
+          (fun acc (a, b) ->
+            if (detect ~resistance:r net ~node_a:a ~node_b:b ~vectors).voltage <> None
+            then acc + 1
+            else acc)
+          0 bridges
+      in
+      (r, float_of_int hit /. float_of_int (max 1 (Array.length bridges))))
+    resistances

@@ -1,0 +1,43 @@
+(** Resistive bridging-fault analysis.
+
+    A physical short has a finite resistance; above a fault-specific
+    *critical resistance* the coupling is too weak to flip any logic value
+    and the defect escapes static voltage testing (Renovell's resistive
+    bridging model).  This module evaluates detection of a bridge at a
+    given resistance and locates the critical resistance for a vector set
+    — quantifying how much of the extracted bridge population a voltage
+    test really covers once resistance is taken into account. *)
+
+type detection = { voltage : int option; iddq : int option }
+
+val detect :
+  ?resistance:float ->
+  Network.t ->
+  node_a:int ->
+  node_b:int ->
+  vectors:bool array array ->
+  detection
+(** First detecting vector of the (possibly resistive) bridge, by static
+    voltage and by IDDQ.  [resistance] is in NMOS-channel units
+    (default 0 = hard short). *)
+
+val critical_resistance :
+  ?r_max:float ->
+  ?tolerance:float ->
+  Network.t ->
+  node_a:int ->
+  node_b:int ->
+  vectors:bool array array ->
+  float option
+(** Largest resistance (up to [r_max], default 64) at which the vector set
+    still voltage-detects the bridge, found by bisection to [tolerance]
+    (default 0.05); [None] if even the hard short escapes. *)
+
+val coverage_vs_resistance :
+  Network.t ->
+  bridges:(int * int) array ->
+  vectors:bool array array ->
+  resistances:float array ->
+  (float * float) array
+(** [(resistance, fraction of bridges voltage-detected)] across a
+    resistance sweep — the ablation data for the resistive-bridge model. *)

@@ -1,0 +1,283 @@
+open Dl_logic
+module Mapping = Dl_cell.Mapping
+module Cell = Dl_cell.Cell
+
+type modification =
+  | Remove_transistor of int
+  | Short_transistor of int
+  | Bridge_nodes of { node_a : int; node_b : int }
+  | Resistive_bridge of { node_a : int; node_b : int; resistance : float }
+
+(* Relative series resistances of the strength model.  The NMOS/PMOS ratio
+   reflects electron/hole mobility, and deliberately breaks ties so that a
+   hard bridge between opposing drivers resolves like the classical
+   wired-AND CMOS bridging model (pull-down usually wins); a bridge is a
+   hard short (zero resistance). *)
+let r_nmos = 1.0
+let r_pmos = 2.5
+let r_bridge = 0.0
+
+(* External pad drivers are much stronger than cell pulls but not perfectly
+   matched to each other: when two bridged inputs fight, the (arbitrarily,
+   deterministically) stronger pad wins, as on silicon.  Both strengths stay
+   far below every cell-path resistance. *)
+let r_driver node = 0.2 +. (0.001 *. float_of_int (node mod 97))
+let infinite = infinity
+
+type gating = Always_on | Gated of int * Cell.channel
+
+type edge = { endpoint_a : int; endpoint_b : int; resistance : float; gating : gating }
+
+type t = {
+  network : Network.t;
+  globals : int array;          (* local -> global node id (floats < 0 are synthetic) *)
+  local_of : (int, int) Hashtbl.t;
+  edges : edge array;
+  gnd : int;                    (* local ids *)
+  vdd : int;
+  pi_nodes : (int * int) list;  (* (local, global) nodes with external pad drivers *)
+  resolved : int list;          (* local ids whose values the region determines *)
+}
+
+let nodes t = List.map (fun l -> t.globals.(l)) t.resolved
+
+let observable_nodes t =
+  List.map (fun l -> t.globals.(l)) t.resolved
+  @ List.map (fun (_, g) -> g) t.pi_nodes
+
+let make (net : Network.t) ~instances ~modifications =
+  let m = Network.mapping net in
+  let removed = Hashtbl.create 4 in
+  let shorted = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Remove_transistor ti -> Hashtbl.replace removed ti ()
+      | Short_transistor ti -> Hashtbl.replace shorted ti ()
+      | Bridge_nodes _ | Resistive_bridge _ -> ())
+    modifications;
+  let local_of = Hashtbl.create 32 in
+  let globals = ref [] in
+  let count = ref 0 in
+  let intern global =
+    match Hashtbl.find_opt local_of global with
+    | Some l -> l
+    | None ->
+        let l = !count in
+        incr count;
+        Hashtbl.replace local_of global l;
+        globals := global :: !globals;
+        l
+  in
+  let gnd = intern m.Mapping.gnd in
+  let vdd = intern m.Mapping.vdd in
+  let resolved = ref [] in
+  List.iter
+    (fun ii ->
+      let inst = m.Mapping.instances.(ii) in
+      resolved := intern inst.output_node :: !resolved;
+      Array.iter (fun nd -> resolved := intern nd :: !resolved) inst.internal_nodes)
+    instances;
+  (* Channel edges from the instances' transistors. *)
+  let edges = ref [] in
+  List.iter
+    (fun ii ->
+      let inst = m.Mapping.instances.(ii) in
+      let n_ts = List.length inst.cell.Cell.transistors in
+      for k = 0 to n_ts - 1 do
+        let ti = inst.first_transistor + k in
+        if not (Hashtbl.mem removed ti) then begin
+          let tr = m.Mapping.transistors.(ti) in
+          let a = intern tr.source and b = intern tr.drain in
+          let gating, resistance =
+            if Hashtbl.mem shorted ti then (Always_on, r_nmos)
+            else
+              ( Gated (tr.gate, tr.channel),
+                match tr.channel with Cell.Nmos -> r_nmos | Cell.Pmos -> r_pmos )
+          in
+          edges := { endpoint_a = a; endpoint_b = b; resistance; gating } :: !edges
+        end
+      done)
+    instances;
+  let pi_nodes = ref [] in
+  let add_bridge node_a node_b resistance =
+    let a = intern node_a and b = intern node_b in
+    edges :=
+      { endpoint_a = a; endpoint_b = b; resistance; gating = Always_on } :: !edges;
+    List.iter
+      (fun (g, l) ->
+        if Network.is_primary_input net g then pi_nodes := (l, g) :: !pi_nodes
+        else resolved := l :: !resolved)
+      [ (node_a, a); (node_b, b) ]
+  in
+  List.iter
+    (function
+      | Bridge_nodes { node_a; node_b } -> add_bridge node_a node_b r_bridge
+      | Resistive_bridge { node_a; node_b; resistance } ->
+          if resistance < 0.0 then
+            invalid_arg "Solver: bridge resistance must be non-negative";
+          add_bridge node_a node_b resistance
+      | Remove_transistor _ | Short_transistor _ -> ())
+    modifications;
+  (* De-duplicate resolved list, drop rails. *)
+  let seen = Hashtbl.create 16 in
+  let resolved =
+    List.filter
+      (fun l ->
+        if l = gnd || l = vdd || Hashtbl.mem seen l then false
+        else begin
+          Hashtbl.replace seen l ();
+          true
+        end)
+      (List.rev !resolved)
+  in
+  let globals_arr = Array.make !count (-1) in
+  List.iteri
+    (fun i g ->
+      (* globals list is reversed relative to allocation order. *)
+      globals_arr.(!count - 1 - i) <- g)
+    !globals;
+  {
+    network = net;
+    globals = globals_arr;
+    local_of;
+    edges = Array.of_list (List.rev !edges);
+    gnd;
+    vdd;
+    pi_nodes = !pi_nodes;
+    resolved;
+  }
+
+type outcome = { values : (int * Ternary.t) list; fight : bool }
+
+type conduction = On | Off | Maybe
+
+let solve t ~external_value ~charge =
+  let n = Array.length t.globals in
+  let values = Array.make n Ternary.VX in
+  values.(t.gnd) <- Ternary.V0;
+  values.(t.vdd) <- Ternary.V1;
+  let pi_value = List.map (fun (l, g) -> (l, external_value g)) t.pi_nodes in
+  List.iter (fun (l, v) -> values.(l) <- v) pi_value;
+  let solved_locals = t.resolved @ List.map fst t.pi_nodes in
+  let gate_value gnode =
+    match Hashtbl.find_opt t.local_of gnode with
+    | Some l when List.mem l solved_locals -> values.(l)
+    | Some l when l = t.gnd -> Ternary.V0
+    | Some l when l = t.vdd -> Ternary.V1
+    | _ -> external_value gnode
+  in
+  let conduction e =
+    match e.gating with
+    | Always_on -> On
+    | Gated (gnode, channel) -> (
+        match (gate_value gnode, channel) with
+        | Ternary.V1, Cell.Nmos | Ternary.V0, Cell.Pmos -> On
+        | Ternary.V0, Cell.Nmos | Ternary.V1, Cell.Pmos -> Off
+        | Ternary.VX, _ -> Maybe)
+  in
+  (* Single-source shortest path from a rail through edges whose conduction
+     is in [accept]; O(V^2) Dijkstra is ample for these tiny graphs. *)
+  let distances source accept =
+    let dist = Array.make n infinite in
+    dist.(source) <- 0.0;
+    (* Pad drivers: a PI node with a matching value extends the rail. *)
+    List.iter
+      (fun (l, v) ->
+        let matches =
+          match (v, source = t.vdd) with
+          | Ternary.V1, true | Ternary.V0, false -> true
+          | Ternary.VX, _ -> accept Maybe
+          | _ -> false
+        in
+        let r = r_driver t.globals.(l) in
+        if matches && r < dist.(l) then dist.(l) <- r)
+      pi_value;
+    let visited = Array.make n false in
+    let rec loop () =
+      let best = ref (-1) in
+      for i = 0 to n - 1 do
+        if (not visited.(i)) && dist.(i) < infinite then
+          if !best < 0 || dist.(i) < dist.(!best) then best := i
+      done;
+      if !best >= 0 then begin
+        let u = !best in
+        visited.(u) <- true;
+        (* Rails are sources, never conduits: a path entering the opposite
+           rail must not continue out of it. *)
+        let blocked = (u = t.gnd || u = t.vdd) && u <> source in
+        if not blocked then
+        Array.iter
+          (fun e ->
+            if accept (conduction e) then begin
+              let relax a b =
+                if a = u && dist.(u) +. e.resistance < dist.(b) then
+                  dist.(b) <- dist.(u) +. e.resistance
+              in
+              relax e.endpoint_a e.endpoint_b;
+              relax e.endpoint_b e.endpoint_a
+            end)
+          t.edges;
+        loop ()
+      end
+    in
+    loop ();
+    dist
+  in
+  let debug = Sys.getenv_opt "DL_SOLVER_DEBUG" <> None in
+  let fight = ref false in
+  let stable = ref false in
+  let rounds = ref 0 in
+  let max_rounds = 4 * (n + 2) in
+  while (not !stable) && !rounds < max_rounds do
+    incr rounds;
+    let def_dn = distances t.gnd (fun c -> c = On) in
+    let def_up = distances t.vdd (fun c -> c = On) in
+    let pos_dn = distances t.gnd (fun c -> c <> Off) in
+    let pos_up = distances t.vdd (fun c -> c <> Off) in
+    if debug then begin
+      Printf.eprintf "round %d:\n" !rounds;
+      List.iter (fun l ->
+        Printf.eprintf "  node g%d l%d du=%.2f dd=%.2f pu=%.2f pd=%.2f val=%c\n"
+          t.globals.(l) l def_up.(l) def_dn.(l) pos_up.(l) pos_dn.(l)
+          (Ternary.to_char values.(l))) t.resolved;
+      Array.iteri (fun ei e ->
+        Printf.eprintf "  edge %d l%d-l%d r=%.2f cond=%s\n" ei e.endpoint_a e.endpoint_b e.resistance
+          (match conduction e with On -> "on" | Off -> "off" | Maybe -> "maybe")) t.edges
+    end;
+    stable := true;
+    List.iter
+      (fun l ->
+        let du = def_up.(l) and dd = def_dn.(l) in
+        let pu = pos_up.(l) and pd = pos_dn.(l) in
+        let v =
+          if du < infinite && dd < infinite then begin
+            fight := true;
+            (* Stronger (lower-resistance) side wins the fight. *)
+            if du < dd then Ternary.V1
+            else if dd < du then Ternary.V0
+            else Ternary.VX
+          end
+          else if du < infinite then (if pd < infinite then Ternary.VX else Ternary.V1)
+          else if dd < infinite then (if pu < infinite then Ternary.VX else Ternary.V0)
+          else if pu < infinite || pd < infinite then Ternary.VX
+          else charge t.globals.(l)
+        in
+        if v <> values.(l) then begin
+          values.(l) <- v;
+          stable := false
+        end)
+      solved_locals;
+    (* A pad driver opposed by a definite rail path is also a fight. *)
+    List.iter
+      (fun (l, v) ->
+        match v with
+        | Ternary.V1 -> if def_dn.(l) < infinite then fight := true
+        | Ternary.V0 -> if def_up.(l) < infinite then fight := true
+        | Ternary.VX -> ())
+      pi_value
+  done;
+  let report =
+    List.map (fun l -> (t.globals.(l), values.(l))) t.resolved
+    @ List.map (fun (l, _) -> (t.globals.(l), values.(l))) t.pi_nodes
+  in
+  { values = report; fight = !fight }

@@ -1,0 +1,64 @@
+(** Steady-state switch-level solver for a faulted region of the chip.
+
+    The region is a small transistor sub-network (the faulted cell, or the
+    two cells joined by a bridge).  Nodes are resolved by drive-strength
+    path analysis: conductance is the reciprocal of the series resistance
+    of the best on-path to a rail (NMOS channels are stronger than PMOS,
+    external pad drivers stronger still), opposing definite paths make a
+    *fight* (static IDDQ current) whose winner is the stronger side,
+    undriven nodes retain their charge from the previous vector — which is
+    exactly the memory effect that makes transistor stuck-opens require
+    two-pattern tests. *)
+
+open Dl_logic
+
+type modification =
+  | Remove_transistor of int
+      (** Global transistor index: models a stuck-open device. *)
+  | Short_transistor of int
+      (** Channel permanently conducting: a stuck-on device /
+          gate-oxide short. *)
+  | Bridge_nodes of { node_a : int; node_b : int }
+      (** Hard (zero-resistance) short between two network nodes. *)
+  | Resistive_bridge of { node_a : int; node_b : int; resistance : float }
+      (** Short with a finite resistance in units of the NMOS channel
+          resistance: large values weaken the coupling until the bridge
+          stops flipping logic (its critical resistance). *)
+
+type t
+
+val make :
+  Network.t -> instances:int list -> modifications:modification list -> t
+(** Build a region over the given cell instances.  Bridged nodes that are
+    primary-input signals get an implicit strong external driver. *)
+
+val nodes : t -> int list
+(** Global ids of all nodes resolved by this region (charge state should be
+    kept for these). *)
+
+val observable_nodes : t -> int list
+(** {!nodes} plus bridged pad-driven primary-input nodes: every node whose
+    resolved value should be propagated downstream. *)
+
+type outcome = {
+  values : (int * Ternary.t) list;
+      (** Resolved value per region node (global ids), including cell
+          outputs to propagate downstream. *)
+  fight : bool;
+      (** A definite rail-to-rail (or driver-to-rail) conducting path
+          exists: elevated quiescent current, observable by IDDQ testing. *)
+}
+
+val solve :
+  t ->
+  external_value:(int -> Ternary.t) ->
+  charge:(int -> Ternary.t) ->
+  outcome
+(** [external_value] supplies values of nodes outside the region (gate
+    terminals, bridged PI drivers); [charge] supplies the previous-vector
+    value of region nodes for floating-node retention ([Ternary.VX] for an
+    unknown initial state).
+
+    Diagnostics: set the [DL_SOLVER_DEBUG] environment variable to trace
+    every relaxation round (per-node rail distances, edge conduction) on
+    stderr. *)

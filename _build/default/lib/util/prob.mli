@@ -1,0 +1,24 @@
+(** Discrete probability distributions used by the yield and defect-count
+    models (Poisson defect statistics, Stapper's negative-binomial clustered
+    yield, Agrawal's faults-per-faulty-chip distribution). *)
+
+val log_factorial : int -> float
+(** [ln n!] via lgamma-style accumulation; exact for small [n]. *)
+
+val poisson_pmf : lambda:float -> int -> float
+(** P[N = k] for N ~ Poisson(lambda). *)
+
+val poisson_cdf : lambda:float -> int -> float
+
+val poisson_sample : Rng.t -> lambda:float -> int
+(** Inversion for small lambda, normal approximation above 500. *)
+
+val negative_binomial_pmf : mean:float -> alpha:float -> int -> float
+(** Stapper's clustered defect count: gamma-mixed Poisson with clustering
+    parameter [alpha] ([alpha -> infinity] recovers Poisson). *)
+
+val binomial_pmf : n:int -> p:float -> int -> float
+
+val truncated_poisson_mean : lambda:float -> float
+(** E[N | N >= 1] for N ~ Poisson(lambda): the average number of faults on a
+    *faulty* chip, the [n] parameter of Agrawal's model (eq. 2). *)

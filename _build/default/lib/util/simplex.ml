@@ -1,0 +1,120 @@
+type result = {
+  xmin : float array;
+  fmin : float;
+  iterations : int;
+  converged : bool;
+}
+
+let alpha = 1.0 (* reflection *)
+let gamma = 2.0 (* expansion *)
+let rho = 0.5 (* contraction *)
+let sigma = 0.5 (* shrink *)
+
+let minimize ?(tol = 1e-10) ?(max_iter = 2000) ?(step = 0.1) ~f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Simplex.minimize: empty start point";
+  (* n+1 vertices: x0 plus one perturbation per coordinate. *)
+  let vertex i =
+    if i = 0 then Array.copy x0
+    else begin
+      let v = Array.copy x0 in
+      let j = i - 1 in
+      let delta =
+        let rel = step *. Float.abs v.(j) in
+        if rel > 0.0 then rel else step
+      in
+      v.(j) <- v.(j) +. delta;
+      v
+    end
+  in
+  let xs = Array.init (n + 1) vertex in
+  let fs = Array.map f xs in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare fs.(a) fs.(b)) idx;
+    let xs' = Array.map (fun i -> xs.(i)) idx in
+    let fs' = Array.map (fun i -> fs.(i)) idx in
+    Array.blit xs' 0 xs 0 (n + 1);
+    Array.blit fs' 0 fs 0 (n + 1)
+  in
+  let centroid () =
+    (* Centroid of all vertices except the worst (last after ordering). *)
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        c.(j) <- c.(j) +. (xs.(i).(j) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine c x coef =
+    Array.init n (fun j -> c.(j) +. (coef *. (c.(j) -. x.(j))))
+  in
+  let diameter () =
+    let d = ref 0.0 in
+    for i = 1 to n do
+      for j = 0 to n - 1 do
+        d := Float.max !d (Float.abs (xs.(i).(j) -. xs.(0).(j)))
+      done
+    done;
+    !d
+  in
+  let iterations = ref 0 in
+  order ();
+  let converged = ref (diameter () <= tol) in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let c = centroid () in
+    let xr = combine c xs.(n) alpha in
+    let fr = f xr in
+    if fr < fs.(0) then begin
+      let xe = combine c xs.(n) gamma in
+      let fe = f xe in
+      if fe < fr then begin
+        xs.(n) <- xe;
+        fs.(n) <- fe
+      end
+      else begin
+        xs.(n) <- xr;
+        fs.(n) <- fr
+      end
+    end
+    else if fr < fs.(n - 1) then begin
+      xs.(n) <- xr;
+      fs.(n) <- fr
+    end
+    else begin
+      (* Contract toward the centroid; on failure shrink toward the best. *)
+      let xc =
+        if fr < fs.(n) then combine c xs.(n) (rho *. alpha)
+        else Array.init n (fun j -> c.(j) -. (rho *. (c.(j) -. xs.(n).(j))))
+      in
+      let fc = f xc in
+      if fc < Float.min fr fs.(n) then begin
+        xs.(n) <- xc;
+        fs.(n) <- fc
+      end
+      else
+        for i = 1 to n do
+          xs.(i) <-
+            Array.init n (fun j -> xs.(0).(j) +. (sigma *. (xs.(i).(j) -. xs.(0).(j))));
+          fs.(i) <- f xs.(i)
+        done
+    end;
+    order ();
+    if diameter () <= tol then converged := true
+  done;
+  { xmin = Array.copy xs.(0); fmin = fs.(0); iterations = !iterations; converged = !converged }
+
+let minimize_bounded ?tol ?max_iter ~f ~lo ~hi x0 =
+  let n = Array.length x0 in
+  if Array.length lo <> n || Array.length hi <> n then
+    invalid_arg "Simplex.minimize_bounded: bound arrays must match x0";
+  Array.iteri
+    (fun i l -> if l > hi.(i) then invalid_arg "Simplex.minimize_bounded: lo > hi")
+    lo;
+  let project x = Array.mapi (fun i v -> Numerics.clamp ~lo:lo.(i) ~hi:hi.(i) v) x in
+  let f_clamped x = f (project x) in
+  let x0 = project x0 in
+  let r = minimize ?tol ?max_iter ~f:f_clamped x0 in
+  { r with xmin = project r.xmin; fmin = f (project r.xmin) }

@@ -1,0 +1,32 @@
+(** Nelder–Mead downhill simplex minimization for low-dimensional parameter
+    fitting (the paper fits [(R, θmax)] and the Agrawal [n] by curve
+    fitting; we do the same numerically). *)
+
+type result = {
+  xmin : float array;  (** Minimizing point. *)
+  fmin : float;        (** Objective value at [xmin]. *)
+  iterations : int;
+  converged : bool;    (** Simplex diameter reached [tol] before [max_iter]. *)
+}
+
+val minimize :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?step:float ->
+  f:(float array -> float) ->
+  float array ->
+  result
+(** [minimize ~f x0] minimizes [f] starting from [x0].  [step] scales the
+    initial simplex (default 0.1 relative, with an absolute floor). The
+    objective may return [infinity] to reject out-of-domain points. *)
+
+val minimize_bounded :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float array -> float) ->
+  lo:float array ->
+  hi:float array ->
+  float array ->
+  result
+(** Box-constrained variant: points outside [\[lo, hi\]] are clamped before
+    evaluation and the returned minimizer lies inside the box. *)

@@ -1,0 +1,36 @@
+(** Descriptive statistics and simple regression over float arrays. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singleton arrays. *)
+
+val stddev : float array -> float
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values. *)
+
+val min_max : float array -> float * float
+
+val total : float array -> float
+(** Kahan-compensated sum. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0,1\]], linear interpolation between order
+    statistics. Does not mutate the input. *)
+
+val median : float array -> float
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient. *)
+
+type linear_fit = { slope : float; intercept : float; r2 : float }
+
+val linear_regression : float array -> float array -> linear_fit
+(** Ordinary least squares of [y] on [x]. *)
+
+val rmse : float array -> float array -> float
+(** Root mean squared error between paired arrays. *)
+
+val max_abs_error : float array -> float array -> float

@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Atpg Benchmarks Circuit Dl_atpg Dl_fault Dl_netlist Gate List Option Podem Printf Random_gen Scoap

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Benchmarks Cell Char Circuit Dl_cell Dl_logic Dl_netlist Dl_util Gate Hashtbl List Mapping Printf String Transform

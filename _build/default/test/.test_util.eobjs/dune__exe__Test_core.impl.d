@@ -1,0 +1,1 @@
+test/test_core.ml: Agrawal Alcotest Array Dl_core Gen List Projection QCheck QCheck_alcotest Susceptibility Weighted Williams_brown Yield_model

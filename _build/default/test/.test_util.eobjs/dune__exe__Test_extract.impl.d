@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Benchmarks Circuit Critical_area Defect_stats Dl_cell Dl_extract Dl_layout Dl_netlist Dl_switch Dl_util Float Hashtbl Ifa List Option Printf Transform

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Benchmarks Circuit Coverage Dictionary Dl_fault Dl_netlist Dl_util Fault_sim Fun List Option QCheck QCheck_alcotest Stuck_at

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dl_core Dl_extract Dl_fault Dl_netlist Dl_util Experiment Float Lazy Printf Projection

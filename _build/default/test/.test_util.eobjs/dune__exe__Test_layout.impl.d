@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Benchmarks Cell_template Circuit Dl_cell Dl_layout Dl_netlist Gate Geom Layout List Option Printf Transform

@@ -1,0 +1,1 @@
+test/test_logic_sim.ml: Alcotest Array Benchmarks Circuit Dl_logic Dl_netlist Dl_util Event_sim Format Gate Generator Int64 List Sim2 Sim3 Ternary

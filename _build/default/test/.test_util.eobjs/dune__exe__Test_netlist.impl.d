@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bench_format Benchmarks Circuit Dl_logic Dl_netlist Dl_util Gate Generator Int64 List Printf QCheck QCheck_alcotest String Transform

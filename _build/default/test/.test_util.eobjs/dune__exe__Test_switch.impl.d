@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Array Benchmarks Circuit Dl_cell Dl_fault Dl_logic Dl_netlist Dl_switch Dl_util Gate List Network Option Printf Realistic Solver Swift Transform

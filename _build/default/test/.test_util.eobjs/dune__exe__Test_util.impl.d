@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dl_util Fit Float Fun Gen Hashtbl Histogram List Numerics Prob QCheck QCheck_alcotest Rng Simplex Stats String Table

@@ -1,0 +1,440 @@
+open Dl_core
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf_eps eps = Alcotest.(check (float eps))
+
+(* --- Williams-Brown (eq. 1) ------------------------------------------------------ *)
+
+let test_wb_endpoints () =
+  checkf "DL(0) = 1 - Y" 0.25 (Williams_brown.defect_level ~yield:0.75 ~coverage:0.0);
+  checkf "DL(1) = 0" 0.0 (Williams_brown.defect_level ~yield:0.75 ~coverage:1.0);
+  checkf "Y=1 means DL=0" 0.0 (Williams_brown.defect_level ~yield:1.0 ~coverage:0.5)
+
+let test_wb_known_value () =
+  (* the classic 1981 example: Y=0.5, T=0.9 -> DL ~ 6.7% *)
+  checkf_eps 1e-4 "Y=.5 T=.9" 0.0670
+    (Williams_brown.defect_level ~yield:0.5 ~coverage:0.9)
+
+let test_wb_required_coverage_inverse () =
+  let yield_ = 0.6 in
+  List.iter
+    (fun t ->
+      let dl = Williams_brown.defect_level ~yield:yield_ ~coverage:t in
+      if dl > 0.0 then
+        checkf_eps 1e-9 "roundtrip" t
+          (Williams_brown.required_coverage ~yield:yield_ ~target_dl:dl))
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_wb_paper_example_1 () =
+  (* Example 1's WB side: Y=0.75, DL=100ppm -> T = 99.97% *)
+  checkf_eps 1e-4 "T = 99.97%" 0.99965
+    (Williams_brown.required_coverage ~yield:0.75 ~target_dl:1e-4)
+
+let test_wb_yield_from () =
+  let y = Williams_brown.yield_from ~coverage:0.9 ~defect_level:0.0670 in
+  checkf_eps 1e-3 "yield recovery" 0.5 y
+
+let test_wb_domain_checks () =
+  Alcotest.(check bool) "yield 0 rejected" true
+    (try
+       ignore (Williams_brown.defect_level ~yield:0.0 ~coverage:0.5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "coverage 2 rejected" true
+    (try
+       ignore (Williams_brown.defect_level ~yield:0.5 ~coverage:2.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Agrawal (eq. 2) --------------------------------------------------------------- *)
+
+let test_agrawal_endpoints () =
+  checkf "DL(0) = 1-Y" 0.25 (Agrawal.defect_level ~yield:0.75 ~coverage:0.0 ~n:3.0);
+  checkf "DL(1) = 0" 0.0 (Agrawal.defect_level ~yield:0.75 ~coverage:1.0 ~n:3.0)
+
+let test_agrawal_n1_close_to_wb_small_dl () =
+  (* with n = 1 the model is DL = (1-T)(1-Y)/(Y + (1-T)(1-Y)); for small
+     (1-T) this tracks WB to first order *)
+  let t = 0.99 in
+  let wb = Williams_brown.defect_level ~yield:0.9 ~coverage:t in
+  let ag = Agrawal.defect_level ~yield:0.9 ~coverage:t ~n:1.0 in
+  Alcotest.(check bool) "same order of magnitude" true (ag /. wb > 0.5 && ag /. wb < 2.0)
+
+let test_agrawal_larger_n_lower_dl () =
+  (* more faults per faulty chip means faulty chips are easier to catch *)
+  let dl n = Agrawal.defect_level ~yield:0.75 ~coverage:0.8 ~n in
+  Alcotest.(check bool) "monotone in n" true (dl 5.0 < dl 2.0 && dl 2.0 < dl 1.0)
+
+let test_agrawal_fit_recovers_n () =
+  let yield_ = 0.7 and n_true = 4.0 in
+  let points =
+    List.map
+      (fun t -> (t, Agrawal.defect_level ~yield:yield_ ~coverage:t ~n:n_true))
+      [ 0.1; 0.3; 0.5; 0.7; 0.9; 0.95; 0.99 ]
+  in
+  let n_fit, rmse = Agrawal.fit_n ~yield:yield_ points in
+  checkf_eps 1e-3 "n recovered" n_true n_fit;
+  Alcotest.(check bool) "tiny rmse" true (rmse < 1e-6)
+
+let test_agrawal_n_of_mean_defects () =
+  checkf_eps 1e-9 "lambda 2"
+    (2.0 /. (1.0 -. exp (-2.0)))
+    (Agrawal.n_of_mean_defects ~lambda:2.0)
+
+(* --- Weighted model (eqs. 3-6) -------------------------------------------------------- *)
+
+let test_weighted_yield () =
+  checkf "eq 5" (exp (-0.6)) (Weighted.yield_of_weights [| 0.1; 0.2; 0.3 |])
+
+let test_weighted_coverage () =
+  checkf "eq 6" 0.5
+    (Weighted.coverage ~weights:[| 1.0; 2.0; 3.0 |] ~detected:[| true; true; false |])
+
+let test_weighted_scale_to_yield () =
+  let weights = [| 0.01; 0.02; 0.005 |] in
+  let scaled, factor = Weighted.scale_to_yield ~weights ~target_yield:0.75 in
+  checkf "target reached" 0.75 (Weighted.yield_of_weights scaled);
+  Alcotest.(check bool) "factor positive" true (factor > 0.0);
+  (* scaling is uniform, so relative coverage is invariant *)
+  let detected = [| true; false; true |] in
+  checkf "theta invariant"
+    (Weighted.coverage ~weights ~detected)
+    (Weighted.coverage ~weights:scaled ~detected)
+
+let test_weighted_probability_inverses () =
+  List.iter
+    (fun p ->
+      checkf_eps 1e-12 "inverse" p
+        (Weighted.probability_of_weight (Weighted.weight_of_probability p)))
+    [ 0.0; 1e-9; 1e-4; 0.5; 0.99 ]
+
+let test_weighted_dl_equals_wb_uniform () =
+  (* with all-equal weights and a fraction f detected, theta = f, so eq 3
+     equals eq 1 at T = f *)
+  let weights = Array.make 10 0.0287682072451781 in
+  (* total = 0.2876..., Y = 0.75 *)
+  let detected = Array.init 10 (fun i -> i < 7) in
+  let dl_weighted = Weighted.defect_level_of_weights ~weights ~detected in
+  let y = Weighted.yield_of_weights weights in
+  checkf_eps 1e-12 "matches WB" (Williams_brown.defect_level ~yield:y ~coverage:0.7)
+    dl_weighted
+
+(* --- Susceptibility (eqs. 7-8, 10) ------------------------------------------------------ *)
+
+let test_susceptibility_k1_zero () =
+  checkf "T(1) = 0" 0.0 (Susceptibility.coverage_at ~s:(exp 3.0) 1.0)
+
+let test_susceptibility_limit () =
+  Alcotest.(check bool) "T(inf) -> 1" true
+    (Susceptibility.coverage_at ~s:(exp 3.0) 1e15 > 0.9999)
+
+let test_susceptibility_fig1_values () =
+  (* fig 1 parameters: s_T = e^3 -> T(k) = 1 - k^{-1/3} *)
+  let s = exp 3.0 in
+  checkf_eps 1e-12 "k=8" (1.0 -. 0.5) (Susceptibility.coverage_at ~s 8.0);
+  checkf_eps 1e-12 "k=1000" 0.9 (Susceptibility.coverage_at ~s 1000.0)
+
+let test_susceptibility_slower_for_larger_s () =
+  let k = 100.0 in
+  Alcotest.(check bool) "larger s is slower" true
+    (Susceptibility.coverage_at ~s:(exp 4.0) k < Susceptibility.coverage_at ~s:(exp 2.0) k)
+
+let test_test_length_inverse () =
+  let s = exp 2.5 in
+  List.iter
+    (fun target ->
+      let k = Susceptibility.test_length ~s ~target in
+      checkf_eps 1e-9 "roundtrip" target (Susceptibility.coverage_at ~s k))
+    [ 0.5; 0.9; 0.99 ]
+
+let test_ratio_eq10 () =
+  checkf "R = 2" 2.0 (Susceptibility.ratio ~s_t:(exp 3.0) ~s_theta:(exp 1.5));
+  checkf "s from ratio" (exp 1.5) (Susceptibility.s_of_ratio ~s_t:(exp 3.0) ~r:2.0)
+
+let test_susceptibility_fit () =
+  let s_true = exp 2.0 and theta_max = 0.96 in
+  let samples =
+    Array.init 40 (fun i ->
+        let k = exp (float_of_int i /. 4.0) in
+        (k, Susceptibility.weighted_coverage_at ~s:s_true ~theta_max k))
+  in
+  let fit = Susceptibility.fit_curve samples in
+  checkf_eps 1e-3 "s recovered" s_true fit.s;
+  checkf_eps 1e-4 "theta_max recovered" theta_max fit.theta_max
+
+(* --- Projection (eqs. 9, 11) -------------------------------------------------------------- *)
+
+let test_projection_reduces_to_wb () =
+  let params = { Projection.r = 1.0; theta_max = 1.0 } in
+  List.iter
+    (fun t ->
+      checkf "equals WB"
+        (Williams_brown.defect_level ~yield:0.75 ~coverage:t)
+        (Projection.defect_level ~yield:0.75 ~params ~coverage:t))
+    [ 0.0; 0.3; 0.7; 0.95; 1.0 ]
+
+let test_projection_eq9_consistent_with_k_elimination () =
+  (* eq 9 must equal the parametric composition of eqs 7-8 *)
+  let s_t = exp 3.0 and r = 2.0 and theta_max = 0.96 in
+  let s_theta = Susceptibility.s_of_ratio ~s_t ~r in
+  let params = { Projection.r; theta_max } in
+  List.iter
+    (fun k ->
+      let t = Susceptibility.coverage_at ~s:s_t k in
+      let theta = Susceptibility.weighted_coverage_at ~s:s_theta ~theta_max k in
+      checkf_eps 1e-12 "theta(T) = theta(k)" theta (Projection.theta_of_coverage params t))
+    [ 1.0; 2.0; 10.0; 100.0; 1e4; 1e6 ]
+
+let test_projection_paper_example_1 () =
+  (* Y=0.75, theta_max=1, R=2.1, DL target 100 ppm -> T = 97.7% *)
+  let params = { Projection.r = 2.1; theta_max = 1.0 } in
+  match Projection.required_coverage ~yield:0.75 ~params ~target_dl:1e-4 with
+  | Some t -> checkf_eps 5e-4 "example 1" 0.977 t
+  | None -> Alcotest.fail "target should be reachable"
+
+let test_projection_paper_example_2 () =
+  (* Y=0.75, theta_max=0.99, R=1, T=1: the residual defect level
+     1 - 0.75^0.01 = 2873 ppm (the paper prints 2279 ppm; see
+     EXPERIMENTS.md) *)
+  let params = { Projection.r = 1.0; theta_max = 0.99 } in
+  let dl = Projection.defect_level ~yield:0.75 ~params ~coverage:1.0 in
+  checkf_eps 1e-7 "example 2" 2.8727e-3 dl;
+  checkf_eps 1e-12 "equals residual" dl
+    (Projection.residual_defect_level ~yield:0.75 ~theta_max:0.99)
+
+let test_projection_residual_unreachable () =
+  let params = { Projection.r = 1.5; theta_max = 0.96 } in
+  let residual = Projection.residual_defect_level ~yield:0.75 ~theta_max:0.96 in
+  Alcotest.(check bool) "below residual unreachable" true
+    (Projection.required_coverage ~yield:0.75 ~params ~target_dl:(residual /. 2.0) = None);
+  (match Projection.required_coverage ~yield:0.75 ~params ~target_dl:(2.0 *. residual) with
+  | Some t -> Alcotest.(check bool) "above residual reachable" true (t > 0.0 && t <= 1.0)
+  | None -> Alcotest.fail "should be reachable")
+
+let test_projection_required_coverage_inverse () =
+  let params = { Projection.r = 1.9; theta_max = 0.96 } in
+  List.iter
+    (fun t ->
+      let dl = Projection.defect_level ~yield:0.75 ~params ~coverage:t in
+      match Projection.required_coverage ~yield:0.75 ~params ~target_dl:dl with
+      | Some t' -> checkf_eps 1e-9 "roundtrip" t t'
+      | None -> Alcotest.fail "reachable by construction")
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_projection_r_greater_one_needs_less_coverage () =
+  (* the paper's point: with R > 1 the same DL needs less stuck-at coverage *)
+  let t_wb = Williams_brown.required_coverage ~yield:0.75 ~target_dl:1e-4 in
+  let params = { Projection.r = 2.1; theta_max = 1.0 } in
+  match Projection.required_coverage ~yield:0.75 ~params ~target_dl:1e-4 with
+  | Some t -> Alcotest.(check bool) "less stringent" true (t < t_wb)
+  | None -> Alcotest.fail "reachable"
+
+let test_projection_monotonicity () =
+  let params = { Projection.r = 1.9; theta_max = 0.96 } in
+  let prev = ref 1.0 in
+  for i = 0 to 100 do
+    let t = float_of_int i /. 100.0 in
+    let dl = Projection.defect_level ~yield:0.75 ~params ~coverage:t in
+    Alcotest.(check bool) "DL decreases in T" true (dl <= !prev +. 1e-12);
+    prev := dl
+  done
+
+let test_projection_fit_theta_recovers () =
+  let truth = { Projection.r = 1.9; theta_max = 0.96 } in
+  let points =
+    Array.init 50 (fun i ->
+        let t = float_of_int i /. 50.0 in
+        (t, Projection.theta_of_coverage truth t))
+  in
+  let fit = Projection.fit_theta points in
+  checkf_eps 1e-3 "R" truth.r fit.params.r;
+  checkf_eps 1e-4 "theta_max" truth.theta_max fit.params.theta_max
+
+let test_projection_fit_dl_recovers () =
+  let truth = { Projection.r = 2.0; theta_max = 0.96 } in
+  let points =
+    Array.init 60 (fun i ->
+        let t = 0.3 +. (0.7 *. float_of_int i /. 60.0) in
+        (t, Projection.defect_level ~yield:0.75 ~params:truth ~coverage:t))
+  in
+  let fit = Projection.fit_dl ~yield:0.75 points in
+  checkf_eps 0.05 "R" truth.r fit.params.r;
+  checkf_eps 1e-3 "theta_max" truth.theta_max fit.params.theta_max
+
+(* --- Yield models ----------------------------------------------------------------------------- *)
+
+let test_yield_poisson () = checkf "poisson" (exp (-2.0)) (Yield_model.poisson ~area:4.0 ~density:0.5)
+
+let test_yield_nb_limit () =
+  let ad = 1.5 in
+  let nb = Yield_model.negative_binomial ~area:ad ~density:1.0 ~alpha:1e7 in
+  checkf_eps 1e-6 "nb -> poisson" (exp (-.ad)) nb
+
+let test_yield_nb_clustering_raises_yield () =
+  (* clustering concentrates defects on fewer chips: higher yield *)
+  let y_po = Yield_model.poisson ~area:2.0 ~density:1.0 in
+  let y_nb = Yield_model.negative_binomial ~area:2.0 ~density:1.0 ~alpha:0.5 in
+  Alcotest.(check bool) "clustered > poisson" true (y_nb > y_po)
+
+let test_yield_murphy_between () =
+  let ad = 1.0 in
+  let po = Yield_model.poisson ~area:ad ~density:1.0 in
+  let murphy = Yield_model.murphy ~area:ad ~density:1.0 in
+  let seeds = Yield_model.seeds ~area:ad ~density:1.0 in
+  Alcotest.(check bool) "poisson < murphy < seeds" true (po < murphy && murphy < seeds)
+
+let test_yield_inversions () =
+  checkf "defects per chip" 2.0 (Yield_model.defects_per_chip ~yield:(exp (-2.0)));
+  let dist = Yield_model.faulty_chip_fault_distribution ~yield:0.75 ~max_faults:60 in
+  let total = Array.fold_left ( +. ) 0.0 dist in
+  checkf_eps 1e-9 "distribution sums to 1" 1.0 total;
+  let mean =
+    Array.fold_left ( +. ) 0.0 (Array.mapi (fun i p -> float_of_int (i + 1) *. p) dist)
+  in
+  checkf_eps 1e-6 "distribution mean = n" (Yield_model.mean_faults_on_faulty_chip ~yield:0.75) mean
+
+(* --- qcheck properties -------------------------------------------------------------------------- *)
+
+let yield_gen = QCheck.Gen.float_range 0.05 0.99
+let cov_gen = QCheck.Gen.float_range 0.0 1.0
+
+let prop_wb_in_range =
+  QCheck.Test.make ~name:"WB defect level in [0, 1-Y]" ~count:500
+    QCheck.(make Gen.(pair yield_gen cov_gen))
+    (fun (y, t) ->
+      let dl = Williams_brown.defect_level ~yield:y ~coverage:t in
+      dl >= 0.0 && dl <= 1.0 -. y +. 1e-12)
+
+let prop_eq11_between_floor_and_ceiling =
+  QCheck.Test.make ~name:"eq 11 bounded by residual and 1-Y" ~count:500
+    QCheck.(
+      make
+        Gen.(
+          let* y = yield_gen in
+          let* t = cov_gen in
+          let* r = float_range 0.2 5.0 in
+          let* tm = float_range 0.05 1.0 in
+          return (y, t, r, tm)))
+    (fun (y, t, r, tm) ->
+      let params = { Projection.r; theta_max = tm } in
+      let dl = Projection.defect_level ~yield:y ~params ~coverage:t in
+      let residual = Projection.residual_defect_level ~yield:y ~theta_max:tm in
+      dl >= residual -. 1e-12 && dl <= (1.0 -. y) +. 1e-12)
+
+let prop_eq11_above_wb_iff_theta_below_t =
+  QCheck.Test.make ~name:"eq 11 vs WB ordered by theta vs T" ~count:500
+    QCheck.(
+      make
+        Gen.(
+          let* y = yield_gen in
+          let* t = float_range 0.01 0.99 in
+          let* r = float_range 0.2 5.0 in
+          let* tm = float_range 0.05 1.0 in
+          return (y, t, r, tm)))
+    (fun (y, t, r, tm) ->
+      let params = { Projection.r; theta_max = tm } in
+      let theta = Projection.theta_of_coverage params t in
+      let dl = Projection.defect_level ~yield:y ~params ~coverage:t in
+      let wb = Williams_brown.defect_level ~yield:y ~coverage:t in
+      if theta > t then dl <= wb +. 1e-12 else dl >= wb -. 1e-12)
+
+let prop_weighted_coverage_bounds =
+  QCheck.Test.make ~name:"weighted coverage in [0,1]" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 30) (pair (float_range 0.0 10.0) bool))
+    (fun l ->
+      let weights = Array.of_list (List.map fst l) in
+      let detected = Array.of_list (List.map snd l) in
+      let theta = Weighted.coverage ~weights ~detected in
+      theta >= 0.0 && theta <= 1.0)
+
+let prop_required_coverage_sound =
+  QCheck.Test.make ~name:"required coverage achieves the target" ~count:300
+    QCheck.(
+      make
+        Gen.(
+          let* y = yield_gen in
+          let* r = float_range 0.5 4.0 in
+          let* tm = float_range 0.5 1.0 in
+          let* dl = float_range 1e-6 0.2 in
+          return (y, r, tm, dl)))
+    (fun (y, r, tm, dl_target) ->
+      let params = { Projection.r; theta_max = tm } in
+      match Projection.required_coverage ~yield:y ~params ~target_dl:dl_target with
+      | None -> Projection.residual_defect_level ~yield:y ~theta_max:tm >= dl_target
+      | Some t ->
+          Projection.defect_level ~yield:y ~params ~coverage:t <= dl_target +. 1e-9)
+
+let () =
+  Alcotest.run "dl_core"
+    [
+      ( "williams-brown",
+        [
+          Alcotest.test_case "endpoints" `Quick test_wb_endpoints;
+          Alcotest.test_case "known value" `Quick test_wb_known_value;
+          Alcotest.test_case "required coverage inverse" `Quick
+            test_wb_required_coverage_inverse;
+          Alcotest.test_case "paper example 1 (WB)" `Quick test_wb_paper_example_1;
+          Alcotest.test_case "yield from fallout" `Quick test_wb_yield_from;
+          Alcotest.test_case "domain checks" `Quick test_wb_domain_checks;
+        ] );
+      ( "agrawal",
+        [
+          Alcotest.test_case "endpoints" `Quick test_agrawal_endpoints;
+          Alcotest.test_case "n=1 near WB" `Quick test_agrawal_n1_close_to_wb_small_dl;
+          Alcotest.test_case "monotone in n" `Quick test_agrawal_larger_n_lower_dl;
+          Alcotest.test_case "fit recovers n" `Quick test_agrawal_fit_recovers_n;
+          Alcotest.test_case "n of mean defects" `Quick test_agrawal_n_of_mean_defects;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "yield eq 5" `Quick test_weighted_yield;
+          Alcotest.test_case "coverage eq 6" `Quick test_weighted_coverage;
+          Alcotest.test_case "scale to yield" `Quick test_weighted_scale_to_yield;
+          Alcotest.test_case "probability inverses" `Quick test_weighted_probability_inverses;
+          Alcotest.test_case "uniform weights = WB" `Quick test_weighted_dl_equals_wb_uniform;
+        ] );
+      ( "susceptibility",
+        [
+          Alcotest.test_case "T(1) = 0" `Quick test_susceptibility_k1_zero;
+          Alcotest.test_case "limit" `Quick test_susceptibility_limit;
+          Alcotest.test_case "fig 1 values" `Quick test_susceptibility_fig1_values;
+          Alcotest.test_case "larger s slower" `Quick test_susceptibility_slower_for_larger_s;
+          Alcotest.test_case "test length inverse" `Quick test_test_length_inverse;
+          Alcotest.test_case "ratio eq 10" `Quick test_ratio_eq10;
+          Alcotest.test_case "fit recovers" `Quick test_susceptibility_fit;
+        ] );
+      ( "projection",
+        [
+          Alcotest.test_case "reduces to WB" `Quick test_projection_reduces_to_wb;
+          Alcotest.test_case "eq 9 = k elimination" `Quick
+            test_projection_eq9_consistent_with_k_elimination;
+          Alcotest.test_case "paper example 1" `Quick test_projection_paper_example_1;
+          Alcotest.test_case "paper example 2" `Quick test_projection_paper_example_2;
+          Alcotest.test_case "residual unreachable" `Quick test_projection_residual_unreachable;
+          Alcotest.test_case "required coverage inverse" `Quick
+            test_projection_required_coverage_inverse;
+          Alcotest.test_case "R>1 relaxes coverage" `Quick
+            test_projection_r_greater_one_needs_less_coverage;
+          Alcotest.test_case "monotone" `Quick test_projection_monotonicity;
+          Alcotest.test_case "fit theta recovers" `Quick test_projection_fit_theta_recovers;
+          Alcotest.test_case "fit dl recovers" `Quick test_projection_fit_dl_recovers;
+        ] );
+      ( "yield-models",
+        [
+          Alcotest.test_case "poisson" `Quick test_yield_poisson;
+          Alcotest.test_case "nb limit" `Quick test_yield_nb_limit;
+          Alcotest.test_case "clustering raises yield" `Quick
+            test_yield_nb_clustering_raises_yield;
+          Alcotest.test_case "murphy between" `Quick test_yield_murphy_between;
+          Alcotest.test_case "inversions" `Quick test_yield_inversions;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_wb_in_range;
+            prop_eq11_between_floor_and_ceiling;
+            prop_eq11_above_wb_iff_theta_below_t;
+            prop_weighted_coverage_bounds;
+            prop_required_coverage_sound;
+          ] );
+    ]

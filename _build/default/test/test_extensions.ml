@@ -1,0 +1,985 @@
+(* Tests for the extension layers: clustered-yield DL, fault sampling,
+   detection-probability theory, transition/delay faults, static timing,
+   production-lot Monte Carlo, n-detect metrics, SVG export and the extra
+   arithmetic generators. *)
+
+open Dl_netlist
+
+let rng = Dl_util.Rng.create 707
+let checkf_eps eps = Alcotest.(check (float eps))
+
+let random_vectors c n =
+  Array.init n (fun _ ->
+      Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng))
+
+(* --- Clustered defect level ------------------------------------------------- *)
+
+let test_clustered_poisson_limit () =
+  List.iter
+    (fun t ->
+      let wb = Dl_core.Williams_brown.defect_level ~yield:0.75 ~coverage:t in
+      let cl = Dl_core.Clustered.defect_level ~yield:0.75 ~alpha:1e7 ~coverage:t in
+      checkf_eps 1e-5 "alpha -> inf is WB" wb cl)
+    [ 0.0; 0.3; 0.7; 0.95; 1.0 ]
+
+let test_clustered_endpoints () =
+  checkf_eps 1e-12 "DL(0) = 1 - Y" 0.25
+    (Dl_core.Clustered.defect_level ~yield:0.75 ~alpha:0.5 ~coverage:0.0);
+  checkf_eps 1e-12 "DL(1) = 0" 0.0
+    (Dl_core.Clustered.defect_level ~yield:0.75 ~alpha:0.5 ~coverage:1.0)
+
+let test_clustered_lower_dl () =
+  (* clustering concentrates faults on few dies: partial tests catch them *)
+  let wb = Dl_core.Williams_brown.defect_level ~yield:0.75 ~coverage:0.9 in
+  let cl = Dl_core.Clustered.defect_level ~yield:0.75 ~alpha:0.5 ~coverage:0.9 in
+  Alcotest.(check bool) "clustered below WB" true (cl < wb)
+
+let test_clustered_mean_faults () =
+  (* the NB zero-class must reproduce the yield *)
+  List.iter
+    (fun alpha ->
+      let m = Dl_core.Clustered.mean_faults ~yield:0.6 ~alpha in
+      let y = (1.0 +. (m /. alpha)) ** -.alpha in
+      checkf_eps 1e-9 "yield roundtrip" 0.6 y)
+    [ 0.2; 1.0; 5.0; 100.0 ]
+
+let test_clustered_required_coverage () =
+  let alpha = 1.5 and yield_ = 0.8 in
+  List.iter
+    (fun t ->
+      let dl = Dl_core.Clustered.defect_level ~yield:yield_ ~alpha ~coverage:t in
+      checkf_eps 1e-9 "inverse" t
+        (Dl_core.Clustered.required_coverage ~yield:yield_ ~alpha ~target_dl:dl))
+    [ 0.2; 0.6; 0.9 ]
+
+let test_clustered_fit () =
+  let alpha_true = 2.0 and yield_ = 0.7 in
+  let pts =
+    List.map
+      (fun t -> (t, Dl_core.Clustered.defect_level ~yield:yield_ ~alpha:alpha_true ~coverage:t))
+      [ 0.1; 0.3; 0.5; 0.7; 0.85; 0.95 ]
+  in
+  let alpha_fit, rmse = Dl_core.Clustered.fit_alpha ~yield:yield_ pts in
+  checkf_eps 1e-3 "alpha recovered" alpha_true alpha_fit;
+  Alcotest.(check bool) "tight" true (rmse < 1e-6)
+
+(* --- Fault sampling ------------------------------------------------------------ *)
+
+let test_sampling_full_sample_exact () =
+  let c = Benchmarks.c17 () in
+  let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+  let vectors = random_vectors c 32 in
+  let full = Dl_fault.Fault_sim.run c ~faults ~vectors in
+  let est =
+    Dl_fault.Sampling.estimate_coverage ~sample_size:(Array.length faults) c ~faults
+      ~vectors
+  in
+  checkf_eps 1e-12 "full sample = truth" (Dl_fault.Fault_sim.coverage full) est.coverage;
+  checkf_eps 1e-12 "zero width (fpc)" 0.0 est.half_width
+
+let test_sampling_interval_contains_truth () =
+  let c = Option.get (Benchmarks.by_name "c432s") in
+  let c = Transform.decompose_for_cells c in
+  let faults = Dl_fault.Stuck_at.universe c in
+  let vectors = random_vectors c 48 in
+  let full = Dl_fault.Fault_sim.run c ~faults ~vectors in
+  let actual = Dl_fault.Fault_sim.coverage full in
+  (* with several seeds, the 95% interval should almost always contain it *)
+  let hits = ref 0 in
+  for seed = 1 to 20 do
+    let est =
+      Dl_fault.Sampling.estimate_coverage ~seed ~sample_size:150 c ~faults ~vectors
+    in
+    if Dl_fault.Sampling.interval_ok est ~actual then incr hits
+  done;
+  Alcotest.(check bool) "19/20 intervals cover" true (!hits >= 17)
+
+let test_sampling_required_size () =
+  (* classic: 1% half-width at 95% needs ~9604 *)
+  let n = Dl_fault.Sampling.required_sample_size ~half_width:0.01 () in
+  Alcotest.(check bool) "near 9604" true (n >= 9500 && n <= 9700)
+
+(* --- Detection probabilities ------------------------------------------------------ *)
+
+let test_detectability_analytic_curve () =
+  let d = Dl_fault.Detectability.of_probabilities [| 0.5; 0.5 |] in
+  checkf_eps 1e-12 "k=1" 0.5 (Dl_fault.Detectability.expected_coverage d 1);
+  checkf_eps 1e-12 "k=2" 0.75 (Dl_fault.Detectability.expected_coverage d 2);
+  checkf_eps 1e-12 "k=0" 0.0 (Dl_fault.Detectability.expected_coverage d 0)
+
+let test_detectability_estimate_matches_measured () =
+  let c = Benchmarks.c17 () in
+  let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+  let d = Dl_fault.Detectability.estimate ~seed:3 ~samples:2000 c ~faults in
+  (* c17: every collapsed fault has detection probability >= 1/4ish *)
+  Array.iter
+    (fun p -> Alcotest.(check bool) "all detectable" true (p > 0.05))
+    (Dl_fault.Detectability.probabilities d);
+  (* the predicted curve should match an independent measured curve *)
+  let vectors = random_vectors c 64 in
+  let sim = Dl_fault.Fault_sim.run ~drop_detected:false c ~faults ~vectors in
+  let measured = Dl_fault.Coverage.make sim.first_detection in
+  List.iter
+    (fun k ->
+      let predicted = Dl_fault.Detectability.expected_coverage d k in
+      let got = Dl_fault.Coverage.at measured k in
+      Alcotest.(check bool)
+        (Printf.sprintf "close at k=%d" k)
+        true
+        (Float.abs (predicted -. got) < 0.15))
+    [ 1; 2; 4; 8; 16 ]
+
+let test_detectability_test_length () =
+  let d = Dl_fault.Detectability.of_probabilities [| 0.5 |] in
+  (* 1 - 0.5^k >= 0.99 at k = 7 *)
+  Alcotest.(check bool) "k for 99%" true
+    (Dl_fault.Detectability.test_length_for d ~target:0.99 = Some 7);
+  let undetectable = Dl_fault.Detectability.of_probabilities [| 0.5; 0.0 |] in
+  Alcotest.(check bool) "ceiling respected" true
+    (Dl_fault.Detectability.test_length_for undetectable ~target:0.9 = None)
+
+let test_detectability_hardest () =
+  let d = Dl_fault.Detectability.of_probabilities [| 0.9; 0.01; 0.5 |] in
+  match Dl_fault.Detectability.hardest d 2 with
+  | [ (1, _); (2, _) ] -> ()
+  | other ->
+      Alcotest.failf "unexpected hardest order (%d entries)" (List.length other)
+
+(* --- Transition faults -------------------------------------------------------------- *)
+
+let test_transition_universe () =
+  let c = Benchmarks.c17 () in
+  Alcotest.(check int) "2 per node" 22 (Array.length (Dl_fault.Transition.universe c))
+
+let test_transition_pair_oracle () =
+  let c = Benchmarks.c17 () in
+  (* STR at a PI: launch 0 then capture with an SA0-detecting vector *)
+  let n1 = Circuit.find c "n1" in
+  let f = { Dl_fault.Transition.node = n1; edge = Dl_fault.Transition.Rise } in
+  let sa0 = { Dl_fault.Stuck_at.site = Dl_fault.Stuck_at.Stem n1; polarity = Dl_fault.Stuck_at.Sa0 } in
+  (* find a capture vector *)
+  let capture = ref None in
+  for _ = 1 to 200 do
+    let v = Array.init 5 (fun _ -> Dl_util.Rng.bool rng) in
+    if !capture = None && Dl_fault.Fault_sim.detects_fault c sa0 v then capture := Some v
+  done;
+  let v2 = Option.get !capture in
+  let v1_low = Array.copy v2 in
+  v1_low.(0) <- false;
+  (* position of n1 in inputs: find it *)
+  let pos = ref 0 in
+  Array.iteri (fun i pi -> if pi = n1 then pos := i) c.inputs;
+  let v1 = Array.copy v2 in
+  v1.(!pos) <- false;
+  Alcotest.(check bool) "launch 0 detects" true
+    (Dl_fault.Transition.detects_pair c f ~v1 ~v2);
+  let v1' = Array.copy v2 in
+  v1'.(!pos) <- true;
+  Alcotest.(check bool) "launch 1 does not" false
+    (Dl_fault.Transition.detects_pair c f ~v1:v1' ~v2)
+
+let test_transition_run_matches_oracle () =
+  let c = Benchmarks.c17 () in
+  let faults = Dl_fault.Transition.universe c in
+  let vectors = random_vectors c 60 in
+  let r = Dl_fault.Transition.run c ~faults ~vectors in
+  Array.iteri
+    (fun i first ->
+      (* oracle scan over consecutive pairs *)
+      let oracle = ref None in
+      for k = 1 to Array.length vectors - 1 do
+        if
+          !oracle = None
+          && Dl_fault.Transition.detects_pair c faults.(i) ~v1:vectors.(k - 1)
+               ~v2:vectors.(k)
+        then oracle := Some k
+      done;
+      if first <> !oracle then
+        Alcotest.failf "transition %s mismatch"
+          (Dl_fault.Transition.to_string c faults.(i)))
+    r.first_detection
+
+let test_transition_needs_two_vectors () =
+  let c = Benchmarks.c17 () in
+  let faults = Dl_fault.Transition.universe c in
+  let r = Dl_fault.Transition.run c ~faults ~vectors:(random_vectors c 1) in
+  Alcotest.(check bool) "nothing detectable with one vector" true
+    (Array.for_all (fun d -> d = None) r.first_detection)
+
+let test_transition_atpg_complete_on_c17 () =
+  let c = Benchmarks.c17 () in
+  let faults = Dl_fault.Transition.universe c in
+  let r = Dl_atpg.Transition_atpg.run c ~faults in
+  checkf_eps 1e-9 "full two-pattern coverage" 1.0 r.coverage;
+  Alcotest.(check int) "no aborts" 0 r.aborted;
+  (* every reported pair is verified by construction; double-check one *)
+  Array.iter
+    (fun (v1, v2) ->
+      Alcotest.(check int) "pair widths" (Array.length v1) (Array.length v2))
+    r.pairs
+
+let test_transition_atpg_on_adder () =
+  let c = Generator.ripple_adder 4 in
+  let faults = Dl_fault.Transition.universe c in
+  let r = Dl_atpg.Transition_atpg.run c ~faults in
+  Alcotest.(check bool) "high coverage" true (r.coverage > 0.95)
+
+(* --- Static timing -------------------------------------------------------------------- *)
+
+let test_timing_unit_delay_equals_levels () =
+  let c = Benchmarks.c432s () in
+  let t = Dl_logic.Timing.analyze ~model:Dl_logic.Timing.Unit_delay c in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      checkf_eps 1e-9 "arrival = level"
+        (float_of_int c.levels.(nd.id))
+        (Dl_logic.Timing.arrival t nd.id))
+    c.nodes
+
+let test_timing_critical_path_consistent () =
+  let c = Benchmarks.c432s () in
+  let t = Dl_logic.Timing.analyze c in
+  let path = Dl_logic.Timing.critical_path t in
+  Alcotest.(check bool) "starts at a PI" true
+    (match path with
+    | first :: _ -> c.nodes.(first).kind = Gate.Input
+    | [] -> false);
+  let delay = Dl_logic.Timing.path_delay t path in
+  checkf_eps 1e-9 "path delay = critical delay" (Dl_logic.Timing.critical_path_delay t) delay
+
+let test_timing_slack_nonnegative_at_default_clock () =
+  let c = Option.get (Benchmarks.by_name "cla8") in
+  let t = Dl_logic.Timing.analyze c in
+  checkf_eps 1e-9 "worst slack zero" 0.0 (Dl_logic.Timing.worst_slack t);
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      Alcotest.(check bool) "slack >= 0" true (Dl_logic.Timing.slack t nd.id >= -1e-9))
+    c.nodes
+
+let test_timing_tighter_clock_negative_slack () =
+  let c = Benchmarks.c17 () in
+  let t0 = Dl_logic.Timing.analyze c in
+  let tight =
+    Dl_logic.Timing.analyze ~clock_period:(Dl_logic.Timing.critical_path_delay t0 /. 2.0) c
+  in
+  Alcotest.(check bool) "violations appear" true (Dl_logic.Timing.worst_slack tight < 0.0)
+
+let test_timing_cla_faster_than_ripple () =
+  let cla = Generator.carry_lookahead_adder 8 in
+  let rip = Generator.ripple_adder 8 in
+  let d c = Dl_logic.Timing.critical_path_delay (Dl_logic.Timing.analyze c) in
+  Alcotest.(check bool) "lookahead is faster" true (d cla < d rip)
+
+(* --- Production lot Monte Carlo ---------------------------------------------------------- *)
+
+let test_lot_validates_weighted_model () =
+  (* 2000 uniform faults, 80% detected, yield 0.75 by construction *)
+  let n = 2000 in
+  let w = -.log 0.75 /. float_of_int n in
+  let weights = Array.make n w in
+  let detected = Array.init n (fun i -> i < 8 * n / 10) in
+  let lot = Dl_core.Production.simulate ~seed:5 ~dies:60_000 ~weights ~detected () in
+  let analytic = Dl_core.Weighted.defect_level_of_weights ~weights ~detected in
+  let empirical = Dl_core.Production.defect_level lot in
+  Alcotest.(check bool)
+    (Printf.sprintf "lot %.4f vs model %.4f" empirical analytic)
+    true
+    (Float.abs (empirical -. analytic) < 0.01);
+  Alcotest.(check bool) "yield matches" true
+    (Float.abs (Dl_core.Production.observed_yield lot -. 0.75) < 0.01)
+
+let test_lot_validates_clustered_model () =
+  let n = 1000 in
+  let alpha = 1.0 in
+  let m = Dl_core.Clustered.mean_faults ~yield:0.75 ~alpha in
+  let weights = Array.make n (m /. float_of_int n) in
+  let detected = Array.init n (fun i -> i < 9 * n / 10) in
+  let lot =
+    Dl_core.Production.simulate_clustered ~seed:11 ~dies:60_000 ~alpha ~weights
+      ~detected ()
+  in
+  let analytic = Dl_core.Clustered.defect_level ~yield:0.75 ~alpha ~coverage:0.9 in
+  let empirical = Dl_core.Production.defect_level lot in
+  Alcotest.(check bool)
+    (Printf.sprintf "clustered lot %.4f vs model %.4f" empirical analytic)
+    true
+    (Float.abs (empirical -. analytic) < 0.012);
+  Alcotest.(check bool) "clustered yield" true
+    (Float.abs (Dl_core.Production.observed_yield lot -. 0.75) < 0.012)
+
+let test_gamma_sampler_moments () =
+  let rng = Dl_util.Rng.create 3 in
+  List.iter
+    (fun alpha ->
+      let nsamp = 40_000 in
+      let xs =
+        Array.init nsamp (fun _ -> Dl_core.Production.gamma_sample rng ~alpha)
+      in
+      let mean = Dl_util.Stats.mean xs in
+      let var = Dl_util.Stats.variance xs in
+      Alcotest.(check bool)
+        (Printf.sprintf "mean 1 at alpha %.1f" alpha)
+        true
+        (Float.abs (mean -. 1.0) < 0.03);
+      Alcotest.(check bool)
+        (Printf.sprintf "variance 1/alpha at %.1f" alpha)
+        true
+        (Float.abs (var -. (1.0 /. alpha)) < 0.1 /. alpha))
+    [ 0.5; 1.0; 4.0 ]
+
+(* --- N-detect ------------------------------------------------------------------------------- *)
+
+let test_n_detect_monotone () =
+  let c = Benchmarks.c17 () in
+  let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+  let vectors = random_vectors c 32 in
+  let dict = Dl_fault.Dictionary.build c ~faults ~vectors in
+  let profile = Dl_fault.Dictionary.n_detect_profile dict ~max_n:6 in
+  let rec check_monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        Alcotest.(check bool) "non-increasing" true (b <= a +. 1e-12);
+        check_monotone rest
+    | _ -> ()
+  in
+  check_monotone profile;
+  (* n = 1 equals plain coverage *)
+  let sim = Dl_fault.Fault_sim.run c ~faults ~vectors in
+  checkf_eps 1e-12 "n=1 = coverage" (Dl_fault.Fault_sim.coverage sim)
+    (Dl_fault.Dictionary.n_detect_coverage dict ~n:1)
+
+(* --- SVG ---------------------------------------------------------------------------------------- *)
+
+let test_svg_renders () =
+  let c = Transform.decompose_for_cells (Benchmarks.c17 ()) in
+  let l = Dl_layout.Layout.synthesize (Dl_cell.Mapping.flatten c) in
+  let svg = Dl_layout.Svg.render l in
+  Alcotest.(check bool) "starts with svg tag" true
+    (String.length svg > 100 && String.sub svg 0 4 = "<svg");
+  (* one rect element per shape plus background *)
+  let count_rects s =
+    let n = ref 0 and i = ref 0 in
+    let needle = "<rect" in
+    while !i >= 0 && !i < String.length s do
+      match String.index_from_opt s !i '<' with
+      | None -> i := -1
+      | Some j ->
+          if j + String.length needle <= String.length s
+             && String.sub s j (String.length needle) = needle
+          then incr n;
+          i := j + 1
+    done;
+    !n
+  in
+  Alcotest.(check int) "rect count" (Array.length l.Dl_layout.Layout.rects + 1)
+    (count_rects svg)
+
+let test_svg_escapes () =
+  Alcotest.(check bool) "escape" true
+    (let c = Transform.decompose_for_cells (Benchmarks.c17 ()) in
+     let l = Dl_layout.Layout.synthesize (Dl_cell.Mapping.flatten c) in
+     let svg = Dl_layout.Svg.render l in
+     (* no raw ampersands outside entities; cheap check: parseable title tags *)
+     String.length svg > 0)
+
+(* --- New generators -------------------------------------------------------------------------------- *)
+
+let test_cla_equals_ripple () =
+  let cla = Generator.carry_lookahead_adder 6 in
+  let rip = Generator.ripple_adder 6 in
+  for _ = 1 to 300 do
+    let bits = Array.init 13 (fun _ -> Dl_util.Rng.bool rng) in
+    let vec c =
+      Array.map
+        (fun i ->
+          let nm = Circuit.name c i in
+          if nm = "cin" then bits.(12)
+          else begin
+            let idx = int_of_string (String.sub nm 1 (String.length nm - 1)) in
+            if nm.[0] = 'a' then bits.(idx) else bits.(6 + idx)
+          end)
+        c.Circuit.inputs
+    in
+    let out c =
+      Array.to_list (Dl_logic.Sim2.output_bits c (vec c))
+      |> List.mapi (fun i v -> (Circuit.name c c.Circuit.outputs.(i), v))
+      |> List.sort compare
+    in
+    if out cla <> out rip then Alcotest.fail "CLA disagrees with ripple adder"
+  done
+
+let test_multiplier_exhaustive () =
+  let mul = Generator.array_multiplier 3 in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let v =
+        Array.map
+          (fun i ->
+            let nm = Circuit.name mul i in
+            let idx = int_of_string (String.sub nm 1 1) in
+            if nm.[0] = 'a' then a lsr idx land 1 = 1 else b lsr idx land 1 = 1)
+          mul.Circuit.inputs
+      in
+      let o = Dl_logic.Sim2.output_bits mul v in
+      let got =
+        Array.to_list o
+        |> List.mapi (fun i bit ->
+               let nm = Circuit.name mul mul.Circuit.outputs.(i) in
+               let k = int_of_string (String.sub nm 1 (String.length nm - 1)) in
+               if bit then 1 lsl k else 0)
+        |> List.fold_left ( + ) 0
+      in
+      if got <> a * b then Alcotest.failf "%d*%d: got %d" a b got
+    done
+  done
+
+let test_multiplier_testable () =
+  let c = Generator.array_multiplier 4 in
+  let r, faults = Dl_atpg.Atpg.full_flow ~seed:3 ~max_random:1024 c in
+  ignore faults;
+  Alcotest.(check bool) "near-complete coverage" true (r.coverage > 0.99)
+
+
+(* --- Dot throwing (Monte-Carlo critical area) ------------------------------------------------ *)
+
+let test_dot_throw_matches_analytic () =
+  (* Two long parallel m1 wires: empirical short weight vs closed form. *)
+  let c = Transform.decompose_for_cells (Benchmarks.c17 ()) in
+  let l = Dl_layout.Layout.synthesize (Dl_cell.Mapping.flatten c) in
+  let x0 = 4.0 in
+  let r = Dl_extract.Dot_throw.throw_shorts ~seed:3 ~samples:60_000
+      ~layer:Dl_layout.Geom.Metal1 ~x0 l in
+  Alcotest.(check bool) "some shorts found" true (r.shorts <> []);
+  (* compare total to the analytic extraction restricted to metal1 shorts *)
+  let density = 1e-9 in
+  let empirical = Dl_extract.Dot_throw.total_short_weight r ~density in
+  let stats =
+    Dl_extract.Defect_stats.make
+      [ (Dl_extract.Defect_stats.Short_on Dl_layout.Geom.Metal1, { density; x0 }) ]
+  in
+  let e = Dl_extract.Ifa.extract ~stats l in
+  let analytic = Dl_extract.Ifa.total_weight e +. e.Dl_extract.Ifa.gross_weight in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 2.5x (emp %.3e vs ana %.3e)" empirical analytic)
+    true
+    (empirical /. analytic > 0.4 && empirical /. analytic < 2.5)
+
+let test_dot_throw_determinism () =
+  let c = Transform.decompose_for_cells (Benchmarks.c17 ()) in
+  let l = Dl_layout.Layout.synthesize (Dl_cell.Mapping.flatten c) in
+  let run () =
+    Dl_extract.Dot_throw.throw_shorts ~seed:9 ~samples:5_000
+      ~layer:Dl_layout.Geom.Metal1 ~x0:4.0 l
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "repeatable" true (a.shorts = b.shorts && a.opens = b.opens)
+
+(* --- Resistive bridges ------------------------------------------------------------------------- *)
+
+let resistive_fixture () =
+  let c = Transform.decompose_for_cells (Benchmarks.c17 ()) in
+  let m = Dl_cell.Mapping.flatten c in
+  (c, m, Dl_switch.Network.build m)
+
+let test_resistive_zero_matches_swift () =
+  let c, m, net = resistive_fixture () in
+  let sn name = m.Dl_cell.Mapping.signal_node.(Circuit.find c name) in
+  let vectors =
+    Array.init 32 (fun k -> Array.init 5 (fun pi -> k lsr pi land 1 = 1))
+  in
+  let a = sn "n10" and b = sn "n19" in
+  let d = Dl_switch.Resistive.detect net ~node_a:a ~node_b:b ~vectors in
+  let fault =
+    { Dl_switch.Realistic.kind = Dl_switch.Realistic.Bridge { node_a = a; node_b = b };
+      weight = 1.0; label = "" }
+  in
+  let r = Dl_switch.Swift.run net ~faults:[| fault |] ~vectors in
+  Alcotest.(check bool) "hard short matches swift" true
+    (d.voltage = r.detection.(0).voltage)
+
+let test_resistive_monotone_escape () =
+  let c, m, net = resistive_fixture () in
+  let sn name = m.Dl_cell.Mapping.signal_node.(Circuit.find c name) in
+  let vectors =
+    Array.init 32 (fun k -> Array.init 5 (fun pi -> k lsr pi land 1 = 1))
+  in
+  let a = sn "n10" and b = sn "n19" in
+  let hard = Dl_switch.Resistive.detect ~resistance:0.0 net ~node_a:a ~node_b:b ~vectors in
+  let huge = Dl_switch.Resistive.detect ~resistance:1e6 net ~node_a:a ~node_b:b ~vectors in
+  Alcotest.(check bool) "hard short detected" true (hard.voltage <> None);
+  Alcotest.(check bool) "huge resistance escapes voltage" true (huge.voltage = None)
+
+let test_critical_resistance_bracket () =
+  let c, m, net = resistive_fixture () in
+  let sn name = m.Dl_cell.Mapping.signal_node.(Circuit.find c name) in
+  let vectors =
+    Array.init 32 (fun k -> Array.init 5 (fun pi -> k lsr pi land 1 = 1))
+  in
+  let a = sn "n10" and b = sn "n19" in
+  match Dl_switch.Resistive.critical_resistance net ~node_a:a ~node_b:b ~vectors with
+  | None -> Alcotest.fail "hard short is detected, so Rcrit exists"
+  | Some rc ->
+      Alcotest.(check bool) "positive" true (rc >= 0.0);
+      (* just below: detected; well above: escapes *)
+      let below =
+        Dl_switch.Resistive.detect ~resistance:(Float.max 0.0 (rc -. 0.1)) net
+          ~node_a:a ~node_b:b ~vectors
+      in
+      let above =
+        Dl_switch.Resistive.detect ~resistance:(rc +. 0.5) net ~node_a:a ~node_b:b
+          ~vectors
+      in
+      Alcotest.(check bool) "below detected" true (below.voltage <> None);
+      Alcotest.(check bool) "above escapes" true (above.voltage = None)
+
+let test_resistance_sweep_monotone () =
+  let c, m, net = resistive_fixture () in
+  let sn name = m.Dl_cell.Mapping.signal_node.(Circuit.find c name) in
+  let vectors =
+    Array.init 32 (fun k -> Array.init 5 (fun pi -> k lsr pi land 1 = 1))
+  in
+  let bridges =
+    [| (sn "n10", sn "n19"); (sn "n11", sn "n22"); (sn "n16", sn "n23") |]
+  in
+  let sweep =
+    Dl_switch.Resistive.coverage_vs_resistance net ~bridges ~vectors
+      ~resistances:[| 0.0; 0.5; 1.0; 2.0; 4.0; 16.0 |]
+  in
+  let prev = ref 1.1 in
+  Array.iter
+    (fun (_, cov) ->
+      Alcotest.(check bool) "coverage non-increasing in resistance" true
+        (cov <= !prev +. 1e-12);
+      prev := cov)
+    sweep
+
+(* --- Verilog ------------------------------------------------------------------------------------- *)
+
+let test_verilog_roundtrip () =
+  List.iter
+    (fun (name, make) ->
+      let c = make () in
+      let c2 = Verilog.parse_string (Verilog.to_string c) in
+      Alcotest.(check int) (name ^ " inputs") (Circuit.input_count c)
+        (Circuit.input_count c2);
+      Alcotest.(check int) (name ^ " outputs") (Circuit.output_count c)
+        (Circuit.output_count c2);
+      for _ = 1 to 20 do
+        let v = Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng) in
+        Alcotest.(check (array bool)) (name ^ " behaviour")
+          (Dl_logic.Sim2.output_bits c v)
+          (Dl_logic.Sim2.output_bits c2 v)
+      done)
+    Benchmarks.all
+
+let test_verilog_parse_handwritten () =
+  let src = {|
+    // a comment
+    module toy (a, b, y);
+      input a, b; /* block
+                     comment */
+      output y;
+      wire w;
+      nand u1 (w, a, b);
+      not (y, w);   // anonymous instance
+    endmodule
+  |} in
+  let c = Verilog.parse_string src in
+  Alcotest.(check int) "nodes" 4 (Circuit.node_count c);
+  (* y = not (nand a b) = and a b *)
+  Alcotest.(check (array bool)) "behaviour" [| true |]
+    (Dl_logic.Sim2.output_bits c [| true; true |]);
+  Alcotest.(check (array bool)) "behaviour2" [| false |]
+    (Dl_logic.Sim2.output_bits c [| true; false |])
+
+let test_verilog_errors () =
+  let expect src =
+    Alcotest.(check bool) "parse error" true
+      (try
+         ignore (Verilog.parse_string src);
+         false
+       with Verilog.Parse_error _ -> true)
+  in
+  expect "module m (a); input a; flipflop f (a); endmodule";
+  expect "module m (a; input a; endmodule";
+  expect "module m (a); input a output y; endmodule"
+
+let test_verilog_bench_cross_format () =
+  (* .bench -> circuit -> verilog -> circuit: same behaviour *)
+  let c = Benchmarks.c17 () in
+  let v = Verilog.parse_string (Verilog.to_string c) in
+  for _ = 1 to 32 do
+    let x = Array.init 5 (fun _ -> Dl_util.Rng.bool rng) in
+    Alcotest.(check (array bool)) "equal" (Dl_logic.Sim2.output_bits c x)
+      (Dl_logic.Sim2.output_bits v x)
+  done
+
+(* --- Compaction -------------------------------------------------------------------------------------- *)
+
+let test_compaction_preserves_coverage () =
+  let c = Option.get (Benchmarks.by_name "c432s_small") in
+  let c = Transform.decompose_for_cells c in
+  let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+  let vectors = random_vectors c 400 in
+  let before = Dl_fault.Fault_sim.run c ~faults ~vectors in
+  let compacted, stats = Dl_atpg.Compaction.compact c ~faults ~vectors in
+  let after = Dl_fault.Fault_sim.run c ~faults ~vectors:compacted in
+  Alcotest.(check int) "coverage preserved"
+    (Dl_fault.Fault_sim.detected_count before)
+    (Dl_fault.Fault_sim.detected_count after);
+  Alcotest.(check bool) "meaningfully smaller" true
+    (stats.compacted * 3 < stats.original);
+  Alcotest.(check int) "stats consistent" stats.compacted (Array.length compacted)
+
+let test_compaction_useful_mask_identity () =
+  (* identity order: the mask marks exactly the first-detection vectors *)
+  let c = Benchmarks.c17 () in
+  let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+  let vectors = random_vectors c 64 in
+  let order = Array.init 64 Fun.id in
+  let mask = Dl_atpg.Compaction.useful_mask c ~faults ~vectors ~order in
+  let r = Dl_fault.Fault_sim.run c ~faults ~vectors in
+  Array.iter
+    (function
+      | Some k -> Alcotest.(check bool) "first detector marked" true mask.(k)
+      | None -> ())
+    r.first_detection
+
+
+(* --- COP and weighted random ---------------------------------------------------------- *)
+
+let test_cop_signal_probabilities_tree () =
+  (* On fanout-free logic COP is exact. *)
+  let b = Circuit.Builder.create ~title:"tree" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_input b "c";
+  Circuit.Builder.add_gate b "ab" Gate.And [ "a"; "b" ];
+  Circuit.Builder.add_gate b "o" Gate.Or [ "ab"; "c" ];
+  Circuit.Builder.add_output b "o";
+  let c = Circuit.Builder.finalize b in
+  let cop = Dl_atpg.Cop.compute c in
+  checkf_eps 1e-12 "and" 0.25 (Dl_atpg.Cop.probability_one cop (Circuit.find c "ab"));
+  checkf_eps 1e-12 "or" 0.625 (Dl_atpg.Cop.probability_one cop (Circuit.find c "o"));
+  (* observability of a through AND then OR: P(b=1) * P(c=0) *)
+  checkf_eps 1e-12 "obs a" 0.25 (Dl_atpg.Cop.observability cop (Circuit.find c "a"));
+  checkf_eps 1e-12 "obs c" 0.75 (Dl_atpg.Cop.observability cop (Circuit.find c "c"))
+
+let test_cop_biased_inputs () =
+  let b = Circuit.Builder.create ~title:"bias" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b "o" Gate.And [ "a"; "b" ];
+  Circuit.Builder.add_output b "o";
+  let c = Circuit.Builder.finalize b in
+  let cop = Dl_atpg.Cop.compute ~input_bias:[| 0.9; 0.9 |] c in
+  checkf_eps 1e-12 "biased and" 0.81
+    (Dl_atpg.Cop.probability_one cop (Circuit.find c "o"))
+
+let test_cop_matches_monte_carlo_on_tree () =
+  (* fanout-free: COP detection probabilities = empirical estimates *)
+  let c = Generator.parity_tree 8 in
+  let faults = Dl_fault.Stuck_at.universe c in
+  let cop = Dl_atpg.Cop.compute c in
+  let mc = Dl_fault.Detectability.estimate ~seed:5 ~samples:4000 c ~faults in
+  let mc_probs = Dl_fault.Detectability.probabilities mc in
+  Array.iteri
+    (fun i f ->
+      let analytic = Dl_atpg.Cop.detection_probability cop f in
+      Alcotest.(check bool)
+        (Printf.sprintf "fault %d" i)
+        true
+        (Float.abs (analytic -. mc_probs.(i)) < 0.05))
+    faults
+
+let test_cop_flags_resistant_faults () =
+  (* the priority controller's wide-AND cone is random-resistant *)
+  let c = Option.get (Benchmarks.by_name "c432s") in
+  let cop = Dl_atpg.Cop.compute c in
+  let resistant = Dl_atpg.Cop.random_pattern_resistant cop c ~threshold:0.01 in
+  Alcotest.(check bool) "some resistant faults" true (resistant <> []);
+  (* and c17 has none at that threshold *)
+  let c17 = Benchmarks.c17 () in
+  let cop17 = Dl_atpg.Cop.compute c17 in
+  Alcotest.(check bool) "c17 easy" true
+    (Dl_atpg.Cop.random_pattern_resistant cop17 c17 ~threshold:0.01 = [])
+
+let test_weighted_random_beats_uniform () =
+  (* a wide AND: uniform random rarely sets the output; biased inputs fix it *)
+  let b = Circuit.Builder.create ~title:"wide" in
+  let names = List.init 8 (Printf.sprintf "i%d") in
+  List.iter (Circuit.Builder.add_input b) names;
+  Circuit.Builder.add_gate b "m1" Gate.And (List.filteri (fun i _ -> i < 4) names);
+  Circuit.Builder.add_gate b "m2" Gate.And (List.filteri (fun i _ -> i >= 4) names);
+  Circuit.Builder.add_gate b "o" Gate.And [ "m1"; "m2" ];
+  Circuit.Builder.add_output b "o";
+  let c = Circuit.Builder.finalize b in
+  let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+  let bias = Dl_atpg.Weighted_random.optimize_bias ~budget:64 c ~faults in
+  (* the optimizer should push inputs toward 1 *)
+  Array.iter
+    (fun p -> Alcotest.(check bool) "bias raised" true (p >= 0.5))
+    bias;
+  let uniform_cov =
+    Dl_atpg.Weighted_random.expected_coverage c ~faults
+      ~bias:(Array.make 8 0.5) ~k:64
+  in
+  let biased_cov = Dl_atpg.Weighted_random.expected_coverage c ~faults ~bias ~k:64 in
+  Alcotest.(check bool) "biased beats uniform" true (biased_cov > uniform_cov);
+  (* and it holds empirically, not just in the COP model *)
+  let vectors = Dl_atpg.Weighted_random.generate ~seed:3 c ~bias ~count:64 in
+  let biased_sim = Dl_fault.Fault_sim.run c ~faults ~vectors in
+  let uniform_vectors =
+    Dl_atpg.Weighted_random.generate ~seed:3 c ~bias:(Array.make 8 0.5) ~count:64
+  in
+  let uniform_sim = Dl_fault.Fault_sim.run c ~faults ~vectors:uniform_vectors in
+  Alcotest.(check bool) "empirically better or equal" true
+    (Dl_fault.Fault_sim.detected_count biased_sim
+     >= Dl_fault.Fault_sim.detected_count uniform_sim)
+
+let test_weighted_random_generate_bias () =
+  let c = Benchmarks.c17 () in
+  let bias = [| 0.9; 0.1; 0.5; 0.9; 0.1 |] in
+  let vectors = Dl_atpg.Weighted_random.generate ~seed:8 c ~bias ~count:5000 in
+  Array.iteri
+    (fun pi expected ->
+      let ones =
+        Array.fold_left (fun acc v -> if v.(pi) then acc + 1 else acc) 0 vectors
+      in
+      let frac = float_of_int ones /. 5000.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "input %d near %.1f" pi expected)
+        true
+        (Float.abs (frac -. expected) < 0.03))
+    bias
+
+
+(* --- Gate-level bridging faults ----------------------------------------------------------- *)
+
+let test_bridge_gate_resolution_rules () =
+  let check behaviour a b expect =
+    Alcotest.(check (pair bool bool)) "resolution" expect
+      (Dl_fault.Bridge_gate.resolved_values behaviour ~a ~b)
+  in
+  check Dl_fault.Bridge_gate.Wired_and true false (false, false);
+  check Dl_fault.Bridge_gate.Wired_or true false (true, true);
+  check Dl_fault.Bridge_gate.A_dominates true false (true, true);
+  check Dl_fault.Bridge_gate.B_dominates true false (false, false);
+  check Dl_fault.Bridge_gate.Wired_and true true (true, true)
+
+let test_bridge_gate_detection_c17 () =
+  let c = Benchmarks.c17 () in
+  let f =
+    { Dl_fault.Bridge_gate.net_a = Circuit.find c "n10";
+      net_b = Circuit.find c "n19";
+      behaviour = Dl_fault.Bridge_gate.Wired_and }
+  in
+  let vectors =
+    Array.init 32 (fun k -> Array.init 5 (fun pi -> k lsr pi land 1 = 1))
+  in
+  let r = Dl_fault.Bridge_gate.run c ~faults:[| f |] ~vectors in
+  Alcotest.(check bool) "detected" true (r.first_detection.(0) <> None);
+  (* run vs single-vector oracle *)
+  (match r.first_detection.(0) with
+  | Some k ->
+      Alcotest.(check bool) "oracle agrees" true
+        (Dl_fault.Bridge_gate.detects c f vectors.(k));
+      for j = 0 to k - 1 do
+        Alcotest.(check bool) "no earlier detection" false
+          (Dl_fault.Bridge_gate.detects c f vectors.(j))
+      done
+  | None -> ())
+
+let test_bridge_gate_same_gate_inputs_undetectable () =
+  (* wired-AND between the two inputs of a NAND is redundant (cf. the
+     switch-level result) *)
+  let b = Circuit.Builder.create ~title:"nand" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b "o" Gate.Nand [ "a"; "b" ];
+  Circuit.Builder.add_output b "o";
+  let c = Circuit.Builder.finalize b in
+  let f =
+    { Dl_fault.Bridge_gate.net_a = Circuit.find c "a";
+      net_b = Circuit.find c "b";
+      behaviour = Dl_fault.Bridge_gate.Wired_and }
+  in
+  let vectors = Array.init 4 (fun k -> [| k land 1 = 1; k land 2 = 2 |]) in
+  let r = Dl_fault.Bridge_gate.run c ~faults:[| f |] ~vectors in
+  Alcotest.(check bool) "undetectable" true (r.first_detection.(0) = None)
+
+let test_bridge_gate_cross_validates_switch_level () =
+  (* For bridges between inverter outputs the strength model is exactly
+     wired-AND (single NMOS pull-down beats single PMOS pull-up), so the
+     two simulators must agree vector by vector. *)
+  let b = Circuit.Builder.create ~title:"invpair" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b "na" Gate.Not [ "a" ];
+  Circuit.Builder.add_gate b "nb" Gate.Not [ "b" ];
+  Circuit.Builder.add_gate b "oa" Gate.Buf [ "na" ];
+  Circuit.Builder.add_gate b "ob" Gate.Buf [ "nb" ];
+  Circuit.Builder.add_output b "oa";
+  Circuit.Builder.add_output b "ob";
+  let c = Circuit.Builder.finalize b in
+  let m = Dl_cell.Mapping.flatten c in
+  let net = Dl_switch.Network.build m in
+  let na = Circuit.find c "na" and nb = Circuit.find c "nb" in
+  let vectors = Array.init 4 (fun k -> [| k land 1 = 1; k land 2 = 2 |]) in
+  let gate_fault =
+    { Dl_fault.Bridge_gate.net_a = na; net_b = nb;
+      behaviour = Dl_fault.Bridge_gate.Wired_and }
+  in
+  let g = Dl_fault.Bridge_gate.run c ~faults:[| gate_fault |] ~vectors in
+  let sw_fault =
+    { Dl_switch.Realistic.kind =
+        Dl_switch.Realistic.Bridge
+          { node_a = m.Dl_cell.Mapping.signal_node.(na);
+            node_b = m.Dl_cell.Mapping.signal_node.(nb) };
+      weight = 1.0; label = "na/nb" }
+  in
+  let sw = Dl_switch.Swift.run net ~faults:[| sw_fault |] ~vectors in
+  Alcotest.(check bool) "first detections agree" true
+    (g.first_detection.(0) = sw.detection.(0).voltage)
+
+let test_bridge_gate_candidate_pairs () =
+  let c = Option.get (Benchmarks.by_name "c432s") in
+  let pairs = Dl_fault.Bridge_gate.candidate_pairs ~seed:2 ~count:50 c in
+  Alcotest.(check int) "requested count" 50 (Array.length pairs);
+  let seen = Hashtbl.create 50 in
+  Array.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "ordered distinct" true (a < b);
+      Alcotest.(check bool) "unique" false (Hashtbl.mem seen (a, b));
+      Hashtbl.replace seen (a, b) ())
+    pairs
+
+
+(* --- Report ------------------------------------------------------------------------------- *)
+
+let test_report_contents () =
+  let c = Benchmarks.c17 () in
+  let e = Dl_core.Experiment.run (Dl_core.Experiment.config ~seed:3 ~max_random_vectors:128 c) in
+  let md = Dl_core.Report.of_experiment e in
+  List.iter
+    (fun needle ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) ("report mentions " ^ needle) true (contains md needle))
+    [ "# Defect-level projection report"; "Coverage growth"; "Fitted model";
+      "residual defect level"; "IDDQ"; "collapsed stuck-at" ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "clustered",
+        [
+          Alcotest.test_case "poisson limit" `Quick test_clustered_poisson_limit;
+          Alcotest.test_case "endpoints" `Quick test_clustered_endpoints;
+          Alcotest.test_case "clustering lowers DL" `Quick test_clustered_lower_dl;
+          Alcotest.test_case "mean faults" `Quick test_clustered_mean_faults;
+          Alcotest.test_case "required coverage" `Quick test_clustered_required_coverage;
+          Alcotest.test_case "fit alpha" `Quick test_clustered_fit;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "full sample exact" `Quick test_sampling_full_sample_exact;
+          Alcotest.test_case "interval coverage" `Slow test_sampling_interval_contains_truth;
+          Alcotest.test_case "required size" `Quick test_sampling_required_size;
+        ] );
+      ( "detectability",
+        [
+          Alcotest.test_case "analytic curve" `Quick test_detectability_analytic_curve;
+          Alcotest.test_case "estimate matches measured" `Quick
+            test_detectability_estimate_matches_measured;
+          Alcotest.test_case "test length" `Quick test_detectability_test_length;
+          Alcotest.test_case "hardest" `Quick test_detectability_hardest;
+        ] );
+      ( "transition",
+        [
+          Alcotest.test_case "universe" `Quick test_transition_universe;
+          Alcotest.test_case "pair oracle" `Quick test_transition_pair_oracle;
+          Alcotest.test_case "run = oracle" `Quick test_transition_run_matches_oracle;
+          Alcotest.test_case "needs two vectors" `Quick test_transition_needs_two_vectors;
+          Alcotest.test_case "ATPG complete on c17" `Quick test_transition_atpg_complete_on_c17;
+          Alcotest.test_case "ATPG on adder" `Slow test_transition_atpg_on_adder;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "unit delay = levels" `Quick test_timing_unit_delay_equals_levels;
+          Alcotest.test_case "critical path consistent" `Quick
+            test_timing_critical_path_consistent;
+          Alcotest.test_case "default clock slack" `Quick
+            test_timing_slack_nonnegative_at_default_clock;
+          Alcotest.test_case "tight clock violates" `Quick
+            test_timing_tighter_clock_negative_slack;
+          Alcotest.test_case "CLA faster than ripple" `Quick test_timing_cla_faster_than_ripple;
+        ] );
+      ( "production",
+        [
+          Alcotest.test_case "lot validates eq. 3" `Slow test_lot_validates_weighted_model;
+          Alcotest.test_case "lot validates clustered" `Slow test_lot_validates_clustered_model;
+          Alcotest.test_case "gamma moments" `Slow test_gamma_sampler_moments;
+        ] );
+      ("n-detect", [ Alcotest.test_case "profile" `Quick test_n_detect_monotone ]);
+      ( "svg",
+        [
+          Alcotest.test_case "renders" `Quick test_svg_renders;
+          Alcotest.test_case "escapes" `Quick test_svg_escapes;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "CLA = ripple" `Quick test_cla_equals_ripple;
+          Alcotest.test_case "multiplier exhaustive" `Quick test_multiplier_exhaustive;
+          Alcotest.test_case "multiplier testable" `Slow test_multiplier_testable;
+        ] );
+      ( "dot-throw",
+        [
+          Alcotest.test_case "matches analytic" `Slow test_dot_throw_matches_analytic;
+          Alcotest.test_case "deterministic" `Quick test_dot_throw_determinism;
+        ] );
+      ( "resistive",
+        [
+          Alcotest.test_case "zero = swift" `Quick test_resistive_zero_matches_swift;
+          Alcotest.test_case "monotone escape" `Quick test_resistive_monotone_escape;
+          Alcotest.test_case "critical resistance" `Quick test_critical_resistance_bracket;
+          Alcotest.test_case "sweep monotone" `Quick test_resistance_sweep_monotone;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "roundtrip benchmarks" `Quick test_verilog_roundtrip;
+          Alcotest.test_case "handwritten source" `Quick test_verilog_parse_handwritten;
+          Alcotest.test_case "errors" `Quick test_verilog_errors;
+          Alcotest.test_case "bench cross-format" `Quick test_verilog_bench_cross_format;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "preserves coverage" `Quick test_compaction_preserves_coverage;
+          Alcotest.test_case "useful mask" `Quick test_compaction_useful_mask_identity;
+        ] );
+      ( "cop",
+        [
+          Alcotest.test_case "tree probabilities" `Quick test_cop_signal_probabilities_tree;
+          Alcotest.test_case "biased inputs" `Quick test_cop_biased_inputs;
+          Alcotest.test_case "matches Monte Carlo" `Slow test_cop_matches_monte_carlo_on_tree;
+          Alcotest.test_case "flags resistant faults" `Quick test_cop_flags_resistant_faults;
+        ] );
+      ( "weighted-random",
+        [
+          Alcotest.test_case "beats uniform" `Quick test_weighted_random_beats_uniform;
+          Alcotest.test_case "generation bias" `Quick test_weighted_random_generate_bias;
+        ] );
+      ( "report", [ Alcotest.test_case "contents" `Quick test_report_contents ] );
+      ( "bridge-gate",
+        [
+          Alcotest.test_case "resolution rules" `Quick test_bridge_gate_resolution_rules;
+          Alcotest.test_case "detection on c17" `Quick test_bridge_gate_detection_c17;
+          Alcotest.test_case "same-gate inputs redundant" `Quick
+            test_bridge_gate_same_gate_inputs_undetectable;
+          Alcotest.test_case "cross-validates switch level" `Quick
+            test_bridge_gate_cross_validates_switch_level;
+          Alcotest.test_case "candidate pairs" `Quick test_bridge_gate_candidate_pairs;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+open Dl_netlist
+open Dl_fault
+
+let rng = Dl_util.Rng.create 202
+
+let random_vectors c n =
+  Array.init n (fun _ ->
+      Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng))
+
+(* --- Stuck_at universe and collapsing --------------------------------------- *)
+
+let test_universe_size_c17 () =
+  let c = Benchmarks.c17 () in
+  (* c17: 11 stems; fanout > 1 nets: n3, n11, n16 -> 2 branches each.
+     Lines = 11 + 6 = 17; faults = 34. *)
+  let u = Stuck_at.universe c in
+  Alcotest.(check int) "universe" 34 (Array.length u)
+
+let test_universe_sorted_unique () =
+  let c = Benchmarks.c432s () in
+  let u = Stuck_at.universe c in
+  for i = 0 to Array.length u - 2 do
+    Alcotest.(check bool) "strictly sorted" true (Stuck_at.compare u.(i) u.(i + 1) < 0)
+  done
+
+let test_collapse_c17 () =
+  let c = Benchmarks.c17 () in
+  let u = Stuck_at.universe c in
+  let collapsed = Stuck_at.collapse c u in
+  (* Known result for c17 under equivalence collapsing: 22 faults. *)
+  Alcotest.(check int) "collapsed" 22 (Array.length collapsed);
+  (* classes partition the universe *)
+  let classes = Stuck_at.equivalence_classes c u in
+  let total = Array.fold_left (fun acc cls -> acc + Array.length cls) 0 classes in
+  Alcotest.(check int) "partition" (Array.length u) total;
+  Alcotest.(check int) "one representative each" (Array.length collapsed)
+    (Array.length classes)
+
+let test_collapse_detection_equivalent () =
+  (* every fault in a class is detected by exactly the same vectors *)
+  let c = Benchmarks.c17 () in
+  let u = Stuck_at.universe c in
+  let classes = Stuck_at.equivalence_classes c u in
+  let vectors = random_vectors c 16 in
+  Array.iter
+    (fun cls ->
+      if Array.length cls > 1 then
+        Array.iter
+          (fun v ->
+            let d0 = Fault_sim.detects_fault c cls.(0) v in
+            Array.iter
+              (fun f ->
+                Alcotest.(check bool) "class detection agrees" d0
+                  (Fault_sim.detects_fault c f v))
+              cls)
+          vectors)
+    classes
+
+let test_checkpoints_subset () =
+  let c = Benchmarks.c17 () in
+  let cps = Stuck_at.checkpoints c in
+  (* c17 checkpoints: 5 PIs + 6 fanout branches = 11 lines, 22 faults *)
+  Alcotest.(check int) "checkpoint faults" 22 (Array.length cps)
+
+let test_to_string () =
+  let c = Benchmarks.c17 () in
+  let f = { Stuck_at.site = Stuck_at.Stem (Circuit.find c "n10"); polarity = Stuck_at.Sa0 } in
+  Alcotest.(check string) "stem" "n10 SA0" (Stuck_at.to_string c f)
+
+(* --- Fault simulation -------------------------------------------------------- *)
+
+let test_ppsfp_matches_oracle () =
+  List.iter
+    (fun name ->
+      let c = Option.get (Benchmarks.by_name name) in
+      let faults = Stuck_at.universe c in
+      let vectors = random_vectors c 48 in
+      let r = Fault_sim.run ~drop_detected:false c ~faults ~vectors in
+      Array.iteri
+        (fun i first ->
+          (* oracle: scan vectors with the dual ternary simulator *)
+          let oracle = ref None in
+          Array.iteri
+            (fun k v ->
+              if !oracle = None && Fault_sim.detects_fault c faults.(i) v then
+                oracle := Some k)
+            vectors;
+          if first <> !oracle then
+            Alcotest.failf "%s: fault %s first detection mismatch (%s vs %s)" name
+              (Stuck_at.to_string c faults.(i))
+              (match first with Some k -> string_of_int k | None -> "-")
+              (match !oracle with Some k -> string_of_int k | None -> "-"))
+        r.first_detection)
+    [ "c17"; "mux3"; "par16"; "c432s_small" ]
+
+let test_ppsfp_drop_consistency () =
+  (* dropping must not change first detections *)
+  let c = Option.get (Benchmarks.by_name "add8") in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let vectors = random_vectors c 100 in
+  let a = Fault_sim.run ~drop_detected:true c ~faults ~vectors in
+  let b = Fault_sim.run ~drop_detected:false c ~faults ~vectors in
+  Alcotest.(check bool) "same firsts" true (a.first_detection = b.first_detection)
+
+let test_ppsfp_partial_block () =
+  (* vector counts not divisible by 64 are handled exactly *)
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.universe c in
+  let vectors = random_vectors c 70 in
+  let full = Fault_sim.run ~drop_detected:false c ~faults ~vectors in
+  let head = Fault_sim.run ~drop_detected:false c ~faults ~vectors:(Array.sub vectors 0 65) in
+  Array.iteri
+    (fun i d ->
+      match (d, full.first_detection.(i)) with
+      | Some a, Some b when a < 65 -> Alcotest.(check int) "prefix stable" b a
+      | _ -> ())
+    head.first_detection
+
+let test_detection_callback () =
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.universe c in
+  let vectors = random_vectors c 32 in
+  let events = ref 0 in
+  let r =
+    Fault_sim.run ~drop_detected:false
+      ~on_detect:(fun ~fault_index:_ ~vector_index:_ -> incr events)
+      c ~faults ~vectors
+  in
+  Alcotest.(check bool) "events >= detected faults" true
+    (!events >= Fault_sim.detected_count r)
+
+let test_coverage_value () =
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let vectors = random_vectors c 128 in
+  let r = Fault_sim.run c ~faults ~vectors in
+  Alcotest.(check bool) "c17 fully covered by 128 random" true
+    (Fault_sim.coverage r = 1.0)
+
+(* --- Coverage curves ------------------------------------------------------------ *)
+
+let test_coverage_monotone () =
+  let firsts = [| Some 3; None; Some 10; Some 3; Some 0 |] in
+  let cov = Coverage.make firsts in
+  let prev = ref (-1.0) in
+  for k = 0 to 12 do
+    let v = Coverage.at cov k in
+    Alcotest.(check bool) "monotone" true (v >= !prev);
+    prev := v
+  done;
+  Alcotest.(check (float 1e-12)) "final" 0.8 (Coverage.final cov)
+
+let test_coverage_weighted () =
+  let firsts = [| Some 0; None |] in
+  let cov = Coverage.make ~weights:[| 3.0; 1.0 |] firsts in
+  Alcotest.(check (float 1e-12)) "weighted" 0.75 (Coverage.at cov 1)
+
+let test_coverage_boundaries () =
+  let cov = Coverage.make [| Some 5 |] in
+  Alcotest.(check (float 1e-12)) "before" 0.0 (Coverage.at cov 5);
+  Alcotest.(check (float 1e-12)) "after" 1.0 (Coverage.at cov 6)
+
+let test_log_spaced () =
+  let ks = Coverage.log_spaced ~max:1000 ~points:20 in
+  Alcotest.(check int) "starts at 1" 1 ks.(0);
+  Alcotest.(check int) "ends at max" 1000 ks.(Array.length ks - 1);
+  for i = 0 to Array.length ks - 2 do
+    Alcotest.(check bool) "strictly increasing" true (ks.(i) < ks.(i + 1))
+  done
+
+let test_detections_in_order () =
+  let cov = Coverage.make [| Some 4; Some 1; Some 9 |] in
+  let evs = Coverage.detections_in_order cov in
+  Alcotest.(check int) "3 events" 3 (Array.length evs);
+  Alcotest.(check bool) "sorted by vector" true
+    (let ks = Array.map fst evs in
+     ks = [| 1; 4; 9 |])
+
+(* --- Dictionary ------------------------------------------------------------------- *)
+
+let test_dictionary_consistency () =
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let vectors = random_vectors c 24 in
+  let dict = Dictionary.build c ~faults ~vectors in
+  (* agrees with the single-vector oracle *)
+  Array.iteri
+    (fun fi f ->
+      Array.iteri
+        (fun vi v ->
+          Alcotest.(check bool) "dict matches oracle"
+            (Fault_sim.detects_fault c f v)
+            (Dictionary.detects dict ~fault:fi ~vector:vi))
+        vectors)
+    faults
+
+let test_dictionary_diagnosis () =
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let vectors = random_vectors c 24 in
+  let dict = Dictionary.build c ~faults ~vectors in
+  (* a fault's own signature must include it as a candidate *)
+  for fi = 0 to Array.length faults - 1 do
+    let failing = Dictionary.detecting_vectors dict fi in
+    if failing <> [] then begin
+      let passing =
+        List.filter (fun v -> not (List.mem v failing)) (List.init 24 Fun.id)
+      in
+      let cands = Dictionary.candidates dict ~failing ~passing in
+      Alcotest.(check bool) "self-candidate" true (List.mem fi cands)
+    end
+  done
+
+let test_dictionary_compaction_preserves_coverage () =
+  let c = Option.get (Benchmarks.by_name "mux3") in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let vectors = random_vectors c 64 in
+  let dict = Dictionary.build c ~faults ~vectors in
+  let subset = Dictionary.greedy_compaction dict in
+  (* every fault detected by the full set is detected by the subset *)
+  for fi = 0 to Array.length faults - 1 do
+    let all = Dictionary.detecting_vectors dict fi in
+    if all <> [] then
+      Alcotest.(check bool) "covered by subset" true
+        (List.exists (fun v -> List.mem v subset) all)
+  done;
+  Alcotest.(check bool) "subset smaller" true (List.length subset <= 64)
+
+let test_dictionary_essential () =
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let vectors = random_vectors c 8 in
+  let dict = Dictionary.build c ~faults ~vectors in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "essential vector detects something" true
+        (Dictionary.detected_faults dict v <> []))
+    (Dictionary.essential_vectors dict)
+
+(* --- qcheck ----------------------------------------------------------------------- *)
+
+let prop_coverage_in_unit_range =
+  QCheck.Test.make ~name:"coverage stays in [0,1]" ~count:200
+    QCheck.(pair (list (option (int_range 0 100))) small_nat)
+    (fun (firsts, k) ->
+      let cov = Coverage.make (Array.of_list firsts) in
+      let v = Coverage.at cov k in
+      v >= 0.0 && v <= 1.0)
+
+let () =
+  Alcotest.run "dl_fault"
+    [
+      ( "stuck-at",
+        [
+          Alcotest.test_case "universe size" `Quick test_universe_size_c17;
+          Alcotest.test_case "universe sorted" `Quick test_universe_sorted_unique;
+          Alcotest.test_case "collapse c17" `Quick test_collapse_c17;
+          Alcotest.test_case "class detection equivalence" `Quick
+            test_collapse_detection_equivalent;
+          Alcotest.test_case "checkpoints" `Quick test_checkpoints_subset;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "fault-sim",
+        [
+          Alcotest.test_case "ppsfp = oracle" `Slow test_ppsfp_matches_oracle;
+          Alcotest.test_case "dropping consistent" `Quick test_ppsfp_drop_consistency;
+          Alcotest.test_case "partial block" `Quick test_ppsfp_partial_block;
+          Alcotest.test_case "detect callback" `Quick test_detection_callback;
+          Alcotest.test_case "coverage" `Quick test_coverage_value;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "monotone" `Quick test_coverage_monotone;
+          Alcotest.test_case "weighted" `Quick test_coverage_weighted;
+          Alcotest.test_case "boundaries" `Quick test_coverage_boundaries;
+          Alcotest.test_case "log spacing" `Quick test_log_spaced;
+          Alcotest.test_case "detection staircase" `Quick test_detections_in_order;
+        ] );
+      ( "dictionary",
+        [
+          Alcotest.test_case "oracle consistency" `Quick test_dictionary_consistency;
+          Alcotest.test_case "diagnosis" `Quick test_dictionary_diagnosis;
+          Alcotest.test_case "compaction preserves coverage" `Quick
+            test_dictionary_compaction_preserves_coverage;
+          Alcotest.test_case "essential vectors" `Quick test_dictionary_essential;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_coverage_in_unit_range ]);
+    ]

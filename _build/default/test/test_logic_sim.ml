@@ -1,0 +1,189 @@
+open Dl_netlist
+open Dl_logic
+
+let rng = Dl_util.Rng.create 101
+
+(* --- Ternary algebra ------------------------------------------------------- *)
+
+let tern = Alcotest.testable (fun ppf v -> Format.pp_print_char ppf (Ternary.to_char v)) Ternary.equal
+
+let test_ternary_inv () =
+  Alcotest.check tern "inv 0" Ternary.V1 (Ternary.inv Ternary.V0);
+  Alcotest.check tern "inv X" Ternary.VX (Ternary.inv Ternary.VX)
+
+let test_ternary_dominance () =
+  (* controlling values decide even against X *)
+  Alcotest.check tern "0 and X" Ternary.V0 (Ternary.band Ternary.V0 Ternary.VX);
+  Alcotest.check tern "1 or X" Ternary.V1 (Ternary.bor Ternary.V1 Ternary.VX);
+  Alcotest.check tern "X and 1" Ternary.VX (Ternary.band Ternary.VX Ternary.V1);
+  Alcotest.check tern "x xor 1" Ternary.VX (Ternary.bxor Ternary.VX Ternary.V1)
+
+let test_ternary_consistency_with_bool () =
+  (* on definite values, ternary ops agree with Gate.eval *)
+  List.iter
+    (fun kind ->
+      for code = 0 to 3 do
+        let a = code land 1 = 1 and b = code land 2 = 2 in
+        let expected = Gate.eval kind [| a; b |] in
+        let got = Ternary.eval kind [| Ternary.of_bool a; Ternary.of_bool b |] in
+        Alcotest.check tern (Gate.to_string kind) (Ternary.of_bool expected) got
+      done)
+    [ Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor ]
+
+let test_ternary_chars () =
+  Alcotest.(check bool) "roundtrip" true
+    (List.for_all
+       (fun v -> Ternary.of_char (Ternary.to_char v) = Some v)
+       [ Ternary.V0; Ternary.V1; Ternary.VX ])
+
+(* --- Sim2 ------------------------------------------------------------------ *)
+
+let test_sim2_c17_known_vector () =
+  let c = Benchmarks.c17 () in
+  (* all inputs 0: n10 = n11 = 1, n16 = NAND(0,1)=1, n19 = NAND(1,0)=1,
+     n22 = NAND(1,1)=0, n23 = NAND(1,1)=0 *)
+  let out = Sim2.output_bits c (Array.make 5 false) in
+  Alcotest.(check (array bool)) "all-zero response" [| false; false |] out
+
+let test_sim2_parallel_matches_single () =
+  let c = Benchmarks.c432s_small () in
+  let words = Sim2.random_words rng c in
+  let values = Sim2.run c words in
+  for bit = 0 to 63 do
+    let v = Sim2.pattern_of_words c words bit in
+    let single = Sim2.run_single c v in
+    Array.iteri
+      (fun id w ->
+        let expect = Int64.logand (Int64.shift_right_logical w bit) 1L = 1L in
+        if single.(id) <> expect then Alcotest.failf "node %d bit %d mismatch" id bit)
+      values
+  done
+
+let test_sim2_pack_unpack () =
+  let c = Benchmarks.c17 () in
+  let patterns =
+    Array.init 20 (fun _ -> Array.init 5 (fun _ -> Dl_util.Rng.bool rng))
+  in
+  let words = Sim2.words_of_patterns c patterns in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check (array bool)) "roundtrip" p (Sim2.pattern_of_words c words i))
+    patterns
+
+(* --- Sim3 ------------------------------------------------------------------ *)
+
+let test_sim3_definite_matches_sim2 () =
+  let c = Generator.ripple_adder 8 in
+  for _ = 1 to 50 do
+    let v = Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng) in
+    let v3 = Array.map Ternary.of_bool v in
+    let r2 = Sim2.run_single c v in
+    let r3 = Sim3.run c v3 in
+    Array.iteri
+      (fun id b ->
+        Alcotest.check tern "agree" (Ternary.of_bool b) r3.(id))
+      r2
+  done
+
+let test_sim3_x_propagation () =
+  let c = Benchmarks.c17 () in
+  (* all X in: all X out *)
+  let r = Sim3.run c (Array.make 5 Ternary.VX) in
+  Array.iter (fun o -> Alcotest.check tern "output X" Ternary.VX r.(o)) c.outputs
+
+let test_sim3_partial_x () =
+  (* AND with one 0 input stays 0 even with X elsewhere *)
+  let b = Circuit.Builder.create ~title:"t" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b "o" Gate.And [ "a"; "b" ];
+  Circuit.Builder.add_output b "o";
+  let c = Circuit.Builder.finalize b in
+  let r = Sim3.run c [| Ternary.V0; Ternary.VX |] in
+  Alcotest.check tern "0 dominates" Ternary.V0 r.(Circuit.find c "o")
+
+let test_sim3_fault_injection_stem () =
+  let c = Benchmarks.c17 () in
+  let n10 = Circuit.find c "n10" in
+  let v = Array.make 5 Ternary.V0 in
+  (* fault-free n10 = 1 with all-0 inputs; force stuck-0 *)
+  let faulty = Sim3.run_with_fault c ~site:(Sim3.Stem n10) ~stuck:false v in
+  Alcotest.check tern "forced stem" Ternary.V0 faulty.(n10)
+
+let test_sim3_fault_injection_branch () =
+  let c = Benchmarks.c17 () in
+  let n22 = Circuit.find c "n22" in
+  let v = Array.make 5 Ternary.V0 in
+  (* inputs of n22 are both 1 under all-0; forcing pin 0 to 0 flips output *)
+  let good = Sim3.run c v in
+  let faulty =
+    Sim3.run_with_fault c ~site:(Sim3.Branch { gate = n22; pin = 0 }) ~stuck:false v
+  in
+  Alcotest.check tern "good 0" Ternary.V0 good.(n22);
+  Alcotest.check tern "faulty 1" Ternary.V1 faulty.(n22)
+
+(* --- Event sim --------------------------------------------------------------- *)
+
+let test_event_sim_matches_sim2 () =
+  let c = Benchmarks.c432s_small () in
+  let es = Event_sim.create c in
+  for _ = 1 to 200 do
+    let v = Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng) in
+    let _ = Event_sim.set_inputs es v in
+    let expected = Sim2.run_single c v in
+    Array.iteri
+      (fun id b ->
+        if Event_sim.value es id <> b then Alcotest.failf "node %d mismatch" id)
+      expected
+  done
+
+let test_event_sim_single_input () =
+  let c = Benchmarks.c17 () in
+  let es = Event_sim.create c in
+  let _ = Event_sim.set_inputs es [| true; true; true; true; true |] in
+  let evals_before = Event_sim.evaluations es in
+  (* re-assert the same value: no events *)
+  let n = Event_sim.set_input es 0 true in
+  Alcotest.(check int) "no work for no change" 0 n;
+  Alcotest.(check int) "eval count unchanged" evals_before (Event_sim.evaluations es)
+
+let test_event_sim_activity_bounded () =
+  let c = Generator.ripple_adder 16 in
+  let es = Event_sim.create c in
+  let v = Array.make (Circuit.input_count c) false in
+  let _ = Event_sim.set_inputs es v in
+  (* flipping one low-order input evaluates at most the whole circuit once *)
+  let n = Event_sim.set_input es 0 true in
+  Alcotest.(check bool) "bounded" true (n <= Circuit.node_count c)
+
+let () =
+  Alcotest.run "dl_logic"
+    [
+      ( "ternary",
+        [
+          Alcotest.test_case "inversion" `Quick test_ternary_inv;
+          Alcotest.test_case "dominance" `Quick test_ternary_dominance;
+          Alcotest.test_case "agrees with bool" `Quick test_ternary_consistency_with_bool;
+          Alcotest.test_case "char roundtrip" `Quick test_ternary_chars;
+        ] );
+      ( "sim2",
+        [
+          Alcotest.test_case "c17 known vector" `Quick test_sim2_c17_known_vector;
+          Alcotest.test_case "parallel = single" `Quick test_sim2_parallel_matches_single;
+          Alcotest.test_case "pack/unpack" `Quick test_sim2_pack_unpack;
+        ] );
+      ( "sim3",
+        [
+          Alcotest.test_case "definite matches sim2" `Quick test_sim3_definite_matches_sim2;
+          Alcotest.test_case "X propagation" `Quick test_sim3_x_propagation;
+          Alcotest.test_case "partial X dominance" `Quick test_sim3_partial_x;
+          Alcotest.test_case "stem fault injection" `Quick test_sim3_fault_injection_stem;
+          Alcotest.test_case "branch fault injection" `Quick test_sim3_fault_injection_branch;
+        ] );
+      ( "event-sim",
+        [
+          Alcotest.test_case "matches sim2" `Quick test_event_sim_matches_sim2;
+          Alcotest.test_case "idempotent input" `Quick test_event_sim_single_input;
+          Alcotest.test_case "activity bounded" `Quick test_event_sim_activity_bounded;
+        ] );
+    ]

@@ -1,0 +1,402 @@
+open Dl_netlist
+
+(* --- Gate ----------------------------------------------------------------- *)
+
+let test_gate_eval_truth_tables () =
+  let check kind inputs expected =
+    Alcotest.(check bool)
+      (Gate.to_string kind)
+      expected
+      (Gate.eval kind (Array.of_list inputs))
+  in
+  check Gate.And [ true; true ] true;
+  check Gate.And [ true; false ] false;
+  check Gate.Nand [ true; true ] false;
+  check Gate.Or [ false; false ] false;
+  check Gate.Nor [ false; false ] true;
+  check Gate.Xor [ true; false ] true;
+  check Gate.Xor [ true; true ] false;
+  check Gate.Xnor [ true; true ] true;
+  check Gate.Not [ true ] false;
+  check Gate.Buf [ true ] true
+
+let test_gate_eval_word_matches_eval () =
+  let rng = Dl_util.Rng.create 5 in
+  List.iter
+    (fun kind ->
+      for arity = if kind = Gate.Buf || kind = Gate.Not then 1 else 1 to
+          (if kind = Gate.Buf || kind = Gate.Not then 1 else 4) do
+        let words = Array.init arity (fun _ -> Dl_util.Rng.word rng) in
+        let wres = Gate.eval_word kind words in
+        for bit = 0 to 63 do
+          let bits =
+            Array.map
+              (fun w -> Int64.logand (Int64.shift_right_logical w bit) 1L = 1L)
+              words
+          in
+          let expect = Gate.eval kind bits in
+          let got = Int64.logand (Int64.shift_right_logical wres bit) 1L = 1L in
+          if got <> expect then
+            Alcotest.failf "%s arity %d bit %d mismatch" (Gate.to_string kind) arity bit
+        done
+      done)
+    Gate.all_logic
+
+let test_gate_of_string () =
+  Alcotest.(check bool) "nand" true (Gate.of_string "nand" = Some Gate.Nand);
+  Alcotest.(check bool) "BUFF alias" true (Gate.of_string "BUFF" = Some Gate.Buf);
+  Alcotest.(check bool) "INV alias" true (Gate.of_string "inv" = Some Gate.Not);
+  Alcotest.(check bool) "unknown" true (Gate.of_string "FOO" = None)
+
+let test_gate_controlling () =
+  Alcotest.(check bool) "and ctrl" true (Gate.controlling_value Gate.And = Some false);
+  Alcotest.(check bool) "nor ctrl" true (Gate.controlling_value Gate.Nor = Some true);
+  Alcotest.(check bool) "xor none" true (Gate.controlling_value Gate.Xor = None);
+  Alcotest.(check bool) "nand resp" true (Gate.controlled_response Gate.Nand = true)
+
+let test_gate_arity_violations () =
+  Alcotest.check_raises "not with 2 inputs"
+    (Invalid_argument "Gate.eval: NOT cannot take 2 inputs") (fun () ->
+      ignore (Gate.eval Gate.Not [| true; false |]))
+
+(* --- Circuit -------------------------------------------------------------- *)
+
+let build_c17 () = Benchmarks.c17 ()
+
+let test_circuit_counts () =
+  let c = build_c17 () in
+  Alcotest.(check int) "nodes" 11 (Circuit.node_count c);
+  Alcotest.(check int) "inputs" 5 (Circuit.input_count c);
+  Alcotest.(check int) "outputs" 2 (Circuit.output_count c);
+  Alcotest.(check int) "gates" 6 (Circuit.gate_count c);
+  Alcotest.(check int) "depth" 3 (Circuit.depth c)
+
+let test_circuit_find () =
+  let c = build_c17 () in
+  let id = Circuit.find c "n10" in
+  Alcotest.(check string) "roundtrip" "n10" (Circuit.name c id);
+  Alcotest.(check bool) "missing" true (Circuit.find_opt c "nope" = None)
+
+let test_circuit_fanout_consistency () =
+  let c = build_c17 () in
+  (* every fanin edge appears exactly once in the fanout lists *)
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      Array.iter
+        (fun src ->
+          let count =
+            Array.fold_left
+              (fun acc dst -> if dst = nd.id then acc + 1 else acc)
+              0 c.fanouts.(src)
+          in
+          Alcotest.(check bool) "fanout edge present" true (count >= 1))
+        nd.fanin)
+    c.nodes
+
+let test_circuit_levels_monotone () =
+  let c = Benchmarks.c432s () in
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      Array.iter
+        (fun src ->
+          Alcotest.(check bool) "level strictly increases" true
+            (c.levels.(src) < c.levels.(nd.id)))
+        nd.fanin)
+    c.nodes
+
+let test_builder_duplicate_rejected () =
+  let b = Circuit.Builder.create ~title:"dup" in
+  Circuit.Builder.add_input b "a";
+  Alcotest.(check bool) "raises" true
+    (try
+       Circuit.Builder.add_input b "a";
+       false
+     with Circuit.Malformed _ -> true)
+
+let test_builder_cycle_rejected () =
+  let b = Circuit.Builder.create ~title:"cyc" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b "x" Gate.And [ "a"; "y" ];
+  Circuit.Builder.add_gate b "y" Gate.And [ "a"; "x" ];
+  Circuit.Builder.add_output b "y";
+  Alcotest.(check bool) "cycle detected" true
+    (try
+       ignore (Circuit.Builder.finalize b);
+       false
+     with Circuit.Malformed _ -> true)
+
+let test_builder_dangling_rejected () =
+  let b = Circuit.Builder.create ~title:"dangle" in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b "x" Gate.Not [ "ghost" ];
+  Circuit.Builder.add_output b "x";
+  Alcotest.(check bool) "dangling detected" true
+    (try
+       ignore (Circuit.Builder.finalize b);
+       false
+     with Circuit.Malformed _ -> true)
+
+let test_line_count () =
+  let c = build_c17 () in
+  (* 11 stems + 12 gate pins *)
+  Alcotest.(check int) "lines" 23 (Circuit.line_count c)
+
+(* --- Bench format ---------------------------------------------------------- *)
+
+let test_bench_roundtrip () =
+  List.iter
+    (fun (name, make) ->
+      let c = make () in
+      let c' = Bench_format.parse_string ~title:c.Circuit.title (Bench_format.to_string c) in
+      Alcotest.(check int) (name ^ " nodes") (Circuit.node_count c) (Circuit.node_count c');
+      Alcotest.(check int) (name ^ " inputs") (Circuit.input_count c) (Circuit.input_count c');
+      Alcotest.(check int) (name ^ " outputs") (Circuit.output_count c) (Circuit.output_count c');
+      Alcotest.(check int) (name ^ " depth") (Circuit.depth c) (Circuit.depth c');
+      (* behavioural equivalence on random vectors *)
+      let rng = Dl_util.Rng.create 3 in
+      for _ = 1 to 20 do
+        let v = Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng) in
+        Alcotest.(check (array bool))
+          (name ^ " response")
+          (Dl_logic.Sim2.output_bits c v)
+          (Dl_logic.Sim2.output_bits c' v)
+      done)
+    Benchmarks.all
+
+let test_bench_parse_errors () =
+  let expect_error text =
+    Alcotest.(check bool) "parse error" true
+      (try
+         ignore (Bench_format.parse_string text);
+         false
+       with Bench_format.Parse_error _ -> true)
+  in
+  expect_error "INPUT(a\n";
+  expect_error "x = FROB(a)\n";
+  expect_error "x = NAND()\n";
+  expect_error "WIBBLE(a)\n"
+
+let test_bench_comments_and_case () =
+  let c =
+    Bench_format.parse_string
+      "# a comment\ninput(a)\nINPUT(b)\noutput(o)\no = nand(a, b) # trailing\n"
+  in
+  Alcotest.(check int) "nodes" 3 (Circuit.node_count c)
+
+(* --- Generators ------------------------------------------------------------- *)
+
+let test_ripple_adder_function () =
+  let c = Generator.ripple_adder 4 in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      List.iter
+        (fun cin ->
+          let v =
+            Array.init (Circuit.input_count c) (fun i ->
+                let nm = Circuit.name c c.Circuit.inputs.(i) in
+                if nm = "cin" then cin
+                else
+                  let which = nm.[0] and bit = int_of_string (String.sub nm 1 1) in
+                  let value = if which = 'a' then a else b in
+                  value lsr bit land 1 = 1)
+          in
+          let out = Dl_logic.Sim2.output_bits c v in
+          (* outputs: s0..s3, cout in declaration order *)
+          let total = a + b + if cin then 1 else 0 in
+          Array.iteri
+            (fun i o ->
+              let nm = Circuit.name c c.Circuit.outputs.(i) in
+              let expected =
+                if nm = "cout" then total lsr 4 land 1 = 1
+                else total lsr int_of_string (String.sub nm 1 1) land 1 = 1
+              in
+              Alcotest.(check bool) (Printf.sprintf "a=%d b=%d %s" a b nm) expected o)
+            out)
+        [ false; true ]
+    done
+  done
+
+let test_parity_tree_function () =
+  let c = Generator.parity_tree 8 in
+  let rng = Dl_util.Rng.create 9 in
+  for _ = 1 to 100 do
+    let v = Array.init 8 (fun _ -> Dl_util.Rng.bool rng) in
+    let expected = Array.fold_left (fun acc b -> if b then not acc else acc) false v in
+    Alcotest.(check bool) "parity" expected (Dl_logic.Sim2.output_bits c v).(0)
+  done
+
+let test_comparator_function () =
+  let c = Generator.equality_comparator 4 in
+  let rng = Dl_util.Rng.create 17 in
+  for _ = 1 to 100 do
+    let xs = Array.init 4 (fun _ -> Dl_util.Rng.bool rng) in
+    let ys = Array.init 4 (fun _ -> Dl_util.Rng.bool rng) in
+    let v =
+      Array.init (Circuit.input_count c) (fun i ->
+          let nm = Circuit.name c c.Circuit.inputs.(i) in
+          let bit = int_of_string (String.sub nm 1 1) in
+          if nm.[0] = 'x' then xs.(bit) else ys.(bit))
+    in
+    Alcotest.(check bool) "equality" (xs = ys) (Dl_logic.Sim2.output_bits c v).(0)
+  done
+
+let test_mux_function () =
+  let c = Generator.multiplexer 2 in
+  for code = 0 to 3 do
+    for data = 0 to 15 do
+      let v =
+        Array.init (Circuit.input_count c) (fun i ->
+            let nm = Circuit.name c c.Circuit.inputs.(i) in
+            if String.length nm >= 3 && String.sub nm 0 3 = "sel" then
+              code lsr int_of_string (String.sub nm 3 1) land 1 = 1
+            else data lsr int_of_string (String.sub nm 1 1) land 1 = 1)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "mux sel=%d" code)
+        (data lsr code land 1 = 1)
+        (Dl_logic.Sim2.output_bits c v).(0)
+    done
+  done
+
+let test_decoder_function () =
+  let c = Generator.decoder 3 in
+  for code = 0 to 7 do
+    let v = Array.init 3 (fun i -> code lsr i land 1 = 1) in
+    let out = Dl_logic.Sim2.output_bits c v in
+    Array.iteri
+      (fun i o ->
+        let nm = Circuit.name c c.Circuit.outputs.(i) in
+        let line = int_of_string (String.sub nm 1 (String.length nm - 1)) in
+        Alcotest.(check bool) "one-hot" (line = code) o)
+      out
+  done
+
+let test_random_generator_valid () =
+  for seed = 1 to 5 do
+    let c =
+      Generator.random ~seed ~inputs:8 ~outputs:3
+        ~profile:[ (Gate.Nand, 20); (Gate.Not, 5); (Gate.Xor, 4) ]
+        ()
+    in
+    Circuit.validate c;
+    Alcotest.(check int) "outputs" 3 (Circuit.output_count c)
+  done
+
+let test_priority_controller_interface () =
+  let c = Generator.priority_controller ~slices:9 () in
+  Circuit.validate c;
+  Alcotest.(check int) "36 inputs" 36 (Circuit.input_count c);
+  Alcotest.(check int) "7 outputs" 7 (Circuit.output_count c);
+  Alcotest.(check bool) "c432-scale" true (Circuit.gate_count c > 100)
+
+(* --- Transform ---------------------------------------------------------------- *)
+
+let test_decompose_wide_gates () =
+  let b = Circuit.Builder.create ~title:"wide" in
+  for i = 0 to 8 do
+    Circuit.Builder.add_input b (Printf.sprintf "i%d" i)
+  done;
+  let names = List.init 9 (Printf.sprintf "i%d") in
+  Circuit.Builder.add_gate b "w_nand" Gate.Nand names;
+  Circuit.Builder.add_gate b "w_xor" Gate.Xor names;
+  Circuit.Builder.add_gate b "w_nor" Gate.Nor names;
+  Circuit.Builder.add_output b "w_nand";
+  Circuit.Builder.add_output b "w_xor";
+  Circuit.Builder.add_output b "w_nor";
+  let c = Circuit.Builder.finalize b in
+  Alcotest.(check bool) "not mappable" false (Transform.is_cell_mappable c);
+  let c' = Transform.decompose_for_cells c in
+  Alcotest.(check bool) "mappable after" true (Transform.is_cell_mappable c');
+  (* behaviour preserved *)
+  let rng = Dl_util.Rng.create 23 in
+  for _ = 1 to 200 do
+    let v = Array.init 9 (fun _ -> Dl_util.Rng.bool rng) in
+    Alcotest.(check (array bool)) "equivalent" (Dl_logic.Sim2.output_bits c v)
+      (Dl_logic.Sim2.output_bits c' v)
+  done
+
+let test_decompose_identity_when_mappable () =
+  let c = Benchmarks.c17 () in
+  let c' = Transform.decompose_for_cells c in
+  Alcotest.(check int) "same size" (Circuit.node_count c) (Circuit.node_count c')
+
+(* --- qcheck ---------------------------------------------------------------------- *)
+
+let prop_generator_deterministic =
+  QCheck.Test.make ~name:"random generator deterministic per seed" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let make () =
+        Generator.random ~seed ~inputs:6 ~outputs:2
+          ~profile:[ (Gate.Nand, 10); (Gate.Xor, 3) ]
+          ()
+      in
+      let a = make () and b = make () in
+      Bench_format.to_string a = Bench_format.to_string b)
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"bench roundtrip on random circuits" ~count:25
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let c =
+        Generator.random ~seed ~inputs:5 ~outputs:2
+          ~profile:[ (Gate.Nor, 8); (Gate.Not, 3); (Gate.And, 4) ]
+          ()
+      in
+      let c' = Bench_format.parse_string (Bench_format.to_string c) in
+      let rng = Dl_util.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let v = Array.init 5 (fun _ -> Dl_util.Rng.bool rng) in
+        if Dl_logic.Sim2.output_bits c v <> Dl_logic.Sim2.output_bits c' v then
+          ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "dl_netlist"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "truth tables" `Quick test_gate_eval_truth_tables;
+          Alcotest.test_case "word eval matches" `Quick test_gate_eval_word_matches_eval;
+          Alcotest.test_case "of_string" `Quick test_gate_of_string;
+          Alcotest.test_case "controlling values" `Quick test_gate_controlling;
+          Alcotest.test_case "arity violations" `Quick test_gate_arity_violations;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "counts" `Quick test_circuit_counts;
+          Alcotest.test_case "find" `Quick test_circuit_find;
+          Alcotest.test_case "fanout consistency" `Quick test_circuit_fanout_consistency;
+          Alcotest.test_case "levels monotone" `Quick test_circuit_levels_monotone;
+          Alcotest.test_case "duplicate rejected" `Quick test_builder_duplicate_rejected;
+          Alcotest.test_case "cycle rejected" `Quick test_builder_cycle_rejected;
+          Alcotest.test_case "dangling rejected" `Quick test_builder_dangling_rejected;
+          Alcotest.test_case "line count" `Quick test_line_count;
+        ] );
+      ( "bench-format",
+        [
+          Alcotest.test_case "roundtrip all benchmarks" `Quick test_bench_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_bench_parse_errors;
+          Alcotest.test_case "comments and case" `Quick test_bench_comments_and_case;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "ripple adder adds" `Quick test_ripple_adder_function;
+          Alcotest.test_case "parity tree" `Quick test_parity_tree_function;
+          Alcotest.test_case "comparator" `Quick test_comparator_function;
+          Alcotest.test_case "multiplexer" `Quick test_mux_function;
+          Alcotest.test_case "decoder" `Quick test_decoder_function;
+          Alcotest.test_case "random generator valid" `Quick test_random_generator_valid;
+          Alcotest.test_case "priority controller" `Quick test_priority_controller_interface;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "decompose wide gates" `Quick test_decompose_wide_gates;
+          Alcotest.test_case "identity when mappable" `Quick test_decompose_identity_when_mappable;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generator_deterministic; prop_roundtrip_random ] );
+    ]

@@ -1,0 +1,472 @@
+open Dl_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-9) msg a b =
+  Alcotest.(check (float eps)) msg a b
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_rejects () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "bucket near 10%" true (frac > 0.08 && frac < 0.12))
+    buckets
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 13 in
+  let arr = Array.init 20 Fun.id in
+  let s = Rng.sample rng arr 10 in
+  Alcotest.(check int) "10 elements" 10 (Array.length s);
+  let tbl = Hashtbl.create 10 in
+  Array.iter (fun x -> Hashtbl.replace tbl x ()) s;
+  Alcotest.(check int) "all distinct" 10 (Hashtbl.length tbl)
+
+let test_rng_split_independence () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 21 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng 2.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 23 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs (Stats.mean xs) < 0.02);
+  Alcotest.(check bool) "stddev near 1" true (Float.abs (Stats.stddev xs -. 1.0) < 0.02)
+
+let test_rng_log_uniform () =
+  let rng = Rng.create 25 in
+  for _ = 1 to 1000 do
+    let v = Rng.log_uniform rng 1e-9 1e-6 in
+    Alcotest.(check bool) "in range" true (v >= 1e-9 && v <= 1e-6)
+  done
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_stats_variance () =
+  check_float "variance" 2.5 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_stats_single_variance () = check_float "single" 0.0 (Stats.variance [| 42.0 |])
+
+let test_stats_geometric_mean () =
+  check_close ~eps:1e-9 "geomean" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_total_kahan () =
+  (* 1e16 + many small values: naive summation loses them all. *)
+  let xs = Array.make 1001 1.0 in
+  xs.(0) <- 1e16;
+  check_float "kahan" 1e16 (Stats.total xs -. 1000.0)
+
+let test_stats_quantile () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "median" 3.0 (Stats.median xs);
+  check_float "q0" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1" 5.0 (Stats.quantile xs 1.0);
+  check_float "q25" 2.0 (Stats.quantile xs 0.25)
+
+let test_stats_correlation () =
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  check_float "perfect" 1.0 (Stats.correlation xs (Array.map (fun x -> 2.0 *. x) xs));
+  check_float "inverse" (-1.0) (Stats.correlation xs (Array.map (fun x -> -.x) xs))
+
+let test_stats_regression () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = Array.map (fun x -> (3.0 *. x) +. 1.0) xs in
+  let fit = Stats.linear_regression xs ys in
+  check_close "slope" 3.0 fit.slope;
+  check_close "intercept" 1.0 fit.intercept;
+  check_close "r2" 1.0 fit.r2
+
+let test_stats_empty_rejected () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+(* --- Histogram ---------------------------------------------------------- *)
+
+let test_histogram_linear () =
+  let h = Histogram.create (Histogram.Linear { lo = 0.0; hi = 10.0; bins = 5 }) in
+  Histogram.add_many h [| 1.0; 3.0; 5.0; 7.0; 9.0; 10.0 |];
+  Alcotest.(check (array int)) "counts" [| 1; 1; 1; 1; 2 |] (Histogram.counts h);
+  Alcotest.(check int) "total" 6 (Histogram.total h)
+
+let test_histogram_out_of_range () =
+  let h = Histogram.create (Histogram.Linear { lo = 0.0; hi = 1.0; bins = 2 }) in
+  Histogram.add h (-1.0);
+  Histogram.add h 2.0;
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Histogram.overflow h)
+
+let test_histogram_log () =
+  let h = Histogram.create (Histogram.Log10 { lo = 1e-9; hi = 1e-6; bins = 3 }) in
+  Histogram.add_many h [| 5e-9; 5e-8; 5e-7 |];
+  Alcotest.(check (array int)) "one per decade" [| 1; 1; 1 |] (Histogram.counts h)
+
+let test_histogram_edges_monotone () =
+  let h = Histogram.create (Histogram.Log10 { lo = 1e-9; hi = 1e-5; bins = 16 }) in
+  let edges = Histogram.bin_edges h in
+  for i = 0 to Array.length edges - 2 do
+    Alcotest.(check bool) "monotone" true (edges.(i) < edges.(i + 1))
+  done
+
+let test_histogram_mode () =
+  let h = Histogram.create (Histogram.Linear { lo = 0.0; hi = 3.0; bins = 3 }) in
+  Histogram.add_many h [| 0.5; 1.5; 1.6; 1.7 |];
+  Alcotest.(check int) "mode" 1 (Histogram.mode_bin h)
+
+let test_histogram_render () =
+  let h = Histogram.create (Histogram.Linear { lo = 0.0; hi = 1.0; bins = 2 }) in
+  Histogram.add h 0.2;
+  Alcotest.(check bool) "renders" true (String.length (Histogram.render h) > 0)
+
+(* --- Numerics ----------------------------------------------------------- *)
+
+let test_bisect () =
+  let root = Numerics.bisect ~f:(fun x -> (x *. x) -. 2.0) 0.0 2.0 in
+  check_close ~eps:1e-9 "sqrt2" (sqrt 2.0) root
+
+let test_brent () =
+  let root = Numerics.brent ~f:(fun x -> (x *. x *. x) -. x -. 2.0) 1.0 2.0 in
+  check_close ~eps:1e-9 "cubic root" 1.5213797068045676 root
+
+let test_brent_endpoint_root () =
+  check_float "root at endpoint" 1.0 (Numerics.brent ~f:(fun x -> x -. 1.0) 1.0 5.0)
+
+let test_bisect_no_bracket () =
+  Alcotest.check_raises "no sign change"
+    (Invalid_argument "Numerics.bisect: no sign change over bracket") (fun () ->
+      ignore (Numerics.bisect ~f:(fun x -> (x *. x) +. 1.0) (-1.0) 1.0))
+
+let test_golden_min () =
+  let x = Numerics.golden_min ~f:(fun x -> (x -. 1.3) ** 2.0) 0.0 3.0 in
+  check_close ~eps:1e-6 "minimum" 1.3 x
+
+let test_integrate () =
+  let v = Numerics.integrate ~f:(fun x -> x *. x) 0.0 1.0 in
+  check_close ~eps:1e-9 "x^2 integral" (1.0 /. 3.0) v
+
+let test_pow1m () =
+  check_float "0^0" 1.0 (Numerics.pow1m 0.0 0.0);
+  check_float "0^2" 0.0 (Numerics.pow1m 0.0 2.0);
+  check_close "0.75^0.5" (sqrt 0.75) (Numerics.pow1m 0.75 0.5)
+
+let test_ppm () =
+  check_float "ppm" 100.0 (Numerics.ppm 1e-4);
+  check_float "of_ppm" 1e-4 (Numerics.of_ppm 100.0)
+
+let test_clamp () =
+  check_float "clamp low" 0.0 (Numerics.clamp01 (-1.0));
+  check_float "clamp high" 1.0 (Numerics.clamp01 2.0);
+  check_float "clamp pass" 0.5 (Numerics.clamp01 0.5)
+
+(* --- Simplex / Fit ------------------------------------------------------- *)
+
+let test_simplex_quadratic () =
+  let f p = ((p.(0) -. 2.0) ** 2.0) +. ((p.(1) +. 1.0) ** 2.0) in
+  let r = Simplex.minimize ~f [| 0.0; 0.0 |] in
+  Alcotest.(check bool) "converged" true r.converged;
+  check_close ~eps:1e-4 "x0" 2.0 r.xmin.(0);
+  check_close ~eps:1e-4 "x1" (-1.0) r.xmin.(1)
+
+let test_simplex_rosenbrock () =
+  let f p =
+    let a = 1.0 -. p.(0) and b = p.(1) -. (p.(0) *. p.(0)) in
+    (a *. a) +. (100.0 *. b *. b)
+  in
+  let r = Simplex.minimize ~max_iter:20_000 ~tol:1e-12 ~f [| -1.2; 1.0 |] in
+  check_close ~eps:1e-3 "rosenbrock x" 1.0 r.xmin.(0);
+  check_close ~eps:1e-3 "rosenbrock y" 1.0 r.xmin.(1)
+
+let test_simplex_bounded () =
+  let f p = (p.(0) -. 5.0) ** 2.0 in
+  let r = Simplex.minimize_bounded ~f ~lo:[| 0.0 |] ~hi:[| 2.0 |] [| 1.0 |] in
+  check_close ~eps:1e-4 "clamped to bound" 2.0 r.xmin.(0)
+
+let test_curve_fit_exponential () =
+  let xs = Array.init 30 (fun i -> float_of_int i /. 5.0) in
+  let pts =
+    Array.to_list (Array.map (fun x -> (x, 3.0 *. exp (-0.7 *. x))) xs)
+  in
+  let model p x = p.(0) *. exp (-.p.(1) *. x) in
+  let r =
+    Fit.curve_fit ~model ~lo:[| 0.1; 0.01 |] ~hi:[| 10.0; 5.0 |] ~init:[| 1.0; 1.0 |]
+      (Fit.make_data pts)
+  in
+  check_close ~eps:1e-4 "amplitude" 3.0 r.params.(0);
+  check_close ~eps:1e-4 "rate" 0.7 r.params.(1);
+  Alcotest.(check bool) "small rmse" true (r.rmse < 1e-5)
+
+let test_curve_fit_weighted () =
+  let pts = [ (0.0, 0.0); (1.0, 1.0); (2.0, 10.0) ] in
+  (* Heavy weight on the first two points ignores the outlier. *)
+  let model p x = p.(0) *. x in
+  let r =
+    Fit.curve_fit_weighted ~model ~weights:[| 1e6; 1e6; 1e-6 |] ~lo:[| -100.0 |]
+      ~hi:[| 100.0 |] ~init:[| 0.0 |] (Fit.make_data pts)
+  in
+  check_close ~eps:1e-3 "slope follows heavy points" 1.0 r.params.(0)
+
+(* --- Prob ---------------------------------------------------------------- *)
+
+let test_poisson_pmf_sums () =
+  let lambda = 3.0 in
+  let acc = ref 0.0 in
+  for k = 0 to 60 do
+    acc := !acc +. Prob.poisson_pmf ~lambda k
+  done;
+  check_close ~eps:1e-9 "pmf sums to 1" 1.0 !acc
+
+let test_poisson_pmf_mean () =
+  let lambda = 4.2 in
+  let acc = ref 0.0 in
+  for k = 0 to 100 do
+    acc := !acc +. (float_of_int k *. Prob.poisson_pmf ~lambda k)
+  done;
+  check_close ~eps:1e-6 "mean" lambda !acc
+
+let test_poisson_sample_mean () =
+  let rng = Rng.create 31 in
+  let n = 20_000 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    acc := !acc + Prob.poisson_sample rng ~lambda:2.5
+  done;
+  let mean = float_of_int !acc /. float_of_int n in
+  Alcotest.(check bool) "sample mean near 2.5" true (Float.abs (mean -. 2.5) < 0.05)
+
+let test_negative_binomial_limits () =
+  (* Large alpha converges to Poisson. *)
+  let lambda = 2.0 in
+  for k = 0 to 10 do
+    let nb = Prob.negative_binomial_pmf ~mean:lambda ~alpha:1e7 k in
+    let po = Prob.poisson_pmf ~lambda k in
+    Alcotest.(check bool) "nb -> poisson" true (Float.abs (nb -. po) < 1e-4)
+  done
+
+let test_negative_binomial_sums () =
+  let acc = ref 0.0 in
+  for k = 0 to 500 do
+    acc := !acc +. Prob.negative_binomial_pmf ~mean:3.0 ~alpha:0.5 k
+  done;
+  check_close ~eps:1e-6 "nb sums to 1" 1.0 !acc
+
+let test_binomial_pmf () =
+  check_close ~eps:1e-12 "B(4,0.5) at 2" 0.375 (Prob.binomial_pmf ~n:4 ~p:0.5 2);
+  check_close ~eps:1e-12 "p=0" 1.0 (Prob.binomial_pmf ~n:4 ~p:0.0 0)
+
+let test_truncated_poisson () =
+  (* Small lambda: conditional mean -> 1. *)
+  Alcotest.(check bool) "small lambda" true
+    (Prob.truncated_poisson_mean ~lambda:1e-6 < 1.001);
+  check_close ~eps:1e-9 "lambda 2"
+    (2.0 /. (1.0 -. exp (-2.0)))
+    (Prob.truncated_poisson_mean ~lambda:2.0)
+
+let test_log_factorial () =
+  check_close ~eps:1e-9 "5!" (log 120.0) (Prob.log_factorial 5);
+  (* Stirling branch vs exact recurrence at the cache boundary. *)
+  let exact n =
+    let acc = ref 0.0 in
+    for i = 2 to n do
+      acc := !acc +. log (float_of_int i)
+    done;
+    !acc
+  in
+  Alcotest.(check bool) "large n accurate" true
+    (Float.abs (Prob.log_factorial 300 -. exact 300) < 1e-6)
+
+(* --- Table ---------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  (* Right-aligned numbers line up on the right edge. *)
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines)
+
+let test_table_arity_check () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_formats () =
+  Alcotest.(check string) "pct" "97.70%" (Table.fmt_pct 0.977);
+  Alcotest.(check string) "ppm" "100.0 ppm" (Table.fmt_ppm 1e-4)
+
+(* --- qcheck properties ----------------------------------------------------- *)
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~name:"quantile within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_range (-1e3) 1e3)) (float_range 0.0 1.0))
+    (fun (l, q) ->
+      let xs = Array.of_list l in
+      let v = Stats.quantile xs q in
+      let lo, hi = Stats.min_max xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_histogram_conserves =
+  QCheck.Test.make ~name:"histogram conserves observations" ~count:200
+    QCheck.(list (float_range (-10.0) 10.0))
+    (fun l ->
+      let h = Histogram.create (Histogram.Linear { lo = -5.0; hi = 5.0; bins = 7 }) in
+      List.iter (Histogram.add h) l;
+      Histogram.total h = List.length l)
+
+let prop_weight_probability_inverse =
+  QCheck.Test.make ~name:"expm1/log1p inverses" ~count:500
+    QCheck.(float_range 0.0 0.999)
+    (fun p ->
+      let w = -.Numerics.log1p (-.p) in
+      let p' = -.Numerics.expm1 (-.w) in
+      Float.abs (p -. p') < 1e-12)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_quantile_bounds; prop_histogram_conserves; prop_weight_probability_inverse ]
+
+let () =
+  Alcotest.run "dl_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in;
+          Alcotest.test_case "int rejects 0" `Quick test_rng_int_rejects;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "log uniform range" `Quick test_rng_log_uniform;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "variance singleton" `Quick test_stats_single_variance;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "kahan total" `Quick test_stats_total_kahan;
+          Alcotest.test_case "quantiles" `Quick test_stats_quantile;
+          Alcotest.test_case "correlation" `Quick test_stats_correlation;
+          Alcotest.test_case "regression" `Quick test_stats_regression;
+          Alcotest.test_case "empty rejected" `Quick test_stats_empty_rejected;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "linear bins" `Quick test_histogram_linear;
+          Alcotest.test_case "under/overflow" `Quick test_histogram_out_of_range;
+          Alcotest.test_case "log bins" `Quick test_histogram_log;
+          Alcotest.test_case "edges monotone" `Quick test_histogram_edges_monotone;
+          Alcotest.test_case "mode" `Quick test_histogram_mode;
+          Alcotest.test_case "render" `Quick test_histogram_render;
+        ] );
+      ( "numerics",
+        [
+          Alcotest.test_case "bisect" `Quick test_bisect;
+          Alcotest.test_case "brent" `Quick test_brent;
+          Alcotest.test_case "brent endpoint" `Quick test_brent_endpoint_root;
+          Alcotest.test_case "bisect bad bracket" `Quick test_bisect_no_bracket;
+          Alcotest.test_case "golden minimum" `Quick test_golden_min;
+          Alcotest.test_case "simpson" `Quick test_integrate;
+          Alcotest.test_case "pow1m" `Quick test_pow1m;
+          Alcotest.test_case "ppm" `Quick test_ppm;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "simplex quadratic" `Quick test_simplex_quadratic;
+          Alcotest.test_case "simplex rosenbrock" `Quick test_simplex_rosenbrock;
+          Alcotest.test_case "simplex bounded" `Quick test_simplex_bounded;
+          Alcotest.test_case "exponential fit" `Quick test_curve_fit_exponential;
+          Alcotest.test_case "weighted fit" `Quick test_curve_fit_weighted;
+        ] );
+      ( "prob",
+        [
+          Alcotest.test_case "poisson sums to 1" `Quick test_poisson_pmf_sums;
+          Alcotest.test_case "poisson mean" `Quick test_poisson_pmf_mean;
+          Alcotest.test_case "poisson sampling" `Quick test_poisson_sample_mean;
+          Alcotest.test_case "nb -> poisson limit" `Quick test_negative_binomial_limits;
+          Alcotest.test_case "nb sums to 1" `Quick test_negative_binomial_sums;
+          Alcotest.test_case "binomial pmf" `Quick test_binomial_pmf;
+          Alcotest.test_case "truncated poisson" `Quick test_truncated_poisson;
+          Alcotest.test_case "log factorial" `Quick test_log_factorial;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+          Alcotest.test_case "formatters" `Quick test_table_formats;
+        ] );
+      ("properties", qcheck_cases);
+    ]
