@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- fig4 fig5  # selected sections
 
    Sections: fig1 fig2 fig3 fig4 fig5 fig6 examples ablation delay
-   quality resistive stability sweep clustered lot micro *)
+   quality resistive stability sweep clustered lot par micro *)
 
 open Dl_core
 module Coverage = Dl_fault.Coverage
@@ -502,6 +502,79 @@ let lot () =
     (Table.fmt_ppm (Production.defect_level lot))
     (Table.fmt_ppm analytic)
 
+(* ------------------------------------------------------- parallel engine *)
+
+(* Wall-clock speedup of Fault_sim.run_parallel over the serial engine on a
+   c432-scale workload (collapsed fault universe, 1024 random vectors, no
+   dropping so every block carries the full fault load), plus a bit-for-bit
+   identity check of every merged field at each domain count. *)
+let par () =
+  section_banner "Par" "multicore PPSFP speedup vs domain count (c432s)";
+  let c =
+    Dl_netlist.Transform.decompose_for_cells (Dl_netlist.Benchmarks.c432s ())
+  in
+  let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+  let rng = Dl_util.Rng.create 99 in
+  let vectors =
+    Array.init 1024 (fun _ ->
+        Array.init (Dl_netlist.Circuit.input_count c) (fun _ ->
+            Dl_util.Rng.bool rng))
+  in
+  Printf.printf "%d faults x %d vectors, recommended domains: %d\n%!"
+    (Array.length faults) (Array.length vectors)
+    (Dl_util.Parallel.default_domains ());
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, t_serial =
+    time (fun () -> Dl_fault.Fault_sim.run ~drop_detected:false c ~faults ~vectors)
+  in
+  Printf.printf "serial: %.3f s (%d detected, %d gate evals)\n%!" t_serial
+    (Dl_fault.Fault_sim.detected_count serial)
+    serial.gate_evaluations;
+  let counts =
+    List.sort_uniq Stdlib.compare [ 1; 2; 4; Dl_util.Parallel.default_domains () ]
+  in
+  let t = Table.create
+      [ ("domains", Table.Right); ("time", Table.Right); ("speedup", Table.Right);
+        ("identical", Table.Right) ]
+  in
+  List.iter
+    (fun domains ->
+      Dl_util.Parallel.with_pool ~domains (fun pool ->
+          let r, dt =
+            time (fun () ->
+                Dl_fault.Fault_sim.run_parallel ~drop_detected:false ~pool c
+                  ~faults ~vectors)
+          in
+          let identical =
+            r.first_detection = serial.first_detection
+            && r.gate_evaluations = serial.gate_evaluations
+          in
+          Table.add_row t
+            [ string_of_int domains;
+              Printf.sprintf "%.3f s" dt;
+              Printf.sprintf "%.2fx" (t_serial /. dt);
+              (if identical then "yes" else "NO") ]))
+    counts;
+  Table.print t;
+  (* The production mode (fault dropping) must agree too. *)
+  let a = Dl_fault.Fault_sim.run ~drop_detected:true c ~faults ~vectors in
+  let b =
+    Dl_fault.Fault_sim.run_parallel ~drop_detected:true ~domains:4 c ~faults
+      ~vectors
+  in
+  Printf.printf "drop_detected mode identical at 4 domains: %s\n"
+    (if a.first_detection = b.first_detection
+        && a.gate_evaluations = b.gate_evaluations
+     then "yes"
+     else "NO");
+  print_endline
+    "determinism: sharding is by fault index and merges preserve it, so the\n\
+     table above must read identical = yes at every domain count."
+
 (* ---------------------------------------------------------- micro-benches *)
 
 let micro () =
@@ -611,6 +684,7 @@ let sections =
     ("sweep", sweep);
     ("clustered", clustered);
     ("lot", lot);
+    ("par", par);
     ("micro", micro);
   ]
 

@@ -38,6 +38,15 @@ let circuit_arg =
 let seed_arg =
   Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for fault simulation (0 = one per \
+                 recommended core). Results are identical at any setting.")
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Dl_util.Parallel.default_domains () else jobs
+
 (* ------------------------------------------------------------------ info *)
 
 let info_cmd =
@@ -172,10 +181,11 @@ let project_cmd =
 (* -------------------------------------------------------------- pipeline *)
 
 let pipeline_cmd =
-  let run spec seed max_random target_yield points report =
+  let run spec seed jobs max_random target_yield points report =
     let c = load_circuit spec in
     let cfg =
-      Dl_core.Experiment.config ~seed ~max_random_vectors:max_random ~target_yield c
+      Dl_core.Experiment.config ~seed ~max_random_vectors:max_random ~target_yield
+        ~domains:(resolve_jobs jobs) c
     in
     let e = Dl_core.Experiment.run cfg in
     Format.printf "%a@.@." Dl_core.Experiment.pp_summary e;
@@ -192,8 +202,9 @@ let pipeline_cmd =
       (Dl_core.Experiment.coverage_rows e ~ks);
     Table.print t;
     let fit = Dl_core.Experiment.fit_params e () in
-    Printf.printf "\nfitted eq. 11: R = %.2f, θmax = %.3f (rmse %.4f)\n" fit.params.r
-      fit.params.theta_max fit.rmse;
+    Printf.printf "\nfitted eq. 11: R = %.2f, θmax = %.3f (rmse %.4f, %s)\n"
+      fit.params.r fit.params.theta_max fit.rmse
+      (Dl_core.Projection.rmse_unit fit.rmse_scale);
     match report with
     | None -> ()
     | Some path ->
@@ -219,8 +230,8 @@ let pipeline_cmd =
     (Cmd.info "pipeline"
        ~doc:"Full experiment: layout, IFA, ATPG, gate+switch fault simulation, \
              DL projection and (R, θmax) fit.")
-    Term.(const run $ circuit_arg $ seed_arg $ max_random $ target_yield $ points
-          $ report)
+    Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ max_random $ target_yield
+          $ points $ report)
 
 (* ------------------------------------------------------------ transition *)
 

@@ -3,10 +3,12 @@
    weighted realistic faults, generate tests, fault-simulate at gate and
    switch level, project the defect level and fit (R, θmax).
 
-     dune exec examples/c432_pipeline.exe [-- circuit]
+     dune exec examples/c432_pipeline.exe [-- circuit [jobs]]
 
    Pass "c432s" for the full-size run (about a minute); default is the
-   3-slice variant.
+   3-slice variant.  The optional second argument sets the worker-domain
+   count for the gate-level fault simulation (default: one per recommended
+   core); the results are identical at any setting.
 *)
 
 open Dl_core
@@ -23,7 +25,18 @@ let () =
         exit 1
   in
   Format.printf "circuit: %a@\n" Dl_netlist.Circuit.pp_summary circuit;
-  let cfg = Experiment.config ~seed:7 ~max_random_vectors:1024 circuit in
+  let domains =
+    if Array.length Sys.argv > 2 then
+      match int_of_string_opt Sys.argv.(2) with
+      | Some j when j >= 1 -> j
+      | _ ->
+          Printf.eprintf "jobs must be a positive integer, not %S\n" Sys.argv.(2);
+          exit 1
+    else Dl_util.Parallel.default_domains ()
+  in
+  Printf.printf "fault simulation on %d domain%s\n" domains
+    (if domains = 1 then "" else "s");
+  let cfg = Experiment.config ~seed:7 ~max_random_vectors:1024 ~domains circuit in
   let e = Experiment.run cfg in
 
   (* Layout and extraction summary (fig. 3 territory). *)

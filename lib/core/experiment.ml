@@ -12,14 +12,17 @@ type config = {
   stats : Dl_extract.Defect_stats.t;
   min_weight_ratio : float;
   rows : int option;
+  domains : int;
 }
 
 let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
     ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
-    circuit =
+    ?(domains = Dl_util.Parallel.default_domains ()) circuit =
   if not (target_yield > 0.0 && target_yield < 1.0) then
     invalid_arg "Experiment.config: target yield must be in (0, 1)";
-  { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio; rows }
+  if domains < 1 then invalid_arg "Experiment.config: domains must be >= 1";
+  { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio;
+    rows; domains }
 
 type t = {
   cfg : config;
@@ -59,8 +62,12 @@ let run cfg =
                 atpg.untestable_faults))
          (Array.to_seq all_stuck_faults))
   in
-  (* 3. Gate-level stuck-at fault simulation over the same sequence. *)
-  let sim = Dl_fault.Fault_sim.run c ~faults:stuck_faults ~vectors in
+  (* 3. Gate-level stuck-at fault simulation over the same sequence
+     (parallel engine; bit-for-bit identical to the serial one). *)
+  let sim =
+    Dl_fault.Fault_sim.run_parallel ~domains:cfg.domains c ~faults:stuck_faults
+      ~vectors
+  in
   let t_curve = Coverage.make sim.first_detection in
   (* 4. Layout synthesis and inductive fault analysis. *)
   let mapping = Dl_cell.Mapping.flatten c in

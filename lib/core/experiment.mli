@@ -18,13 +18,17 @@ type config = {
   min_weight_ratio : float;
       (** Realistic-fault pruning threshold (see {!Dl_extract.Ifa.extract}). *)
   rows : int option;  (** Layout row override. *)
+  domains : int;
+      (** Domain count for the gate-level fault simulation
+          ({!Dl_fault.Fault_sim.run_parallel}); results are independent of
+          this value. *)
 }
 
 val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
   ?stats:Dl_extract.Defect_stats.t -> ?min_weight_ratio:float ->
-  ?rows:int -> Circuit.t -> config
+  ?rows:int -> ?domains:int -> Circuit.t -> config
 (** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
-    pruning. *)
+    pruning, [Domain.recommended_domain_count ()] domains. *)
 
 type t = {
   cfg : config;

@@ -49,7 +49,10 @@ let required_coverage ~yield ~params ~target_dl =
 let defect_level_curve ~yield ~params ~coverages =
   Array.map (fun t -> (t, defect_level ~yield ~params ~coverage:t)) coverages
 
-type fit = { params : params; rmse : float }
+type rmse_scale = Linear | Log10
+type fit = { params : params; rmse : float; rmse_scale : rmse_scale }
+
+let rmse_unit = function Linear -> "linear units" | Log10 -> "log10 units"
 
 let lo = [| 0.05; 0.01 |]
 let hi = [| 50.0; 1.0 |]
@@ -87,11 +90,15 @@ let fit_dl ~yield points =
     log10 (Float.max floor_dl dl)
   in
   let r = best_fit ~model data in
-  { params = { r = r.params.(0); theta_max = r.params.(1) }; rmse = r.rmse }
+  { params = { r = r.params.(0); theta_max = r.params.(1) };
+    rmse = r.rmse;
+    rmse_scale = Log10 }
 
 let fit_theta points =
   if Array.length points = 0 then invalid_arg "Projection.fit_theta: no points";
   let data = Dl_util.Fit.make_data (Array.to_list points) in
   let model p t = theta_of_coverage { r = p.(0); theta_max = p.(1) } t in
   let r = best_fit ~model data in
-  { params = { r = r.params.(0); theta_max = r.params.(1) }; rmse = r.rmse }
+  { params = { r = r.params.(0); theta_max = r.params.(1) };
+    rmse = r.rmse;
+    rmse_scale = Linear }

@@ -35,13 +35,28 @@ val required_coverage :
 val defect_level_curve :
   yield:float -> params:params -> coverages:float array -> (float * float) array
 
-type fit = { params : params; rmse : float }
+type rmse_scale =
+  | Linear  (** [rmse] is in the units of the fitted quantity itself. *)
+  | Log10   (** [rmse] is in decades of the fitted quantity. *)
+
+type fit = { params : params; rmse : float; rmse_scale : rmse_scale }
+(** [rmse_scale] records the units of [rmse]: the two fitters below
+    minimize residuals on different scales, and their RMSE values are not
+    comparable to each other without checking it. *)
+
+val rmse_unit : rmse_scale -> string
+(** Human-readable unit label ("linear units" / "log10 units") for
+    printing an [rmse] next to its scale. *)
 
 val fit_dl : yield:float -> (float * float) array -> fit
 (** Fit [(R, θmax)] to observed [(T, DL)] points by least squares on a
     log-defect-level scale (fallout spans decades, so a linear-scale fit
-    would see only the high-DL knee). *)
+    would see only the high-DL knee).  The returned [rmse] is therefore in
+    log10-DL units ([rmse_scale = Log10]): an rmse of 0.1 means residuals
+    of about a quarter of a decade of defect level. *)
 
 val fit_theta : (float * float) array -> fit
 (** Fit [(R, θmax)] to [(T, Θ)] points via eq. 9 — the better-conditioned
-    form when weighted-coverage data is available directly (simulation). *)
+    form when weighted-coverage data is available directly (simulation).
+    Residuals are minimized on Θ itself, so [rmse] is in linear coverage
+    units ([rmse_scale = Linear]). *)

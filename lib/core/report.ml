@@ -42,8 +42,9 @@ let of_experiment ?(points = 12) (e : Experiment.t) =
     (Experiment.coverage_rows e ~ks:(Experiment.sample_ks e ~points));
   let fit = Experiment.fit_params e () in
   out "\n## Fitted model (eq. 11)\n\n";
-  out "- R = %.3f, θmax = %.4f (rmse %.4f on the Θ(T) relation)\n" fit.params.r
-    fit.params.theta_max fit.rmse;
+  out "- R = %.3f, θmax = %.4f (rmse %.4f, %s, on the Θ(T) relation)\n" fit.params.r
+    fit.params.theta_max fit.rmse
+    (Projection.rmse_unit fit.rmse_scale);
   out "- residual defect level 1 − Y^(1−θmax) = %s\n"
     (ppm (Projection.residual_defect_level ~yield:e.yield ~theta_max:fit.params.theta_max));
   let theta_v = Coverage.at e.theta_curve final in

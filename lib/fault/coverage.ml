@@ -3,6 +3,9 @@ type t = {
   total_weight : float;
   (* Detection events sorted by vector index: (index, weight). *)
   events : (int * float) array;
+  (* cumulative.(i): weight of events.(0..i), summed in event order (the
+     same order the old linear scan used, so queries are bit-identical). *)
+  cumulative : float array;
 }
 
 let make ?weights first_detection =
@@ -26,26 +29,42 @@ let make ?weights first_detection =
   let events = Array.of_list !events in
   Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) events;
   let total_weight = Dl_util.Stats.total weights in
-  { weights; total_weight; events }
+  let acc = ref 0.0 in
+  let cumulative =
+    Array.map
+      (fun (_, w) ->
+        acc := !acc +. w;
+        !acc)
+      events
+  in
+  { weights; total_weight; events; cumulative }
 
 let total_faults t = Array.length t.weights
 let total_weight t = t.total_weight
 
+(* Number of events with vector index < k: binary search for the first
+   event at index >= k over the sorted events array. *)
+let events_before t k =
+  let lo = ref 0 and hi = ref (Array.length t.events) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.events.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 let at t k =
   if t.total_weight = 0.0 then 1.0
   else begin
-    let acc = ref 0.0 in
-    (try
-       Array.iter
-         (fun (idx, w) -> if idx < k then acc := !acc +. w else raise Exit)
-         t.events
-     with Exit -> ());
-    !acc /. t.total_weight
+    let m = events_before t k in
+    if m = 0 then 0.0 else t.cumulative.(m - 1) /. t.total_weight
   end
 
 let final t =
   if t.total_weight = 0.0 then 1.0
-  else Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 t.events /. t.total_weight
+  else begin
+    let n = Array.length t.cumulative in
+    if n = 0 then 0.0 else t.cumulative.(n - 1) /. t.total_weight
+  end
 
 let curve t ~ks = Array.map (fun k -> (k, at t k)) ks
 
@@ -76,11 +95,7 @@ let log_spaced ~max ~points =
 
 let detections_in_order t =
   if t.total_weight = 0.0 then [||]
-  else begin
-    let acc = ref 0.0 in
-    Array.map
-      (fun (idx, w) ->
-        acc := !acc +. w;
-        (idx, !acc /. t.total_weight))
+  else
+    Array.mapi
+      (fun i (idx, _) -> (idx, t.cumulative.(i) /. t.total_weight))
       t.events
-  end

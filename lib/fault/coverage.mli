@@ -17,7 +17,9 @@ val total_weight : t -> float
 
 val at : t -> int -> float
 (** [at t k]: coverage after the first [k] vectors (detections at indices
-    [< k]), in [\[0,1\]]. *)
+    [< k]), in [\[0,1\]].  O(log n) — binary search over the sorted event
+    array plus a precomputed cumulative-weight table, so sampling a whole
+    {!curve} over many [ks] is O(n log n). *)
 
 val final : t -> float
 (** Coverage with the complete vector set. *)

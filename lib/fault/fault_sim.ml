@@ -1,5 +1,6 @@
 open Dl_netlist
 module Sim2 = Dl_logic.Sim2
+module Parallel = Dl_util.Parallel
 
 type result = {
   faults : Stuck_at.t array;
@@ -61,139 +62,237 @@ let lowest_set_bit w =
     Some (scan 0)
   end
 
-let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
+(* Per-worker mutable state: the faulty-machine scratch arrays and schedule.
+   The circuit, the [is_output] map and the good-machine words of the
+   current block are shared read-only between workers. *)
+type scratch = {
+  schedule : Schedule.t;
+  faulty : int64 array;
+  touched : bool array;
+  mutable touched_list : int list;
+  mutable gate_evaluations : int;
+}
+
+let make_scratch (c : Circuit.t) =
   let n_nodes = Circuit.node_count c in
+  {
+    schedule = Schedule.create (Circuit.depth c) n_nodes;
+    faulty = Array.make n_nodes 0L;
+    touched = Array.make n_nodes false;
+    touched_list = [];
+    gate_evaluations = 0;
+  }
+
+(* Simulate one fault against one 64-vector block.  Returns the detection
+   word (one bit per vector of the block that propagates a difference to a
+   primary output).  The scratch arrays are clean on entry and are cleaned
+   again before returning.  This is the single code path used by both the
+   serial and the parallel driver, which is what makes them bit-for-bit
+   identical. *)
+let simulate_fault (c : Circuit.t) st ~is_output ~good ~valid_mask
+    (f : Stuck_at.t) =
+  let touch id v =
+    if not st.touched.(id) then begin
+      st.touched.(id) <- true;
+      st.touched_list <- id :: st.touched_list
+    end;
+    st.faulty.(id) <- v
+  in
+  let value_of id = if st.touched.(id) then st.faulty.(id) else good.(id) in
+  let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
+  (* Seed the faulty machine at the fault site. *)
+  let detect_word = ref 0L in
+  let seeded =
+    match f.site with
+    | Stuck_at.Stem id ->
+        let diff = Int64.logand (Int64.logxor good.(id) stuck_word) valid_mask in
+        if diff = 0L then false
+        else begin
+          touch id stuck_word;
+          if is_output.(id) then detect_word := diff;
+          Array.iter
+            (fun succ -> Schedule.push st.schedule ~level:c.levels.(succ) succ)
+            c.fanouts.(id);
+          true
+        end
+    | Stuck_at.Branch { gate; pin } ->
+        let nd = c.nodes.(gate) in
+        let ins = Array.map (fun src -> good.(src)) nd.fanin in
+        ins.(pin) <- stuck_word;
+        st.gate_evaluations <- st.gate_evaluations + 1;
+        let v = Gate.eval_word nd.kind ins in
+        let diff = Int64.logand (Int64.logxor good.(gate) v) valid_mask in
+        if diff = 0L then false
+        else begin
+          touch gate v;
+          if is_output.(gate) then detect_word := diff;
+          Array.iter
+            (fun succ -> Schedule.push st.schedule ~level:c.levels.(succ) succ)
+            c.fanouts.(gate);
+          true
+        end
+  in
+  if seeded then begin
+    let rec drain () =
+      match Schedule.pop st.schedule with
+      | None -> ()
+      | Some id ->
+          let nd = c.nodes.(id) in
+          let ins = Array.map value_of nd.fanin in
+          (* A branch fault keeps forcing its pin on every evaluation
+             of its host gate. *)
+          (match f.site with
+          | Stuck_at.Branch { gate; pin } when gate = id -> ins.(pin) <- stuck_word
+          | _ -> ());
+          st.gate_evaluations <- st.gate_evaluations + 1;
+          let v = Gate.eval_word nd.kind ins in
+          let forced =
+            match f.site with
+            | Stuck_at.Stem sid when sid = id -> stuck_word
+            | _ -> v
+          in
+          let diff = Int64.logand (Int64.logxor good.(id) forced) valid_mask in
+          if diff <> 0L || st.touched.(id) then begin
+            touch id forced;
+            if diff <> 0L then begin
+              if is_output.(id) then detect_word := Int64.logor !detect_word diff;
+              Array.iter
+                (fun succ -> Schedule.push st.schedule ~level:c.levels.(succ) succ)
+                c.fanouts.(id)
+            end
+          end;
+          drain ()
+    in
+    drain ();
+    List.iter (fun id -> st.touched.(id) <- false) st.touched_list;
+    st.touched_list <- [];
+    Schedule.reset st.schedule
+  end;
+  !detect_word
+
+let output_map (c : Circuit.t) =
+  let is_output = Array.make (Circuit.node_count c) false in
+  Array.iter (fun o -> is_output.(o) <- true) c.outputs;
+  is_output
+
+let fire_events callback ~base ~count ~fault_index word =
+  for bit = 0 to count - 1 do
+    if Int64.logand (Int64.shift_right_logical word bit) 1L = 1L then
+      callback ~fault_index ~vector_index:(base + bit)
+  done
+
+let record_first first_detection fi ~base word =
+  match lowest_set_bit word with
+  | Some bit -> if first_detection.(fi) = None then first_detection.(fi) <- Some (base + bit)
+  | None -> ()
+
+let valid_mask_of count =
+  if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
+
+let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
   let n_faults = Array.length faults in
   let first_detection = Array.make n_faults None in
   let live = Array.make n_faults true in
-  let gate_evaluations = ref 0 in
-  let schedule = Schedule.create (Circuit.depth c) n_nodes in
-  let faulty = Array.make n_nodes 0L in
-  let touched = Array.make n_nodes false in
-  let touched_list = ref [] in
-  let is_output = Array.make n_nodes false in
-  Array.iter (fun o -> is_output.(o) <- true) c.outputs;
-  let touch id v =
-    if not touched.(id) then begin
-      touched.(id) <- true;
-      touched_list := id :: !touched_list
-    end;
-    faulty.(id) <- v
-  in
-  let clear_touched () =
-    List.iter (fun id -> touched.(id) <- false) !touched_list;
-    touched_list := [];
-    Schedule.reset schedule
-  in
-  let value_of good id = if touched.(id) then faulty.(id) else good.(id) in
+  let st = make_scratch c in
+  let is_output = output_map c in
   let n_vectors = Array.length vectors in
   let n_blocks = (n_vectors + 63) / 64 in
-  let block = ref 0 in
-  while !block < n_blocks do
-    let base = !block * 64 in
+  for block = 0 to n_blocks - 1 do
+    let base = block * 64 in
     let count = min 64 (n_vectors - base) in
     let patterns = Array.sub vectors base count in
     let words = Sim2.words_of_patterns c patterns in
     let good = Sim2.run c words in
-    let valid_mask =
-      if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
-    in
+    let valid_mask = valid_mask_of count in
     for fi = 0 to n_faults - 1 do
       if live.(fi) then begin
-        let f : Stuck_at.t = faults.(fi) in
-        let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
-        (* Seed the faulty machine at the fault site. *)
-        let detect_word = ref 0L in
-        let seeded =
-          match f.site with
-          | Stuck_at.Stem id ->
-              let diff = Int64.logand (Int64.logxor good.(id) stuck_word) valid_mask in
-              if diff = 0L then false
-              else begin
-                touch id stuck_word;
-                if is_output.(id) then detect_word := diff;
-                Array.iter
-                  (fun succ -> Schedule.push schedule ~level:c.levels.(succ) succ)
-                  c.fanouts.(id);
-                true
-              end
-          | Stuck_at.Branch { gate; pin } ->
-              let nd = c.nodes.(gate) in
-              let ins = Array.map (fun src -> good.(src)) nd.fanin in
-              ins.(pin) <- stuck_word;
-              incr gate_evaluations;
-              let v = Gate.eval_word nd.kind ins in
-              let diff = Int64.logand (Int64.logxor good.(gate) v) valid_mask in
-              if diff = 0L then false
-              else begin
-                touch gate v;
-                if is_output.(gate) then detect_word := diff;
-                Array.iter
-                  (fun succ -> Schedule.push schedule ~level:c.levels.(succ) succ)
-                  c.fanouts.(gate);
-                true
-              end
-        in
-        if seeded then begin
-          let rec drain () =
-            match Schedule.pop schedule with
-            | None -> ()
-            | Some id ->
-                let nd = c.nodes.(id) in
-                let ins = Array.map (value_of good) nd.fanin in
-                (* A branch fault keeps forcing its pin on every evaluation
-                   of its host gate. *)
-                (match f.site with
-                | Stuck_at.Branch { gate; pin } when gate = id ->
-                    ins.(pin) <- stuck_word
-                | _ -> ());
-                incr gate_evaluations;
-                let v = Gate.eval_word nd.kind ins in
-                let forced =
-                  match f.site with
-                  | Stuck_at.Stem sid when sid = id -> stuck_word
-                  | _ -> v
-                in
-                let diff = Int64.logand (Int64.logxor good.(id) forced) valid_mask in
-                if diff <> 0L || touched.(id) then begin
-                  touch id forced;
-                  if diff <> 0L then begin
-                    if is_output.(id) then detect_word := Int64.logor !detect_word diff;
-                    Array.iter
-                      (fun succ -> Schedule.push schedule ~level:c.levels.(succ) succ)
-                      c.fanouts.(id)
-                  end
-                end;
-                drain ()
-          in
-          drain ();
-          if !detect_word <> 0L then begin
-            (match lowest_set_bit !detect_word with
-            | Some bit ->
-                let vec = base + bit in
-                if first_detection.(fi) = None then first_detection.(fi) <- Some vec
-            | None -> ());
-            (match on_detect with
-            | Some callback ->
-                for bit = 0 to count - 1 do
-                  if Int64.logand (Int64.shift_right_logical !detect_word bit) 1L = 1L
-                  then callback ~fault_index:fi ~vector_index:(base + bit)
-                done
-            | None -> ());
-            if drop_detected then live.(fi) <- false
-          end;
-          clear_touched ()
+        let dw = simulate_fault c st ~is_output ~good ~valid_mask faults.(fi) in
+        if dw <> 0L then begin
+          record_first first_detection fi ~base dw;
+          (match on_detect with
+          | Some callback -> fire_events callback ~base ~count ~fault_index:fi dw
+          | None -> ());
+          if drop_detected then live.(fi) <- false
         end
       end
-    done;
-    incr block
+    done
   done;
   {
     faults;
     first_detection;
     vectors_applied = n_vectors;
-    gate_evaluations = !gate_evaluations;
+    gate_evaluations = st.gate_evaluations;
   }
+
+(* Parallel driver: the fault array is cut into [size pool] contiguous
+   shards, fixed for the whole run, and every worker keeps its own scratch
+   while the circuit and each block's good-machine words are shared
+   read-only.  Each fault index is written (first_detection, live and the
+   per-block detection word) only by its owning worker, and the pool's job
+   barrier orders those writes before the merge below reads them, so the
+   result is deterministic and equal to the serial engine's: per-fault
+   outcomes do not depend on simulation order, gate-evaluation counts sum
+   to the same total, and buffered [on_detect] events are replayed in
+   fault-index order within each block — exactly the serial firing order. *)
+let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults ~vectors =
+  let shards = Parallel.size pool in
+  let n_faults = Array.length faults in
+  let first_detection = Array.make n_faults None in
+  let live = Array.make n_faults true in
+  let is_output = output_map c in
+  let scratches = Array.init shards (fun _ -> make_scratch c) in
+  (* Per-fault detection word of the current block, kept only when events
+     must be replayed to a callback. *)
+  let detect_words =
+    match on_detect with Some _ -> Array.make n_faults 0L | None -> [||]
+  in
+  let shard_bounds s = (s * n_faults / shards, (s + 1) * n_faults / shards) in
+  let n_vectors = Array.length vectors in
+  let n_blocks = (n_vectors + 63) / 64 in
+  for block = 0 to n_blocks - 1 do
+    let base = block * 64 in
+    let count = min 64 (n_vectors - base) in
+    let patterns = Array.sub vectors base count in
+    let words = Sim2.words_of_patterns c patterns in
+    let good = Sim2.run c words in
+    let valid_mask = valid_mask_of count in
+    Parallel.run pool ~tasks:shards (fun s ->
+        let st = scratches.(s) in
+        let lo, hi = shard_bounds s in
+        for fi = lo to hi - 1 do
+          if live.(fi) then begin
+            let dw = simulate_fault c st ~is_output ~good ~valid_mask faults.(fi) in
+            if dw <> 0L then begin
+              record_first first_detection fi ~base dw;
+              if on_detect <> None then detect_words.(fi) <- dw;
+              if drop_detected then live.(fi) <- false
+            end
+          end
+        done);
+    match on_detect with
+    | Some callback ->
+        for fi = 0 to n_faults - 1 do
+          if detect_words.(fi) <> 0L then begin
+            fire_events callback ~base ~count ~fault_index:fi detect_words.(fi);
+            detect_words.(fi) <- 0L
+          end
+        done
+    | None -> ()
+  done;
+  let gate_evaluations =
+    Array.fold_left (fun acc st -> acc + st.gate_evaluations) 0 scratches
+  in
+  { faults; first_detection; vectors_applied = n_vectors; gate_evaluations }
+
+let run_parallel ?(drop_detected = true) ?on_detect ?domains ?pool c ~faults
+    ~vectors =
+  let dispatch pool =
+    if Parallel.size pool = 1 then run ~drop_detected ?on_detect c ~faults ~vectors
+    else run_in_pool ~drop_detected ~on_detect pool c ~faults ~vectors
+  in
+  match pool with
+  | Some pool -> dispatch pool
+  | None -> Parallel.with_pool ?domains dispatch
 
 let detected_count r =
   Array.fold_left

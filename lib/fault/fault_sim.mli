@@ -29,6 +29,29 @@ val run :
     [on_detect], which fires once per fault/vector detection event in
     increasing vector order per fault). *)
 
+val run_parallel :
+  ?drop_detected:bool ->
+  ?on_detect:(fault_index:int -> vector_index:int -> unit) ->
+  ?domains:int ->
+  ?pool:Dl_util.Parallel.t ->
+  Circuit.t ->
+  faults:Stuck_at.t array ->
+  vectors:bool array array ->
+  result
+(** Multicore [run]: the fault array is sharded contiguously across a
+    domain pool ([domains] defaults to
+    [Domain.recommended_domain_count ()]; pass [pool] to reuse an existing
+    {!Dl_util.Parallel} pool across calls, in which case [domains] is
+    ignored).  Each worker keeps private scratch state while the circuit
+    and the good-machine words of each 64-vector block are shared
+    read-only, and per-fault results are merged back in fault-index order.
+
+    The result is bit-for-bit identical to [run] on the same inputs:
+    [first_detection] and [gate_evaluations] are equal, and [on_detect]
+    fires the same events in the same order (events are buffered per block
+    and replayed in increasing fault index, which is the serial order).
+    The callback runs in the calling domain only. *)
+
 val detected_count : result -> int
 
 val coverage : result -> float

@@ -48,8 +48,11 @@ let min_max xs =
 let quantile xs q =
   check_nonempty "Stats.quantile" xs;
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.quantile: NaN in data")
+    xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) in

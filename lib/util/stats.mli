@@ -18,7 +18,9 @@ val total : float array -> float
 
 val quantile : float array -> float -> float
 (** [quantile xs q] for [q] in [\[0,1\]], linear interpolation between order
-    statistics. Does not mutate the input. *)
+    statistics ([Float.compare] ordering). Does not mutate the input.
+    @raise Invalid_argument on an empty array, [q] outside [\[0,1\]], or
+    NaN in the data (NaN has no rank, so any answer would be arbitrary). *)
 
 val median : float array -> float
 

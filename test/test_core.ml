@@ -261,6 +261,31 @@ let test_projection_fit_dl_recovers () =
   checkf_eps 0.05 "R" truth.r fit.params.r;
   checkf_eps 1e-3 "theta_max" truth.theta_max fit.params.theta_max
 
+let test_projection_fit_rmse_scales () =
+  (* fit_dl minimizes on log10 DL, fit_theta on Θ itself; each fit records
+     the units its rmse is in so the two are never compared naively. *)
+  let truth = { Projection.r = 1.9; theta_max = 0.96 } in
+  let theta_points =
+    Array.init 40 (fun i ->
+        let t = float_of_int i /. 40.0 in
+        (t, Projection.theta_of_coverage truth t))
+  in
+  let dl_points =
+    Array.init 40 (fun i ->
+        let t = 0.3 +. (0.7 *. float_of_int i /. 40.0) in
+        (t, Projection.defect_level ~yield:0.75 ~params:truth ~coverage:t))
+  in
+  let ft = Projection.fit_theta theta_points in
+  let fd = Projection.fit_dl ~yield:0.75 dl_points in
+  Alcotest.(check bool) "fit_theta is linear-scale" true
+    (ft.rmse_scale = Projection.Linear);
+  Alcotest.(check bool) "fit_dl is log10-scale" true
+    (fd.rmse_scale = Projection.Log10);
+  Alcotest.(check string) "unit labels differ" "linear units"
+    (Projection.rmse_unit ft.rmse_scale);
+  Alcotest.(check string) "log label" "log10 units"
+    (Projection.rmse_unit fd.rmse_scale)
+
 (* --- Yield models ----------------------------------------------------------------------------- *)
 
 let test_yield_poisson () = checkf "poisson" (exp (-2.0)) (Yield_model.poisson ~area:4.0 ~density:0.5)
@@ -418,6 +443,7 @@ let () =
           Alcotest.test_case "monotone" `Quick test_projection_monotonicity;
           Alcotest.test_case "fit theta recovers" `Quick test_projection_fit_theta_recovers;
           Alcotest.test_case "fit dl recovers" `Quick test_projection_fit_dl_recovers;
+          Alcotest.test_case "fit rmse scales" `Quick test_projection_fit_rmse_scales;
         ] );
       ( "yield-models",
         [

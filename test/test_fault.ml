@@ -137,6 +137,111 @@ let test_coverage_value () =
   Alcotest.(check bool) "c17 fully covered by 128 random" true
     (Fault_sim.coverage r = 1.0)
 
+(* --- Parallel fault simulation ----------------------------------------------- *)
+
+type event = { fault : int; vector : int }
+
+let run_collecting runner =
+  let events = ref [] in
+  let r =
+    runner ~on_detect:(fun ~fault_index ~vector_index ->
+        events := { fault = fault_index; vector = vector_index } :: !events)
+  in
+  (r, List.rev !events)
+
+let check_parallel_matches_serial ~what c ~faults ~vectors ~domains ~drop_detected =
+  let serial, serial_events =
+    run_collecting (fun ~on_detect ->
+        Fault_sim.run ~drop_detected ~on_detect c ~faults ~vectors)
+  in
+  let par, par_events =
+    run_collecting (fun ~on_detect ->
+        Fault_sim.run_parallel ~drop_detected ~on_detect ~domains c ~faults
+          ~vectors)
+  in
+  if serial.Fault_sim.first_detection <> par.Fault_sim.first_detection then
+    Alcotest.failf "%s: first_detection differs (domains=%d drop=%b)" what domains
+      drop_detected;
+  if serial.Fault_sim.gate_evaluations <> par.Fault_sim.gate_evaluations then
+    Alcotest.failf "%s: gate_evaluations %d vs %d (domains=%d drop=%b)" what
+      serial.Fault_sim.gate_evaluations par.Fault_sim.gate_evaluations domains
+      drop_detected;
+  if Fault_sim.coverage serial <> Fault_sim.coverage par then
+    Alcotest.failf "%s: coverage differs (domains=%d drop=%b)" what domains
+      drop_detected;
+  if serial_events <> par_events then
+    Alcotest.failf "%s: on_detect event sequence differs (domains=%d drop=%b)" what
+      domains drop_detected
+
+let test_parallel_matches_serial () =
+  List.iter
+    (fun name ->
+      let c = Option.get (Benchmarks.by_name name) in
+      let faults = Stuck_at.universe c in
+      let vectors = random_vectors c 100 in
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun drop_detected ->
+              check_parallel_matches_serial ~what:name c ~faults ~vectors ~domains
+                ~drop_detected)
+            [ true; false ])
+        [ 1; 2; 3; 4 ])
+    [ "c17"; "mux3"; "add8"; "c432s_small" ]
+
+let test_parallel_pool_reuse () =
+  (* One pool across several calls and circuits must behave like fresh runs. *)
+  Dl_util.Parallel.with_pool ~domains:3 (fun pool ->
+      List.iter
+        (fun name ->
+          let c = Option.get (Benchmarks.by_name name) in
+          let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+          let vectors = random_vectors c 70 in
+          let serial = Fault_sim.run c ~faults ~vectors in
+          let par = Fault_sim.run_parallel ~pool c ~faults ~vectors in
+          Alcotest.(check bool)
+            (name ^ ": pooled run identical") true
+            (serial.Fault_sim.first_detection = par.Fault_sim.first_detection
+            && serial.Fault_sim.gate_evaluations = par.Fault_sim.gate_evaluations))
+        [ "c17"; "par16"; "mux3" ])
+
+let test_parallel_empty_inputs () =
+  let c = Benchmarks.c17 () in
+  let r =
+    Fault_sim.run_parallel ~domains:4 c ~faults:[||] ~vectors:(random_vectors c 10)
+  in
+  Alcotest.(check int) "no faults" 0 (Array.length r.Fault_sim.first_detection);
+  let faults = Stuck_at.universe c in
+  let r = Fault_sim.run_parallel ~domains:4 c ~faults ~vectors:[||] in
+  Alcotest.(check bool) "no vectors, no detections" true
+    (Array.for_all (fun d -> d = None) r.Fault_sim.first_detection)
+
+let prop_parallel_equals_serial =
+  (* Random circuits, fault subsets, vector counts, domain counts and both
+     dropping modes: the parallel engine must be indistinguishable from the
+     serial one in every observable field. *)
+  QCheck.Test.make ~name:"run_parallel = run on random circuits" ~count:30
+    QCheck.(
+      quad (int_range 0 1_000_000) (int_range 1 130) (int_range 1 5) bool)
+    (fun (seed, n_vectors, domains, drop_detected) ->
+      let c =
+        Dl_netlist.Generator.random ~seed ~inputs:(4 + (seed mod 5)) ~outputs:3
+          ~profile:
+            [ (Dl_netlist.Gate.Nand, 12); (Dl_netlist.Gate.Nor, 6);
+              (Dl_netlist.Gate.Xor, 4); (Dl_netlist.Gate.Not, 4) ]
+          ()
+      in
+      let universe = Stuck_at.universe c in
+      (* a deterministic subset keeps shard sizes irregular *)
+      let faults =
+        Array.of_list
+          (List.filteri (fun i _ -> (i + seed) mod 4 <> 1) (Array.to_list universe))
+      in
+      let vectors = random_vectors c n_vectors in
+      check_parallel_matches_serial ~what:"random" c ~faults ~vectors ~domains
+        ~drop_detected;
+      true)
+
 (* --- Coverage curves ------------------------------------------------------------ *)
 
 let test_coverage_monotone () =
@@ -167,6 +272,58 @@ let test_log_spaced () =
   for i = 0 to Array.length ks - 2 do
     Alcotest.(check bool) "strictly increasing" true (ks.(i) < ks.(i + 1))
   done
+
+(* The old O(n)-per-query implementation of Coverage.at, kept as a
+   reference oracle for the binary-search version. *)
+let coverage_at_by_scan firsts ?weights k =
+  let n = Array.length firsts in
+  let weights = match weights with None -> Array.make n 1.0 | Some w -> w in
+  let events = ref [] in
+  Array.iteri
+    (fun i d ->
+      match d with Some v -> events := (v, weights.(i)) :: !events | None -> ())
+    firsts;
+  let events = Array.of_list !events in
+  Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) events;
+  let total = Dl_util.Stats.total weights in
+  if total = 0.0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    (try
+       Array.iter
+         (fun (idx, w) -> if idx < k then acc := !acc +. w else raise Exit)
+         events
+     with Exit -> ());
+    !acc /. total
+  end
+
+let test_coverage_at_matches_scan () =
+  let rng = Dl_util.Rng.create 77 in
+  for _ = 1 to 50 do
+    let n = 1 + Dl_util.Rng.int rng 40 in
+    let firsts =
+      Array.init n (fun _ ->
+          if Dl_util.Rng.bool rng then Some (Dl_util.Rng.int rng 60) else None)
+    in
+    let weights =
+      if Dl_util.Rng.bool rng then None
+      else Some (Array.init n (fun _ -> Dl_util.Rng.float rng 3.0))
+    in
+    let cov = Coverage.make ?weights firsts in
+    for k = 0 to 64 do
+      let got = Coverage.at cov k in
+      let want = coverage_at_by_scan firsts ?weights k in
+      if got <> want then
+        Alcotest.failf "at %d: binary search %.17g vs scan %.17g" k got want
+    done
+  done
+
+let prop_coverage_at_matches_scan =
+  QCheck.Test.make ~name:"Coverage.at = linear-scan oracle" ~count:300
+    QCheck.(pair (list (option (int_range 0 100))) (int_range 0 120))
+    (fun (firsts, k) ->
+      let firsts = Array.of_list firsts in
+      Coverage.at (Coverage.make firsts) k = coverage_at_by_scan firsts k)
 
 let test_detections_in_order () =
   let cov = Coverage.make [| Some 4; Some 1; Some 9 |] in
@@ -268,12 +425,19 @@ let () =
           Alcotest.test_case "detect callback" `Quick test_detection_callback;
           Alcotest.test_case "coverage" `Quick test_coverage_value;
         ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "parallel = serial" `Slow test_parallel_matches_serial;
+          Alcotest.test_case "pool reuse" `Quick test_parallel_pool_reuse;
+          Alcotest.test_case "empty inputs" `Quick test_parallel_empty_inputs;
+        ] );
       ( "coverage",
         [
           Alcotest.test_case "monotone" `Quick test_coverage_monotone;
           Alcotest.test_case "weighted" `Quick test_coverage_weighted;
           Alcotest.test_case "boundaries" `Quick test_coverage_boundaries;
           Alcotest.test_case "log spacing" `Quick test_log_spaced;
+          Alcotest.test_case "at = old scan" `Quick test_coverage_at_matches_scan;
           Alcotest.test_case "detection staircase" `Quick test_detections_in_order;
         ] );
       ( "dictionary",
@@ -284,5 +448,11 @@ let () =
             test_dictionary_compaction_preserves_coverage;
           Alcotest.test_case "essential vectors" `Quick test_dictionary_essential;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_coverage_in_unit_range ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_coverage_in_unit_range;
+            prop_coverage_at_matches_scan;
+            prop_parallel_equals_serial;
+          ] );
     ]

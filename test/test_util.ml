@@ -127,6 +127,23 @@ let test_stats_quantile () =
   check_float "q1" 5.0 (Stats.quantile xs 1.0);
   check_float "q25" 2.0 (Stats.quantile xs 0.25)
 
+let test_stats_quantile_float_order () =
+  (* Float.compare ordering: infinities and subnormals sort numerically.
+     (Polymorphic compare happened to work on plain floats, but the sort
+     must be explicit about NaN-free float ordering.) *)
+  let xs = [| infinity; -3.0; neg_infinity; 0.5; 1e308 |] in
+  check_float "q0 is -inf" neg_infinity (Stats.quantile xs 0.0);
+  check_float "q1 is +inf" infinity (Stats.quantile xs 1.0);
+  check_float "median" 0.5 (Stats.median xs)
+
+let test_stats_quantile_rejects_nan () =
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Stats.quantile: NaN in data") (fun () ->
+      ignore (Stats.quantile [| 1.0; nan; 2.0 |] 0.5));
+  Alcotest.check_raises "median of NaN rejected"
+    (Invalid_argument "Stats.quantile: NaN in data") (fun () ->
+      ignore (Stats.median [| nan |]))
+
 let test_stats_correlation () =
   let xs = [| 1.0; 2.0; 3.0 |] in
   check_float "perfect" 1.0 (Stats.correlation xs (Array.map (fun x -> 2.0 *. x) xs));
@@ -267,6 +284,53 @@ let test_curve_fit_weighted () =
       ~hi:[| 100.0 |] ~init:[| 0.0 |] (Fit.make_data pts)
   in
   check_close ~eps:1e-3 "slope follows heavy points" 1.0 r.params.(0)
+
+(* --- Parallel ------------------------------------------------------------- *)
+
+exception Task_failed of int
+
+let test_parallel_map () =
+  List.iter
+    (fun domains ->
+      Parallel.with_pool ~domains (fun pool ->
+          Alcotest.(check int) "pool size" domains (Parallel.size pool);
+          let out = Parallel.map pool ~tasks:100 (fun i -> i * i) in
+          Alcotest.(check (array int)) "squares in index order"
+            (Array.init 100 (fun i -> i * i))
+            out))
+    [ 1; 2; 4 ]
+
+let test_parallel_run_exactly_once () =
+  Parallel.with_pool ~domains:4 (fun pool ->
+      let hits = Array.make 257 (Atomic.make 0) in
+      Array.iteri (fun i _ -> hits.(i) <- Atomic.make 0) hits;
+      Parallel.run pool ~tasks:257 (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i h -> Alcotest.(check int) (Printf.sprintf "task %d once" i) 1
+            (Atomic.get h))
+        hits;
+      (* empty batches are fine, and the pool is reusable afterwards *)
+      Parallel.run pool ~tasks:0 (fun _ -> assert false);
+      Alcotest.(check (array int)) "reused" [| 0; 2; 4 |]
+        (Parallel.map pool ~tasks:3 (fun i -> 2 * i)))
+
+let test_parallel_exception_propagates () =
+  Parallel.with_pool ~domains:3 (fun pool ->
+      let raised =
+        try
+          Parallel.run pool ~tasks:20 (fun i -> if i = 13 then raise (Task_failed i));
+          false
+        with Task_failed 13 -> true
+      in
+      Alcotest.(check bool) "task exception reaches caller" true raised;
+      (* the pool survives a failed batch *)
+      Alcotest.(check (array int)) "alive after failure" [| 0; 1; 2; 3 |]
+        (Parallel.map pool ~tasks:4 Fun.id))
+
+let test_parallel_rejects_bad_size () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Parallel.create: need at least one domain") (fun () ->
+      ignore (Parallel.create ~domains:0 ()))
 
 (* --- Prob ---------------------------------------------------------------- *)
 
@@ -418,6 +482,10 @@ let () =
           Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
           Alcotest.test_case "kahan total" `Quick test_stats_total_kahan;
           Alcotest.test_case "quantiles" `Quick test_stats_quantile;
+          Alcotest.test_case "quantile float order" `Quick
+            test_stats_quantile_float_order;
+          Alcotest.test_case "quantile rejects NaN" `Quick
+            test_stats_quantile_rejects_nan;
           Alcotest.test_case "correlation" `Quick test_stats_correlation;
           Alcotest.test_case "regression" `Quick test_stats_regression;
           Alcotest.test_case "empty rejected" `Quick test_stats_empty_rejected;
@@ -450,6 +518,14 @@ let () =
           Alcotest.test_case "simplex bounded" `Quick test_simplex_bounded;
           Alcotest.test_case "exponential fit" `Quick test_curve_fit_exponential;
           Alcotest.test_case "weighted fit" `Quick test_curve_fit_weighted;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map ordered" `Quick test_parallel_map;
+          Alcotest.test_case "each task once" `Quick test_parallel_run_exactly_once;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_parallel_exception_propagates;
+          Alcotest.test_case "size validation" `Quick test_parallel_rejects_bad_size;
         ] );
       ( "prob",
         [
