@@ -8,7 +8,11 @@
      dune exec bench/main.exe -- fig4 fig5  # selected sections
 
    Sections: fig1 fig2 fig3 fig4 fig5 fig6 examples ablation delay
-   quality resistive stability sweep clustered lot par micro *)
+   quality resistive stability sweep clustered lot par kernel micro
+
+   The [kernel] section additionally writes BENCH_fault_sim.json
+   (machine-readable old-vs-new throughput gate) to the working directory
+   or to $BENCH_FAULT_SIM_JSON. *)
 
 open Dl_core
 module Coverage = Dl_fault.Coverage
@@ -534,6 +538,18 @@ let par () =
   Printf.printf "serial: %.3f s (%d detected, %d gate evals)\n%!" t_serial
     (Dl_fault.Fault_sim.detected_count serial)
     serial.gate_evaluations;
+  (* Old-vs-new: the retained pre-kernel engine on the same workload. *)
+  let reference, t_reference =
+    time (fun () ->
+        Dl_fault.Fault_sim.Reference.run ~drop_detected:false c ~faults ~vectors)
+  in
+  Printf.printf
+    "reference (pre-kernel) serial: %.3f s — kernel speedup %.2fx, identical: %s\n%!"
+    t_reference (t_reference /. t_serial)
+    (if reference.first_detection = serial.first_detection
+        && reference.gate_evaluations = serial.gate_evaluations
+     then "yes"
+     else "NO");
   let counts =
     List.sort_uniq Stdlib.compare [ 1; 2; 4; Dl_util.Parallel.default_domains () ]
   in
@@ -575,6 +591,107 @@ let par () =
     "determinism: sharding is by fault index and merges preserve it, so the\n\
      table above must read identical = yes at every domain count."
 
+(* ----------------------------------------------------------- flat kernel *)
+
+(* Old-vs-new simulation-kernel gate: measures gate-evaluation throughput
+   and steady-state allocation of the flat CSR engine against the retained
+   reference engine, checks the results are bit-for-bit identical, and
+   writes the machine-readable BENCH_fault_sim.json so the perf trajectory
+   is tracked run over run.  Exits non-zero if the hot loop allocates
+   (> 0.5 minor words per gate evaluation would mean a box crept back in —
+   a genuine per-eval box costs >= 3 words). *)
+let kernel_bench () =
+  section_banner "Kernel" "flat CSR kernel vs reference engine (c432s)";
+  let c =
+    Dl_netlist.Transform.decompose_for_cells (Dl_netlist.Benchmarks.c432s ())
+  in
+  let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+  let rng = Dl_util.Rng.create 99 in
+  let vectors =
+    Array.init 4096 (fun _ ->
+        Array.init (Dl_netlist.Circuit.input_count c) (fun _ ->
+            Dl_util.Rng.bool rng))
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let measure ~section ~run_new ~run_ref =
+    (* Warm-up runs amortize lowering and first-touch costs out of both
+       the timing and the Gc delta. *)
+    let reference : Dl_fault.Fault_sim.result = run_ref () in
+    let warm : Dl_fault.Fault_sim.result = run_new () in
+    assert (warm.first_detection = reference.first_detection);
+    assert (warm.gate_evaluations = reference.gate_evaluations);
+    let m0 = Gc.minor_words () in
+    let result, t_new = time run_new in
+    let m1 = Gc.minor_words () in
+    let _, t_ref = time run_ref in
+    let evals = float_of_int result.gate_evaluations in
+    let gate_evals_per_sec = evals /. t_new in
+    let minor_words_per_eval = (m1 -. m0) /. evals in
+    let speedup = t_ref /. t_new in
+    Printf.printf
+      "%-10s kernel %.3fs (%.1fM evals/s, %.4f minor words/eval)  \
+       reference %.3fs  speedup %.2fx\n%!"
+      section t_new (gate_evals_per_sec /. 1e6) minor_words_per_eval t_ref
+      speedup;
+    (section, gate_evals_per_sec, minor_words_per_eval, speedup)
+  in
+  (* Explicit lets: list literals evaluate right-to-left in OCaml, which
+     would scramble the printed order. *)
+  let row_micro =
+    measure ~section:"micro"
+      ~run_new:(fun () ->
+        Dl_fault.Fault_sim.run ~drop_detected:false c ~faults ~vectors)
+      ~run_ref:(fun () ->
+        Dl_fault.Fault_sim.Reference.run ~drop_detected:false c ~faults
+          ~vectors)
+  in
+  let row_drop =
+    measure ~section:"drop"
+      ~run_new:(fun () ->
+        Dl_fault.Fault_sim.run ~drop_detected:true c ~faults ~vectors)
+      ~run_ref:(fun () ->
+        Dl_fault.Fault_sim.Reference.run ~drop_detected:true c ~faults
+          ~vectors)
+  in
+  let rows = [ row_micro; row_drop ] in
+  let json_path =
+    match Sys.getenv_opt "BENCH_FAULT_SIM_JSON" with
+    | Some p -> p
+    | None -> "BENCH_fault_sim.json"
+  in
+  let oc = open_out json_path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (section, geps, words, speedup) ->
+      Printf.fprintf oc
+        "  {\"section\": %S, \"gate_evals_per_sec\": %.0f, \
+         \"minor_words_per_eval\": %.4f, \"speedup_vs_reference\": %.3f}%s\n"
+        section geps words speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  let micro_words =
+    List.fold_left
+      (fun acc (s, _, w, _) -> if s = "micro" then w else acc)
+      infinity rows
+  in
+  if micro_words > 0.5 then begin
+    Printf.eprintf
+      "FAIL: steady-state hot loop allocates %.4f minor words per gate \
+       evaluation (expected ~0)\n"
+      micro_words;
+    exit 1
+  end;
+  print_endline
+    "gate: identity asserted against the reference engine; steady-state\n\
+     allocation ~0 words per gate evaluation."
+
 (* ---------------------------------------------------------- micro-benches *)
 
 let micro () =
@@ -602,13 +719,23 @@ let micro () =
         (List.filter_map (fun g -> Dl_switch.Network.owner_instance network g) [ a; b ])
       ~modifications:[ Dl_switch.Solver.Bridge_nodes { node_a = a; node_b = b } ]
   in
+  let kernel = Dl_netlist.Kernel.of_circuit c432 in
+  let kernel_buf = Dl_netlist.Kernel.create_words kernel in
   let tests =
     [
-      Test.make ~name:"sim2: c432s, 64 patterns"
+      Test.make ~name:"sim2 reference: c432s, 64 patterns"
         (Staged.stage (fun () -> ignore (Dl_logic.Sim2.run c432 words)));
-      Test.make ~name:"ppsfp: c432s block, all faults"
+      Test.make ~name:"sim2 kernel: c432s, 64 patterns"
+        (Staged.stage (fun () ->
+             Dl_logic.Sim2.load_words kernel kernel_buf words;
+             Dl_logic.Sim2.run_flat kernel kernel_buf));
+      Test.make ~name:"ppsfp kernel: c432s block, all faults"
         (Staged.stage (fun () ->
              ignore (Dl_fault.Fault_sim.run c432 ~faults ~vectors:vectors64)));
+      Test.make ~name:"ppsfp reference: c432s block, all faults"
+        (Staged.stage (fun () ->
+             ignore
+               (Dl_fault.Fault_sim.Reference.run c432 ~faults ~vectors:vectors64)));
       Test.make ~name:"podem: one c432s fault"
         (Staged.stage (fun () -> ignore (Dl_atpg.Podem.generate ~scoap c432 hard_fault)));
       Test.make ~name:"scoap: c432s"
@@ -685,6 +812,7 @@ let sections =
     ("clustered", clustered);
     ("lot", lot);
     ("par", par);
+    ("kernel", kernel_bench);
     ("micro", micro);
   ]
 

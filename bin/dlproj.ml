@@ -181,11 +181,11 @@ let project_cmd =
 (* -------------------------------------------------------------- pipeline *)
 
 let pipeline_cmd =
-  let run spec seed jobs max_random target_yield points report =
+  let run spec seed jobs max_random target_yield points no_collapse report =
     let c = load_circuit spec in
     let cfg =
       Dl_core.Experiment.config ~seed ~max_random_vectors:max_random ~target_yield
-        ~domains:(resolve_jobs jobs) c
+        ~domains:(resolve_jobs jobs) ~collapse_faults:(not no_collapse) c
     in
     let e = Dl_core.Experiment.run cfg in
     Format.printf "%a@.@." Dl_core.Experiment.pp_summary e;
@@ -226,12 +226,19 @@ let pipeline_cmd =
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
            ~doc:"Also write a markdown report of the run.")
   in
+  let no_collapse =
+    Arg.(value & flag & info [ "no-collapse" ]
+           ~doc:"Simulate the full uncollapsed stuck-at universe \
+                 (paper-faithful coverage definition: every line fault \
+                 counts individually) instead of one representative per \
+                 equivalence class.")
+  in
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:"Full experiment: layout, IFA, ATPG, gate+switch fault simulation, \
              DL projection and (R, θmax) fit.")
     Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ max_random $ target_yield
-          $ points $ report)
+          $ points $ no_collapse $ report)
 
 (* ------------------------------------------------------------ transition *)
 

@@ -13,16 +13,18 @@ type config = {
   min_weight_ratio : float;
   rows : int option;
   domains : int;
+  collapse_faults : bool;
 }
 
 let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
     ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
-    ?(domains = Dl_util.Parallel.default_domains ()) circuit =
+    ?(domains = Dl_util.Parallel.default_domains ())
+    ?(collapse_faults = true) circuit =
   if not (target_yield > 0.0 && target_yield < 1.0) then
     invalid_arg "Experiment.config: target yield must be in (0, 1)";
   if domains < 1 then invalid_arg "Experiment.config: domains must be >= 1";
   { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio;
-    rows; domains }
+    rows; domains; collapse_faults }
 
 type t = {
   cfg : config;
@@ -51,16 +53,47 @@ let run cfg =
   let vectors = atpg.vectors in
   (* The paper neglects redundant stuck-at faults ("so that T(k) -> 1 when
      k -> infinity"); drop the PODEM-proven-redundant ones from the T
-     denominator.  Aborted faults stay: they are potentially testable. *)
+     denominator.  Aborted faults stay: they are potentially testable.
+
+     ATPG always works on the collapsed universe ([full_flow] collapses),
+     which is also what we simulate by default: one representative per
+     equivalence class, every class weighing the same in T(k).  With
+     [collapse_faults = false] the paper-faithful uncollapsed universe is
+     simulated instead — every line fault counts individually, so a class
+     with many equivalent members weighs proportionally more in the
+     coverage denominator (the classical uncollapsed coverage definition).
+     Final coverage is typically close but NOT identical between the two.
+     A PODEM-proved-redundant representative proves its whole equivalence
+     class redundant, so in uncollapsed mode the untestable filter expands
+     each untestable representative to its full class. *)
   let stuck_faults =
-    Array.of_seq
-      (Seq.filter
-         (fun f ->
-           not
-             (Array.exists
-                (fun u -> Dl_fault.Stuck_at.equal u f)
-                atpg.untestable_faults))
-         (Array.to_seq all_stuck_faults))
+    if cfg.collapse_faults then
+      Array.of_seq
+        (Seq.filter
+           (fun f ->
+             not
+               (Array.exists
+                  (fun u -> Dl_fault.Stuck_at.equal u f)
+                  atpg.untestable_faults))
+           (Array.to_seq all_stuck_faults))
+    else begin
+      let universe = Dl_fault.Stuck_at.universe c in
+      let classes = Dl_fault.Stuck_at.equivalence_classes c universe in
+      let untestable_members =
+        classes |> Array.to_seq
+        |> Seq.filter (fun cls ->
+               Array.exists
+                 (fun u -> Dl_fault.Stuck_at.equal u cls.(0))
+                 atpg.untestable_faults)
+        |> Seq.concat_map Array.to_seq
+        |> List.of_seq
+      in
+      Array.of_seq
+        (Seq.filter
+           (fun f ->
+             not (List.exists (Dl_fault.Stuck_at.equal f) untestable_members))
+           (Array.to_seq universe))
+    end
   in
   (* 3. Gate-level stuck-at fault simulation over the same sequence
      (parallel engine; bit-for-bit identical to the serial one). *)

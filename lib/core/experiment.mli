@@ -22,20 +22,34 @@ type config = {
       (** Domain count for the gate-level fault simulation
           ({!Dl_fault.Fault_sim.run_parallel}); results are independent of
           this value. *)
+  collapse_faults : bool;
+      (** [true] (default): simulate the equivalence-collapsed stuck-at
+          universe — one representative per class, every class weighing
+          the same in T(k); this is what ATPG targets and is cheaper to
+          simulate.  [false]: the paper-faithful uncollapsed universe —
+          every line fault counts individually, so larger equivalence
+          classes weigh proportionally more in the coverage denominator.
+          The two coverage definitions agree in the limit (both reach 1 on
+          a complete test set once redundant faults are excluded) but
+          differ at intermediate [k]. *)
 }
 
 val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
   ?stats:Dl_extract.Defect_stats.t -> ?min_weight_ratio:float ->
-  ?rows:int -> ?domains:int -> Circuit.t -> config
+  ?rows:int -> ?domains:int -> ?collapse_faults:bool -> Circuit.t -> config
 (** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
-    pruning, [Domain.recommended_domain_count ()] domains. *)
+    pruning, [Domain.recommended_domain_count ()] domains, collapsed fault
+    universe. *)
 
 type t = {
   cfg : config;
   mapped_circuit : Circuit.t;  (** After decomposition for the cell library. *)
   vectors : bool array array;  (** The ATPG vector sequence, in order. *)
   atpg_stats : Dl_atpg.Atpg.stats;
-  stuck_faults : Dl_fault.Stuck_at.t array;  (** Collapsed universe. *)
+  stuck_faults : Dl_fault.Stuck_at.t array;
+      (** The simulated universe: collapsed representatives, or the full
+          line-fault universe when [collapse_faults = false] (minus
+          PODEM-proved-redundant classes in both cases). *)
   extraction : Dl_extract.Ifa.extraction;
   scale_factor : float;        (** Weight scaling applied for target yield. *)
   yield : float;               (** = [cfg.target_yield]. *)

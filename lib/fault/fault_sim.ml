@@ -9,166 +9,34 @@ type result = {
   gate_evaluations : int;
 }
 
-(* Pending-node schedule bucketed by level, so faulty values propagate in
-   topological order and each node is evaluated once per fault/block. *)
-module Schedule = struct
-  type t = {
-    buckets : int list array;
-    queued : bool array;
-    mutable level : int;
-    mutable remaining : int;
-  }
+(* --- Shared helpers ------------------------------------------------------- *)
 
-  let create depth nodes =
-    {
-      buckets = Array.make (depth + 1) [];
-      queued = Array.make nodes false;
-      level = 0;
-      remaining = 0;
-    }
+(* Constant-time bit-scan-forward: isolate the lowest set bit with
+   [w land (-w)], then perfect-hash the isolated bit through a de Bruijn
+   multiplication (the classic chess-programming B(2,6) construction). *)
+let debruijn64 = 0x03f79d71b4cb0a89L
 
-  let push t ~level id =
-    if not t.queued.(id) then begin
-      t.queued.(id) <- true;
-      t.buckets.(level) <- id :: t.buckets.(level);
-      if level < t.level then t.level <- level;
-      t.remaining <- t.remaining + 1
-    end
-
-  let reset t = t.level <- 0
-
-  let pop t =
-    if t.remaining = 0 then None
-    else begin
-      while t.buckets.(t.level) = [] do
-        t.level <- t.level + 1
-      done;
-      match t.buckets.(t.level) with
-      | [] -> assert false
-      | id :: rest ->
-          t.buckets.(t.level) <- rest;
-          t.queued.(id) <- false;
-          t.remaining <- t.remaining - 1;
-          Some id
-    end
-end
+let debruijn_index =
+  [|
+    0;  1;  48; 2;  57; 49; 28; 3;
+    61; 58; 50; 42; 38; 29; 17; 4;
+    62; 55; 59; 36; 53; 51; 43; 22;
+    45; 39; 33; 30; 24; 18; 12; 5;
+    63; 47; 56; 27; 60; 41; 37; 16;
+    54; 35; 52; 21; 44; 32; 23; 11;
+    46; 26; 40; 15; 34; 20; 31; 10;
+    25; 14; 19; 9;  13; 8;  7;  6;
+  |]
 
 let lowest_set_bit w =
   if w = 0L then None
-  else begin
-    let rec scan i =
-      if Int64.logand (Int64.shift_right_logical w i) 1L = 1L then i else scan (i + 1)
-    in
-    Some (scan 0)
-  end
-
-(* Per-worker mutable state: the faulty-machine scratch arrays and schedule.
-   The circuit, the [is_output] map and the good-machine words of the
-   current block are shared read-only between workers. *)
-type scratch = {
-  schedule : Schedule.t;
-  faulty : int64 array;
-  touched : bool array;
-  mutable touched_list : int list;
-  mutable gate_evaluations : int;
-}
-
-let make_scratch (c : Circuit.t) =
-  let n_nodes = Circuit.node_count c in
-  {
-    schedule = Schedule.create (Circuit.depth c) n_nodes;
-    faulty = Array.make n_nodes 0L;
-    touched = Array.make n_nodes false;
-    touched_list = [];
-    gate_evaluations = 0;
-  }
-
-(* Simulate one fault against one 64-vector block.  Returns the detection
-   word (one bit per vector of the block that propagates a difference to a
-   primary output).  The scratch arrays are clean on entry and are cleaned
-   again before returning.  This is the single code path used by both the
-   serial and the parallel driver, which is what makes them bit-for-bit
-   identical. *)
-let simulate_fault (c : Circuit.t) st ~is_output ~good ~valid_mask
-    (f : Stuck_at.t) =
-  let touch id v =
-    if not st.touched.(id) then begin
-      st.touched.(id) <- true;
-      st.touched_list <- id :: st.touched_list
-    end;
-    st.faulty.(id) <- v
-  in
-  let value_of id = if st.touched.(id) then st.faulty.(id) else good.(id) in
-  let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
-  (* Seed the faulty machine at the fault site. *)
-  let detect_word = ref 0L in
-  let seeded =
-    match f.site with
-    | Stuck_at.Stem id ->
-        let diff = Int64.logand (Int64.logxor good.(id) stuck_word) valid_mask in
-        if diff = 0L then false
-        else begin
-          touch id stuck_word;
-          if is_output.(id) then detect_word := diff;
-          Array.iter
-            (fun succ -> Schedule.push st.schedule ~level:c.levels.(succ) succ)
-            c.fanouts.(id);
-          true
-        end
-    | Stuck_at.Branch { gate; pin } ->
-        let nd = c.nodes.(gate) in
-        let ins = Array.map (fun src -> good.(src)) nd.fanin in
-        ins.(pin) <- stuck_word;
-        st.gate_evaluations <- st.gate_evaluations + 1;
-        let v = Gate.eval_word nd.kind ins in
-        let diff = Int64.logand (Int64.logxor good.(gate) v) valid_mask in
-        if diff = 0L then false
-        else begin
-          touch gate v;
-          if is_output.(gate) then detect_word := diff;
-          Array.iter
-            (fun succ -> Schedule.push st.schedule ~level:c.levels.(succ) succ)
-            c.fanouts.(gate);
-          true
-        end
-  in
-  if seeded then begin
-    let rec drain () =
-      match Schedule.pop st.schedule with
-      | None -> ()
-      | Some id ->
-          let nd = c.nodes.(id) in
-          let ins = Array.map value_of nd.fanin in
-          (* A branch fault keeps forcing its pin on every evaluation
-             of its host gate. *)
-          (match f.site with
-          | Stuck_at.Branch { gate; pin } when gate = id -> ins.(pin) <- stuck_word
-          | _ -> ());
-          st.gate_evaluations <- st.gate_evaluations + 1;
-          let v = Gate.eval_word nd.kind ins in
-          let forced =
-            match f.site with
-            | Stuck_at.Stem sid when sid = id -> stuck_word
-            | _ -> v
-          in
-          let diff = Int64.logand (Int64.logxor good.(id) forced) valid_mask in
-          if diff <> 0L || st.touched.(id) then begin
-            touch id forced;
-            if diff <> 0L then begin
-              if is_output.(id) then detect_word := Int64.logor !detect_word diff;
-              Array.iter
-                (fun succ -> Schedule.push st.schedule ~level:c.levels.(succ) succ)
-                c.fanouts.(id)
-            end
-          end;
-          drain ()
-    in
-    drain ();
-    List.iter (fun id -> st.touched.(id) <- false) st.touched_list;
-    st.touched_list <- [];
-    Schedule.reset st.schedule
-  end;
-  !detect_word
+  else
+    let isolated = Int64.logand w (Int64.neg w) in
+    Some
+      debruijn_index.(Int64.to_int
+                        (Int64.shift_right_logical
+                           (Int64.mul isolated debruijn64)
+                           58))
 
 let output_map (c : Circuit.t) =
   let is_output = Array.make (Circuit.node_count c) false in
@@ -181,36 +49,632 @@ let fire_events callback ~base ~count ~fault_index word =
       callback ~fault_index ~vector_index:(base + bit)
   done
 
+(* The already-recorded check comes first so the bit scan (and its [Some]
+   allocation) runs at most once per fault, not once per detecting block. *)
 let record_first first_detection fi ~base word =
-  match lowest_set_bit word with
-  | Some bit -> if first_detection.(fi) = None then first_detection.(fi) <- Some (base + bit)
-  | None -> ()
+  match first_detection.(fi) with
+  | Some _ -> ()
+  | None -> (
+      match lowest_set_bit word with
+      | Some bit -> first_detection.(fi) <- Some (base + bit)
+      | None -> ())
 
 let valid_mask_of count =
   if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
 
+(* --- Reference engine ------------------------------------------------------
+
+   The pre-kernel PPSFP implementation, retained verbatim as the oracle the
+   flat-kernel engine below is property-tested against (same detection
+   words, same [first_detection], same [gate_evaluations]).  It allocates
+   per gate evaluation (fanin [Array.map]s, [int list] schedule buckets),
+   which is exactly what the kernel engine eliminates. *)
+module Reference = struct
+  (* Pending-node schedule bucketed by level, so faulty values propagate in
+     topological order and each node is evaluated once per fault/block. *)
+  module Schedule = struct
+    type t = {
+      buckets : int list array;
+      queued : bool array;
+      mutable level : int;
+      mutable remaining : int;
+    }
+
+    let create depth nodes =
+      {
+        buckets = Array.make (depth + 1) [];
+        queued = Array.make nodes false;
+        level = 0;
+        remaining = 0;
+      }
+
+    let push t ~level id =
+      if not t.queued.(id) then begin
+        t.queued.(id) <- true;
+        t.buckets.(level) <- id :: t.buckets.(level);
+        if level < t.level then t.level <- level;
+        t.remaining <- t.remaining + 1
+      end
+
+    let reset t = t.level <- 0
+
+    let pop t =
+      if t.remaining = 0 then None
+      else begin
+        while t.buckets.(t.level) = [] do
+          t.level <- t.level + 1
+        done;
+        match t.buckets.(t.level) with
+        | [] -> assert false
+        | id :: rest ->
+            t.buckets.(t.level) <- rest;
+            t.queued.(id) <- false;
+            t.remaining <- t.remaining - 1;
+            Some id
+      end
+  end
+
+  (* Per-worker mutable state: the faulty-machine scratch arrays and
+     schedule.  The circuit, the [is_output] map and the good-machine words
+     of the current block are shared read-only between workers. *)
+  type scratch = {
+    schedule : Schedule.t;
+    faulty : int64 array;
+    touched : bool array;
+    mutable touched_list : int list;
+    mutable gate_evaluations : int;
+  }
+
+  let make_scratch (c : Circuit.t) =
+    let n_nodes = Circuit.node_count c in
+    {
+      schedule = Schedule.create (Circuit.depth c) n_nodes;
+      faulty = Array.make n_nodes 0L;
+      touched = Array.make n_nodes false;
+      touched_list = [];
+      gate_evaluations = 0;
+    }
+
+  (* Simulate one fault against one 64-vector block.  Returns the detection
+     word (one bit per vector of the block that propagates a difference to
+     a primary output).  The scratch arrays are clean on entry and are
+     cleaned again before returning.  This is the single code path used by
+     both the serial and the parallel driver, which is what makes them
+     bit-for-bit identical. *)
+  let simulate_fault (c : Circuit.t) st ~is_output ~good ~valid_mask
+      (f : Stuck_at.t) =
+    let touch id v =
+      if not st.touched.(id) then begin
+        st.touched.(id) <- true;
+        st.touched_list <- id :: st.touched_list
+      end;
+      st.faulty.(id) <- v
+    in
+    let value_of id = if st.touched.(id) then st.faulty.(id) else good.(id) in
+    let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
+    (* Seed the faulty machine at the fault site. *)
+    let detect_word = ref 0L in
+    let seeded =
+      match f.site with
+      | Stuck_at.Stem id ->
+          let diff =
+            Int64.logand (Int64.logxor good.(id) stuck_word) valid_mask
+          in
+          if diff = 0L then false
+          else begin
+            touch id stuck_word;
+            if is_output.(id) then detect_word := diff;
+            Array.iter
+              (fun succ -> Schedule.push st.schedule ~level:c.levels.(succ) succ)
+              c.fanouts.(id);
+            true
+          end
+      | Stuck_at.Branch { gate; pin } ->
+          let nd = c.nodes.(gate) in
+          let ins = Array.map (fun src -> good.(src)) nd.fanin in
+          ins.(pin) <- stuck_word;
+          st.gate_evaluations <- st.gate_evaluations + 1;
+          let v = Gate.eval_word nd.kind ins in
+          let diff = Int64.logand (Int64.logxor good.(gate) v) valid_mask in
+          if diff = 0L then false
+          else begin
+            touch gate v;
+            if is_output.(gate) then detect_word := diff;
+            Array.iter
+              (fun succ -> Schedule.push st.schedule ~level:c.levels.(succ) succ)
+              c.fanouts.(gate);
+            true
+          end
+    in
+    if seeded then begin
+      let rec drain () =
+        match Schedule.pop st.schedule with
+        | None -> ()
+        | Some id ->
+            let nd = c.nodes.(id) in
+            let ins = Array.map value_of nd.fanin in
+            (* A branch fault keeps forcing its pin on every evaluation
+               of its host gate. *)
+            (match f.site with
+            | Stuck_at.Branch { gate; pin } when gate = id ->
+                ins.(pin) <- stuck_word
+            | _ -> ());
+            st.gate_evaluations <- st.gate_evaluations + 1;
+            let v = Gate.eval_word nd.kind ins in
+            let forced =
+              match f.site with
+              | Stuck_at.Stem sid when sid = id -> stuck_word
+              | _ -> v
+            in
+            let diff = Int64.logand (Int64.logxor good.(id) forced) valid_mask in
+            if diff <> 0L || st.touched.(id) then begin
+              touch id forced;
+              if diff <> 0L then begin
+                if is_output.(id) then
+                  detect_word := Int64.logor !detect_word diff;
+                Array.iter
+                  (fun succ ->
+                    Schedule.push st.schedule ~level:c.levels.(succ) succ)
+                  c.fanouts.(id)
+              end
+            end;
+            drain ()
+      in
+      drain ();
+      List.iter (fun id -> st.touched.(id) <- false) st.touched_list;
+      st.touched_list <- [];
+      Schedule.reset st.schedule
+    end;
+    !detect_word
+
+  let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
+    let n_faults = Array.length faults in
+    let first_detection = Array.make n_faults None in
+    let live = Array.make n_faults true in
+    let st = make_scratch c in
+    let is_output = output_map c in
+    let n_vectors = Array.length vectors in
+    let n_blocks = (n_vectors + 63) / 64 in
+    for block = 0 to n_blocks - 1 do
+      let base = block * 64 in
+      let count = min 64 (n_vectors - base) in
+      let patterns = Array.sub vectors base count in
+      let words = Sim2.words_of_patterns c patterns in
+      let good = Sim2.run c words in
+      let valid_mask = valid_mask_of count in
+      for fi = 0 to n_faults - 1 do
+        if live.(fi) then begin
+          let dw = simulate_fault c st ~is_output ~good ~valid_mask faults.(fi) in
+          if dw <> 0L then begin
+            record_first first_detection fi ~base dw;
+            (match on_detect with
+            | Some callback ->
+                fire_events callback ~base ~count ~fault_index:fi dw
+            | None -> ());
+            if drop_detected then live.(fi) <- false
+          end
+        end
+      done
+    done;
+    {
+      faults;
+      first_detection;
+      vectors_applied = n_vectors;
+      gate_evaluations = st.gate_evaluations;
+    }
+
+  let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults
+      ~vectors =
+    let shards = Parallel.size pool in
+    let n_faults = Array.length faults in
+    let first_detection = Array.make n_faults None in
+    let live = Array.make n_faults true in
+    let is_output = output_map c in
+    let scratches = Array.init shards (fun _ -> make_scratch c) in
+    let detect_words =
+      match on_detect with Some _ -> Array.make n_faults 0L | None -> [||]
+    in
+    let shard_bounds s = (s * n_faults / shards, (s + 1) * n_faults / shards) in
+    let n_vectors = Array.length vectors in
+    let n_blocks = (n_vectors + 63) / 64 in
+    for block = 0 to n_blocks - 1 do
+      let base = block * 64 in
+      let count = min 64 (n_vectors - base) in
+      let patterns = Array.sub vectors base count in
+      let words = Sim2.words_of_patterns c patterns in
+      let good = Sim2.run c words in
+      let valid_mask = valid_mask_of count in
+      Parallel.run pool ~tasks:shards (fun s ->
+          let st = scratches.(s) in
+          let lo, hi = shard_bounds s in
+          for fi = lo to hi - 1 do
+            if live.(fi) then begin
+              let dw =
+                simulate_fault c st ~is_output ~good ~valid_mask faults.(fi)
+              in
+              if dw <> 0L then begin
+                record_first first_detection fi ~base dw;
+                if on_detect <> None then detect_words.(fi) <- dw;
+                if drop_detected then live.(fi) <- false
+              end
+            end
+          done);
+      match on_detect with
+      | Some callback ->
+          for fi = 0 to n_faults - 1 do
+            if detect_words.(fi) <> 0L then begin
+              fire_events callback ~base ~count ~fault_index:fi detect_words.(fi);
+              detect_words.(fi) <- 0L
+            end
+          done
+      | None -> ()
+    done;
+    let gate_evaluations =
+      Array.fold_left (fun acc st -> acc + st.gate_evaluations) 0 scratches
+    in
+    { faults; first_detection; vectors_applied = n_vectors; gate_evaluations }
+
+  let run_parallel ?(drop_detected = true) ?on_detect ?domains ?pool c ~faults
+      ~vectors =
+    let dispatch pool =
+      if Parallel.size pool = 1 then
+        run ~drop_detected ?on_detect c ~faults ~vectors
+      else run_in_pool ~drop_detected ~on_detect pool c ~faults ~vectors
+    in
+    match pool with
+    | Some pool -> dispatch pool
+    | None -> Parallel.with_pool ?domains dispatch
+end
+
+(* --- Flat-kernel engine ----------------------------------------------------
+
+   Same algorithm as [Reference] — PPSFP with level-ordered event-driven
+   faulty-value propagation, one shared fault/block code path for the serial
+   and parallel drivers — but every per-gate operation is allocation-free:
+
+   - node values live in int64 bigarrays ([Kernel.words]), which the native
+     compiler reads, combines and writes without boxing;
+   - fanin/fanout adjacency comes from the kernel's CSR int arrays, so no
+     fanin [Array.map] per evaluation;
+   - the schedule is a set of per-level int-array stacks carved out of one
+     flat array by the kernel's [level_off] histogram CSR (capacity per
+     level = nodes at that level; the [queued] flags guarantee each node
+     occupies at most one slot), replacing consed [int list] buckets;
+   - the block's detection word is written into the one-slot [out] bigarray
+     rather than returned, because a non-inlined int64 return reboxes.
+
+   Intra-level pop order differs from [Reference] (array stack vs list),
+   which is observationally irrelevant: same-level nodes never feed each
+   other, every node is popped at most once per fault/block (pushes only
+   target levels strictly above the one being drained), and the detection
+   word accumulates by logical-or — so detection words, [first_detection]
+   and [gate_evaluations] all match the reference bit for bit. *)
+
+type scratch = {
+  kernel : Kernel.t;
+  queued : bool array;
+  bucket : int array;  (* per-level stacks; level l occupies
+                          [level_off.(l) .. level_off.(l+1) - 1) *)
+  bucket_len : int array;
+  mutable cur_level : int;
+  mutable remaining : int;
+  faulty : Kernel.words;
+  touched : bool array;
+  touched_ids : int array;
+  mutable n_touched : int;
+  ins : Kernel.words;  (* gather buffer for the host gate of a branch fault *)
+  out : Kernel.words;  (* one slot: detection word of the last simulate_fault *)
+  mutable gate_evaluations : int;
+}
+
+let make_scratch (k : Kernel.t) =
+  let max_arity = ref 1 in
+  for id = 0 to k.n - 1 do
+    let a = k.fanin_off.(id + 1) - k.fanin_off.(id) in
+    if a > !max_arity then max_arity := a
+  done;
+  {
+    kernel = k;
+    queued = Array.make k.n false;
+    bucket = Array.make (max 1 k.n) 0;
+    bucket_len = Array.make k.n_levels 0;
+    cur_level = 0;
+    remaining = 0;
+    faulty = Kernel.create_words k;
+    touched = Array.make k.n false;
+    touched_ids = Array.make (max 1 k.n) 0;
+    n_touched = 0;
+    ins = Kernel.alloc !max_arity;
+    out = Kernel.alloc 1;
+  gate_evaluations = 0;
+  }
+
+(* Simulate one fault against one 64-vector block; the detection word lands
+   in [st.out.{0}].  Scratch is clean on entry and cleaned before return.
+   Single code path for serial and parallel drivers, zero allocation.
+
+   [count] (number of valid vectors in the block) is passed instead of the
+   valid-mask word itself: an int64 argument would be reboxed at every call
+   site, an immediate int is free, and the mask recomputes unboxed here. *)
+let simulate_fault st ~is_output ~(good : Kernel.words) ~count
+    (f : Stuck_at.t) =
+  let k = st.kernel in
+  let valid_mask =
+    if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
+  in
+  let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
+  (* The detection word accumulates directly in [st.out.{0}]: a local
+     [ref 0L] is not reliably unboxed through this control flow (each
+     assignment on the detection path would box), whereas bigarray
+     read-modify-write chains stay unboxed. *)
+  Bigarray.Array1.unsafe_set st.out 0 0L;
+  let seeded = ref false in
+  (match f.site with
+  | Stuck_at.Stem id ->
+      (* A stem fault needs no gate evaluation to seed: the site's faulty
+         value IS the stuck word. *)
+      let diff =
+        Int64.logand
+          (Int64.logxor (Bigarray.Array1.unsafe_get good id) stuck_word)
+          valid_mask
+      in
+      if diff <> 0L then begin
+        Array.unsafe_set st.touched id true;
+        Array.unsafe_set st.touched_ids st.n_touched id;
+        st.n_touched <- st.n_touched + 1;
+        Bigarray.Array1.unsafe_set st.faulty id stuck_word;
+        if Array.unsafe_get is_output id then
+          Bigarray.Array1.unsafe_set st.out 0 diff;
+        let fo = Array.unsafe_get k.fanout_off id in
+        let fe = Array.unsafe_get k.fanout_off (id + 1) in
+        for j = fo to fe - 1 do
+          let succ = Array.unsafe_get k.fanout j in
+          if not (Array.unsafe_get st.queued succ) then begin
+            Array.unsafe_set st.queued succ true;
+            let l = Array.unsafe_get k.level succ in
+            let bl = Array.unsafe_get st.bucket_len l in
+            Array.unsafe_set st.bucket (Array.unsafe_get k.level_off l + bl)
+              succ;
+            Array.unsafe_set st.bucket_len l (bl + 1);
+            st.remaining <- st.remaining + 1
+          end
+        done;
+        seeded := true
+      end
+  | Stuck_at.Branch { gate; pin = _ } ->
+      (* A branch fault seeds by scheduling its host gate; the drain loop's
+         pin override evaluates it, counting the same single seed gate
+         evaluation as the reference engine. *)
+      st.queued.(gate) <- true;
+      let l = Array.unsafe_get k.level gate in
+      let bl = Array.unsafe_get st.bucket_len l in
+      Array.unsafe_set st.bucket (Array.unsafe_get k.level_off l + bl) gate;
+      Array.unsafe_set st.bucket_len l (bl + 1);
+      st.remaining <- st.remaining + 1;
+      seeded := true);
+  if !seeded then begin
+    let fault_gate, fault_pin =
+      match f.site with
+      | Stuck_at.Branch { gate; pin } -> (gate, pin)
+      | Stuck_at.Stem _ -> (-1, -1)
+    in
+    while st.remaining > 0 do
+      while Array.unsafe_get st.bucket_len st.cur_level = 0 do
+        st.cur_level <- st.cur_level + 1
+      done;
+      let l = st.cur_level in
+      let bl = Array.unsafe_get st.bucket_len l - 1 in
+      Array.unsafe_set st.bucket_len l bl;
+      let id = Array.unsafe_get st.bucket (Array.unsafe_get k.level_off l + bl) in
+      Array.unsafe_set st.queued id false;
+      st.remaining <- st.remaining - 1;
+      let off = Array.unsafe_get k.fanin_off id in
+      let len = Array.unsafe_get k.fanin_off (id + 1) - off in
+      let op = Array.unsafe_get k.opcode id in
+      st.gate_evaluations <- st.gate_evaluations + 1;
+      let v =
+        if id <> fault_gate then begin
+          (* Common case: faulty-machine evaluation with the touched/good
+             overlay, specialized exactly like [Kernel.eval_unsafe]. *)
+          if len = 2 then begin
+            let s0 = Array.unsafe_get k.fanin off in
+            let s1 = Array.unsafe_get k.fanin (off + 1) in
+            let a =
+              if Array.unsafe_get st.touched s0 then
+                Bigarray.Array1.unsafe_get st.faulty s0
+              else Bigarray.Array1.unsafe_get good s0
+            in
+            let b =
+              if Array.unsafe_get st.touched s1 then
+                Bigarray.Array1.unsafe_get st.faulty s1
+              else Bigarray.Array1.unsafe_get good s1
+            in
+            if op = Gate.op_and then Int64.logand a b
+            else if op = Gate.op_nand then Int64.lognot (Int64.logand a b)
+            else if op = Gate.op_or then Int64.logor a b
+            else if op = Gate.op_nor then Int64.lognot (Int64.logor a b)
+            else if op = Gate.op_xor then Int64.logxor a b
+            else Int64.lognot (Int64.logxor a b)
+          end
+          else if len = 1 then begin
+            let s0 = Array.unsafe_get k.fanin off in
+            let a =
+              if Array.unsafe_get st.touched s0 then
+                Bigarray.Array1.unsafe_get st.faulty s0
+              else Bigarray.Array1.unsafe_get good s0
+            in
+            if Gate.op_inverts op then Int64.lognot a else a
+          end
+          else begin
+            let last = off + len - 1 in
+            if op <= Gate.op_nand then begin
+              let s0 = Array.unsafe_get k.fanin off in
+              let acc =
+                ref
+                  (if Array.unsafe_get st.touched s0 then
+                     Bigarray.Array1.unsafe_get st.faulty s0
+                   else Bigarray.Array1.unsafe_get good s0)
+              in
+              for j = off + 1 to last do
+                let s = Array.unsafe_get k.fanin j in
+                acc :=
+                  Int64.logand !acc
+                    (if Array.unsafe_get st.touched s then
+                       Bigarray.Array1.unsafe_get st.faulty s
+                     else Bigarray.Array1.unsafe_get good s)
+              done;
+              if op = Gate.op_nand then Int64.lognot !acc else !acc
+            end
+            else if op <= Gate.op_nor then begin
+              let s0 = Array.unsafe_get k.fanin off in
+              let acc =
+                ref
+                  (if Array.unsafe_get st.touched s0 then
+                     Bigarray.Array1.unsafe_get st.faulty s0
+                   else Bigarray.Array1.unsafe_get good s0)
+              in
+              for j = off + 1 to last do
+                let s = Array.unsafe_get k.fanin j in
+                acc :=
+                  Int64.logor !acc
+                    (if Array.unsafe_get st.touched s then
+                       Bigarray.Array1.unsafe_get st.faulty s
+                     else Bigarray.Array1.unsafe_get good s)
+              done;
+              if op = Gate.op_nor then Int64.lognot !acc else !acc
+            end
+            else begin
+              let s0 = Array.unsafe_get k.fanin off in
+              let acc =
+                ref
+                  (if Array.unsafe_get st.touched s0 then
+                     Bigarray.Array1.unsafe_get st.faulty s0
+                   else Bigarray.Array1.unsafe_get good s0)
+              in
+              for j = off + 1 to last do
+                let s = Array.unsafe_get k.fanin j in
+                acc :=
+                  Int64.logxor !acc
+                    (if Array.unsafe_get st.touched s then
+                       Bigarray.Array1.unsafe_get st.faulty s
+                     else Bigarray.Array1.unsafe_get good s)
+              done;
+              if op = Gate.op_xnor then Int64.lognot !acc else !acc
+            end
+          end
+        end
+        else begin
+          (* Host gate of a branch fault (at most once per fault/block):
+             gather pins into the scratch buffer, force the faulty pin,
+             fold.  Gathering keeps the pin override off the common path. *)
+          for j = 0 to len - 1 do
+            let s = Array.unsafe_get k.fanin (off + j) in
+            Bigarray.Array1.unsafe_set st.ins j
+              (if Array.unsafe_get st.touched s then
+                 Bigarray.Array1.unsafe_get st.faulty s
+               else Bigarray.Array1.unsafe_get good s)
+          done;
+          Bigarray.Array1.unsafe_set st.ins fault_pin stuck_word;
+          if len = 1 then begin
+            let a = Bigarray.Array1.unsafe_get st.ins 0 in
+            if Gate.op_inverts op then Int64.lognot a else a
+          end
+          else if op <= Gate.op_nand then begin
+            let acc = ref (Bigarray.Array1.unsafe_get st.ins 0) in
+            for j = 1 to len - 1 do
+              acc := Int64.logand !acc (Bigarray.Array1.unsafe_get st.ins j)
+            done;
+            if op = Gate.op_nand then Int64.lognot !acc else !acc
+          end
+          else if op <= Gate.op_nor then begin
+            let acc = ref (Bigarray.Array1.unsafe_get st.ins 0) in
+            for j = 1 to len - 1 do
+              acc := Int64.logor !acc (Bigarray.Array1.unsafe_get st.ins j)
+            done;
+            if op = Gate.op_nor then Int64.lognot !acc else !acc
+          end
+          else begin
+            let acc = ref (Bigarray.Array1.unsafe_get st.ins 0) in
+            for j = 1 to len - 1 do
+              acc := Int64.logxor !acc (Bigarray.Array1.unsafe_get st.ins j)
+            done;
+            if op = Gate.op_xnor then Int64.lognot !acc else !acc
+          end
+        end
+      in
+      let diff =
+        Int64.logand
+          (Int64.logxor (Bigarray.Array1.unsafe_get good id) v)
+          valid_mask
+      in
+      if diff <> 0L || Array.unsafe_get st.touched id then begin
+        if not (Array.unsafe_get st.touched id) then begin
+          Array.unsafe_set st.touched id true;
+          Array.unsafe_set st.touched_ids st.n_touched id;
+          st.n_touched <- st.n_touched + 1
+        end;
+        Bigarray.Array1.unsafe_set st.faulty id v;
+        if diff <> 0L then begin
+          if Array.unsafe_get is_output id then
+            Bigarray.Array1.unsafe_set st.out 0
+              (Int64.logor (Bigarray.Array1.unsafe_get st.out 0) diff);
+          let fo = Array.unsafe_get k.fanout_off id in
+          let fe = Array.unsafe_get k.fanout_off (id + 1) in
+          for j = fo to fe - 1 do
+            let succ = Array.unsafe_get k.fanout j in
+            if not (Array.unsafe_get st.queued succ) then begin
+              Array.unsafe_set st.queued succ true;
+              let sl = Array.unsafe_get k.level succ in
+              let sbl = Array.unsafe_get st.bucket_len sl in
+              Array.unsafe_set st.bucket
+                (Array.unsafe_get k.level_off sl + sbl)
+                succ;
+              Array.unsafe_set st.bucket_len sl (sbl + 1);
+              st.remaining <- st.remaining + 1
+            end
+          done
+        end
+      end
+    done;
+    for i = 0 to st.n_touched - 1 do
+      Array.unsafe_set st.touched (Array.unsafe_get st.touched_ids i) false
+    done;
+    st.n_touched <- 0;
+    st.cur_level <- 0
+  end
+
 let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
+  let k = Kernel.of_circuit c in
   let n_faults = Array.length faults in
   let first_detection = Array.make n_faults None in
   let live = Array.make n_faults true in
-  let st = make_scratch c in
+  let st = make_scratch k in
   let is_output = output_map c in
+  let good = Kernel.create_words k in
   let n_vectors = Array.length vectors in
   let n_blocks = (n_vectors + 63) / 64 in
   for block = 0 to n_blocks - 1 do
     let base = block * 64 in
     let count = min 64 (n_vectors - base) in
-    let patterns = Array.sub vectors base count in
-    let words = Sim2.words_of_patterns c patterns in
-    let good = Sim2.run c words in
-    let valid_mask = valid_mask_of count in
+    Sim2.load_patterns k good vectors ~base ~count;
+    Sim2.run_flat k good;
     for fi = 0 to n_faults - 1 do
       if live.(fi) then begin
-        let dw = simulate_fault c st ~is_output ~good ~valid_mask faults.(fi) in
-        if dw <> 0L then begin
-          record_first first_detection fi ~base dw;
+        simulate_fault st ~is_output ~good ~count faults.(fi);
+        (* Unboxed compare; the detection word is only (re)boxed inside the
+           branches that genuinely need it as a value — first detection of a
+           fault, or event replay — so the steady-state no-drop loop stays
+           allocation-free. *)
+        if Bigarray.Array1.unsafe_get st.out 0 <> 0L then begin
+          (match first_detection.(fi) with
+          | None ->
+              record_first first_detection fi ~base
+                (Bigarray.Array1.unsafe_get st.out 0)
+          | Some _ -> ());
           (match on_detect with
-          | Some callback -> fire_events callback ~base ~count ~fault_index:fi dw
+          | Some callback ->
+              fire_events callback ~base ~count ~fault_index:fi
+                (Bigarray.Array1.unsafe_get st.out 0)
           | None -> ());
           if drop_detected then live.(fi) <- false
         end
@@ -226,7 +690,7 @@ let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
 
 (* Parallel driver: the fault array is cut into [size pool] contiguous
    shards, fixed for the whole run, and every worker keeps its own scratch
-   while the circuit and each block's good-machine words are shared
+   while the kernel and each block's good-machine words are shared
    read-only.  Each fault index is written (first_detection, live and the
    per-block detection word) only by its owning worker, and the pool's job
    barrier orders those writes before the merge below reads them, so the
@@ -235,12 +699,14 @@ let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
    to the same total, and buffered [on_detect] events are replayed in
    fault-index order within each block — exactly the serial firing order. *)
 let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults ~vectors =
+  let k = Kernel.of_circuit c in
   let shards = Parallel.size pool in
   let n_faults = Array.length faults in
   let first_detection = Array.make n_faults None in
   let live = Array.make n_faults true in
   let is_output = output_map c in
-  let scratches = Array.init shards (fun _ -> make_scratch c) in
+  let scratches = Array.init shards (fun _ -> make_scratch k) in
+  let good = Kernel.create_words k in
   (* Per-fault detection word of the current block, kept only when events
      must be replayed to a callback. *)
   let detect_words =
@@ -252,19 +718,23 @@ let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults ~vectors 
   for block = 0 to n_blocks - 1 do
     let base = block * 64 in
     let count = min 64 (n_vectors - base) in
-    let patterns = Array.sub vectors base count in
-    let words = Sim2.words_of_patterns c patterns in
-    let good = Sim2.run c words in
-    let valid_mask = valid_mask_of count in
+    Sim2.load_patterns k good vectors ~base ~count;
+    Sim2.run_flat k good;
+    let has_callback = match on_detect with Some _ -> true | None -> false in
     Parallel.run pool ~tasks:shards (fun s ->
         let st = scratches.(s) in
         let lo, hi = shard_bounds s in
         for fi = lo to hi - 1 do
           if live.(fi) then begin
-            let dw = simulate_fault c st ~is_output ~good ~valid_mask faults.(fi) in
-            if dw <> 0L then begin
-              record_first first_detection fi ~base dw;
-              if on_detect <> None then detect_words.(fi) <- dw;
+            simulate_fault st ~is_output ~good ~count faults.(fi);
+            if Bigarray.Array1.unsafe_get st.out 0 <> 0L then begin
+              (match first_detection.(fi) with
+              | None ->
+                  record_first first_detection fi ~base
+                    (Bigarray.Array1.unsafe_get st.out 0)
+              | Some _ -> ());
+              if has_callback then
+                detect_words.(fi) <- Bigarray.Array1.unsafe_get st.out 0;
               if drop_detected then live.(fi) <- false
             end
           end

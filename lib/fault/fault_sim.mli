@@ -27,7 +27,12 @@ val run :
     simulated after its first detection — the standard production mode; set
     it to [false] to observe every detection (e.g. for dictionaries, via
     [on_detect], which fires once per fault/vector detection event in
-    increasing vector order per fault). *)
+    increasing vector order per fault).
+
+    Runs on the flat {!Dl_netlist.Kernel} engine: the circuit is lowered
+    once into CSR int arrays and every per-gate operation in the hot loop is
+    allocation-free.  Results are bit-for-bit identical to
+    {!Reference.run}. *)
 
 val run_parallel :
   ?drop_detected:bool ->
@@ -51,6 +56,34 @@ val run_parallel :
     fires the same events in the same order (events are buffered per block
     and replayed in increasing fault index, which is the serial order).
     The callback runs in the calling domain only. *)
+
+(** The pre-kernel PPSFP engine, retained verbatim as the oracle for
+    property-testing the flat-kernel engine (and as the baseline for the
+    old-vs-new benchmark sections).  Same semantics, same signatures;
+    allocates per gate evaluation. *)
+module Reference : sig
+  val run :
+    ?drop_detected:bool ->
+    ?on_detect:(fault_index:int -> vector_index:int -> unit) ->
+    Circuit.t ->
+    faults:Stuck_at.t array ->
+    vectors:bool array array ->
+    result
+
+  val run_parallel :
+    ?drop_detected:bool ->
+    ?on_detect:(fault_index:int -> vector_index:int -> unit) ->
+    ?domains:int ->
+    ?pool:Dl_util.Parallel.t ->
+    Circuit.t ->
+    faults:Stuck_at.t array ->
+    vectors:bool array array ->
+    result
+end
+
+val lowest_set_bit : int64 -> int option
+(** Index (0-63) of the least-significant set bit, [None] for [0L].
+    Constant-time de Bruijn bit scan (exposed for testing). *)
 
 val detected_count : result -> int
 

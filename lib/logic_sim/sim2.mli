@@ -8,7 +8,33 @@ open Dl_netlist
 val run : Circuit.t -> int64 array -> int64 array
 (** [run c pi_words] evaluates the circuit; [pi_words] has one word per
     primary input in [c.inputs] order.  Returns one word per node, indexed
-    by node id. *)
+    by node id.
+
+    This is the {e reference} engine: simple, allocating, and retained as
+    the oracle the flat-kernel path is property-tested against.  Hot loops
+    should use {!run_flat} over a {!Kernel.t}. *)
+
+(** {2 Flat-kernel path}
+
+    Allocation-free pipeline: lower once with {!Kernel.of_circuit}, allocate
+    a buffer with {!Kernel.create_words}, then per 64-pattern block call
+    {!load_patterns} (or {!load_words}) followed by {!run_flat}. *)
+
+val load_words : Kernel.t -> Kernel.words -> int64 array -> unit
+(** Seed primary-input words (one per PI, [inputs] order) into the buffer. *)
+
+val load_patterns :
+  Kernel.t -> Kernel.words -> bool array array -> base:int -> count:int -> unit
+(** [load_patterns k buf vectors ~base ~count] transposes the [count] (≤ 64)
+    test vectors starting at [vectors.(base)] directly into the PI word slots
+    of [buf] — bit [b] of each PI word is vector [base+b] — zero-filling bits
+    [count..63].  Replaces the allocating [Array.sub] + {!words_of_patterns}
+    block-prep of the reference path. *)
+
+val run_flat : Kernel.t -> Kernel.words -> unit
+(** Evaluate all gates in topological order against the buffer (PIs must be
+    loaded first).  Equivalent to {!Kernel.run_into}; bit-for-bit identical
+    to {!run} on the same patterns, with zero per-gate allocation. *)
 
 val outputs_of : Circuit.t -> int64 array -> int64 array
 (** Project node values to primary outputs, in [c.outputs] order. *)

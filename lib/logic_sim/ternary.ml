@@ -33,11 +33,10 @@ let bxor a b =
   | V0, V0 | V1, V1 -> V0
   | V0, V1 | V1, V0 -> V1
 
+(* Like [Gate.eval], arity is trusted: gates in a finalized [Circuit.t] were
+   validated once by [Builder.finalize].  [eval_checked] re-validates. *)
 let eval kind inputs =
   let open Dl_netlist in
-  let n = Array.length inputs in
-  if not (Gate.arity_ok kind n) then
-    invalid_arg "Ternary.eval: arity violation";
   match kind with
   | Gate.Input -> invalid_arg "Ternary.eval: Input has no function"
   | Gate.Buf -> inputs.(0)
@@ -48,3 +47,9 @@ let eval kind inputs =
   | Gate.Nor -> inv (Array.fold_left bor V0 inputs)
   | Gate.Xor -> Array.fold_left bxor V0 inputs
   | Gate.Xnor -> inv (Array.fold_left bxor V0 inputs)
+
+let eval_checked kind inputs =
+  let n = Array.length inputs in
+  if not (Dl_netlist.Gate.arity_ok kind n) then
+    invalid_arg "Ternary.eval: arity violation";
+  eval kind inputs

@@ -17,4 +17,9 @@ val bxor : t -> t -> t
 
 val eval : Dl_netlist.Gate.kind -> t array -> t
 (** Ternary gate evaluation with full X-propagation (e.g. AND with any input
-    at 0 yields 0 even if others are X). *)
+    at 0 yields 0 even if others are X).  Arity is {e not} validated (gates in
+    a finalized circuit were checked at construction); use {!eval_checked}
+    for fanin arrays of unknown provenance. *)
+
+val eval_checked : Dl_netlist.Gate.kind -> t array -> t
+(** {!eval} preceded by an arity check; raises [Invalid_argument]. *)

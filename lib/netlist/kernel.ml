@@ -1,0 +1,173 @@
+(* Flat compiled form of a circuit: every per-node datum lives in a dense int
+   array so the simulation hot loops touch no heap blocks besides the arrays
+   themselves.  Fanin and fanout adjacency use CSR layout (concatenated index
+   arrays plus an offsets array with a final sentinel), node values live in an
+   int64 bigarray so reads and writes stay unboxed on the native compiler. *)
+
+type words = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  circuit : Circuit.t;
+  n : int;
+  opcode : int array;
+  level : int array;
+  fanin_off : int array;
+  fanin : int array;
+  fanout_off : int array;
+  fanout : int array;
+  inputs : int array;
+  outputs : int array;
+  gate_order : int array;
+  n_levels : int;
+  level_off : int array;
+}
+
+let alloc len =
+  let buf = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout len in
+  Bigarray.Array1.fill buf 0L;
+  buf
+
+let create_words t = alloc t.n
+
+let of_circuit (c : Circuit.t) =
+  let n = Array.length c.nodes in
+  let opcode = Array.make n 0 in
+  let fanin_off = Array.make (n + 1) 0 in
+  let total_fanin = ref 0 in
+  for id = 0 to n - 1 do
+    let nd = c.nodes.(id) in
+    let arity = Array.length nd.fanin in
+    (* The one-time arity validation the per-eval [Gate.check] used to do:
+       after this, every kernel consumer may evaluate unchecked. *)
+    if not (Gate.arity_ok nd.kind arity) then
+      raise
+        (Circuit.Malformed
+           (Printf.sprintf "Kernel.of_circuit: %s node %s has %d inputs"
+              (Gate.to_string nd.kind) nd.name arity));
+    opcode.(id) <- Gate.opcode nd.kind;
+    total_fanin := !total_fanin + arity
+  done;
+  let fanin = Array.make (max 1 !total_fanin) 0 in
+  let pos = ref 0 in
+  for id = 0 to n - 1 do
+    fanin_off.(id) <- !pos;
+    let src = c.nodes.(id).fanin in
+    Array.blit src 0 fanin !pos (Array.length src);
+    pos := !pos + Array.length src
+  done;
+  fanin_off.(n) <- !pos;
+  let fanout_off = Array.make (n + 1) 0 in
+  let total_fanout = Array.fold_left (fun a fo -> a + Array.length fo) 0 c.fanouts in
+  let fanout = Array.make (max 1 total_fanout) 0 in
+  let pos = ref 0 in
+  for id = 0 to n - 1 do
+    fanout_off.(id) <- !pos;
+    let dst = c.fanouts.(id) in
+    Array.blit dst 0 fanout !pos (Array.length dst);
+    pos := !pos + Array.length dst
+  done;
+  fanout_off.(n) <- !pos;
+  let n_levels = 1 + Array.fold_left max 0 c.levels in
+  let level_off = Array.make (n_levels + 1) 0 in
+  Array.iter (fun l -> level_off.(l + 1) <- level_off.(l + 1) + 1) c.levels;
+  for l = 1 to n_levels do
+    level_off.(l) <- level_off.(l) + level_off.(l - 1)
+  done;
+  let gate_order =
+    Array.of_seq
+      (Seq.filter
+         (fun id -> c.nodes.(id).kind <> Gate.Input)
+         (Array.to_seq c.topo_order))
+  in
+  {
+    circuit = c;
+    n;
+    opcode;
+    level = c.levels;
+    fanin_off;
+    fanin;
+    fanout_off;
+    fanout;
+    inputs = c.inputs;
+    outputs = c.outputs;
+    gate_order;
+    n_levels;
+    level_off;
+  }
+
+(* Single-gate evaluation against the CSR slice.  Specialized unary and
+   binary paths cover the overwhelming majority of ISCAS gates; the n-ary
+   fallback folds with a local ref, which the native compiler keeps as an
+   unboxed mutable.  No allocation on any path. *)
+let[@inline] eval_unsafe t (buf : words) id =
+  let off = Array.unsafe_get t.fanin_off id in
+  let len = Array.unsafe_get t.fanin_off (id + 1) - off in
+  let op = Array.unsafe_get t.opcode id in
+  if len = 2 then begin
+    let a = Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin off) in
+    let b = Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin (off + 1)) in
+    let v =
+      if op = Gate.op_and then Int64.logand a b
+      else if op = Gate.op_nand then Int64.lognot (Int64.logand a b)
+      else if op = Gate.op_or then Int64.logor a b
+      else if op = Gate.op_nor then Int64.lognot (Int64.logor a b)
+      else if op = Gate.op_xor then Int64.logxor a b
+      else Int64.lognot (Int64.logxor a b)
+    in
+    Bigarray.Array1.unsafe_set buf id v
+  end
+  else if len = 1 then begin
+    let a = Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin off) in
+    Bigarray.Array1.unsafe_set buf id
+      (if Gate.op_inverts op then Int64.lognot a else a)
+  end
+  else if len = 0 then invalid_arg "Kernel.eval_node: node has no fanin"
+  else begin
+    let last = off + len - 1 in
+    if op <= Gate.op_nand then begin
+      let acc = ref (Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin off)) in
+      for k = off + 1 to last do
+        acc :=
+          Int64.logand !acc
+            (Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin k))
+      done;
+      Bigarray.Array1.unsafe_set buf id
+        (if op = Gate.op_nand then Int64.lognot !acc else !acc)
+    end
+    else if op <= Gate.op_nor then begin
+      let acc = ref (Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin off)) in
+      for k = off + 1 to last do
+        acc :=
+          Int64.logor !acc
+            (Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin k))
+      done;
+      Bigarray.Array1.unsafe_set buf id
+        (if op = Gate.op_nor then Int64.lognot !acc else !acc)
+    end
+    else begin
+      let acc = ref (Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin off)) in
+      for k = off + 1 to last do
+        acc :=
+          Int64.logxor !acc
+            (Bigarray.Array1.unsafe_get buf (Array.unsafe_get t.fanin k))
+      done;
+      Bigarray.Array1.unsafe_set buf id
+        (if op = Gate.op_xnor then Int64.lognot !acc else !acc)
+    end
+  end
+
+let check_dim fn t buf =
+  if Bigarray.Array1.dim buf < t.n then
+    invalid_arg (fn ^ ": values buffer shorter than node count")
+
+let eval_node t buf id =
+  check_dim "Kernel.eval_node" t buf;
+  if id < 0 || id >= t.n then invalid_arg "Kernel.eval_node: id out of range";
+  eval_unsafe t buf id
+
+let run_into t buf =
+  check_dim "Kernel.run_into" t buf;
+  let order = t.gate_order in
+  for i = 0 to Array.length order - 1 do
+    eval_unsafe t buf (Array.unsafe_get order i)
+  done

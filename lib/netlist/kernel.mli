@@ -1,0 +1,59 @@
+(** Flat compiled circuit kernel: CSR adjacency + int opcodes + bigarray
+    values, for allocation-free simulation hot loops.
+
+    {!of_circuit} lowers a finalized {!Circuit.t} once into dense int arrays;
+    after that a full 64-pattern circuit evaluation ({!run_into}) performs
+    zero minor-heap allocation — node values live in an [int64] bigarray
+    whose reads, writes, and intermediate logic ops the native compiler keeps
+    unboxed, and fanin indices come from a concatenated CSR slice instead of
+    per-gate [Array.map]s.
+
+    The record is exposed read-only so the fault simulator can run its own
+    event-driven loop (with branch-fault pin overrides) directly against the
+    same arrays; see [Fault_sim]. *)
+
+type words = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A node-value buffer: one 64-pattern word per node id. *)
+
+type t = private {
+  circuit : Circuit.t;  (** The lowered circuit (names, node metadata). *)
+  n : int;  (** Node count; all per-node arrays have this length. *)
+  opcode : int array;  (** [Gate.opcode] per node. *)
+  level : int array;  (** Longest path from any PI (shared with circuit). *)
+  fanin_off : int array;
+      (** CSR offsets, length [n+1]: node [i]'s fanin ids are
+          [fanin.(fanin_off.(i)) .. fanin.(fanin_off.(i+1) - 1)], pin order. *)
+  fanin : int array;  (** Concatenated fanin ids. *)
+  fanout_off : int array;  (** CSR offsets for {!fanout}, length [n+1]. *)
+  fanout : int array;  (** Concatenated fanout (reader) ids. *)
+  inputs : int array;  (** Primary-input ids, declaration order. *)
+  outputs : int array;  (** Primary-output ids, declaration order. *)
+  gate_order : int array;  (** Topological order restricted to non-inputs. *)
+  n_levels : int;  (** Circuit depth + 1. *)
+  level_off : int array;
+      (** Histogram CSR, length [n_levels+1]:
+          [level_off.(l+1) - level_off.(l)] nodes sit at level [l].  Sizes the
+          fault simulator's per-level scheduling stacks. *)
+}
+
+val of_circuit : Circuit.t -> t
+(** Lower a circuit.  Validates gate arity once (raising {!Circuit.Malformed}
+    on violation) so every downstream evaluation can skip the check. *)
+
+val alloc : int -> words
+(** Fresh zero-filled word buffer of the given length. *)
+
+val create_words : t -> words
+(** {!alloc} sized to the kernel's node count. *)
+
+val eval_node : t -> words -> int -> unit
+(** [eval_node t buf id] evaluates gate [id] from its fanin values in [buf]
+    and writes the result to [buf.{id}].  Allocation-free.  Raises
+    [Invalid_argument] on a primary input, an out-of-range id, or a buffer
+    shorter than [t.n]. *)
+
+val run_into : t -> words -> unit
+(** Full-circuit evaluation: one linear pass over {!gate_order}.  Caller
+    seeds primary-input words into [buf] first (e.g. [Sim2.load_words]);
+    on return [buf.{id}] holds every node's 64-pattern response.
+    Allocation-free. *)

@@ -242,6 +242,110 @@ let prop_parallel_equals_serial =
         ~drop_detected;
       true)
 
+(* --- Kernel engine vs reference engine ---------------------------------------- *)
+
+let check_kernel_matches_reference ~what c ~faults ~vectors ~drop_detected =
+  let new_r, new_events =
+    run_collecting (fun ~on_detect ->
+        Fault_sim.run ~drop_detected ~on_detect c ~faults ~vectors)
+  in
+  let ref_r, ref_events =
+    run_collecting (fun ~on_detect ->
+        Fault_sim.Reference.run ~drop_detected ~on_detect c ~faults ~vectors)
+  in
+  if new_r.Fault_sim.first_detection <> ref_r.Fault_sim.first_detection then
+    Alcotest.failf "%s: first_detection differs from reference (drop=%b)" what
+      drop_detected;
+  if new_r.Fault_sim.gate_evaluations <> ref_r.Fault_sim.gate_evaluations then
+    Alcotest.failf "%s: gate_evaluations %d vs reference %d (drop=%b)" what
+      new_r.Fault_sim.gate_evaluations ref_r.Fault_sim.gate_evaluations
+      drop_detected;
+  if new_events <> ref_events then
+    Alcotest.failf "%s: on_detect event sequence differs from reference (drop=%b)"
+      what drop_detected
+
+let test_kernel_matches_reference () =
+  List.iter
+    (fun name ->
+      let c = Option.get (Benchmarks.by_name name) in
+      let faults = Stuck_at.universe c in
+      let vectors = random_vectors c 100 in
+      List.iter
+        (fun drop_detected ->
+          check_kernel_matches_reference ~what:name c ~faults ~vectors
+            ~drop_detected)
+        [ true; false ])
+    [ "c17"; "mux3"; "add8"; "c432s_small" ]
+
+let test_kernel_matches_reference_tail_blocks () =
+  (* valid_mask handling: every tail length 1..63 plus exact multiples *)
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.universe c in
+  let all = random_vectors c 130 in
+  List.iter
+    (fun n ->
+      let vectors = Array.sub all 0 n in
+      check_kernel_matches_reference ~what:(Printf.sprintf "c17/%d vectors" n) c
+        ~faults ~vectors ~drop_detected:false)
+    [ 1; 2; 31; 63; 64; 65; 127; 128; 129 ]
+
+let prop_kernel_equals_reference =
+  (* Random circuits, irregular fault subsets, random vector counts and both
+     dropping modes: the flat-kernel engine must be indistinguishable from
+     the retained pre-kernel engine in every observable field. *)
+  QCheck.Test.make ~name:"kernel engine = reference on random circuits" ~count:30
+    QCheck.(triple (int_range 0 1_000_000) (int_range 1 130) bool)
+    (fun (seed, n_vectors, drop_detected) ->
+      let c =
+        Dl_netlist.Generator.random ~seed ~inputs:(4 + (seed mod 5)) ~outputs:3
+          ~profile:
+            [ (Dl_netlist.Gate.Nand, 12); (Dl_netlist.Gate.Nor, 6);
+              (Dl_netlist.Gate.Xor, 4); (Dl_netlist.Gate.Not, 4) ]
+          ()
+      in
+      let universe = Stuck_at.universe c in
+      let faults =
+        Array.of_list
+          (List.filteri (fun i _ -> (i + seed) mod 4 <> 1) (Array.to_list universe))
+      in
+      let vectors = random_vectors c n_vectors in
+      check_kernel_matches_reference ~what:"random" c ~faults ~vectors
+        ~drop_detected;
+      true)
+
+let test_kernel_hot_path_allocation_free () =
+  (* The PPSFP hot path must not allocate: after a warm-up run (lowering,
+     scratch and result-array allocation are unavoidable), a steady-state
+     run must stay under 0.5 minor words per gate evaluation — a single
+     boxed int64 on the per-gate path would already cost 3. *)
+  let c = Benchmarks.c432s () in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let vectors = random_vectors c 512 in
+  ignore (Fault_sim.run ~drop_detected:false c ~faults ~vectors);
+  let m0 = Gc.minor_words () in
+  let r = Fault_sim.run ~drop_detected:false c ~faults ~vectors in
+  let m1 = Gc.minor_words () in
+  let per_eval = (m1 -. m0) /. float_of_int r.Fault_sim.gate_evaluations in
+  if per_eval > 0.5 then
+    Alcotest.failf "hot path allocates %.4f minor words per gate eval" per_eval
+
+let test_lowest_set_bit () =
+  Alcotest.(check (option int)) "zero" None (Fault_sim.lowest_set_bit 0L);
+  Alcotest.(check (option int)) "one" (Some 0) (Fault_sim.lowest_set_bit 1L);
+  Alcotest.(check (option int)) "min_int" (Some 63)
+    (Fault_sim.lowest_set_bit Int64.min_int);
+  Alcotest.(check (option int)) "all ones" (Some 0)
+    (Fault_sim.lowest_set_bit (-1L));
+  for bit = 0 to 63 do
+    Alcotest.(check (option int)) (Printf.sprintf "bit %d" bit) (Some bit)
+      (Fault_sim.lowest_set_bit (Int64.shift_left 1L bit));
+    (* higher garbage bits must not disturb the scan *)
+    if bit < 62 then
+      Alcotest.(check (option int)) (Printf.sprintf "bit %d+" bit) (Some bit)
+        (Fault_sim.lowest_set_bit
+           (Int64.logor (Int64.shift_left 1L bit) (Int64.shift_left 3L (bit + 1))))
+  done
+
 (* --- Coverage curves ------------------------------------------------------------ *)
 
 let test_coverage_monotone () =
@@ -431,6 +535,15 @@ let () =
           Alcotest.test_case "pool reuse" `Quick test_parallel_pool_reuse;
           Alcotest.test_case "empty inputs" `Quick test_parallel_empty_inputs;
         ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "kernel = reference" `Slow test_kernel_matches_reference;
+          Alcotest.test_case "tail blocks" `Quick
+            test_kernel_matches_reference_tail_blocks;
+          Alcotest.test_case "hot path allocation-free" `Quick
+            test_kernel_hot_path_allocation_free;
+          Alcotest.test_case "lowest_set_bit" `Quick test_lowest_set_bit;
+        ] );
       ( "coverage",
         [
           Alcotest.test_case "monotone" `Quick test_coverage_monotone;
@@ -454,5 +567,6 @@ let () =
             prop_coverage_in_unit_range;
             prop_coverage_at_matches_scan;
             prop_parallel_equals_serial;
+            prop_kernel_equals_reference;
           ] );
     ]

@@ -144,6 +144,30 @@ let test_c17_full_pipeline () =
   let dl = Experiment.defect_level_at e k in
   Alcotest.(check bool) "residual DL below DL(0)" true (dl < 0.25)
 
+let test_uncollapsed_universe () =
+  (* collapse_faults = false simulates the full line-fault universe: more
+     faults in the denominator (c17: 34 vs 22 collapsed), yet both coverage
+     definitions reach 1 on a complete test set. *)
+  let c = Dl_netlist.Benchmarks.c17 () in
+  let collapsed =
+    Experiment.run (Experiment.config ~seed:3 ~max_random_vectors:256 c)
+  in
+  let uncollapsed =
+    Experiment.run
+      (Experiment.config ~seed:3 ~max_random_vectors:256 ~collapse_faults:false c)
+  in
+  Alcotest.(check int) "collapsed universe" 22
+    (Array.length collapsed.stuck_faults);
+  Alcotest.(check int) "uncollapsed universe" 34
+    (Array.length uncollapsed.stuck_faults);
+  let k = Array.length uncollapsed.vectors in
+  Alcotest.(check (float 1e-9)) "uncollapsed T reaches 1" 1.0
+    (Coverage.at uncollapsed.t_curve k);
+  (* the switch-level side is untouched by the flag *)
+  Alcotest.(check int) "same realistic faults"
+    (Array.length collapsed.extraction.faults)
+    (Array.length uncollapsed.extraction.faults)
+
 let () =
   Alcotest.run "integration"
     [
@@ -164,5 +188,6 @@ let () =
           Alcotest.test_case "weights disperse" `Quick test_weight_histogram_disperses;
           Alcotest.test_case "deterministic" `Quick test_experiment_deterministic;
           Alcotest.test_case "c17 pipeline" `Quick test_c17_full_pipeline;
+          Alcotest.test_case "uncollapsed universe" `Quick test_uncollapsed_universe;
         ] );
     ]

@@ -70,6 +70,103 @@ let test_sim2_pack_unpack () =
       Alcotest.(check (array bool)) "roundtrip" p (Sim2.pattern_of_words c words i))
     patterns
 
+(* --- Flat-kernel path ------------------------------------------------------- *)
+
+let test_run_flat_matches_run () =
+  List.iter
+    (fun (name, make) ->
+      let c = make () in
+      let k = Kernel.of_circuit c in
+      let buf = Kernel.create_words k in
+      for _ = 1 to 10 do
+        let words = Sim2.random_words rng c in
+        let expect = Sim2.run c words in
+        Sim2.load_words k buf words;
+        Sim2.run_flat k buf;
+        Array.iteri
+          (fun id w ->
+            if Bigarray.Array1.get buf id <> w then
+              Alcotest.failf "%s: node %d differs from Sim2.run" name id)
+          expect
+      done)
+    Benchmarks.all
+
+let test_load_patterns_matches_pack () =
+  let c = Benchmarks.c432s_small () in
+  let k = Kernel.of_circuit c in
+  let buf = Kernel.create_words k in
+  let vectors =
+    Array.init 150 (fun _ ->
+        Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng))
+  in
+  List.iter
+    (fun (base, count) ->
+      let expect =
+        Sim2.words_of_patterns c (Array.sub vectors base count)
+      in
+      Sim2.load_patterns k buf vectors ~base ~count;
+      Array.iteri
+        (fun i pi ->
+          if Bigarray.Array1.get buf pi <> expect.(i) then
+            Alcotest.failf "base=%d count=%d: PI %d transpose mismatch" base count
+              i)
+        k.Kernel.inputs)
+    [ (0, 64); (64, 64); (128, 22); (0, 1); (149, 1); (10, 63) ]
+
+let test_load_patterns_clears_stale_bits () =
+  (* a short block after a full one must not leak the previous block's
+     high bits *)
+  let c = Benchmarks.c17 () in
+  let k = Kernel.of_circuit c in
+  let buf = Kernel.create_words k in
+  let ones = Array.init 64 (fun _ -> Array.make 5 true) in
+  Sim2.load_patterns k buf ones ~base:0 ~count:64;
+  let zeros = [| Array.make 5 false |] in
+  Sim2.load_patterns k buf zeros ~base:0 ~count:1;
+  Array.iter
+    (fun pi ->
+      Alcotest.(check bool) "stale bits cleared" true
+        (Bigarray.Array1.get buf pi = 0L))
+    k.Kernel.inputs
+
+let test_run_flat_matches_sim3_definite () =
+  let c = Generator.ripple_adder 8 in
+  let k = Kernel.of_circuit c in
+  let buf = Kernel.create_words k in
+  for _ = 1 to 20 do
+    let v = Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng) in
+    Sim2.load_patterns k buf [| v |] ~base:0 ~count:1;
+    Sim2.run_flat k buf;
+    let r3 = Sim3.run c (Array.map Ternary.of_bool v) in
+    Array.iteri
+      (fun id t ->
+        let flat = Int64.logand (Bigarray.Array1.get buf id) 1L = 1L in
+        Alcotest.check tern "kernel agrees with sim3" t
+          (Ternary.of_bool flat))
+      r3
+  done
+
+let test_load_patterns_rejects_bad_ranges () =
+  let c = Benchmarks.c17 () in
+  let k = Kernel.of_circuit c in
+  let buf = Kernel.create_words k in
+  let vectors = [| Array.make 5 false |] in
+  let expect_invalid what f =
+    Alcotest.(check bool) what true
+      (try
+         f ();
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid "count > 64" (fun () ->
+      Sim2.load_patterns k buf vectors ~base:0 ~count:65);
+  expect_invalid "slice out of range" (fun () ->
+      Sim2.load_patterns k buf vectors ~base:0 ~count:2);
+  expect_invalid "negative base" (fun () ->
+      Sim2.load_patterns k buf vectors ~base:(-1) ~count:1);
+  expect_invalid "wrong pattern width" (fun () ->
+      Sim2.load_patterns k buf [| Array.make 4 false |] ~base:0 ~count:1)
+
 (* --- Sim3 ------------------------------------------------------------------ *)
 
 let test_sim3_definite_matches_sim2 () =
@@ -171,6 +268,18 @@ let () =
           Alcotest.test_case "c17 known vector" `Quick test_sim2_c17_known_vector;
           Alcotest.test_case "parallel = single" `Quick test_sim2_parallel_matches_single;
           Alcotest.test_case "pack/unpack" `Quick test_sim2_pack_unpack;
+        ] );
+      ( "flat-kernel",
+        [
+          Alcotest.test_case "run_flat = run" `Quick test_run_flat_matches_run;
+          Alcotest.test_case "load_patterns = pack" `Quick
+            test_load_patterns_matches_pack;
+          Alcotest.test_case "stale bits cleared" `Quick
+            test_load_patterns_clears_stale_bits;
+          Alcotest.test_case "matches sim3 on definite" `Quick
+            test_run_flat_matches_sim3_definite;
+          Alcotest.test_case "bad ranges rejected" `Quick
+            test_load_patterns_rejects_bad_ranges;
         ] );
       ( "sim3",
         [

@@ -57,7 +57,126 @@ let test_gate_controlling () =
 let test_gate_arity_violations () =
   Alcotest.check_raises "not with 2 inputs"
     (Invalid_argument "Gate.eval: NOT cannot take 2 inputs") (fun () ->
-      ignore (Gate.eval Gate.Not [| true; false |]))
+      ignore (Gate.eval_checked Gate.Not [| true; false |]));
+  Alcotest.check_raises "word not with 2 inputs"
+    (Invalid_argument "Gate.eval: NOT cannot take 2 inputs") (fun () ->
+      ignore (Gate.eval_word_checked Gate.Not [| 0L; 1L |]))
+
+let test_gate_opcodes () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Gate.to_string kind ^ " opcode roundtrip")
+        true
+        (Gate.kind_of_opcode (Gate.opcode kind) = kind);
+      Alcotest.(check bool)
+        (Gate.to_string kind ^ " op_inverts")
+        (Gate.inversion kind)
+        (Gate.op_inverts (Gate.opcode kind)))
+    (Gate.Input :: Gate.all_logic);
+  Alcotest.check_raises "bad opcode" (Invalid_argument "Gate.kind_of_opcode")
+    (fun () -> ignore (Gate.kind_of_opcode 99))
+
+(* --- Kernel lowering -------------------------------------------------------- *)
+
+let check_kernel_structure c =
+  let k = Kernel.of_circuit c in
+  let n = Circuit.node_count c in
+  Alcotest.(check int) "node count" n k.Kernel.n;
+  Alcotest.(check int) "fanin_off length" (n + 1) (Array.length k.Kernel.fanin_off);
+  Alcotest.(check int) "fanout_off length" (n + 1)
+    (Array.length k.Kernel.fanout_off);
+  Alcotest.(check int) "fanin_off start" 0 k.Kernel.fanin_off.(0);
+  Alcotest.(check int) "fanin total" (Array.length k.Kernel.fanin)
+    k.Kernel.fanin_off.(n);
+  Array.iter
+    (fun (nd : Circuit.node) ->
+      let i = nd.id in
+      (* CSR slice i reproduces the node's fanin in pin order *)
+      let lo = k.Kernel.fanin_off.(i) and hi = k.Kernel.fanin_off.(i + 1) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "fanin of node %d" i)
+        nd.fanin
+        (Array.sub k.Kernel.fanin lo (hi - lo));
+      let flo = k.Kernel.fanout_off.(i) and fhi = k.Kernel.fanout_off.(i + 1) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "fanout of node %d" i)
+        c.Circuit.fanouts.(i)
+        (Array.sub k.Kernel.fanout flo (fhi - flo));
+      Alcotest.(check int)
+        (Printf.sprintf "opcode of node %d" i)
+        (Gate.opcode nd.kind) k.Kernel.opcode.(i);
+      Alcotest.(check int)
+        (Printf.sprintf "level of node %d" i)
+        c.Circuit.levels.(i) k.Kernel.level.(i))
+    c.Circuit.nodes;
+  (* gate_order: every non-input exactly once, fanins before readers *)
+  Alcotest.(check int) "gate_order size"
+    (n - Circuit.input_count c)
+    (Array.length k.Kernel.gate_order);
+  let seen = Array.make n false in
+  Array.iter (fun i -> seen.(i) <- true) k.Kernel.inputs;
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "not an input / not repeated" false seen.(i);
+      Array.iter
+        (fun src -> Alcotest.(check bool) "fanin already evaluated" true seen.(src))
+        c.Circuit.nodes.(i).Circuit.fanin;
+      seen.(i) <- true)
+    k.Kernel.gate_order;
+  (* level histogram CSR covers every node *)
+  Alcotest.(check int) "n_levels" (Circuit.depth c + 1) k.Kernel.n_levels;
+  Alcotest.(check int) "level_off total" n k.Kernel.level_off.(k.Kernel.n_levels);
+  let hist = Array.make k.Kernel.n_levels 0 in
+  Array.iter (fun l -> hist.(l) <- hist.(l) + 1) k.Kernel.level;
+  for l = 0 to k.Kernel.n_levels - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "level %d population" l)
+      hist.(l)
+      (k.Kernel.level_off.(l + 1) - k.Kernel.level_off.(l))
+  done
+
+let test_kernel_structure () =
+  List.iter
+    (fun (_, make) -> check_kernel_structure (make ()))
+    Benchmarks.all
+
+let test_kernel_rejects_malformed_arity () =
+  (* of_circuit re-validates arity so the unchecked eval paths stay safe
+     even if a Circuit.t was forged around Builder.finalize. *)
+  let c = Benchmarks.c17 () in
+  let k = Kernel.of_circuit c in
+  Alcotest.(check bool) "c17 lowers" true (k.Kernel.n = Circuit.node_count c);
+  Alcotest.check_raises "eval_node on a PI"
+    (Invalid_argument "Kernel.eval_node: node has no fanin") (fun () ->
+      Kernel.eval_node k (Kernel.create_words k) c.Circuit.inputs.(0));
+  Alcotest.check_raises "eval_node out of range"
+    (Invalid_argument "Kernel.eval_node: id out of range") (fun () ->
+      Kernel.eval_node k (Kernel.create_words k) k.Kernel.n);
+  Alcotest.check_raises "short buffer"
+    (Invalid_argument "Kernel.run_into: values buffer shorter than node count")
+    (fun () -> Kernel.run_into k (Kernel.alloc 1))
+
+let test_kernel_eval_node_matches_gate () =
+  let c = Benchmarks.c432s () in
+  let k = Kernel.of_circuit c in
+  let buf = Kernel.create_words k in
+  let rng = Dl_util.Rng.create 31 in
+  for i = 0 to k.Kernel.n - 1 do
+    Bigarray.Array1.set buf i (Dl_util.Rng.word rng)
+  done;
+  Array.iter
+    (fun id ->
+      let nd = c.Circuit.nodes.(id) in
+      let expect =
+        Gate.eval_word nd.kind
+          (Array.map (fun src -> Bigarray.Array1.get buf src) nd.fanin)
+      in
+      Kernel.eval_node k buf id;
+      if Bigarray.Array1.get buf id <> expect then
+        Alcotest.failf "node %d (%s): kernel eval differs from Gate.eval_word" id
+          (Gate.to_string nd.kind))
+    k.Kernel.gate_order
 
 (* --- Circuit -------------------------------------------------------------- *)
 
@@ -363,6 +482,15 @@ let () =
           Alcotest.test_case "of_string" `Quick test_gate_of_string;
           Alcotest.test_case "controlling values" `Quick test_gate_controlling;
           Alcotest.test_case "arity violations" `Quick test_gate_arity_violations;
+          Alcotest.test_case "opcodes" `Quick test_gate_opcodes;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "lowered structure" `Quick test_kernel_structure;
+          Alcotest.test_case "bounds and validation" `Quick
+            test_kernel_rejects_malformed_arity;
+          Alcotest.test_case "eval_node = Gate.eval_word" `Quick
+            test_kernel_eval_node_matches_gate;
         ] );
       ( "circuit",
         [
