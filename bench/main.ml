@@ -8,11 +8,12 @@
      dune exec bench/main.exe -- fig4 fig5  # selected sections
 
    Sections: fig1 fig2 fig3 fig4 fig5 fig6 examples ablation delay
-   quality resistive stability sweep clustered lot par kernel micro
+   quality resistive stability sweep clustered lot par kernel store micro
 
    The [kernel] section additionally writes BENCH_fault_sim.json
    (machine-readable old-vs-new throughput gate) to the working directory
-   or to $BENCH_FAULT_SIM_JSON. *)
+   or to $BENCH_FAULT_SIM_JSON; [store] likewise writes BENCH_store.json
+   (cold-vs-warm artifact-cache gate) or $BENCH_STORE_JSON. *)
 
 open Dl_core
 module Coverage = Dl_fault.Coverage
@@ -692,6 +693,87 @@ let kernel_bench () =
     "gate: identity asserted against the reference engine; steady-state\n\
      allocation ~0 words per gate evaluation."
 
+(* ------------------------------------------------------------ store bench *)
+
+(* Cold-vs-warm gate for the artifact store: the same c432s pipeline twice
+   through one fresh cache must (a) produce a bit-identical summary and
+   fit, (b) hit every stage on the second run, and (c) be meaningfully
+   faster warm.  Writes the machine-readable BENCH_store.json (or
+   $BENCH_STORE_JSON) so the caching win is tracked run over run. *)
+let store_bench () =
+  section_banner "Store" "artifact cache cold vs warm (c432s pipeline)";
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlproj_store_bench_%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists cache_dir then rm_rf cache_dir;
+  let run () =
+    let c = Dl_netlist.Benchmarks.c432s () in
+    let t0 = Unix.gettimeofday () in
+    let e =
+      Experiment.run
+        (Experiment.config ~seed:7 ~max_random_vectors:256 ~cache_dir c)
+    in
+    (e, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "[cold run...]\n%!";
+  let cold, cold_s = run () in
+  Printf.printf "[warm run...]\n%!";
+  let warm, warm_s = run () in
+  let total = List.length warm.Experiment.stage_reports in
+  let hits =
+    List.length
+      (List.filter
+         (fun (r : Dl_store.Stage.report) -> r.outcome = Dl_store.Stage.Hit)
+         warm.Experiment.stage_reports)
+  in
+  let hit_rate = float_of_int hits /. float_of_int total in
+  let speedup = cold_s /. warm_s in
+  Printf.printf "cold %.3f s, warm %.3f s — %.0fx, warm hits %d/%d\n" cold_s
+    warm_s speedup hits total;
+  Format.printf "%a@." Dl_store.Stage.pp_reports warm.Experiment.stage_reports;
+  let identical =
+    cold.Experiment.summary = warm.Experiment.summary
+    && cold.Experiment.fit = warm.Experiment.fit
+  in
+  rm_rf cache_dir;
+  let json_path =
+    match Sys.getenv_opt "BENCH_STORE_JSON" with
+    | Some p -> p
+    | None -> "BENCH_store.json"
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"section\": \"store\", \"cold_s\": %.3f, \"warm_s\": %.3f, \
+     \"warm_speedup\": %.2f, \"hit_rate\": %.3f}\n"
+    cold_s warm_s speedup hit_rate;
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  let failed = ref false in
+  if not identical then begin
+    Printf.eprintf "FAIL: warm summary/fit differ from cold\n";
+    failed := true
+  end;
+  if hit_rate < 1.0 then begin
+    Printf.eprintf "FAIL: warm run hit only %d of %d stages\n" hits total;
+    failed := true
+  end;
+  if speedup < 3.0 then begin
+    Printf.eprintf "FAIL: warm speedup %.2fx < 3x\n" speedup;
+    failed := true
+  end;
+  if !failed then exit 1;
+  print_endline
+    "gate: warm run bit-identical to cold and served entirely from cache."
+
 (* ---------------------------------------------------------- micro-benches *)
 
 let micro () =
@@ -813,6 +895,7 @@ let sections =
     ("lot", lot);
     ("par", par);
     ("kernel", kernel_bench);
+    ("store", store_bench);
     ("micro", micro);
   ]
 

@@ -6,12 +6,20 @@
      extract    synthesize layout + inductive fault analysis
      project    closed-form DL projections from (Y, T, R, θmax)
      pipeline   the full paper experiment on a benchmark
+     cache      artifact-store maintenance (stats, verify, gc)
      bench-io   read/write ISCAS-85 .bench files
 *)
 
 open Cmdliner
 module Circuit = Dl_netlist.Circuit
 module Table = Dl_util.Table
+
+let version = "1.1.0"
+
+let die fmt = Printf.ksprintf (fun s ->
+    Printf.eprintf "dlproj: error: %s\n" s;
+    exit 1)
+    fmt
 
 let load_circuit spec =
   match Dl_netlist.Benchmarks.by_name spec with
@@ -21,12 +29,20 @@ let load_circuit spec =
         if Filename.check_suffix spec ".v" then Dl_netlist.Verilog.parse_file spec
         else Dl_netlist.Bench_format.parse_file spec
       end
-      else begin
-        Printf.eprintf
-          "error: %S is neither a built-in benchmark (%s) nor a netlist file\n" spec
-          (String.concat ", " (List.map fst Dl_netlist.Benchmarks.all));
-        exit 1
-      end
+      else
+        die "%S is neither a built-in benchmark nor a netlist file; built-ins:\n%s"
+          spec
+          (String.concat "\n"
+             (List.map (fun (name, _) -> "  " ^ name) Dl_netlist.Benchmarks.all))
+
+(* An output path must be diagnosable before the (possibly expensive) run
+   that produces it, not as a backtrace from open_out afterwards. *)
+let check_writable_parent = function
+  | None -> ()
+  | Some path ->
+      let dir = Filename.dirname path in
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        die "cannot write %s: directory %s does not exist" path dir
 
 let circuit_arg =
   let doc =
@@ -75,7 +91,7 @@ let info_cmd =
     Printf.printf "random-pattern-resistant stem faults (COP p < 0.5%%): %d\n"
       (List.length resistant)
   in
-  Cmd.v (Cmd.info "info" ~doc:"Circuit statistics and testability profile.")
+  Cmd.v (Cmd.info "info" ~version ~doc:"Circuit statistics and testability profile.")
     Term.(const run $ circuit_arg)
 
 (* ------------------------------------------------------------------ atpg *)
@@ -99,7 +115,7 @@ let atpg_cmd =
     Arg.(value & opt int 4096 & info [ "max-random" ] ~docv:"N"
            ~doc:"Random-phase vector budget.")
   in
-  Cmd.v (Cmd.info "atpg" ~doc:"Generate a stuck-at test set (random + PODEM).")
+  Cmd.v (Cmd.info "atpg" ~version ~doc:"Generate a stuck-at test set (random + PODEM).")
     Term.(const run $ circuit_arg $ seed_arg $ max_random)
 
 (* --------------------------------------------------------------- extract *)
@@ -121,7 +137,7 @@ let extract_cmd =
     Arg.(value & flag & info [ "histogram" ] ~doc:"Print the fault-weight histogram.")
   in
   Cmd.v
-    (Cmd.info "extract"
+    (Cmd.info "extract" ~version
        ~doc:"Synthesize a standard-cell layout and run inductive fault analysis.")
     Term.(const run $ circuit_arg $ histogram)
 
@@ -175,19 +191,25 @@ let project_cmd =
     Arg.(value & opt (some float) None & info [ "target-ppm" ] ~docv:"PPM"
            ~doc:"Also solve for the coverage that reaches this DL target.")
   in
-  Cmd.v (Cmd.info "project" ~doc:"Closed-form defect-level projections (eq. 11).")
+  Cmd.v (Cmd.info "project" ~version ~doc:"Closed-form defect-level projections (eq. 11).")
     Term.(const run $ yield_arg $ coverage_arg $ r_arg $ theta_arg $ target_arg)
 
 (* -------------------------------------------------------------- pipeline *)
 
 let pipeline_cmd =
-  let run spec seed jobs max_random target_yield points no_collapse report =
+  let run spec seed jobs max_random target_yield points no_collapse report cache =
     let c = load_circuit spec in
+    check_writable_parent report;
     let cfg =
       Dl_core.Experiment.config ~seed ~max_random_vectors:max_random ~target_yield
-        ~domains:(resolve_jobs jobs) ~collapse_faults:(not no_collapse) c
+        ~domains:(resolve_jobs jobs) ~collapse_faults:(not no_collapse)
+        ?cache_dir:cache c
     in
     let e = Dl_core.Experiment.run cfg in
+    if cache <> None then begin
+      print_endline "stage graph (artifact cache):";
+      Format.printf "%a@." Dl_store.Stage.pp_reports e.stage_reports
+    end;
     Format.printf "%a@.@." Dl_core.Experiment.pp_summary e;
     let ks = Dl_core.Experiment.sample_ks e ~points in
     let t = Table.create
@@ -201,7 +223,7 @@ let pipeline_cmd =
             Table.fmt_ppm (Dl_core.Experiment.defect_level_at e k) ])
       (Dl_core.Experiment.coverage_rows e ~ks);
     Table.print t;
-    let fit = Dl_core.Experiment.fit_params e () in
+    let fit = e.fit in
     Printf.printf "\nfitted eq. 11: R = %.2f, θmax = %.3f (rmse %.4f, %s)\n"
       fit.params.r fit.params.theta_max fit.rmse
       (Dl_core.Projection.rmse_unit fit.rmse_scale);
@@ -233,12 +255,79 @@ let pipeline_cmd =
                  counts individually) instead of one representative per \
                  equivalence class.")
   in
+  let cache =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Persist per-stage artifacts in a content-addressed store \
+                 under $(docv) and reuse any whose inputs and config are \
+                 unchanged (a warm re-run recomputes nothing; a yield change \
+                 recomputes only the projection stage).")
+  in
   Cmd.v
-    (Cmd.info "pipeline"
+    (Cmd.info "pipeline" ~version
        ~doc:"Full experiment: layout, IFA, ATPG, gate+switch fault simulation, \
              DL projection and (R, θmax) fit.")
     Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ max_random $ target_yield
-          $ points $ no_collapse $ report)
+          $ points $ no_collapse $ report $ cache)
+
+(* ----------------------------------------------------------------- cache *)
+
+let cache_cmd =
+  let run action dir max_bytes =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      die "no artifact store at %s" dir;
+    let store = Dl_store.Store.open_ dir in
+    match action with
+    | `Stats ->
+        let s = Dl_store.Store.stats store in
+        Printf.printf "%s: %d objects, %d bytes\n" dir s.objects s.total_bytes;
+        List.iter
+          (fun (kind, count, bytes) ->
+            Printf.printf "  %-12s %5d  %10d bytes\n" kind count bytes)
+          s.by_kind
+    | `Verify ->
+        let r = Dl_store.Store.verify store in
+        Printf.printf "checked %d artifacts\n" r.checked;
+        if r.corrupt = [] then print_endline "all checksums OK"
+        else begin
+          List.iter
+            (fun (key, reason) -> Printf.printf "  corrupt %s: %s\n" key reason)
+            r.corrupt;
+          exit 1
+        end
+    | `Gc ->
+        let r =
+          Dl_store.Store.gc ?max_bytes
+            ~current:Dl_store.Artifact.current_versions store
+        in
+        Printf.printf
+          "kept %d; removed %d corrupt, %d stale-format, %d evicted \
+           (%d bytes freed)\n"
+          r.kept r.removed_corrupt r.removed_stale r.removed_evicted
+          r.removed_bytes
+  in
+  let action =
+    let action_conv =
+      Arg.enum [ ("stats", `Stats); ("verify", `Verify); ("gc", `Gc) ]
+    in
+    Arg.(value & pos 0 action_conv `Stats & info [] ~docv:"ACTION"
+           ~doc:"$(b,stats) (per-kind object counts and sizes), $(b,verify) \
+                 (full checksum pass; nonzero exit on corruption) or $(b,gc) \
+                 (drop corrupt and stale-format artifacts, optionally cap \
+                 total size).")
+  in
+  let dir =
+    Arg.(value & opt string Dl_store.Store.default_dir
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Artifact store root.")
+  in
+  let max_bytes =
+    Arg.(value & opt (some int) None & info [ "max-bytes" ] ~docv:"N"
+           ~doc:"With $(b,gc): evict oldest artifacts until the store is at \
+                 most $(docv) bytes.")
+  in
+  Cmd.v
+    (Cmd.info "cache" ~version
+       ~doc:"Artifact-store maintenance (stats, verify, gc).")
+    Term.(const run $ action $ dir $ max_bytes)
 
 (* ------------------------------------------------------------ transition *)
 
@@ -254,7 +343,7 @@ let transition_cmd =
       r.untestable r.aborted
   in
   Cmd.v
-    (Cmd.info "transition"
+    (Cmd.info "transition" ~version
        ~doc:"Two-pattern (transition/delay fault) test generation.")
     Term.(const run $ circuit_arg $ seed_arg)
 
@@ -278,7 +367,7 @@ let compact_cmd =
            ~doc:"Random vectors to generate before compacting.")
   in
   Cmd.v
-    (Cmd.info "compact" ~doc:"Static test compaction by re-ordered fault simulation.")
+    (Cmd.info "compact" ~version ~doc:"Static test compaction by re-ordered fault simulation.")
     Term.(const run $ circuit_arg $ seed_arg $ count)
 
 (* -------------------------------------------------------------- bench-io *)
@@ -304,7 +393,7 @@ let bench_io_cmd =
                  anything else ISCAS-85 .bench).")
   in
   Cmd.v
-    (Cmd.info "bench-io"
+    (Cmd.info "bench-io" ~version
        ~doc:"Convert circuits between ISCAS-85 .bench and structural Verilog.")
     Term.(const run $ circuit_arg $ out)
 
@@ -326,13 +415,23 @@ let svg_cmd =
     Arg.(value & opt float 2.0 & info [ "scale" ] ~docv:"PX"
            ~doc:"Pixels per lambda.")
   in
-  Cmd.v (Cmd.info "svg" ~doc:"Render the synthesized layout to SVG.")
+  Cmd.v (Cmd.info "svg" ~version ~doc:"Render the synthesized layout to SVG.")
     Term.(const run $ circuit_arg $ out $ scale)
 
 let () =
   let doc = "defect-level projection from layout-extracted realistic faults" in
-  let main = Cmd.group (Cmd.info "dlproj" ~version:"1.0.0" ~doc)
-      [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd;
+  let main = Cmd.group (Cmd.info "dlproj" ~version ~doc)
+      [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd; cache_cmd;
         transition_cmd; compact_cmd; bench_io_cmd; svg_cmd ]
   in
-  exit (Cmd.eval main)
+  (* Operational failures (missing files, malformed netlists, bad paths)
+     get a one-line diagnostic and exit 1 instead of a backtrace. *)
+  try exit (Cmd.eval ~catch:false main) with
+  | Sys_error msg -> die "%s" msg
+  | Circuit.Malformed msg -> die "%s" msg
+  | Dl_netlist.Bench_format.Parse_error { line; message } ->
+      die "parse error at line %d: %s" line message
+  | Dl_netlist.Verilog.Parse_error { line; message } ->
+      die "parse error at line %d: %s" line message
+  | Failure msg -> die "%s" msg
+  | Invalid_argument msg -> die "internal error: %s" msg

@@ -3,6 +3,8 @@ module Coverage = Dl_fault.Coverage
 module Ifa = Dl_extract.Ifa
 module Realistic = Dl_switch.Realistic
 module Swift = Dl_switch.Swift
+module Stage = Dl_store.Stage
+module Artifact = Dl_store.Artifact
 
 type config = {
   circuit : Circuit.t;
@@ -14,17 +16,18 @@ type config = {
   rows : int option;
   domains : int;
   collapse_faults : bool;
+  cache_dir : string option;
 }
 
 let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
     ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
     ?(domains = Dl_util.Parallel.default_domains ())
-    ?(collapse_faults = true) circuit =
+    ?(collapse_faults = true) ?cache_dir circuit =
   if not (target_yield > 0.0 && target_yield < 1.0) then
     invalid_arg "Experiment.config: target yield must be in (0, 1)";
   if domains < 1 then invalid_arg "Experiment.config: domains must be >= 1";
   { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio;
-    rows; domains; collapse_faults }
+    rows; domains; collapse_faults; cache_dir }
 
 type t = {
   cfg : config;
@@ -41,16 +44,61 @@ type t = {
   gamma_curve : Coverage.t;
   theta_iddq_curve : Coverage.t;
   swift_result : Swift.result;
+  fit : Projection.fit;
+  summary : string;
+  stage_reports : Stage.report list;
 }
 
+let fit_sample_points = 100
+
+(* The stage decomposition of the paper's flow.  Each stage's key digests
+   its input artifact keys, its config fingerprint and its codec version,
+   so a warm run re-executes only stages whose keys changed:
+
+     netlist (content key of the input circuit)
+       -> mapping        (cell decomposition)
+       -> atpg           [seed, max_random_vectors]
+       -> fault-universe [collapse_faults]
+       -> fault-sim      (gate-level PPSFP; domains excluded: results are
+                          bit-identical at any domain count)
+       -> layout-ifa     [defect stats, min_weight_ratio, rows]
+       -> swift          (switch-level realistic simulation)
+       -> projection     [target_yield, fit points] (susceptibility fit +
+                          summary; the only stage a yield change reruns)
+*)
 let run cfg =
+  let store = Option.map Dl_store.Store.open_ cfg.cache_dir in
+  let graph = Stage.create ?store () in
+  let circuit_key = Dl_store.Codec.content_key Artifact.circuit cfg.circuit in
   (* 1. Technology-map the netlist. *)
-  let c = Transform.decompose_for_cells cfg.circuit in
-  (* 2. Test generation: random prefix then deterministic top-up. *)
-  let atpg, all_stuck_faults =
-    Dl_atpg.Atpg.full_flow ~seed:cfg.seed ~max_random:cfg.max_random_vectors c
+  let c, mapping_key =
+    Stage.run graph ~stage:"mapping" ~codec:Artifact.circuit
+      ~inputs:[ circuit_key ]
+      (fun () -> Transform.decompose_for_cells cfg.circuit)
   in
-  let vectors = atpg.vectors in
+  (* 2. Test generation: random prefix then deterministic top-up. *)
+  let atpg_art, atpg_key =
+    Stage.run graph ~stage:"atpg" ~codec:Artifact.atpg
+      ~config:
+        [
+          ("seed", string_of_int cfg.seed);
+          ("max_random_vectors", string_of_int cfg.max_random_vectors);
+        ]
+      ~inputs:[ mapping_key ]
+      (fun () ->
+        let r, _ =
+          Dl_atpg.Atpg.full_flow ~seed:cfg.seed
+            ~max_random:cfg.max_random_vectors c
+        in
+        {
+          Artifact.vectors = r.vectors;
+          stats = r.stats;
+          coverage = r.coverage;
+          untestable_faults = r.untestable_faults;
+          aborted_faults = r.aborted_faults;
+        })
+  in
+  let vectors = atpg_art.Artifact.vectors in
   (* The paper neglects redundant stuck-at faults ("so that T(k) -> 1 when
      k -> infinity"); drop the PODEM-proven-redundant ones from the T
      denominator.  Aborted faults stay: they are potentially testable.
@@ -66,56 +114,126 @@ let run cfg =
      A PODEM-proved-redundant representative proves its whole equivalence
      class redundant, so in uncollapsed mode the untestable filter expands
      each untestable representative to its full class. *)
-  let stuck_faults =
-    if cfg.collapse_faults then
-      Array.of_seq
-        (Seq.filter
-           (fun f ->
-             not
-               (Array.exists
-                  (fun u -> Dl_fault.Stuck_at.equal u f)
-                  atpg.untestable_faults))
-           (Array.to_seq all_stuck_faults))
-    else begin
-      let universe = Dl_fault.Stuck_at.universe c in
-      let classes = Dl_fault.Stuck_at.equivalence_classes c universe in
-      let untestable_members =
-        classes |> Array.to_seq
-        |> Seq.filter (fun cls ->
-               Array.exists
-                 (fun u -> Dl_fault.Stuck_at.equal u cls.(0))
-                 atpg.untestable_faults)
-        |> Seq.concat_map Array.to_seq
-        |> List.of_seq
-      in
-      Array.of_seq
-        (Seq.filter
-           (fun f ->
-             not (List.exists (Dl_fault.Stuck_at.equal f) untestable_members))
-           (Array.to_seq universe))
-    end
+  let stuck_faults, universe_key =
+    Stage.run graph ~stage:"fault-universe" ~codec:Artifact.stuck_faults
+      ~config:[ ("collapse_faults", string_of_bool cfg.collapse_faults) ]
+      ~inputs:[ mapping_key; atpg_key ]
+      (fun () ->
+        let untestable = atpg_art.Artifact.untestable_faults in
+        if cfg.collapse_faults then begin
+          let all_stuck_faults =
+            Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c)
+          in
+          Array.of_seq
+            (Seq.filter
+               (fun f ->
+                 not
+                   (Array.exists
+                      (fun u -> Dl_fault.Stuck_at.equal u f)
+                      untestable))
+               (Array.to_seq all_stuck_faults))
+        end
+        else begin
+          let universe = Dl_fault.Stuck_at.universe c in
+          let classes = Dl_fault.Stuck_at.equivalence_classes c universe in
+          let untestable_members =
+            classes |> Array.to_seq
+            |> Seq.filter (fun cls ->
+                   Array.exists
+                     (fun u -> Dl_fault.Stuck_at.equal u cls.(0))
+                     untestable)
+            |> Seq.concat_map Array.to_seq
+            |> List.of_seq
+          in
+          Array.of_seq
+            (Seq.filter
+               (fun f ->
+                 not
+                   (List.exists (Dl_fault.Stuck_at.equal f) untestable_members))
+               (Array.to_seq universe))
+        end)
   in
   (* 3. Gate-level stuck-at fault simulation over the same sequence
-     (parallel engine; bit-for-bit identical to the serial one). *)
-  let sim =
-    Dl_fault.Fault_sim.run_parallel ~domains:cfg.domains c ~faults:stuck_faults
-      ~vectors
+     (parallel engine; bit-for-bit identical to the serial one, so the
+     domain count is deliberately absent from the stage key). *)
+  let sim_art, faultsim_key =
+    Stage.run graph ~stage:"fault-sim" ~codec:Artifact.detections
+      ~inputs:[ mapping_key; universe_key; atpg_key ]
+      (fun () ->
+        let sim =
+          Dl_fault.Fault_sim.run_parallel ~domains:cfg.domains c
+            ~faults:stuck_faults ~vectors
+        in
+        {
+          Artifact.first_detection = sim.first_detection;
+          vectors_applied = sim.vectors_applied;
+          gate_evaluations = sim.gate_evaluations;
+        })
   in
-  let t_curve = Coverage.make sim.first_detection in
-  (* 4. Layout synthesis and inductive fault analysis. *)
+  let t_curve = Coverage.make sim_art.Artifact.first_detection in
+  (* 4. Layout synthesis and inductive fault analysis.  Mapping and layout
+     are recomputed even on a warm run (they are deterministic, cheap and
+     needed as live data structures); the geometry *scan* — the expensive
+     part — is what the layout-ifa artifact caches. *)
   let mapping = Dl_cell.Mapping.flatten c in
   let layout = Dl_layout.Layout.synthesize ?rows:cfg.rows mapping in
+  let ifa_art, ifa_key =
+    Stage.run graph ~stage:"layout-ifa" ~codec:Artifact.ifa
+      ~config:
+        [
+          ("defect_stats", Artifact.defect_stats_fingerprint cfg.stats);
+          ("min_weight_ratio", Printf.sprintf "%h" cfg.min_weight_ratio);
+          ("rows",
+           match cfg.rows with None -> "auto" | Some r -> string_of_int r);
+        ]
+      ~inputs:[ mapping_key ]
+      (fun () ->
+        let e =
+          Ifa.extract ~stats:cfg.stats ~min_weight_ratio:cfg.min_weight_ratio
+            layout
+        in
+        {
+          Artifact.faults = e.faults;
+          gross_weight = e.gross_weight;
+          summaries = e.summaries;
+        })
+  in
   let extraction =
-    Ifa.extract ~stats:cfg.stats ~min_weight_ratio:cfg.min_weight_ratio layout
+    {
+      Ifa.layout;
+      faults = ifa_art.Artifact.faults;
+      gross_weight = ifa_art.Artifact.gross_weight;
+      summaries = ifa_art.Artifact.summaries;
+    }
   in
   (* 5. Scale the extracted weights so eq. 5 matches the target yield. *)
-  let raw_weights = Array.map (fun (f : Realistic.t) -> f.weight) extraction.faults in
+  let raw_weights =
+    Array.map (fun (f : Realistic.t) -> f.weight) extraction.faults
+  in
   let scaled_weights, scale_factor =
     Weighted.scale_to_yield ~weights:raw_weights ~target_yield:cfg.target_yield
   in
   (* 6. Switch-level realistic fault simulation. *)
-  let network = Dl_switch.Network.build mapping in
-  let swift_result = Swift.run network ~faults:extraction.faults ~vectors in
+  let swift_art, swift_key =
+    Stage.run graph ~stage:"swift" ~codec:Artifact.swift
+      ~inputs:[ mapping_key; ifa_key; atpg_key ]
+      (fun () ->
+        let network = Dl_switch.Network.build mapping in
+        let r = Swift.run network ~faults:extraction.faults ~vectors in
+        {
+          Artifact.detection = r.detection;
+          vectors_applied = r.vectors_applied;
+          region_solves = r.region_solves;
+        })
+  in
+  let swift_result =
+    {
+      Swift.faults = extraction.faults;
+      detection = swift_art.Artifact.detection;
+      vectors_applied = swift_art.Artifact.vectors_applied;
+      region_solves = swift_art.Artifact.region_solves;
+    }
+  in
   let voltage_firsts =
     Array.map (fun (d : Swift.detection) -> d.voltage) swift_result.detection
   in
@@ -133,11 +251,67 @@ let run cfg =
     in
     Coverage.make ~weights:scaled_weights firsts
   in
+  (* 7. Susceptibility fit and summary (the only stage a target-yield or
+     fit-resolution change invalidates). *)
+  let n = Array.length vectors in
+  let summary_art, _projection_key =
+    Stage.run graph ~stage:"projection" ~codec:Artifact.summary
+      ~config:
+        [
+          ("target_yield", Printf.sprintf "%h" cfg.target_yield);
+          ("fit_points", string_of_int fit_sample_points);
+        ]
+      ~inputs:[ universe_key; faultsim_key; ifa_key; swift_key ]
+      (fun () ->
+        let ks = Coverage.log_spaced ~max:n ~points:fit_sample_points in
+        let samples =
+          Array.map
+            (fun k -> (Coverage.at t_curve k, Coverage.at theta_curve k))
+            ks
+        in
+        let fit = Projection.fit_theta samples in
+        let text =
+          Format.asprintf
+            "experiment %s: %d vectors (%d random + %d deterministic), %d \
+             stuck faults (T final %.4f), %d realistic faults (Θ final %.4f, \
+             Γ final %.4f, Θ+IDDQ %.4f), Y scaled by %.3e to %.2f"
+            c.title n atpg_art.Artifact.stats.random_vectors
+            atpg_art.Artifact.stats.deterministic_vectors
+            (Array.length stuck_faults)
+            (Coverage.at t_curve n)
+            (Array.length extraction.faults)
+            (Coverage.at theta_curve n)
+            (Coverage.at gamma_curve n)
+            (Coverage.at theta_iddq_curve n)
+            scale_factor cfg.target_yield
+        in
+        {
+          Artifact.text;
+          fit_r = fit.params.r;
+          fit_theta_max = fit.params.theta_max;
+          fit_rmse = fit.rmse;
+          fit_rmse_log10 = (fit.rmse_scale = Projection.Log10);
+          scale_factor;
+        })
+  in
+  let fit =
+    {
+      Projection.params =
+        {
+          Projection.r = summary_art.Artifact.fit_r;
+          theta_max = summary_art.Artifact.fit_theta_max;
+        };
+      rmse = summary_art.Artifact.fit_rmse;
+      rmse_scale =
+        (if summary_art.Artifact.fit_rmse_log10 then Projection.Log10
+         else Projection.Linear);
+    }
+  in
   {
     cfg;
     mapped_circuit = c;
     vectors;
-    atpg_stats = atpg.stats;
+    atpg_stats = atpg_art.Artifact.stats;
     stuck_faults;
     extraction;
     scale_factor;
@@ -148,6 +322,9 @@ let run cfg =
     gamma_curve;
     theta_iddq_curve;
     swift_result;
+    fit;
+    summary = summary_art.Artifact.text;
+    stage_reports = Stage.reports graph;
   }
 
 let defect_level_at t k =
@@ -171,25 +348,11 @@ let dl_vs_t_points t ~ks =
 let dl_vs_gamma_points t ~ks =
   Array.map (fun k -> (Coverage.at t.gamma_curve k, defect_level_at t k)) ks
 
-let fit_params t ?(points = 100) () =
+let fit_params t ?(points = fit_sample_points) () =
   let ks = sample_ks t ~points in
   let samples =
     Array.map (fun k -> (Coverage.at t.t_curve k, Coverage.at t.theta_curve k)) ks
   in
   Projection.fit_theta samples
 
-let pp_summary ppf t =
-  let n = Array.length t.vectors in
-  Format.fprintf ppf
-    "experiment %s: %d vectors (%d random + %d deterministic), %d stuck faults \
-     (T final %.4f), %d realistic faults (Θ final %.4f, Γ final %.4f, Θ+IDDQ \
-     %.4f), Y scaled by %.3e to %.2f"
-    t.mapped_circuit.title n t.atpg_stats.random_vectors
-    t.atpg_stats.deterministic_vectors
-    (Array.length t.stuck_faults)
-    (Coverage.at t.t_curve n)
-    (Array.length t.extraction.faults)
-    (Coverage.at t.theta_curve n)
-    (Coverage.at t.gamma_curve n)
-    (Coverage.at t.theta_iddq_curve n)
-    t.scale_factor t.yield
+let pp_summary ppf t = Format.pp_print_string ppf t.summary

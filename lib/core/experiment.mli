@@ -4,7 +4,15 @@
     [T(k)] and switch-level realistic fault simulation [Θ(k), Γ(k)] over
     the same vector sequence → defect-level projection and model fitting.
 
-    One [run] produces everything Figs. 3-6 plot. *)
+    One [run] produces everything Figs. 3-6 plot.
+
+    [run] executes as an incremental stage graph ({!Dl_store.Stage}):
+    mapping → atpg → fault-universe → fault-sim → layout-ifa → swift →
+    projection.  With [cache_dir] set, every stage artifact is persisted
+    content-addressed ({!Dl_store.Store}) and a re-run recomputes only the
+    stages whose inputs or config actually changed — re-projecting at a
+    different yield or sampling resolution reuses every simulation
+    artifact. *)
 
 open Dl_netlist
 
@@ -13,7 +21,8 @@ type config = {
   seed : int;
   max_random_vectors : int;
   target_yield : float;
-      (** The extracted yield is rescaled to this value (paper: 0.75). *)
+      (** The extracted yield is rescaled to this value (paper: 0.75).
+          Affects only the projection stage key — never a simulation. *)
   stats : Dl_extract.Defect_stats.t;
   min_weight_ratio : float;
       (** Realistic-fault pruning threshold (see {!Dl_extract.Ifa.extract}). *)
@@ -21,7 +30,7 @@ type config = {
   domains : int;
       (** Domain count for the gate-level fault simulation
           ({!Dl_fault.Fault_sim.run_parallel}); results are independent of
-          this value. *)
+          this value, so it is excluded from every stage key. *)
   collapse_faults : bool;
       (** [true] (default): simulate the equivalence-collapsed stuck-at
           universe — one representative per class, every class weighing
@@ -32,14 +41,18 @@ type config = {
           The two coverage definitions agree in the limit (both reach 1 on
           a complete test set once redundant faults are excluded) but
           differ at intermediate [k]. *)
+  cache_dir : string option;
+      (** Root of the content-addressed artifact store; [None] (default)
+          disables persistence (stages still execute and report keys). *)
 }
 
 val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
   ?stats:Dl_extract.Defect_stats.t -> ?min_weight_ratio:float ->
-  ?rows:int -> ?domains:int -> ?collapse_faults:bool -> Circuit.t -> config
+  ?rows:int -> ?domains:int -> ?collapse_faults:bool -> ?cache_dir:string ->
+  Circuit.t -> config
 (** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
     pruning, [Domain.recommended_domain_count ()] domains, collapsed fault
-    universe. *)
+    universe, no cache. *)
 
 type t = {
   cfg : config;
@@ -60,6 +73,12 @@ type t = {
   theta_iddq_curve : Dl_fault.Coverage.t;
       (** Θ(k) when IDDQ accompanies every vector. *)
   swift_result : Dl_switch.Swift.result;
+  fit : Projection.fit;
+      (** The eq. 9 fit over {!fit_params}'s default sampling (cached with
+          the projection stage). *)
+  summary : string;            (** What {!pp_summary} prints. *)
+  stage_reports : Dl_store.Stage.report list;
+      (** Per-stage key / hit-miss / timing of this run, execution order. *)
 }
 
 val run : config -> t
@@ -79,7 +98,8 @@ val dl_vs_gamma_points : t -> ks:int array -> (float * float) array
 
 val fit_params : t -> ?points:int -> unit -> Projection.fit
 (** Fit [(R, θmax)] on the [(T(k), Θ(k))] relation (eq. 9) over log-spaced
-    sample counts (default 100). *)
+    sample counts (default 100).  At the default resolution this equals
+    [t.fit]. *)
 
 val sample_ks : t -> points:int -> int array
 (** Log-spaced vector counts covering the applied sequence. *)

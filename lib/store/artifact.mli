@@ -1,0 +1,84 @@
+(** Typed binary codecs for every pipeline artifact the stage graph
+    caches: circuits, pattern sets, stuck-at universes, per-fault
+    detection results, IFA extraction output and experiment summaries.
+
+    All codecs are exact round-trips: floats are stored bit-for-bit and
+    circuits are rebuilt through {!Dl_netlist.Circuit.Builder} in original
+    node-id order, so the decoded circuit is structurally equal to the
+    encoded one (same ids, levels and topological order — the derived
+    fields are deterministic functions of the declarations). *)
+
+open Dl_netlist
+
+val circuit : Circuit.t Codec.t
+
+val patterns : bool array array Codec.t
+(** Test-vector sequences, bit-packed 8 vectors' bits per byte. *)
+
+val stuck_faults : Dl_fault.Stuck_at.t array Codec.t
+
+(** ATPG stage output: the ordered vector sequence plus the flow
+    statistics and the redundancy verdicts downstream stages filter on. *)
+type atpg = {
+  vectors : bool array array;
+  stats : Dl_atpg.Atpg.stats;
+  coverage : float;
+  untestable_faults : Dl_fault.Stuck_at.t array;
+  aborted_faults : Dl_fault.Stuck_at.t array;
+}
+
+val atpg : atpg Codec.t
+
+(** Gate-level fault-simulation output, minus the fault list (which is the
+    separately-cached universe artifact the detections are parallel to). *)
+type detections = {
+  first_detection : int option array;
+  vectors_applied : int;
+  gate_evaluations : int;
+}
+
+val detections : detections Codec.t
+
+(** IFA extraction output minus the layout geometry: the weighted
+    realistic fault list and the per-class accounting.  The layout itself
+    is re-synthesized deterministically from the mapped circuit on a warm
+    run (cheap), so it is not persisted. *)
+type ifa = {
+  faults : Dl_switch.Realistic.t array;
+  gross_weight : float;
+  summaries : Dl_extract.Ifa.class_summary list;
+}
+
+val ifa : ifa Codec.t
+
+(** Switch-level (swift) simulation output, parallel to the IFA fault
+    list. *)
+type swift = {
+  detection : Dl_switch.Swift.detection array;
+  vectors_applied : int;
+  region_solves : int;
+}
+
+val swift : swift Codec.t
+
+(** Experiment summary: the rendered one-paragraph summary plus the
+    fitted eq. 9 parameters and the yield-scaling factor. *)
+type summary = {
+  text : string;
+  fit_r : float;
+  fit_theta_max : float;
+  fit_rmse : float;
+  fit_rmse_log10 : bool;  (** [true]: rmse in log10 units (see
+                              {!Dl_core.Projection.rmse_scale}). *)
+  scale_factor : float;
+}
+
+val summary : summary Codec.t
+
+val current_versions : (string * int) list
+(** [(kind, version)] for every codec above — what {!Store.gc} uses to
+    drop artifacts whose format byte is stale. *)
+
+val defect_stats_fingerprint : Dl_extract.Defect_stats.t -> string
+(** Canonical digest of the non-zero defect classes (name, density, x0):
+    the config fingerprint of the layout-IFA stage. *)

@@ -1,0 +1,117 @@
+module Binary = Dl_util.Binary
+
+type 'a t = {
+  kind : string;
+  version : int;
+  encode : Buffer.t -> 'a -> unit;
+  decode : Binary.cursor -> 'a;
+}
+
+type error =
+  | Bad_magic
+  | Kind_mismatch of { expected : string; found : string }
+  | Stale_version of { expected : int; found : int }
+  | Checksum_mismatch
+  | Malformed of string
+
+let error_to_string = function
+  | Bad_magic -> "bad magic (not a dlproj artifact)"
+  | Kind_mismatch { expected; found } ->
+      Printf.sprintf "artifact kind %S where %S was expected" found expected
+  | Stale_version { expected; found } ->
+      Printf.sprintf "stale format version %d (current %d)" found expected
+  | Checksum_mismatch -> "checksum mismatch (corrupt artifact)"
+  | Malformed reason -> Printf.sprintf "malformed payload: %s" reason
+
+let magic = "DLA1"
+
+let to_bytes codec value =
+  let payload = Buffer.create 1024 in
+  codec.encode payload value;
+  let buf = Buffer.create (Buffer.length payload + 32) in
+  Buffer.add_string buf magic;
+  Binary.write_string buf codec.kind;
+  Binary.write_byte buf codec.version;
+  Binary.write_varint buf (Buffer.length payload);
+  Buffer.add_buffer buf payload;
+  let body = Buffer.to_bytes buf in
+  let crc = Binary.crc32 body ~pos:0 ~len:(Bytes.length body) in
+  let out = Bytes.create (Bytes.length body + 4) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  for i = 0 to 3 do
+    Bytes.set out
+      (Bytes.length body + i)
+      (Char.chr
+         (Int32.to_int (Int32.logand (Int32.shift_right_logical crc (8 * i)) 0xFFl)))
+  done;
+  out
+
+let read_trailer data =
+  let n = Bytes.length data in
+  let crc = ref 0l in
+  for i = 3 downto 0 do
+    crc :=
+      Int32.logor (Int32.shift_left !crc 8)
+        (Int32.of_int (Char.code (Bytes.get data (n - 4 + i))))
+  done;
+  !crc
+
+(* Shared envelope walk: checks magic (and optionally the CRC), then
+   returns a cursor positioned at the kind field. *)
+let open_envelope ~check_crc data =
+  let n = Bytes.length data in
+  if n < String.length magic + 4 then Error Bad_magic
+  else if Bytes.sub_string data 0 (String.length magic) <> magic then
+    Error Bad_magic
+  else if
+    check_crc
+    && read_trailer data <> Binary.crc32 data ~pos:0 ~len:(n - 4)
+  then Error Checksum_mismatch
+  else begin
+    let cur = Binary.cursor data in
+    cur.pos <- String.length magic;
+    Ok cur
+  end
+
+let header cur =
+  let kind = Binary.read_string cur in
+  let version = Binary.read_byte cur in
+  (kind, version)
+
+let inspect ?(check_crc = true) data =
+  match open_envelope ~check_crc data with
+  | Error _ as e -> e
+  | Ok cur -> ( try Ok (header cur) with Binary.Corrupt m -> Error (Malformed m))
+
+let of_bytes codec data =
+  match open_envelope ~check_crc:true data with
+  | Error _ as e -> e
+  | Ok cur -> (
+      try
+        let kind, version = header cur in
+        if kind <> codec.kind then
+          Error (Kind_mismatch { expected = codec.kind; found = kind })
+        else if version <> codec.version then
+          Error (Stale_version { expected = codec.version; found = version })
+        else begin
+          let len = Binary.read_varint cur in
+          if len <> Binary.remaining cur - 4 then
+            Error (Malformed "payload length does not match frame")
+          else
+            let value = codec.decode cur in
+            if Binary.remaining cur <> 4 then
+              Error (Malformed "payload decoder left trailing bytes")
+            else Ok value
+        end
+      with
+      | Binary.Corrupt m -> Error (Malformed m)
+      | Invalid_argument m -> Error (Malformed m)
+      | Failure m -> Error (Malformed m)
+      | Not_found -> Error (Malformed "unresolved reference in payload"))
+
+let content_key codec value =
+  let payload = Buffer.create 1024 in
+  codec.encode payload value;
+  Digest.to_hex (Digest.string (Buffer.contents payload))
+
+let key_of_string s = Digest.to_hex (Digest.string s)

@@ -1,0 +1,51 @@
+(** Versioned, checksummed artifact envelopes.
+
+    Every artifact stored by {!Store} is framed as
+
+    {v magic "DLA1" | kind (varint-framed string) | version (1 byte)
+       | payload (varint length + bytes) | CRC-32 trailer (4 bytes, LE) v}
+
+    The CRC covers everything before the trailer, so any on-disk
+    corruption — including a truncated write that survived a crash — is
+    detected before the payload decoder runs.  The version byte is
+    per-kind: bumping a codec's [version] makes every artifact written by
+    the previous layout decode to {!Stale_version}, i.e. a cache miss,
+    never a misread. *)
+
+type 'a t = {
+  kind : string;    (** Short artifact-kind tag, e.g. ["circuit"]. *)
+  version : int;    (** Format version, 0..255; bump on layout change. *)
+  encode : Buffer.t -> 'a -> unit;
+  decode : Dl_util.Binary.cursor -> 'a;
+}
+
+type error =
+  | Bad_magic
+  | Kind_mismatch of { expected : string; found : string }
+  | Stale_version of { expected : int; found : int }
+  | Checksum_mismatch
+  | Malformed of string
+      (** The envelope verified but the payload decoder failed — only
+          possible across an incompatible change that forgot a version
+          bump; surfaced so it is loud in tests. *)
+
+val error_to_string : error -> string
+
+val to_bytes : 'a t -> 'a -> bytes
+
+val of_bytes : 'a t -> bytes -> ('a, error) result
+(** Checks magic, CRC, kind and version — in that order — before running
+    [decode].  Never raises. *)
+
+val inspect : ?check_crc:bool -> bytes -> (string * int, error) result
+(** [(kind, version)] of an envelope without decoding the payload.
+    [check_crc] defaults to [true]; pass [false] for a header-only peek
+    (used by fast {!Store.stats} scans). *)
+
+val content_key : 'a t -> 'a -> string
+(** Content address of a value: hex digest of its encoded payload
+    (independent of the envelope, so it is stable across version bumps of
+    *other* artifact kinds). *)
+
+val key_of_string : string -> string
+(** Hex digest of an arbitrary canonical string (stage-key derivation). *)

@@ -1,0 +1,187 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type cursor = { data : bytes; mutable pos : int }
+
+let cursor data = { data; pos = 0 }
+let remaining c = Bytes.length c.data - c.pos
+let at_end c = remaining c = 0
+
+let need c n =
+  if remaining c < n then
+    corrupt "truncated input: need %d bytes at offset %d of %d" n c.pos
+      (Bytes.length c.data)
+
+(* ------------------------------------------------------------- writing *)
+
+(* The bit pattern of [n] as an unsigned LEB128 — [lsr] makes the loop
+   terminate even when the top (sign) bit is set, which zigzag outputs of
+   large-magnitude negative ints legitimately do. *)
+let write_varint_bits buf n =
+  let rec go n =
+    if n >= 0 && n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Binary.write_varint: negative";
+  write_varint_bits buf n
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag n = (n lsr 1) lxor (- (n land 1))
+
+let write_int buf n = write_varint_bits buf (zigzag n)
+
+let write_byte buf n =
+  if n < 0 || n > 0xff then invalid_arg "Binary.write_byte: out of range";
+  Buffer.add_char buf (Char.chr n)
+
+let write_bool buf b = write_byte buf (if b then 1 else 0)
+
+let write_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let write_option w buf = function
+  | None -> write_byte buf 0
+  | Some x ->
+      write_byte buf 1;
+      w buf x
+
+let write_array w buf a =
+  write_varint buf (Array.length a);
+  Array.iter (fun x -> w buf x) a
+
+let write_list w buf l =
+  write_varint buf (List.length l);
+  List.iter (fun x -> w buf x) l
+
+let write_bools_packed buf a =
+  let n = Array.length a in
+  write_varint buf n;
+  let byte = ref 0 in
+  for i = 0 to n - 1 do
+    if a.(i) then byte := !byte lor (1 lsl (i land 7));
+    if i land 7 = 7 then begin
+      Buffer.add_char buf (Char.chr !byte);
+      byte := 0
+    end
+  done;
+  if n land 7 <> 0 then Buffer.add_char buf (Char.chr !byte)
+
+(* ------------------------------------------------------------- reading *)
+
+let read_byte c =
+  need c 1;
+  let b = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  b
+
+let read_varint c =
+  let rec go shift acc =
+    if shift > Sys.int_size - 1 then corrupt "varint overflow at offset %d" c.pos;
+    let b = read_byte c in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_int c = unzigzag (read_varint c)
+
+let read_bool c =
+  match read_byte c with
+  | 0 -> false
+  | 1 -> true
+  | b -> corrupt "bad bool byte %d at offset %d" b (c.pos - 1)
+
+let read_float c =
+  need c 8;
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits :=
+      Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code (Bytes.get c.data (c.pos + i))))
+  done;
+  c.pos <- c.pos + 8;
+  Int64.float_of_bits !bits
+
+let read_string c =
+  let n = read_varint c in
+  need c n;
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let read_option r c =
+  match read_byte c with
+  | 0 -> None
+  | 1 -> Some (r c)
+  | b -> corrupt "bad option tag %d at offset %d" b (c.pos - 1)
+
+let read_array r c =
+  let n = read_varint c in
+  (* Sanity bound: a well-formed element occupies at least one byte, so a
+     count beyond the remaining bytes is framing corruption, not a huge
+     allocation request. *)
+  if n > remaining c then
+    corrupt "array count %d exceeds remaining %d bytes" n (remaining c);
+  Array.init n (fun _ -> r c)
+
+let read_list r c =
+  let n = read_varint c in
+  if n > remaining c then
+    corrupt "list count %d exceeds remaining %d bytes" n (remaining c);
+  List.init n (fun _ -> r c)
+
+let read_bools_packed c =
+  let n = read_varint c in
+  let bytes_needed = (n + 7) / 8 in
+  need c bytes_needed;
+  let a =
+    Array.init n (fun i ->
+        let b = Char.code (Bytes.get c.data (c.pos + (i lsr 3))) in
+        b land (1 lsl (i land 7)) <> 0)
+  in
+  c.pos <- c.pos + bytes_needed;
+  a
+
+(* ------------------------------------------------------------- crc32 *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0l) data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Binary.crc32: range out of bounds";
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get data i)))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32_string s = crc32 (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

@@ -1,0 +1,574 @@
+(* Artifact store: binary framing, codec envelopes, content-addressed
+   store, incremental stage graph, and the cached experiment pipeline.
+
+   The properties that matter operationally: every codec is an exact
+   round-trip (floats bit-for-bit, circuits structurally equal), any
+   single-byte corruption of an envelope is detected (cache miss, never a
+   misread or a crash), a stale format version is a miss, and stage keys
+   move exactly when the inputs they fingerprint move. *)
+
+open Dl_netlist
+module B = Dl_util.Binary
+module Codec = Dl_store.Codec
+module Artifact = Dl_store.Artifact
+module Store = Dl_store.Store
+module Stage = Dl_store.Stage
+
+let small_profile =
+  [ (Gate.Nand, 8); (Gate.Nor, 4); (Gate.And, 3); (Gate.Or, 3);
+    (Gate.Not, 4); (Gate.Xor, 3) ]
+
+let random_circuit seed =
+  Generator.random ~seed ~inputs:6 ~outputs:3 ~profile:small_profile ()
+
+(* A scratch store root per test, cleaned up eagerly. *)
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_store_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlstore_test_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- binary framing ------------------------------------------------------- *)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint round-trips" ~count:500
+    QCheck.(int_bound max_int)
+    (fun n ->
+      let buf = Buffer.create 16 in
+      B.write_varint buf n;
+      B.read_varint (B.cursor (Buffer.to_bytes buf)) = n)
+
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"zigzag int round-trips" ~count:500 QCheck.int
+    (fun n ->
+      let buf = Buffer.create 16 in
+      B.write_int buf n;
+      B.read_int (B.cursor (Buffer.to_bytes buf)) = n)
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"float round-trips bit-for-bit" ~count:500 QCheck.float
+    (fun x ->
+      let buf = Buffer.create 16 in
+      B.write_float buf x;
+      let y = B.read_float (B.cursor (Buffer.to_bytes buf)) in
+      Int64.bits_of_float x = Int64.bits_of_float y)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string round-trips" ~count:300 QCheck.string
+    (fun s ->
+      let buf = Buffer.create 16 in
+      B.write_string buf s;
+      B.read_string (B.cursor (Buffer.to_bytes buf)) = s)
+
+let prop_packed_bools_roundtrip =
+  QCheck.Test.make ~name:"packed bool arrays round-trip" ~count:300
+    QCheck.(array bool)
+    (fun a ->
+      let buf = Buffer.create 16 in
+      B.write_bools_packed buf a;
+      B.read_bools_packed (B.cursor (Buffer.to_bytes buf)) = a)
+
+let test_float_special_values () =
+  List.iter
+    (fun x ->
+      let buf = Buffer.create 16 in
+      B.write_float buf x;
+      let y = B.read_float (B.cursor (Buffer.to_bytes buf)) in
+      Alcotest.(check int64) "same bits" (Int64.bits_of_float x)
+        (Int64.bits_of_float y))
+    [ nan; infinity; neg_infinity; -0.0; 0.0; epsilon_float; max_float ]
+
+let test_crc32_known_vector () =
+  (* The standard CRC-32 (IEEE 802.3) check value. *)
+  Alcotest.(check int32) "crc32(\"123456789\")" 0xCBF43926l
+    (B.crc32_string "123456789")
+
+let test_truncation_is_corrupt () =
+  let buf = Buffer.create 16 in
+  B.write_string buf "hello";
+  let data = Buffer.to_bytes buf in
+  for len = 0 to Bytes.length data - 1 do
+    let truncated = Bytes.sub data 0 len in
+    match B.read_string (B.cursor truncated) with
+    | _ -> Alcotest.fail "truncated read succeeded"
+    | exception B.Corrupt _ -> ()
+  done
+
+(* --- codec envelopes ------------------------------------------------------ *)
+
+let test_envelope_roundtrip () =
+  let c = Benchmarks.c17 () in
+  let data = Codec.to_bytes Artifact.circuit c in
+  (match Codec.inspect data with
+  | Ok (kind, version) ->
+      Alcotest.(check string) "kind" "circuit" kind;
+      Alcotest.(check int) "version" Artifact.circuit.Codec.version version
+  | Error e -> Alcotest.fail (Codec.error_to_string e));
+  match Codec.of_bytes Artifact.circuit data with
+  | Ok c' -> Alcotest.(check bool) "structurally equal" true (c = c')
+  | Error e -> Alcotest.fail (Codec.error_to_string e)
+
+let test_every_byte_flip_detected () =
+  let c = Benchmarks.c17 () in
+  let data = Codec.to_bytes Artifact.circuit c in
+  for i = 0 to Bytes.length data - 1 do
+    let corrupted = Bytes.copy data in
+    Bytes.set corrupted i (Char.chr (Char.code (Bytes.get corrupted i) lxor 0x40));
+    match Codec.of_bytes Artifact.circuit corrupted with
+    | Ok _ -> Alcotest.failf "byte flip at %d went undetected" i
+    | Error _ -> ()
+  done
+
+let test_version_bump_is_stale () =
+  let c = Benchmarks.c17 () in
+  let bumped = { Artifact.circuit with Codec.version = Artifact.circuit.Codec.version + 1 } in
+  let data = Codec.to_bytes bumped c in
+  match Codec.of_bytes Artifact.circuit data with
+  | Error (Codec.Stale_version { expected; found }) ->
+      Alcotest.(check int) "expected" Artifact.circuit.Codec.version expected;
+      Alcotest.(check int) "found" (expected + 1) found
+  | Ok _ -> Alcotest.fail "stale version decoded"
+  | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
+
+let test_kind_mismatch () =
+  let data = Codec.to_bytes Artifact.patterns [| [| true; false |] |] in
+  match Codec.of_bytes Artifact.circuit data with
+  | Error (Codec.Kind_mismatch { expected = "circuit"; found = "patterns" }) -> ()
+  | Ok _ -> Alcotest.fail "wrong kind decoded"
+  | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
+
+let test_garbage_is_bad_magic () =
+  match Codec.of_bytes Artifact.circuit (Bytes.of_string "not an artifact") with
+  | Error Codec.Bad_magic -> ()
+  | Ok _ -> Alcotest.fail "garbage decoded"
+  | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
+
+(* --- artifact codecs ------------------------------------------------------ *)
+
+let roundtrip codec v =
+  match Codec.of_bytes codec (Codec.to_bytes codec v) with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let prop_circuit_roundtrip =
+  QCheck.Test.make ~name:"random circuits round-trip structurally equal"
+    ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed -> roundtrip Artifact.circuit (random_circuit seed))
+
+let test_builtin_circuits_roundtrip () =
+  List.iter
+    (fun (name, build) ->
+      Alcotest.(check bool) name true (roundtrip Artifact.circuit (build ())))
+    Benchmarks.all
+
+let prop_stuck_faults_roundtrip =
+  QCheck.Test.make ~name:"stuck-at universes round-trip" ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let c = random_circuit seed in
+      roundtrip Artifact.stuck_faults (Dl_fault.Stuck_at.universe c)
+      && roundtrip Artifact.stuck_faults
+           (Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c)))
+
+let prop_patterns_roundtrip =
+  QCheck.Test.make ~name:"pattern sets round-trip" ~count:100
+    QCheck.(pair small_nat (int_range 0 24))
+    (fun (n, width) ->
+      let rng = Dl_util.Rng.create (n + (width * 1000)) in
+      let vs =
+        Array.init n (fun _ -> Array.init width (fun _ -> Dl_util.Rng.bool rng))
+      in
+      roundtrip Artifact.patterns vs)
+
+let prop_detections_roundtrip =
+  QCheck.Test.make ~name:"detection results round-trip" ~count:100
+    QCheck.(triple (array (option small_nat)) small_nat small_nat)
+    (fun (first_detection, vectors_applied, gate_evaluations) ->
+      roundtrip Artifact.detections
+        { Artifact.first_detection; vectors_applied; gate_evaluations })
+
+let test_ifa_swift_roundtrip () =
+  (* Real extraction + swift output: every kind/policy/class constructor a
+     pipeline produces goes through the wire format. *)
+  let c = Transform.decompose_for_cells (Benchmarks.c432s_small ()) in
+  let m = Dl_cell.Mapping.flatten c in
+  let l = Dl_layout.Layout.synthesize m in
+  let e = Dl_extract.Ifa.extract l in
+  let ifa =
+    { Artifact.faults = e.faults; gross_weight = e.gross_weight;
+      summaries = e.summaries }
+  in
+  Alcotest.(check bool) "ifa" true (roundtrip Artifact.ifa ifa);
+  let network = Dl_switch.Network.build m in
+  let rng = Dl_util.Rng.create 11 in
+  let vectors =
+    Array.init 16 (fun _ ->
+        Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng))
+  in
+  let r = Dl_switch.Swift.run network ~faults:e.faults ~vectors in
+  let swift =
+    { Artifact.detection = r.detection; vectors_applied = r.vectors_applied;
+      region_solves = r.region_solves }
+  in
+  Alcotest.(check bool) "swift" true (roundtrip Artifact.swift swift)
+
+let prop_summary_roundtrip =
+  QCheck.Test.make ~name:"summaries round-trip" ~count:100
+    QCheck.(pair string (pair (pair float float) (pair float bool)))
+    (fun (text, ((fit_r, fit_theta_max), (fit_rmse, fit_rmse_log10))) ->
+      let v =
+        { Artifact.text; fit_r; fit_theta_max; fit_rmse; fit_rmse_log10;
+          scale_factor = fit_r *. 2.0 }
+      in
+      match Codec.of_bytes Artifact.summary (Codec.to_bytes Artifact.summary v) with
+      | Error _ -> false
+      | Ok v' ->
+          (* NaN-safe: compare float fields by bits. *)
+          let bits = Int64.bits_of_float in
+          v'.Artifact.text = v.Artifact.text
+          && bits v'.Artifact.fit_r = bits v.Artifact.fit_r
+          && bits v'.Artifact.fit_theta_max = bits v.Artifact.fit_theta_max
+          && bits v'.Artifact.fit_rmse = bits v.Artifact.fit_rmse
+          && v'.Artifact.fit_rmse_log10 = v.Artifact.fit_rmse_log10
+          && bits v'.Artifact.scale_factor = bits v.Artifact.scale_factor)
+
+(* --- store ---------------------------------------------------------------- *)
+
+let test_store_put_load () =
+  with_store_dir (fun dir ->
+      let s = Store.open_ dir in
+      let c = Benchmarks.c17 () in
+      let data = Codec.to_bytes Artifact.circuit c in
+      let key = Codec.content_key Artifact.circuit c in
+      Alcotest.(check bool) "absent before put" false (Store.mem s key);
+      Store.put s ~key ~kind:"circuit" ~version:1 data;
+      Alcotest.(check bool) "present after put" true (Store.mem s key);
+      (match Store.load s key with
+      | Some loaded -> Alcotest.(check bool) "same bytes" true (loaded = data)
+      | None -> Alcotest.fail "load failed");
+      let stats = Store.stats s in
+      Alcotest.(check int) "one object" 1 stats.objects;
+      Store.remove s key;
+      Alcotest.(check bool) "absent after remove" false (Store.mem s key);
+      Store.put s ~key ~kind:"circuit" ~version:1 data;
+      Store.clear s;
+      Alcotest.(check int) "empty after clear" 0 (Store.stats s).objects)
+
+let test_store_verify_detects_corruption () =
+  with_store_dir (fun dir ->
+      let s = Store.open_ dir in
+      let c = Benchmarks.c17 () in
+      let key = Codec.content_key Artifact.circuit c in
+      Store.put s ~key ~kind:"circuit" ~version:1
+        (Codec.to_bytes Artifact.circuit c);
+      Alcotest.(check (list (pair string string))) "clean store" []
+        (Store.verify s).corrupt;
+      (* Flip one byte in the middle of the object file. *)
+      let path = Store.object_path s key in
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let data = really_input_string ic len in
+      close_in ic;
+      let data = Bytes.of_string data in
+      Bytes.set data (len / 2) (Char.chr (Char.code (Bytes.get data (len / 2)) lxor 1));
+      let oc = open_out_bin path in
+      output_bytes oc data;
+      close_out oc;
+      let report = Store.verify s in
+      Alcotest.(check int) "one corrupt" 1 (List.length report.corrupt);
+      Alcotest.(check string) "the corrupted key" key
+        (fst (List.hd report.corrupt)))
+
+let test_store_gc_drops_stale_and_corrupt () =
+  with_store_dir (fun dir ->
+      let s = Store.open_ dir in
+      let c = Benchmarks.c17 () in
+      (* One live artifact, one with a stale format version, one corrupt. *)
+      Store.put s ~key:(String.make 32 'a') ~kind:"circuit" ~version:1
+        (Codec.to_bytes Artifact.circuit c);
+      let stale_codec =
+        { Artifact.circuit with Codec.version = Artifact.circuit.Codec.version + 1 }
+      in
+      Store.put s ~key:(String.make 32 'b') ~kind:"circuit"
+        ~version:stale_codec.Codec.version
+        (Codec.to_bytes stale_codec c);
+      Store.put s ~key:(String.make 32 'c') ~kind:"circuit" ~version:1
+        (Bytes.of_string "garbage, not an envelope");
+      let r = Store.gc ~current:[ ("circuit", 1) ] s in
+      Alcotest.(check int) "kept" 1 r.kept;
+      Alcotest.(check int) "stale dropped" 1 r.removed_stale;
+      Alcotest.(check int) "corrupt dropped" 1 r.removed_corrupt;
+      Alcotest.(check bool) "live survives" true (Store.mem s (String.make 32 'a'));
+      (* Size-capped eviction: oldest goes first (valid envelopes, so only
+         the size cap can remove them). *)
+      Store.clear s;
+      let vs = Array.init 100 (fun _ -> Array.make 80 true) in
+      let payload = Codec.to_bytes Artifact.patterns vs in
+      let version = Artifact.patterns.Codec.version in
+      Store.put s ~key:(String.make 32 'd') ~kind:"patterns" ~version payload;
+      Store.put s ~key:(String.make 32 'e') ~kind:"patterns" ~version payload;
+      let cap = Bytes.length payload * 3 / 2 in
+      let r = Store.gc ~current:[ ("patterns", version) ] ~max_bytes:cap s in
+      Alcotest.(check int) "evicted one" 1 r.removed_evicted;
+      Alcotest.(check bool) "oldest evicted" false
+        (Store.mem s (String.make 32 'd'));
+      Alcotest.(check bool) "newest kept" true (Store.mem s (String.make 32 'e')))
+
+(* --- stage graph ---------------------------------------------------------- *)
+
+let test_stage_hit_miss () =
+  with_store_dir (fun dir ->
+      let store = Store.open_ dir in
+      let computes = ref 0 in
+      let f () = incr computes; Benchmarks.c17 () in
+      let g = Stage.create ~store () in
+      let v1, k1 = Stage.run g ~stage:"s" ~codec:Artifact.circuit ~inputs:[] f in
+      let v2, k2 = Stage.run g ~stage:"s" ~codec:Artifact.circuit ~inputs:[] f in
+      Alcotest.(check int) "computed once" 1 !computes;
+      Alcotest.(check bool) "same key" true (k1 = k2);
+      Alcotest.(check bool) "same value" true (v1 = v2);
+      (match Stage.reports g with
+      | [ a; b ] ->
+          Alcotest.(check bool) "miss then hit" true
+            (a.Stage.outcome = Stage.Miss && b.Stage.outcome = Stage.Hit)
+      | _ -> Alcotest.fail "expected two reports");
+      (* Corrupt the stored artifact: next run recomputes and repairs. *)
+      let path = Store.object_path store k1 in
+      let oc = open_out_bin path in
+      output_string oc "junk";
+      close_out oc;
+      let v3, _ = Stage.run g ~stage:"s" ~codec:Artifact.circuit ~inputs:[] f in
+      Alcotest.(check int) "recomputed" 2 !computes;
+      Alcotest.(check bool) "same value after repair" true (v3 = v1);
+      let v4, _ = Stage.run g ~stage:"s" ~codec:Artifact.circuit ~inputs:[] f in
+      Alcotest.(check int) "repaired artifact hits" 2 !computes;
+      ignore v4)
+
+let test_stage_version_bump_is_miss () =
+  with_store_dir (fun dir ->
+      let store = Store.open_ dir in
+      let computes = ref 0 in
+      let f () = incr computes; Benchmarks.c17 () in
+      let g = Stage.create ~store () in
+      let _ = Stage.run g ~stage:"s" ~codec:Artifact.circuit ~inputs:[] f in
+      let bumped =
+        { Artifact.circuit with Codec.version = Artifact.circuit.Codec.version + 1 }
+      in
+      (* The bumped codec derives a different stage key, so an old-format
+         artifact can never even be looked up under the new key... *)
+      let k_old = Stage.key ~stage:"s" ~codec:Artifact.circuit ~config:[] ~inputs:[] in
+      let k_new = Stage.key ~stage:"s" ~codec:bumped ~config:[] ~inputs:[] in
+      Alcotest.(check bool) "version changes the key" false (k_old = k_new);
+      let _ = Stage.run g ~stage:"s" ~codec:bumped ~inputs:[] f in
+      Alcotest.(check int) "bumped version recomputes" 2 !computes;
+      (* ...and even a same-key stale envelope decodes to a miss. *)
+      (match Store.load store k_old with
+      | Some old_data -> Store.put store ~key:k_new ~kind:"circuit" ~version:1 old_data
+      | None -> Alcotest.fail "old artifact missing");
+      Store.clear store |> ignore;
+      Store.put store ~key:k_new ~kind:"circuit"
+        ~version:Artifact.circuit.Codec.version
+        (Codec.to_bytes Artifact.circuit (Benchmarks.c17 ()));
+      let g2 = Stage.create ~store () in
+      let _ = Stage.run g2 ~stage:"s" ~codec:bumped ~inputs:[] f in
+      Alcotest.(check int) "stale envelope recomputes" 3 !computes)
+
+let test_stage_key_sensitivity () =
+  let base ~stage ~config ~inputs =
+    Stage.key ~stage ~codec:Artifact.circuit ~config ~inputs
+  in
+  let k = base ~stage:"s" ~config:[ ("a", "1") ] ~inputs:[ "i1" ] in
+  Alcotest.(check bool) "stage name" false
+    (k = base ~stage:"t" ~config:[ ("a", "1") ] ~inputs:[ "i1" ]);
+  Alcotest.(check bool) "config value" false
+    (k = base ~stage:"s" ~config:[ ("a", "2") ] ~inputs:[ "i1" ]);
+  Alcotest.(check bool) "input key" false
+    (k = base ~stage:"s" ~config:[ ("a", "1") ] ~inputs:[ "i2" ]);
+  Alcotest.(check bool) "deterministic" true
+    (k = base ~stage:"s" ~config:[ ("a", "1") ] ~inputs:[ "i1" ])
+
+(* --- cached experiment pipeline ------------------------------------------- *)
+
+module Experiment = Dl_core.Experiment
+
+let outcome (e : Experiment.t) stage =
+  (List.find (fun (r : Stage.report) -> r.stage = stage) e.stage_reports).outcome
+
+let stage_key (e : Experiment.t) stage =
+  (List.find (fun (r : Stage.report) -> r.stage = stage) e.stage_reports).key
+
+let all_stages =
+  [ "mapping"; "atpg"; "fault-universe"; "fault-sim"; "layout-ifa"; "swift";
+    "projection" ]
+
+let test_experiment_cold_warm_and_invalidation () =
+  with_store_dir (fun dir ->
+      let circuit = Benchmarks.c432s_small () in
+      let run ?(seed = 7) ?(target_yield = 0.75) ?(collapse_faults = true)
+          ?(domains = 1) () =
+        Experiment.run
+          (Experiment.config ~seed ~max_random_vectors:64 ~target_yield
+             ~domains ~collapse_faults ~cache_dir:dir circuit)
+      in
+      let cold = run () in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) (s ^ " cold miss") true
+            (outcome cold s = Stage.Miss))
+        all_stages;
+      let warm = run () in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) (s ^ " warm hit") true
+            (outcome warm s = Stage.Hit))
+        all_stages;
+      Alcotest.(check string) "warm summary byte-identical" cold.summary
+        warm.summary;
+      Alcotest.(check bool) "warm fit identical" true (cold.fit = warm.fit);
+      Alcotest.(check bool) "warm curves identical" true
+        (cold.t_curve = warm.t_curve && cold.theta_curve = warm.theta_curve
+        && cold.gamma_curve = warm.gamma_curve);
+      (* domains is excluded from every key: still a full hit. *)
+      let par = run ~domains:2 () in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) (s ^ " domain-count hit") true
+            (outcome par s = Stage.Hit))
+        all_stages;
+      (* target_yield only re-runs the projection. *)
+      let yld = run ~target_yield:0.9 () in
+      List.iter
+        (fun s ->
+          let expected = if s = "projection" then Stage.Miss else Stage.Hit in
+          Alcotest.(check bool) (s ^ " yield-change outcome") true
+            (outcome yld s = expected))
+        all_stages;
+      Alcotest.(check bool) "projection key moved" false
+        (stage_key yld "projection" = stage_key cold "projection");
+      (* A new seed re-runs ATPG and everything fed by its vectors, but not
+         the mapping or the layout extraction. *)
+      let seeded = run ~seed:8 () in
+      List.iter
+        (fun (s, expected) ->
+          Alcotest.(check bool) (s ^ " seed-change outcome") true
+            (outcome seeded s = expected))
+        [ ("mapping", Stage.Hit); ("atpg", Stage.Miss);
+          ("fault-universe", Stage.Miss); ("fault-sim", Stage.Miss);
+          ("layout-ifa", Stage.Hit); ("swift", Stage.Miss);
+          ("projection", Stage.Miss) ];
+      (* Collapsing is a property of the simulated universe only. *)
+      let uncollapsed = run ~collapse_faults:false () in
+      List.iter
+        (fun (s, expected) ->
+          Alcotest.(check bool) (s ^ " collapse-change outcome") true
+            (outcome uncollapsed s = expected))
+        [ ("mapping", Stage.Hit); ("atpg", Stage.Hit);
+          ("fault-universe", Stage.Miss); ("fault-sim", Stage.Miss);
+          ("layout-ifa", Stage.Hit); ("swift", Stage.Hit);
+          ("projection", Stage.Miss) ])
+
+let test_experiment_uncached_matches_cached () =
+  with_store_dir (fun dir ->
+      let circuit = Benchmarks.c432s_small () in
+      let cached =
+        Experiment.run
+          (Experiment.config ~seed:7 ~max_random_vectors:64 ~domains:1
+             ~cache_dir:dir circuit)
+      in
+      let warm =
+        Experiment.run
+          (Experiment.config ~seed:7 ~max_random_vectors:64 ~domains:1
+             ~cache_dir:dir circuit)
+      in
+      let plain =
+        Experiment.run
+          (Experiment.config ~seed:7 ~max_random_vectors:64 ~domains:1 circuit)
+      in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) (s ^ " uncached outcome") true
+            (outcome plain s = Stage.Uncached))
+        all_stages;
+      Alcotest.(check string) "uncached = cold summary" plain.summary
+        cached.summary;
+      Alcotest.(check string) "uncached = warm summary" plain.summary
+        warm.summary;
+      Alcotest.(check bool) "same stage keys with and without a store" true
+        (List.for_all
+           (fun s -> stage_key plain s = stage_key cached s)
+           all_stages))
+
+let () =
+  Random.self_init ();
+  Alcotest.run "store"
+    [
+      ( "binary",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_varint_roundtrip; prop_int_roundtrip; prop_float_roundtrip;
+            prop_string_roundtrip; prop_packed_bools_roundtrip ]
+        @ [
+            Alcotest.test_case "float special values" `Quick
+              test_float_special_values;
+            Alcotest.test_case "crc32 known vector" `Quick test_crc32_known_vector;
+            Alcotest.test_case "truncation raises Corrupt" `Quick
+              test_truncation_is_corrupt;
+          ] );
+      ( "codec",
+        [
+          Alcotest.test_case "envelope round-trip + inspect" `Quick
+            test_envelope_roundtrip;
+          Alcotest.test_case "every single-byte flip detected" `Quick
+            test_every_byte_flip_detected;
+          Alcotest.test_case "version bump is stale" `Quick
+            test_version_bump_is_stale;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "garbage is bad magic" `Quick
+            test_garbage_is_bad_magic;
+        ] );
+      ( "artifacts",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_circuit_roundtrip; prop_stuck_faults_roundtrip;
+            prop_patterns_roundtrip; prop_detections_roundtrip;
+            prop_summary_roundtrip ]
+        @ [
+            Alcotest.test_case "built-in circuits round-trip" `Quick
+              test_builtin_circuits_roundtrip;
+            Alcotest.test_case "ifa + swift artifacts round-trip" `Quick
+              test_ifa_swift_roundtrip;
+          ] );
+      ( "store",
+        [
+          Alcotest.test_case "put/load/remove/clear" `Quick test_store_put_load;
+          Alcotest.test_case "verify detects corruption" `Quick
+            test_store_verify_detects_corruption;
+          Alcotest.test_case "gc drops stale and corrupt" `Quick
+            test_store_gc_drops_stale_and_corrupt;
+        ] );
+      ( "stage",
+        [
+          Alcotest.test_case "hit, miss, corruption repair" `Quick
+            test_stage_hit_miss;
+          Alcotest.test_case "version bump is a miss" `Quick
+            test_stage_version_bump_is_miss;
+          Alcotest.test_case "key sensitivity" `Quick test_stage_key_sensitivity;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "cold/warm + key invalidation" `Slow
+            test_experiment_cold_warm_and_invalidation;
+          Alcotest.test_case "uncached matches cached" `Slow
+            test_experiment_uncached_matches_cached;
+        ] );
+    ]
