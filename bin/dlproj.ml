@@ -7,6 +7,7 @@
      project    closed-form DL projections from (Y, T, R, θmax)
      pipeline   the full paper experiment on a benchmark
      cache      artifact-store maintenance (stats, verify, gc)
+     check      differential/metamorphic self-checks + mutation self-test
      bench-io   read/write ISCAS-85 .bench files
 *)
 
@@ -370,6 +371,93 @@ let compact_cmd =
     (Cmd.info "compact" ~version ~doc:"Static test compaction by re-ordered fault simulation.")
     Term.(const run $ circuit_arg $ seed_arg $ count)
 
+(* ----------------------------------------------------------------- check *)
+
+let check_cmd =
+  let run engines seconds seed out self_test list_checks replay =
+    if list_checks then begin
+      List.iter
+        (fun (o : Dl_check.Oracle.t) -> Printf.printf "%-18s %s\n" o.name o.doc)
+        Dl_check.Oracle.all;
+      List.iter
+        (fun (name, _) ->
+          Printf.printf "%-18s planted engine mutant (mutation self-test)\n"
+            ("mutant:" ^ name))
+        Dl_check.Mutant.all
+    end
+    else
+      match replay with
+      | Some path -> (
+          let repro =
+            try Dl_check.Testcase.load_repro path with
+            | Invalid_argument m | Sys_error m -> die "%s" m
+          in
+          match
+            try Dl_check.Harness.replay repro with Invalid_argument m ->
+              die "%s" m
+          with
+          | check, Some msg ->
+              Printf.printf "%s: reproduced\n  %s\n" check msg
+          | check, None ->
+              Printf.printf "%s: no longer failing\n" check;
+              exit 1)
+      | None ->
+          if self_test then begin
+            let result = Dl_check.Harness.self_test ?out_dir:out ~seed () in
+            Format.printf "%a" Dl_check.Harness.pp_self_reports result;
+            if not (snd result) then exit 1
+          end
+          else begin
+            let checks = match engines with [] -> None | l -> Some l in
+            let cfg =
+              Dl_check.Harness.config ~seed ~seconds ?checks ?out_dir:out ()
+            in
+            let s =
+              try Dl_check.Harness.run cfg with Invalid_argument m ->
+                die "%s" m
+            in
+            Format.printf "%a" Dl_check.Harness.pp_summary s;
+            if not (Dl_check.Harness.ok s) then exit 1
+          end
+  in
+  let engines =
+    Arg.(value & opt (list string) []
+         & info [ "engines" ] ~docv:"LIST"
+             ~doc:"Comma-separated subset of checks to run (see --list). \
+                   Default: the whole registry.")
+  in
+  let seconds =
+    Arg.(value & opt float 5.0
+         & info [ "seconds" ] ~docv:"N"
+             ~doc:"Wall-clock budget for generated cases.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for failing-case repro files (.bench + .repro).")
+  in
+  let self_test =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"Run the mutation self-test instead of the registry: plant \
+                   known single-line bugs in a copy of the fault-simulation \
+                   eval loop and prove the harness catches and shrinks them.")
+  in
+  let list_checks =
+    Arg.(value & flag & info [ "list" ] ~doc:"List registered checks and exit.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a saved .repro file and re-judge it.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~version
+       ~doc:"Differential & metamorphic self-checks with counterexample \
+             shrinking.")
+    Term.(const run $ engines $ seconds $ seed_arg $ out $ self_test
+          $ list_checks $ replay)
+
 (* -------------------------------------------------------------- bench-io *)
 
 let bench_io_cmd =
@@ -422,7 +510,7 @@ let () =
   let doc = "defect-level projection from layout-extracted realistic faults" in
   let main = Cmd.group (Cmd.info "dlproj" ~version ~doc)
       [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd; cache_cmd;
-        transition_cmd; compact_cmd; bench_io_cmd; svg_cmd ]
+        transition_cmd; compact_cmd; check_cmd; bench_io_cmd; svg_cmd ]
   in
   (* Operational failures (missing files, malformed netlists, bad paths)
      get a one-line diagnostic and exit 1 instead of a backtrace. *)

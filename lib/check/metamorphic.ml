@@ -1,0 +1,274 @@
+(* Metamorphic properties: machine-checkable consequences of the paper's
+   closed-form equations (numeric, [Rng]-driven) and of the fault-model
+   semantics (over a generated {!Testcase}).  Every function returns
+   [None] on success or [Some message] describing the first violation. *)
+
+module Rng = Dl_util.Rng
+module Projection = Dl_core.Projection
+module Williams_brown = Dl_core.Williams_brown
+module Weighted = Dl_core.Weighted
+module Yield_model = Dl_core.Yield_model
+module Fault_sim = Dl_fault.Fault_sim
+module Stuck_at = Dl_fault.Stuck_at
+module Coverage = Dl_fault.Coverage
+
+let failf fmt = Printf.ksprintf (fun s -> Some s) fmt
+
+let sweep_trials = 2000
+
+(* eq. 11 at (R = 1, θmax = 1) must reduce exactly to Williams–Brown
+   (eq. 1); the paper presents this as the sanity anchor of the model. *)
+let wb_reduction ~seed () =
+  let rng = Rng.create seed in
+  let params = { Projection.r = 1.0; theta_max = 1.0 } in
+  let rec loop i =
+    if i >= sweep_trials then None
+    else
+      let yield = Rng.float_in rng 0.05 0.999 in
+      let coverage = Rng.float rng 1.0 in
+      let dl11 = Projection.defect_level ~yield ~params ~coverage in
+      let dl1 = Williams_brown.defect_level ~yield ~coverage in
+      if Float.abs (dl11 -. dl1) > 1e-12 then
+        failf "eq.11(R=1,θmax=1) = %.17g but WB = %.17g at Y=%.6f T=%.6f"
+          dl11 dl1 yield coverage
+      else loop (i + 1)
+  in
+  loop 0
+
+(* eq. 9: Θ(T) stays inside [0, θmax], is monotone nondecreasing in T, and
+   pins its endpoints Θ(0) = 0, Θ(1) = θmax. *)
+let theta_envelope ~seed () =
+  let rng = Rng.create (seed + 1) in
+  let rec loop i =
+    if i >= sweep_trials then None
+    else
+      let params =
+        { Projection.r = Rng.float_in rng 0.1 8.0;
+          theta_max = Rng.float_in rng 0.01 1.0 }
+      in
+      let t1 = Rng.float rng 1.0 and t2 = Rng.float rng 1.0 in
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      let th_lo = Projection.theta_of_coverage params lo in
+      let th_hi = Projection.theta_of_coverage params hi in
+      let th0 = Projection.theta_of_coverage params 0.0 in
+      let th1 = Projection.theta_of_coverage params 1.0 in
+      if th_lo < -.1e-12 || th_hi > params.theta_max +. 1e-12 then
+        failf "eq.9 out of [0, θmax]: Θ(%.6f)=%.17g Θ(%.6f)=%.17g θmax=%.6f"
+          lo th_lo hi th_hi params.theta_max
+      else if th_lo > th_hi +. 1e-12 then
+        failf "eq.9 not monotone: Θ(%.6f)=%.17g > Θ(%.6f)=%.17g (R=%.4f)"
+          lo th_lo hi th_hi params.r
+      else if Float.abs th0 > 1e-12 then
+        failf "eq.9 endpoint: Θ(0)=%.17g ≠ 0" th0
+      else if Float.abs (th1 -. params.theta_max) > 1e-12 then
+        failf "eq.9 endpoint: Θ(1)=%.17g ≠ θmax=%.6f" th1 params.theta_max
+      else loop (i + 1)
+  in
+  loop 0
+
+(* eq. 11: DL(T) is monotone nonincreasing in T, starts at the zero-test
+   fallout 1 - Y and floors at the residual defect level (T = 1). *)
+let dl_monotone ~seed () =
+  let rng = Rng.create (seed + 2) in
+  let rec loop i =
+    if i >= sweep_trials then None
+    else
+      let yield = Rng.float_in rng 0.05 0.999 in
+      let params =
+        { Projection.r = Rng.float_in rng 0.1 8.0;
+          theta_max = Rng.float_in rng 0.01 1.0 }
+      in
+      let t1 = Rng.float rng 1.0 and t2 = Rng.float rng 1.0 in
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      let dl_lo = Projection.defect_level ~yield ~params ~coverage:lo in
+      let dl_hi = Projection.defect_level ~yield ~params ~coverage:hi in
+      let dl0 = Projection.defect_level ~yield ~params ~coverage:0.0 in
+      let dl1 = Projection.defect_level ~yield ~params ~coverage:1.0 in
+      let residual =
+        Projection.residual_defect_level ~yield ~theta_max:params.theta_max
+      in
+      if dl_hi > dl_lo +. 1e-12 then
+        failf
+          "eq.11 not nonincreasing: DL(%.6f)=%.17g < DL(%.6f)=%.17g \
+           (Y=%.4f R=%.4f θmax=%.4f)"
+          lo dl_lo hi dl_hi yield params.r params.theta_max
+      else if Float.abs (dl0 -. (1.0 -. yield)) > 1e-12 then
+        failf "eq.11 endpoint: DL(0)=%.17g ≠ 1-Y=%.17g" dl0 (1.0 -. yield)
+      else if Float.abs (dl1 -. residual) > 1e-12 then
+        failf "eq.11 endpoint: DL(1)=%.17g ≠ residual %.17g" dl1 residual
+      else loop (i + 1)
+  in
+  loop 0
+
+(* eqs. 4-5: the weighted model's yield must agree with the Poisson yield
+   model evaluated at λ = Σw (they are the same formula arrived at from
+   two directions), [scale_to_yield] must actually hit its target, and the
+   weight/probability maps must be inverse to each other. *)
+let yield_consistency ~seed () =
+  let rng = Rng.create (seed + 3) in
+  let rec loop i =
+    if i >= sweep_trials then None
+    else
+      let n = 1 + Rng.int rng 30 in
+      let weights = Array.init n (fun _ -> Rng.float_in rng 1e-6 0.5) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let y_weighted = Weighted.yield_of_weights weights in
+      let y_poisson = Yield_model.poisson ~area:total ~density:1.0 in
+      let target = Rng.float_in rng 0.1 0.95 in
+      let scaled, factor = Weighted.scale_to_yield ~weights ~target_yield:target in
+      let y_scaled = Weighted.yield_of_weights scaled in
+      let w = Rng.float_in rng 1e-6 2.0 in
+      let w' = Weighted.weight_of_probability (Weighted.probability_of_weight w) in
+      if Float.abs (y_weighted -. y_poisson) > 1e-12 then
+        failf "eq.5 vs Poisson: %.17g ≠ %.17g (Σw=%.6f)" y_weighted y_poisson
+          total
+      else if Float.abs (y_scaled -. target) > 1e-9 then
+        failf "scale_to_yield missed: got %.17g want %.6f (factor %.6g)"
+          y_scaled target factor
+      else if factor <= 0.0 then failf "scale_to_yield factor %.17g <= 0" factor
+      else if Float.abs (w -. w') > 1e-9 *. (1.0 +. w) then
+        failf "weight/probability roundtrip: %.17g -> %.17g" w w'
+      else loop (i + 1)
+  in
+  loop 0
+
+(* Required-coverage inversions: feeding the solved coverage back into the
+   forward model must reproduce the defect-level target (both for eq. 1
+   and eq. 11, when the target is reachable). *)
+let required_coverage_roundtrip ~seed () =
+  let rng = Rng.create (seed + 4) in
+  let rec loop i =
+    if i >= sweep_trials then None
+    else
+      let yield = Rng.float_in rng 0.1 0.99 in
+      let target_dl = Rng.float_in rng 1e-6 (1.0 -. yield) in
+      let t_wb = Williams_brown.required_coverage ~yield ~target_dl in
+      let dl_wb = Williams_brown.defect_level ~yield ~coverage:t_wb in
+      let params =
+        { Projection.r = Rng.float_in rng 0.2 6.0;
+          theta_max = Rng.float_in rng 0.5 1.0 }
+      in
+      (* The inverses are closed-form but route through pow/log, whose
+         conditioning near the endpoints costs several digits: judge the
+         roundtrip at relative 1e-6. *)
+      let tol = 1e-6 *. (1.0 +. target_dl) in
+      if Float.abs (dl_wb -. target_dl) > tol then
+        failf "WB required_coverage roundtrip: target %.9g gives %.9g"
+          target_dl dl_wb
+      else
+        match Projection.required_coverage ~yield ~params ~target_dl with
+        | None ->
+            let residual =
+              Projection.residual_defect_level ~yield
+                ~theta_max:params.theta_max
+            in
+            if target_dl > residual +. 1e-12 then
+              failf
+                "eq.11 required_coverage None though target %.9g > residual \
+                 %.9g"
+                target_dl residual
+            else loop (i + 1)
+        | Some t ->
+            let dl = Projection.defect_level ~yield ~params ~coverage:t in
+            if Float.abs (dl -. target_dl) > tol then
+              failf "eq.11 required_coverage roundtrip: target %.9g gives %.9g"
+                target_dl dl
+            else loop (i + 1)
+  in
+  loop 0
+
+(* --- Case-level metamorphic properties --------------------------------- *)
+
+(* Coverage is monotone in the number of applied vectors (more patterns
+   can only detect more), and simulating a prefix of the sequence yields
+   exactly the prefix of the detection record: T(k) is a well-defined
+   curve, not an artifact of the run length. *)
+let coverage_monotone (case : Testcase.t) =
+  let { Testcase.circuit; vectors; faults; _ } = case in
+  let full = Fault_sim.run ~drop_detected:false circuit ~faults ~vectors in
+  let cov = Coverage.make full.first_detection in
+  let n = Array.length vectors in
+  let prev = ref 0.0 in
+  let mono_violation =
+    let rec scan k =
+      if k > n then None
+      else
+        let v = Coverage.at cov k in
+        if v < !prev -. 1e-12 then
+          failf "coverage curve decreases at k=%d: %.9f -> %.9f" k !prev v
+        else begin
+          prev := v;
+          scan (k + 1)
+        end
+    in
+    scan 0
+  in
+  match mono_violation with
+  | Some _ as fail -> fail
+  | None ->
+      if n = 0 then None
+      else begin
+        let k = max 1 (n / 2) in
+        let prefix =
+          Fault_sim.run ~drop_detected:false circuit ~faults
+            ~vectors:(Array.sub vectors 0 k)
+        in
+        let rec scan i =
+          if i >= Array.length faults then None
+          else
+            let expect =
+              match full.first_detection.(i) with
+              | Some d when d < k -> Some d
+              | _ -> None
+            in
+            if prefix.first_detection.(i) <> expect then
+              failf
+                "prefix inconsistency for %s: %d-vector run says %s, full \
+                 run says %s"
+                (Stuck_at.to_string circuit faults.(i))
+                k
+                (match prefix.first_detection.(i) with
+                | Some d -> string_of_int d
+                | None -> "undetected")
+                (match expect with
+                | Some d -> string_of_int d
+                | None -> "undetected")
+            else scan (i + 1)
+        in
+        scan 0
+      end
+
+(* Equivalence collapsing is sound: every fault in a collapsing class has
+   the same first detection as its representative, so the collapsed and
+   uncollapsed (--no-collapse) coverage definitions agree class by
+   class. *)
+let collapse_agreement (case : Testcase.t) =
+  let { Testcase.circuit; vectors; _ } = case in
+  let universe = Stuck_at.universe circuit in
+  let classes = Stuck_at.equivalence_classes circuit universe in
+  let r = Fault_sim.run ~drop_detected:false circuit ~faults:universe ~vectors in
+  let index = Hashtbl.create (Array.length universe) in
+  Array.iteri (fun i f -> Hashtbl.replace index f i) universe;
+  let first f = r.first_detection.(Hashtbl.find index f) in
+  let rec scan_classes ci =
+    if ci >= Array.length classes then None
+    else
+      let cls = classes.(ci) in
+      let d0 = first cls.(0) in
+      let rec scan_members mi =
+        if mi >= Array.length cls then scan_classes (ci + 1)
+        else if first cls.(mi) <> d0 then
+          failf
+            "collapsing class disagrees: %s first-detected at %s but its \
+             representative %s at %s"
+            (Stuck_at.to_string circuit cls.(mi))
+            (match first cls.(mi) with
+            | Some d -> string_of_int d
+            | None -> "never")
+            (Stuck_at.to_string circuit cls.(0))
+            (match d0 with Some d -> string_of_int d | None -> "never")
+        else scan_members (mi + 1)
+      in
+      scan_members 1
+  in
+  scan_classes 0

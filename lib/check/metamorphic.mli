@@ -1,0 +1,43 @@
+(** Metamorphic properties of the defect-level models and of the fault
+    simulation itself: relations the paper's equations impose between
+    outputs of {e different} invocations, checkable without knowing any
+    single output's expected value.
+
+    Numeric sweeps ([~seed]-driven, one call checks a few thousand random
+    parameter points) cover eqs. 1, 4-6, 9 and 11; case-level properties
+    run against a generated {!Testcase}.  All return [None] on success or
+    [Some message] pinpointing the first violated instance. *)
+
+(** {2 Equation sweeps} *)
+
+val wb_reduction : seed:int -> unit -> string option
+(** eq. 11 at [(R = 1, θmax = 1)] equals Williams–Brown (eq. 1). *)
+
+val theta_envelope : seed:int -> unit -> string option
+(** eq. 9: [Θ(T) ∈ \[0, θmax\]], monotone nondecreasing, [Θ(0) = 0],
+    [Θ(1) = θmax]. *)
+
+val dl_monotone : seed:int -> unit -> string option
+(** eq. 11: [DL(T)] nonincreasing, [DL(0) = 1 - Y],
+    [DL(1)] = residual defect level. *)
+
+val yield_consistency : seed:int -> unit -> string option
+(** eq. 5 agrees with the Poisson yield model at [λ = Σw];
+    [scale_to_yield] hits its target; weight/probability maps invert. *)
+
+val required_coverage_roundtrip : seed:int -> unit -> string option
+(** Solving for required coverage and substituting back reproduces the
+    defect-level target (eq. 1 and eq. 11), and eq. 11 reports
+    unreachable targets exactly when they lie below the residual. *)
+
+(** {2 Case properties} *)
+
+val coverage_monotone : Testcase.t -> string option
+(** The coverage curve [T(k)] is monotone in [k], and simulating a prefix
+    of the vector sequence reproduces the prefix of the detection
+    record. *)
+
+val collapse_agreement : Testcase.t -> string option
+(** Every member of a stuck-at equivalence class has the same first
+    detection as its representative — the soundness condition under which
+    collapsed and uncollapsed ([--no-collapse]) runs agree. *)

@@ -1,0 +1,37 @@
+(** Deliberately buggy fault-simulation engines for the mutation self-test:
+    a copy of the PPSFP eval loop ({!Dl_fault.Fault_sim.Reference}'s
+    algorithm, no-drop specialization) with known single-line mutations
+    injected at marked points.
+
+    The self-test runs each mutant differentially against the real engines
+    and asserts the harness finds and shrinks a counterexample — proving
+    the checking subsystem would catch a real regression of the same
+    shape. *)
+
+open Dl_netlist
+
+type mutation =
+  | Pristine
+      (** No mutation; must be indistinguishable from the real engines
+          (guards against drift in the copied loop itself). *)
+  | Drop_fault_after_first_block
+      (** Fault dropping gone wrong: every fault is retired after the
+          first 64-vector block, detected or not. *)
+  | Truncate_detection_word
+      (** The per-block detection word loses its high 32 bits. *)
+
+val all : (string * mutation) list
+(** The real mutations (excluding {!Pristine}), with their display names. *)
+
+val to_string : mutation -> string
+
+val run :
+  mutation ->
+  Circuit.t ->
+  faults:Dl_fault.Stuck_at.t array ->
+  vectors:bool array array ->
+  Dl_fault.Fault_sim.result
+(** No-drop PPSFP simulation under the given mutation.  With [Pristine]
+    the [first_detection] array is bit-for-bit what
+    [Fault_sim.run ~drop_detected:false] produces ([gate_evaluations] is
+    not maintained and reads 0). *)

@@ -1,0 +1,361 @@
+(* The oracle registry: every engine pair (or higher-level invariant) the
+   harness knows how to cross-check.  Case checks run once per generated
+   {!Testcase}; sweep checks are self-contained (numeric sweeps, or the
+   cached-pipeline differential) and run once per harness invocation. *)
+
+open Dl_netlist
+module Sim2 = Dl_logic.Sim2
+module Sim3 = Dl_logic.Sim3
+module Ternary = Dl_logic.Ternary
+module Event_sim = Dl_logic.Event_sim
+module Propagate = Dl_logic.Propagate
+module Fault_sim = Dl_fault.Fault_sim
+module Experiment = Dl_core.Experiment
+module Stage = Dl_store.Stage
+
+type kind =
+  | Case of (Testcase.t -> string option)
+  | Sweep of (seed:int -> string option)
+
+type t = { name : string; doc : string; kind : kind }
+
+let failf fmt = Printf.ksprintf (fun s -> Some s) fmt
+
+(* --- sim2-flat: reference word simulator vs flat CSR kernel ------------- *)
+
+let sim2_flat (case : Testcase.t) =
+  let c = case.Testcase.circuit in
+  let n = Array.length case.vectors in
+  if n = 0 then None
+  else begin
+    let k = Kernel.of_circuit c in
+    let buf = Kernel.create_words k in
+    let n_blocks = (n + 63) / 64 in
+    let rec block b =
+      if b >= n_blocks then None
+      else begin
+        let base = b * 64 in
+        let count = min 64 (n - base) in
+        let words =
+          Sim2.words_of_patterns c (Array.sub case.vectors base count)
+        in
+        let reference = Sim2.run c words in
+        Sim2.load_patterns k buf case.vectors ~base ~count;
+        Sim2.run_flat k buf;
+        let mask =
+          if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
+        in
+        let rec node id =
+          if id >= Circuit.node_count c then block (b + 1)
+          else
+            let r = Int64.logand reference.(id) mask in
+            let f = Int64.logand buf.{id} mask in
+            if r <> f then
+              failf
+                "Sim2.run vs run_flat: node %s block %d (vectors %d..%d): \
+                 %Lx vs %Lx"
+                (Circuit.name c id) b base
+                (base + count - 1)
+                r f
+            else node (id + 1)
+        in
+        node 0
+      end
+    in
+    block 0
+  end
+
+(* --- fault-sim: kernel vs reference vs parallel, both drop modes -------- *)
+
+let fault_sim_agreement (case : Testcase.t) =
+  let { Testcase.circuit = c; vectors; faults; _ } = case in
+  let run_engine f =
+    let events = ref [] in
+    let on_detect ~fault_index ~vector_index =
+      events := (fault_index, vector_index) :: !events
+    in
+    let r = f ~on_detect in
+    (r, List.rev !events)
+  in
+  let engines drop =
+    [
+      ( "kernel",
+        fun () ->
+          run_engine (fun ~on_detect ->
+              Fault_sim.run ~drop_detected:drop ~on_detect c ~faults ~vectors)
+      );
+      ( "reference",
+        fun () ->
+          run_engine (fun ~on_detect ->
+              Fault_sim.Reference.run ~drop_detected:drop ~on_detect c ~faults
+                ~vectors) );
+      ( "parallel-2",
+        fun () ->
+          run_engine (fun ~on_detect ->
+              Fault_sim.run_parallel ~domains:2 ~drop_detected:drop ~on_detect
+                c ~faults ~vectors) );
+      ( "reference-parallel-3",
+        fun () ->
+          run_engine (fun ~on_detect ->
+              Fault_sim.Reference.run_parallel ~domains:3 ~drop_detected:drop
+                ~on_detect c ~faults ~vectors) );
+    ]
+  in
+  let check_mode drop =
+    match engines drop with
+    | [] -> None
+    | (base_name, base_run) :: rest ->
+        let base_r, base_ev = base_run () in
+        let rec compare_engines = function
+          | [] -> None
+          | (name, run) :: rest -> (
+              let r, ev = run () in
+              let mismatch =
+                Array.to_list
+                  (Array.mapi
+                     (fun i d ->
+                       if d <> base_r.Fault_sim.first_detection.(i) then Some i
+                       else None)
+                     r.Fault_sim.first_detection)
+                |> List.find_opt Option.is_some |> Option.join
+              in
+              match mismatch with
+              | Some i ->
+                  failf
+                    "%s vs %s (drop=%b): fault %s first-detected at %s vs %s"
+                    base_name name drop
+                    (Dl_fault.Stuck_at.to_string c faults.(i))
+                    (match base_r.Fault_sim.first_detection.(i) with
+                    | Some d -> string_of_int d
+                    | None -> "never")
+                    (match r.Fault_sim.first_detection.(i) with
+                    | Some d -> string_of_int d
+                    | None -> "never")
+              | None ->
+                  if r.Fault_sim.gate_evaluations
+                     <> base_r.Fault_sim.gate_evaluations
+                  then
+                    failf "%s vs %s (drop=%b): gate_evaluations %d vs %d"
+                      base_name name drop base_r.Fault_sim.gate_evaluations
+                      r.Fault_sim.gate_evaluations
+                  else if ev <> base_ev then
+                    failf
+                      "%s vs %s (drop=%b): on_detect event streams differ \
+                       (%d vs %d events)"
+                      base_name name drop (List.length base_ev)
+                      (List.length ev)
+                  else compare_engines rest)
+        in
+        compare_engines rest
+  in
+  (* A pool wider than the fault universe (clamped at spawn time): run
+     a small fault subset against a deliberately oversized request. *)
+  let check_wide_pool () =
+    if Array.length faults = 0 then None
+    else begin
+      let sub = Array.sub faults 0 (min 3 (Array.length faults)) in
+      let serial = Fault_sim.run ~drop_detected:false c ~faults:sub ~vectors in
+      let wide =
+        Fault_sim.run_parallel
+          ~domains:(Array.length sub + 5)
+          ~drop_detected:false c ~faults:sub ~vectors
+      in
+      if wide.Fault_sim.first_detection <> serial.Fault_sim.first_detection
+      then
+        failf
+          "run_parallel with pool wider than the %d-fault subset disagrees \
+           with run"
+          (Array.length sub)
+      else None
+    end
+  in
+  match check_mode true with
+  | Some _ as f -> f
+  | None -> (
+      match check_mode false with
+      | Some _ as f -> f
+      | None -> check_wide_pool ())
+
+(* --- event-propagate: selective trace vs cone propagation vs Sim2 ------- *)
+
+let event_propagate (case : Testcase.t) =
+  let c = case.Testcase.circuit in
+  let n_nodes = Circuit.node_count c in
+  if Array.length case.vectors = 0 then None
+  else begin
+    let es = Event_sim.create c in
+    let prev = ref (Event_sim.node_values es) in
+    let prev_inputs = ref (Array.make (Circuit.input_count c) false) in
+    let rec step vi =
+      if vi >= Array.length case.vectors then None
+      else begin
+        let v = case.vectors.(vi) in
+        let seeds =
+          Array.to_list
+            (Array.mapi
+               (fun i id ->
+                 if v.(i) <> !prev_inputs.(i) then
+                   Some (id, Ternary.of_bool v.(i))
+                 else None)
+               c.inputs)
+          |> List.filter_map Fun.id
+        in
+        let diff = Propagate.run c !prev seeds in
+        ignore (Event_sim.set_inputs es v);
+        let full = Sim2.run_single c v in
+        let rec node id =
+          if id >= n_nodes then begin
+            prev := Event_sim.node_values es;
+            prev_inputs := Array.copy v;
+            step (vi + 1)
+          end
+          else if Event_sim.value es id <> full.(id) then
+            failf "Event_sim vs Sim2: vector %d node %s: %b vs %b" vi
+              (Circuit.name c id) (Event_sim.value es id) full.(id)
+          else
+            let expected =
+              match Hashtbl.find_opt diff id with
+              | Some t -> Ternary.to_bool t
+              | None -> Some !prev.(id)
+            in
+            match expected with
+            | None ->
+                failf "Propagate produced X at node %s on binary inputs \
+                       (vector %d)"
+                  (Circuit.name c id) vi
+            | Some b ->
+                if b <> full.(id) then
+                  failf "Propagate vs Sim2: vector %d node %s: %b vs %b" vi
+                    (Circuit.name c id) b full.(id)
+                else node (id + 1)
+        in
+        node 0
+      end
+    in
+    step 0
+  end
+
+(* --- sim3-binary: ternary simulator restricted to binary inputs --------- *)
+
+let sim3_binary (case : Testcase.t) =
+  let c = case.Testcase.circuit in
+  let n_nodes = Circuit.node_count c in
+  let rec step vi =
+    if vi >= Array.length case.vectors then None
+    else begin
+      let v = case.vectors.(vi) in
+      let tern = Sim3.run c (Array.map Ternary.of_bool v) in
+      let bin = Sim2.run_single c v in
+      let rec node id =
+        if id >= n_nodes then step (vi + 1)
+        else if not (Ternary.equal tern.(id) (Ternary.of_bool bin.(id))) then
+          failf "Sim3 vs Sim2 on binary inputs: vector %d node %s: %c vs %b"
+            vi (Circuit.name c id)
+            (Ternary.to_char tern.(id))
+            bin.(id)
+        else node (id + 1)
+      in
+      node 0
+    end
+  in
+  step 0
+
+(* --- experiment-cache: cached vs uncached pipeline ---------------------- *)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> remove_tree (Filename.concat path e))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let experiment_cache ~seed =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlcheck-cache-%d-%d" (Unix.getpid ()) (abs seed))
+  in
+  Fun.protect
+    ~finally:(fun () -> try remove_tree dir with Sys_error _ -> ())
+    (fun () ->
+      let circuit = Benchmarks.c432s_small () in
+      let cfg cache_dir =
+        Experiment.config ~seed:(7 + (abs seed land 7)) ~max_random_vectors:64
+          ~domains:1 ?cache_dir circuit
+      in
+      let plain = Experiment.run (cfg None) in
+      let cold = Experiment.run (cfg (Some dir)) in
+      let warm = Experiment.run (cfg (Some dir)) in
+      let outcomes (e : Experiment.t) want =
+        List.for_all
+          (fun (r : Stage.report) -> r.outcome = want)
+          e.stage_reports
+      in
+      if plain.summary <> cold.summary then
+        failf "uncached vs cold cached Experiment.run: summaries differ"
+      else if cold.summary <> warm.summary then
+        failf "cold vs warm cached Experiment.run: summaries differ"
+      else if plain.fit <> cold.fit || cold.fit <> warm.fit then
+        failf "cached vs uncached Experiment.run: fitted (R, θmax) differ"
+      else if
+        plain.t_curve <> cold.t_curve
+        || cold.t_curve <> warm.t_curve
+        || cold.theta_curve <> warm.theta_curve
+        || cold.gamma_curve <> warm.gamma_curve
+      then failf "cached vs uncached Experiment.run: coverage curves differ"
+      else if not (outcomes cold Stage.Miss) then
+        failf "cold cached run: expected every stage to Miss"
+      else if not (outcomes warm Stage.Hit) then
+        failf "warm cached run: expected every stage to Hit"
+      else None)
+
+(* --- registry ----------------------------------------------------------- *)
+
+let all =
+  [
+    { name = "sim2-flat";
+      doc = "Sim2.run vs flat-kernel run_flat, every node word, tail blocks";
+      kind = Case sim2_flat };
+    { name = "fault-sim";
+      doc =
+        "PPSFP kernel vs reference vs parallel (incl. pool wider than the \
+         universe), both drop modes, detection event streams";
+      kind = Case fault_sim_agreement };
+    { name = "event-propagate";
+      doc = "Event_sim selective trace vs Propagate cone vs Sim2, per vector";
+      kind = Case event_propagate };
+    { name = "sim3-binary";
+      doc = "Sim3 equals Sim2 on fully-binary inputs, every node";
+      kind = Case sim3_binary };
+    { name = "coverage-monotone";
+      doc = "T(k) monotone in k; prefix simulation reproduces the record";
+      kind = Case Metamorphic.coverage_monotone };
+    { name = "collapse-classes";
+      doc = "members of a collapsing class share their first detection";
+      kind = Case Metamorphic.collapse_agreement };
+    { name = "eq11-wb";
+      doc = "eq.11 reduces to Williams-Brown at R=1, thetamax=1";
+      kind = Sweep (fun ~seed -> Metamorphic.wb_reduction ~seed ()) };
+    { name = "eq9-theta";
+      doc = "eq.9 envelope: bounds, monotonicity, endpoints";
+      kind = Sweep (fun ~seed -> Metamorphic.theta_envelope ~seed ()) };
+    { name = "eq11-dl";
+      doc = "eq.11 DL(T) nonincreasing; endpoints 1-Y and residual";
+      kind = Sweep (fun ~seed -> Metamorphic.dl_monotone ~seed ()) };
+    { name = "yield-weights";
+      doc = "weighted yield vs Poisson model; scale_to_yield; w/p roundtrip";
+      kind = Sweep (fun ~seed -> Metamorphic.yield_consistency ~seed ()) };
+    { name = "required-coverage";
+      doc = "required-coverage inversions round-trip (eq.1 and eq.11)";
+      kind =
+        Sweep (fun ~seed -> Metamorphic.required_coverage_roundtrip ~seed ())
+    };
+    { name = "experiment-cache";
+      doc = "cached vs uncached Experiment.run identical; warm run all-hit";
+      kind = Sweep experiment_cache };
+  ]
+
+let find name = List.find_opt (fun o -> o.name = name) all
+let names () = List.map (fun o -> o.name) all

@@ -1,0 +1,38 @@
+(** The oracle registry: named differential and metamorphic checks.
+
+    A [Case] check judges one generated {!Testcase} — typically by running
+    two or more engines that must agree bit-for-bit.  A [Sweep] check is
+    self-contained (a numeric equation sweep, or the cached-vs-uncached
+    pipeline differential) and runs once per harness invocation.
+
+    Checks return [None] for pass or [Some message] naming the first
+    disagreement precisely enough to debug from. *)
+
+type kind =
+  | Case of (Testcase.t -> string option)
+  | Sweep of (seed:int -> string option)
+
+type t = { name : string; doc : string; kind : kind }
+
+val all : t list
+(** Every registered check, in display order:
+    - ["sim2-flat"]: {!Dl_logic.Sim2.run} vs {!Dl_logic.Sim2.run_flat}
+      on every node word, including 1..63-vector tail blocks;
+    - ["fault-sim"]: {!Dl_fault.Fault_sim.run} vs [Reference.run] vs
+      [run_parallel] (several widths, including wider than the fault
+      universe), both drop modes, plus [on_detect] event streams and
+      evaluation counts;
+    - ["event-propagate"]: {!Dl_logic.Event_sim} vs {!Dl_logic.Propagate}
+      vs {!Dl_logic.Sim2.run_single} across a vector sequence;
+    - ["sim3-binary"]: {!Dl_logic.Sim3.run} equals two-valued simulation
+      when no input is X;
+    - ["coverage-monotone"], ["collapse-classes"]: case-level metamorphic
+      properties (see {!Metamorphic});
+    - ["eq11-wb"], ["eq9-theta"], ["eq11-dl"], ["yield-weights"],
+      ["required-coverage"]: equation sweeps (see {!Metamorphic});
+    - ["experiment-cache"]: cached and uncached
+      {!Dl_core.Experiment.run} produce identical results and a warm
+      cache hits every stage. *)
+
+val find : string -> t option
+val names : unit -> string list

@@ -1,0 +1,136 @@
+(* Greedy counterexample minimization.
+
+   The predicate [fails] is the ground truth: a candidate reduction is
+   kept iff the reduced case still fails.  Three reduction moves, cheapest
+   first, repeated to a fixpoint (or until the check budget runs out):
+
+   - chunked vector deletion (delta-debugging style: window sizes n/2,
+     n/4, ..., 1);
+   - chunked fault deletion (same schedule);
+   - single-gate elimination via {!Dl_netlist.Transform.eliminate_node} +
+     [prune_dead], with the fault set remapped across the surgery.
+
+   Every accepted move strictly shrinks the case, so termination is
+   structural; the budget only bounds the number of *rejected*
+   attempts. *)
+
+open Dl_netlist
+
+type stats = {
+  checks : int;
+  rounds : int;
+  gates_before : int;
+  gates_after : int;
+  vectors_before : int;
+  vectors_after : int;
+  faults_before : int;
+  faults_after : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d predicate runs, %d rounds: %d->%d gates, %d->%d vectors, %d->%d \
+     faults"
+    s.checks s.rounds s.gates_before s.gates_after s.vectors_before
+    s.vectors_after s.faults_before s.faults_after
+
+let delete_range arr i len =
+  let n = Array.length arr in
+  Array.append (Array.sub arr 0 i) (Array.sub arr (i + len) (n - i - len))
+
+let minimize ?(max_checks = 2000) ~fails (case : Testcase.t) =
+  let checks = ref 0 in
+  let budget_left () = !checks < max_checks in
+  let still_fails c =
+    budget_left ()
+    && begin
+         incr checks;
+         fails c <> None
+       end
+  in
+  (* Chunked deletion over an array-valued component of the case. *)
+  let shrink_component get set case =
+    let case = ref case in
+    let chunk = ref (max 1 (Array.length (get !case) / 2)) in
+    while !chunk >= 1 && budget_left () do
+      let i = ref 0 in
+      while !i < Array.length (get !case) do
+        let arr = get !case in
+        let len = min !chunk (Array.length arr - !i) in
+        let candidate = set !case (delete_range arr !i len) in
+        if len > 0 && still_fails candidate then
+          (* deletion accepted: the next chunk slid into position [i] *)
+          case := candidate
+        else i := !i + len
+      done;
+      chunk := (if !chunk = 1 then 0 else !chunk / 2)
+    done;
+    !case
+  in
+  let shrink_vectors =
+    shrink_component
+      (fun (c : Testcase.t) -> c.vectors)
+      (fun c v -> Testcase.with_vectors c v)
+  in
+  let shrink_faults =
+    shrink_component
+      (fun (c : Testcase.t) -> c.faults)
+      (fun c f -> Testcase.with_faults c f)
+  in
+  (* Try to eliminate one gate; [None] if no single elimination keeps the
+     case failing. *)
+  let try_eliminate (case : Testcase.t) id =
+    match
+      let c1, m1 = Transform.eliminate_node case.circuit id in
+      let c2, m2 = Transform.prune_dead c1 in
+      let compose = Array.map (fun o -> Option.bind o (fun i -> m2.(i))) m1 in
+      Testcase.with_circuit case c2 compose
+    with
+    | candidate -> if still_fails candidate then Some candidate else None
+    | exception (Invalid_argument _ | Circuit.Malformed _) -> None
+  in
+  let rec shrink_gates case =
+    if not (budget_left ()) then case
+    else begin
+      let c = case.Testcase.circuit in
+      (* Reverse topological order: outputs-first removal exposes whole
+         dead cones to [prune_dead] early. *)
+      let candidates =
+        Array.to_list c.Circuit.topo_order
+        |> List.rev
+        |> List.filter (fun id -> c.Circuit.nodes.(id).Circuit.kind <> Gate.Input)
+      in
+      let rec scan = function
+        | [] -> case
+        | id :: rest -> (
+            match try_eliminate case id with
+            | Some case' -> shrink_gates case' (* ids moved: rescan *)
+            | None -> scan rest)
+      in
+      scan candidates
+    end
+  in
+  let before = case in
+  let rec fixpoint rounds case =
+    let case' = shrink_gates (shrink_faults (shrink_vectors case)) in
+    let smaller =
+      Circuit.gate_count case'.Testcase.circuit
+        < Circuit.gate_count case.Testcase.circuit
+      || Array.length case'.Testcase.vectors < Array.length case.Testcase.vectors
+      || Array.length case'.Testcase.faults < Array.length case.Testcase.faults
+    in
+    if smaller && budget_left () then fixpoint (rounds + 1) case'
+    else (case', rounds + 1)
+  in
+  let shrunk, rounds = fixpoint 0 case in
+  ( shrunk,
+    {
+      checks = !checks;
+      rounds;
+      gates_before = Circuit.gate_count before.Testcase.circuit;
+      gates_after = Circuit.gate_count shrunk.Testcase.circuit;
+      vectors_before = Array.length before.Testcase.vectors;
+      vectors_after = Array.length shrunk.Testcase.vectors;
+      faults_before = Array.length before.Testcase.faults;
+      faults_after = Array.length shrunk.Testcase.faults;
+    } )

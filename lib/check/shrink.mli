@@ -1,0 +1,32 @@
+(** Greedy counterexample minimization for failing {!Testcase}s.
+
+    Reduction moves, cheapest first, to a fixpoint: chunked vector
+    deletion, chunked fault deletion, then per-gate elimination through
+    {!Dl_netlist.Transform.eliminate_node} + [prune_dead] (faults are
+    remapped across the surgery; vectors survive because primary inputs
+    are never removed).  Every accepted move strictly shrinks the case, so
+    the process terminates; [max_checks] additionally bounds the total
+    number of predicate evaluations (default 2000). *)
+
+type stats = {
+  checks : int;          (** Predicate evaluations spent. *)
+  rounds : int;          (** Fixpoint rounds. *)
+  gates_before : int;
+  gates_after : int;
+  vectors_before : int;
+  vectors_after : int;
+  faults_before : int;
+  faults_after : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val minimize :
+  ?max_checks:int ->
+  fails:(Testcase.t -> string option) ->
+  Testcase.t ->
+  Testcase.t * stats
+(** [minimize ~fails case] assumes [fails case <> None] and returns a
+    (weakly) smaller case that still fails, with reduction statistics.
+    [fails] is re-evaluated on every candidate — it must be
+    deterministic. *)

@@ -1,0 +1,222 @@
+open Dl_netlist
+module Rng = Dl_util.Rng
+module Stuck_at = Dl_fault.Stuck_at
+
+type t = {
+  seed : int;
+  circuit : Circuit.t;
+  vectors : bool array array;
+  faults : Stuck_at.t array;
+}
+
+(* Gate-mix template scaled to the requested size; mirrors the mixes the
+   existing fuzz suite exercises (NAND-rich with a sprinkle of XOR). *)
+let profile_for rng gates =
+  let weights =
+    [
+      (Gate.Nand, 8); (Gate.Nor, 4); (Gate.And, 4); (Gate.Or, 4);
+      (Gate.Not, 3); (Gate.Xor, 2); (Gate.Xnor, 1); (Gate.Buf, 1);
+    ]
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  let counts =
+    List.map
+      (fun (kind, w) ->
+        let exact = gates * w / total in
+        (* +-1 jitter so repeated sizes do not always produce the same
+           shape of netlist. *)
+        let jitter = if exact > 0 then Rng.int rng 2 else 0 in
+        (kind, max 0 (exact + jitter)))
+      weights
+  in
+  List.filter (fun (_, n) -> n > 0) counts
+
+let generate ~seed ~gates ~n_vectors () =
+  let rng = Rng.create (seed * 0x9E3779B9 + 1) in
+  let inputs = 4 + Rng.int rng 5 in
+  let outputs = 2 + Rng.int rng 3 in
+  let circuit =
+    Generator.random ~seed ~title:(Printf.sprintf "case%d" seed) ~inputs
+      ~outputs
+      ~profile:(profile_for rng (max 4 gates))
+      ()
+  in
+  let width = Circuit.input_count circuit in
+  let vectors =
+    Array.init n_vectors (fun _ -> Array.init width (fun _ -> Rng.bool rng))
+  in
+  { seed; circuit; vectors; faults = Stuck_at.universe circuit }
+
+let remap_faults (c' : Circuit.t) map faults =
+  let arity id = Array.length c'.Circuit.nodes.(id).Circuit.fanin in
+  let keep =
+    Array.to_list faults
+    |> List.filter_map (fun (f : Stuck_at.t) ->
+           match f.site with
+           | Stuck_at.Stem id -> (
+               match map.(id) with
+               | Some id' -> Some { f with site = Stuck_at.Stem id' }
+               | None -> None)
+           | Stuck_at.Branch { gate; pin } -> (
+               match map.(gate) with
+               | Some gate' when pin < arity gate' ->
+                   Some { f with site = Stuck_at.Branch { gate = gate'; pin } }
+               | _ -> None))
+  in
+  (* Surgery can alias two faults onto one site; keep one of each. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun f ->
+      if Hashtbl.mem seen f then false
+      else begin
+        Hashtbl.add seen f ();
+        true
+      end)
+    keep
+  |> Array.of_list
+
+let with_circuit t circuit map =
+  { t with circuit; faults = remap_faults circuit map t.faults }
+
+let with_vectors t vectors = { t with vectors }
+let with_faults t faults = { t with faults }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "seed %d: %s — %d gates, %d inputs, %d outputs, %d vectors, %d faults"
+    t.seed t.circuit.Circuit.title
+    (Circuit.gate_count t.circuit)
+    (Circuit.input_count t.circuit)
+    (Circuit.output_count t.circuit)
+    (Array.length t.vectors) (Array.length t.faults)
+
+(* --- Repro files ----------------------------------------------------------
+
+   A failing case is persisted as two files: [<name>.bench] (the shrunk
+   circuit, standard ISCAS-85 syntax, loadable by any tool here) and
+   [<name>.repro] (seed, vectors as 0/1 rows, fault list in
+   [Stuck_at.to_string] syntax).  [load_repro] reverses the pair, so a
+   counterexample survives the process that found it. *)
+
+let vector_to_string v =
+  String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let vector_of_string line =
+  Array.init (String.length line) (fun i ->
+      match line.[i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "repro vector: bad bit %c" c))
+
+let fault_to_string c f = Stuck_at.to_string c f
+
+let fault_of_string (c : Circuit.t) s =
+  let site_str, pol_str =
+    match String.rindex_opt s ' ' with
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> invalid_arg (Printf.sprintf "repro fault: %S" s)
+  in
+  let polarity =
+    match pol_str with
+    | "SA0" -> Stuck_at.Sa0
+    | "SA1" -> Stuck_at.Sa1
+    | _ -> invalid_arg (Printf.sprintf "repro fault polarity: %S" pol_str)
+  in
+  (* Branch sites print as "<gate>.in<pin>"; generated and ISCAS names never
+     contain '.', so the last ".in" split is unambiguous. *)
+  let site =
+    match String.rindex_opt site_str '.' with
+    | Some i
+      when i + 3 <= String.length site_str
+           && String.sub site_str i 3 = ".in" -> (
+        let gate_name = String.sub site_str 0 i in
+        let pin_str =
+          String.sub site_str (i + 3) (String.length site_str - i - 3)
+        in
+        match (Circuit.find_opt c gate_name, int_of_string_opt pin_str) with
+        | Some gate, Some pin -> Stuck_at.Branch { gate; pin }
+        | _ -> invalid_arg (Printf.sprintf "repro fault site: %S" site_str))
+    | _ -> (
+        match Circuit.find_opt c site_str with
+        | Some id -> Stuck_at.Stem id
+        | None -> invalid_arg (Printf.sprintf "repro fault site: %S" site_str))
+  in
+  { Stuck_at.site; polarity }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ())
+  end
+
+let save_repro ~dir ~name ~check ~message t =
+  mkdir_p dir;
+  let bench_path = Filename.concat dir (name ^ ".bench") in
+  let repro_path = Filename.concat dir (name ^ ".repro") in
+  Bench_format.write_file bench_path t.circuit;
+  let oc = open_out repro_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "# dlproj check repro v1\n";
+  p "# replay with: dlproj check --replay %s\n" repro_path;
+  p "check %s\n" check;
+  p "message %s\n" (String.map (fun c -> if c = '\n' then ' ' else c) message);
+  p "seed %d\n" t.seed;
+  p "circuit %s\n" (Filename.basename bench_path);
+  p "vectors %d\n" (Array.length t.vectors);
+  Array.iter (fun v -> p "%s\n" (vector_to_string v)) t.vectors;
+  p "faults %d\n" (Array.length t.faults);
+  Array.iter (fun f -> p "%s\n" (fault_to_string t.circuit f)) t.faults;
+  close_out oc;
+  repro_path
+
+type repro = { case : t; check : string; message : string }
+
+let load_repro path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines =
+    List.rev !lines
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '#')
+  in
+  let field name = function
+    | line :: rest when String.length line > String.length name
+                        && String.sub line 0 (String.length name) = name ->
+        (String.sub line
+           (String.length name + 1)
+           (String.length line - String.length name - 1),
+         rest)
+    | _ -> invalid_arg (Printf.sprintf "repro %s: missing %S field" path name)
+  in
+  let check, lines = field "check" lines in
+  let message, lines = field "message" lines in
+  let seed, lines = field "seed" lines in
+  let circuit_file, lines = field "circuit" lines in
+  let n_vec, lines = field "vectors" lines in
+  let n_vec = int_of_string n_vec in
+  let rec take n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | x :: rest -> take (n - 1) (x :: acc) rest
+    | [] -> invalid_arg (Printf.sprintf "repro %s: truncated" path)
+  in
+  let vec_lines, lines = take n_vec [] lines in
+  let n_faults, lines = field "faults" lines in
+  let fault_lines, _ = take (int_of_string n_faults) [] lines in
+  let circuit =
+    Bench_format.parse_file (Filename.concat (Filename.dirname path) circuit_file)
+  in
+  let case =
+    {
+      seed = int_of_string seed;
+      circuit;
+      vectors = Array.of_list (List.map vector_of_string vec_lines);
+      faults = Array.of_list (List.map (fault_of_string circuit) fault_lines);
+    }
+  in
+  { case; check; message }

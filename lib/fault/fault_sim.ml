@@ -265,8 +265,11 @@ module Reference = struct
 
   let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults
       ~vectors =
-    let shards = Parallel.size pool in
     let n_faults = Array.length faults in
+    (* A pool wider than the fault universe would create empty shards whose
+       scratch state (O(nodes) each) is allocated for nothing; clamping
+       changes no result because sharding is by contiguous fault index. *)
+    let shards = min (Parallel.size pool) n_faults in
     let first_detection = Array.make n_faults None in
     let live = Array.make n_faults true in
     let is_output = output_map c in
@@ -316,14 +319,27 @@ module Reference = struct
 
   let run_parallel ?(drop_detected = true) ?on_detect ?domains ?pool c ~faults
       ~vectors =
-    let dispatch pool =
-      if Parallel.size pool = 1 then
-        run ~drop_detected ?on_detect c ~faults ~vectors
-      else run_in_pool ~drop_detected ~on_detect pool c ~faults ~vectors
-    in
-    match pool with
-    | Some pool -> dispatch pool
-    | None -> Parallel.with_pool ?domains dispatch
+    (* An empty fault universe needs no good-machine simulation at all;
+       returning here also keeps [run_in_pool]'s shard clamp >= 1. *)
+    if Array.length faults = 0 then
+      { faults; first_detection = [||];
+        vectors_applied = Array.length vectors; gate_evaluations = 0 }
+    else
+      let dispatch pool =
+        if Parallel.size pool = 1 then
+          run ~drop_detected ?on_detect c ~faults ~vectors
+        else run_in_pool ~drop_detected ~on_detect pool c ~faults ~vectors
+      in
+      match pool with
+      | Some pool -> dispatch pool
+      | None ->
+          (* A pool wider than the universe is clamped before any domain
+             is spawned: the extra workers could never hold a fault, and
+             an oversized request would hit the runtime's domain limit. *)
+          let domains =
+            Option.map (fun d -> max 1 (min d (Array.length faults))) domains
+          in
+          Parallel.with_pool ?domains dispatch
 end
 
 (* --- Flat-kernel engine ----------------------------------------------------
@@ -700,8 +716,10 @@ let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
    fault-index order within each block — exactly the serial firing order. *)
 let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults ~vectors =
   let k = Kernel.of_circuit c in
-  let shards = Parallel.size pool in
   let n_faults = Array.length faults in
+  (* See [Reference.run_in_pool]: empty shards would only waste O(nodes)
+     scratch allocations; the clamp is result-invariant. *)
+  let shards = min (Parallel.size pool) n_faults in
   let first_detection = Array.make n_faults None in
   let live = Array.make n_faults true in
   let is_output = output_map c in
@@ -756,13 +774,23 @@ let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults ~vectors 
 
 let run_parallel ?(drop_detected = true) ?on_detect ?domains ?pool c ~faults
     ~vectors =
-  let dispatch pool =
-    if Parallel.size pool = 1 then run ~drop_detected ?on_detect c ~faults ~vectors
-    else run_in_pool ~drop_detected ~on_detect pool c ~faults ~vectors
-  in
-  match pool with
-  | Some pool -> dispatch pool
-  | None -> Parallel.with_pool ?domains dispatch
+  if Array.length faults = 0 then
+    { faults; first_detection = [||];
+      vectors_applied = Array.length vectors; gate_evaluations = 0 }
+  else
+    let dispatch pool =
+      if Parallel.size pool = 1 then run ~drop_detected ?on_detect c ~faults ~vectors
+      else run_in_pool ~drop_detected ~on_detect pool c ~faults ~vectors
+    in
+    match pool with
+    | Some pool -> dispatch pool
+    | None ->
+        (* See [Reference.run_parallel]: never spawn more domains than
+           faults. *)
+        let domains =
+          Option.map (fun d -> max 1 (min d (Array.length faults))) domains
+        in
+        Parallel.with_pool ?domains dispatch
 
 let detected_count r =
   Array.fold_left

@@ -55,7 +55,14 @@ val run_parallel :
     [first_detection] and [gate_evaluations] are equal, and [on_detect]
     fires the same events in the same order (events are buffered per block
     and replayed in increasing fault index, which is the serial order).
-    The callback runs in the calling domain only. *)
+    The callback runs in the calling domain only.
+
+    Degenerate inputs are first-class: an empty fault universe returns
+    immediately (no good-machine simulation); a [domains] request wider
+    than the fault universe is clamped before any domain is spawned (and a
+    caller-supplied [pool] wider than the universe is sharded at one fault
+    per worker, surplus workers idle); single-pattern / 1..63-vector tail
+    blocks behave identically to [run]. *)
 
 (** The pre-kernel PPSFP engine, retained verbatim as the oracle for
     property-testing the flat-kernel engine (and as the baseline for the

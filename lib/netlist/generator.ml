@@ -8,8 +8,7 @@ let random ?(seed = 1) ?(title = "random") ~inputs ~outputs ~profile () =
   if inputs <= 0 then invalid_arg "Generator.random: need inputs > 0";
   if outputs <= 0 then invalid_arg "Generator.random: need outputs > 0";
   List.iter
-    (fun (kind, count) ->
-      if kind = Gate.Input then invalid_arg "Generator.random: Input in profile";
+    (fun (_, count) ->
       if count < 0 then invalid_arg "Generator.random: negative count")
     profile;
   let rng = Rng.create seed in
@@ -77,7 +76,10 @@ let random ?(seed = 1) ?(title = "random") ~inputs ~outputs ~profile () =
            ISCAS-85 standard-cell mappings. *)
         let r = Rng.float rng 1.0 in
         if r < 0.65 then 2 else if r < 0.9 then 3 else 4
-    | Gate.Input -> assert false
+    | Gate.Input ->
+        invalid_arg
+          "Generator.random: Input is not a gate kind; remove it from the \
+           profile"
   in
   let emit_gate kind =
     let arity = min (arity_of kind) (Array.length !signals) in
@@ -167,7 +169,8 @@ let ripple_adder ?title n =
   Circuit.Builder.finalize builder
 
 let reduction ?title ~prefix ~leaf_kind ~node_kind n =
-  if n <= 1 then invalid_arg "Generator.reduction: need n > 1";
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Generator.%s: negative width %d" prefix n);
   let title = Option.value title ~default:(Printf.sprintf "%s%d" prefix n) in
   let builder = Circuit.Builder.create ~title in
   let counter = ref 0 in
@@ -193,7 +196,10 @@ let reduction ?title ~prefix ~leaf_kind ~node_kind n =
             nm)
   in
   let rec reduce = function
-    | [] -> assert false
+    | [] ->
+        (* Reached exactly when the caller asked for a zero-input tree. *)
+        invalid_arg
+          (Printf.sprintf "Generator.%s: cannot reduce zero inputs" prefix)
     | [ last ] -> last
     | items ->
         let rec pair_up = function
@@ -530,13 +536,17 @@ let array_multiplier ?title n =
   done;
   for k = 0 to (2 * n) - 1 do
     let out = Printf.sprintf "m%d" k in
-    if running.(k) = "" then begin
-      (* Constant-zero high bit of a 1-row multiplier: tie through an AND of
-         complementary signals would create redundancy; instead reuse a
-         half-adder carry that is structurally zero only for n = 1, which we
-         exclude, so this branch is unreachable. *)
-      assert false
-    end
+    if running.(k) = "" then
+      (* Constant-zero high bit of a 1-row multiplier: tying it through an
+         AND of complementary signals would create redundant (untestable)
+         logic.  The accumulation leaves a column empty only for n = 1,
+         which the entry guard excludes — diagnose rather than assert so a
+         future guard change cannot silently build a malformed netlist. *)
+      invalid_arg
+        (Printf.sprintf
+           "Generator.array_multiplier: accumulator column %d is empty \
+            (only possible for n = 1, which is rejected)"
+           k)
     else Circuit.Builder.add_gate b out Gate.Buf [ running.(k) ];
     Circuit.Builder.add_output b out
   done;

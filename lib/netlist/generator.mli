@@ -18,7 +18,9 @@ val random :
     realistic logic depth; every primary input is guaranteed to drive logic.
     Surplus sink signals are funneled through extra NAND gates so that the
     circuit ends with exactly [outputs] primary outputs (the reported gate
-    count may therefore slightly exceed the profile total). *)
+    count may therefore slightly exceed the profile total).
+    @raise Invalid_argument on non-positive [inputs]/[outputs], a negative
+    profile count, or [Gate.Input] appearing in the profile. *)
 
 val ripple_adder : ?title:string -> int -> Circuit.t
 (** [ripple_adder n]: n-bit ripple-carry adder (2n+1 inputs: a, b, cin;
@@ -26,10 +28,12 @@ val ripple_adder : ?title:string -> int -> Circuit.t
 
 val equality_comparator : ?title:string -> int -> Circuit.t
 (** [equality_comparator n]: outputs 1 iff two n-bit words are equal
-    (XNOR reduction tree). *)
+    (XNOR reduction tree; [n = 1] degenerates to a single XNOR).
+    @raise Invalid_argument for [n <= 0]. *)
 
 val parity_tree : ?title:string -> int -> Circuit.t
-(** [parity_tree n]: XOR reduction of n inputs. *)
+(** [parity_tree n]: XOR reduction of n inputs ([n = 1] passes the input
+    straight through).  @raise Invalid_argument for [n <= 0]. *)
 
 val multiplexer : ?title:string -> int -> Circuit.t
 (** [multiplexer s]: 2^s-to-1 mux with s select lines (AND/OR/NOT). *)

@@ -62,11 +62,91 @@ let decompose_for_cells ?(max_stack = 4) (c : Circuit.t) =
         | Gate.Xor | Gate.Xnor ->
             let reduced = reduce_tree name Gate.Xor 2 fanin_names in
             Circuit.Builder.add_gate b name nd.kind reduced
-        | Gate.Input | Gate.Buf | Gate.Not -> assert false
+        | Gate.Input | Gate.Buf | Gate.Not ->
+            (* [fits] accepts these kinds at any arity, so a finalized
+               circuit cannot reach here; a node that does is structurally
+               corrupt and deserves a diagnosis, not an assert. *)
+            invalid_arg
+              (Printf.sprintf
+                 "Transform.decompose_for_cells: %s node %S (arity %d) \
+                  cannot exceed the cell stack limit"
+                 (Gate.to_string nd.kind) name
+                 (Array.length nd.fanin))
       end)
     c.topo_order;
   Array.iter (fun o -> Circuit.Builder.add_output b (Circuit.name c o)) c.outputs;
   Circuit.Builder.finalize b
+
+(* Rebuild [c] keeping the nodes for which [keep] holds, substituting the
+   name of [replace id] for any fanin/output reference to a dropped node.
+   Shared by the two shrinker hooks below.  Returns the new circuit plus
+   the old-id -> new-id map (computed by name, which both hooks preserve). *)
+let rebuild (c : Circuit.t) ~keep ~replace =
+  let b = Circuit.Builder.create ~title:c.title in
+  (* Resolve a reference through dropped nodes to a kept representative;
+     chains terminate because [replace] always points at a lower id that is
+     a fanin of the dropped node (the DAG ensures strict decrease). *)
+  let rec resolve id = if keep.(id) then id else resolve (replace id) in
+  Array.iter
+    (fun id -> Circuit.Builder.add_input b (Circuit.name c id))
+    c.inputs;
+  Array.iter
+    (fun id ->
+      let nd = c.nodes.(id) in
+      if keep.(id) && nd.Circuit.kind <> Gate.Input then
+        Circuit.Builder.add_gate b nd.Circuit.name nd.Circuit.kind
+          (Array.to_list
+             (Array.map (fun src -> Circuit.name c (resolve src)) nd.Circuit.fanin)))
+    c.topo_order;
+  (* Outputs: substitute dropped nodes, drop duplicates (a substitution can
+     alias two output positions onto one surviving node). *)
+  let seen_out = Hashtbl.create 8 in
+  Array.iter
+    (fun o ->
+      let o = resolve o in
+      if not (Hashtbl.mem seen_out o) then begin
+        Hashtbl.add seen_out o ();
+        Circuit.Builder.add_output b (Circuit.name c o)
+      end)
+    c.outputs;
+  let c' = Circuit.Builder.finalize b in
+  let map =
+    Array.init (Circuit.node_count c) (fun id ->
+        if keep.(id) then Circuit.find_opt c' (Circuit.name c id) else None)
+  in
+  (c', map)
+
+let eliminate_node (c : Circuit.t) id =
+  if id < 0 || id >= Circuit.node_count c then
+    invalid_arg
+      (Printf.sprintf "Transform.eliminate_node: node id %d out of range" id);
+  let nd = c.nodes.(id) in
+  if nd.Circuit.kind = Gate.Input then
+    invalid_arg
+      (Printf.sprintf
+         "Transform.eliminate_node: %S is a primary input" nd.Circuit.name);
+  let keep = Array.make (Circuit.node_count c) true in
+  keep.(id) <- false;
+  rebuild c ~keep ~replace:(fun _ -> nd.Circuit.fanin.(0))
+
+let prune_dead (c : Circuit.t) =
+  let n = Circuit.node_count c in
+  let keep = Array.make n false in
+  (* Backward reachability from the primary outputs. *)
+  let rec mark id =
+    if not keep.(id) then begin
+      keep.(id) <- true;
+      Array.iter mark c.nodes.(id).Circuit.fanin
+    end
+  in
+  Array.iter mark c.outputs;
+  Array.iter (fun id -> keep.(id) <- true) c.inputs;
+  (* No reference to a dropped node can remain (readers of a dropped node
+     are themselves dropped), so [replace] is never consulted. *)
+  rebuild c ~keep ~replace:(fun id ->
+      invalid_arg
+        (Printf.sprintf
+           "Transform.prune_dead: dangling reference to dead node %d" id))
 
 let stats_delta before after =
   Printf.sprintf "%s: %d -> %d nodes (depth %d -> %d)" before.Circuit.title

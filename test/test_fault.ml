@@ -216,6 +216,74 @@ let test_parallel_empty_inputs () =
   Alcotest.(check bool) "no vectors, no detections" true
     (Array.for_all (fun d -> d = None) r.Fault_sim.first_detection)
 
+let test_parallel_degenerate_shapes () =
+  let c = Benchmarks.c17 () in
+  let universe = Stuck_at.universe c in
+  let faults = Array.sub universe 0 3 in
+  let vectors = random_vectors c 70 in
+  (* A domain request far wider than the fault universe is clamped before
+     any domain is spawned — even absurd widths must work. *)
+  List.iter
+    (fun domains ->
+      let serial = Fault_sim.run ~drop_detected:false c ~faults ~vectors in
+      let par =
+        Fault_sim.run_parallel ~drop_detected:false ~domains c ~faults ~vectors
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d identical" domains)
+        true
+        (serial.Fault_sim.first_detection = par.Fault_sim.first_detection
+        && serial.Fault_sim.gate_evaluations = par.Fault_sim.gate_evaluations))
+    [ 4; 64; 500 ];
+  (* A caller-supplied pool wider than the universe: surplus workers idle. *)
+  Dl_util.Parallel.with_pool ~domains:6 (fun pool ->
+      let serial = Fault_sim.run c ~faults ~vectors in
+      let par = Fault_sim.run_parallel ~pool c ~faults ~vectors in
+      Alcotest.(check bool) "wide pool identical" true
+        (serial.Fault_sim.first_detection = par.Fault_sim.first_detection);
+      let r = Fault_sim.run_parallel ~pool c ~faults:[||] ~vectors in
+      Alcotest.(check int) "empty universe" 0
+        (Array.length r.Fault_sim.first_detection);
+      Alcotest.(check int) "empty universe costs nothing" 0
+        r.Fault_sim.gate_evaluations;
+      Alcotest.(check int) "empty universe vectors_applied" 70
+        r.Fault_sim.vectors_applied);
+  (* Single-pattern and 1..63-vector tail blocks, full universe. *)
+  List.iter
+    (fun n ->
+      let vectors = random_vectors c n in
+      List.iter
+        (fun drop_detected ->
+          check_parallel_matches_serial
+            ~what:(Printf.sprintf "%d-vector block" n)
+            c ~faults:universe ~vectors ~domains:3 ~drop_detected)
+        [ true; false ])
+    [ 1; 63; 65 ]
+
+let test_parallel_sharding_deterministic () =
+  (* Sharding is contiguous by fault index: repeated runs are identical in
+     every observable, including the replayed event order. *)
+  let c = Option.get (Benchmarks.by_name "add8") in
+  let faults = Stuck_at.universe c in
+  let vectors = random_vectors c 90 in
+  let go () =
+    run_collecting (fun ~on_detect ->
+        Fault_sim.run_parallel ~drop_detected:false ~on_detect ~domains:3 c
+          ~faults ~vectors)
+  in
+  let r1, ev1 = go () in
+  let r2, ev2 = go () in
+  Alcotest.(check bool) "detections reproducible" true
+    (r1.Fault_sim.first_detection = r2.Fault_sim.first_detection);
+  Alcotest.(check bool) "event stream reproducible" true (ev1 = ev2);
+  Alcotest.(check bool) "events in serial order" true
+    (let serial, serial_ev =
+       run_collecting (fun ~on_detect ->
+           Fault_sim.run ~drop_detected:false ~on_detect c ~faults ~vectors)
+     in
+     serial.Fault_sim.first_detection = r1.Fault_sim.first_detection
+     && serial_ev = ev1)
+
 let prop_parallel_equals_serial =
   (* Random circuits, fault subsets, vector counts, domain counts and both
      dropping modes: the parallel engine must be indistinguishable from the
@@ -498,6 +566,121 @@ let test_dictionary_essential () =
         (Dictionary.detected_faults dict v <> []))
     (Dictionary.essential_vectors dict)
 
+(* --- Detectability ---------------------------------------------------------- *)
+
+let test_detectability_estimate () =
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let d = Detectability.estimate ~seed:5 ~samples:256 c ~faults in
+  let ps = Detectability.probabilities d in
+  Alcotest.(check int) "one probability per fault" (Array.length faults)
+    (Array.length ps);
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "p in [0,1]" true (p >= 0.0 && p <= 1.0))
+    ps;
+  Alcotest.(check bool) "c17 faults are random-testable" true
+    (Detectability.mean_detectability d > 0.0);
+  (* The induced curve starts at zero, grows monotonically, and mirrors
+     the escape probability exactly. *)
+  Alcotest.(check (float 0.0)) "T(0) = 0" 0.0
+    (Detectability.expected_coverage d 0);
+  let prev = ref 0.0 in
+  List.iter
+    (fun k ->
+      let v = Detectability.expected_coverage d k in
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at k=%d" k)
+        true
+        (v >= !prev -. 1e-12 && v <= 1.0);
+      prev := v)
+    [ 1; 2; 4; 8; 16; 32; 64; 128 ];
+  Alcotest.(check (float 1e-12)) "escape = 1 - coverage"
+    (1.0 -. Detectability.expected_coverage d 16)
+    (Detectability.escape_probability d 16)
+
+let test_detectability_hardest_and_length () =
+  let d = Detectability.of_probabilities [| 0.9; 0.5; 0.01; 0.2 |] in
+  let hardest = Detectability.hardest d 2 in
+  Alcotest.(check (list int)) "two hardest faults" [ 2; 3 ]
+    (List.sort compare (List.map fst hardest));
+  (match Detectability.test_length_for d ~target:0.9 with
+  | Some k ->
+      Alcotest.(check bool) "reaches target" true
+        (Detectability.expected_coverage d k >= 0.9);
+      Alcotest.(check bool) "minimal" true
+        (k = 0 || Detectability.expected_coverage d (k - 1) < 0.9)
+  | None -> Alcotest.fail "0.9 must be reachable with all p > 0");
+  let d0 = Detectability.of_probabilities [| 1.0; 0.0 |] in
+  Alcotest.(check bool) "target above the testable fraction" true
+    (Detectability.test_length_for d0 ~target:0.9 = None)
+
+(* --- Transition faults ------------------------------------------------------- *)
+
+let test_transition_run_matches_pair_oracle () =
+  let c = Benchmarks.c17 () in
+  let u = Transition.universe c in
+  Alcotest.(check int) "both edges at every node" (2 * Circuit.node_count c)
+    (Array.length u);
+  let vectors = random_vectors c 40 in
+  let r = Transition.run c ~faults:u ~vectors in
+  Array.iteri
+    (fun i f ->
+      match r.Transition.first_detection.(i) with
+      | Some k ->
+          Alcotest.(check bool) "capture index in range" true
+            (k >= 1 && k < Array.length vectors);
+          Alcotest.(check bool) "reported pair detects" true
+            (Transition.detects_pair c f ~v1:vectors.(k - 1) ~v2:vectors.(k));
+          for j = 1 to k - 1 do
+            if Transition.detects_pair c f ~v1:vectors.(j - 1) ~v2:vectors.(j)
+            then
+              Alcotest.failf "%s: pair %d detects before reported first %d"
+                (Transition.to_string c f) j k
+          done
+      | None ->
+          for j = 1 to Array.length vectors - 1 do
+            if Transition.detects_pair c f ~v1:vectors.(j - 1) ~v2:vectors.(j)
+            then
+              Alcotest.failf "%s undetected but pair %d detects"
+                (Transition.to_string c f) j
+          done)
+    u
+
+let test_transition_launch_capture_reduction () =
+  (* A slow-to-rise fault at [n] is detected by (v1, v2) iff v1 launches
+     n = 0 and v2 detects n stuck-at-0 (dually for slow-to-fall) — checked
+     against the ternary single-vector oracle, which is independent of the
+     two-pattern machinery. *)
+  let c = Benchmarks.c17 () in
+  let vectors = random_vectors c 12 in
+  Array.iter
+    (fun (f : Transition.t) ->
+      for j = 1 to Array.length vectors - 1 do
+        let v1 = vectors.(j - 1) and v2 = vectors.(j) in
+        let launch = (Dl_logic.Sim2.run_single c v1).(f.node) in
+        let stuck =
+          {
+            Stuck_at.site = Stuck_at.Stem f.node;
+            polarity =
+              (match f.edge with
+              | Transition.Rise -> Stuck_at.Sa0
+              | Transition.Fall -> Stuck_at.Sa1);
+          }
+        in
+        let expected =
+          (match f.edge with
+          | Transition.Rise -> not launch
+          | Transition.Fall -> launch)
+          && Fault_sim.detects_fault c stuck v2
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s pair %d" (Transition.to_string c f) j)
+          expected
+          (Transition.detects_pair c f ~v1 ~v2)
+      done)
+    (Transition.universe c)
+
 (* --- qcheck ----------------------------------------------------------------------- *)
 
 let prop_coverage_in_unit_range =
@@ -534,6 +717,24 @@ let () =
           Alcotest.test_case "parallel = serial" `Slow test_parallel_matches_serial;
           Alcotest.test_case "pool reuse" `Quick test_parallel_pool_reuse;
           Alcotest.test_case "empty inputs" `Quick test_parallel_empty_inputs;
+          Alcotest.test_case "degenerate shapes" `Quick
+            test_parallel_degenerate_shapes;
+          Alcotest.test_case "deterministic sharding" `Quick
+            test_parallel_sharding_deterministic;
+        ] );
+      ( "detectability",
+        [
+          Alcotest.test_case "estimate bounds and curve" `Quick
+            test_detectability_estimate;
+          Alcotest.test_case "hardest and test length" `Quick
+            test_detectability_hardest_and_length;
+        ] );
+      ( "transition",
+        [
+          Alcotest.test_case "run = pair oracle" `Quick
+            test_transition_run_matches_pair_oracle;
+          Alcotest.test_case "launch/capture reduction" `Quick
+            test_transition_launch_capture_reduction;
         ] );
       ( "kernel",
         [

@@ -253,6 +253,82 @@ let test_event_sim_activity_bounded () =
   let n = Event_sim.set_input es 0 true in
   Alcotest.(check bool) "bounded" true (n <= Circuit.node_count c)
 
+(* --- qcheck: Sim3 X-propagation ------------------------------------------- *)
+
+let random_case seed =
+  let inputs = 4 + (seed mod 4) in
+  let c =
+    Generator.random ~seed ~inputs ~outputs:2
+      ~profile:
+        [ (Gate.Nand, 10); (Gate.Nor, 5); (Gate.Xor, 3); (Gate.Not, 3);
+          (Gate.Buf, 1) ]
+      ()
+  in
+  let rng = Dl_util.Rng.create (seed lxor 0x5DEECE66) in
+  let pi =
+    Array.init inputs (fun _ ->
+        match Dl_util.Rng.int rng 3 with
+        | 0 -> Ternary.V0
+        | 1 -> Ternary.V1
+        | _ -> Ternary.VX)
+  in
+  (c, rng, pi)
+
+(* Refining one X input to a definite value never flips an already-
+   determined node — X-propagation is monotone in the information order. *)
+let prop_sim3_x_monotone =
+  QCheck.Test.make ~name:"sim3 refinement never flips determined nodes"
+    ~count:100
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let c, _, pi = random_case seed in
+      let before = Sim3.run c pi in
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if v = Ternary.VX then
+            List.iter
+              (fun bit ->
+                let refined = Array.copy pi in
+                refined.(i) <- bit;
+                let after = Sim3.run c refined in
+                Array.iteri
+                  (fun id b ->
+                    if b <> Ternary.VX && after.(id) <> b then ok := false)
+                  before)
+              [ Ternary.V0; Ternary.V1 ])
+        pi;
+      !ok)
+
+(* A node Sim3 calls determined has that value under *every* completion of
+   the X inputs (checked on sampled completions against Sim2). *)
+let prop_sim3_determined_sound =
+  QCheck.Test.make ~name:"sim3 determined nodes hold for all completions"
+    ~count:100
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let c, rng, pi = random_case seed in
+      let tern = Sim3.run c pi in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let completion =
+          Array.map
+            (fun v ->
+              match Ternary.to_bool v with
+              | Some b -> b
+              | None -> Dl_util.Rng.bool rng)
+            pi
+        in
+        let bin = Sim2.run_single c completion in
+        Array.iteri
+          (fun id v ->
+            match Ternary.to_bool v with
+            | Some b -> if b <> bin.(id) then ok := false
+            | None -> ())
+          tern
+      done;
+      !ok)
+
 let () =
   Alcotest.run "dl_logic"
     [
@@ -295,4 +371,7 @@ let () =
           Alcotest.test_case "idempotent input" `Quick test_event_sim_single_input;
           Alcotest.test_case "activity bounded" `Quick test_event_sim_activity_bounded;
         ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sim3_x_monotone; prop_sim3_determined_sound ] );
     ]

@@ -439,6 +439,137 @@ let test_decompose_identity_when_mappable () =
   let c' = Transform.decompose_for_cells c in
   Alcotest.(check int) "same size" (Circuit.node_count c) (Circuit.node_count c')
 
+(* --- generator error paths ------------------------------------------------ *)
+
+let test_generator_input_in_profile_rejected () =
+  Alcotest.check_raises "Input kind in profile"
+    (Invalid_argument
+       "Generator.random: Input is not a gate kind; remove it from the \
+        profile") (fun () ->
+      ignore
+        (Generator.random ~seed:1 ~inputs:3 ~outputs:1
+           ~profile:[ (Gate.Input, 2); (Gate.Nand, 4) ]
+           ()));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Generator.random: negative count") (fun () ->
+      ignore
+        (Generator.random ~seed:1 ~inputs:3 ~outputs:1
+           ~profile:[ (Gate.Nand, -1) ]
+           ()))
+
+let test_reduction_degenerate_widths () =
+  (* Zero-width trees are diagnosed with the tree's own name... *)
+  Alcotest.check_raises "parity_tree 0"
+    (Invalid_argument "Generator.par: cannot reduce zero inputs") (fun () ->
+      ignore (Generator.parity_tree 0));
+  Alcotest.check_raises "parity_tree negative"
+    (Invalid_argument "Generator.par: negative width -3") (fun () ->
+      ignore (Generator.parity_tree (-3)));
+  (* ...while a 1-wide tree degenerates to a pass-through. *)
+  let c = Generator.parity_tree 1 in
+  Circuit.validate c;
+  Alcotest.(check bool) "parity of one bit" true
+    ((Dl_logic.Sim2.output_bits c [| true |]).(0));
+  let cmp = Generator.equality_comparator 1 in
+  Circuit.validate cmp;
+  Alcotest.(check bool) "x = y" true
+    ((Dl_logic.Sim2.output_bits cmp [| true; true |]).(0));
+  Alcotest.(check bool) "x <> y" false
+    ((Dl_logic.Sim2.output_bits cmp [| true; false |]).(0))
+
+let test_array_multiplier_width_guard () =
+  Alcotest.check_raises "array_multiplier 1"
+    (Invalid_argument "Generator.array_multiplier: need 1 < n <= 8") (fun () ->
+      ignore (Generator.array_multiplier 1));
+  Alcotest.check_raises "array_multiplier 9"
+    (Invalid_argument "Generator.array_multiplier: need 1 < n <= 8") (fun () ->
+      ignore (Generator.array_multiplier 9))
+
+(* --- shrinker hooks -------------------------------------------------------- *)
+
+(* i0 -> inv -> buf -> out, plus a side NAND kept alive by its own output. *)
+let surgery_circuit () =
+  let b = Circuit.Builder.create ~title:"surgery" in
+  Circuit.Builder.add_input b "i0";
+  Circuit.Builder.add_input b "i1";
+  Circuit.Builder.add_gate b "inv" Gate.Not [ "i0" ];
+  Circuit.Builder.add_gate b "buf" Gate.Buf [ "inv" ];
+  Circuit.Builder.add_gate b "side" Gate.Nand [ "i0"; "i1" ];
+  Circuit.Builder.add_output b "buf";
+  Circuit.Builder.add_output b "side";
+  Circuit.Builder.finalize b
+
+let test_eliminate_node () =
+  let c = surgery_circuit () in
+  let id = Circuit.find c "inv" in
+  let c', map = Transform.eliminate_node c id in
+  Circuit.validate c';
+  Alcotest.(check int) "one gate fewer" (Circuit.gate_count c - 1)
+    (Circuit.gate_count c');
+  Alcotest.(check bool) "eliminated node unmapped" true (map.(id) = None);
+  (* Survivors map by name; inputs survive by construction. *)
+  Array.iter
+    (fun old_id ->
+      if old_id <> id then
+        match map.(old_id) with
+        | Some new_id ->
+            Alcotest.(check string) "name preserved" (Circuit.name c old_id)
+              (Circuit.name c' new_id)
+        | None -> Alcotest.failf "node %s lost" (Circuit.name c old_id))
+    (Array.init (Circuit.node_count c) Fun.id);
+  (* The victim's readers now read its first fanin: buf computes i0. *)
+  Alcotest.(check bool) "buf now follows i0" true
+    ((Dl_logic.Sim2.output_bits c' [| true; false |]).(0));
+  Alcotest.check_raises "eliminating a PI"
+    (Invalid_argument "Transform.eliminate_node: \"i0\" is a primary input")
+    (fun () -> ignore (Transform.eliminate_node c (Circuit.find c "i0")));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Transform.eliminate_node: node id 99 out of range")
+    (fun () -> ignore (Transform.eliminate_node c 99))
+
+let test_eliminate_output_node () =
+  (* Eliminating a node that drives a PO redirects the output to the
+     node's first fanin rather than leaving a dangling output. *)
+  let c = surgery_circuit () in
+  let c', map = Transform.eliminate_node c (Circuit.find c "buf") in
+  Circuit.validate c';
+  Alcotest.(check int) "still two outputs" 2 (Circuit.output_count c');
+  Alcotest.(check bool) "buf gone" true (map.(Circuit.find c "buf") = None);
+  (* "inv" now drives the first output directly. *)
+  Alcotest.(check bool) "output follows inv" false
+    ((Dl_logic.Sim2.output_bits c' [| true; true |]).(0))
+
+let test_prune_dead () =
+  let b = Circuit.Builder.create ~title:"deadwood" in
+  Circuit.Builder.add_input b "i0";
+  Circuit.Builder.add_input b "i1";
+  Circuit.Builder.add_gate b "live" Gate.And [ "i0"; "i1" ];
+  Circuit.Builder.add_gate b "dead1" Gate.Nor [ "i0"; "i1" ];
+  Circuit.Builder.add_gate b "dead2" Gate.Not [ "dead1" ];
+  Circuit.Builder.add_output b "live";
+  let c = Circuit.Builder.finalize b in
+  let c', map = Transform.prune_dead c in
+  Circuit.validate c';
+  Alcotest.(check int) "dead cone removed" 1 (Circuit.gate_count c');
+  Alcotest.(check bool) "dead1 unmapped" true
+    (map.(Circuit.find c "dead1") = None);
+  Alcotest.(check bool) "dead2 unmapped" true
+    (map.(Circuit.find c "dead2") = None);
+  Alcotest.(check bool) "inputs kept" true
+    (Circuit.input_count c' = 2 && map.(Circuit.find c "i0") <> None);
+  (* Function on the surviving outputs is untouched. *)
+  let rng = Dl_util.Rng.create 3 in
+  for _ = 1 to 50 do
+    let v = Array.init 2 (fun _ -> Dl_util.Rng.bool rng) in
+    Alcotest.(check (array bool)) "function preserved"
+      (Dl_logic.Sim2.output_bits c v)
+      (Dl_logic.Sim2.output_bits c' v)
+  done;
+  (* Idempotent on an already-live circuit. *)
+  let c'', _ = Transform.prune_dead c' in
+  Alcotest.(check int) "fixpoint" (Circuit.node_count c')
+    (Circuit.node_count c'')
+
 (* --- qcheck ---------------------------------------------------------------------- *)
 
 let prop_generator_deterministic =
@@ -523,6 +654,18 @@ let () =
         [
           Alcotest.test_case "decompose wide gates" `Quick test_decompose_wide_gates;
           Alcotest.test_case "identity when mappable" `Quick test_decompose_identity_when_mappable;
+          Alcotest.test_case "eliminate_node" `Quick test_eliminate_node;
+          Alcotest.test_case "eliminate output node" `Quick test_eliminate_output_node;
+          Alcotest.test_case "prune_dead" `Quick test_prune_dead;
+        ] );
+      ( "generator-errors",
+        [
+          Alcotest.test_case "Input in profile rejected" `Quick
+            test_generator_input_in_profile_rejected;
+          Alcotest.test_case "degenerate reduction widths" `Quick
+            test_reduction_degenerate_widths;
+          Alcotest.test_case "array multiplier width guard" `Quick
+            test_array_multiplier_width_guard;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
