@@ -8,12 +8,15 @@
      dune exec bench/main.exe -- fig4 fig5  # selected sections
 
    Sections: fig1 fig2 fig3 fig4 fig5 fig6 examples ablation delay
-   quality resistive stability sweep clustered lot par kernel store micro
+   quality resistive stability sweep clustered lot par kernel store serve
+   micro
 
    The [kernel] section additionally writes BENCH_fault_sim.json
    (machine-readable old-vs-new throughput gate) to the working directory
    or to $BENCH_FAULT_SIM_JSON; [store] likewise writes BENCH_store.json
-   (cold-vs-warm artifact-cache gate) or $BENCH_STORE_JSON. *)
+   (cold-vs-warm artifact-cache gate) or $BENCH_STORE_JSON; [serve] writes
+   BENCH_serve.json (concurrent loopback daemon gate) or
+   $BENCH_SERVE_JSON. *)
 
 open Dl_core
 module Coverage = Dl_fault.Coverage
@@ -774,6 +777,114 @@ let store_bench () =
   print_endline
     "gate: warm run bit-identical to cold and served entirely from cache."
 
+(* ------------------------------------------------------------ serve bench *)
+
+(* Loopback load test for the Dl_serve daemon: N concurrent clients fire
+   submissions drawn from a small set of distinct configs at one warm
+   server, so identical requests coalesce in flight or hit the result
+   cache and only a handful of underlying experiments ever run.  Measures
+   end-to-end throughput and client-observed latency percentiles, then
+   gates: every request answered with a Result, answers for the same key
+   identical, and the coalescing hit-rate above one half.  Writes the
+   machine-readable BENCH_serve.json (or $BENCH_SERVE_JSON). *)
+let serve_bench () =
+  section_banner "Serve" "concurrent loopback clients vs the projection daemon";
+  let module P = Dl_serve.Protocol in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlproj_bench_%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    Dl_serve.Server.config ~workers:2 ~queue_capacity:64 ~domains_per_worker:1
+      ~socket ()
+  in
+  let server = Dl_serve.Server.start cfg in
+  let clients = 8 and per_client = 12 and distinct = 4 in
+  let total = clients * per_client in
+  let spec seed =
+    P.job_spec ~seed ~max_random_vectors:64 (P.Builtin "c17")
+  in
+  let latencies = Array.make total nan in
+  let failures = Atomic.make 0 in
+  let by_key : (string, P.result_payload) Hashtbl.t = Hashtbl.create 8 in
+  let key_mutex = Mutex.create () in
+  let mismatches = Atomic.make 0 in
+  let client_thread i () =
+    Dl_serve.Client.with_client socket (fun c ->
+        for r = 0 to per_client - 1 do
+          let t0 = Unix.gettimeofday () in
+          match Dl_serve.Client.submit c (spec ((i + r) mod distinct)) with
+          | P.Result served ->
+              latencies.((i * per_client) + r) <-
+                (Unix.gettimeofday () -. t0) *. 1000.0;
+              let p = served.P.payload in
+              Mutex.lock key_mutex;
+              (match Hashtbl.find_opt by_key p.P.request_key with
+              | None -> Hashtbl.replace by_key p.P.request_key p
+              | Some first -> if compare first p <> 0 then Atomic.incr mismatches);
+              Mutex.unlock key_mutex
+          | _ -> Atomic.incr failures
+        done)
+  in
+  Printf.printf "[%d clients x %d requests, %d distinct configs...]\n%!"
+    clients per_client distinct;
+  let wall0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun i -> Thread.create (client_thread i) ()) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let stats = Dl_serve.Server.stats server in
+  Dl_serve.Server.stop server;
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let pct q =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let req_per_sec = float_of_int total /. wall_s in
+  let coalesce_rate =
+    float_of_int (stats.P.completed - stats.P.executed)
+    /. float_of_int (max 1 stats.P.completed)
+  in
+  Printf.printf
+    "%d requests in %.3f s — %.0f req/s, p50 %.2f ms, p99 %.2f ms\n"
+    total wall_s req_per_sec p50 p99;
+  Printf.printf "executed %d, completed %d — coalesce/cache hit-rate %.2f\n"
+    stats.P.executed stats.P.completed coalesce_rate;
+  let json_path =
+    match Sys.getenv_opt "BENCH_SERVE_JSON" with
+    | Some p -> p
+    | None -> "BENCH_serve.json"
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"section\": \"serve\", \"clients\": %d, \"requests\": %d, \
+     \"wall_s\": %.3f, \"req_per_sec\": %.0f, \"p50_ms\": %.3f, \
+     \"p99_ms\": %.3f, \"executed\": %d, \"coalesce_rate\": %.3f}\n"
+    clients total wall_s req_per_sec p50 p99 stats.P.executed coalesce_rate;
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  let failed = ref false in
+  if Atomic.get failures > 0 then begin
+    Printf.eprintf "FAIL: %d of %d requests were not answered with a Result\n"
+      (Atomic.get failures) total;
+    failed := true
+  end;
+  if Atomic.get mismatches > 0 then begin
+    Printf.eprintf "FAIL: %d answers differed from the first for their key\n"
+      (Atomic.get mismatches);
+    failed := true
+  end;
+  if coalesce_rate <= 0.5 then begin
+    Printf.eprintf "FAIL: coalesce/cache hit-rate %.2f <= 0.5\n" coalesce_rate;
+    failed := true
+  end;
+  if !failed then exit 1;
+  print_endline
+    "gate: every request answered, per-key answers identical, majority\n\
+     of requests served without re-execution."
+
 (* ---------------------------------------------------------- micro-benches *)
 
 let micro () =
@@ -896,6 +1007,7 @@ let sections =
     ("par", par);
     ("kernel", kernel_bench);
     ("store", store_bench);
+    ("serve", serve_bench);
     ("micro", micro);
   ]
 

@@ -9,6 +9,9 @@
      cache      artifact-store maintenance (stats, verify, gc)
      check      differential/metamorphic self-checks + mutation self-test
      bench-io   read/write ISCAS-85 .bench files
+     serve      projection daemon on a Unix-domain socket
+     submit     send one projection job to a running daemon
+     ping       liveness / stats / shutdown RPCs against a daemon
 *)
 
 open Cmdliner
@@ -198,7 +201,8 @@ let project_cmd =
 (* -------------------------------------------------------------- pipeline *)
 
 let pipeline_cmd =
-  let run spec seed jobs max_random target_yield points no_collapse report cache =
+  let run spec seed jobs max_random target_yield points no_collapse report cache
+      json =
     let c = load_circuit spec in
     check_writable_parent report;
     let cfg =
@@ -206,7 +210,28 @@ let pipeline_cmd =
         ~domains:(resolve_jobs jobs) ~collapse_faults:(not no_collapse)
         ?cache_dir:cache c
     in
+    let t0 = Unix.gettimeofday () in
     let e = Dl_core.Experiment.run cfg in
+    if json then begin
+      (* Same schema and encoding path as a served answer, so scripts can
+         consume local and remote runs identically. *)
+      let served =
+        {
+          Dl_serve.Protocol.payload =
+            Dl_serve.Protocol.payload_of_experiment
+              ~key:(Dl_core.Experiment.request_key cfg) e;
+          coalesced = false;
+          service_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+        }
+      in
+      print_endline (Dl_serve.Protocol.served_to_json served);
+      Option.iter
+        (fun path ->
+          Dl_core.Report.write_file path e;
+          Printf.eprintf "report written to %s\n" path)
+        report
+    end
+    else begin
     if cache <> None then begin
       print_endline "stage graph (artifact cache):";
       Format.printf "%a@." Dl_store.Stage.pp_reports e.stage_reports
@@ -233,6 +258,7 @@ let pipeline_cmd =
     | Some path ->
         Dl_core.Report.write_file path e;
         Printf.printf "report written to %s\n" path
+    end
   in
   let max_random =
     Arg.(value & opt int 2048 & info [ "max-random" ] ~docv:"N"
@@ -263,12 +289,17 @@ let pipeline_cmd =
                  unchanged (a warm re-run recomputes nothing; a yield change \
                  recomputes only the projection stage).")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print one machine-readable JSON object (the server's \
+                 response schema) instead of the tables.")
+  in
   Cmd.v
     (Cmd.info "pipeline" ~version
        ~doc:"Full experiment: layout, IFA, ATPG, gate+switch fault simulation, \
              DL projection and (R, θmax) fit.")
     Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ max_random $ target_yield
-          $ points $ no_collapse $ report $ cache)
+          $ points $ no_collapse $ report $ cache $ json)
 
 (* ----------------------------------------------------------------- cache *)
 
@@ -485,6 +516,139 @@ let bench_io_cmd =
        ~doc:"Convert circuits between ISCAS-85 .bench and structural Verilog.")
     Term.(const run $ circuit_arg $ out)
 
+(* ----------------------------------------------------------- serve/submit *)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/dlproj.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket workers queue_capacity jobs cache =
+    let cfg =
+      Dl_serve.Server.config ~workers ~queue_capacity
+        ~domains_per_worker:(resolve_jobs jobs) ?cache_dir:cache ~socket ()
+    in
+    Dl_serve.Server.run cfg ~on_ready:(fun _ ->
+        Printf.printf "dlproj serving on %s (%d worker%s, queue %d)%s\n%!"
+          socket workers
+          (if workers = 1 then "" else "s")
+          queue_capacity
+          (match cache with
+          | None -> ""
+          | Some d -> Printf.sprintf ", cache %s" d));
+    print_endline "dlproj server drained and exited"
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+           ~doc:"Scheduler threads (= concurrently running jobs), each \
+                 owning its own simulation domain pool.")
+  in
+  let queue =
+    Arg.(value & opt int 16 & info [ "queue" ] ~docv:"N"
+           ~doc:"Bound on queued jobs; past it, submissions are rejected \
+                 with a retry-after hint instead of blocking.")
+  in
+  let cache =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Content-addressed artifact store shared by all jobs.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~version
+       ~doc:"Serve projection jobs over a Unix-domain socket (drains \
+             gracefully on SIGTERM/SIGINT).")
+    Term.(const run $ socket_arg $ workers $ queue $ jobs_arg $ cache)
+
+let submit_cmd =
+  let run socket spec seed max_random target_yield no_collapse deadline json =
+    let circuit =
+      match Dl_netlist.Benchmarks.by_name spec with
+      | Some _ -> Dl_serve.Protocol.Builtin spec
+      | None ->
+          if Sys.file_exists spec then
+            let text = In_channel.with_open_text spec In_channel.input_all in
+            Dl_serve.Protocol.Inline_bench
+              { title = Filename.remove_extension (Filename.basename spec);
+                text }
+          else
+            die "%S is neither a built-in benchmark nor a .bench file" spec
+    in
+    let job =
+      Dl_serve.Protocol.job_spec ~seed ~max_random_vectors:max_random
+        ~target_yield ~collapse_faults:(not no_collapse) ?deadline_ms:deadline
+        circuit
+    in
+    Dl_serve.Client.with_client socket @@ fun client ->
+    match Dl_serve.Client.submit client job with
+    | Dl_serve.Protocol.Result served ->
+        if json then print_endline (Dl_serve.Protocol.served_to_json served)
+        else Format.printf "%a" Dl_serve.Protocol.pp_served served
+    | Dl_serve.Protocol.Rejected { retry_after_ms; queue_depth } ->
+        die "server busy (queue depth %d); retry in %d ms" queue_depth
+          retry_after_ms
+    | Dl_serve.Protocol.Expired -> die "deadline expired before completion"
+    | Dl_serve.Protocol.Server_error msg -> die "server error: %s" msg
+    | Dl_serve.Protocol.Pong | Dl_serve.Protocol.Stats_reply _ ->
+        die "unexpected reply to submit"
+  in
+  let max_random =
+    Arg.(value & opt int 2048 & info [ "max-random" ] ~docv:"N"
+           ~doc:"Random-phase vector budget.")
+  in
+  let target_yield =
+    Arg.(value & opt float 0.75 & info [ "yield" ] ~docv:"Y"
+           ~doc:"Yield the extracted weights are scaled to.")
+  in
+  let no_collapse =
+    Arg.(value & flag & info [ "no-collapse" ]
+           ~doc:"Simulate the full uncollapsed stuck-at universe.")
+  in
+  let deadline =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Give up (server side) if no answer exists after $(docv).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the machine-readable response (same schema as \
+                 $(b,dlproj pipeline --json)).")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~version
+       ~doc:"Submit one projection job to a running dlproj server.")
+    Term.(const run $ socket_arg $ circuit_arg $ seed_arg $ max_random
+          $ target_yield $ no_collapse $ deadline $ json)
+
+let ping_cmd =
+  let run socket stats shutdown =
+    Dl_serve.Client.with_client socket @@ fun client ->
+    if shutdown then begin
+      let s = Dl_serve.Client.shutdown client in
+      Format.printf "server draining; final stats:@.%a@."
+        Dl_serve.Protocol.pp_stats s
+    end
+    else if stats then
+      Format.printf "%a@." Dl_serve.Protocol.pp_stats
+        (Dl_serve.Client.get_stats client)
+    else begin
+      let t0 = Unix.gettimeofday () in
+      if Dl_serve.Client.ping client then
+        Printf.printf "pong from %s in %.1f ms\n" socket
+          ((Unix.gettimeofday () -. t0) *. 1000.0)
+      else die "unexpected reply to ping"
+    end
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print server counters and latency percentiles instead.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the server to drain and exit; prints its final stats.")
+  in
+  Cmd.v
+    (Cmd.info "ping" ~version
+       ~doc:"Liveness, stats and shutdown RPCs against a dlproj server.")
+    Term.(const run $ socket_arg $ stats $ shutdown)
+
 (* ------------------------------------------------------------------ svg *)
 
 let svg_cmd =
@@ -507,19 +671,41 @@ let svg_cmd =
     Term.(const run $ circuit_arg $ out $ scale)
 
 let () =
+  (* A client whose server hung up mid-write must get the one-line
+     diagnostic below (the client maps socket EPIPE to Protocol_error),
+     not die silently of SIGPIPE; a closed stdout still exits quietly. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let doc = "defect-level projection from layout-extracted realistic faults" in
   let main = Cmd.group (Cmd.info "dlproj" ~version ~doc)
       [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd; cache_cmd;
-        transition_cmd; compact_cmd; check_cmd; bench_io_cmd; svg_cmd ]
+        transition_cmd; compact_cmd; check_cmd; bench_io_cmd; serve_cmd;
+        submit_cmd; ping_cmd; svg_cmd ]
   in
-  (* Operational failures (missing files, malformed netlists, bad paths)
-     get a one-line diagnostic and exit 1 instead of a backtrace. *)
+  (* Operational failures (missing files, malformed netlists, bad paths,
+     missing or dead sockets) get a one-line diagnostic and exit 1 instead
+     of a backtrace. *)
+  (* A consumer that stopped reading our stdout (e.g. `dlproj info | head`)
+     surfaces as Sys_error "Broken pipe" (channel writes) or EPIPE (direct
+     Unix writes).  Exit quietly with the conventional SIGPIPE status —
+     via [Unix._exit], because [exit] would flush the broken channel and
+     die a second time. *)
+  let quiet_pipe_exit () =
+    (try flush stderr with Sys_error _ -> ());
+    Unix._exit 141
+  in
   try exit (Cmd.eval ~catch:false main) with
+  | Sys_error msg when msg = "Broken pipe" -> quiet_pipe_exit ()
   | Sys_error msg -> die "%s" msg
   | Circuit.Malformed msg -> die "%s" msg
   | Dl_netlist.Bench_format.Parse_error { line; message } ->
       die "parse error at line %d: %s" line message
   | Dl_netlist.Verilog.Parse_error { line; message } ->
       die "parse error at line %d: %s" line message
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> quiet_pipe_exit ()
+  | Unix.Unix_error (err, _, arg) ->
+      die "%s%s" (Unix.error_message err)
+        (if arg = "" then "" else Printf.sprintf " (%s)" arg)
+  | Dl_serve.Protocol.Protocol_error msg -> die "%s" msg
   | Failure msg -> die "%s" msg
   | Invalid_argument msg -> die "internal error: %s" msg

@@ -311,6 +311,69 @@ let experiment_cache ~seed =
         failf "warm cached run: expected every stage to Hit"
       else None)
 
+(* --- serve-loopback: served answer vs direct Experiment.run ------------- *)
+
+(* Differential oracle for the serving layer: a job answered over the
+   Unix-socket loopback must be bit-identical to a direct in-process
+   [Experiment.run] of the same config, and the immediate resubmission of
+   the same job must coalesce (no second execution). *)
+let serve_loopback ~seed =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlcheck-serve-%d-%d.sock" (Unix.getpid ()) (abs seed))
+  in
+  let cfg =
+    Dl_serve.Server.config ~workers:1 ~domains_per_worker:1 ~socket ()
+  in
+  let server = Dl_serve.Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Dl_serve.Server.stop server)
+    (fun () ->
+      let job_seed = 7 + (abs seed land 7) in
+      let spec =
+        Dl_serve.Protocol.job_spec ~seed:job_seed ~max_random_vectors:64
+          (Dl_serve.Protocol.Builtin "c432s_small")
+      in
+      Dl_serve.Client.with_client socket @@ fun client ->
+      let first = Dl_serve.Client.submit client spec in
+      let direct =
+        Experiment.run
+          (Experiment.config ~seed:job_seed ~max_random_vectors:64 ~domains:1
+             (Benchmarks.c432s_small ()))
+      in
+      let expect =
+        Dl_serve.Protocol.payload_of_experiment
+          ~key:(Experiment.request_key direct.cfg) direct
+      in
+      match first with
+      | Dl_serve.Protocol.Result served ->
+          (* stage hit/miss bookkeeping may legitimately differ between a
+             cacheless served run and the direct run; everything the paper
+             derives from the experiment must not *)
+          let strip (p : Dl_serve.Protocol.result_payload) =
+            { p with stage_hits = 0; stage_misses = 0 }
+          in
+          if strip served.payload <> strip expect then
+            failf "served c432s_small answer differs from direct Experiment.run"
+          else (
+            match Dl_serve.Client.submit client spec with
+            | Dl_serve.Protocol.Result again ->
+                if not again.coalesced then
+                  failf "identical resubmission was executed, not coalesced"
+                else if strip again.payload <> strip expect then
+                  failf "coalesced answer differs from the first"
+                else None
+            | other ->
+                failf "resubmission: unexpected reply %s"
+                  (match other with
+                  | Dl_serve.Protocol.Rejected _ -> "Rejected"
+                  | Dl_serve.Protocol.Expired -> "Expired"
+                  | Dl_serve.Protocol.Server_error m -> "Server_error: " ^ m
+                  | _ -> "Pong/Stats"))
+      | Dl_serve.Protocol.Server_error m -> failf "server error: %s" m
+      | _ -> failf "submit: unexpected reply kind")
+
 (* --- registry ----------------------------------------------------------- *)
 
 let all =
@@ -355,6 +418,11 @@ let all =
     { name = "experiment-cache";
       doc = "cached vs uncached Experiment.run identical; warm run all-hit";
       kind = Sweep experiment_cache };
+    { name = "serve-loopback";
+      doc =
+        "served answer bit-identical to direct Experiment.run; identical \
+         resubmission coalesces";
+      kind = Sweep serve_loopback };
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -32,7 +32,11 @@ val all : t list
       ["required-coverage"]: equation sweeps (see {!Metamorphic});
     - ["experiment-cache"]: cached and uncached
       {!Dl_core.Experiment.run} produce identical results and a warm
-      cache hits every stage. *)
+      cache hits every stage;
+    - ["serve-loopback"]: an answer served by {!Dl_serve.Server} over a
+      Unix-socket loopback is bit-identical to a direct
+      {!Dl_core.Experiment.run} of the same config, and an identical
+      resubmission is coalesced, not re-executed. *)
 
 val find : string -> t option
 val names : unit -> string list

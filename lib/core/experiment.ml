@@ -15,19 +15,20 @@ type config = {
   min_weight_ratio : float;
   rows : int option;
   domains : int;
+  pool : Dl_util.Parallel.t option;
   collapse_faults : bool;
   cache_dir : string option;
 }
 
 let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
     ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
-    ?(domains = Dl_util.Parallel.default_domains ())
+    ?(domains = Dl_util.Parallel.default_domains ()) ?pool
     ?(collapse_faults = true) ?cache_dir circuit =
   if not (target_yield > 0.0 && target_yield < 1.0) then
     invalid_arg "Experiment.config: target yield must be in (0, 1)";
   if domains < 1 then invalid_arg "Experiment.config: domains must be >= 1";
   { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio;
-    rows; domains; collapse_faults; cache_dir }
+    rows; domains; pool; collapse_faults; cache_dir }
 
 type t = {
   cfg : config;
@@ -50,6 +51,80 @@ type t = {
 }
 
 let fit_sample_points = 100
+
+(* Per-stage config fingerprints, shared between [run] (which passes them
+   to [Stage.run]) and [stage_keys] (which derives the same keys without
+   running anything) so the two can never drift apart. *)
+let atpg_config cfg =
+  [
+    ("seed", string_of_int cfg.seed);
+    ("max_random_vectors", string_of_int cfg.max_random_vectors);
+  ]
+
+let universe_config cfg =
+  [ ("collapse_faults", string_of_bool cfg.collapse_faults) ]
+
+let ifa_config cfg =
+  [
+    ("defect_stats", Artifact.defect_stats_fingerprint cfg.stats);
+    ("min_weight_ratio", Printf.sprintf "%h" cfg.min_weight_ratio);
+    ("rows", match cfg.rows with None -> "auto" | Some r -> string_of_int r);
+  ]
+
+let projection_config cfg =
+  [
+    ("target_yield", Printf.sprintf "%h" cfg.target_yield);
+    ("fit_points", string_of_int fit_sample_points);
+  ]
+
+(* The stage keys are pure functions of the config: every stage's key
+   digests only its name, codec kind/version, config fingerprint and the
+   keys of its inputs, and the root of that DAG is the content key of the
+   input circuit.  This is what lets a server coalesce identical requests
+   before running anything — two configs with equal [request_key] denote
+   bit-identical experiment results. *)
+let stage_keys cfg =
+  let circuit_key = Dl_store.Codec.content_key Artifact.circuit cfg.circuit in
+  let mapping =
+    Stage.key ~stage:"mapping" ~codec:Artifact.circuit ~config:[]
+      ~inputs:[ circuit_key ]
+  in
+  let atpg =
+    Stage.key ~stage:"atpg" ~codec:Artifact.atpg ~config:(atpg_config cfg)
+      ~inputs:[ mapping ]
+  in
+  let universe =
+    Stage.key ~stage:"fault-universe" ~codec:Artifact.stuck_faults
+      ~config:(universe_config cfg) ~inputs:[ mapping; atpg ]
+  in
+  let faultsim =
+    Stage.key ~stage:"fault-sim" ~codec:Artifact.detections ~config:[]
+      ~inputs:[ mapping; universe; atpg ]
+  in
+  let ifa =
+    Stage.key ~stage:"layout-ifa" ~codec:Artifact.ifa ~config:(ifa_config cfg)
+      ~inputs:[ mapping ]
+  in
+  let swift =
+    Stage.key ~stage:"swift" ~codec:Artifact.swift ~config:[]
+      ~inputs:[ mapping; ifa; atpg ]
+  in
+  let projection =
+    Stage.key ~stage:"projection" ~codec:Artifact.summary
+      ~config:(projection_config cfg)
+      ~inputs:[ universe; faultsim; ifa; swift ]
+  in
+  [
+    ("mapping", mapping);
+    ("atpg", atpg);
+    ("fault-universe", universe);
+    ("fault-sim", faultsim);
+    ("layout-ifa", ifa);
+    ("swift", swift);
+    ("projection", projection);
+  ]
+
+let request_key cfg = List.assoc "projection" (stage_keys cfg)
 
 (* The stage decomposition of the paper's flow.  Each stage's key digests
    its input artifact keys, its config fingerprint and its codec version,
@@ -79,12 +154,7 @@ let run cfg =
   (* 2. Test generation: random prefix then deterministic top-up. *)
   let atpg_art, atpg_key =
     Stage.run graph ~stage:"atpg" ~codec:Artifact.atpg
-      ~config:
-        [
-          ("seed", string_of_int cfg.seed);
-          ("max_random_vectors", string_of_int cfg.max_random_vectors);
-        ]
-      ~inputs:[ mapping_key ]
+      ~config:(atpg_config cfg) ~inputs:[ mapping_key ]
       (fun () ->
         let r, _ =
           Dl_atpg.Atpg.full_flow ~seed:cfg.seed
@@ -116,8 +186,7 @@ let run cfg =
      each untestable representative to its full class. *)
   let stuck_faults, universe_key =
     Stage.run graph ~stage:"fault-universe" ~codec:Artifact.stuck_faults
-      ~config:[ ("collapse_faults", string_of_bool cfg.collapse_faults) ]
-      ~inputs:[ mapping_key; atpg_key ]
+      ~config:(universe_config cfg) ~inputs:[ mapping_key; atpg_key ]
       (fun () ->
         let untestable = atpg_art.Artifact.untestable_faults in
         if cfg.collapse_faults then begin
@@ -161,8 +230,8 @@ let run cfg =
       ~inputs:[ mapping_key; universe_key; atpg_key ]
       (fun () ->
         let sim =
-          Dl_fault.Fault_sim.run_parallel ~domains:cfg.domains c
-            ~faults:stuck_faults ~vectors
+          Dl_fault.Fault_sim.run_parallel ~domains:cfg.domains ?pool:cfg.pool
+            c ~faults:stuck_faults ~vectors
         in
         {
           Artifact.first_detection = sim.first_detection;
@@ -179,14 +248,7 @@ let run cfg =
   let layout = Dl_layout.Layout.synthesize ?rows:cfg.rows mapping in
   let ifa_art, ifa_key =
     Stage.run graph ~stage:"layout-ifa" ~codec:Artifact.ifa
-      ~config:
-        [
-          ("defect_stats", Artifact.defect_stats_fingerprint cfg.stats);
-          ("min_weight_ratio", Printf.sprintf "%h" cfg.min_weight_ratio);
-          ("rows",
-           match cfg.rows with None -> "auto" | Some r -> string_of_int r);
-        ]
-      ~inputs:[ mapping_key ]
+      ~config:(ifa_config cfg) ~inputs:[ mapping_key ]
       (fun () ->
         let e =
           Ifa.extract ~stats:cfg.stats ~min_weight_ratio:cfg.min_weight_ratio
@@ -256,11 +318,7 @@ let run cfg =
   let n = Array.length vectors in
   let summary_art, _projection_key =
     Stage.run graph ~stage:"projection" ~codec:Artifact.summary
-      ~config:
-        [
-          ("target_yield", Printf.sprintf "%h" cfg.target_yield);
-          ("fit_points", string_of_int fit_sample_points);
-        ]
+      ~config:(projection_config cfg)
       ~inputs:[ universe_key; faultsim_key; ifa_key; swift_key ]
       (fun () ->
         let ks = Coverage.log_spaced ~max:n ~points:fit_sample_points in

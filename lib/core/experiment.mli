@@ -31,6 +31,12 @@ type config = {
       (** Domain count for the gate-level fault simulation
           ({!Dl_fault.Fault_sim.run_parallel}); results are independent of
           this value, so it is excluded from every stage key. *)
+  pool : Dl_util.Parallel.t option;
+      (** When set, the fault simulation runs on this existing domain pool
+          instead of spawning [domains] fresh ones — the serving path
+          ({!Dl_serve}) keeps one long-lived pool per scheduler worker.
+          Results are independent of the pool, so (like [domains]) it is
+          excluded from every stage key. *)
   collapse_faults : bool;
       (** [true] (default): simulate the equivalence-collapsed stuck-at
           universe — one representative per class, every class weighing
@@ -48,11 +54,25 @@ type config = {
 
 val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
   ?stats:Dl_extract.Defect_stats.t -> ?min_weight_ratio:float ->
-  ?rows:int -> ?domains:int -> ?collapse_faults:bool -> ?cache_dir:string ->
-  Circuit.t -> config
+  ?rows:int -> ?domains:int -> ?pool:Dl_util.Parallel.t ->
+  ?collapse_faults:bool -> ?cache_dir:string -> Circuit.t -> config
 (** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
-    pruning, [Domain.recommended_domain_count ()] domains, collapsed fault
-    universe, no cache. *)
+    pruning, [Domain.recommended_domain_count ()] domains (or [pool], which
+    takes precedence), collapsed fault universe, no cache. *)
+
+val stage_keys : config -> (string * string) list
+(** [(stage, key)] for every stage of {!run}, in execution order, derived
+    from the config alone — no stage is executed.  Equal to the keys in
+    {!t.stage_reports} of an actual run of the same config (property-
+    tested).  The root of the digest DAG is the content key of
+    [cfg.circuit]; [domains], [pool] and [cache_dir] influence nothing. *)
+
+val request_key : config -> string
+(** The ["projection"] stage key: a single digest of everything that can
+    change the result of {!run} (circuit content, seed, vector budget,
+    fault-universe mode, defect statistics, layout rows, pruning threshold,
+    target yield).  Two configs with equal [request_key] produce
+    bit-identical experiments — the coalescing key of {!Dl_serve}. *)
 
 type t = {
   cfg : config;

@@ -24,11 +24,152 @@ let c432s () = Generator.priority_controller ~title:"c432s" ~slices:9 ()
 let c432s_small () =
   Generator.priority_controller ~title:"c432s_small" ~slices:3 ()
 
+(* c499 is the 32-bit single-error-correcting circuit of the ISCAS-85
+   suite (41 PI / 32 PO, ~200 gates).  [c499s] reconstructs it from the
+   published high-level model (Hansen, Yalcin & Hayes): a Hamming-style
+   syndrome over the 32 data bits — data bit [i] carries the [i]-th
+   codeword >= 3 that is not a power of two, so a single check-input flip
+   (power-of-two syndrome) never aliases a data correction — followed by
+   per-bit match/correct logic.  Interface-exact (input and output names
+   and counts); see DESIGN.md §4 for the stand-in rationale. *)
+let c499s_text () =
+  let b = Buffer.create 8192 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# c499s: 32-bit SEC circuit, c499-interface reconstruction";
+  let codeword =
+    (* the 32 smallest integers >= 3 that are not powers of two *)
+    let rec collect acc n =
+      if List.length acc = 32 then List.rev acc
+      else if n land (n - 1) = 0 then collect acc (n + 1)
+      else collect (n :: acc) (n + 1)
+    in
+    Array.of_list (collect [] 3)
+  in
+  for i = 0 to 31 do line "INPUT(id%d)" i done;
+  for j = 0 to 7 do line "INPUT(ic%d)" j done;
+  line "INPUT(r)";
+  for i = 0 to 31 do line "OUTPUT(od%d)" i done;
+  (* syndrome bit j: parity of the data bits whose codeword has bit j set,
+     folded with the matching check input *)
+  for j = 0 to 5 do
+    let members =
+      List.filter (fun i -> codeword.(i) lsr j land 1 = 1)
+        (List.init 32 Fun.id)
+    in
+    let args = List.map (Printf.sprintf "id%d") members @ [ Printf.sprintf "ic%d" j ] in
+    line "s%d = XOR(%s)" j (String.concat ", " args)
+  done;
+  (* codewords fit in 6 bits; the two spare syndrome lines carry the check
+     inputs gated by the rate input, keeping all 41 inputs observable *)
+  line "s6 = XOR(ic6, r)";
+  line "s7 = XOR(ic7, r)";
+  for j = 0 to 7 do line "ns%d = NOT(s%d)" j j done;
+  for i = 0 to 31 do
+    let args =
+      List.init 8 (fun j ->
+          if codeword.(i) lsr j land 1 = 1 then Printf.sprintf "s%d" j
+          else Printf.sprintf "ns%d" j)
+    in
+    line "m%d = AND(%s)" i (String.concat ", " args);
+    line "od%d = XOR(id%d, m%d)" i i i
+  done;
+  Buffer.contents b
+
+let c499s () = Bench_format.parse_string ~title:"c499s" (c499s_text ())
+
+(* c880 is the ISCAS-85 8-bit ALU (60 PI / 26 PO).  [c880s] reconstructs
+   the high-level model's datapath — operand selection, ripple-carry
+   add, a logic unit, function select, output masking — plus the flag and
+   priority sections, with the exact 60-input/26-output interface. *)
+let c880s_text () =
+  let b = Buffer.create 8192 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let bus prefix n = List.init n (fun i -> prefix ^ string_of_int i) in
+  let commas l = String.concat ", " l in
+  line "# c880s: 8-bit ALU, c880-interface reconstruction";
+  List.iter
+    (fun name -> List.iter (fun s -> line "INPUT(%s)" s) (bus name 8))
+    [ "a"; "b"; "c"; "d"; "e"; "mask" ];
+  for i = 0 to 6 do line "INPUT(pr%d)" i done;
+  List.iter (fun s -> line "INPUT(%s)" s) [ "sela"; "selb"; "op0"; "op1"; "cin" ];
+  for i = 0 to 7 do line "OUTPUT(y%d)" i done;
+  for i = 0 to 7 do line "OUTPUT(z%d)" i done;
+  List.iter (fun s -> line "OUTPUT(%s)" s)
+    [ "cout"; "parity"; "zero"; "eq"; "gt"; "sign"; "valid"; "prio0"; "prio1"; "prio2" ];
+  (* operand selection: x = sela ? c : a, w = selb ? d : b *)
+  line "nsela = NOT(sela)";
+  line "nselb = NOT(selb)";
+  for i = 0 to 7 do
+    line "xa%d = AND(a%d, nsela)" i i;
+    line "xc%d = AND(c%d, sela)" i i;
+    line "x%d = OR(xa%d, xc%d)" i i i;
+    line "wb%d = AND(b%d, nselb)" i i;
+    line "wd%d = AND(d%d, selb)" i i;
+    line "w%d = OR(wb%d, wd%d)" i i i
+  done;
+  (* ripple-carry adder; xr* doubles as the logic unit's XOR *)
+  for i = 0 to 7 do
+    let carry = if i = 0 then "cin" else Printf.sprintf "cy%d" i in
+    line "xr%d = XOR(x%d, w%d)" i i i;
+    line "s%d = XOR(xr%d, %s)" i i carry;
+    line "g%d = AND(x%d, w%d)" i i i;
+    line "t%d = AND(xr%d, %s)" i i carry;
+    line "cy%d = OR(g%d, t%d)" (i + 1) i i
+  done;
+  line "cout = BUF(cy8)";
+  (* logic unit and function select: 00 add, 01 and, 10 or, 11 xor *)
+  line "nop0 = NOT(op0)";
+  line "nop1 = NOT(op1)";
+  for i = 0 to 7 do
+    line "la%d = AND(x%d, w%d)" i i i;
+    line "lo%d = OR(x%d, w%d)" i i i;
+    line "f%dm0 = AND(s%d, nop1, nop0)" i i;
+    line "f%dm1 = AND(la%d, nop1, op0)" i i;
+    line "f%dm2 = AND(lo%d, op1, nop0)" i i;
+    line "f%dm3 = AND(xr%d, op1, op0)" i i;
+    line "f%d = OR(f%dm0, f%dm1, f%dm2, f%dm3)" i i i i i
+  done;
+  line "sign = BUF(f7)";
+  (* masked result bus and the e-keyed difference bus *)
+  for i = 0 to 7 do
+    line "y%d = AND(f%d, mask%d)" i i i;
+    line "z%d = XOR(y%d, e%d)" i i i
+  done;
+  line "parity = XOR(%s)" (commas (bus "z" 8));
+  line "zero = NOR(%s)" (commas (bus "y" 8));
+  (* unsigned comparison of the ALU result against e *)
+  for i = 0 to 7 do
+    line "xn%d = XNOR(f%d, e%d)" i i i;
+    line "ne%d = NOT(e%d)" i i
+  done;
+  line "eq = AND(%s)" (commas (bus "xn" 8));
+  for i = 0 to 7 do
+    let higher = List.init (7 - i) (fun k -> Printf.sprintf "xn%d" (7 - k)) in
+    line "gth%d = AND(%s)" i (commas ((Printf.sprintf "f%d" i) :: (Printf.sprintf "ne%d" i) :: higher))
+  done;
+  line "gt = OR(%s)" (commas (bus "gth" 8));
+  (* priority encoder over the request lines *)
+  for i = 1 to 6 do line "npr%d = NOT(pr%d)" i i done;
+  line "h6 = BUF(pr6)";
+  for i = 5 downto 0 do
+    let above = List.init (6 - i) (fun k -> Printf.sprintf "npr%d" (6 - k)) in
+    line "h%d = AND(%s)" i (commas (Printf.sprintf "pr%d" i :: above))
+  done;
+  line "valid = OR(%s)" (commas (bus "pr" 7));
+  line "prio2 = OR(h6, h5, h4)";
+  line "prio1 = OR(h6, h3, h2)";
+  line "prio0 = OR(h5, h3, h1)";
+  Buffer.contents b
+
+let c880s () = Bench_format.parse_string ~title:"c880s" (c880s_text ())
+
 let all =
   [
     ("c17", c17);
     ("c432s", c432s);
     ("c432s_small", c432s_small);
+    ("c499s", c499s);
+    ("c880s", c880s);
     ("add8", fun () -> Generator.ripple_adder 8);
     ("add16", fun () -> Generator.ripple_adder 16);
     ("cmp8", fun () -> Generator.equality_comparator 8);

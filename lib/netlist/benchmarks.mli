@@ -15,6 +15,24 @@ val c432s : unit -> Circuit.t
 val c432s_small : unit -> Circuit.t
 (** A ~40-gate circuit with the same mix, for fast integration tests. *)
 
+val c499s : unit -> Circuit.t
+(** The c499-interface 32-bit single-error-correcting circuit (41 inputs,
+    32 outputs): Hamming-style syndrome extraction plus per-bit correction,
+    reconstructed from the published high-level model.  Built as [.bench]
+    text and parsed with {!Bench_format.parse_string}. *)
+
+val c499s_text : unit -> string
+(** The [.bench] source of {!c499s}. *)
+
+val c880s : unit -> Circuit.t
+(** The c880-interface 8-bit ALU (60 inputs, 26 outputs): operand select,
+    ripple-carry add, logic unit, function select, output mask, comparator,
+    parity and a priority encoder.  Built as [.bench] text and parsed with
+    {!Bench_format.parse_string}. *)
+
+val c880s_text : unit -> string
+(** The [.bench] source of {!c880s}. *)
+
 val by_name : string -> Circuit.t option
 (** Lookup by benchmark name. *)
 

@@ -1,0 +1,49 @@
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable closed : bool;
+}
+
+let connect ?(max_frame = Protocol.default_max_frame) path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; max_frame; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_client ?max_frame path f =
+  let t = connect ?max_frame path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let rpc t request =
+  (* EPIPE here means the server hung up mid-exchange: surface it as a
+     protocol error so callers don't confuse it with a broken stdout. *)
+  (try Protocol.send Protocol.request_codec t.fd request
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+     raise (Protocol.Protocol_error "server closed the connection"));
+  match Protocol.recv ~max_frame:t.max_frame Protocol.response_codec t.fd with
+  | Some response -> response
+  | None ->
+      raise (Protocol.Protocol_error "server closed the connection")
+
+let ping t = match rpc t Protocol.Ping with
+  | Protocol.Pong -> true
+  | _ -> false
+
+let submit t spec = rpc t (Protocol.Submit spec)
+
+let expect_stats = function
+  | Protocol.Stats_reply s -> s
+  | Protocol.Server_error m ->
+      raise (Protocol.Protocol_error ("server error: " ^ m))
+  | _ -> raise (Protocol.Protocol_error "unexpected reply to stats request")
+
+let get_stats t = expect_stats (rpc t Protocol.Get_stats)
+let shutdown t = expect_stats (rpc t Protocol.Shutdown)

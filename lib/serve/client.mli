@@ -1,0 +1,35 @@
+(** Blocking client for the projection server: one connected Unix-domain
+    socket, one request/response exchange at a time.
+
+    Connection-level failures raise [Unix.Unix_error] (socket file
+    missing, nothing listening); protocol-level failures — including the
+    server closing the connection mid-exchange — raise
+    {!Protocol.Protocol_error}.  [dlproj] maps both onto its one-line
+    [die]. *)
+
+type t
+
+val connect : ?max_frame:int -> string -> t
+(** Connect to the socket at the given path.
+    @raise Unix.Unix_error when the path is missing or nothing accepts. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_client : ?max_frame:int -> string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exception). *)
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** One round trip.
+    @raise Protocol.Protocol_error if the server hangs up or answers with
+    an undecodable frame. *)
+
+val ping : t -> bool
+(** [true] iff the server answers {!Protocol.Pong}. *)
+
+val submit : t -> Protocol.job_spec -> Protocol.response
+val get_stats : t -> Protocol.stats
+(** @raise Protocol.Protocol_error on a non-[Stats_reply] answer. *)
+
+val shutdown : t -> Protocol.stats
+(** Ask the server to drain and exit; returns its final statistics. *)

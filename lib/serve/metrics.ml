@@ -1,0 +1,88 @@
+type t = {
+  mutex : Mutex.t;
+  started : float;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable coalesced : int;
+  mutable executed : int;
+  mutable completed : int;
+  mutable expired : int;
+  mutable failed : int;
+  ring : float array;  (* recent service times, ms *)
+  mutable ring_len : int;
+  mutable ring_pos : int;
+}
+
+let ring_capacity = 512
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started = Unix.gettimeofday ();
+    accepted = 0;
+    rejected = 0;
+    coalesced = 0;
+    executed = 0;
+    completed = 0;
+    expired = 0;
+    failed = 0;
+    ring = Array.make ring_capacity 0.0;
+    ring_len = 0;
+    ring_pos = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr_accepted t = locked t (fun () -> t.accepted <- t.accepted + 1)
+let incr_rejected t = locked t (fun () -> t.rejected <- t.rejected + 1)
+let incr_coalesced t = locked t (fun () -> t.coalesced <- t.coalesced + 1)
+let incr_executed t = locked t (fun () -> t.executed <- t.executed + 1)
+let incr_completed t = locked t (fun () -> t.completed <- t.completed + 1)
+let incr_expired t = locked t (fun () -> t.expired <- t.expired + 1)
+let incr_failed t = locked t (fun () -> t.failed <- t.failed + 1)
+
+let observe_service_ms t ms =
+  locked t (fun () ->
+      t.ring.(t.ring_pos) <- ms;
+      t.ring_pos <- (t.ring_pos + 1) mod ring_capacity;
+      if t.ring_len < ring_capacity then t.ring_len <- t.ring_len + 1)
+
+let mean_service_ms t =
+  locked t (fun () ->
+      if t.ring_len = 0 then 100.0
+      else begin
+        let sum = ref 0.0 in
+        for i = 0 to t.ring_len - 1 do
+          sum := !sum +. t.ring.(i)
+        done;
+        !sum /. float_of_int t.ring_len
+      end)
+
+(* Nearest-rank percentile over the retained ring. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let snapshot t ~queue_depth ~in_flight =
+  locked t (fun () ->
+      let sorted = Array.sub t.ring 0 t.ring_len in
+      Array.sort Float.compare sorted;
+      {
+        Protocol.accepted = t.accepted;
+        rejected = t.rejected;
+        coalesced = t.coalesced;
+        executed = t.executed;
+        completed = t.completed;
+        expired = t.expired;
+        failed = t.failed;
+        queue_depth;
+        in_flight;
+        p50_ms = percentile sorted 0.50;
+        p99_ms = percentile sorted 0.99;
+        uptime_s = Unix.gettimeofday () -. t.started;
+      })

@@ -1,0 +1,28 @@
+(** Thread-safe server counters and service-time percentiles.
+
+    All mutators may be called concurrently from connection and worker
+    threads; {!snapshot} composes a consistent {!Protocol.stats} (counters
+    are read under the same lock that writers take).  Service times are
+    kept in a bounded ring of the most recent observations, so p50/p99 are
+    over recent traffic, not the process lifetime. *)
+
+type t
+
+val create : unit -> t
+
+val incr_accepted : t -> unit
+val incr_rejected : t -> unit
+val incr_coalesced : t -> unit
+val incr_executed : t -> unit
+val incr_completed : t -> unit
+val incr_expired : t -> unit
+val incr_failed : t -> unit
+
+val observe_service_ms : t -> float -> unit
+(** Record one admission-to-answer service time. *)
+
+val mean_service_ms : t -> float
+(** Mean of the retained ring; a conservative default (100 ms) before the
+    first observation — the basis of [retry_after_ms]. *)
+
+val snapshot : t -> queue_depth:int -> in_flight:int -> Protocol.stats

@@ -1,0 +1,64 @@
+(** The projection daemon: a Unix-domain-socket listener in front of
+    {!Job_queue} and {!Dl_core.Experiment.run}.
+
+    Thread anatomy: one accept thread; one connection thread per client
+    (it decodes frames, admits jobs, blocks in {!Job_queue.await} and
+    writes its own responses — fan-out needs no dedicated writer); [workers]
+    scheduler threads, each owning one long-lived {!Dl_util.Parallel} pool
+    ({!Dl_util.Parallel.t} is not re-entrant, so pools are never shared)
+    that {!Dl_core.Experiment.run} reuses across jobs; one supervisor
+    thread that turns a stop request (signal flag, [Shutdown] RPC, or
+    {!stop}) into the drain sequence.
+
+    Drain-then-exit: stop admitting (submissions now get [Rejected]), let
+    the workers finish every queued and running job, wait for each
+    connection to write out the response it owes, then close the
+    connections, join everything and unlink the socket. *)
+
+type config = {
+  socket_path : string;
+  workers : int;            (** Scheduler threads = concurrent jobs. *)
+  queue_capacity : int;     (** Bound on queued (not running) jobs. *)
+  cache_capacity : int;     (** Completed-result cache entries. *)
+  domains_per_worker : int; (** Size of each worker's domain pool. *)
+  cache_dir : string option;  (** Artifact store for the stage graph. *)
+  max_frame : int;
+  on_job_start : (string -> unit) option;
+      (** Test hook: called with the request key just before a job
+          executes (after dispatch, before any stage runs). *)
+}
+
+val config :
+  ?workers:int -> ?queue_capacity:int -> ?cache_capacity:int ->
+  ?domains_per_worker:int -> ?cache_dir:string -> ?max_frame:int ->
+  ?on_job_start:(string -> unit) -> socket:string -> unit -> config
+(** Defaults: 1 worker, queue 16, cache 32,
+    [Dl_util.Parallel.default_domains ()] domains per worker,
+    {!Protocol.default_max_frame}. *)
+
+type t
+
+val start : config -> t
+(** Bind and serve.  A stale socket file (left by a crashed server) is
+    removed after probing that nothing answers on it; a {e live} socket
+    raises [Failure] instead of stealing the address.
+    @raise Unix.Unix_error on bind/listen failures. *)
+
+val stop : t -> unit
+(** Request the graceful drain and block until the server has fully shut
+    down.  Idempotent and callable from any thread. *)
+
+val request_stop : t -> unit
+(** Async-signal-safe stop request: sets a flag the supervisor acts on.
+    This is what the SIGTERM/SIGINT handlers call. *)
+
+val wait : t -> unit
+(** Block until the server has shut down (however the stop was
+    triggered). *)
+
+val stats : t -> Protocol.stats
+
+val run : ?on_ready:(t -> unit) -> config -> unit
+(** [start], install SIGTERM/SIGINT handlers that {!request_stop}, call
+    [on_ready] (the CLI's "serving on ..." banner — after the socket is
+    live, so a bind failure never claims to serve), then {!wait}. *)

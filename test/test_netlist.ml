@@ -603,6 +603,127 @@ let prop_roundtrip_random =
       done;
       !ok)
 
+(* --- ISCAS-85 style reconstructions (c499s, c880s) ------------------------ *)
+
+(* Evaluate a circuit with the named inputs set to true and every other
+   input false; returns the output bit for a named output. *)
+let outputs_for c high =
+  let v =
+    Array.init (Circuit.input_count c) (fun i ->
+        List.mem (Circuit.name c c.Circuit.inputs.(i)) high)
+  in
+  Dl_logic.Sim2.output_bits c v
+
+let out_bit c out name =
+  let rec find i =
+    if i = Array.length c.Circuit.outputs then
+      Alcotest.failf "no output named %s" name
+    else if Circuit.name c c.Circuit.outputs.(i) = name then out.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let test_c499s_interface () =
+  let c = Benchmarks.c499s () in
+  Alcotest.(check int) "c499s inputs" 41 (Circuit.input_count c);
+  Alcotest.(check int) "c499s outputs" 32 (Array.length c.Circuit.outputs);
+  Alcotest.(check int) "c499s nodes" 121 (Array.length c.Circuit.nodes)
+
+let test_c880s_interface () =
+  let c = Benchmarks.c880s () in
+  Alcotest.(check int) "c880s inputs" 60 (Circuit.input_count c);
+  Alcotest.(check int) "c880s outputs" 26 (Array.length c.Circuit.outputs);
+  Alcotest.(check int) "c880s nodes" 271 (Array.length c.Circuit.nodes)
+
+(* Single-error correction: on the all-zero codeword, flipping any one
+   input (data bit, check bit, or the shared [r] line) must decode back to
+   all-zero data.  A double data error is beyond SEC and must surface. *)
+let test_c499s_correction () =
+  let c = Benchmarks.c499s () in
+  let all_zero out = not (Array.exists Fun.id out) in
+  Alcotest.(check bool) "clean zero word" true (all_zero (outputs_for c []));
+  for i = 0 to Circuit.input_count c - 1 do
+    let nm = Circuit.name c c.Circuit.inputs.(i) in
+    if not (all_zero (outputs_for c [ nm ])) then
+      Alcotest.failf "single error on %s was not corrected" nm
+  done;
+  Alcotest.(check bool)
+    "double error detected (not silently corrected)" false
+    (all_zero (outputs_for c [ "id1"; "id5" ]))
+
+let test_c880s_alu_add () =
+  let c = Benchmarks.c880s () in
+  let bits prefix value =
+    List.filter_map
+      (fun i ->
+        if value lsr i land 1 = 1 then Some (Printf.sprintf "%s%d" prefix i)
+        else None)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let mask_all = bits "mask" 255 in
+  List.iter
+    (fun (a, b, cin) ->
+      let high =
+        bits "a" a @ bits "b" b @ mask_all @ if cin then [ "cin" ] else []
+      in
+      let out = outputs_for c high in
+      let total = a + b + if cin then 1 else 0 in
+      let y =
+        List.fold_left
+          (fun acc i ->
+            acc lor ((if out_bit c out (Printf.sprintf "y%d" i) then 1 else 0)
+                     lsl i))
+          0
+          [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+      in
+      Alcotest.(check int) (Printf.sprintf "sum %d+%d" a b) (total land 255) y;
+      Alcotest.(check bool)
+        (Printf.sprintf "cout %d+%d" a b)
+        (total > 255) (out_bit c out "cout");
+      Alcotest.(check bool)
+        (Printf.sprintf "zero flag %d+%d" a b)
+        (total land 255 = 0)
+        (out_bit c out "zero"))
+    [ (0, 0, false); (1, 2, false); (255, 1, false); (170, 85, true);
+      (200, 100, true); (255, 255, true) ]
+
+let test_c880s_alu_logic_and_priority () =
+  let c = Benchmarks.c880s () in
+  let bits prefix value =
+    List.filter_map
+      (fun i ->
+        if value lsr i land 1 = 1 then Some (Printf.sprintf "%s%d" prefix i)
+        else None)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  (* op1,op0 = 0,1: bitwise AND of the selected operands *)
+  let out =
+    outputs_for c (bits "a" 0b11001100 @ bits "b" 0b10101010
+                   @ bits "mask" 255 @ [ "op0" ])
+  in
+  let y =
+    List.fold_left
+      (fun acc i ->
+        acc lor ((if out_bit c out (Printf.sprintf "y%d" i) then 1 else 0)
+                 lsl i))
+      0
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.(check int) "AND mode" (0b11001100 land 0b10101010) y;
+  (* priority encoder: highest set request line wins *)
+  let prio out =
+    (if out_bit c out "prio2" then 4 else 0)
+    + (if out_bit c out "prio1" then 2 else 0)
+    + if out_bit c out "prio0" then 1 else 0
+  in
+  let out3 = outputs_for c [ "pr3" ] in
+  Alcotest.(check bool) "valid" true (out_bit c out3 "valid");
+  Alcotest.(check int) "pr3 alone" 3 (prio out3);
+  let out63 = outputs_for c [ "pr6"; "pr3" ] in
+  Alcotest.(check int) "pr6 beats pr3" 6 (prio out63);
+  let out_none = outputs_for c [] in
+  Alcotest.(check bool) "no request: invalid" false (out_bit c out_none "valid")
+
 let () =
   Alcotest.run "dl_netlist"
     [
@@ -666,6 +787,17 @@ let () =
             test_reduction_degenerate_widths;
           Alcotest.test_case "array multiplier width guard" `Quick
             test_array_multiplier_width_guard;
+        ] );
+      ( "iscas-like",
+        [
+          Alcotest.test_case "c499s interface" `Quick test_c499s_interface;
+          Alcotest.test_case "c880s interface" `Quick test_c880s_interface;
+          Alcotest.test_case "c499s single-error correction" `Quick
+            test_c499s_correction;
+          Alcotest.test_case "c880s ALU add/cout/zero" `Quick
+            test_c880s_alu_add;
+          Alcotest.test_case "c880s logic mode + priority encoder" `Quick
+            test_c880s_alu_logic_and_priority;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

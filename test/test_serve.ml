@@ -1,0 +1,685 @@
+(* Serving layer: wire protocol round-trips and corruption rejection, the
+   coalescing job queue's admission/deadline/drain semantics, and the live
+   server over a Unix-socket loopback — including the acceptance
+   properties: a served answer is bit-identical to a direct
+   Experiment.run, two identical concurrent requests execute once, a full
+   queue rejects rather than blocks, and SIGTERM drains in-flight jobs
+   before exit. *)
+
+module P = Dl_serve.Protocol
+module Job_queue = Dl_serve.Job_queue
+module Server = Dl_serve.Server
+module Client = Dl_serve.Client
+module Codec = Dl_store.Codec
+module Experiment = Dl_core.Experiment
+
+(* Polymorphic compare instead of (=): payloads carry floats and the
+   generators may produce nan, which compare equal structurally. *)
+let eq a b = compare a b = 0
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let tmp_socket =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlserve_test_%d_%d.sock" (Unix.getpid ()) !counter)
+
+(* --- generators ---------------------------------------------------------- *)
+
+let circuit_spec_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map (fun s -> P.Builtin s) (string_size (int_bound 12)));
+        ( 1,
+          map2
+            (fun title text -> P.Inline_bench { title; text })
+            (string_size (int_bound 8))
+            (string_size (int_bound 200)) );
+      ])
+
+let job_spec_gen =
+  QCheck.Gen.(
+    circuit_spec_gen >>= fun circuit ->
+    map2
+      (fun (seed, max_random_vectors, deadline_ms)
+           (target_yield, collapse_faults, min_weight_ratio) ->
+        {
+          P.circuit;
+          seed;
+          max_random_vectors;
+          target_yield;
+          collapse_faults;
+          min_weight_ratio;
+          deadline_ms;
+        })
+      (triple int (int_bound 100_000) (opt (int_bound 1_000_000)))
+      (triple float bool float))
+
+let request_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return P.Ping);
+        (1, return P.Get_stats);
+        (1, return P.Shutdown);
+        (4, map (fun s -> P.Submit s) job_spec_gen);
+      ])
+
+let summary_gen =
+  QCheck.Gen.(
+    map2
+      (fun text ((fit_r, fit_theta_max), (fit_rmse, fit_rmse_log10), sf) ->
+        {
+          Dl_store.Artifact.text;
+          fit_r;
+          fit_theta_max;
+          fit_rmse;
+          fit_rmse_log10;
+          scale_factor = sf;
+        })
+      (string_size (int_bound 100))
+      (triple (pair float float) (pair float bool) float))
+
+let payload_gen =
+  QCheck.Gen.(
+    map3
+      (fun (circuit_title, request_key)
+           (vectors, stuck_fault_count, realistic_fault_count)
+           ((t_final, theta_final), (gamma_final, theta_iddq_final),
+            target_yield) ->
+        fun summary (stage_hits, stage_misses) ->
+         {
+           P.circuit_title;
+           vectors;
+           stuck_fault_count;
+           realistic_fault_count;
+           t_final;
+           theta_final;
+           gamma_final;
+           theta_iddq_final;
+           target_yield;
+           summary;
+           request_key;
+           stage_hits;
+           stage_misses;
+         })
+      (pair (string_size (int_bound 20)) (string_size (int_bound 40)))
+      (triple small_nat small_nat small_nat)
+      (triple (pair float float) (pair float float) float)
+    <*> summary_gen
+    <*> pair small_nat small_nat)
+
+let stats_gen =
+  QCheck.Gen.(
+    map3
+      (fun (accepted, rejected, coalesced)
+           (executed, completed, expired)
+           ((failed, queue_depth, in_flight), (p50_ms, p99_ms), uptime_s) ->
+        {
+          P.accepted;
+          rejected;
+          coalesced;
+          executed;
+          completed;
+          expired;
+          failed;
+          queue_depth;
+          in_flight;
+          p50_ms;
+          p99_ms;
+          uptime_s;
+        })
+      (triple small_nat small_nat small_nat)
+      (triple small_nat small_nat small_nat)
+      (triple (triple small_nat small_nat small_nat) (pair float float) float))
+
+let response_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return P.Pong);
+        (1, return P.Expired);
+        (1, map (fun s -> P.Server_error s) (string_size (int_bound 60)));
+        ( 1,
+          map2
+            (fun retry_after_ms queue_depth ->
+              P.Rejected { retry_after_ms; queue_depth })
+            small_nat small_nat );
+        (2, map (fun s -> P.Stats_reply s) stats_gen);
+        ( 3,
+          map3
+            (fun payload coalesced service_ms ->
+              P.Result { payload; coalesced; service_ms })
+            payload_gen bool float );
+      ])
+
+let request_arb = QCheck.make ~print:(fun _ -> "<request>") request_gen
+let response_arb = QCheck.make ~print:(fun _ -> "<response>") response_gen
+
+(* --- protocol round-trips ------------------------------------------------ *)
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"requests round-trip through the codec" ~count:300
+    request_arb (fun req ->
+      match Codec.of_bytes P.request_codec (Codec.to_bytes P.request_codec req) with
+      | Ok decoded -> eq decoded req
+      | Error _ -> false)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"responses round-trip through the codec" ~count:300
+    response_arb (fun resp ->
+      match
+        Codec.of_bytes P.response_codec (Codec.to_bytes P.response_codec resp)
+      with
+      | Ok decoded -> eq decoded resp
+      | Error _ -> false)
+
+let sample_request =
+  P.Submit
+    (P.job_spec ~seed:11 ~max_random_vectors:512 ~target_yield:0.8
+       ~deadline_ms:2500
+       (P.Inline_bench { title = "t"; text = "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n" }))
+
+let test_every_byte_flip_rejected () =
+  let data = Codec.to_bytes P.request_codec sample_request in
+  for i = 0 to Bytes.length data - 1 do
+    let corrupt = Bytes.copy data in
+    Bytes.set corrupt i (Char.chr (Char.code (Bytes.get corrupt i) lxor 0x40));
+    match Codec.of_bytes P.request_codec corrupt with
+    | Ok decoded ->
+        if not (eq decoded sample_request) then
+          Alcotest.failf "byte flip at %d decoded to a different value" i
+        else Alcotest.failf "byte flip at %d went undetected" i
+    | Error _ -> ()
+  done
+
+let test_truncation_rejected () =
+  let data = Codec.to_bytes P.request_codec sample_request in
+  for len = 0 to Bytes.length data - 1 do
+    match Codec.of_bytes P.request_codec (Bytes.sub data 0 len) with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes went undetected" len
+    | Error _ -> ()
+  done
+
+(* --- framing over a real socketpair -------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () -> f a b)
+
+let test_frame_io () =
+  with_socketpair (fun a b ->
+      P.send P.request_codec a P.Ping;
+      P.send P.request_codec a sample_request;
+      (match P.recv P.request_codec b with
+      | Some P.Ping -> ()
+      | _ -> Alcotest.fail "first frame was not Ping");
+      (match P.recv P.request_codec b with
+      | Some req when eq req sample_request -> ()
+      | _ -> Alcotest.fail "second frame did not round-trip");
+      Unix.close a;
+      match P.recv P.request_codec b with
+      | None -> ()
+      | Some _ -> Alcotest.fail "EOF at frame boundary should be None")
+
+let test_frame_truncated_stream () =
+  with_socketpair (fun a b ->
+      let frame = Codec.to_bytes P.request_codec sample_request in
+      let header = Bytes.create 4 in
+      Bytes.set_int32_le header 0 (Int32.of_int (Bytes.length frame));
+      (* header plus half the body, then EOF: an error, not a clean close *)
+      let partial = Bytes.length frame / 2 in
+      assert (Unix.write a header 0 4 = 4);
+      assert (Unix.write a frame 0 partial = partial);
+      Unix.close a;
+      match P.recv P.request_codec b with
+      | exception P.Protocol_error _ -> ()
+      | None -> Alcotest.fail "mid-frame EOF must not look like a clean close"
+      | Some _ -> Alcotest.fail "truncated frame decoded")
+
+let test_frame_oversized_rejected () =
+  with_socketpair (fun a b ->
+      let header = Bytes.create 4 in
+      Bytes.set_int32_le header 0 0x7f000000l;
+      assert (Unix.write a header 0 4 = 4);
+      match P.recv ~max_frame:(1 lsl 20) P.request_codec b with
+      | exception P.Protocol_error _ -> ()
+      | _ -> Alcotest.fail "oversized frame length accepted")
+
+(* --- job queue ----------------------------------------------------------- *)
+
+let with_queue ?cache_capacity ~capacity f =
+  let q = Job_queue.create ?cache_capacity ~capacity () in
+  Fun.protect ~finally:(fun () -> Job_queue.shutdown q) (fun () -> f q)
+
+let run_one q =
+  match Job_queue.next q with
+  | `Drained -> Alcotest.fail "queue drained unexpectedly"
+  | `Job job ->
+      Job_queue.finish q job (Ok (String.uppercase_ascii (Job_queue.payload job)))
+
+let test_queue_basic () =
+  with_queue ~capacity:4 (fun q ->
+      match Job_queue.submit q ~key:"k1" "payload" with
+      | Job_queue.Enqueued ticket ->
+          Alcotest.(check int) "depth" 1 (Job_queue.depth q);
+          run_one q;
+          (match Job_queue.await q ticket with
+          | `Ok "PAYLOAD" -> ()
+          | _ -> Alcotest.fail "await did not return the finished result");
+          (* completed results are served from the cache *)
+          (match Job_queue.submit q ~key:"k1" "payload" with
+          | Job_queue.Cached "PAYLOAD" -> ()
+          | _ -> Alcotest.fail "repeat submission missed the result cache")
+      | _ -> Alcotest.fail "first submission was not Enqueued")
+
+(* [next] blocks forever on an empty queue, so the coalescing assertion is
+   phrased as: only one job is ever handed out, proved by draining. *)
+let test_queue_coalesce_single_execution () =
+  with_queue ~capacity:4 (fun q ->
+      let t1 =
+        match Job_queue.submit q ~key:"k" "a" with
+        | Job_queue.Enqueued t -> t
+        | _ -> Alcotest.fail "expected Enqueued"
+      in
+      let t2 =
+        match Job_queue.submit q ~key:"k" "b" with
+        | Job_queue.Coalesced t -> t
+        | _ -> Alcotest.fail "expected Coalesced"
+      in
+      run_one q;
+      (* the payload of the *first* submission is the one that ran *)
+      (match (Job_queue.await q t1, Job_queue.await q t2) with
+      | `Ok "A", `Ok "A" -> ()
+      | _ -> Alcotest.fail "both waiters must see the single execution");
+      Job_queue.drain q;
+      match Job_queue.next q with
+      | `Drained -> ()
+      | `Job _ -> Alcotest.fail "a second job leaked out of the queue")
+
+let test_queue_rejects_when_full () =
+  with_queue ~capacity:1 (fun q ->
+      (match Job_queue.submit q ~key:"k1" "a" with
+      | Job_queue.Enqueued _ -> ()
+      | _ -> Alcotest.fail "expected Enqueued");
+      match Job_queue.submit q ~key:"k2" "b" with
+      | Job_queue.Rejected { queue_depth } ->
+          Alcotest.(check int) "reported depth" 1 queue_depth
+      | _ -> Alcotest.fail "full queue accepted a new key")
+
+let test_queue_deadline_expiry () =
+  with_queue ~capacity:4 (fun q ->
+      let deadline = Unix.gettimeofday () +. 0.04 in
+      let ticket =
+        match Job_queue.submit q ~key:"k" ~deadline "a" with
+        | Job_queue.Enqueued t -> t
+        | _ -> Alcotest.fail "expected Enqueued"
+      in
+      (* no worker is running: the waiter must time out, not hang *)
+      (match Job_queue.await q ticket with
+      | `Expired -> ()
+      | _ -> Alcotest.fail "expected deadline expiry");
+      (* the queued job has no live waiters: cancelled at dispatch *)
+      Job_queue.drain q;
+      (match Job_queue.next q with
+      | `Drained -> ()
+      | `Job _ -> Alcotest.fail "expired job must not be dispatched");
+      Alcotest.(check int) "cancelled count" 1 (Job_queue.cancelled q))
+
+let test_queue_drain_rejects () =
+  with_queue ~capacity:4 (fun q ->
+      Job_queue.drain q;
+      (match Job_queue.submit q ~key:"k" "a" with
+      | Job_queue.Rejected _ -> ()
+      | _ -> Alcotest.fail "draining queue accepted a submission");
+      match Job_queue.next q with
+      | `Drained -> ()
+      | `Job _ -> Alcotest.fail "drained queue produced a job")
+
+(* --- live server over loopback ------------------------------------------- *)
+
+let quick_spec = P.job_spec ~seed:7 ~max_random_vectors:32 (P.Builtin "c17")
+
+let with_server ?(workers = 1) ?(queue_capacity = 16) ?on_job_start f =
+  let socket = tmp_socket () in
+  let cfg =
+    Server.config ~workers ~queue_capacity ~domains_per_worker:1 ?on_job_start
+      ~socket ()
+  in
+  let server = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server socket)
+
+let submit_result client spec =
+  match Client.submit client spec with
+  | P.Result served -> served
+  | P.Rejected _ -> Alcotest.fail "submission rejected"
+  | P.Expired -> Alcotest.fail "submission expired"
+  | P.Server_error m -> Alcotest.failf "server error: %s" m
+  | P.Pong | P.Stats_reply _ -> Alcotest.fail "wrong reply kind"
+
+let test_server_ping_and_unknown () =
+  with_server (fun _server socket ->
+      Client.with_client socket (fun c ->
+          Alcotest.(check bool) "pong" true (Client.ping c);
+          match Client.submit c (P.job_spec (P.Builtin "nonesuch")) with
+          | P.Server_error msg ->
+              Alcotest.(check bool)
+                "diagnostic names the benchmark" true
+                (contains_sub ~sub:"nonesuch" msg)
+          | _ -> Alcotest.fail "unknown benchmark must be a Server_error"))
+
+let test_server_bit_identical_and_inline () =
+  with_server (fun _server socket ->
+      Client.with_client socket (fun c ->
+          let served = submit_result c quick_spec in
+          let direct =
+            Experiment.run
+              (Experiment.config ~seed:7 ~max_random_vectors:32 ~domains:1
+                 (Dl_netlist.Benchmarks.c17 ()))
+          in
+          let expect =
+            P.payload_of_experiment ~key:(Experiment.request_key direct.cfg)
+              direct
+          in
+          if not (eq served.P.payload expect) then
+            Alcotest.fail "served answer differs from direct Experiment.run";
+          (* inline .bench text is parsed and served the same way *)
+          let inline_spec =
+            P.job_spec ~seed:7 ~max_random_vectors:32
+              (P.Inline_bench
+                 { title = "inline17";
+                   text =
+                     Dl_netlist.Bench_format.to_string
+                       (Dl_netlist.Benchmarks.c17 ()) })
+          in
+          let inline_served = submit_result c inline_spec in
+          Alcotest.(check int)
+            "inline run sees the same fault universe"
+            served.P.payload.P.stuck_fault_count
+            inline_served.P.payload.P.stuck_fault_count;
+          (* malformed inline text is a diagnostic, not a hang or crash *)
+          match
+            Client.submit c
+              (P.job_spec (P.Inline_bench { title = "bad"; text = "b = NOT(a)" }))
+          with
+          | P.Server_error _ -> ()
+          | _ -> Alcotest.fail "malformed inline bench must be a Server_error"))
+
+(* Poll [pred] until it holds or ~5 s elapse; fail the test on timeout. *)
+let wait_for what pred =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (pred ())) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  if not (pred ()) then Alcotest.failf "timed out waiting for %s" what
+
+let test_server_concurrent_coalescing () =
+  let release = Atomic.make false in
+  let started = Atomic.make 0 in
+  let on_job_start _key =
+    Atomic.incr started;
+    while not (Atomic.get release) do
+      Thread.delay 0.002
+    done
+  in
+  with_server ~on_job_start (fun server socket ->
+      (* if an assertion fires before the hook is released, [stop] would
+         wait forever on the spinning worker — always release on exit *)
+      Fun.protect ~finally:(fun () -> Atomic.set release true) @@ fun () ->
+      let results = Array.make 2 None in
+      let submitter i () =
+        Client.with_client socket (fun c ->
+            results.(i) <- Some (submit_result c quick_spec))
+      in
+      let threads = Array.init 2 (fun i -> Thread.create (submitter i) ()) in
+      (* hold the job until both identical requests are admitted *)
+      wait_for "both submissions admitted" (fun () ->
+          (Server.stats server).P.accepted >= 2);
+      Atomic.set release true;
+      Array.iter Thread.join threads;
+      let a, b =
+        match (results.(0), results.(1)) with
+        | Some a, Some b -> (a, b)
+        | _ -> Alcotest.fail "a submitter did not complete"
+      in
+      if not (eq a.P.payload b.P.payload) then
+        Alcotest.fail "coalesced answers differ";
+      let s = Server.stats server in
+      Alcotest.(check int) "exactly one execution" 1 s.P.executed;
+      Alcotest.(check int) "one coalesced admission" 1 s.P.coalesced;
+      Alcotest.(check int)
+        "exactly one primary (non-coalesced) response" 1
+        (Array.fold_left
+           (fun acc (r : P.served option) ->
+             match r with
+             | Some s when not s.P.coalesced -> acc + 1
+             | _ -> acc)
+           0 results);
+      Alcotest.(check int) "single job start" 1 (Atomic.get started))
+
+let test_server_queue_full_rejects () =
+  let release = Atomic.make false in
+  let on_job_start _ =
+    while not (Atomic.get release) do
+      Thread.delay 0.002
+    done
+  in
+  with_server ~queue_capacity:1 ~on_job_start (fun server socket ->
+      Fun.protect ~finally:(fun () -> Atomic.set release true) @@ fun () ->
+      let specs =
+        Array.init 3 (fun i ->
+            P.job_spec ~seed:(100 + i) ~max_random_vectors:32 (P.Builtin "c17"))
+      in
+      let results = Array.make 2 None in
+      let submitter i =
+        Thread.create
+          (fun () ->
+            Client.with_client socket (fun c ->
+                results.(i) <- Some (Client.submit c specs.(i))))
+          ()
+      in
+      (* sequence the admissions: A must be dispatched (and blocked in the
+         hook) before B arrives, so B fills the queue instead of being
+         bounced by it *)
+      let t_a = submitter 0 in
+      wait_for "job A dispatched" (fun () ->
+          (Server.stats server).P.in_flight = 1);
+      let t_b = submitter 1 in
+      wait_for "job B queued" (fun () ->
+          (Server.stats server).P.queue_depth = 1);
+      (* the queue is full: the third distinct request must be rejected
+         immediately, not block *)
+      let t0 = Unix.gettimeofday () in
+      (Client.with_client socket @@ fun c ->
+       match Client.submit c specs.(2) with
+       | P.Rejected { retry_after_ms; queue_depth } ->
+           Alcotest.(check int) "reported queue depth" 1 queue_depth;
+           Alcotest.(check bool) "retry hint present" true (retry_after_ms >= 50)
+       | _ -> Alcotest.fail "full queue did not reject");
+      Alcotest.(check bool)
+        "rejection was immediate" true
+        (Unix.gettimeofday () -. t0 < 2.0);
+      Atomic.set release true;
+      List.iter Thread.join [ t_a; t_b ];
+      Array.iter
+        (fun r ->
+          match r with
+          | Some (P.Result _) -> ()
+          | _ -> Alcotest.fail "admitted job did not complete after release")
+        results;
+      let s = Server.stats server in
+      Alcotest.(check int) "one rejection counted" 1 s.P.rejected)
+
+let test_server_deadline_expires_queued_job () =
+  let release = Atomic.make false in
+  let on_job_start _ =
+    while not (Atomic.get release) do
+      Thread.delay 0.002
+    done
+  in
+  with_server ~on_job_start (fun server socket ->
+      Fun.protect ~finally:(fun () -> Atomic.set release true) @@ fun () ->
+      let blocker = Thread.create (fun () ->
+          Client.with_client socket (fun c ->
+              ignore (Client.submit c quick_spec))) ()
+      in
+      wait_for "blocker dispatched" (fun () ->
+          (Server.stats server).P.in_flight = 1);
+      (* behind the blocked worker, a 50 ms deadline cannot be met *)
+      (Client.with_client socket @@ fun c ->
+       match
+         Client.submit c
+           (P.job_spec ~seed:999 ~max_random_vectors:32 ~deadline_ms:50
+              (P.Builtin "c17"))
+       with
+       | P.Expired -> ()
+       | _ -> Alcotest.fail "expected deadline expiry");
+      Atomic.set release true;
+      Thread.join blocker;
+      let s = Server.stats server in
+      Alcotest.(check int) "expiry counted" 1 s.P.expired;
+      (* the expired job was cancelled at dispatch, never executed *)
+      Alcotest.(check int) "only the blocker executed" 1 s.P.executed)
+
+let test_server_sigterm_drains () =
+  let socket = tmp_socket () in
+  let served_ref = ref None in
+  let on_job_start _ =
+    (* SIGTERM arrives while the job is mid-flight; the drain must still
+       deliver its response before the process side exits *)
+    Unix.kill (Unix.getpid ()) Sys.sigterm
+  in
+  let cfg =
+    Server.config ~workers:1 ~domains_per_worker:1 ~on_job_start ~socket ()
+  in
+  let runner = Thread.create (fun () -> Server.run cfg) () in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while not (Sys.file_exists socket) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  Client.with_client socket (fun c ->
+      served_ref := Some (submit_result c quick_spec));
+  Thread.join runner;
+  (match !served_ref with
+  | Some served ->
+      Alcotest.(check bool)
+        "drained job produced a real answer" true
+        (served.P.payload.P.vectors > 0)
+  | None -> Alcotest.fail "no response before exit");
+  Alcotest.(check bool) "socket unlinked on exit" false (Sys.file_exists socket)
+
+let test_server_stale_socket_recovery () =
+  let socket = tmp_socket () in
+  (* fake a crashed server: a bound-but-dead socket file *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX socket);
+  Unix.close dead;
+  let cfg = Server.config ~domains_per_worker:1 ~socket () in
+  let server = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      Client.with_client socket (fun c ->
+          Alcotest.(check bool) "recovered and serving" true (Client.ping c));
+      (* a live server must not be stolen from *)
+      match Server.start cfg with
+      | exception Failure _ -> ()
+      | t2 ->
+          Server.stop t2;
+          Alcotest.fail "second server bound over a live one")
+
+(* --- key plan vs actual run ---------------------------------------------- *)
+
+let test_stage_keys_match_run_reports () =
+  let cfg =
+    Experiment.config ~seed:13 ~max_random_vectors:32 ~domains:1
+      (Dl_netlist.Benchmarks.c432s_small ())
+  in
+  let planned = Experiment.stage_keys cfg in
+  let e = Experiment.run cfg in
+  let actual =
+    List.map (fun (r : Dl_store.Stage.report) -> (r.stage, r.key)) e.stage_reports
+  in
+  Alcotest.(check (list (pair string string)))
+    "planned keys equal executed keys" actual planned;
+  Alcotest.(check string)
+    "request_key is the projection key"
+    (List.assoc "projection" actual)
+    (Experiment.request_key cfg)
+
+let test_serve_loopback_oracle_registered () =
+  match Dl_check.Oracle.find "serve-loopback" with
+  | None -> Alcotest.fail "serve-loopback oracle is not registered"
+  | Some { kind = Dl_check.Oracle.Sweep f; _ } -> (
+      match f ~seed:3 with
+      | None -> ()
+      | Some msg -> Alcotest.failf "oracle failed: %s" msg)
+  | Some _ -> Alcotest.fail "serve-loopback should be a sweep check"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_request_roundtrip; qcheck_response_roundtrip ]
+        @ [
+            Alcotest.test_case "every byte flip rejected" `Quick
+              test_every_byte_flip_rejected;
+            Alcotest.test_case "every truncation rejected" `Quick
+              test_truncation_rejected;
+            Alcotest.test_case "frame io over socketpair" `Quick test_frame_io;
+            Alcotest.test_case "mid-frame EOF is an error" `Quick
+              test_frame_truncated_stream;
+            Alcotest.test_case "oversized frame rejected" `Quick
+              test_frame_oversized_rejected;
+          ] );
+      ( "job-queue",
+        [
+          Alcotest.test_case "enqueue, run, await, cache" `Quick
+            test_queue_basic;
+          Alcotest.test_case "coalesced submissions run once" `Quick
+            test_queue_coalesce_single_execution;
+          Alcotest.test_case "full queue rejects" `Quick
+            test_queue_rejects_when_full;
+          Alcotest.test_case "deadline expiry cancels queued job" `Quick
+            test_queue_deadline_expiry;
+          Alcotest.test_case "drain rejects and signals workers" `Quick
+            test_queue_drain_rejects;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "ping + unknown benchmark" `Quick
+            test_server_ping_and_unknown;
+          Alcotest.test_case "served = direct run; inline bench" `Quick
+            test_server_bit_identical_and_inline;
+          Alcotest.test_case "concurrent identical requests coalesce" `Quick
+            test_server_concurrent_coalescing;
+          Alcotest.test_case "full queue rejects, not blocks" `Quick
+            test_server_queue_full_rejects;
+          Alcotest.test_case "deadline expires queued job" `Quick
+            test_server_deadline_expires_queued_job;
+          Alcotest.test_case "SIGTERM drains in-flight job" `Quick
+            test_server_sigterm_drains;
+          Alcotest.test_case "stale socket recovery, live socket refused"
+            `Quick test_server_stale_socket_recovery;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "stage-key plan matches run" `Quick
+            test_stage_keys_match_run_reports;
+          Alcotest.test_case "loopback oracle registered and passing" `Slow
+            test_serve_loopback_oracle_registered;
+        ] );
+    ]
