@@ -885,6 +885,75 @@ let serve_bench () =
     "gate: every request answered, per-key answers identical, majority\n\
      of requests served without re-execution."
 
+(* ------------------------------------------------------- serve-load bench *)
+
+(* Open-loop smoke of the Load_gen platform: a seeded Poisson schedule over
+   a benchmark + generated-family mix replayed against a warm loopback
+   server.  Unlike the closed-loop "serve" section above, arrivals do not
+   wait for responses, so rejection/expiry/tail-latency behaviour under a
+   fixed offered rate is visible.  Gates: no failed exchanges, a minimum
+   sustained throughput, and a bounded p99.  Writes BENCH_serve_load.json
+   (or $BENCH_SERVE_LOAD_JSON). *)
+let serve_load_bench () =
+  section_banner "Serve-load"
+    "seeded open-loop traffic vs the projection daemon";
+  let module L = Dl_serve.Load_gen in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlproj_bench_load_%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Dl_serve.Server.start
+      (Dl_serve.Server.config ~workers:2 ~queue_capacity:64
+         ~domains_per_worker:1 ~socket ())
+  in
+  let cfg =
+    L.config ~rate:30.0 ~duration:2.0
+      ~mix:[ ("c17", 3); ("tree-like", 1) ]
+      ~seed:11 ~gates:40 ~distinct:2 ~max_random_vectors:32 ()
+  in
+  Printf.printf "[%.0f req/s for %.1f s over %s, %d distinct seeds/class...]\n%!"
+    cfg.L.rate cfg.L.duration
+    (String.concat "," (List.map fst cfg.L.mix))
+    cfg.L.distinct;
+  let _records, report = L.run ~clients:4 ~socket cfg in
+  Dl_serve.Server.stop server;
+  Format.printf "%a@." L.pp_report report;
+  let json_path =
+    match Sys.getenv_opt "BENCH_SERVE_LOAD_JSON" with
+    | Some p -> p
+    | None -> "BENCH_serve_load.json"
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc "{\"section\": \"serve-load\", \"report\": %s}\n"
+    (L.report_to_json report);
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  (* Smoke gates: generous (cold family experiments dominate the tail on a
+     loaded CI box) but fatal for gross regressions — a wedged queue, a
+     coalescer that stopped deduplicating, or a p99 runaway. *)
+  let min_throughput = 2.0 and max_p99_ms = 30_000.0 in
+  let failed = ref false in
+  if report.L.failed > 0 then begin
+    Printf.eprintf "FAIL: %d of %d exchanges failed outright\n" report.L.failed
+      report.L.sent;
+    failed := true
+  end;
+  if report.L.achieved_rate < min_throughput then begin
+    Printf.eprintf "FAIL: sustained throughput %.1f served/s < %.1f\n"
+      report.L.achieved_rate min_throughput;
+    failed := true
+  end;
+  if report.L.p99_ms > max_p99_ms then begin
+    Printf.eprintf "FAIL: p99 %.1f ms > %.0f ms\n" report.L.p99_ms max_p99_ms;
+    failed := true
+  end;
+  if !failed then exit 1;
+  Printf.printf
+    "gate: no failed exchanges, >= %.0f served/s sustained, p99 <= %.0f ms\n"
+    min_throughput max_p99_ms
+
 (* ---------------------------------------------------------- micro-benches *)
 
 let micro () =
@@ -1008,6 +1077,7 @@ let sections =
     ("kernel", kernel_bench);
     ("store", store_bench);
     ("serve", serve_bench);
+    ("serve-load", serve_load_bench);
     ("micro", micro);
   ]
 

@@ -12,6 +12,7 @@
      serve      projection daemon on a Unix-domain socket
      submit     send one projection job to a running daemon
      ping       liveness / stats / shutdown RPCs against a daemon
+     bench-serve  open-loop load generation against a running daemon
 *)
 
 open Cmdliner
@@ -649,6 +650,114 @@ let ping_cmd =
        ~doc:"Liveness, stats and shutdown RPCs against a dlproj server.")
     Term.(const run $ socket_arg $ stats $ shutdown)
 
+let bench_serve_cmd =
+  let run socket rate duration mix seed gates distinct deadline clients
+      max_random trace plan_only json =
+    let mix =
+      try Dl_serve.Load_gen.mix_of_string mix
+      with Invalid_argument m -> die "%s" m
+    in
+    let deadline =
+      Option.map
+        (fun s ->
+          match String.split_on_char ':' s with
+          | [ lo; hi ] -> (
+              match (int_of_string_opt lo, int_of_string_opt hi) with
+              | Some lo, Some hi -> (lo, hi)
+              | _ -> die "bad --deadline-ms %S (expected LO:HI)" s)
+          | [ one ] -> (
+              match int_of_string_opt one with
+              | Some d -> (d, d)
+              | None -> die "bad --deadline-ms %S" s)
+          | _ -> die "bad --deadline-ms %S (expected LO:HI)" s)
+        deadline
+    in
+    let cfg =
+      Dl_serve.Load_gen.config ~rate ~duration ~mix ~seed ~gates ~distinct
+        ?deadline_ms:deadline ~max_random_vectors:max_random ()
+    in
+    let planned =
+      try Dl_serve.Load_gen.plan cfg
+      with Invalid_argument m -> die "%s" m
+    in
+    let write_trace path =
+      let text = Dl_serve.Load_gen.trace_to_string cfg planned in
+      if path = "-" then print_string text
+      else begin
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc text);
+        Printf.eprintf "wrote %d-request trace to %s\n%!"
+          (Array.length planned) path
+      end
+    in
+    Option.iter write_trace trace;
+    if plan_only then begin
+      if trace = None then write_trace "-"
+    end
+    else begin
+      let _records, report = Dl_serve.Load_gen.run ~clients ~socket cfg in
+      if json then print_endline (Dl_serve.Load_gen.report_to_json report)
+      else Format.printf "%a@." Dl_serve.Load_gen.pp_report report
+    end
+  in
+  let rate =
+    Arg.(value & opt float 20.0 & info [ "rate" ] ~docv:"R"
+           ~doc:"Mean open-loop arrival rate, requests/second.")
+  in
+  let duration =
+    Arg.(value & opt float 3.0 & info [ "duration" ] ~docv:"S"
+           ~doc:"Schedule horizon in seconds.")
+  in
+  let mix =
+    Arg.(value & opt string "c432s_small" & info [ "mix" ] ~docv:"SPEC"
+           ~doc:"Weighted workload classes, e.g. \
+                 $(b,c432s:3,xor-heavy:1).  A class is a built-in \
+                 benchmark or a generator family name.")
+  in
+  let gates =
+    Arg.(value & opt int 120 & info [ "gates" ] ~docv:"N"
+           ~doc:"Gate count for generated family circuits.")
+  in
+  let distinct =
+    Arg.(value & opt int 4 & info [ "distinct" ] ~docv:"K"
+           ~doc:"Distinct job seeds per class; repeats exercise \
+                 coalescing and the result cache.")
+  in
+  let deadline =
+    Arg.(value & opt (some string) None & info [ "deadline-ms" ]
+           ~docv:"LO:HI"
+           ~doc:"Uniform per-request deadline range in milliseconds.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent client connections replaying the schedule.")
+  in
+  let max_random =
+    Arg.(value & opt int 128 & info [ "max-random" ] ~docv:"N"
+           ~doc:"Random-phase vector budget per job.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the planned schedule (byte-identical for equal \
+                 seeds) to $(docv); $(b,-) for stdout.")
+  in
+  let plan_only =
+    Arg.(value & flag & info [ "plan-only" ]
+           ~doc:"Plan and print the schedule without contacting a server.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the machine-readable load report.")
+  in
+  Cmd.v
+    (Cmd.info "bench-serve" ~version
+       ~doc:"Replay a seeded open-loop traffic mix against a running \
+             dlproj server and report throughput, tail latency and \
+             backpressure.")
+    Term.(const run $ socket_arg $ rate $ duration $ mix $ seed_arg $ gates
+          $ distinct $ deadline $ clients $ max_random $ trace $ plan_only
+          $ json)
+
 (* ------------------------------------------------------------------ svg *)
 
 let svg_cmd =
@@ -680,7 +789,7 @@ let () =
   let main = Cmd.group (Cmd.info "dlproj" ~version ~doc)
       [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd; cache_cmd;
         transition_cmd; compact_cmd; check_cmd; bench_io_cmd; serve_cmd;
-        submit_cmd; ping_cmd; svg_cmd ]
+        submit_cmd; ping_cmd; bench_serve_cmd; svg_cmd ]
   in
   (* Operational failures (missing files, malformed netlists, bad paths,
      missing or dead sockets) get a one-line diagnostic and exit 1 instead

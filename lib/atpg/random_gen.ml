@@ -8,10 +8,10 @@ type result = {
   first_detection : int option array;
 }
 
-let run ?(seed = 7) ?(max_vectors = 4096) ?(stale_limit = 512) (c : Circuit.t)
-    ~faults =
+let run ?rng ?(seed = 7) ?(max_vectors = 4096) ?(stale_limit = 512)
+    (c : Circuit.t) ~faults =
   if max_vectors < 0 then invalid_arg "Random_gen.run: negative max_vectors";
-  let rng = Rng.create seed in
+  let rng = match rng with Some r -> r | None -> Rng.create seed in
   let npi = Array.length c.inputs in
   let n_faults = Array.length faults in
   let first_detection = Array.make n_faults None in

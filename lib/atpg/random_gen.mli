@@ -15,6 +15,7 @@ type result = {
 }
 
 val run :
+  ?rng:Dl_util.Rng.t ->
   ?seed:int ->
   ?max_vectors:int ->
   ?stale_limit:int ->
@@ -23,4 +24,9 @@ val run :
   result
 (** [run c ~faults] generates uniform random vectors in blocks of 64 until
     either [max_vectors] (default 4096) are applied or [stale_limit]
-    (default 512) consecutive vectors detect nothing new. *)
+    (default 512) consecutive vectors detect nothing new.
+
+    [rng] supplies the vector stream directly — pass a
+    {!Dl_util.Seeds.stream} (e.g. path ["atpg/random"]) to make this phase
+    replayable in isolation from one root seed; when absent the stream is
+    [Rng.create seed]. *)

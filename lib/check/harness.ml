@@ -5,6 +5,7 @@
 
 open Dl_netlist
 module Fault_sim = Dl_fault.Fault_sim
+module Seeds = Dl_util.Seeds
 module Stuck_at = Dl_fault.Stuck_at
 
 type config = {
@@ -45,9 +46,21 @@ let ok s = s.failure = None
 let gate_sizes = [| 10; 20; 35; 60 |]
 let vector_sizes = [| 1; 7; 63; 64; 65; 96; 130 |]
 
+(* Even iterations run the default NAND-rich mix; odd ones cycle through
+   the registered workload classes, so every oracle sees every structural
+   family (deep chains, XOR trees, heavy reconvergence, ...).  Per-case
+   seeds come from a [Seeds] stream keyed by the iteration index, so any
+   case replays in isolation from [(cfg.seed, i)]. *)
+let family_names = lazy (Array.of_list (Generator.Family.names ()))
+
 let case_of_iteration ~seed i =
-  Testcase.generate
-    ~seed:((seed * 10_007) + i)
+  let seeds = Seeds.scope (Seeds.create seed) "harness" in
+  let fams = Lazy.force family_names in
+  let family =
+    if i mod 2 = 0 then None else Some fams.(i / 2 mod Array.length fams)
+  in
+  Testcase.generate ?family
+    ~seed:(Seeds.seed seeds (Printf.sprintf "case-%d" i))
     ~gates:gate_sizes.(i mod Array.length gate_sizes)
     ~n_vectors:vector_sizes.(i mod Array.length vector_sizes)
     ()

@@ -1,5 +1,6 @@
 open Dl_netlist
 module Rng = Dl_util.Rng
+module Seeds = Dl_util.Seeds
 module Stuck_at = Dl_fault.Stuck_at
 
 type t = {
@@ -31,19 +32,28 @@ let profile_for rng gates =
   in
   List.filter (fun (_, n) -> n > 0) counts
 
-let generate ~seed ~gates ~n_vectors () =
-  let rng = Rng.create (seed * 0x9E3779B9 + 1) in
-  let inputs = 4 + Rng.int rng 5 in
-  let outputs = 2 + Rng.int rng 3 in
+let generate ?family ~seed ~gates ~n_vectors () =
+  let seeds = Seeds.scope (Seeds.create seed) "testcase" in
   let circuit =
-    Generator.random ~seed ~title:(Printf.sprintf "case%d" seed) ~inputs
-      ~outputs
-      ~profile:(profile_for rng (max 4 gates))
-      ()
+    match family with
+    | Some name ->
+        Generator.Family.build_by_name name
+          ~seed:(Seeds.seed seeds "circuit")
+          ~gates:(max 4 gates)
+    | None ->
+        let rng = Seeds.stream seeds "shape" in
+        let inputs = 4 + Rng.int rng 5 in
+        let outputs = 2 + Rng.int rng 3 in
+        Generator.random
+          ~seed:(Seeds.seed seeds "circuit")
+          ~title:(Printf.sprintf "case%d" seed) ~inputs ~outputs
+          ~profile:(profile_for rng (max 4 gates))
+          ()
   in
   let width = Circuit.input_count circuit in
+  let vrng = Seeds.stream seeds "vectors" in
   let vectors =
-    Array.init n_vectors (fun _ -> Array.init width (fun _ -> Rng.bool rng))
+    Array.init n_vectors (fun _ -> Array.init width (fun _ -> Rng.bool vrng))
   in
   { seed; circuit; vectors; faults = Stuck_at.universe circuit }
 

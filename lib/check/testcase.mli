@@ -13,10 +13,16 @@ type t = {
   faults : Dl_fault.Stuck_at.t array;
 }
 
-val generate : seed:int -> gates:int -> n_vectors:int -> unit -> t
+val generate :
+  ?family:string -> seed:int -> gates:int -> n_vectors:int -> unit -> t
 (** Deterministically build a case: a random DAG of about [gates] gates
     (4-8 PIs, 2-4 POs, NAND-rich mix), [n_vectors] uniform vectors, and the
-    full uncollapsed stuck-at universe. *)
+    full uncollapsed stuck-at universe.  All randomness flows from
+    {!Dl_util.Seeds} streams rooted at [seed], so circuit shape and vectors
+    are replayable in isolation.  [family] selects a named
+    {!Dl_netlist.Generator.Family} workload class instead of the default
+    NAND-rich mix.
+    @raise Invalid_argument for an unregistered [family] name. *)
 
 val remap_faults :
   Circuit.t -> int option array -> Dl_fault.Stuck_at.t array ->

@@ -1,4 +1,5 @@
 module Rng = Dl_util.Rng
+module Seeds = Dl_util.Seeds
 
 let fresh_name prefix counter =
   incr counter;
@@ -551,3 +552,291 @@ let array_multiplier ?title n =
     Circuit.Builder.add_output b out
   done;
   Circuit.Builder.finalize b
+
+(* --- Grammar-driven workload families ---------------------------------- *)
+
+module Family = struct
+  type shape = {
+    weights : (Gate.kind * int) list;
+    input_share : float;
+    output_share : float;
+    locality : float;
+    window_share : float;
+    fanout_cap : int;
+    pi_fanout_cap : int;
+    reuse_bias : float;
+  }
+
+  type t = { name : string; doc : string; shape : shape }
+
+  (* One production per emitted gate: the grammar draws a kind from
+     [weights], an arity from the kind, and fanins by three biased rules —
+     a locality window (depth), a used-signal bias (reconvergence), and
+     per-signal fanout caps (tree vs. DAG).  Every class below is just a
+     point in this parameter space. *)
+  let build_shape s ~rng ~title ~gates =
+    if gates < 2 then invalid_arg "Generator.Family: need gates >= 2";
+    let inputs = max 2 (int_of_float (float_of_int gates *. s.input_share)) in
+    let outputs = max 1 (int_of_float (float_of_int gates *. s.output_share)) in
+    let builder = Circuit.Builder.create ~title in
+    let counter = ref 0 in
+    let signals = ref [] in          (* most recent first *)
+    let n_signals = ref 0 in
+    let arr = ref [||] in            (* same set, index order, refreshed lazily *)
+    let stale = ref true in
+    let use_count = Hashtbl.create 64 in
+    let is_pi = Hashtbl.create 64 in
+    let unused = Hashtbl.create 64 in
+    let uses nm = Option.value ~default:0 (Hashtbl.find_opt use_count nm) in
+    let cap nm = if Hashtbl.mem is_pi nm then s.pi_fanout_cap else s.fanout_cap in
+    let push nm =
+      signals := nm :: !signals;
+      incr n_signals;
+      stale := true;
+      Hashtbl.replace unused nm ()
+    in
+    for i = 1 to inputs do
+      let nm = Printf.sprintf "pi%d" i in
+      Circuit.Builder.add_input builder nm;
+      Hashtbl.replace is_pi nm ();
+      push nm
+    done;
+    let all_signals () =
+      if !stale then begin
+        arr := Array.of_list (List.rev !signals);
+        stale := false
+      end;
+      !arr
+    in
+    let pick_fanin chosen =
+      let ok nm = (not (List.mem nm chosen)) && uses nm < cap nm in
+      (* Sorted fold: deterministic across hashtable layouts. *)
+      let unused_pool () =
+        Hashtbl.fold (fun nm () acc -> if ok nm then nm :: acc else acc) unused []
+        |> List.sort compare |> Array.of_list
+      in
+      let rec draw tries =
+        if tries > 64 then
+          let pool = unused_pool () in
+          if Array.length pool > 0 then Some (Rng.choose rng pool) else None
+        else begin
+          let all = all_signals () in
+          let n = Array.length all in
+          let idx =
+            if Rng.bernoulli rng s.locality then
+              (* recent window: depth grows when fanins chain off the frontier *)
+              let w = max 2 (int_of_float (float_of_int n *. s.window_share)) in
+              n - 1 - Rng.int rng (min w n)
+            else Rng.int rng n
+          in
+          let nm = all.(idx) in
+          let nm =
+            (* reconvergence: sometimes insist on a signal that already has
+               fanout, creating a second path from the same stem *)
+            if Rng.bernoulli rng s.reuse_bias && uses nm = 0 then
+              let used =
+                Array.of_list
+                  (List.sort compare
+                     (Hashtbl.fold
+                        (fun k v acc -> if v > 0 && ok k then k :: acc else acc)
+                        use_count []))
+              in
+              if Array.length used > 0 then Rng.choose rng used else nm
+            else nm
+          in
+          if ok nm then Some nm else draw (tries + 1)
+        end
+      in
+      (* Consume virgin PIs early so none dangle. *)
+      let pool = unused_pool () in
+      if Array.length pool > 0 && Rng.bernoulli rng 0.5 then
+        Some (Rng.choose rng pool)
+      else draw 0
+    in
+    let arity_of kind =
+      match kind with
+      | Gate.Not | Gate.Buf -> 1
+      | Gate.Xor | Gate.Xnor -> 2
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+          let r = Rng.float rng 1.0 in
+          if r < 0.65 then 2 else if r < 0.9 then 3 else 4
+      | Gate.Input -> invalid_arg "Generator.Family: Input in weights"
+    in
+    let total_weight = List.fold_left (fun a (_, w) -> a + w) 0 s.weights in
+    if total_weight <= 0 then invalid_arg "Generator.Family: empty weights";
+    let draw_kind () =
+      let r = Rng.int rng total_weight in
+      let rec scan acc = function
+        | [] -> assert false
+        | (k, w) :: rest -> if r < acc + w then k else scan (acc + w) rest
+      in
+      scan 0 s.weights
+    in
+    for _ = 1 to gates do
+      let kind = draw_kind () in
+      let arity = min (arity_of kind) !n_signals in
+      let rec gather acc k =
+        if k = 0 then acc
+        else
+          match pick_fanin acc with
+          | Some nm -> gather (nm :: acc) (k - 1)
+          | None -> acc
+      in
+      let fanin = gather [] arity in
+      match fanin with
+      | [] -> ()  (* every signal at its cap; skip this production *)
+      | _ ->
+          let kind = match (kind, fanin) with
+            | ((Gate.Xor | Gate.Xnor), [ _ ]) -> Gate.Buf
+            | _ -> kind
+          in
+          let name = fresh_name "g" counter in
+          Circuit.Builder.add_gate builder name kind fanin;
+          List.iter
+            (fun nm ->
+              Hashtbl.remove unused nm;
+              Hashtbl.replace use_count nm (uses nm + 1))
+            fanin;
+          push name
+    done;
+    (* Funnel surplus sinks so exactly [outputs] remain (NAND keeps the
+       funnel logic irredundant; single-use so tree classes stay trees). *)
+    let rec funnel () =
+      let sinks =
+        Hashtbl.fold (fun nm () acc -> nm :: acc) unused [] |> List.sort compare
+      in
+      let n = List.length sinks in
+      if n > outputs then begin
+        let take = min 4 (n - outputs + 1) in
+        let chosen = List.filteri (fun i _ -> i < take) sinks in
+        let name = fresh_name "g" counter in
+        Circuit.Builder.add_gate builder name Gate.Nand chosen;
+        List.iter
+          (fun nm ->
+            Hashtbl.remove unused nm;
+            Hashtbl.replace use_count nm (uses nm + 1))
+          chosen;
+        push name;
+        funnel ()
+      end
+      else if n < outputs then begin
+        let name = fresh_name "po_buf" counter in
+        let all = all_signals () in
+        Circuit.Builder.add_gate builder name Gate.Buf [ Rng.choose rng all ];
+        push name;
+        funnel ()
+      end
+      else List.iter (Circuit.Builder.add_output builder) sinks
+    in
+    funnel ();
+    Circuit.Builder.finalize builder
+
+  let nand_mix =
+    [ (Gate.Nand, 8); (Gate.Nor, 4); (Gate.And, 4); (Gate.Or, 4);
+      (Gate.Not, 3); (Gate.Xor, 2); (Gate.Xnor, 1); (Gate.Buf, 1) ]
+
+  let all =
+    [
+      { name = "deep-narrow";
+        doc = "long chains, few inputs: stresses levelized scheduling depth";
+        (* XOR-leaning mix on purpose: a narrow chain of monotone AND/OR
+           steps saturates to a logical constant within a few levels,
+           producing dead circuits; XOR/NAND steps keep the chain live at
+           any depth. *)
+        shape = { weights = [ (Gate.Nand, 8); (Gate.Xor, 5); (Gate.Nor, 3);
+                              (Gate.Xnor, 2); (Gate.Not, 2); (Gate.And, 1);
+                              (Gate.Or, 1) ];
+                  input_share = 0.08; output_share = 0.04;
+                  locality = 0.92; window_share = 0.12; fanout_cap = 2;
+                  pi_fanout_cap = 4; reuse_bias = 0.05 } };
+      { name = "xor-heavy";
+        doc = "parity-style logic: every fault propagates, detection words \
+               saturate";
+        shape = { weights = [ (Gate.Xor, 8); (Gate.Xnor, 4); (Gate.Not, 1);
+                              (Gate.And, 1); (Gate.Or, 1) ];
+                  input_share = 0.25; output_share = 0.08; locality = 0.7;
+                  window_share = 0.2; fanout_cap = 2; pi_fanout_cap = 4;
+                  reuse_bias = 0.1 } };
+      { name = "reconvergent";
+        doc = "high-fanout stems reconverging downstream: breeds redundancy \
+               and stresses fault collapsing";
+        shape = { weights = nand_mix; input_share = 0.15; output_share = 0.06;
+                  locality = 0.45; window_share = 0.5; fanout_cap = 5;
+                  pi_fanout_cap = 8; reuse_bias = 0.45 } };
+      { name = "tree-like";
+        doc = "single-use signals: pure trees, the fanout-free ideal";
+        shape = { weights = nand_mix; input_share = 0.5; output_share = 0.04;
+                  locality = 0.6; window_share = 0.3; fanout_cap = 1;
+                  pi_fanout_cap = 1; reuse_bias = 0.0 } };
+      { name = "fanout-free-heavy";
+        doc = "wide shallow cones with rare shared stems: large fanout-free \
+               regions, shallow depth";
+        shape = { weights = [ (Gate.And, 6); (Gate.Or, 6); (Gate.Nand, 4);
+                              (Gate.Nor, 2); (Gate.Not, 2); (Gate.Xor, 1) ];
+                  input_share = 0.45; output_share = 0.1; locality = 0.25;
+                  window_share = 0.6; fanout_cap = 2; pi_fanout_cap = 2;
+                  reuse_bias = 0.02 } };
+      { name = "mixed";
+        doc = "ISCAS-like balanced mix: the default fuzzing diet";
+        shape = { weights = nand_mix; input_share = 0.2; output_share = 0.08;
+                  locality = 0.6; window_share = 0.35; fanout_cap = 3;
+                  pi_fanout_cap = 6; reuse_bias = 0.15 } };
+    ]
+
+  let names () = List.map (fun f -> f.name) all
+  let by_name n = List.find_opt (fun f -> f.name = n) all
+
+  (* Outputs over [n_vectors] random vectors, via a direct topo-order
+     walk (the netlist layer cannot depend on Dl_logic). *)
+  let sample_outputs (c : Circuit.t) rng n_vectors =
+    let vals = Array.make (Array.length c.nodes) false in
+    Array.init n_vectors (fun _ ->
+        Array.iter (fun id -> vals.(id) <- Rng.bool rng) c.inputs;
+        Array.iter
+          (fun id ->
+            let node = c.nodes.(id) in
+            if node.Circuit.kind <> Gate.Input then
+              vals.(id) <-
+                Gate.eval node.Circuit.kind
+                  (Array.map (fun i -> vals.(i)) node.Circuit.fanin))
+          c.topo_order;
+        Array.map (fun id -> vals.(id)) c.outputs)
+
+  let is_live c rng =
+    let samples = sample_outputs c rng 48 in
+    Array.exists (fun s -> s <> samples.(0)) samples
+
+  let build f ~seed ~gates =
+    let seeds =
+      Seeds.scope (Seeds.create seed) (Printf.sprintf "family/%s" f.name)
+    in
+    let title = Printf.sprintf "%s-%d-s%d" f.name gates seed in
+    (* Narrow local windows occasionally let a chain saturate to a logical
+       constant, which would make a degenerate workload (nothing to detect,
+       nothing to serve).  Retry with a fresh stream until the outputs vary
+       over a random-vector probe; the probe streams are seed-derived, so
+       the result is still a pure function of (class, seed, gates). *)
+    let rec attempt k =
+      let rng = Seeds.stream seeds (Printf.sprintf "attempt-%d" k) in
+      (* Widen the window a little on every retry: the narrowest shapes
+         (deep-narrow at small sizes) can produce constants with high
+         probability per draw, so resampling the same shape is not enough. *)
+      let shape =
+        { f.shape with
+          window_share = f.shape.window_share +. (0.06 *. float_of_int k) }
+      in
+      let c = build_shape shape ~rng ~title ~gates in
+      if k >= 9 || is_live c (Seeds.stream seeds (Printf.sprintf "probe-%d" k))
+      then c
+      else attempt (k + 1)
+    in
+    attempt 0
+
+  let build_by_name name ~seed ~gates =
+    match by_name name with
+    | Some f -> build f ~seed ~gates
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Generator.Family: unknown class %S (have: %s)" name
+             (String.concat ", " (names ())))
+end

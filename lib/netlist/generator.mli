@@ -59,3 +59,40 @@ val carry_lookahead_adder : ?title:string -> int -> Circuit.t
 val array_multiplier : ?title:string -> int -> Circuit.t
 (** [array_multiplier n]: n x n combinational array multiplier built from
     partial-product AND terms and ripple-carry rows (2n outputs). *)
+
+(** Named workload classes from a small structural grammar.
+
+    Each class is a point in one parameter space (gate-kind weights,
+    interface shares, a fanin locality window, fanout caps, a reuse bias);
+    one grammar interpreter realizes them all, so a new class is a record,
+    not a generator.  Classes are registered by name so the check harness,
+    the load generator and the benches can sweep them (["deep-narrow"],
+    ["xor-heavy"], ["reconvergent"], ["tree-like"], ["fanout-free-heavy"],
+    ["mixed"]).  Generation is driven by {!Dl_util.Seeds} streams: the
+    circuit is a pure function of [(class, seed, gates)]. *)
+module Family : sig
+  type shape = {
+    weights : (Gate.kind * int) list;  (** gate-kind mix (positive total). *)
+    input_share : float;   (** primary inputs per emitted gate. *)
+    output_share : float;  (** primary outputs per emitted gate. *)
+    locality : float;      (** P(fanin drawn from the recent window). *)
+    window_share : float;  (** recent-window size as a share of signals. *)
+    fanout_cap : int;      (** max uses of an internal signal (1 = tree). *)
+    pi_fanout_cap : int;   (** max uses of a primary input. *)
+    reuse_bias : float;    (** P(insist on an already-used stem). *)
+  }
+
+  type t = { name : string; doc : string; shape : shape }
+
+  val all : t list
+  val names : unit -> string list
+  val by_name : string -> t option
+
+  val build : t -> seed:int -> gates:int -> Circuit.t
+  (** Deterministic in [(t.name, seed, gates)]; the result has exactly the
+      grammar-derived interface and [>= 1] output.
+      @raise Invalid_argument for [gates < 2]. *)
+
+  val build_by_name : string -> seed:int -> gates:int -> Circuit.t
+  (** @raise Invalid_argument for an unregistered class name. *)
+end

@@ -1,0 +1,358 @@
+module Rng = Dl_util.Rng
+module Seeds = Dl_util.Seeds
+module Latency = Dl_util.Latency
+module Benchmarks = Dl_netlist.Benchmarks
+module Generator = Dl_netlist.Generator
+module Bench_format = Dl_netlist.Bench_format
+
+type config = {
+  rate : float;
+  duration : float;
+  mix : (string * int) list;
+  seed : int;
+  gates : int;
+  distinct : int;
+  deadline_ms : (int * int) option;
+  max_random_vectors : int;
+}
+
+let config ?(rate = 20.0) ?(duration = 3.0) ?(mix = [ ("c432s_small", 1) ])
+    ?(seed = 1) ?(gates = 120) ?(distinct = 4) ?deadline_ms
+    ?(max_random_vectors = 128) () =
+  { rate; duration; mix; seed; gates; distinct; deadline_ms;
+    max_random_vectors }
+
+let mix_of_string s =
+  let entries = String.split_on_char ',' s |> List.map String.trim in
+  let parse e =
+    if e = "" then invalid_arg "Load_gen.mix_of_string: empty class";
+    match String.index_opt e ':' with
+    | None -> (e, 1)
+    | Some i ->
+        let name = String.sub e 0 i in
+        let w = String.sub e (i + 1) (String.length e - i - 1) in
+        let w =
+          match int_of_string_opt w with
+          | Some w when w > 0 -> w
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "Load_gen.mix_of_string: bad weight in %S" e)
+        in
+        (name, w)
+  in
+  match entries with
+  | [] | [ "" ] -> invalid_arg "Load_gen.mix_of_string: empty mix"
+  | es -> List.map parse es
+
+type planned = {
+  index : int;
+  at_s : float;
+  class_name : string;
+  job_seed : int;
+  deadline : int option;
+}
+
+(* A class is a benchmark name or a registered family; anything else is a
+   config error, reported before any traffic is sent. *)
+let check_class name =
+  match Benchmarks.by_name name with
+  | Some _ -> ()
+  | None -> (
+      match Generator.Family.by_name name with
+      | Some _ -> ()
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Load_gen: unknown class %S (benchmarks: %s; families: %s)"
+               name
+               (String.concat ", " (List.map fst Benchmarks.all))
+               (String.concat ", " (Generator.Family.names ()))))
+
+let plan cfg =
+  if cfg.rate <= 0.0 || not (Float.is_finite cfg.rate) then
+    invalid_arg "Load_gen.plan: rate must be positive";
+  if cfg.duration <= 0.0 || not (Float.is_finite cfg.duration) then
+    invalid_arg "Load_gen.plan: duration must be positive";
+  if cfg.distinct <= 0 then invalid_arg "Load_gen.plan: distinct must be > 0";
+  if cfg.mix = [] then invalid_arg "Load_gen.plan: empty mix";
+  List.iter
+    (fun (name, w) ->
+      if w <= 0 then
+        invalid_arg (Printf.sprintf "Load_gen.plan: weight %d for %S" w name);
+      check_class name)
+    cfg.mix;
+  (match cfg.deadline_ms with
+  | Some (lo, hi) when lo <= 0 || hi < lo ->
+      invalid_arg "Load_gen.plan: bad deadline range"
+  | _ -> ());
+  let seeds = Seeds.scope (Seeds.create cfg.seed) "bench-serve" in
+  let arrivals = Seeds.stream seeds "arrivals" in
+  let picks = Seeds.stream seeds "mix" in
+  let pool = Seeds.stream seeds "pool" in
+  let deadlines = Seeds.stream seeds "deadline" in
+  let classes = Array.of_list cfg.mix in
+  let total_weight = Array.fold_left (fun a (_, w) -> a + w) 0 classes in
+  let pick_class () =
+    let r = ref (Rng.int picks total_weight) in
+    let chosen = ref (fst classes.(0)) in
+    (try
+       Array.iter
+         (fun (name, w) ->
+           if !r < w then begin
+             chosen := name;
+             raise Exit
+           end
+           else r := !r - w)
+         classes
+     with Exit -> ());
+    !chosen
+  in
+  let out = ref [] in
+  let n = ref 0 in
+  let t = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Rng.exponential arrivals cfg.rate;
+    if !t >= cfg.duration then continue := false
+    else begin
+      let class_name = pick_class () in
+      let variant = Rng.int pool cfg.distinct in
+      let job_seed =
+        Seeds.seed seeds (Printf.sprintf "job/%s/%d" class_name variant)
+      in
+      let deadline =
+        match cfg.deadline_ms with
+        | None -> None
+        | Some (lo, hi) -> Some (Rng.int_in deadlines lo hi)
+      in
+      out := { index = !n; at_s = !t; class_name; job_seed; deadline } :: !out;
+      incr n
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let mix_to_string mix =
+  String.concat ","
+    (List.map (fun (name, w) -> Printf.sprintf "%s:%d" name w) mix)
+
+let trace_to_string cfg planned =
+  let buf = Buffer.create (128 + (Array.length planned * 48)) in
+  Buffer.add_string buf "# dlproj bench-serve trace v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "# seed %d rate %.6g duration %.6g mix %s distinct %d gates %d\n"
+       cfg.seed cfg.rate cfg.duration (mix_to_string cfg.mix) cfg.distinct
+       cfg.gates);
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "req %d at %.6f class %s seed %d deadline %s\n"
+           p.index p.at_s p.class_name p.job_seed
+           (match p.deadline with Some d -> string_of_int d | None -> "-")))
+    planned;
+  Buffer.contents buf
+
+(* --- replay ---------------------------------------------------------------- *)
+
+type outcome =
+  | Served of { coalesced : bool; service_ms : float }
+  | Rejected of { retry_after_ms : int }
+  | Expired
+  | Failed of string
+
+type record = {
+  planned : planned;
+  sent_at_s : float;
+  rtt_ms : float;
+  outcome : outcome;
+}
+
+(* Family circuits are built once per (class, job_seed) and shipped inline;
+   benchmark classes travel as their name.  Memoized so the replay loop
+   never pays generation cost on the send path. *)
+let spec_table cfg planned =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      let key = (p.class_name, p.job_seed) in
+      if not (Hashtbl.mem table key) then
+        let spec =
+          match Benchmarks.by_name p.class_name with
+          | Some _ -> Protocol.Builtin p.class_name
+          | None ->
+              let c =
+                Generator.Family.build_by_name p.class_name ~seed:p.job_seed
+                  ~gates:cfg.gates
+              in
+              Protocol.Inline_bench
+                {
+                  title = c.Dl_netlist.Circuit.title;
+                  text = Bench_format.to_string c;
+                }
+        in
+        Hashtbl.add table key spec)
+    planned;
+  table
+
+let job_spec_of cfg table (p : planned) =
+  Protocol.job_spec
+    (Hashtbl.find table (p.class_name, p.job_seed))
+    ~seed:p.job_seed ~max_random_vectors:cfg.max_random_vectors
+    ?deadline_ms:p.deadline
+
+let outcome_of_response = function
+  | Protocol.Result r ->
+      Served { coalesced = r.coalesced; service_ms = r.service_ms }
+  | Protocol.Rejected { retry_after_ms; _ } -> Rejected { retry_after_ms }
+  | Protocol.Expired -> Expired
+  | Protocol.Server_error m -> Failed m
+  | Protocol.Pong | Protocol.Stats_reply _ ->
+      Failed "unexpected response kind"
+
+type report = {
+  planned_n : int;
+  sent : int;
+  served : int;
+  coalesced : int;
+  rejected : int;
+  expired : int;
+  failed : int;
+  elapsed_s : float;
+  offered_rate : float;
+  achieved_rate : float;
+  rejection_rate : float;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  mean_ms : float;
+  max_ms : float;
+}
+
+let summarize cfg ~elapsed_s records =
+  let hist = Latency.create () in
+  let served = ref 0 and coalesced = ref 0 and rejected = ref 0 in
+  let expired = ref 0 and failed = ref 0 in
+  Array.iter
+    (fun r ->
+      match r.outcome with
+      | Served { coalesced = co; _ } ->
+          incr served;
+          if co then incr coalesced;
+          Latency.add hist r.rtt_ms
+      | Rejected _ -> incr rejected
+      | Expired -> incr expired
+      | Failed _ -> incr failed)
+    records;
+  let sent = Array.length records in
+  {
+    planned_n = sent;
+    sent;
+    served = !served;
+    coalesced = !coalesced;
+    rejected = !rejected;
+    expired = !expired;
+    failed = !failed;
+    elapsed_s;
+    offered_rate = float_of_int sent /. cfg.duration;
+    achieved_rate =
+      (if elapsed_s > 0.0 then float_of_int !served /. elapsed_s else 0.0);
+    rejection_rate =
+      (if sent = 0 then 0.0 else float_of_int !rejected /. float_of_int sent);
+    p50_ms = Latency.percentile hist 0.50;
+    p99_ms = Latency.percentile hist 0.99;
+    p999_ms = Latency.percentile hist 0.999;
+    mean_ms = Latency.mean_ms hist;
+    max_ms = Latency.max_ms hist;
+  }
+
+let run ?(clients = 4) ~socket cfg =
+  let planned = plan cfg in
+  let table = spec_table cfg planned in
+  let clients = max 1 (min clients (max 1 (Array.length planned))) in
+  let records = Array.make (Array.length planned) None in
+  let t0 = Unix.gettimeofday () in
+  (* Probe once from the calling thread so an unreachable daemon raises
+     here — where the CLI can turn it into a one-line error — instead of
+     killing a client thread with an uncaught exception. *)
+  Client.close (Client.connect socket);
+  let client_loop c () =
+    (* One lazy connection per client, re-established after a failure so
+       one dropped exchange does not fail the rest of the schedule. *)
+    let conn = ref None in
+    let ensure () =
+      match !conn with
+      | Some cl -> cl
+      | None ->
+          let cl = Client.connect socket in
+          conn := Some cl;
+          cl
+    in
+    let drop () =
+      (match !conn with Some cl -> (try Client.close cl with _ -> ()) | None -> ());
+      conn := None
+    in
+    let i = ref c in
+    while !i < Array.length planned do
+      let p = planned.(!i) in
+      let now () = Unix.gettimeofday () -. t0 in
+      let wait = p.at_s -. now () in
+      if wait > 0.0 then Thread.delay wait;
+      let sent_at_s = now () in
+      let sent = Unix.gettimeofday () in
+      let outcome =
+        match
+          (try Ok (Client.submit (ensure ()) (job_spec_of cfg table p))
+           with e -> Error e)
+        with
+        | Ok resp -> outcome_of_response resp
+        | Error e ->
+            drop ();
+            Failed (Printexc.to_string e)
+      in
+      let rtt_ms = (Unix.gettimeofday () -. sent) *. 1000.0 in
+      records.(!i) <- Some { planned = p; sent_at_s; rtt_ms; outcome };
+      i := !i + clients
+    done;
+    match !conn with Some cl -> Client.close cl | None -> ()
+  in
+  let threads =
+    List.init clients (fun c -> Thread.create (client_loop c) ())
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let records =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> failwith "Load_gen.run: unfilled record slot")
+      records
+  in
+  (records, summarize cfg ~elapsed_s records)
+
+let report_to_json (r : report) =
+  let f = Protocol.json_float in
+  Printf.sprintf
+    "{\"planned\": %d, \"sent\": %d, \"served\": %d, \"coalesced\": %d, \
+     \"rejected\": %d, \"expired\": %d, \"failed\": %d, \"elapsed_s\": %s, \
+     \"offered_rate\": %s, \"achieved_rate\": %s, \"rejection_rate\": %s, \
+     \"rtt_ms\": {\"p50\": %s, \"p99\": %s, \"p999\": %s, \"mean\": %s, \
+     \"max\": %s}}"
+    r.planned_n r.sent r.served r.coalesced r.rejected r.expired r.failed
+    (f r.elapsed_s) (f r.offered_rate) (f r.achieved_rate)
+    (f r.rejection_rate) (f r.p50_ms) (f r.p99_ms) (f r.p999_ms) (f r.mean_ms)
+    (f r.max_ms)
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>planned    %6d requests (offered %.1f req/s)@,\
+     served     %6d   (coalesced %d)@,\
+     rejected   %6d   (%.1f%%)@,\
+     expired    %6d@,\
+     failed     %6d@,\
+     throughput %8.1f served/s over %.2f s@,\
+     rtt        p50 %.1f ms, p99 %.1f ms, p999 %.1f ms, mean %.1f ms, max \
+     %.1f ms@]"
+    r.planned_n r.offered_rate r.served r.coalesced r.rejected
+    (100.0 *. r.rejection_rate)
+    r.expired r.failed r.achieved_rate r.elapsed_s r.p50_ms r.p99_ms r.p999_ms
+    r.mean_ms r.max_ms

@@ -1,3 +1,5 @@
+module Latency = Dl_util.Latency
+
 type t = {
   mutex : Mutex.t;
   started : float;
@@ -8,12 +10,8 @@ type t = {
   mutable completed : int;
   mutable expired : int;
   mutable failed : int;
-  ring : float array;  (* recent service times, ms *)
-  mutable ring_len : int;
-  mutable ring_pos : int;
+  hist : Latency.t;  (* service times, ms, process lifetime *)
 }
-
-let ring_capacity = 512
 
 let create () =
   {
@@ -26,9 +24,7 @@ let create () =
     completed = 0;
     expired = 0;
     failed = 0;
-    ring = Array.make ring_capacity 0.0;
-    ring_len = 0;
-    ring_pos = 0;
+    hist = Latency.create ();
   }
 
 let locked t f =
@@ -43,35 +39,14 @@ let incr_completed t = locked t (fun () -> t.completed <- t.completed + 1)
 let incr_expired t = locked t (fun () -> t.expired <- t.expired + 1)
 let incr_failed t = locked t (fun () -> t.failed <- t.failed + 1)
 
-let observe_service_ms t ms =
-  locked t (fun () ->
-      t.ring.(t.ring_pos) <- ms;
-      t.ring_pos <- (t.ring_pos + 1) mod ring_capacity;
-      if t.ring_len < ring_capacity then t.ring_len <- t.ring_len + 1)
+let observe_service_ms t ms = locked t (fun () -> Latency.add t.hist ms)
 
 let mean_service_ms t =
   locked t (fun () ->
-      if t.ring_len = 0 then 100.0
-      else begin
-        let sum = ref 0.0 in
-        for i = 0 to t.ring_len - 1 do
-          sum := !sum +. t.ring.(i)
-        done;
-        !sum /. float_of_int t.ring_len
-      end)
-
-(* Nearest-rank percentile over the retained ring. *)
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then Float.nan
-  else
-    let rank = int_of_float (ceil (q *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
+      if Latency.count t.hist = 0 then 100.0 else Latency.mean_ms t.hist)
 
 let snapshot t ~queue_depth ~in_flight =
   locked t (fun () ->
-      let sorted = Array.sub t.ring 0 t.ring_len in
-      Array.sort Float.compare sorted;
       {
         Protocol.accepted = t.accepted;
         rejected = t.rejected;
@@ -82,7 +57,11 @@ let snapshot t ~queue_depth ~in_flight =
         failed = t.failed;
         queue_depth;
         in_flight;
-        p50_ms = percentile sorted 0.50;
-        p99_ms = percentile sorted 0.99;
+        (* Latency.percentile is 0.0 on an empty window, never NaN, so a
+           stats probe before the first completed request stays finite
+           (and its JSON rendering stays a number). *)
+        p50_ms = Latency.percentile t.hist 0.50;
+        p99_ms = Latency.percentile t.hist 0.99;
+        p999_ms = Latency.percentile t.hist 0.999;
         uptime_s = Unix.gettimeofday () -. t.started;
       })

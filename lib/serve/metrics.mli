@@ -2,9 +2,10 @@
 
     All mutators may be called concurrently from connection and worker
     threads; {!snapshot} composes a consistent {!Protocol.stats} (counters
-    are read under the same lock that writers take).  Service times are
-    kept in a bounded ring of the most recent observations, so p50/p99 are
-    over recent traffic, not the process lifetime. *)
+    are read under the same lock that writers take).  Service times feed a
+    {!Dl_util.Latency} log-bucketed histogram over the process lifetime, so
+    p50/p99/p999 have ~2.3% relative error at any request count — the old
+    512-sample ring could not resolve p999 at all below 1000 samples. *)
 
 type t
 
@@ -22,7 +23,9 @@ val observe_service_ms : t -> float -> unit
 (** Record one admission-to-answer service time. *)
 
 val mean_service_ms : t -> float
-(** Mean of the retained ring; a conservative default (100 ms) before the
-    first observation — the basis of [retry_after_ms]. *)
+(** Mean of the observed service times; a conservative default (100 ms)
+    before the first observation — the basis of [retry_after_ms]. *)
 
 val snapshot : t -> queue_depth:int -> in_flight:int -> Protocol.stats
+(** Percentiles of an empty window are 0.0 (not NaN), so early probes
+    serialize as numbers. *)

@@ -59,6 +59,7 @@ type stats = {
   in_flight : int;
   p50_ms : float;
   p99_ms : float;
+  p999_ms : float;
   uptime_s : float;
 }
 
@@ -182,6 +183,7 @@ let write_stats buf s =
   Binary.write_varint buf s.in_flight;
   Binary.write_float buf s.p50_ms;
   Binary.write_float buf s.p99_ms;
+  Binary.write_float buf s.p999_ms;
   Binary.write_float buf s.uptime_s
 
 let read_stats cur =
@@ -196,14 +198,16 @@ let read_stats cur =
   let in_flight = Binary.read_varint cur in
   let p50_ms = Binary.read_float cur in
   let p99_ms = Binary.read_float cur in
+  let p999_ms = Binary.read_float cur in
   let uptime_s = Binary.read_float cur in
   { accepted; rejected; coalesced; executed; completed; expired; failed;
-    queue_depth; in_flight; p50_ms; p99_ms; uptime_s }
+    queue_depth; in_flight; p50_ms; p99_ms; p999_ms; uptime_s }
 
 let response_codec : response Codec.t =
   {
     Codec.kind = "serve-resp";
-    version = 1;
+    (* v2: stats grew p999_ms. *)
+    version = 2;
     encode =
       (fun buf -> function
         | Pong -> Binary.write_byte buf 0
@@ -366,8 +370,11 @@ let json_float f =
 let served_to_json r =
   let p = r.payload in
   let s = p.summary in
+  (* NB: every string field goes through [json_escape] inside plain quotes.
+     [%S] would escape a second time in OCaml (not JSON) syntax, turning
+     bytes >= 0x80 into invalid "\165"-style escapes. *)
   Printf.sprintf
-    "{\"circuit\": %S, \"vectors\": %d, \"stuck_faults\": %d, \
+    "{\"circuit\": \"%s\", \"vectors\": %d, \"stuck_faults\": %d, \
      \"realistic_faults\": %d, \"coverage\": {\"t\": %s, \"theta\": %s, \
      \"gamma\": %s, \"theta_iddq\": %s}, \"yield\": %s, \"fit\": {\"r\": %s, \
      \"theta_max\": %s, \"rmse\": %s, \"rmse_scale\": \"%s\"}, \
@@ -405,10 +412,12 @@ let pp_stats ppf s =
      rejected   %6d@,\
      completed  %6d   (expired %d, failed %d)@,\
      queue      %6d deep, %d in flight@,\
-     latency    p50 %s ms, p99 %s ms@,\
+     latency    p50 %s ms, p99 %s ms, p999 %s ms@,\
      uptime     %.1f s@]"
     s.accepted s.coalesced s.executed s.rejected s.completed s.expired
     s.failed s.queue_depth s.in_flight
     (if Float.is_finite s.p50_ms then Printf.sprintf "%.1f" s.p50_ms else "-")
     (if Float.is_finite s.p99_ms then Printf.sprintf "%.1f" s.p99_ms else "-")
+    (if Float.is_finite s.p999_ms then Printf.sprintf "%.1f" s.p999_ms
+     else "-")
     s.uptime_s

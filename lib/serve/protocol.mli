@@ -90,8 +90,11 @@ type stats = {
   failed : int;      (** Executions that raised. *)
   queue_depth : int;
   in_flight : int;
-  p50_ms : float;    (** Of recent service times; [nan] before the first. *)
+  p50_ms : float;    (** Of observed service times; [0.0] before the
+                         first completed request (never [nan]). *)
   p99_ms : float;
+  p999_ms : float;   (** Resolvable at any sample count thanks to the
+                         {!Dl_util.Latency} histogram behind it. *)
   uptime_s : float;
 }
 
@@ -143,6 +146,13 @@ val payload_of_experiment :
   key:string -> Dl_core.Experiment.t -> result_payload
 (** Distill a finished experiment into the wire payload ([key] is the
     request key the answer is filed under). *)
+
+val json_escape : string -> string
+(** RFC 8259 string-body escaping (UTF-8 bytes pass through); the result
+    is meant to sit between plain double quotes. *)
+
+val json_float : float -> string
+(** Round-trippable ([%.17g]); non-finite values render as [null]. *)
 
 val served_to_json : served -> string
 (** One stable JSON object (sorted, fixed field set, round-trippable

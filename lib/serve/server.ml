@@ -79,7 +79,11 @@ let retry_after_ms t ~queue_depth =
   let mean = Metrics.mean_service_ms t.metrics in
   let backlog = float_of_int (queue_depth + 1) in
   let workers = float_of_int t.cfg.workers in
-  max 50 (int_of_float (mean *. backlog /. workers))
+  (* Clamp in float space: [int_of_float] on a huge product (slow service
+     times x deep backlog) is undefined and can come back negative, which
+     a client would read as "retry immediately". *)
+  let ms = Float.min 60_000.0 (Float.max 50.0 (mean *. backlog /. workers)) in
+  int_of_float ms
 
 let service_ms t0 = (Unix.gettimeofday () -. t0) *. 1000.0
 

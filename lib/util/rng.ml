@@ -9,6 +9,8 @@ let mix64 z =
 
 let create seed = { state = mix64 (Int64.of_int seed) }
 
+let of_state state = { state }
+
 let copy t = { state = t.state }
 
 let bits64 t =

@@ -11,6 +11,11 @@ type t
 val create : int -> t
 (** [create seed] makes a generator from an arbitrary integer seed. *)
 
+val of_state : int64 -> t
+(** [of_state s] makes a generator whose splitmix64 state starts exactly
+    at [s] — the hook {!Seeds} uses to turn a path digest into a stream.
+    Prefer {!create} (which pre-mixes) for ad-hoc integer seeds. *)
+
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 

@@ -603,6 +603,87 @@ let prop_roundtrip_random =
       done;
       !ok)
 
+(* --- Generator.Family ------------------------------------------------------ *)
+
+let test_family_registry () =
+  let names = Generator.Family.names () in
+  Alcotest.(check bool) "at least 6 classes" true (List.length names >= 6);
+  List.iter
+    (fun n ->
+      match Generator.Family.by_name n with
+      | Some f ->
+          Alcotest.(check string) "registered under its own name" n
+            f.Generator.Family.name
+      | None -> Alcotest.failf "class %s not resolvable" n)
+    names;
+  Alcotest.(check bool) "unknown class is None" true
+    (Generator.Family.by_name "no-such-family" = None);
+  (match Generator.Family.build_by_name "no-such-family" ~seed:1 ~gates:20 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown class should raise Invalid_argument");
+  match Generator.Family.build_by_name "mixed" ~seed:1 ~gates:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gates < 2 should raise Invalid_argument"
+
+let test_family_builds_valid_and_deterministic () =
+  List.iter
+    (fun (f : Generator.Family.t) ->
+      List.iter
+        (fun gates ->
+          let a = Generator.Family.build f ~seed:3 ~gates in
+          Circuit.validate a;
+          Alcotest.(check bool)
+            (f.Generator.Family.name ^ " has outputs")
+            true
+            (Circuit.output_count a >= 1);
+          Alcotest.(check bool)
+            (f.Generator.Family.name ^ " at least requested gates")
+            true
+            (Circuit.gate_count a >= gates);
+          let b = Generator.Family.build f ~seed:3 ~gates in
+          Alcotest.(check string)
+            (f.Generator.Family.name ^ " deterministic per seed")
+            (Bench_format.to_string a) (Bench_format.to_string b);
+          let c = Generator.Family.build f ~seed:4 ~gates in
+          Alcotest.(check bool)
+            (f.Generator.Family.name ^ " seed matters")
+            false
+            (Bench_format.to_string a = Bench_format.to_string c))
+        [ 12; 60 ])
+    Generator.Family.all
+
+let test_family_xor_heavy_is_xor_rich () =
+  let c = Generator.Family.build_by_name "xor-heavy" ~seed:9 ~gates:120 in
+  let mix = Circuit.gate_mix c in
+  let count k = Option.value ~default:0 (List.assoc_opt k mix) in
+  let xorish = count Gate.Xor + count Gate.Xnor in
+  Alcotest.(check bool) "at least 30% XOR/XNOR" true
+    (float_of_int xorish >= 0.3 *. float_of_int (Circuit.gate_count c))
+
+let test_family_simulates () =
+  (* Each family's output is a live circuit, not just a well-formed one:
+     two-valued simulation runs, and the outputs are not constant over a
+     random vector sample (single-bit sensitization would be too strict
+     for the deep NAND chains of "deep-narrow"). *)
+  let rng = Dl_util.Rng.create 17 in
+  List.iter
+    (fun (f : Generator.Family.t) ->
+      let c = Generator.Family.build f ~seed:5 ~gates:40 in
+      let n = Circuit.input_count c in
+      let sample () =
+        Dl_logic.Sim2.output_bits c
+          (Array.init n (fun _ -> Dl_util.Rng.bool rng))
+      in
+      let base = sample () in
+      let differs = ref false in
+      for _ = 1 to 256 do
+        if sample () <> base then differs := true
+      done;
+      Alcotest.(check bool)
+        (f.Generator.Family.name ^ " outputs vary across vectors")
+        true !differs)
+    Generator.Family.all
+
 (* --- ISCAS-85 style reconstructions (c499s, c880s) ------------------------ *)
 
 (* Evaluate a circuit with the named inputs set to true and every other
@@ -770,6 +851,15 @@ let () =
           Alcotest.test_case "decoder" `Quick test_decoder_function;
           Alcotest.test_case "random generator valid" `Quick test_random_generator_valid;
           Alcotest.test_case "priority controller" `Quick test_priority_controller_interface;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "registry" `Quick test_family_registry;
+          Alcotest.test_case "valid + deterministic" `Quick
+            test_family_builds_valid_and_deterministic;
+          Alcotest.test_case "xor-heavy mix" `Quick
+            test_family_xor_heavy_is_xor_rich;
+          Alcotest.test_case "families simulate" `Quick test_family_simulates;
         ] );
       ( "transform",
         [

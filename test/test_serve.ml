@@ -121,7 +121,8 @@ let stats_gen =
     map3
       (fun (accepted, rejected, coalesced)
            (executed, completed, expired)
-           ((failed, queue_depth, in_flight), (p50_ms, p99_ms), uptime_s) ->
+           ((failed, queue_depth, in_flight), (p50_ms, p99_ms),
+            (p999_ms, uptime_s)) ->
         {
           P.accepted;
           rejected;
@@ -134,11 +135,13 @@ let stats_gen =
           in_flight;
           p50_ms;
           p99_ms;
+          p999_ms;
           uptime_s;
         })
       (triple small_nat small_nat small_nat)
       (triple small_nat small_nat small_nat)
-      (triple (triple small_nat small_nat small_nat) (pair float float) float))
+      (triple (triple small_nat small_nat small_nat) (pair float float)
+         (pair float float)))
 
 let response_gen =
   QCheck.Gen.(
@@ -628,6 +631,316 @@ let test_serve_loopback_oracle_registered () =
       | Some msg -> Alcotest.failf "oracle failed: %s" msg)
   | Some _ -> Alcotest.fail "serve-loopback should be a sweep check"
 
+(* --- served_to_json validity ---------------------------------------------- *)
+
+(* A strict-enough RFC 8259 parser to referee the hand-rolled emitter:
+   objects, arrays, strings (with escape decoding), numbers, true/false/
+   null.  Raises Failure on anything else, including trailing garbage. *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+let json_parse s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let next () =
+    if !pos >= len then failwith "json: eof";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    let g = next () in
+    if g <> c then failwith (Printf.sprintf "json: expected %c, got %c" c g)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              let hex = String.init 4 (fun _ -> next ()) in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> failwith "json: bad \\u escape"
+              in
+              (* The emitter only uses \u for C0 controls; decoding those
+                 as a raw byte is exact. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else failwith "json: unexpected non-ASCII \\u escape"
+          | c -> failwith (Printf.sprintf "json: bad escape \\%c" c));
+          go ())
+      | c when Char.code c < 0x20 ->
+          failwith "json: raw control char in string"
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = Some '}' then (expect '}'; Jobj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> List.rev ((k, v) :: acc)
+            | c -> failwith (Printf.sprintf "json: bad object sep %c" c)
+          in
+          Jobj (members [])
+        end
+    | Some '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = Some ']' then (expect ']'; Jarr [])
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elems (v :: acc)
+            | ']' -> List.rev (v :: acc)
+            | c -> failwith (Printf.sprintf "json: bad array sep %c" c)
+          in
+          Jarr (elems [])
+        end
+    | Some 't' ->
+        String.iter expect "true";
+        Jbool true
+    | Some 'f' ->
+        String.iter expect "false";
+        Jbool false
+    | Some 'n' ->
+        String.iter expect "null";
+        Jnull
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < len
+          && (match s.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        if !pos = start then failwith "json: unexpected character";
+        let tok = String.sub s start (!pos - start) in
+        Jnum
+          (match float_of_string_opt tok with
+          | Some f -> f
+          | None -> failwith (Printf.sprintf "json: bad number %S" tok))
+    | None -> failwith "json: eof"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then failwith "json: trailing garbage";
+  v
+
+let served_with ~title ~summary_text =
+  {
+    P.payload =
+      {
+        P.circuit_title = title;
+        vectors = 12;
+        stuck_fault_count = 34;
+        realistic_fault_count = 56;
+        t_final = 0.97;
+        theta_final = 0.91;
+        gamma_final = 0.88;
+        theta_iddq_final = 0.93;
+        target_yield = 0.75;
+        summary =
+          {
+            Dl_store.Artifact.text = summary_text;
+            fit_r = 1.9;
+            fit_theta_max = 0.97;
+            fit_rmse = 0.01;
+            fit_rmse_log10 = true;
+            scale_factor = 1.25;
+          };
+        request_key = "abc123";
+        stage_hits = 3;
+        stage_misses = 2;
+      };
+    coalesced = false;
+    service_ms = 7.5;
+  }
+
+let adversarial_titles =
+  [
+    "plain";
+    "";
+    "double\"quote";
+    "back\\slash";
+    "new\nline and tab\t";
+    "control\x01\x1fchars";
+    "utf8 caf\xc3\xa9 \xcf\x84";
+    "raw latin-1 \xa5 byte";
+    "\\u0000 literal, not an escape";
+  ]
+
+(* Regression for the double-escaping bug: [%S] applied to an already
+   json-escaped title turned bytes >= 0x80 into invalid "\165"-style
+   escapes and re-escaped every backslash. *)
+let test_served_json_adversarial_titles () =
+  List.iter
+    (fun title ->
+      let s = served_with ~title ~summary_text:("summary of " ^ title) in
+      let text = P.served_to_json s in
+      match json_parse text with
+      | Jobj fields -> (
+          match List.assoc_opt "circuit" fields with
+          | Some (Jstr decoded) ->
+              Alcotest.(check string)
+                (Printf.sprintf "title %S round-trips" title)
+                title decoded
+          | _ -> Alcotest.failf "no circuit string in %s" text)
+      | _ -> Alcotest.failf "top level is not an object: %s" text
+      | exception Failure m ->
+          Alcotest.failf "invalid JSON for title %S: %s\n%s" title m text)
+    adversarial_titles
+
+let qcheck_served_json_parses =
+  QCheck.Test.make ~name:"served_to_json always parses" ~count:300
+    QCheck.(
+      pair
+        (string_of_size (Gen.int_bound 30))
+        (string_of_size (Gen.int_bound 60)))
+    (fun (title, summary_text) ->
+      let s = served_with ~title ~summary_text in
+      match json_parse (P.served_to_json s) with
+      | Jobj fields -> (
+          match (List.assoc_opt "circuit" fields, List.assoc_opt "summary" fields) with
+          | Some (Jstr t), Some (Jstr sm) -> t = title && sm = summary_text
+          | _ -> false)
+      | _ -> false)
+
+let test_stats_empty_percentiles_are_zero () =
+  let m = Dl_serve.Metrics.create () in
+  let s = Dl_serve.Metrics.snapshot m ~queue_depth:0 ~in_flight:0 in
+  Alcotest.(check (float 0.0)) "p50 = 0 before first request" 0.0 s.P.p50_ms;
+  Alcotest.(check (float 0.0)) "p99 = 0" 0.0 s.P.p99_ms;
+  Alcotest.(check (float 0.0)) "p999 = 0" 0.0 s.P.p999_ms;
+  (* And the JSON-adjacent rendering path stays finite. *)
+  Alcotest.(check bool) "pp_stats renders" true
+    (String.length (Format.asprintf "%a" P.pp_stats s) > 0)
+
+(* --- load generator -------------------------------------------------------- *)
+
+module L = Dl_serve.Load_gen
+
+let load_cfg ?(seed = 5) () =
+  L.config ~rate:40.0 ~duration:2.0
+    ~mix:[ ("c432s_small", 2); ("xor-heavy", 1) ]
+    ~seed ~gates:60 ~distinct:3 ~deadline_ms:(100, 400) ()
+
+let test_load_plan_deterministic () =
+  let cfg = load_cfg () in
+  let a = L.plan cfg and b = L.plan cfg in
+  Alcotest.(check bool) "same plan" true (eq a b);
+  Alcotest.(check string) "byte-identical trace" (L.trace_to_string cfg a)
+    (L.trace_to_string cfg b);
+  let c = L.plan (load_cfg ~seed:6 ()) in
+  Alcotest.(check bool) "different seed, different trace" false
+    (L.trace_to_string cfg a = L.trace_to_string (load_cfg ~seed:6 ()) c)
+
+let test_load_plan_shape () =
+  let cfg = load_cfg () in
+  let plan = L.plan cfg in
+  Alcotest.(check bool) "non-empty" true (Array.length plan > 0);
+  Array.iteri
+    (fun i (p : L.planned) ->
+      Alcotest.(check int) "indexed in order" i p.L.index;
+      Alcotest.(check bool) "arrival inside horizon" true
+        (p.L.at_s >= 0.0 && p.L.at_s < cfg.L.duration);
+      if i > 0 then
+        Alcotest.(check bool) "arrivals non-decreasing" true
+          (p.L.at_s >= plan.(i - 1).L.at_s);
+      Alcotest.(check bool) "class from the mix" true
+        (List.mem_assoc p.L.class_name cfg.L.mix);
+      match p.L.deadline with
+      | Some d -> Alcotest.(check bool) "deadline in range" true (d >= 100 && d <= 400)
+      | None -> Alcotest.fail "deadline expected")
+    plan;
+  (* The distinct-seed pool bounds per-class variety, so coalescing has
+     repeats to work with. *)
+  let seeds_of cls =
+    Array.to_list plan
+    |> List.filter_map (fun (p : L.planned) ->
+           if p.L.class_name = cls then Some p.L.job_seed else None)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun (cls, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed pool bounded" cls)
+        true
+        (List.length (seeds_of cls) <= cfg.L.distinct))
+    cfg.L.mix
+
+let test_load_plan_rate_scales () =
+  let at rate =
+    Array.length
+      (L.plan (L.config ~rate ~duration:4.0 ~mix:[ ("c17", 1) ] ~seed:2 ()))
+  in
+  Alcotest.(check bool) "10x rate, more arrivals" true (at 50.0 > at 5.0)
+
+let test_load_plan_rejects () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "unknown class" (fun () ->
+      L.plan (L.config ~mix:[ ("no-such-class", 1) ] ()));
+  expect_invalid "zero rate" (fun () -> L.plan (L.config ~rate:0.0 ()));
+  expect_invalid "negative weight" (fun () ->
+      L.plan (L.config ~mix:[ ("c17", -1) ] ()));
+  expect_invalid "empty mix" (fun () -> L.plan (L.config ~mix:[] ()));
+  expect_invalid "bad mix string" (fun () -> ignore (L.mix_of_string "c17:0"))
+
+let test_load_mix_of_string () =
+  Alcotest.(check (list (pair string int)))
+    "weights parsed"
+    [ ("c432s", 3); ("xor-heavy", 1); ("c17", 1) ]
+    (L.mix_of_string "c432s:3, xor-heavy:1, c17")
+
 let () =
   Alcotest.run "serve"
     [
@@ -681,5 +994,24 @@ let () =
             test_stage_keys_match_run_reports;
           Alcotest.test_case "loopback oracle registered and passing" `Slow
             test_serve_loopback_oracle_registered;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "adversarial titles stay valid JSON" `Quick
+            test_served_json_adversarial_titles;
+          QCheck_alcotest.to_alcotest qcheck_served_json_parses;
+          Alcotest.test_case "empty-window percentiles are 0.0" `Quick
+            test_stats_empty_percentiles_are_zero;
+        ] );
+      ( "load-gen",
+        [
+          Alcotest.test_case "plan and trace deterministic" `Quick
+            test_load_plan_deterministic;
+          Alcotest.test_case "plan shape" `Quick test_load_plan_shape;
+          Alcotest.test_case "rate scales arrivals" `Quick
+            test_load_plan_rate_scales;
+          Alcotest.test_case "invalid configs rejected" `Quick
+            test_load_plan_rejects;
+          Alcotest.test_case "mix parsing" `Quick test_load_mix_of_string;
         ] );
     ]

@@ -424,6 +424,112 @@ let test_table_formats () =
   Alcotest.(check string) "pct" "97.70%" (Table.fmt_pct 0.977);
   Alcotest.(check string) "ppm" "100.0 ppm" (Table.fmt_ppm 1e-4)
 
+(* --- Seeds ----------------------------------------------------------------- *)
+
+let test_seeds_replayable () =
+  let s = Seeds.create 42 in
+  let a = Seeds.stream s "bench-serve/client-3/req-17" in
+  let b = Seeds.stream s "bench-serve/client-3/req-17" in
+  for _ = 1 to 64 do
+    Alcotest.(check int64) "same stream twice" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_path_sensitivity () =
+  let s = Seeds.create 42 in
+  let fp = Seeds.fingerprint s in
+  Alcotest.(check bool) "sibling paths differ" false
+    (fp "client-3/req-17" = fp "client-3/req-18");
+  Alcotest.(check bool) "segment split matters" false
+    (fp "ab/c" = fp "a/bc");
+  Alcotest.(check bool) "master seed matters" false
+    (Seeds.fingerprint (Seeds.create 43) "client-3/req-17"
+    = fp "client-3/req-17")
+
+let test_seeds_scope_composes () =
+  let root = Seeds.create 9 in
+  let direct = Seeds.fingerprint root "a/b/c" in
+  let via_one = Seeds.fingerprint (Seeds.scope root "a") "b/c" in
+  let via_two = Seeds.fingerprint (Seeds.scope (Seeds.scope root "a") "b") "c" in
+  Alcotest.(check int64) "scope = path prefix (1 level)" direct via_one;
+  Alcotest.(check int64) "scope = path prefix (2 levels)" direct via_two
+
+let test_seeds_order_independent () =
+  (* Deriving streams is pure: consuming one stream never perturbs another,
+     regardless of derivation or consumption order. *)
+  let s = Seeds.create 5 in
+  let a1 = Seeds.stream s "a" in
+  let burn = Seeds.stream s "b" in
+  for _ = 1 to 100 do ignore (Rng.bits64 burn) done;
+  let a2 = Seeds.stream s "a" in
+  for _ = 1 to 16 do
+    Alcotest.(check int64) "derivation is pure" (Rng.bits64 a1) (Rng.bits64 a2)
+  done
+
+(* --- Latency ---------------------------------------------------------------- *)
+
+let test_latency_empty () =
+  let h = Latency.create () in
+  check_float "empty p50 is 0, not nan" 0.0 (Latency.percentile h 0.5);
+  check_float "empty p999 is 0" 0.0 (Latency.percentile h 0.999);
+  check_float "empty mean" 0.0 (Latency.mean_ms h);
+  Alcotest.(check int) "empty count" 0 (Latency.count h)
+
+let test_latency_single () =
+  let h = Latency.create () in
+  Latency.add h 12.5;
+  (* One sample: every percentile is that sample (within bucket error,
+     capped by the exact max). *)
+  check_float "p50 = the sample" 12.5 (Latency.percentile h 0.5);
+  check_float "p999 = the sample" 12.5 (Latency.percentile h 0.999);
+  check_float "max exact" 12.5 (Latency.max_ms h)
+
+let test_latency_relative_error () =
+  let h = Latency.create () in
+  let rng = Rng.create 3 in
+  let samples = Array.init 2000 (fun _ -> Rng.log_uniform rng 0.01 1e4) in
+  Array.iter (Latency.add h) samples;
+  Array.sort Float.compare samples;
+  List.iter
+    (fun q ->
+      let exact =
+        samples.(min 1999 (int_of_float (ceil (q *. 2000.)) - 1))
+      in
+      let approx = Latency.percentile h q in
+      (* Upper bucket edge: >= exact, and within the ~2.3% grid ratio. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g in [exact, exact*1.03]" (q *. 100.))
+        true
+        (approx >= exact -. 1e-9 && approx <= (exact *. 1.03) +. 1e-9))
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_latency_merge () =
+  let a = Latency.create () and b = Latency.create () and all = Latency.create () in
+  let rng = Rng.create 8 in
+  for i = 1 to 500 do
+    let v = Rng.log_uniform rng 0.1 100.0 in
+    Latency.add (if i mod 2 = 0 then a else b) v;
+    Latency.add all v
+  done;
+  Latency.merge a b;
+  Alcotest.(check int) "merged count" (Latency.count all) (Latency.count a);
+  check_float "merged max" (Latency.max_ms all) (Latency.max_ms a);
+  check_close ~eps:1e-6 "merged sum" (Latency.sum_ms all) (Latency.sum_ms a);
+  List.iter
+    (fun q ->
+      check_float
+        (Printf.sprintf "merged p%g" (q *. 100.))
+        (Latency.percentile all q) (Latency.percentile a q))
+    [ 0.5; 0.99; 0.999 ]
+
+let test_latency_outliers () =
+  let h = Latency.create () in
+  Latency.add h Float.nan;
+  Latency.add h (-5.0);
+  Latency.add h 1e12;
+  Alcotest.(check int) "all three counted" 3 (Latency.count h);
+  Alcotest.(check bool) "percentiles stay finite" true
+    (Float.is_finite (Latency.percentile h 0.999))
+
 (* --- qcheck properties ----------------------------------------------------- *)
 
 let prop_quantile_bounds =
@@ -451,9 +557,44 @@ let prop_weight_probability_inverse =
       let p' = -.Numerics.expm1 (-.w) in
       Float.abs (p -. p') < 1e-12)
 
+let segments_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 5)
+      (map
+         (fun l -> String.concat "" (List.map (String.make 1) l))
+         (list_size (int_range 0 6) (oneofl [ 'a'; 'b'; 'x'; '7'; '-' ]))))
+
+let prop_seeds_distinct_paths =
+  QCheck.Test.make ~name:"distinct paths get distinct streams" ~count:500
+    (QCheck.make
+       ~print:(fun (a, b) ->
+         Printf.sprintf "%S vs %S" (String.concat "/" a) (String.concat "/" b))
+       QCheck.Gen.(pair segments_gen segments_gen))
+    (fun (a, b) ->
+      let pa = String.concat "/" a and pb = String.concat "/" b in
+      let s = Seeds.create 0 in
+      pa = pb || Seeds.fingerprint s pa <> Seeds.fingerprint s pb)
+
+let prop_seeds_scope_is_path_prefix =
+  QCheck.Test.make ~name:"scope chain = joined path" ~count:500
+    (QCheck.make
+       ~print:(fun (segs, leaf) ->
+         Printf.sprintf "%s leaf %S" (String.concat "/" segs) leaf)
+       QCheck.Gen.(
+         pair
+           (map (List.filter (fun s -> s <> "")) segments_gen)
+           (oneofl [ "leaf"; "x" ])))
+    (fun (segs, leaf) ->
+      let s = Seeds.create 1 in
+      let scoped = List.fold_left Seeds.scope s segs in
+      let direct = String.concat "/" (segs @ [ leaf ]) in
+      Seeds.fingerprint scoped leaf = Seeds.fingerprint s direct)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_quantile_bounds; prop_histogram_conserves; prop_weight_probability_inverse ]
+    [ prop_quantile_bounds; prop_histogram_conserves;
+      prop_weight_probability_inverse; prop_seeds_distinct_paths;
+      prop_seeds_scope_is_path_prefix ]
 
 let () =
   Alcotest.run "dl_util"
@@ -543,6 +684,24 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity check" `Quick test_table_arity_check;
           Alcotest.test_case "formatters" `Quick test_table_formats;
+        ] );
+      ( "seeds",
+        [
+          Alcotest.test_case "replayable" `Quick test_seeds_replayable;
+          Alcotest.test_case "path sensitivity" `Quick
+            test_seeds_path_sensitivity;
+          Alcotest.test_case "scope composes" `Quick test_seeds_scope_composes;
+          Alcotest.test_case "order independent" `Quick
+            test_seeds_order_independent;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "empty window is 0.0" `Quick test_latency_empty;
+          Alcotest.test_case "single sample" `Quick test_latency_single;
+          Alcotest.test_case "relative error" `Quick
+            test_latency_relative_error;
+          Alcotest.test_case "merge" `Quick test_latency_merge;
+          Alcotest.test_case "outliers clamped" `Quick test_latency_outliers;
         ] );
       ("properties", qcheck_cases);
     ]
