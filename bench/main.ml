@@ -662,6 +662,124 @@ let kernel_bench () =
           ~vectors)
   in
   let rows = [ row_micro; row_drop ] in
+  (* --- PR 7 engine-variant rows on c880s-class and larger circuits ----- *)
+  (* One row per engine variant per circuit: wall-clock over the same
+     1024-vector no-drop workload (so throughput in fault-vector pairs per
+     second is engine-comparable even though the inference engines
+     evaluate far fewer gates), speedup vs the PR 2 flat kernel, and
+     steady-state allocation per gate evaluation measured as the delta
+     between a half- and a full-length run (cancelling per-run lowering
+     and buffer setup). *)
+  let failed = ref false in
+  let variant_rows_for (cname, build) =
+    let c = Dl_netlist.Transform.decompose_for_cells (build ()) in
+    let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+    let rng = Dl_util.Rng.create 4242 in
+    let vectors =
+      Array.init 1024 (fun _ ->
+          Array.init (Dl_netlist.Circuit.input_count c) (fun _ ->
+              Dl_util.Rng.bool rng))
+    in
+    let half = Array.sub vectors 0 512 in
+    let run engine vecs =
+      Dl_fault.Fault_sim.run_with ~engine ~drop_detected:false c ~faults
+        ~vectors:vecs
+    in
+    Printf.printf "\n%s: %d gates, %d collapsed faults, %d vectors\n%!" cname
+      (Dl_netlist.Circuit.node_count c - Dl_netlist.Circuit.input_count c)
+      (Array.length faults) (Array.length vectors);
+    let reference = run Dl_fault.Fault_sim.Reference vectors in
+    let pairs = float_of_int (Array.length faults * Array.length vectors) in
+    let raw =
+      List.map
+        (fun engine ->
+          ignore (run engine half) (* warm: fault-collapse, first touch *);
+          let mh0 = Gc.minor_words () in
+          let r_half = run engine half in
+          let mh1 = Gc.minor_words () in
+          let mf0 = Gc.minor_words () in
+          let r, t = time (fun () -> run engine vectors) in
+          let mf1 = Gc.minor_words () in
+          let identical = r.first_detection = reference.first_detection in
+          if not identical then begin
+            Printf.eprintf "FAIL: %s/%s detection words differ from reference\n"
+              cname
+              (Dl_fault.Fault_sim.engine_to_string engine);
+            failed := true
+          end;
+          let d_evals =
+            r.Dl_fault.Fault_sim.stats.Dl_fault.Fault_sim.Stats.gate_evaluations
+            - r_half.Dl_fault.Fault_sim.stats
+                .Dl_fault.Fault_sim.Stats.gate_evaluations
+          in
+          let words_per_eval =
+            if d_evals <= 0 then 0.0
+            else (mf1 -. mf0 -. (mh1 -. mh0)) /. float_of_int d_evals
+          in
+          (engine, t, r, words_per_eval, identical))
+        Dl_fault.Fault_sim.engines
+    in
+    let t_flat =
+      List.fold_left
+        (fun acc (e, t, _, _, _) ->
+          if e = Dl_fault.Fault_sim.Flat then t else acc)
+        nan raw
+    in
+    let table = Table.create
+        [ ("engine", Table.Left); ("time", Table.Right);
+          ("Mfault-vec/s", Table.Right); ("vs flat", Table.Right);
+          ("words/eval", Table.Right); ("identical", Table.Right) ]
+    in
+    let rows =
+      List.map
+        (fun (engine, t, (r : Dl_fault.Fault_sim.result), wpe, identical) ->
+          let speedup = t_flat /. t in
+          Table.add_row table
+            [ Dl_fault.Fault_sim.engine_to_string engine;
+              Printf.sprintf "%.3f s" t;
+              Printf.sprintf "%.2f" (pairs /. t /. 1e6);
+              Printf.sprintf "%.2fx" speedup;
+              Printf.sprintf "%.4f" wpe;
+              (if identical then "yes" else "NO") ];
+          (cname, engine, t, pairs /. t, speedup, wpe, r.Dl_fault.Fault_sim.stats))
+        raw
+    in
+    Table.print table;
+    (* gates: the PR 7 engines must beat the PR 2 flat kernel at least 2x
+       on these circuits, and the wide hot loop must stay allocation-free *)
+    let best =
+      List.fold_left
+        (fun acc (_, e, _, _, s, _, _) ->
+          if e = Dl_fault.Fault_sim.Reference || e = Dl_fault.Fault_sim.Flat
+          then acc
+          else max acc s)
+        0.0 rows
+    in
+    if best < 2.0 then begin
+      Printf.eprintf
+        "FAIL: %s: best engine-variant speedup %.2fx < 2x over the flat \
+         kernel\n"
+        cname best;
+      failed := true
+    end;
+    List.iter
+      (fun (_, e, _, _, _, wpe, _) ->
+        if e = Dl_fault.Fault_sim.Wide && wpe > 0.05 then begin
+          Printf.eprintf
+            "FAIL: %s: wide hot loop allocates %.4f minor words per gate \
+             evaluation (gate: 0.05)\n"
+            cname wpe;
+          failed := true
+        end)
+      rows;
+    rows
+  in
+  let variant_rows =
+    List.concat_map variant_rows_for
+      [ ("c880s", Dl_netlist.Benchmarks.c880s);
+        ("c1355s", Dl_netlist.Benchmarks.c1355s);
+        ("c1908s", Dl_netlist.Benchmarks.c1908s) ]
+  in
   let json_path =
     match Sys.getenv_opt "BENCH_FAULT_SIM_JSON" with
     | Some p -> p
@@ -675,8 +793,28 @@ let kernel_bench () =
         "  {\"section\": %S, \"gate_evals_per_sec\": %.0f, \
          \"minor_words_per_eval\": %.4f, \"speedup_vs_reference\": %.3f}%s\n"
         section geps words speedup
-        (if i = List.length rows - 1 then "" else ","))
+        (if i = List.length rows - 1 && variant_rows = [] then "" else ","))
     rows;
+  List.iteri
+    (fun i (cname, engine, t, tput, speedup, wpe, stats) ->
+      let s = stats in
+      Printf.fprintf oc
+        "  {\"section\": %S, \"engine\": %S, \"time_s\": %.4f, \
+         \"fault_vectors_per_sec\": %.0f, \"speedup_vs_flat\": %.3f, \
+         \"minor_words_per_gate_eval\": %.4f, \"stats\": \
+         {\"gate_evaluations\": %d, \"events\": %d, \"faults_inferred\": %d, \
+         \"faults_simulated\": %d, \"stem_simulations\": %d, \
+         \"faults_dropped\": %d}}%s\n"
+        cname
+        (Dl_fault.Fault_sim.engine_to_string engine)
+        t tput speedup wpe s.Dl_fault.Fault_sim.Stats.gate_evaluations
+        s.Dl_fault.Fault_sim.Stats.events
+        s.Dl_fault.Fault_sim.Stats.faults_inferred
+        s.Dl_fault.Fault_sim.Stats.faults_simulated
+        s.Dl_fault.Fault_sim.Stats.stem_simulations
+        s.Dl_fault.Fault_sim.Stats.faults_dropped
+        (if i = List.length variant_rows - 1 then "" else ","))
+    variant_rows;
   output_string oc "]\n";
   close_out oc;
   Printf.printf "wrote %s\n" json_path;
@@ -692,9 +830,11 @@ let kernel_bench () =
       micro_words;
     exit 1
   end;
+  if !failed then exit 1;
   print_endline
-    "gate: identity asserted against the reference engine; steady-state\n\
-     allocation ~0 words per gate evaluation."
+    "gate: identity asserted against the reference engine on every row;\n\
+     steady-state allocation ~0 words per gate evaluation; PR 7 engines\n\
+     >= 2x over the flat kernel on c880s/c1355s/c1908s."
 
 (* ------------------------------------------------------------ store bench *)
 

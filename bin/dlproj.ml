@@ -202,17 +202,31 @@ let project_cmd =
 (* -------------------------------------------------------------- pipeline *)
 
 let pipeline_cmd =
-  let run spec seed jobs max_random target_yield points no_collapse report cache
-      json =
+  let run spec seed jobs max_random target_yield points no_collapse engine
+      sim_stats report cache json =
     let c = load_circuit spec in
     check_writable_parent report;
+    let sim_engine =
+      match Dl_fault.Fault_sim.engine_of_string engine with
+      | Some e -> e
+      | None ->
+          die "unknown engine %S (known: %s)" engine
+            (String.concat ", "
+               (List.map Dl_fault.Fault_sim.engine_to_string
+                  Dl_fault.Fault_sim.engines))
+    in
     let cfg =
       Dl_core.Experiment.config ~seed ~max_random_vectors:max_random ~target_yield
         ~domains:(resolve_jobs jobs) ~collapse_faults:(not no_collapse)
-        ?cache_dir:cache c
+        ~sim_engine ?cache_dir:cache c
     in
     let t0 = Unix.gettimeofday () in
     let e = Dl_core.Experiment.run cfg in
+    if sim_stats then
+      (* stderr so --json stdout stays a single machine-readable object *)
+      Format.eprintf "fault-sim [%s]: %a@."
+        (Dl_fault.Fault_sim.engine_to_string sim_engine)
+        Dl_fault.Fault_sim.Stats.pp e.sim_stats;
     if json then begin
       (* Same schema and encoding path as a served answer, so scripts can
          consume local and remote runs identically. *)
@@ -295,12 +309,26 @@ let pipeline_cmd =
            ~doc:"Print one machine-readable JSON object (the server's \
                  response schema) instead of the tables.")
   in
+  let engine =
+    Arg.(value & opt string "wide"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"PPSFP engine variant for the gate-level fault simulation \
+                   (reference, flat, event, pruned, wide).  Detection \
+                   results are engine-independent; speed and the \
+                   $(b,--sim-stats) counters are not.")
+  in
+  let sim_stats =
+    Arg.(value & flag & info [ "sim-stats" ]
+           ~doc:"Print the fault-sim engine counters (gate evaluations, \
+                 events, inferred/simulated/dropped faults, stem \
+                 simulations) on stderr.")
+  in
   Cmd.v
     (Cmd.info "pipeline" ~version
        ~doc:"Full experiment: layout, IFA, ATPG, gate+switch fault simulation, \
              DL projection and (R, θmax) fit.")
     Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ max_random $ target_yield
-          $ points $ no_collapse $ report $ cache $ json)
+          $ points $ no_collapse $ engine $ sim_stats $ report $ cache $ json)
 
 (* ----------------------------------------------------------------- cache *)
 

@@ -188,32 +188,45 @@ let pp_summary ppf s =
 
 (* --- replay -------------------------------------------------------------- *)
 
+(* The mutant is judged against two independently-implemented correct
+   engines — the flat kernel and the wide FFR-inference engine — so the
+   self-test also proves each can serve as a bug detector (and, for
+   [Pristine], that the two agree with the copied loop and each other). *)
 let mutant_disagreement m (case : Testcase.t) =
-  let want =
-    Fault_sim.run ~drop_detected:false case.circuit ~faults:case.faults
-      ~vectors:case.vectors
-  in
   let got = Mutant.run m case.circuit ~faults:case.faults ~vectors:case.vectors in
   let n = Array.length case.faults in
-  let rec scan i =
-    if i >= n then None
-    else if got.Fault_sim.first_detection.(i)
-            <> want.Fault_sim.first_detection.(i)
-    then
-      Some
-        (Printf.sprintf "mutant %s: fault %s first-detected at %s, engine \
-                         says %s"
-           (Mutant.to_string m)
-           (Stuck_at.to_string case.circuit case.faults.(i))
-           (match got.Fault_sim.first_detection.(i) with
-           | Some d -> string_of_int d
-           | None -> "never")
-           (match want.Fault_sim.first_detection.(i) with
-           | Some d -> string_of_int d
-           | None -> "never"))
-    else scan (i + 1)
+  let scan_against engine_name (want : Fault_sim.result) =
+    let rec scan i =
+      if i >= n then None
+      else if got.Fault_sim.first_detection.(i)
+              <> want.Fault_sim.first_detection.(i)
+      then
+        Some
+          (Printf.sprintf "mutant %s: fault %s first-detected at %s, %s \
+                           says %s"
+             (Mutant.to_string m)
+             (Stuck_at.to_string case.circuit case.faults.(i))
+             (match got.Fault_sim.first_detection.(i) with
+             | Some d -> string_of_int d
+             | None -> "never")
+             engine_name
+             (match want.Fault_sim.first_detection.(i) with
+             | Some d -> string_of_int d
+             | None -> "never"))
+      else scan (i + 1)
+    in
+    scan 0
   in
-  scan 0
+  match
+    scan_against "flat engine"
+      (Fault_sim.run ~drop_detected:false case.circuit ~faults:case.faults
+         ~vectors:case.vectors)
+  with
+  | Some _ as d -> d
+  | None ->
+      scan_against "wide engine"
+        (Fault_sim.run_with ~engine:Fault_sim.Wide ~drop_detected:false
+           case.circuit ~faults:case.faults ~vectors:case.vectors)
 
 let mutant_check_prefix = "mutant:"
 

@@ -211,6 +211,7 @@ let run mutation (c : Circuit.t) ~faults ~vectors : Fault_sim.result =
       end
     done
   done;
-  { faults; first_detection; vectors_applied = n_vectors; gate_evaluations = 0 }
+  { Fault_sim.faults; first_detection; vectors_applied = n_vectors;
+    gate_evaluations = 0; stats = Fault_sim.Stats.zero }
 
 (* --- end copied eval loop --------------------------------------------- *)

@@ -17,18 +17,20 @@ type config = {
   domains : int;
   pool : Dl_util.Parallel.t option;
   collapse_faults : bool;
+  sim_engine : Dl_fault.Fault_sim.engine;
   cache_dir : string option;
 }
 
 let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
     ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
     ?(domains = Dl_util.Parallel.default_domains ()) ?pool
-    ?(collapse_faults = true) ?cache_dir circuit =
+    ?(collapse_faults = true) ?(sim_engine = Dl_fault.Fault_sim.Wide)
+    ?cache_dir circuit =
   if not (target_yield > 0.0 && target_yield < 1.0) then
     invalid_arg "Experiment.config: target yield must be in (0, 1)";
   if domains < 1 then invalid_arg "Experiment.config: domains must be >= 1";
   { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio;
-    rows; domains; pool; collapse_faults; cache_dir }
+    rows; domains; pool; collapse_faults; sim_engine; cache_dir }
 
 type t = {
   cfg : config;
@@ -36,6 +38,7 @@ type t = {
   vectors : bool array array;
   atpg_stats : Dl_atpg.Atpg.stats;
   stuck_faults : Dl_fault.Stuck_at.t array;
+  sim_stats : Dl_fault.Fault_sim.Stats.t;
   extraction : Ifa.extraction;
   scale_factor : float;
   yield : float;
@@ -63,6 +66,13 @@ let atpg_config cfg =
 
 let universe_config cfg =
   [ ("collapse_faults", string_of_bool cfg.collapse_faults) ]
+
+(* The engine is part of the fault-sim stage key even though detection
+   results are engine-independent: the cached artifact carries per-engine
+   [Stats] counters, so two engines must never alias one cache entry
+   (PR 7 fixed exactly that aliasing). *)
+let faultsim_config cfg =
+  [ ("engine", Dl_fault.Fault_sim.engine_to_string cfg.sim_engine) ]
 
 let ifa_config cfg =
   [
@@ -98,7 +108,8 @@ let stage_keys cfg =
       ~config:(universe_config cfg) ~inputs:[ mapping; atpg ]
   in
   let faultsim =
-    Stage.key ~stage:"fault-sim" ~codec:Artifact.detections ~config:[]
+    Stage.key ~stage:"fault-sim" ~codec:Artifact.detections
+      ~config:(faultsim_config cfg)
       ~inputs:[ mapping; universe; atpg ]
   in
   let ifa =
@@ -227,16 +238,19 @@ let run cfg =
      domain count is deliberately absent from the stage key). *)
   let sim_art, faultsim_key =
     Stage.run graph ~stage:"fault-sim" ~codec:Artifact.detections
+      ~config:(faultsim_config cfg)
       ~inputs:[ mapping_key; universe_key; atpg_key ]
       (fun () ->
         let sim =
-          Dl_fault.Fault_sim.run_parallel ~domains:cfg.domains ?pool:cfg.pool
-            c ~faults:stuck_faults ~vectors
+          Dl_fault.Fault_sim.run_parallel_with ~engine:cfg.sim_engine
+            ~domains:cfg.domains ?pool:cfg.pool c ~faults:stuck_faults
+            ~vectors
         in
         {
           Artifact.first_detection = sim.first_detection;
           vectors_applied = sim.vectors_applied;
           gate_evaluations = sim.gate_evaluations;
+          sim_stats = sim.stats;
         })
   in
   let t_curve = Coverage.make sim_art.Artifact.first_detection in
@@ -371,6 +385,7 @@ let run cfg =
     vectors;
     atpg_stats = atpg_art.Artifact.stats;
     stuck_faults;
+    sim_stats = sim_art.Artifact.sim_stats;
     extraction;
     scale_factor;
     yield = cfg.target_yield;

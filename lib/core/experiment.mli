@@ -47,6 +47,12 @@ type config = {
           The two coverage definitions agree in the limit (both reach 1 on
           a complete test set once redundant faults are excluded) but
           differ at intermediate [k]. *)
+  sim_engine : Dl_fault.Fault_sim.engine;
+      (** PPSFP engine variant for the gate-level fault simulation (default
+          [Wide]).  Detection results are engine-independent, but the
+          variant IS part of the fault-sim stage key: the cached artifact
+          carries per-engine {!Dl_fault.Fault_sim.Stats} counters, so two
+          engines must never alias one cache entry. *)
   cache_dir : string option;
       (** Root of the content-addressed artifact store; [None] (default)
           disables persistence (stages still execute and report keys). *)
@@ -55,10 +61,12 @@ type config = {
 val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
   ?stats:Dl_extract.Defect_stats.t -> ?min_weight_ratio:float ->
   ?rows:int -> ?domains:int -> ?pool:Dl_util.Parallel.t ->
-  ?collapse_faults:bool -> ?cache_dir:string -> Circuit.t -> config
+  ?collapse_faults:bool -> ?sim_engine:Dl_fault.Fault_sim.engine ->
+  ?cache_dir:string -> Circuit.t -> config
 (** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
     pruning, [Domain.recommended_domain_count ()] domains (or [pool], which
-    takes precedence), collapsed fault universe, no cache. *)
+    takes precedence), collapsed fault universe, [Wide] fault-sim engine,
+    no cache. *)
 
 val stage_keys : config -> (string * string) list
 (** [(stage, key)] for every stage of {!run}, in execution order, derived
@@ -83,6 +91,9 @@ type t = {
       (** The simulated universe: collapsed representatives, or the full
           line-fault universe when [collapse_faults = false] (minus
           PODEM-proved-redundant classes in both cases). *)
+  sim_stats : Dl_fault.Fault_sim.Stats.t;
+      (** Engine counters of the gate-level fault-sim stage (cached with
+          the detections artifact, so available on warm runs too). *)
   extraction : Dl_extract.Ifa.extraction;
   scale_factor : float;        (** Weight scaling applied for target yield. *)
   yield : float;               (** = [cfg.target_yield]. *)

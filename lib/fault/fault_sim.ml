@@ -2,12 +2,84 @@ open Dl_netlist
 module Sim2 = Dl_logic.Sim2
 module Parallel = Dl_util.Parallel
 
+(* Per-run simulation counters.  [gate_evaluations] is counted in 64-pattern
+   units everywhere (the wide engine counts 4 per 256-pattern gate fetch) so
+   throughputs stay comparable across engines; the remaining counters are
+   whatever the engine actually tracks — the reference engine reports only
+   its evaluation count. *)
+module Stats = struct
+  type t = {
+    gate_evaluations : int;
+    events : int;
+    faults_inferred : int;
+    faults_simulated : int;
+    stem_simulations : int;
+    faults_dropped : int;
+  }
+
+  let zero =
+    {
+      gate_evaluations = 0;
+      events = 0;
+      faults_inferred = 0;
+      faults_simulated = 0;
+      stem_simulations = 0;
+      faults_dropped = 0;
+    }
+
+  let add a b =
+    {
+      gate_evaluations = a.gate_evaluations + b.gate_evaluations;
+      events = a.events + b.events;
+      faults_inferred = a.faults_inferred + b.faults_inferred;
+      faults_simulated = a.faults_simulated + b.faults_simulated;
+      stem_simulations = a.stem_simulations + b.stem_simulations;
+      faults_dropped = a.faults_dropped + b.faults_dropped;
+    }
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "%d gate evals, %d events, %d faults traced / %d simulated (%d stem \
+       sims), %d dropped"
+      s.gate_evaluations s.events s.faults_inferred s.faults_simulated
+      s.stem_simulations s.faults_dropped
+end
+
 type result = {
   faults : Stuck_at.t array;
   first_detection : int option array;
   vectors_applied : int;
   gate_evaluations : int;
+  stats : Stats.t;
 }
+
+type engine = Reference | Flat | Event | Pruned | Wide
+
+let engines = [ Reference; Flat; Event; Pruned; Wide ]
+
+let engine_to_string = function
+  | Reference -> "reference"
+  | Flat -> "flat"
+  | Event -> "event"
+  | Pruned -> "pruned"
+  | Wide -> "wide"
+
+let engine_of_string = function
+  | "reference" -> Some Reference
+  | "flat" -> Some Flat
+  | "event" -> Some Event
+  | "pruned" -> Some Pruned
+  | "wide" -> Some Wide
+  | _ -> None
+
+(* Retired-early count, shared by every driver: with fault dropping every
+   detected fault is retired at its detecting block. *)
+let dropped_of ~drop_detected first_detection =
+  if not drop_detected then 0
+  else
+    Array.fold_left
+      (fun acc d -> match d with Some _ -> acc + 1 | None -> acc)
+      0 first_detection
 
 (* --- Shared helpers ------------------------------------------------------- *)
 
@@ -261,6 +333,10 @@ module Reference = struct
       first_detection;
       vectors_applied = n_vectors;
       gate_evaluations = st.gate_evaluations;
+      stats =
+        { Stats.zero with
+          gate_evaluations = st.gate_evaluations;
+          faults_dropped = dropped_of ~drop_detected first_detection };
     }
 
   let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults
@@ -315,7 +391,11 @@ module Reference = struct
     let gate_evaluations =
       Array.fold_left (fun acc st -> acc + st.gate_evaluations) 0 scratches
     in
-    { faults; first_detection; vectors_applied = n_vectors; gate_evaluations }
+    { faults; first_detection; vectors_applied = n_vectors; gate_evaluations;
+      stats =
+        { Stats.zero with
+          gate_evaluations;
+          faults_dropped = dropped_of ~drop_detected first_detection } }
 
   let run_parallel ?(drop_detected = true) ?on_detect ?domains ?pool c ~faults
       ~vectors =
@@ -323,7 +403,8 @@ module Reference = struct
        returning here also keeps [run_in_pool]'s shard clamp >= 1. *)
     if Array.length faults = 0 then
       { faults; first_detection = [||];
-        vectors_applied = Array.length vectors; gate_evaluations = 0 }
+        vectors_applied = Array.length vectors; gate_evaluations = 0;
+        stats = Stats.zero }
     else
       let dispatch pool =
         if Parallel.size pool = 1 then
@@ -381,6 +462,8 @@ type scratch = {
   ins : Kernel.words;  (* gather buffer for the host gate of a branch fault *)
   out : Kernel.words;  (* one slot: detection word of the last simulate_fault *)
   mutable gate_evaluations : int;
+  mutable events : int;
+  mutable faults_simulated : int;
 }
 
 let make_scratch (k : Kernel.t) =
@@ -402,7 +485,9 @@ let make_scratch (k : Kernel.t) =
     n_touched = 0;
     ins = Kernel.alloc !max_arity;
     out = Kernel.alloc 1;
-  gate_evaluations = 0;
+    gate_evaluations = 0;
+    events = 0;
+    faults_simulated = 0;
   }
 
 (* Simulate one fault against one 64-vector block; the detection word lands
@@ -424,6 +509,7 @@ let simulate_fault st ~is_output ~(good : Kernel.words) ~count
      assignment on the detection path would box), whereas bigarray
      read-modify-write chains stay unboxed. *)
   Bigarray.Array1.unsafe_set st.out 0 0L;
+  st.faults_simulated <- st.faults_simulated + 1;
   let seeded = ref false in
   (match f.site with
   | Stuck_at.Stem id ->
@@ -488,6 +574,7 @@ let simulate_fault st ~is_output ~(good : Kernel.words) ~count
       let len = Array.unsafe_get k.fanin_off (id + 1) - off in
       let op = Array.unsafe_get k.opcode id in
       st.gate_evaluations <- st.gate_evaluations + 1;
+      st.events <- st.events + 1;
       let v =
         if id <> fault_gate then begin
           (* Common case: faulty-machine evaluation with the touched/good
@@ -702,6 +789,12 @@ let run ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults ~vectors =
     first_detection;
     vectors_applied = n_vectors;
     gate_evaluations = st.gate_evaluations;
+    stats =
+      { Stats.zero with
+        gate_evaluations = st.gate_evaluations;
+        events = st.events;
+        faults_simulated = st.faults_simulated;
+        faults_dropped = dropped_of ~drop_detected first_detection };
   }
 
 (* Parallel driver: the fault array is cut into [size pool] contiguous
@@ -770,13 +863,21 @@ let run_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults ~vectors 
   let gate_evaluations =
     Array.fold_left (fun acc st -> acc + st.gate_evaluations) 0 scratches
   in
-  { faults; first_detection; vectors_applied = n_vectors; gate_evaluations }
+  { faults; first_detection; vectors_applied = n_vectors; gate_evaluations;
+    stats =
+      { Stats.zero with
+        gate_evaluations;
+        events = Array.fold_left (fun a st -> a + st.events) 0 scratches;
+        faults_simulated =
+          Array.fold_left (fun a st -> a + st.faults_simulated) 0 scratches;
+        faults_dropped = dropped_of ~drop_detected first_detection } }
 
 let run_parallel ?(drop_detected = true) ?on_detect ?domains ?pool c ~faults
     ~vectors =
   if Array.length faults = 0 then
     { faults; first_detection = [||];
-      vectors_applied = Array.length vectors; gate_evaluations = 0 }
+      vectors_applied = Array.length vectors; gate_evaluations = 0;
+      stats = Stats.zero }
   else
     let dispatch pool =
       if Parallel.size pool = 1 then run ~drop_detected ?on_detect c ~faults ~vectors
@@ -791,6 +892,1297 @@ let run_parallel ?(drop_detected = true) ?on_detect ?domains ?pool c ~faults
           Option.map (fun d -> max 1 (min d (Array.length faults))) domains
         in
         Parallel.with_pool ?domains dispatch
+
+(* --- Event / Pruned / Wide engines -----------------------------------------
+
+   Three composable optimizations over the flat kernel, selected through
+   {!engine} (the [Flat] paths above are kept verbatim as the
+   gate-evaluation-count-compatible production baseline):
+
+   [Event] — resident-faulty incremental simulation.  The faulty buffer is
+   a persistent copy of the good-machine words (one blit per block); each
+   fault perturbs only its disturbed cone and the touched nodes are
+   restored afterwards, so the hot loop reads fanins unconditionally
+   instead of through the flat engine's per-fanin touched/good overlay
+   branch.  Scheduling decisions are identical to [Flat] (a popped node
+   writes and propagates iff its masked diff against good is non-zero,
+   which is exactly the overlay engine's condition, since a node is popped
+   at most once per fault and its resident value before the write is the
+   good value), so detection words, event counts and gate-evaluation
+   counts all match the flat and reference engines bit for bit.
+
+   [Pruned] — fanout-free-region inference on top of [Event].  Faults are
+   never simulated individually: for each FFR stem hosting a live fault,
+   one toggle simulation (faulty stem = complement of good) yields the
+   stem's observability word — the patterns on which flipping the stem
+   reaches a primary output.  Each fault is then decided by critical-path
+   tracing inside its region: the local fault effect is walked along the
+   unique single-fanout chain to the stem, one boolean-difference gate
+   evaluation per step (side inputs carry good values — exact, because an
+   FFR contains no reconvergence), and the detection word is the traced
+   difference AND the stem's observability.  Per lane, the faulty machine
+   below the stem equals the toggle machine whenever the traced difference
+   reaches the stem, so this equals explicit simulation bit for bit.
+
+   [Wide] — [Pruned] over 4x64-pattern blocks: good machine via
+   [Sim2.run_flat4], toggle propagation and tracing on 4-word values
+   (node [i] at words [4i..4i+3]), amortizing every CSR fetch over 256
+   patterns.  Detection handling stays block-sequential (a dropped fault
+   reports only its first detecting 64-pattern sub-word), so results are
+   identical to the 64-bit engines. *)
+
+type escratch = {
+  kernel : Kernel.t;
+  queued : bool array;
+  bucket : int array;
+  bucket_len : int array;
+  mutable cur_level : int;
+  mutable remaining : int;
+  faulty : Kernel.words;  (* resident good copy, perturbed and restored *)
+  touched_ids : int array;
+  mutable n_touched : int;
+  ins : Kernel.words;  (* pin-gather buffer (host gate override, tracing) *)
+  out : Kernel.words;
+      (* slots 0..3: detection/difference words; 4..7: gather-fold results.
+         The 64-bit paths use slots 0 and 4 only. *)
+  vmask : Kernel.words;
+      (* per-sub-word valid masks of the current block (wide path), cached
+         here once per block so the hot functions read them unboxed instead
+         of recomputing int64s across call boundaries *)
+  mutable gate_evaluations : int;
+  mutable events : int;
+  mutable faults_simulated : int;
+  mutable stem_simulations : int;
+  mutable faults_inferred : int;
+}
+
+let make_escratch ?(wide = false) (k : Kernel.t) =
+  let max_arity = ref 1 in
+  for id = 0 to k.n - 1 do
+    let a = k.fanin_off.(id + 1) - k.fanin_off.(id) in
+    if a > !max_arity then max_arity := a
+  done;
+  let width = if wide then 4 else 1 in
+  {
+    kernel = k;
+    queued = Array.make k.n false;
+    bucket = Array.make (max 1 k.n) 0;
+    bucket_len = Array.make k.n_levels 0;
+    cur_level = 0;
+    remaining = 0;
+    faulty = Kernel.alloc (width * k.n);
+    touched_ids = Array.make (max 1 k.n) 0;
+    n_touched = 0;
+    ins = Kernel.alloc (width * !max_arity);
+    out = Kernel.alloc 8;
+    vmask = Kernel.alloc 4;
+    gate_evaluations = 0;
+    events = 0;
+    faults_simulated = 0;
+    stem_simulations = 0;
+    faults_inferred = 0;
+  }
+
+(* Re-arm the resident faulty buffer for a new block's good values.  The
+   per-fault cleanups below restore every touched node, so this is the only
+   full-buffer copy per (scratch, block). *)
+let resident_reset st (good : Kernel.words) =
+  Bigarray.Array1.blit good st.faulty
+
+let[@inline] push_fanouts st id =
+  let k = st.kernel in
+  let fo = Array.unsafe_get k.fanout_off id in
+  let fe = Array.unsafe_get k.fanout_off (id + 1) in
+  for j = fo to fe - 1 do
+    let succ = Array.unsafe_get k.fanout j in
+    if not (Array.unsafe_get st.queued succ) then begin
+      Array.unsafe_set st.queued succ true;
+      let l = Array.unsafe_get k.level succ in
+      let bl = Array.unsafe_get st.bucket_len l in
+      Array.unsafe_set st.bucket (Array.unsafe_get k.level_off l + bl) succ;
+      Array.unsafe_set st.bucket_len l (bl + 1);
+      st.remaining <- st.remaining + 1
+    end
+  done
+
+let[@inline] touch st id =
+  Array.unsafe_set st.touched_ids st.n_touched id;
+  st.n_touched <- st.n_touched + 1
+
+(* Fold the gathered pin words [st.ins.{0..len-1}] under opcode [op] into
+   [st.out.{4}].  Writing to the scratch slot instead of returning keeps the
+   int64 unboxed across the non-inlined call. *)
+let fold_ins st len op =
+  let v =
+    if len = 1 then begin
+      let a = Bigarray.Array1.unsafe_get st.ins 0 in
+      if Gate.op_inverts op then Int64.lognot a else a
+    end
+    else if op <= Gate.op_nand then begin
+      let acc = ref (Bigarray.Array1.unsafe_get st.ins 0) in
+      for j = 1 to len - 1 do
+        acc := Int64.logand !acc (Bigarray.Array1.unsafe_get st.ins j)
+      done;
+      if op = Gate.op_nand then Int64.lognot !acc else !acc
+    end
+    else if op <= Gate.op_nor then begin
+      let acc = ref (Bigarray.Array1.unsafe_get st.ins 0) in
+      for j = 1 to len - 1 do
+        acc := Int64.logor !acc (Bigarray.Array1.unsafe_get st.ins j)
+      done;
+      if op = Gate.op_nor then Int64.lognot !acc else !acc
+    end
+    else begin
+      let acc = ref (Bigarray.Array1.unsafe_get st.ins 0) in
+      for j = 1 to len - 1 do
+        acc := Int64.logxor !acc (Bigarray.Array1.unsafe_get st.ins j)
+      done;
+      if op = Gate.op_xnor then Int64.lognot !acc else !acc
+    end
+  in
+  Bigarray.Array1.unsafe_set st.out 4 v
+
+(* 4-word [fold_ins]: pins gathered at [st.ins.{4j..4j+3}], results written
+   to [st.out.{4..7}]. *)
+let fold_ins4 st len op =
+  for w = 0 to 3 do
+    let v =
+      if len = 1 then begin
+        let a = Bigarray.Array1.unsafe_get st.ins w in
+        if Gate.op_inverts op then Int64.lognot a else a
+      end
+      else if op <= Gate.op_nand then begin
+        let acc = ref (Bigarray.Array1.unsafe_get st.ins w) in
+        for j = 1 to len - 1 do
+          acc :=
+            Int64.logand !acc (Bigarray.Array1.unsafe_get st.ins ((j * 4) + w))
+        done;
+        if op = Gate.op_nand then Int64.lognot !acc else !acc
+      end
+      else if op <= Gate.op_nor then begin
+        let acc = ref (Bigarray.Array1.unsafe_get st.ins w) in
+        for j = 1 to len - 1 do
+          acc :=
+            Int64.logor !acc (Bigarray.Array1.unsafe_get st.ins ((j * 4) + w))
+        done;
+        if op = Gate.op_nor then Int64.lognot !acc else !acc
+      end
+      else begin
+        let acc = ref (Bigarray.Array1.unsafe_get st.ins w) in
+        for j = 1 to len - 1 do
+          acc :=
+            Int64.logxor !acc (Bigarray.Array1.unsafe_get st.ins ((j * 4) + w))
+        done;
+        if op = Gate.op_xnor then Int64.lognot !acc else !acc
+      end
+    in
+    Bigarray.Array1.unsafe_set st.out (4 + w) v
+  done
+
+(* Level-ordered drain of the event worklist against the resident faulty
+   buffer.  The masked-diff accumulation goes to [st.out.{0}]; [fault_gate]
+   (or -1) forces [fault_pin] to [stuck_word] on its own evaluation, exactly
+   like the flat engine's gather path.  The frontier dies on its own when
+   every evaluated node's masked diff is zero — the "all lanes converge"
+   early exit: a node whose value equals the resident (= good) value is
+   neither written nor propagated. *)
+let drain_event st ~is_output ~(good : Kernel.words) ~count ~fault_gate
+    ~fault_pin ~stuck_word =
+  let k = st.kernel in
+  let valid_mask =
+    if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
+  in
+  while st.remaining > 0 do
+    while Array.unsafe_get st.bucket_len st.cur_level = 0 do
+      st.cur_level <- st.cur_level + 1
+    done;
+    let l = st.cur_level in
+    let bl = Array.unsafe_get st.bucket_len l - 1 in
+    Array.unsafe_set st.bucket_len l bl;
+    let id = Array.unsafe_get st.bucket (Array.unsafe_get k.level_off l + bl) in
+    Array.unsafe_set st.queued id false;
+    st.remaining <- st.remaining - 1;
+    let off = Array.unsafe_get k.fanin_off id in
+    let len = Array.unsafe_get k.fanin_off (id + 1) - off in
+    let op = Array.unsafe_get k.opcode id in
+    st.gate_evaluations <- st.gate_evaluations + 1;
+    st.events <- st.events + 1;
+    let v =
+      if id <> fault_gate then begin
+        (* Unconditional resident reads: the overlay branch of the flat
+           engine is gone, which is the point of this engine. *)
+        if len = 2 then begin
+          let a =
+            Bigarray.Array1.unsafe_get st.faulty (Array.unsafe_get k.fanin off)
+          in
+          let b =
+            Bigarray.Array1.unsafe_get st.faulty
+              (Array.unsafe_get k.fanin (off + 1))
+          in
+          if op = Gate.op_and then Int64.logand a b
+          else if op = Gate.op_nand then Int64.lognot (Int64.logand a b)
+          else if op = Gate.op_or then Int64.logor a b
+          else if op = Gate.op_nor then Int64.lognot (Int64.logor a b)
+          else if op = Gate.op_xor then Int64.logxor a b
+          else Int64.lognot (Int64.logxor a b)
+        end
+        else if len = 1 then begin
+          let a =
+            Bigarray.Array1.unsafe_get st.faulty (Array.unsafe_get k.fanin off)
+          in
+          if Gate.op_inverts op then Int64.lognot a else a
+        end
+        else begin
+          let last = off + len - 1 in
+          if op <= Gate.op_nand then begin
+            let acc =
+              ref
+                (Bigarray.Array1.unsafe_get st.faulty
+                   (Array.unsafe_get k.fanin off))
+            in
+            for j = off + 1 to last do
+              acc :=
+                Int64.logand !acc
+                  (Bigarray.Array1.unsafe_get st.faulty
+                     (Array.unsafe_get k.fanin j))
+            done;
+            if op = Gate.op_nand then Int64.lognot !acc else !acc
+          end
+          else if op <= Gate.op_nor then begin
+            let acc =
+              ref
+                (Bigarray.Array1.unsafe_get st.faulty
+                   (Array.unsafe_get k.fanin off))
+            in
+            for j = off + 1 to last do
+              acc :=
+                Int64.logor !acc
+                  (Bigarray.Array1.unsafe_get st.faulty
+                     (Array.unsafe_get k.fanin j))
+            done;
+            if op = Gate.op_nor then Int64.lognot !acc else !acc
+          end
+          else begin
+            let acc =
+              ref
+                (Bigarray.Array1.unsafe_get st.faulty
+                   (Array.unsafe_get k.fanin off))
+            in
+            for j = off + 1 to last do
+              acc :=
+                Int64.logxor !acc
+                  (Bigarray.Array1.unsafe_get st.faulty
+                     (Array.unsafe_get k.fanin j))
+            done;
+            if op = Gate.op_xnor then Int64.lognot !acc else !acc
+          end
+        end
+      end
+      else begin
+        for j = 0 to len - 1 do
+          Bigarray.Array1.unsafe_set st.ins j
+            (Bigarray.Array1.unsafe_get st.faulty
+               (Array.unsafe_get k.fanin (off + j)))
+        done;
+        Bigarray.Array1.unsafe_set st.ins fault_pin stuck_word;
+        fold_ins st len op;
+        Bigarray.Array1.unsafe_get st.out 4
+      end
+    in
+    let diff =
+      Int64.logand
+        (Int64.logxor (Bigarray.Array1.unsafe_get good id) v)
+        valid_mask
+    in
+    if diff <> 0L then begin
+      Bigarray.Array1.unsafe_set st.faulty id v;
+      touch st id;
+      if Array.unsafe_get is_output id then
+        Bigarray.Array1.unsafe_set st.out 0
+          (Int64.logor (Bigarray.Array1.unsafe_get st.out 0) diff);
+      push_fanouts st id
+    end
+  done
+
+(* Restore the resident buffer to the good values (64-bit paths). *)
+let event_cleanup st (good : Kernel.words) =
+  for i = 0 to st.n_touched - 1 do
+    let id = Array.unsafe_get st.touched_ids i in
+    Bigarray.Array1.unsafe_set st.faulty id (Bigarray.Array1.unsafe_get good id)
+  done;
+  st.n_touched <- 0;
+  st.cur_level <- 0
+
+(* One fault against one block on the resident-faulty engine; detection word
+   in [st.out.{0}].  Decision-identical to the flat engine's
+   [simulate_fault]. *)
+let simulate_fault_event st ~is_output ~(good : Kernel.words) ~count
+    (f : Stuck_at.t) =
+  let valid_mask =
+    if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
+  in
+  let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
+  Bigarray.Array1.unsafe_set st.out 0 0L;
+  st.faults_simulated <- st.faults_simulated + 1;
+  let fault_gate, fault_pin, seeded =
+    match f.site with
+    | Stuck_at.Stem id ->
+        let diff =
+          Int64.logand
+            (Int64.logxor (Bigarray.Array1.unsafe_get good id) stuck_word)
+            valid_mask
+        in
+        if diff = 0L then (-1, -1, false)
+        else begin
+          Bigarray.Array1.unsafe_set st.faulty id stuck_word;
+          touch st id;
+          if Array.unsafe_get is_output id then
+            Bigarray.Array1.unsafe_set st.out 0 diff;
+          push_fanouts st id;
+          (-1, -1, true)
+        end
+    | Stuck_at.Branch { gate; pin } ->
+        st.queued.(gate) <- true;
+        let k = st.kernel in
+        let l = Array.unsafe_get k.level gate in
+        let bl = Array.unsafe_get st.bucket_len l in
+        Array.unsafe_set st.bucket (Array.unsafe_get k.level_off l + bl) gate;
+        Array.unsafe_set st.bucket_len l (bl + 1);
+        st.remaining <- st.remaining + 1;
+        (gate, pin, true)
+  in
+  if seeded then begin
+    drain_event st ~is_output ~good ~count ~fault_gate ~fault_pin ~stuck_word;
+    event_cleanup st good
+  end
+
+(* Stem-toggle observability: simulate the stem forced to the complement of
+   its good value; the accumulated detection word is exactly the set of
+   patterns on which flipping the stem is observable at a primary output. *)
+let simulate_toggle st ~is_output ~(good : Kernel.words) ~count stem =
+  let valid_mask =
+    if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
+  in
+  st.stem_simulations <- st.stem_simulations + 1;
+  Bigarray.Array1.unsafe_set st.out 0
+    (if Array.unsafe_get is_output stem then valid_mask else 0L);
+  Bigarray.Array1.unsafe_set st.faulty stem
+    (Int64.lognot (Bigarray.Array1.unsafe_get good stem));
+  touch st stem;
+  push_fanouts st stem;
+  drain_event st ~is_output ~good ~count ~fault_gate:(-1) ~fault_pin:(-1)
+    ~stuck_word:0L;
+  event_cleanup st good
+
+let site_node (f : Stuck_at.t) =
+  match f.site with Stuck_at.Stem id -> id | Stuck_at.Branch { gate; _ } -> gate
+
+(* Critical-path trace of one fault to its FFR stem: seed the local fault
+   effect, then walk the unique single-fanout chain, ANDing in each gate's
+   boolean difference with respect to the incoming line (one substituted
+   gate evaluation per step — exact inside an FFR, where side inputs always
+   carry good values).  The traced difference word lands in [st.out.{0}];
+   the caller ANDs it with the stem's observability word. *)
+let trace_fault st ~(good : Kernel.words) ~count (f : Stuck_at.t) =
+  let k = st.kernel in
+  let valid_mask =
+    if count = 64 then -1L else Int64.sub (Int64.shift_left 1L count) 1L
+  in
+  let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
+  let cur = ref 0 in
+  (match f.site with
+  | Stuck_at.Stem id ->
+      Bigarray.Array1.unsafe_set st.out 0
+        (Int64.logand
+           (Int64.logxor (Bigarray.Array1.unsafe_get good id) stuck_word)
+           valid_mask);
+      cur := id
+  | Stuck_at.Branch { gate; pin } ->
+      let off = Array.unsafe_get k.fanin_off gate in
+      let len = Array.unsafe_get k.fanin_off (gate + 1) - off in
+      for j = 0 to len - 1 do
+        Bigarray.Array1.unsafe_set st.ins j
+          (Bigarray.Array1.unsafe_get good (Array.unsafe_get k.fanin (off + j)))
+      done;
+      Bigarray.Array1.unsafe_set st.ins pin stuck_word;
+      st.gate_evaluations <- st.gate_evaluations + 1;
+      fold_ins st len (Array.unsafe_get k.opcode gate);
+      Bigarray.Array1.unsafe_set st.out 0
+        (Int64.logand
+           (Int64.logxor
+              (Bigarray.Array1.unsafe_get good gate)
+              (Bigarray.Array1.unsafe_get st.out 4))
+           valid_mask);
+      cur := gate);
+  while
+    Bigarray.Array1.unsafe_get st.out 0 <> 0L
+    && Array.unsafe_get k.ffr_stem !cur <> !cur
+  do
+    let nxt = Array.unsafe_get k.fanout (Array.unsafe_get k.fanout_off !cur) in
+    let off = Array.unsafe_get k.fanin_off nxt in
+    let len = Array.unsafe_get k.fanin_off (nxt + 1) - off in
+    for j = 0 to len - 1 do
+      let s = Array.unsafe_get k.fanin (off + j) in
+      let w = Bigarray.Array1.unsafe_get good s in
+      Bigarray.Array1.unsafe_set st.ins j
+        (if s = !cur then Int64.lognot w else w)
+    done;
+    st.gate_evaluations <- st.gate_evaluations + 1;
+    fold_ins st len (Array.unsafe_get k.opcode nxt);
+    Bigarray.Array1.unsafe_set st.out 0
+      (Int64.logand
+         (Bigarray.Array1.unsafe_get st.out 0)
+         (Int64.logxor
+            (Bigarray.Array1.unsafe_get good nxt)
+            (Bigarray.Array1.unsafe_get st.out 4)));
+    cur := nxt
+  done
+
+(* --- wide (4-word) toggle and trace ------------------------------------- *)
+
+let[@inline] sub_count ~count w =
+  let c = count - (w * 64) in
+  if c <= 0 then 0 else if c >= 64 then 64 else c
+
+let sub_mask ~count w =
+  let c = count - (w * 64) in
+  if c <= 0 then 0L
+  else if c >= 64 then -1L
+  else Int64.sub (Int64.shift_left 1L c) 1L
+
+(* Cache the block's four valid masks in scratch (once per block per
+   scratch; the boxed [sub_mask] returns are off the per-fault path). *)
+let set_vmasks st ~count =
+  for w = 0 to 3 do
+    Bigarray.Array1.unsafe_set st.vmask w (sub_mask ~count w)
+  done
+
+(* 4-word stem-toggle: diff words accumulate in [st.out.{0..3}], one per
+   64-pattern sub-word of the 256-pattern block. *)
+let simulate_toggle4 st ~is_output ~(good : Kernel.words) stem =
+  let k = st.kernel in
+  st.stem_simulations <- st.stem_simulations + 1;
+  let po = Array.unsafe_get is_output stem in
+  for w = 0 to 3 do
+    Bigarray.Array1.unsafe_set st.out w
+      (if po then Bigarray.Array1.unsafe_get st.vmask w else 0L)
+  done;
+  let s4 = stem * 4 in
+  for w = 0 to 3 do
+    Bigarray.Array1.unsafe_set st.faulty (s4 + w)
+      (Int64.lognot (Bigarray.Array1.unsafe_get good (s4 + w)))
+  done;
+  touch st stem;
+  push_fanouts st stem;
+  while st.remaining > 0 do
+    while Array.unsafe_get st.bucket_len st.cur_level = 0 do
+      st.cur_level <- st.cur_level + 1
+    done;
+    let l = st.cur_level in
+    let bl = Array.unsafe_get st.bucket_len l - 1 in
+    Array.unsafe_set st.bucket_len l bl;
+    let id = Array.unsafe_get st.bucket (Array.unsafe_get k.level_off l + bl) in
+    Array.unsafe_set st.queued id false;
+    st.remaining <- st.remaining - 1;
+    let off = Array.unsafe_get k.fanin_off id in
+    let len = Array.unsafe_get k.fanin_off (id + 1) - off in
+    let op = Array.unsafe_get k.opcode id in
+    st.gate_evaluations <- st.gate_evaluations + 4;
+    st.events <- st.events + 1;
+    (* Evaluate the gate's four words from the resident buffer into
+       [st.out.{4..7}]. *)
+    if len = 2 then begin
+      let a4 = Array.unsafe_get k.fanin off * 4 in
+      let b4 = Array.unsafe_get k.fanin (off + 1) * 4 in
+      for w = 0 to 3 do
+        let a = Bigarray.Array1.unsafe_get st.faulty (a4 + w) in
+        let b = Bigarray.Array1.unsafe_get st.faulty (b4 + w) in
+        let v =
+          if op = Gate.op_and then Int64.logand a b
+          else if op = Gate.op_nand then Int64.lognot (Int64.logand a b)
+          else if op = Gate.op_or then Int64.logor a b
+          else if op = Gate.op_nor then Int64.lognot (Int64.logor a b)
+          else if op = Gate.op_xor then Int64.logxor a b
+          else Int64.lognot (Int64.logxor a b)
+        in
+        Bigarray.Array1.unsafe_set st.out (4 + w) v
+      done
+    end
+    else if len = 1 then begin
+      let a4 = Array.unsafe_get k.fanin off * 4 in
+      let inv = Gate.op_inverts op in
+      for w = 0 to 3 do
+        let a = Bigarray.Array1.unsafe_get st.faulty (a4 + w) in
+        Bigarray.Array1.unsafe_set st.out (4 + w)
+          (if inv then Int64.lognot a else a)
+      done
+    end
+    else begin
+      let last = off + len - 1 in
+      for w = 0 to 3 do
+        let s0 = Array.unsafe_get k.fanin off * 4 in
+        let v =
+          if op <= Gate.op_nand then begin
+            let acc = ref (Bigarray.Array1.unsafe_get st.faulty (s0 + w)) in
+            for j = off + 1 to last do
+              acc :=
+                Int64.logand !acc
+                  (Bigarray.Array1.unsafe_get st.faulty
+                     ((Array.unsafe_get k.fanin j * 4) + w))
+            done;
+            if op = Gate.op_nand then Int64.lognot !acc else !acc
+          end
+          else if op <= Gate.op_nor then begin
+            let acc = ref (Bigarray.Array1.unsafe_get st.faulty (s0 + w)) in
+            for j = off + 1 to last do
+              acc :=
+                Int64.logor !acc
+                  (Bigarray.Array1.unsafe_get st.faulty
+                     ((Array.unsafe_get k.fanin j * 4) + w))
+            done;
+            if op = Gate.op_nor then Int64.lognot !acc else !acc
+          end
+          else begin
+            let acc = ref (Bigarray.Array1.unsafe_get st.faulty (s0 + w)) in
+            for j = off + 1 to last do
+              acc :=
+                Int64.logxor !acc
+                  (Bigarray.Array1.unsafe_get st.faulty
+                     ((Array.unsafe_get k.fanin j * 4) + w))
+            done;
+            if op = Gate.op_xnor then Int64.lognot !acc else !acc
+          end
+        in
+        Bigarray.Array1.unsafe_set st.out (4 + w) v
+      done
+    end;
+    let o4 = id * 4 in
+    let d0 =
+      Int64.logand
+        (Int64.logxor
+           (Bigarray.Array1.unsafe_get good o4)
+           (Bigarray.Array1.unsafe_get st.out 4))
+        (Bigarray.Array1.unsafe_get st.vmask 0)
+    in
+    let d1 =
+      Int64.logand
+        (Int64.logxor
+           (Bigarray.Array1.unsafe_get good (o4 + 1))
+           (Bigarray.Array1.unsafe_get st.out 5))
+        (Bigarray.Array1.unsafe_get st.vmask 1)
+    in
+    let d2 =
+      Int64.logand
+        (Int64.logxor
+           (Bigarray.Array1.unsafe_get good (o4 + 2))
+           (Bigarray.Array1.unsafe_get st.out 6))
+        (Bigarray.Array1.unsafe_get st.vmask 2)
+    in
+    let d3 =
+      Int64.logand
+        (Int64.logxor
+           (Bigarray.Array1.unsafe_get good (o4 + 3))
+           (Bigarray.Array1.unsafe_get st.out 7))
+        (Bigarray.Array1.unsafe_get st.vmask 3)
+    in
+    if
+      Int64.logor (Int64.logor d0 d1) (Int64.logor d2 d3) <> 0L
+    then begin
+      for w = 0 to 3 do
+        Bigarray.Array1.unsafe_set st.faulty (o4 + w)
+          (Bigarray.Array1.unsafe_get st.out (4 + w))
+      done;
+      touch st id;
+      if Array.unsafe_get is_output id then begin
+        Bigarray.Array1.unsafe_set st.out 0
+          (Int64.logor (Bigarray.Array1.unsafe_get st.out 0) d0);
+        Bigarray.Array1.unsafe_set st.out 1
+          (Int64.logor (Bigarray.Array1.unsafe_get st.out 1) d1);
+        Bigarray.Array1.unsafe_set st.out 2
+          (Int64.logor (Bigarray.Array1.unsafe_get st.out 2) d2);
+        Bigarray.Array1.unsafe_set st.out 3
+          (Int64.logor (Bigarray.Array1.unsafe_get st.out 3) d3)
+      end;
+      push_fanouts st id
+    end
+  done;
+  (* restore the four words of every touched node *)
+  for i = 0 to st.n_touched - 1 do
+    let id4 = Array.unsafe_get st.touched_ids i * 4 in
+    for w = 0 to 3 do
+      Bigarray.Array1.unsafe_set st.faulty (id4 + w)
+        (Bigarray.Array1.unsafe_get good (id4 + w))
+    done
+  done;
+  st.n_touched <- 0;
+  st.cur_level <- 0
+
+(* 4-word critical-path trace; difference words land in [st.out.{0..3}]. *)
+let trace_fault4 st ~(good : Kernel.words) (f : Stuck_at.t) =
+  let k = st.kernel in
+  let stuck_word = if Stuck_at.polarity_bool f.polarity then -1L else 0L in
+  let cur = ref 0 in
+  (match f.site with
+  | Stuck_at.Stem id ->
+      let i4 = id * 4 in
+      for w = 0 to 3 do
+        Bigarray.Array1.unsafe_set st.out w
+          (Int64.logand
+             (Int64.logxor
+                (Bigarray.Array1.unsafe_get good (i4 + w))
+                stuck_word)
+             (Bigarray.Array1.unsafe_get st.vmask w))
+      done;
+      cur := id
+  | Stuck_at.Branch { gate; pin } ->
+      let off = Array.unsafe_get k.fanin_off gate in
+      let len = Array.unsafe_get k.fanin_off (gate + 1) - off in
+      for j = 0 to len - 1 do
+        let s4 = Array.unsafe_get k.fanin (off + j) * 4 in
+        for w = 0 to 3 do
+          Bigarray.Array1.unsafe_set st.ins ((j * 4) + w)
+            (Bigarray.Array1.unsafe_get good (s4 + w))
+        done
+      done;
+      for w = 0 to 3 do
+        Bigarray.Array1.unsafe_set st.ins ((pin * 4) + w) stuck_word
+      done;
+      st.gate_evaluations <- st.gate_evaluations + 4;
+      fold_ins4 st len (Array.unsafe_get k.opcode gate);
+      let g4 = gate * 4 in
+      for w = 0 to 3 do
+        Bigarray.Array1.unsafe_set st.out w
+          (Int64.logand
+             (Int64.logxor
+                (Bigarray.Array1.unsafe_get good (g4 + w))
+                (Bigarray.Array1.unsafe_get st.out (4 + w)))
+             (Bigarray.Array1.unsafe_get st.vmask w))
+      done;
+      cur := gate);
+  while
+    Int64.logor
+      (Int64.logor
+         (Bigarray.Array1.unsafe_get st.out 0)
+         (Bigarray.Array1.unsafe_get st.out 1))
+      (Int64.logor
+         (Bigarray.Array1.unsafe_get st.out 2)
+         (Bigarray.Array1.unsafe_get st.out 3))
+    <> 0L
+    && Array.unsafe_get k.ffr_stem !cur <> !cur
+  do
+    let nxt = Array.unsafe_get k.fanout (Array.unsafe_get k.fanout_off !cur) in
+    let off = Array.unsafe_get k.fanin_off nxt in
+    let len = Array.unsafe_get k.fanin_off (nxt + 1) - off in
+    for j = 0 to len - 1 do
+      let s = Array.unsafe_get k.fanin (off + j) in
+      let s4 = s * 4 in
+      if s = !cur then
+        for w = 0 to 3 do
+          Bigarray.Array1.unsafe_set st.ins ((j * 4) + w)
+            (Int64.lognot (Bigarray.Array1.unsafe_get good (s4 + w)))
+        done
+      else
+        for w = 0 to 3 do
+          Bigarray.Array1.unsafe_set st.ins ((j * 4) + w)
+            (Bigarray.Array1.unsafe_get good (s4 + w))
+        done
+    done;
+    st.gate_evaluations <- st.gate_evaluations + 4;
+    fold_ins4 st len (Array.unsafe_get k.opcode nxt);
+    let n4 = nxt * 4 in
+    for w = 0 to 3 do
+      Bigarray.Array1.unsafe_set st.out w
+        (Int64.logand
+           (Bigarray.Array1.unsafe_get st.out w)
+           (Int64.logxor
+              (Bigarray.Array1.unsafe_get good (n4 + w))
+              (Bigarray.Array1.unsafe_get st.out (4 + w))))
+    done;
+    cur := nxt
+  done
+
+(* --- drivers ------------------------------------------------------------- *)
+
+let stats_of_escratches ~drop_detected first_detection scratches =
+  let base =
+    Array.fold_left
+      (fun acc st ->
+        Stats.add acc
+          { Stats.zero with
+            gate_evaluations = st.gate_evaluations;
+            events = st.events;
+            faults_inferred = st.faults_inferred;
+            faults_simulated = st.faults_simulated;
+            stem_simulations = st.stem_simulations })
+      Stats.zero scratches
+  in
+  { base with
+    Stats.faults_dropped = dropped_of ~drop_detected first_detection }
+
+(* Event engine drivers: structurally the flat drivers with a resident
+   faulty buffer (one blit per scratch per block). *)
+let run_event ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults
+    ~vectors =
+  let k = Kernel.of_circuit c in
+  let n_faults = Array.length faults in
+  let first_detection = Array.make n_faults None in
+  let live = Array.make n_faults true in
+  let st = make_escratch k in
+  let is_output = output_map c in
+  let good = Kernel.create_words k in
+  let n_vectors = Array.length vectors in
+  let n_blocks = (n_vectors + 63) / 64 in
+  for block = 0 to n_blocks - 1 do
+    let base = block * 64 in
+    let count = min 64 (n_vectors - base) in
+    Sim2.load_patterns k good vectors ~base ~count;
+    Sim2.run_flat k good;
+    resident_reset st good;
+    for fi = 0 to n_faults - 1 do
+      if live.(fi) then begin
+        simulate_fault_event st ~is_output ~good ~count faults.(fi);
+        if Bigarray.Array1.unsafe_get st.out 0 <> 0L then begin
+          (match first_detection.(fi) with
+          | None ->
+              record_first first_detection fi ~base
+                (Bigarray.Array1.unsafe_get st.out 0)
+          | Some _ -> ());
+          (match on_detect with
+          | Some callback ->
+              fire_events callback ~base ~count ~fault_index:fi
+                (Bigarray.Array1.unsafe_get st.out 0)
+          | None -> ());
+          if drop_detected then live.(fi) <- false
+        end
+      end
+    done
+  done;
+  {
+    faults;
+    first_detection;
+    vectors_applied = n_vectors;
+    gate_evaluations = st.gate_evaluations;
+    stats = stats_of_escratches ~drop_detected first_detection [| st |];
+  }
+
+let run_event_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults
+    ~vectors =
+  let k = Kernel.of_circuit c in
+  let n_faults = Array.length faults in
+  let shards = min (Parallel.size pool) n_faults in
+  let first_detection = Array.make n_faults None in
+  let live = Array.make n_faults true in
+  let is_output = output_map c in
+  let scratches = Array.init shards (fun _ -> make_escratch k) in
+  let good = Kernel.create_words k in
+  let detect_words =
+    match on_detect with Some _ -> Array.make n_faults 0L | None -> [||]
+  in
+  let shard_bounds s = (s * n_faults / shards, (s + 1) * n_faults / shards) in
+  let n_vectors = Array.length vectors in
+  let n_blocks = (n_vectors + 63) / 64 in
+  for block = 0 to n_blocks - 1 do
+    let base = block * 64 in
+    let count = min 64 (n_vectors - base) in
+    Sim2.load_patterns k good vectors ~base ~count;
+    Sim2.run_flat k good;
+    let has_callback = match on_detect with Some _ -> true | None -> false in
+    Parallel.run pool ~tasks:shards (fun s ->
+        let st = scratches.(s) in
+        resident_reset st good;
+        let lo, hi = shard_bounds s in
+        for fi = lo to hi - 1 do
+          if live.(fi) then begin
+            simulate_fault_event st ~is_output ~good ~count faults.(fi);
+            if Bigarray.Array1.unsafe_get st.out 0 <> 0L then begin
+              (match first_detection.(fi) with
+              | None ->
+                  record_first first_detection fi ~base
+                    (Bigarray.Array1.unsafe_get st.out 0)
+              | Some _ -> ());
+              if has_callback then
+                detect_words.(fi) <- Bigarray.Array1.unsafe_get st.out 0;
+              if drop_detected then live.(fi) <- false
+            end
+          end
+        done);
+    match on_detect with
+    | Some callback ->
+        for fi = 0 to n_faults - 1 do
+          if detect_words.(fi) <> 0L then begin
+            fire_events callback ~base ~count ~fault_index:fi detect_words.(fi);
+            detect_words.(fi) <- 0L
+          end
+        done
+    | None -> ()
+  done;
+  let gate_evaluations =
+    Array.fold_left (fun acc st -> acc + st.gate_evaluations) 0 scratches
+  in
+  { faults; first_detection; vectors_applied = n_vectors; gate_evaluations;
+    stats = stats_of_escratches ~drop_detected first_detection scratches }
+
+(* Pruned engine drivers.  Per block: collect the set of FFR stems hosting a
+   live fault (deduplicated against [stamp]), compute one toggle
+   observability word per stem, then decide every live fault by trace AND
+   observability.  The parallel driver runs the same two phases with the
+   stem list and the fault array sharded contiguously; every stem is toggled
+   exactly once in both drivers, so counter totals match serially. *)
+let run_pruned ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults
+    ~vectors =
+  let k = Kernel.of_circuit c in
+  let n_faults = Array.length faults in
+  let first_detection = Array.make n_faults None in
+  let live = Array.make n_faults true in
+  let st = make_escratch k in
+  let is_output = output_map c in
+  let good = Kernel.create_words k in
+  let obs = Kernel.alloc (max 1 k.n_ffrs) in
+  let stamp = Array.make (max 1 k.n_ffrs) (-1) in
+  let needed = Array.make (max 1 k.n_ffrs) 0 in
+  let n_vectors = Array.length vectors in
+  let n_blocks = (n_vectors + 63) / 64 in
+  for block = 0 to n_blocks - 1 do
+    let base = block * 64 in
+    let count = min 64 (n_vectors - base) in
+    Sim2.load_patterns k good vectors ~base ~count;
+    Sim2.run_flat k good;
+    resident_reset st good;
+    let n_needed = ref 0 in
+    for fi = 0 to n_faults - 1 do
+      if live.(fi) then begin
+        let si = k.ffr_index.(site_node faults.(fi)) in
+        if stamp.(si) <> block then begin
+          stamp.(si) <- block;
+          needed.(!n_needed) <- si;
+          incr n_needed
+        end
+      end
+    done;
+    for i = 0 to !n_needed - 1 do
+      let si = needed.(i) in
+      simulate_toggle st ~is_output ~good ~count k.ffr_stems.(si);
+      Bigarray.Array1.unsafe_set obs si (Bigarray.Array1.unsafe_get st.out 0)
+    done;
+    for fi = 0 to n_faults - 1 do
+      if live.(fi) then begin
+        st.faults_inferred <- st.faults_inferred + 1;
+        trace_fault st ~good ~count faults.(fi);
+        Bigarray.Array1.unsafe_set st.out 0
+          (Int64.logand
+             (Bigarray.Array1.unsafe_get st.out 0)
+             (Bigarray.Array1.unsafe_get obs
+                (Array.unsafe_get k.ffr_index (site_node faults.(fi)))));
+        if Bigarray.Array1.unsafe_get st.out 0 <> 0L then begin
+          (match first_detection.(fi) with
+          | None ->
+              record_first first_detection fi ~base
+                (Bigarray.Array1.unsafe_get st.out 0)
+          | Some _ -> ());
+          (match on_detect with
+          | Some callback ->
+              fire_events callback ~base ~count ~fault_index:fi
+                (Bigarray.Array1.unsafe_get st.out 0)
+          | None -> ());
+          if drop_detected then live.(fi) <- false
+        end
+      end
+    done
+  done;
+  {
+    faults;
+    first_detection;
+    vectors_applied = n_vectors;
+    gate_evaluations = st.gate_evaluations;
+    stats = stats_of_escratches ~drop_detected first_detection [| st |];
+  }
+
+let run_pruned_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults
+    ~vectors =
+  let k = Kernel.of_circuit c in
+  let n_faults = Array.length faults in
+  let shards = min (Parallel.size pool) n_faults in
+  let first_detection = Array.make n_faults None in
+  let live = Array.make n_faults true in
+  let is_output = output_map c in
+  let scratches = Array.init shards (fun _ -> make_escratch k) in
+  let good = Kernel.create_words k in
+  let obs = Kernel.alloc (max 1 k.n_ffrs) in
+  let stamp = Array.make (max 1 k.n_ffrs) (-1) in
+  let needed = Array.make (max 1 k.n_ffrs) 0 in
+  let detect_words =
+    match on_detect with Some _ -> Array.make n_faults 0L | None -> [||]
+  in
+  let shard_bounds s = (s * n_faults / shards, (s + 1) * n_faults / shards) in
+  let n_vectors = Array.length vectors in
+  let n_blocks = (n_vectors + 63) / 64 in
+  for block = 0 to n_blocks - 1 do
+    let base = block * 64 in
+    let count = min 64 (n_vectors - base) in
+    Sim2.load_patterns k good vectors ~base ~count;
+    Sim2.run_flat k good;
+    let n_needed = ref 0 in
+    for fi = 0 to n_faults - 1 do
+      if live.(fi) then begin
+        let si = k.ffr_index.(site_node faults.(fi)) in
+        if stamp.(si) <> block then begin
+          stamp.(si) <- block;
+          needed.(!n_needed) <- si;
+          incr n_needed
+        end
+      end
+    done;
+    (* Phase A: stem observability, stems sharded contiguously.  Workers
+       write disjoint [obs] slots; the pool barrier publishes them to
+       phase B. *)
+    if !n_needed > 0 then begin
+      let stem_shards = min shards !n_needed in
+      Parallel.run pool ~tasks:stem_shards (fun s ->
+          let st = scratches.(s) in
+          resident_reset st good;
+          let lo = s * !n_needed / stem_shards in
+          let hi = (s + 1) * !n_needed / stem_shards in
+          for i = lo to hi - 1 do
+            let si = needed.(i) in
+            simulate_toggle st ~is_output ~good ~count k.ffr_stems.(si);
+            Bigarray.Array1.unsafe_set obs si
+              (Bigarray.Array1.unsafe_get st.out 0)
+          done)
+    end;
+    (* Phase B: per-fault tracing (reads only [good] and [obs]). *)
+    let has_callback = match on_detect with Some _ -> true | None -> false in
+    Parallel.run pool ~tasks:shards (fun s ->
+        let st = scratches.(s) in
+        let lo, hi = shard_bounds s in
+        for fi = lo to hi - 1 do
+          if live.(fi) then begin
+            st.faults_inferred <- st.faults_inferred + 1;
+            trace_fault st ~good ~count faults.(fi);
+            Bigarray.Array1.unsafe_set st.out 0
+              (Int64.logand
+                 (Bigarray.Array1.unsafe_get st.out 0)
+                 (Bigarray.Array1.unsafe_get obs
+                    (Array.unsafe_get k.ffr_index (site_node faults.(fi)))));
+            if Bigarray.Array1.unsafe_get st.out 0 <> 0L then begin
+              (match first_detection.(fi) with
+              | None ->
+                  record_first first_detection fi ~base
+                    (Bigarray.Array1.unsafe_get st.out 0)
+              | Some _ -> ());
+              if has_callback then
+                detect_words.(fi) <- Bigarray.Array1.unsafe_get st.out 0;
+              if drop_detected then live.(fi) <- false
+            end
+          end
+        done);
+    match on_detect with
+    | Some callback ->
+        for fi = 0 to n_faults - 1 do
+          if detect_words.(fi) <> 0L then begin
+            fire_events callback ~base ~count ~fault_index:fi detect_words.(fi);
+            detect_words.(fi) <- 0L
+          end
+        done
+    | None -> ()
+  done;
+  let gate_evaluations =
+    Array.fold_left (fun acc st -> acc + st.gate_evaluations) 0 scratches
+  in
+  { faults; first_detection; vectors_applied = n_vectors; gate_evaluations;
+    stats = stats_of_escratches ~drop_detected first_detection scratches }
+
+(* Wide engine drivers: the pruned scheme over 256-pattern blocks.  Fault
+   dropping and event firing stay block-sequential — only the first
+   non-empty 64-pattern sub-word of a dropped fault is reported, which is
+   exactly what the 64-bit engines would have simulated. *)
+
+(* [obs4] must be annotated: an unannotated bigarray parameter generalizes
+   to a polymorphic kind/layout, compiling every access through the generic
+   boxed path. *)
+let decide_wide st k (obs4 : Kernel.words) (f : Stuck_at.t) ~good =
+  trace_fault4 st ~good f;
+  let si4 = Array.unsafe_get k.Kernel.ffr_index (site_node f) * 4 in
+  for w = 0 to 3 do
+    Bigarray.Array1.unsafe_set st.out w
+      (Int64.logand
+         (Bigarray.Array1.unsafe_get st.out w)
+         (Bigarray.Array1.unsafe_get obs4 (si4 + w)))
+  done
+
+let run_wide ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults
+    ~vectors =
+  let k = Kernel.of_circuit c in
+  let n_faults = Array.length faults in
+  let first_detection = Array.make n_faults None in
+  let live = Array.make n_faults true in
+  let st = make_escratch ~wide:true k in
+  let is_output = output_map c in
+  let good = Kernel.create_words4 k in
+  let obs4 = Kernel.alloc (4 * max 1 k.n_ffrs) in
+  let stamp = Array.make (max 1 k.n_ffrs) (-1) in
+  let needed = Array.make (max 1 k.n_ffrs) 0 in
+  (* [on_detect] contract: events fire in the serial 64-bit order — 64-pattern
+     sub-block major, fault index minor — so detections are buffered per fault
+     and replayed per sub-word after the block's fault loop. *)
+  let detect_words =
+    match on_detect with Some _ -> Array.make (4 * n_faults) 0L | None -> [||]
+  in
+  let has_callback = match on_detect with Some _ -> true | None -> false in
+  let n_vectors = Array.length vectors in
+  let n_blocks = (n_vectors + 255) / 256 in
+  for block = 0 to n_blocks - 1 do
+    let base = block * 256 in
+    let count = min 256 (n_vectors - base) in
+    Sim2.load_patterns4 k good vectors ~base ~count;
+    Sim2.run_flat4 k good;
+    resident_reset st good;
+    set_vmasks st ~count;
+    let n_needed = ref 0 in
+    for fi = 0 to n_faults - 1 do
+      if live.(fi) then begin
+        let si = k.ffr_index.(site_node faults.(fi)) in
+        if stamp.(si) <> block then begin
+          stamp.(si) <- block;
+          needed.(!n_needed) <- si;
+          incr n_needed
+        end
+      end
+    done;
+    for i = 0 to !n_needed - 1 do
+      let si = needed.(i) in
+      simulate_toggle4 st ~is_output ~good k.ffr_stems.(si);
+      for w = 0 to 3 do
+        Bigarray.Array1.unsafe_set obs4 ((si * 4) + w)
+          (Bigarray.Array1.unsafe_get st.out w)
+      done
+    done;
+    for fi = 0 to n_faults - 1 do
+      if live.(fi) then begin
+        st.faults_inferred <- st.faults_inferred + 1;
+        decide_wide st k obs4 faults.(fi) ~good;
+        if drop_detected then begin
+          let w = ref 0 in
+          while
+            !w < 4 && Bigarray.Array1.unsafe_get st.out !w = 0L
+          do
+            incr w
+          done;
+          if !w < 4 then begin
+            (match first_detection.(fi) with
+            | None ->
+                record_first first_detection fi ~base:(base + (!w * 64))
+                  (Bigarray.Array1.unsafe_get st.out !w)
+            | Some _ -> ());
+            if has_callback then
+              detect_words.((fi * 4) + !w) <-
+                Bigarray.Array1.unsafe_get st.out !w;
+            live.(fi) <- false
+          end
+        end
+        else
+          (* No let-binding of the word: a binding with a boxed use (the
+             [record_first] argument, the array store) would box on every
+             iteration, detected or not. *)
+          for w = 0 to 3 do
+            if Bigarray.Array1.unsafe_get st.out w <> 0L then begin
+              (match first_detection.(fi) with
+              | None ->
+                  record_first first_detection fi ~base:(base + (w * 64))
+                    (Bigarray.Array1.unsafe_get st.out w)
+              | Some _ -> ());
+              if has_callback then
+                detect_words.((fi * 4) + w) <-
+                  Bigarray.Array1.unsafe_get st.out w
+            end
+          done
+      end
+    done;
+    (match on_detect with
+    | Some callback ->
+        for w = 0 to 3 do
+          for fi = 0 to n_faults - 1 do
+            let dw = detect_words.((fi * 4) + w) in
+            if dw <> 0L then begin
+              fire_events callback ~base:(base + (w * 64))
+                ~count:(sub_count ~count w) ~fault_index:fi dw;
+              detect_words.((fi * 4) + w) <- 0L
+            end
+          done
+        done
+    | None -> ())
+  done;
+  {
+    faults;
+    first_detection;
+    vectors_applied = n_vectors;
+    gate_evaluations = st.gate_evaluations;
+    stats = stats_of_escratches ~drop_detected first_detection [| st |];
+  }
+
+let run_wide_in_pool ~drop_detected ~on_detect pool (c : Circuit.t) ~faults
+    ~vectors =
+  let k = Kernel.of_circuit c in
+  let n_faults = Array.length faults in
+  let shards = min (Parallel.size pool) n_faults in
+  let first_detection = Array.make n_faults None in
+  let live = Array.make n_faults true in
+  let is_output = output_map c in
+  let scratches = Array.init shards (fun _ -> make_escratch ~wide:true k) in
+  let good = Kernel.create_words4 k in
+  let obs4 = Kernel.alloc (4 * max 1 k.n_ffrs) in
+  let stamp = Array.make (max 1 k.n_ffrs) (-1) in
+  let needed = Array.make (max 1 k.n_ffrs) 0 in
+  (* Four buffered words per fault; a dropped fault stores only its first
+     non-empty sub-word, so the replay below reproduces the serial stream. *)
+  let detect_words =
+    match on_detect with Some _ -> Array.make (4 * n_faults) 0L | None -> [||]
+  in
+  let shard_bounds s = (s * n_faults / shards, (s + 1) * n_faults / shards) in
+  let n_vectors = Array.length vectors in
+  let n_blocks = (n_vectors + 255) / 256 in
+  for block = 0 to n_blocks - 1 do
+    let base = block * 256 in
+    let count = min 256 (n_vectors - base) in
+    Sim2.load_patterns4 k good vectors ~base ~count;
+    Sim2.run_flat4 k good;
+    Array.iter (fun st -> set_vmasks st ~count) scratches;
+    let n_needed = ref 0 in
+    for fi = 0 to n_faults - 1 do
+      if live.(fi) then begin
+        let si = k.ffr_index.(site_node faults.(fi)) in
+        if stamp.(si) <> block then begin
+          stamp.(si) <- block;
+          needed.(!n_needed) <- si;
+          incr n_needed
+        end
+      end
+    done;
+    if !n_needed > 0 then begin
+      let stem_shards = min shards !n_needed in
+      Parallel.run pool ~tasks:stem_shards (fun s ->
+          let st = scratches.(s) in
+          resident_reset st good;
+          let lo = s * !n_needed / stem_shards in
+          let hi = (s + 1) * !n_needed / stem_shards in
+          for i = lo to hi - 1 do
+            let si = needed.(i) in
+            simulate_toggle4 st ~is_output ~good k.ffr_stems.(si);
+            for w = 0 to 3 do
+              Bigarray.Array1.unsafe_set obs4 ((si * 4) + w)
+                (Bigarray.Array1.unsafe_get st.out w)
+            done
+          done)
+    end;
+    let has_callback = match on_detect with Some _ -> true | None -> false in
+    Parallel.run pool ~tasks:shards (fun s ->
+        let st = scratches.(s) in
+        let lo, hi = shard_bounds s in
+        for fi = lo to hi - 1 do
+          if live.(fi) then begin
+            st.faults_inferred <- st.faults_inferred + 1;
+            decide_wide st k obs4 faults.(fi) ~good;
+            if drop_detected then begin
+              let w = ref 0 in
+              while !w < 4 && Bigarray.Array1.unsafe_get st.out !w = 0L do
+                incr w
+              done;
+              if !w < 4 then begin
+                (match first_detection.(fi) with
+                | None ->
+                    record_first first_detection fi ~base:(base + (!w * 64))
+                      (Bigarray.Array1.unsafe_get st.out !w)
+                | Some _ -> ());
+                if has_callback then
+                  detect_words.((fi * 4) + !w) <-
+                    Bigarray.Array1.unsafe_get st.out !w;
+                live.(fi) <- false
+              end
+            end
+            else
+              for w = 0 to 3 do
+                if Bigarray.Array1.unsafe_get st.out w <> 0L then begin
+                  (match first_detection.(fi) with
+                  | None ->
+                      record_first first_detection fi ~base:(base + (w * 64))
+                        (Bigarray.Array1.unsafe_get st.out w)
+                  | Some _ -> ());
+                  if has_callback then
+                    detect_words.((fi * 4) + w) <-
+                      Bigarray.Array1.unsafe_get st.out w
+                end
+              done
+          end
+        done);
+    (* replay in the serial 64-bit order: sub-block major, fault minor *)
+    match on_detect with
+    | Some callback ->
+        for w = 0 to 3 do
+          for fi = 0 to n_faults - 1 do
+            let dw = detect_words.((fi * 4) + w) in
+            if dw <> 0L then begin
+              fire_events callback ~base:(base + (w * 64))
+                ~count:(sub_count ~count w) ~fault_index:fi dw;
+              detect_words.((fi * 4) + w) <- 0L
+            end
+          done
+        done
+    | None -> ()
+  done;
+  let gate_evaluations =
+    Array.fold_left (fun acc st -> acc + st.gate_evaluations) 0 scratches
+  in
+  { faults; first_detection; vectors_applied = n_vectors; gate_evaluations;
+    stats = stats_of_escratches ~drop_detected first_detection scratches }
+
+(* --- engine dispatch ------------------------------------------------------ *)
+
+let run_with ~engine ?(drop_detected = true) ?on_detect (c : Circuit.t) ~faults
+    ~vectors =
+  match engine with
+  | Reference -> Reference.run ~drop_detected ?on_detect c ~faults ~vectors
+  | Flat -> run ~drop_detected ?on_detect c ~faults ~vectors
+  | Event -> run_event ~drop_detected ?on_detect c ~faults ~vectors
+  | Pruned -> run_pruned ~drop_detected ?on_detect c ~faults ~vectors
+  | Wide -> run_wide ~drop_detected ?on_detect c ~faults ~vectors
+
+let run_parallel_with ~engine ?(drop_detected = true) ?on_detect ?domains ?pool
+    c ~faults ~vectors =
+  match engine with
+  | Reference ->
+      Reference.run_parallel ~drop_detected ?on_detect ?domains ?pool c ~faults
+        ~vectors
+  | Flat ->
+      run_parallel ~drop_detected ?on_detect ?domains ?pool c ~faults ~vectors
+  | Event | Pruned | Wide ->
+      if Array.length faults = 0 then
+        { faults; first_detection = [||];
+          vectors_applied = Array.length vectors; gate_evaluations = 0;
+          stats = Stats.zero }
+      else
+        let in_pool =
+          match engine with
+          | Event -> run_event_in_pool
+          | Pruned -> run_pruned_in_pool
+          | _ -> run_wide_in_pool
+        in
+        let serial =
+          match engine with
+          | Event -> run_event
+          | Pruned -> run_pruned
+          | _ -> run_wide
+        in
+        let dispatch pool =
+          if Parallel.size pool = 1 then
+            serial ~drop_detected ?on_detect c ~faults ~vectors
+          else in_pool ~drop_detected ~on_detect pool c ~faults ~vectors
+        in
+        (match pool with
+        | Some pool -> dispatch pool
+        | None ->
+            let domains =
+              Option.map (fun d -> max 1 (min d (Array.length faults))) domains
+            in
+            Parallel.with_pool ?domains dispatch)
 
 let detected_count r =
   Array.fold_left

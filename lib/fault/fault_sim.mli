@@ -6,6 +6,34 @@
 
 open Dl_netlist
 
+(** Per-run engine counters, for performance accounting ([--sim-stats],
+    bench JSON).  Counter semantics are engine-specific by design — e.g. the
+    pruned engines simulate stems instead of faults — but detection results
+    never are. *)
+module Stats : sig
+  type t = {
+    gate_evaluations : int;
+        (** Faulty-machine gate evaluations, in 64-pattern units (a wide
+            4-word gate fetch counts 4). *)
+    events : int;  (** Worklist pops in the event-driven engines. *)
+    faults_inferred : int;
+        (** Fault/block decisions made by FFR critical-path tracing. *)
+    faults_simulated : int;
+        (** Fault/block decisions made by explicit propagation. *)
+    stem_simulations : int;
+        (** Stem-toggle observability simulations (pruned engines). *)
+    faults_dropped : int;
+        (** Faults retired by fault dropping (= detected faults when
+            [drop_detected], 0 otherwise). *)
+  }
+
+  val zero : t
+  val add : t -> t -> t
+
+  val pp : Format.formatter -> t -> unit
+  (** One-line human-readable rendering. *)
+end
+
 type result = {
   faults : Stuck_at.t array;       (** As supplied, same order. *)
   first_detection : int option array;
@@ -13,7 +41,30 @@ type result = {
           detects fault [i], or [None] if undetected by the set. *)
   vectors_applied : int;
   gate_evaluations : int;          (** Faulty-machine gate evaluations. *)
+  stats : Stats.t;                 (** Engine counters for this run. *)
 }
+
+(** PPSFP engine variants.  All five produce bit-identical [faults],
+    [first_detection], [vectors_applied], and [on_detect] event streams on
+    the same inputs; they differ only in speed and in counter semantics:
+
+    - [Reference]: pre-kernel allocating engine (the oracle).
+    - [Flat]: PR 2 flat-kernel engine — what {!run} dispatches to.
+      [gate_evaluations] matches [Reference] exactly.
+    - [Event]: resident-faulty incremental engine; scheduling decisions
+      (and hence [gate_evaluations]) identical to [Flat], but fanin reads
+      skip the touched-overlay branch.
+    - [Pruned]: fanout-free-region inference — per block, one stem-toggle
+      simulation per region hosting a live fault plus one critical-path
+      trace per fault; no per-fault propagation at all.
+    - [Wide]: [Pruned] over 256-pattern (4-word) blocks. *)
+type engine = Reference | Flat | Event | Pruned | Wide
+
+val engines : engine list
+(** All variants, [Reference] first. *)
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
 
 val run :
   ?drop_detected:bool ->
@@ -87,6 +138,34 @@ module Reference : sig
     vectors:bool array array ->
     result
 end
+
+val run_with :
+  engine:engine ->
+  ?drop_detected:bool ->
+  ?on_detect:(fault_index:int -> vector_index:int -> unit) ->
+  Circuit.t ->
+  faults:Stuck_at.t array ->
+  vectors:bool array array ->
+  result
+(** [run] under an explicit engine variant ([run_with ~engine:Flat] = [run]).
+    Detection results are engine-independent; see {!engine} for the counter
+    contract per variant. *)
+
+val run_parallel_with :
+  engine:engine ->
+  ?drop_detected:bool ->
+  ?on_detect:(fault_index:int -> vector_index:int -> unit) ->
+  ?domains:int ->
+  ?pool:Dl_util.Parallel.t ->
+  Circuit.t ->
+  faults:Stuck_at.t array ->
+  vectors:bool array array ->
+  result
+(** [run_parallel] under an explicit engine variant.  Bit-identical to
+    [run_with ~engine] on the same inputs regardless of worker count —
+    including [stats] totals: the pruned engines toggle each needed stem
+    exactly once per block in a separate phase before fault tracing, so
+    sharding never changes what work is done, only who does it. *)
 
 val lowest_set_bit : int64 -> int option
 (** Index (0-63) of the least-significant set bit, [None] for [0L].

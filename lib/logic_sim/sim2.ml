@@ -58,6 +58,39 @@ let load_patterns (k : Kernel.t) (buf : Kernel.words) vectors ~base ~count =
 
 let run_flat (k : Kernel.t) (buf : Kernel.words) = Kernel.run_into k buf
 
+let load_patterns4 (k : Kernel.t) (buf : Kernel.words) vectors ~base ~count =
+  let npi = Array.length k.inputs in
+  if count < 0 || count > 256 then
+    invalid_arg "Sim2.load_patterns4: count must be in 0..256";
+  if base < 0 || base + count > Array.length vectors then
+    invalid_arg "Sim2.load_patterns4: vector slice out of range";
+  if Bigarray.Array1.dim buf < 4 * k.n then
+    invalid_arg "Sim2.load_patterns4: values buffer shorter than 4x node count";
+  for bit = 0 to count - 1 do
+    if Array.length vectors.(base + bit) <> npi then
+      invalid_arg "Sim2.load_patterns4: pattern width mismatch"
+  done;
+  (* Same transpose as [load_patterns], split over the four sub-words: bit
+     [b] of sub-word [w] of PI word [i] is vector [base + 64w + b]'s value
+     for input [i], high bits beyond [count] zero-filled. *)
+  for i = 0 to npi - 1 do
+    let pi4 = Array.unsafe_get k.inputs i * 4 in
+    for w = 0 to 3 do
+      let lo = w * 64 in
+      let cnt =
+        if count <= lo then 0 else if count - lo > 64 then 64 else count - lo
+      in
+      let word = ref 0L in
+      for bit = 0 to cnt - 1 do
+        if Array.unsafe_get (Array.unsafe_get vectors (base + lo + bit)) i then
+          word := Int64.logor !word (Int64.shift_left 1L bit)
+      done;
+      Bigarray.Array1.unsafe_set buf (pi4 + w) !word
+    done
+  done
+
+let run_flat4 (k : Kernel.t) (buf : Kernel.words) = Kernel.run_into4 k buf
+
 let outputs_of (c : Circuit.t) values =
   Array.map (fun id -> values.(id)) c.outputs
 

@@ -36,6 +36,18 @@ val run_flat : Kernel.t -> Kernel.words -> unit
     loaded first).  Equivalent to {!Kernel.run_into}; bit-for-bit identical
     to {!run} on the same patterns, with zero per-gate allocation. *)
 
+val load_patterns4 :
+  Kernel.t -> Kernel.words -> bool array array -> base:int -> count:int -> unit
+(** Wide-block {!load_patterns}: transposes [count] (≤ 256) vectors starting
+    at [vectors.(base)] into a {!Kernel.create_words4} buffer — bit [b] of
+    sub-word [w] of each PI is vector [base + 64w + b] — zero-filling the
+    tail.  Pair with {!run_flat4}. *)
+
+val run_flat4 : Kernel.t -> Kernel.words -> unit
+(** 256-pattern evaluation over a wide buffer (= {!Kernel.run_into4}).
+    Sub-word [w] of every node is bit-identical to {!run_flat} over patterns
+    [64w .. 64w+63] of the block. *)
+
 val outputs_of : Circuit.t -> int64 array -> int64 array
 (** Project node values to primary outputs, in [c.outputs] order. *)
 

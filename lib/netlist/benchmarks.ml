@@ -24,6 +24,41 @@ let c432s () = Generator.priority_controller ~title:"c432s" ~slices:9 ()
 let c432s_small () =
   Generator.priority_controller ~title:"c432s_small" ~slices:3 ()
 
+(* The [n] smallest integers >= 3 that are not powers of two: Hamming-style
+   codewords whose syndromes never alias a single check-input flip (which
+   produces a power-of-two syndrome). *)
+let hamming_codewords n =
+  let rec collect acc k count =
+    if count = n then Array.of_list (List.rev acc)
+    else if k land (k - 1) = 0 then collect acc (k + 1) count
+    else collect (k :: acc) (k + 1) (count + 1)
+  in
+  collect [] 3 0
+
+(* Emit [name = XOR(args)], either as the wide gate or — [expand] — as a
+   left fold of the canonical 4-NAND XOR macro, which is exactly how the
+   ISCAS-85 NAND-level circuits (c1355, c1908) realize the XOR-level
+   models they are functionally equivalent to. *)
+let emit_xor b ~expand name args =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  if not expand then line "%s = XOR(%s)" name (String.concat ", " args)
+  else
+    match args with
+    | [] | [ _ ] -> invalid_arg "emit_xor: need at least two operands"
+    | first :: rest ->
+        let n = List.length rest in
+        List.iteri
+          (fun i operand ->
+            let acc = if i = 0 then first else Printf.sprintf "%s_p%d" name i in
+            let out =
+              if i = n - 1 then name else Printf.sprintf "%s_p%d" name (i + 1)
+            in
+            line "%s_t%d = NAND(%s, %s)" name i acc operand;
+            line "%s_u%d = NAND(%s, %s_t%d)" name i acc name i;
+            line "%s_v%d = NAND(%s, %s_t%d)" name i operand name i;
+            line "%s = NAND(%s_u%d, %s_v%d)" out name i name i)
+          rest
+
 (* c499 is the 32-bit single-error-correcting circuit of the ISCAS-85
    suite (41 PI / 32 PO, ~200 gates).  [c499s] reconstructs it from the
    published high-level model (Hansen, Yalcin & Hayes): a Hamming-style
@@ -31,20 +66,17 @@ let c432s_small () =
    codeword >= 3 that is not a power of two, so a single check-input flip
    (power-of-two syndrome) never aliases a data correction — followed by
    per-bit match/correct logic.  Interface-exact (input and output names
-   and counts); see DESIGN.md §4 for the stand-in rationale. *)
-let c499s_text () =
+   and counts); see DESIGN.md §4 for the stand-in rationale.
+
+   c1355 is c499 with every XOR expanded into four NANDs (the two are
+   functionally equivalent; ISCAS-85 publishes both); [sec32_text
+   ~expand_xor:true] performs the same expansion, so c1355s is
+   gate-for-gate NAND-dominated and functionally identical to c499s. *)
+let sec32_text ~expand_xor ~title =
   let b = Buffer.create 8192 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "# c499s: 32-bit SEC circuit, c499-interface reconstruction";
-  let codeword =
-    (* the 32 smallest integers >= 3 that are not powers of two *)
-    let rec collect acc n =
-      if List.length acc = 32 then List.rev acc
-      else if n land (n - 1) = 0 then collect acc (n + 1)
-      else collect (n :: acc) (n + 1)
-    in
-    Array.of_list (collect [] 3)
-  in
+  line "# %s" title;
+  let codeword = hamming_codewords 32 in
   for i = 0 to 31 do line "INPUT(id%d)" i done;
   for j = 0 to 7 do line "INPUT(ic%d)" j done;
   line "INPUT(r)";
@@ -57,12 +89,12 @@ let c499s_text () =
         (List.init 32 Fun.id)
     in
     let args = List.map (Printf.sprintf "id%d") members @ [ Printf.sprintf "ic%d" j ] in
-    line "s%d = XOR(%s)" j (String.concat ", " args)
+    emit_xor b ~expand:expand_xor (Printf.sprintf "s%d" j) args
   done;
   (* codewords fit in 6 bits; the two spare syndrome lines carry the check
      inputs gated by the rate input, keeping all 41 inputs observable *)
-  line "s6 = XOR(ic6, r)";
-  line "s7 = XOR(ic7, r)";
+  emit_xor b ~expand:expand_xor "s6" [ "ic6"; "r" ];
+  emit_xor b ~expand:expand_xor "s7" [ "ic7"; "r" ];
   for j = 0 to 7 do line "ns%d = NOT(s%d)" j j done;
   for i = 0 to 31 do
     let args =
@@ -71,11 +103,24 @@ let c499s_text () =
           else Printf.sprintf "ns%d" j)
     in
     line "m%d = AND(%s)" i (String.concat ", " args);
-    line "od%d = XOR(id%d, m%d)" i i i
+    emit_xor b ~expand:expand_xor (Printf.sprintf "od%d" i)
+      [ Printf.sprintf "id%d" i; Printf.sprintf "m%d" i ]
   done;
   Buffer.contents b
 
+let c499s_text () =
+  sec32_text ~expand_xor:false
+    ~title:"c499s: 32-bit SEC circuit, c499-interface reconstruction"
+
 let c499s () = Bench_format.parse_string ~title:"c499s" (c499s_text ())
+
+let c1355s_text () =
+  sec32_text ~expand_xor:true
+    ~title:
+      "c1355s: 32-bit SEC circuit, c1355-interface reconstruction (c499s \
+       with XORs as 4-NAND macros)"
+
+let c1355s () = Bench_format.parse_string ~title:"c1355s" (c1355s_text ())
 
 (* c880 is the ISCAS-85 8-bit ALU (60 PI / 26 PO).  [c880s] reconstructs
    the high-level model's datapath — operand selection, ripple-carry
@@ -163,6 +208,75 @@ let c880s_text () =
 
 let c880s () = Bench_format.parse_string ~title:"c880s" (c880s_text ())
 
+(* c1908 is the ISCAS-85 16-bit SEC/DED error-correcting unit (33 PI /
+   25 PO, NAND-dominated).  [c1908s] reconstructs the high-level model's
+   stages with the exact 33-input/25-output interface: an 8-bit
+   test-inject bus ahead of the encoder, a 5-bit Hamming syndrome over the
+   16 data bits plus an overall-parity line (SEC/DED), single-error
+   pointer match/correct, and syndrome/parity/classification outputs.
+   XORs are emitted as the 4-NAND macro, matching the NAND-level ISCAS
+   original's composition. *)
+let c1908s_text () =
+  let b = Buffer.create 16384 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let xor = emit_xor b ~expand:true in
+  let commas = String.concat ", " in
+  line "# c1908s: 16-bit SEC/DED circuit, c1908-interface reconstruction";
+  let codeword = hamming_codewords 16 in
+  for i = 0 to 15 do line "INPUT(id%d)" i done;
+  for j = 0 to 5 do line "INPUT(ic%d)" j done;
+  for t = 0 to 7 do line "INPUT(inj%d)" t done;
+  List.iter (fun s -> line "INPUT(%s)" s) [ "sel0"; "sel1"; "en" ];
+  for i = 0 to 15 do line "OUTPUT(od%d)" i done;
+  for j = 0 to 5 do line "OUTPUT(os%d)" j done;
+  List.iter (fun s -> line "OUTPUT(%s)" s) [ "err"; "derr"; "quiet" ];
+  (* test-inject stage: when sel0 is raised, the inject bus flips the low
+     eight data bits before they reach the encoder *)
+  for t = 0 to 7 do line "tj%d = AND(inj%d, sel0)" t t done;
+  for i = 0 to 15 do
+    if i < 8 then
+      xor (Printf.sprintf "td%d" i)
+        [ Printf.sprintf "id%d" i; Printf.sprintf "tj%d" i ]
+    else line "td%d = BUF(id%d)" i i
+  done;
+  (* 5-bit syndrome + overall parity (the DED bit) *)
+  for j = 0 to 4 do
+    let members =
+      List.filter (fun i -> codeword.(i) lsr j land 1 = 1)
+        (List.init 16 Fun.id)
+    in
+    xor (Printf.sprintf "s%d" j)
+      (List.map (Printf.sprintf "td%d") members @ [ Printf.sprintf "ic%d" j ])
+  done;
+  xor "par" (List.init 16 (Printf.sprintf "td%d") @ [ "ic5" ]);
+  for j = 0 to 4 do line "ns%d = NOT(s%d)" j j done;
+  (* single-error pointer: match each codeword against the syndrome and
+     correct the pointed-at bit (gated by the correction enable) *)
+  for i = 0 to 15 do
+    let args =
+      List.init 5 (fun j ->
+          if codeword.(i) lsr j land 1 = 1 then Printf.sprintf "s%d" j
+          else Printf.sprintf "ns%d" j)
+    in
+    line "m%d = AND(%s)" i (commas args);
+    line "g%d = AND(m%d, en)" i i;
+    xor (Printf.sprintf "od%d" i)
+      [ Printf.sprintf "td%d" i; Printf.sprintf "g%d" i ]
+  done;
+  (* syndrome bus, parity (keyed by sel1) and the SEC/DED classification:
+     nonzero syndrome with odd parity is a correctable single error,
+     nonzero syndrome with even parity an uncorrectable double error *)
+  for j = 0 to 4 do line "os%d = BUF(s%d)" j j done;
+  xor "os5" [ "par"; "sel1" ];
+  line "anys = OR(s0, s1, s2, s3, s4)";
+  line "npar = NOT(par)";
+  line "err = AND(anys, par)";
+  line "derr = AND(anys, npar)";
+  line "quiet = NOR(anys, par)";
+  Buffer.contents b
+
+let c1908s () = Bench_format.parse_string ~title:"c1908s" (c1908s_text ())
+
 let all =
   [
     ("c17", c17);
@@ -170,6 +284,8 @@ let all =
     ("c432s_small", c432s_small);
     ("c499s", c499s);
     ("c880s", c880s);
+    ("c1355s", c1355s);
+    ("c1908s", c1908s);
     ("add8", fun () -> Generator.ripple_adder 8);
     ("add16", fun () -> Generator.ripple_adder 16);
     ("cmp8", fun () -> Generator.equality_comparator 8);

@@ -33,6 +33,24 @@ val c880s : unit -> Circuit.t
 val c880s_text : unit -> string
 (** The [.bench] source of {!c880s}. *)
 
+val c1355s : unit -> Circuit.t
+(** The c1355-interface 32-bit SEC circuit (41 inputs, 32 outputs):
+    functionally identical to {!c499s} — ISCAS-85 c1355 is c499 with every
+    XOR expanded — with each XOR emitted as the canonical 4-NAND macro, so
+    the netlist is NAND-dominated at roughly c1355 scale. *)
+
+val c1355s_text : unit -> string
+(** The [.bench] source of {!c1355s}. *)
+
+val c1908s : unit -> Circuit.t
+(** The c1908-interface 16-bit SEC/DED circuit (33 inputs, 25 outputs):
+    test-inject bus, 5-bit Hamming syndrome plus overall parity,
+    single-error correction and double-error detection, with XORs as
+    4-NAND macros. *)
+
+val c1908s_text : unit -> string
+(** The [.bench] source of {!c1908s}. *)
+
 val by_name : string -> Circuit.t option
 (** Lookup by benchmark name. *)
 

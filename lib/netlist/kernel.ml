@@ -20,6 +20,10 @@ type t = {
   gate_order : int array;
   n_levels : int;
   level_off : int array;
+  ffr_stem : int array;
+  ffr_index : int array;
+  ffr_stems : int array;
+  n_ffrs : int;
 }
 
 let alloc len =
@@ -79,6 +83,37 @@ let of_circuit (c : Circuit.t) =
          (fun id -> c.nodes.(id).kind <> Gate.Input)
          (Array.to_seq c.topo_order))
   in
+  (* Fanout-free-region partition.  A node is an FFR stem iff its signal
+     branches (fanout count <> 1 — this includes dead nodes, and a reader
+     using the same signal on two pins, which appears twice in [fanout]) or
+     it is a primary output; every other node has exactly one reader and
+     belongs to that reader's region.  Reverse topological order resolves
+     each node's unique reader before the node itself, so the chain
+     collapses in one pass. *)
+  let is_po = Array.make n false in
+  Array.iter (fun o -> is_po.(o) <- true) c.outputs;
+  let ffr_stem = Array.make n (-1) in
+  for i = n - 1 downto 0 do
+    let id = c.topo_order.(i) in
+    let deg = fanout_off.(id + 1) - fanout_off.(id) in
+    if deg <> 1 || is_po.(id) then ffr_stem.(id) <- id
+    else ffr_stem.(id) <- ffr_stem.(fanout.(fanout_off.(id)))
+  done;
+  let n_ffrs = ref 0 in
+  for id = 0 to n - 1 do
+    if ffr_stem.(id) = id then incr n_ffrs
+  done;
+  let ffr_stems = Array.make (max 1 !n_ffrs) 0 in
+  let stem_slot = Array.make n (-1) in
+  let next = ref 0 in
+  for id = 0 to n - 1 do
+    if ffr_stem.(id) = id then begin
+      ffr_stems.(!next) <- id;
+      stem_slot.(id) <- !next;
+      incr next
+    end
+  done;
+  let ffr_index = Array.map (fun stem -> stem_slot.(stem)) ffr_stem in
   {
     circuit = c;
     n;
@@ -93,6 +128,10 @@ let of_circuit (c : Circuit.t) =
     gate_order;
     n_levels;
     level_off;
+    ffr_stem;
+    ffr_index;
+    ffr_stems;
+    n_ffrs = !n_ffrs;
   }
 
 (* Single-gate evaluation against the CSR slice.  Specialized unary and
@@ -170,4 +209,93 @@ let run_into t buf =
   let order = t.gate_order in
   for i = 0 to Array.length order - 1 do
     eval_unsafe t buf (Array.unsafe_get order i)
+  done
+
+(* --- 4-word (256-pattern) wide path ----------------------------------------
+
+   Node [i]'s four words live at [4i .. 4i+3]; word [w] carries patterns
+   [64w .. 64w+63] of the block.  Each CSR fanin fetch is amortized over
+   256 patterns: the index arithmetic and opcode dispatch run once per
+   sub-word group of four, and the inner [w] loops carry only unboxed
+   bigarray reads/writes. *)
+
+let create_words4 t = alloc (4 * t.n)
+
+let[@inline] eval4_unsafe t (buf : words) id =
+  let off = Array.unsafe_get t.fanin_off id in
+  let len = Array.unsafe_get t.fanin_off (id + 1) - off in
+  let op = Array.unsafe_get t.opcode id in
+  let o4 = id * 4 in
+  if len = 2 then begin
+    let a4 = Array.unsafe_get t.fanin off * 4 in
+    let b4 = Array.unsafe_get t.fanin (off + 1) * 4 in
+    for w = 0 to 3 do
+      let a = Bigarray.Array1.unsafe_get buf (a4 + w) in
+      let b = Bigarray.Array1.unsafe_get buf (b4 + w) in
+      let v =
+        if op = Gate.op_and then Int64.logand a b
+        else if op = Gate.op_nand then Int64.lognot (Int64.logand a b)
+        else if op = Gate.op_or then Int64.logor a b
+        else if op = Gate.op_nor then Int64.lognot (Int64.logor a b)
+        else if op = Gate.op_xor then Int64.logxor a b
+        else Int64.lognot (Int64.logxor a b)
+      in
+      Bigarray.Array1.unsafe_set buf (o4 + w) v
+    done
+  end
+  else if len = 1 then begin
+    let a4 = Array.unsafe_get t.fanin off * 4 in
+    let inv = Gate.op_inverts op in
+    for w = 0 to 3 do
+      let a = Bigarray.Array1.unsafe_get buf (a4 + w) in
+      Bigarray.Array1.unsafe_set buf (o4 + w) (if inv then Int64.lognot a else a)
+    done
+  end
+  else if len = 0 then invalid_arg "Kernel.eval4_unsafe: node has no fanin"
+  else begin
+    let last = off + len - 1 in
+    for w = 0 to 3 do
+      let s0 = Array.unsafe_get t.fanin off * 4 in
+      if op <= Gate.op_nand then begin
+        let acc = ref (Bigarray.Array1.unsafe_get buf (s0 + w)) in
+        for k = off + 1 to last do
+          acc :=
+            Int64.logand !acc
+              (Bigarray.Array1.unsafe_get buf ((Array.unsafe_get t.fanin k * 4) + w))
+        done;
+        Bigarray.Array1.unsafe_set buf (o4 + w)
+          (if op = Gate.op_nand then Int64.lognot !acc else !acc)
+      end
+      else if op <= Gate.op_nor then begin
+        let acc = ref (Bigarray.Array1.unsafe_get buf (s0 + w)) in
+        for k = off + 1 to last do
+          acc :=
+            Int64.logor !acc
+              (Bigarray.Array1.unsafe_get buf ((Array.unsafe_get t.fanin k * 4) + w))
+        done;
+        Bigarray.Array1.unsafe_set buf (o4 + w)
+          (if op = Gate.op_nor then Int64.lognot !acc else !acc)
+      end
+      else begin
+        let acc = ref (Bigarray.Array1.unsafe_get buf (s0 + w)) in
+        for k = off + 1 to last do
+          acc :=
+            Int64.logxor !acc
+              (Bigarray.Array1.unsafe_get buf ((Array.unsafe_get t.fanin k * 4) + w))
+        done;
+        Bigarray.Array1.unsafe_set buf (o4 + w)
+          (if op = Gate.op_xnor then Int64.lognot !acc else !acc)
+      end
+    done
+  end
+
+let check_dim4 fn t buf =
+  if Bigarray.Array1.dim buf < 4 * t.n then
+    invalid_arg (fn ^ ": values buffer shorter than 4x node count")
+
+let run_into4 t buf =
+  check_dim4 "Kernel.run_into4" t buf;
+  let order = t.gate_order in
+  for i = 0 to Array.length order - 1 do
+    eval4_unsafe t buf (Array.unsafe_get order i)
   done

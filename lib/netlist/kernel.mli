@@ -34,6 +34,21 @@ type t = private {
       (** Histogram CSR, length [n_levels+1]:
           [level_off.(l+1) - level_off.(l)] nodes sit at level [l].  Sizes the
           fault simulator's per-level scheduling stacks. *)
+  ffr_stem : int array;
+      (** Fanout-free-region partition: [ffr_stem.(i)] is the stem (root) of
+          node [i]'s region.  A node is a stem iff its fanout count differs
+          from 1 (branching signal, dead node, or a reader using it on two
+          pins) or it is a primary output; every interior node reaches its
+          stem through a unique chain of single-fanout links, so no signal
+          inside a region reconverges before the stem.  [ffr_stem.(s) = s]
+          for stems. *)
+  ffr_index : int array;
+      (** [ffr_index.(i)]: dense index (0 .. [n_ffrs]-1) of node [i]'s stem
+          in {!ffr_stems} — the slot fault simulators use to memoize
+          per-stem observability words. *)
+  ffr_stems : int array;
+      (** Stem node ids, ascending; length [n_ffrs]. *)
+  n_ffrs : int;  (** Number of fanout-free regions (= number of stems). *)
 }
 
 val of_circuit : Circuit.t -> t
@@ -57,3 +72,17 @@ val run_into : t -> words -> unit
     seeds primary-input words into [buf] first (e.g. [Sim2.load_words]);
     on return [buf.{id}] holds every node's 64-pattern response.
     Allocation-free. *)
+
+(** {2 Wide (256-pattern) path}
+
+    Four words per node: node [i]'s words live at [4i .. 4i+3], word [w]
+    carrying patterns [64w .. 64w+63] of the block, so each CSR fanin walk
+    amortizes over 256 patterns. *)
+
+val create_words4 : t -> words
+(** Zero-filled wide buffer, [4 * n] words. *)
+
+val run_into4 : t -> words -> unit
+(** Full-circuit evaluation over a wide buffer (PIs seeded first, e.g.
+    [Sim2.load_patterns4]).  Word [w] of every node is bit-identical to a
+    {!run_into} pass over patterns [64w .. 64w+63].  Allocation-free. *)

@@ -159,21 +159,48 @@ type detections = {
   first_detection : int option array;
   vectors_applied : int;
   gate_evaluations : int;
+  sim_stats : Dl_fault.Fault_sim.Stats.t;
 }
 
 let detections : detections Codec.t =
   let encode buf d =
     B.write_array (B.write_option (fun b v -> B.write_varint b v)) buf d.first_detection;
     B.write_varint buf d.vectors_applied;
-    B.write_varint buf d.gate_evaluations
+    B.write_varint buf d.gate_evaluations;
+    let s = d.sim_stats in
+    B.write_varint buf s.Dl_fault.Fault_sim.Stats.gate_evaluations;
+    B.write_varint buf s.events;
+    B.write_varint buf s.faults_inferred;
+    B.write_varint buf s.faults_simulated;
+    B.write_varint buf s.stem_simulations;
+    B.write_varint buf s.faults_dropped
   in
   let decode cur =
     let first_detection = B.read_array (B.read_option B.read_varint) cur in
     let vectors_applied = B.read_varint cur in
     let gate_evaluations = B.read_varint cur in
-    { first_detection; vectors_applied; gate_evaluations }
+    let sg = B.read_varint cur in
+    let events = B.read_varint cur in
+    let faults_inferred = B.read_varint cur in
+    let faults_simulated = B.read_varint cur in
+    let stem_simulations = B.read_varint cur in
+    let faults_dropped = B.read_varint cur in
+    {
+      first_detection;
+      vectors_applied;
+      gate_evaluations;
+      sim_stats =
+        {
+          Dl_fault.Fault_sim.Stats.gate_evaluations = sg;
+          events;
+          faults_inferred;
+          faults_simulated;
+          stem_simulations;
+          faults_dropped;
+        };
+    }
   in
-  { kind = "detections"; version = 1; encode; decode }
+  { kind = "detections"; version = 2; encode; decode }
 
 (* --------------------------------------------------------------- ifa *)
 

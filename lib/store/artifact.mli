@@ -30,11 +30,14 @@ type atpg = {
 val atpg : atpg Codec.t
 
 (** Gate-level fault-simulation output, minus the fault list (which is the
-    separately-cached universe artifact the detections are parallel to). *)
+    separately-cached universe artifact the detections are parallel to).
+    Version 2 appends the engine counters ({!Dl_fault.Fault_sim.Stats.t}),
+    so [--sim-stats] reporting works from a warm cache too. *)
 type detections = {
   first_detection : int option array;
   vectors_applied : int;
   gate_evaluations : int;
+  sim_stats : Dl_fault.Fault_sim.Stats.t;
 }
 
 val detections : detections Codec.t

@@ -381,6 +381,246 @@ let prop_kernel_equals_reference =
         ~drop_detected;
       true)
 
+(* --- Engine variants (Event / Pruned / Wide) vs reference --------------------- *)
+
+let nonref_engines =
+  List.filter (fun e -> e <> Fault_sim.Reference) Fault_sim.engines
+
+let check_engine_matches_reference ~what ~engine c ~faults ~vectors
+    ~drop_detected =
+  let new_r, new_events =
+    run_collecting (fun ~on_detect ->
+        Fault_sim.run_with ~engine ~drop_detected ~on_detect c ~faults ~vectors)
+  in
+  let ref_r, ref_events =
+    run_collecting (fun ~on_detect ->
+        Fault_sim.Reference.run ~drop_detected ~on_detect c ~faults ~vectors)
+  in
+  let ename = Fault_sim.engine_to_string engine in
+  if new_r.Fault_sim.first_detection <> ref_r.Fault_sim.first_detection then
+    Alcotest.failf "%s[%s]: first_detection differs from reference (drop=%b)"
+      what ename drop_detected;
+  if new_events <> ref_events then
+    Alcotest.failf "%s[%s]: on_detect event sequence differs (drop=%b)" what
+      ename drop_detected;
+  (* the flat-compatible engines must preserve the evaluation count too *)
+  if
+    (engine = Fault_sim.Flat || engine = Fault_sim.Event)
+    && new_r.Fault_sim.gate_evaluations <> ref_r.Fault_sim.gate_evaluations
+  then
+    Alcotest.failf "%s[%s]: gate_evaluations %d vs reference %d (drop=%b)" what
+      ename new_r.Fault_sim.gate_evaluations ref_r.Fault_sim.gate_evaluations
+      drop_detected
+
+let test_engines_match_reference () =
+  List.iter
+    (fun name ->
+      let c = Option.get (Benchmarks.by_name name) in
+      let faults = Stuck_at.universe c in
+      let vectors = random_vectors c 100 in
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun drop_detected ->
+              check_engine_matches_reference ~what:name ~engine c ~faults
+                ~vectors ~drop_detected)
+            [ true; false ])
+        nonref_engines)
+    [ "c17"; "mux3"; "add8"; "c432s_small" ]
+
+let test_engines_tail_blocks () =
+  (* per-sub-word valid masks: every interesting length around the 64- and
+     256-pattern block boundaries, all engines, both drop modes *)
+  let c = Benchmarks.c17 () in
+  let faults = Stuck_at.universe c in
+  let all = random_vectors c 257 in
+  List.iter
+    (fun n ->
+      let vectors = Array.sub all 0 n in
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun drop_detected ->
+              check_engine_matches_reference
+                ~what:(Printf.sprintf "c17/%d vectors" n)
+                ~engine c ~faults ~vectors ~drop_detected)
+            [ true; false ])
+        nonref_engines)
+    [ 1; 2; 31; 63; 64; 65; 127; 128; 129; 192; 255; 256; 257 ]
+
+let test_engines_on_families () =
+  (* every structural class, notably fanout-free-heavy (deep FFR chains) and
+     reconvergent (stems everywhere) *)
+  List.iteri
+    (fun i (fam : Generator.Family.t) ->
+      let c = Generator.Family.build fam ~seed:(400 + i) ~gates:40 in
+      let faults = Stuck_at.universe c in
+      let vectors = random_vectors c 96 in
+      List.iter
+        (fun engine ->
+          check_engine_matches_reference ~what:fam.Generator.Family.name ~engine
+            c ~faults ~vectors ~drop_detected:true)
+        nonref_engines)
+    Generator.Family.all
+
+let test_parallel_with_matches_serial () =
+  let c = Option.get (Benchmarks.by_name "add8") in
+  let faults = Stuck_at.universe c in
+  let vectors = random_vectors c 300 in
+  List.iter
+    (fun engine ->
+      let serial, serial_events =
+        run_collecting (fun ~on_detect ->
+            Fault_sim.run_with ~engine ~drop_detected:false ~on_detect c ~faults
+              ~vectors)
+      in
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun drop_detected ->
+              let par, par_events =
+                run_collecting (fun ~on_detect ->
+                    Fault_sim.run_parallel_with ~engine ~drop_detected
+                      ~on_detect ~domains c ~faults ~vectors)
+              in
+              let serial_r =
+                if drop_detected then
+                  Fault_sim.run_with ~engine ~drop_detected c ~faults ~vectors
+                else serial
+              in
+              let ename = Fault_sim.engine_to_string engine in
+              if
+                par.Fault_sim.first_detection
+                <> serial_r.Fault_sim.first_detection
+              then
+                Alcotest.failf "%s: parallel first_detection differs (d=%d)"
+                  ename domains;
+              (* stats totals are sharding-invariant by design *)
+              if par.Fault_sim.stats <> serial_r.Fault_sim.stats then
+                Alcotest.failf "%s: parallel stats differ (d=%d drop=%b)" ename
+                  domains drop_detected;
+              if (not drop_detected) && par_events <> serial_events then
+                Alcotest.failf "%s: parallel event stream differs (d=%d)" ename
+                  domains)
+            [ true; false ])
+        [ 1; 2; 3 ])
+    nonref_engines
+
+let prop_engines_equal_reference =
+  QCheck.Test.make ~name:"every engine = reference on random circuits" ~count:25
+    QCheck.(
+      quad (int_range 0 1_000_000) (int_range 1 300) (int_range 0 4) bool)
+    (fun (seed, n_vectors, engine_idx, drop_detected) ->
+      let c =
+        Dl_netlist.Generator.random ~seed ~inputs:(4 + (seed mod 5)) ~outputs:3
+          ~profile:
+            [ (Dl_netlist.Gate.Nand, 12); (Dl_netlist.Gate.Nor, 6);
+              (Dl_netlist.Gate.Xor, 4); (Dl_netlist.Gate.Not, 4) ]
+          ()
+      in
+      let universe = Stuck_at.universe c in
+      let faults =
+        Array.of_list
+          (List.filteri (fun i _ -> (i + seed) mod 4 <> 1) (Array.to_list universe))
+      in
+      let vectors = random_vectors c n_vectors in
+      let engine = List.nth Fault_sim.engines engine_idx in
+      check_engine_matches_reference ~what:"random" ~engine c ~faults ~vectors
+        ~drop_detected;
+      true)
+
+let test_engine_stats () =
+  let c = Benchmarks.c432s () in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let n_faults = Array.length faults in
+  let vectors = random_vectors c 256 in
+  let flat = Fault_sim.run_with ~engine:Fault_sim.Flat c ~faults ~vectors in
+  let event = Fault_sim.run_with ~engine:Fault_sim.Event c ~faults ~vectors in
+  let pruned = Fault_sim.run_with ~engine:Fault_sim.Pruned c ~faults ~vectors in
+  let wide = Fault_sim.run_with ~engine:Fault_sim.Wide c ~faults ~vectors in
+  (* result field and stats field agree *)
+  List.iter
+    (fun (r : Fault_sim.result) ->
+      Alcotest.(check int) "stats.gate_evaluations = result field"
+        r.Fault_sim.gate_evaluations
+        r.Fault_sim.stats.Fault_sim.Stats.gate_evaluations)
+    [ flat; event; pruned; wide ];
+  (* event engine makes the same scheduling decisions as flat *)
+  Alcotest.(check int) "event evals = flat evals" flat.Fault_sim.gate_evaluations
+    event.Fault_sim.gate_evaluations;
+  Alcotest.(check int) "event events = flat events"
+    flat.Fault_sim.stats.Fault_sim.Stats.events
+    event.Fault_sim.stats.Fault_sim.Stats.events;
+  (* inference engines never simulate individual faults *)
+  List.iter
+    (fun (r : Fault_sim.result) ->
+      let s = r.Fault_sim.stats in
+      Alcotest.(check int) "no per-fault propagation" 0
+        s.Fault_sim.Stats.faults_simulated;
+      Alcotest.(check bool) "stems toggled" true
+        (s.Fault_sim.Stats.stem_simulations > 0);
+      Alcotest.(check bool) "every fault decided by tracing" true
+        (s.Fault_sim.Stats.faults_inferred >= Fault_sim.detected_count r))
+    [ pruned; wide ];
+  Alcotest.(check bool) "flat simulates faults" true
+    (flat.Fault_sim.stats.Fault_sim.Stats.faults_simulated > 0);
+  (* with dropping on, dropped = detected *)
+  Alcotest.(check int) "dropped = detected" (Fault_sim.detected_count flat)
+    flat.Fault_sim.stats.Fault_sim.Stats.faults_dropped;
+  let keep =
+    Fault_sim.run_with ~engine:Fault_sim.Flat ~drop_detected:false c ~faults
+      ~vectors
+  in
+  Alcotest.(check int) "no dropping, none dropped" 0
+    keep.Fault_sim.stats.Fault_sim.Stats.faults_dropped;
+  (* pruning pays off: fewer evaluations than the flat engine on a circuit
+     of this size, with identical detections *)
+  Alcotest.(check bool) "pruned evals < flat evals" true
+    (pruned.Fault_sim.gate_evaluations < flat.Fault_sim.gate_evaluations);
+  Alcotest.(check bool) "identical detections" true
+    (pruned.Fault_sim.first_detection = flat.Fault_sim.first_detection);
+  ignore n_faults;
+  (* Stats.pp renders every counter *)
+  let s = Format.asprintf "%a" Fault_sim.Stats.pp wide.Fault_sim.stats in
+  Alcotest.(check bool) "pp non-empty" true (String.length s > 0)
+
+let test_engine_names () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "round-trip" true
+        (Fault_sim.engine_of_string (Fault_sim.engine_to_string e) = Some e))
+    Fault_sim.engines;
+  Alcotest.(check bool) "unknown rejected" true
+    (Fault_sim.engine_of_string "warp" = None)
+
+let test_wide_hot_path_allocation_free () =
+  (* The wide PPSFP hot loop must be allocation-free in steady state:
+     <= 0.05 minor words per (64-pattern-unit) gate evaluation.  Measured as
+     the delta between a short and a long run so the per-run setup
+     (kernel lowering, scratch buffers, result arrays — identical in both)
+     cancels out and only the per-block/per-fault path is gated. *)
+  let c = Benchmarks.c432s () in
+  let faults = Stuck_at.collapse c (Stuck_at.universe c) in
+  let all = random_vectors c 2048 in
+  let short = Array.sub all 0 512 in
+  let measure vectors =
+    ignore
+      (Fault_sim.run_with ~engine:Fault_sim.Wide ~drop_detected:false c ~faults
+         ~vectors);
+    let m0 = Gc.minor_words () in
+    let r =
+      Fault_sim.run_with ~engine:Fault_sim.Wide ~drop_detected:false c ~faults
+        ~vectors
+    in
+    let m1 = Gc.minor_words () in
+    (m1 -. m0, float_of_int r.Fault_sim.gate_evaluations)
+  in
+  let w_short, e_short = measure short in
+  let w_long, e_long = measure all in
+  let per_eval = (w_long -. w_short) /. (e_long -. e_short) in
+  if per_eval > 0.05 then
+    Alcotest.failf "wide path allocates %.4f minor words per gate eval" per_eval
+
 let test_kernel_hot_path_allocation_free () =
   (* The PPSFP hot path must not allocate: after a warm-up run (lowering,
      scratch and result-array allocation are unavoidable), a steady-state
@@ -745,6 +985,21 @@ let () =
             test_kernel_hot_path_allocation_free;
           Alcotest.test_case "lowest_set_bit" `Quick test_lowest_set_bit;
         ] );
+      ( "engines",
+        [
+          Alcotest.test_case "engines = reference" `Slow
+            test_engines_match_reference;
+          Alcotest.test_case "tail blocks (64/256 boundaries)" `Quick
+            test_engines_tail_blocks;
+          Alcotest.test_case "structural families" `Quick
+            test_engines_on_families;
+          Alcotest.test_case "parallel_with = run_with" `Slow
+            test_parallel_with_matches_serial;
+          Alcotest.test_case "stats counters" `Quick test_engine_stats;
+          Alcotest.test_case "engine names" `Quick test_engine_names;
+          Alcotest.test_case "wide path allocation-free" `Quick
+            test_wide_hot_path_allocation_free;
+        ] );
       ( "coverage",
         [
           Alcotest.test_case "monotone" `Quick test_coverage_monotone;
@@ -769,5 +1024,6 @@ let () =
             prop_coverage_at_matches_scan;
             prop_parallel_equals_serial;
             prop_kernel_equals_reference;
+            prop_engines_equal_reference;
           ] );
     ]

@@ -146,6 +146,66 @@ let test_run_flat_matches_sim3_definite () =
       r3
   done
 
+(* Wide path: sub-word [w] of every node after run_flat4 is bit-identical
+   to a run_flat pass over patterns 64w..64w+63 of the same block. *)
+let test_run_flat4_matches_run_flat () =
+  List.iter
+    (fun (name, make) ->
+      let c = make () in
+      let k = Kernel.of_circuit c in
+      let buf = Kernel.create_words k in
+      let buf4 = Kernel.create_words4 k in
+      let vectors =
+        Array.init 256 (fun _ ->
+            Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng))
+      in
+      Sim2.load_patterns4 k buf4 vectors ~base:0 ~count:256;
+      Sim2.run_flat4 k buf4;
+      for w = 0 to 3 do
+        Sim2.load_patterns k buf vectors ~base:(64 * w) ~count:64;
+        Sim2.run_flat k buf;
+        for id = 0 to k.Kernel.n - 1 do
+          if
+            Bigarray.Array1.get buf4 ((4 * id) + w)
+            <> Bigarray.Array1.get buf id
+          then Alcotest.failf "%s: node %d sub-word %d mismatch" name id w
+        done
+      done)
+    Benchmarks.all
+
+(* A ragged wide block (count not a multiple of 64) zero-fills the tail:
+   covered sub-words match the narrow path, uncovered PI sub-words are 0. *)
+let test_load_patterns4_ragged_tail () =
+  let c = Benchmarks.c432s_small () in
+  let k = Kernel.of_circuit c in
+  let buf = Kernel.create_words k in
+  let buf4 = Kernel.create_words4 k in
+  let vectors =
+    Array.init 150 (fun _ ->
+        Array.init (Circuit.input_count c) (fun _ -> Dl_util.Rng.bool rng))
+  in
+  (* dirty the wide buffer first so stale bits would be caught *)
+  Sim2.load_patterns4 k buf4
+    (Array.map (fun v -> Array.map (fun _ -> true) v) vectors)
+    ~base:0 ~count:150;
+  Sim2.load_patterns4 k buf4 vectors ~base:0 ~count:100;
+  Array.iteri
+    (fun i pi ->
+      (* sub-word 0: patterns 0..63; sub-word 1: the 36-pattern tail *)
+      Sim2.load_patterns k buf vectors ~base:0 ~count:64;
+      let w0 = Bigarray.Array1.get buf pi in
+      Sim2.load_patterns k buf vectors ~base:64 ~count:36;
+      let w1 = Bigarray.Array1.get buf pi in
+      if Bigarray.Array1.get buf4 (4 * pi) <> w0 then
+        Alcotest.failf "PI %d sub-word 0 mismatch" i;
+      if Bigarray.Array1.get buf4 ((4 * pi) + 1) <> w1 then
+        Alcotest.failf "PI %d sub-word 1 mismatch" i;
+      for w = 2 to 3 do
+        if Bigarray.Array1.get buf4 ((4 * pi) + w) <> 0L then
+          Alcotest.failf "PI %d sub-word %d not zero-filled" i w
+      done)
+    k.Kernel.inputs
+
 let test_load_patterns_rejects_bad_ranges () =
   let c = Benchmarks.c17 () in
   let k = Kernel.of_circuit c in
@@ -356,6 +416,10 @@ let () =
             test_run_flat_matches_sim3_definite;
           Alcotest.test_case "bad ranges rejected" `Quick
             test_load_patterns_rejects_bad_ranges;
+          Alcotest.test_case "run_flat4 = run_flat per sub-word" `Quick
+            test_run_flat4_matches_run_flat;
+          Alcotest.test_case "load_patterns4 ragged tail" `Quick
+            test_load_patterns4_ragged_tail;
         ] );
       ( "sim3",
         [

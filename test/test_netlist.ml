@@ -141,6 +141,56 @@ let test_kernel_structure () =
     (fun (_, make) -> check_kernel_structure (make ()))
     Benchmarks.all
 
+(* FFR partition invariants, on every benchmark circuit: stems are exactly
+   the nodes with fanout count <> 1 or a PO flag, stems root themselves,
+   interior nodes inherit their unique reader's stem, and the dense index
+   is consistent with the ascending stem list. *)
+let test_kernel_ffr_invariants () =
+  List.iter
+    (fun (name, make) ->
+      let c = make () in
+      let k = Kernel.of_circuit c in
+      let n = k.Kernel.n in
+      Alcotest.(check int)
+        (name ^ ": stem list length")
+        k.Kernel.n_ffrs
+        (Array.length k.Kernel.ffr_stems);
+      Array.iteri
+        (fun si s ->
+          if si > 0 && s <= k.Kernel.ffr_stems.(si - 1) then
+            Alcotest.failf "%s: ffr_stems not strictly ascending at %d" name si;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: stem %d roots itself" name s)
+            s k.Kernel.ffr_stem.(s))
+        k.Kernel.ffr_stems;
+      let is_output = Array.make n false in
+      Array.iter (fun o -> is_output.(o) <- true) k.Kernel.outputs;
+      for i = 0 to n - 1 do
+        let fan = k.Kernel.fanout_off.(i + 1) - k.Kernel.fanout_off.(i) in
+        let should_be_stem = fan <> 1 || is_output.(i) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: node %d stem-ness" name i)
+          should_be_stem
+          (k.Kernel.ffr_stem.(i) = i);
+        if not should_be_stem then
+          (* interior node: the single reader is in the same region *)
+          Alcotest.(check int)
+            (Printf.sprintf "%s: node %d inherits reader's stem" name i)
+            k.Kernel.ffr_stem.(k.Kernel.fanout.(k.Kernel.fanout_off.(i)))
+            k.Kernel.ffr_stem.(i);
+        (* dense index maps back to the node's stem *)
+        let si = k.Kernel.ffr_index.(i) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: node %d index in range" name i)
+          true
+          (si >= 0 && si < k.Kernel.n_ffrs);
+        Alcotest.(check int)
+          (Printf.sprintf "%s: node %d index consistent" name i)
+          k.Kernel.ffr_stem.(i)
+          k.Kernel.ffr_stems.(si)
+      done)
+    Benchmarks.all
+
 let test_kernel_rejects_malformed_arity () =
   (* of_circuit re-validates arity so the unchecked eval paths stay safe
      even if a Circuit.t was forged around Builder.finalize. *)
@@ -805,6 +855,95 @@ let test_c880s_alu_logic_and_priority () =
   let out_none = outputs_for c [] in
   Alcotest.(check bool) "no request: invalid" false (out_bit c out_none "valid")
 
+let test_c1355s_interface () =
+  let c = Benchmarks.c1355s () in
+  Alcotest.(check int) "c1355s inputs" 41 (Circuit.input_count c);
+  Alcotest.(check int) "c1355s outputs" 32 (Array.length c.Circuit.outputs);
+  Alcotest.(check int) "c1355s nodes" 577 (Array.length c.Circuit.nodes);
+  (* the XOR expansion must leave a NAND-dominated netlist (the point of
+     c1355 vs c499 in the ISCAS-85 suite) *)
+  let nands =
+    Array.fold_left
+      (fun acc (nd : Circuit.node) ->
+        if nd.kind = Gate.Nand then acc + 1 else acc)
+      0 c.Circuit.nodes
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "NAND-dominated (%d NANDs)" nands)
+    true
+    (nands * 2 > Array.length c.Circuit.nodes)
+
+let test_c1355s_equals_c499s () =
+  (* ISCAS-85 c1355 is functionally equivalent to c499; the
+     reconstructions must be too.  Same input names in the same order, so
+     vectors carry over by index. *)
+  let a = Benchmarks.c499s () in
+  let b = Benchmarks.c1355s () in
+  let name_of c id = Circuit.name c id in
+  Alcotest.(check (array string))
+    "same input interface"
+    (Array.map (name_of a) a.Circuit.inputs)
+    (Array.map (name_of b) b.Circuit.inputs);
+  Alcotest.(check (array string))
+    "same output interface"
+    (Array.map (name_of a) a.Circuit.outputs)
+    (Array.map (name_of b) b.Circuit.outputs);
+  let rng = Dl_util.Rng.create 1355 in
+  for _ = 1 to 64 do
+    let v =
+      Array.init (Circuit.input_count a) (fun _ -> Dl_util.Rng.bool rng)
+    in
+    Alcotest.(check (array bool))
+      "c1355s = c499s" (Dl_logic.Sim2.output_bits a v)
+      (Dl_logic.Sim2.output_bits b v)
+  done
+
+let test_c1908s_interface () =
+  let c = Benchmarks.c1908s () in
+  Alcotest.(check int) "c1908s inputs" 33 (Circuit.input_count c);
+  Alcotest.(check int) "c1908s outputs" 25 (Array.length c.Circuit.outputs);
+  Alcotest.(check int) "c1908s nodes" 420 (Array.length c.Circuit.nodes)
+
+let test_c1908s_secded () =
+  let c = Benchmarks.c1908s () in
+  let data_zero out =
+    not
+      (List.exists
+         (fun i -> out_bit c out (Printf.sprintf "od%d" i))
+         (List.init 16 Fun.id))
+  in
+  (* clean zero word: no error, quiet *)
+  let out = outputs_for c [ "en" ] in
+  Alcotest.(check bool) "clean data" true (data_zero out);
+  Alcotest.(check bool) "clean quiet" true (out_bit c out "quiet");
+  Alcotest.(check bool) "clean err" false (out_bit c out "err");
+  (* any single data-bit error is corrected and flagged *)
+  for k = 0 to 15 do
+    let out = outputs_for c [ Printf.sprintf "id%d" k; "en" ] in
+    if not (data_zero out) then
+      Alcotest.failf "single error on id%d not corrected" k;
+    Alcotest.(check bool) "single err flag" true (out_bit c out "err");
+    Alcotest.(check bool) "single derr flag" false (out_bit c out "derr")
+  done;
+  (* correction is gated: with en low the flip passes through *)
+  let out = outputs_for c [ "id3" ] in
+  Alcotest.(check bool) "uncorrected without en" true (out_bit c out "od3");
+  (* the inject bus (under sel0) exercises the same correction path *)
+  let out = outputs_for c [ "inj5"; "sel0"; "en" ] in
+  Alcotest.(check bool) "injected error corrected" true (data_zero out);
+  Alcotest.(check bool) "injected err flag" true (out_bit c out "err");
+  (* double data error: detected as uncorrectable, not silently fixed *)
+  let out = outputs_for c [ "id2"; "id9"; "en" ] in
+  Alcotest.(check bool) "double derr flag" true (out_bit c out "derr");
+  Alcotest.(check bool) "double err flag" false (out_bit c out "err");
+  (* a check-bit flip gives a power-of-two syndrome, which matches no
+     codeword: the data bus must come through untouched *)
+  for j = 0 to 4 do
+    let out = outputs_for c [ Printf.sprintf "ic%d" j; "en" ] in
+    if not (data_zero out) then
+      Alcotest.failf "check-bit flip ic%d miscorrected data" j
+  done
+
 let () =
   Alcotest.run "dl_netlist"
     [
@@ -820,6 +959,8 @@ let () =
       ( "kernel",
         [
           Alcotest.test_case "lowered structure" `Quick test_kernel_structure;
+          Alcotest.test_case "ffr partition invariants" `Quick
+            test_kernel_ffr_invariants;
           Alcotest.test_case "bounds and validation" `Quick
             test_kernel_rejects_malformed_arity;
           Alcotest.test_case "eval_node = Gate.eval_word" `Quick
@@ -888,6 +1029,13 @@ let () =
             test_c880s_alu_add;
           Alcotest.test_case "c880s logic mode + priority encoder" `Quick
             test_c880s_alu_logic_and_priority;
+          Alcotest.test_case "c1355s interface + NAND mix" `Quick
+            test_c1355s_interface;
+          Alcotest.test_case "c1355s = c499s functionally" `Quick
+            test_c1355s_equals_c499s;
+          Alcotest.test_case "c1908s interface" `Quick test_c1908s_interface;
+          Alcotest.test_case "c1908s SEC/DED behavior" `Quick
+            test_c1908s_secded;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

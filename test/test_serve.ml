@@ -622,6 +622,34 @@ let test_stage_keys_match_run_reports () =
     (List.assoc "projection" actual)
     (Experiment.request_key cfg)
 
+let test_stage_keys_engine_sensitivity () =
+  (* The fault-sim stage key must depend on the engine variant (the cached
+     artifact carries per-engine stats counters), and every upstream stage
+     key must not.  Downstream of fault-sim, only projection digests it. *)
+  let c = Dl_netlist.Benchmarks.c432s_small () in
+  let keys engine =
+    Experiment.stage_keys
+      (Experiment.config ~seed:13 ~max_random_vectors:32 ~domains:1
+         ~sim_engine:engine c)
+  in
+  let base = keys Dl_fault.Fault_sim.Wide in
+  List.iter
+    (fun engine ->
+      let other = keys engine in
+      List.iter
+        (fun stage ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s key is engine-independent" stage)
+            (List.assoc stage base) (List.assoc stage other))
+        [ "mapping"; "atpg"; "fault-universe"; "layout-ifa"; "swift" ];
+      List.iter
+        (fun stage ->
+          if List.assoc stage base = List.assoc stage other then
+            Alcotest.failf "%s key did not change across engine variants"
+              stage)
+        [ "fault-sim"; "projection" ])
+    Dl_fault.Fault_sim.[ Reference; Flat; Event; Pruned ]
+
 let test_serve_loopback_oracle_registered () =
   match Dl_check.Oracle.find "serve-loopback" with
   | None -> Alcotest.fail "serve-loopback oracle is not registered"
@@ -992,6 +1020,8 @@ let () =
         [
           Alcotest.test_case "stage-key plan matches run" `Quick
             test_stage_keys_match_run_reports;
+          Alcotest.test_case "fault-sim key digests the engine variant"
+            `Quick test_stage_keys_engine_sensitivity;
           Alcotest.test_case "loopback oracle registered and passing" `Slow
             test_serve_loopback_oracle_registered;
         ] );

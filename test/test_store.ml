@@ -193,11 +193,26 @@ let prop_patterns_roundtrip =
       roundtrip Artifact.patterns vs)
 
 let prop_detections_roundtrip =
-  QCheck.Test.make ~name:"detection results round-trip" ~count:100
-    QCheck.(triple (array (option small_nat)) small_nat small_nat)
-    (fun (first_detection, vectors_applied, gate_evaluations) ->
+  QCheck.Test.make ~name:"detection results round-trip (v2, with stats)"
+    ~count:100
+    QCheck.(
+      pair
+        (triple (array (option small_nat)) small_nat small_nat)
+        (triple small_nat small_nat small_nat))
+    (fun ((first_detection, vectors_applied, gate_evaluations), (a, b, c)) ->
+      let sim_stats =
+        {
+          Dl_fault.Fault_sim.Stats.gate_evaluations = a;
+          events = b;
+          faults_inferred = c;
+          faults_simulated = a + b;
+          stem_simulations = b + c;
+          faults_dropped = a + c;
+        }
+      in
       roundtrip Artifact.detections
-        { Artifact.first_detection; vectors_applied; gate_evaluations })
+        { Artifact.first_detection; vectors_applied; gate_evaluations;
+          sim_stats })
 
 let test_ifa_swift_roundtrip () =
   (* Real extraction + swift output: every kind/policy/class constructor a
