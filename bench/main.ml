@@ -931,13 +931,14 @@ let serve_bench () =
   section_banner "Serve" "concurrent loopback clients vs the projection daemon";
   let module P = Dl_serve.Protocol in
   let socket =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "dlproj_bench_%d.sock" (Unix.getpid ()))
+    Dl_serve.Transport.Unix_socket
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "dlproj_bench_%d.sock" (Unix.getpid ())))
   in
   let cfg =
     Dl_serve.Server.config ~workers:2 ~queue_capacity:64 ~domains_per_worker:1
-      ~socket ()
+      ~listen:socket ()
   in
   let server = Dl_serve.Server.start cfg in
   let clients = 8 and per_client = 12 and distinct = 4 in
@@ -1039,14 +1040,15 @@ let serve_load_bench () =
     "seeded open-loop traffic vs the projection daemon";
   let module L = Dl_serve.Load_gen in
   let socket =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "dlproj_bench_load_%d.sock" (Unix.getpid ()))
+    Dl_serve.Transport.Unix_socket
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "dlproj_bench_load_%d.sock" (Unix.getpid ())))
   in
   let server =
     Dl_serve.Server.start
       (Dl_serve.Server.config ~workers:2 ~queue_capacity:64
-         ~domains_per_worker:1 ~socket ())
+         ~domains_per_worker:1 ~listen:socket ())
   in
   let cfg =
     L.config ~rate:30.0 ~duration:2.0
@@ -1093,6 +1095,203 @@ let serve_load_bench () =
   Printf.printf
     "gate: no failed exchanges, >= %.0f served/s sustained, p99 <= %.0f ms\n"
     min_throughput max_p99_ms
+
+(* ---------------------------------------------------------- cluster bench *)
+
+(* Loopback fleet gate: the same batch shape run against one worker alone
+   and against a 1-coordinator/4-worker TCP fleet.  Gates: every request
+   answered, cross-worker resubmissions bit-identical, the distributed
+   store serves resubmissions without recomputing (fetch-through hit-rate
+   >= 0.9), and aggregate throughput — >= 3x on a >= 4-core host, a
+   reduced no-regression bound on smaller hosts (an in-process fleet
+   cannot out-run its core count).  Appends a cluster row to
+   BENCH_serve.json (or $BENCH_SERVE_JSON). *)
+let cluster_bench () =
+  section_banner "Cluster" "1-coordinator/4-worker loopback fleet vs a single worker";
+  let module P = Dl_serve.Protocol in
+  let module W = Dl_cluster.Worker in
+  let module Coord = Dl_cluster.Coord in
+  let module Ring = Dl_cluster.Hash_ring in
+  let module T = Dl_serve.Transport in
+  let loopback = T.Tcp ("127.0.0.1", 0) in
+  let cores = Dl_util.Parallel.default_domains () in
+  let dpw = if cores >= 4 then 2 else 1 in
+  let fleet_size = 4 and n_jobs = 12 and clients = 4 in
+  let spec seed =
+    P.job_spec ~seed ~max_random_vectors:128 (P.Builtin "c432s_small")
+  in
+  let tmp tag =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dlproj_bench_cluster_%d_%s" (Unix.getpid ()) tag)
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let rec remove_tree path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter
+          (fun e -> remove_tree (Filename.concat path e))
+          (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let failures = Atomic.make 0 in
+  (* [clients] threads drain a shared batch of distinct seeds; returns
+     wall seconds and the answers by seed *)
+  let run_batch endpoint seeds =
+    let seeds = Array.of_list seeds in
+    let next = Atomic.make 0 in
+    let answers = Array.make (Array.length seeds) None in
+    let worker () =
+      Dl_serve.Client.with_client endpoint (fun c ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < Array.length seeds then begin
+              (match Dl_serve.Client.submit c (spec seeds.(i)) with
+              | P.Result served -> answers.(i) <- Some served.P.payload
+              | _ -> Atomic.incr failures);
+              loop ()
+            end
+          in
+          loop ())
+    in
+    let wall0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun _ -> Thread.create worker ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. wall0 in
+    (wall, Array.to_list (Array.map2 (fun s a -> (s, a)) seeds answers))
+  in
+  (* baseline: the same batch shape against one worker alone *)
+  let base_dir = tmp "base" in
+  let w0 =
+    W.start ~workers:1 ~domains_per_worker:dpw ~cache_dir:base_dir
+      ~listen:loopback ()
+  in
+  Printf.printf "[baseline: %d jobs against 1 worker...]\n%!" n_jobs;
+  let t_base, _ = run_batch (W.bound w0) (List.init n_jobs Fun.id) in
+  W.stop w0;
+  remove_tree base_dir;
+  (* fleet: 4 workers with the peer store tier, one coordinator; fresh
+     seeds so no phase warms the other *)
+  let dirs = List.init fleet_size (fun i -> tmp (Printf.sprintf "w%d" i)) in
+  let ws =
+    List.map
+      (fun dir ->
+        W.start ~workers:1 ~domains_per_worker:dpw ~cache_dir:dir
+          ~listen:loopback ())
+      dirs
+  in
+  let fleet = List.map W.bound ws in
+  List.iter (fun w -> W.set_peers w fleet) ws;
+  let coord =
+    Coord.start
+      (Coord.config ~max_in_flight:4 ~probe_period_s:0.5 ~listen:loopback
+         ~workers:fleet ())
+  in
+  Printf.printf "[fleet: %d jobs against %d workers via the coordinator...]\n%!"
+    n_jobs fleet_size;
+  let t_fleet, fleet_answers =
+    run_batch (Coord.bound coord) (List.init n_jobs (fun i -> 100 + i))
+  in
+  (* fetch-through: resubmit every job directly to a worker that did not
+     execute it; the answer must be assembled from the distributed store
+     (bit-identical, nothing recomputed) *)
+  let ring = Ring.create (List.map T.to_string fleet) in
+  let mismatches = ref 0 and hits = ref 0 and misses = ref 0 in
+  let strip (p : P.result_payload) =
+    { p with P.stage_hits = 0; stage_misses = 0 }
+  in
+  List.iter
+    (fun (seed, answer) ->
+      match answer with
+      | None -> ()
+      | Some (payload : P.result_payload) ->
+          (* ring route: home executed it (modulo stealing); the next
+             distinct members hold none of its artifacts locally *)
+          let route = Ring.route ring payload.P.request_key in
+          let rec resubmit = function
+            | [] -> ()
+            | name :: rest -> (
+                match
+                  Dl_serve.Client.with_client (T.of_string name) (fun c ->
+                      Dl_serve.Client.submit c (spec seed))
+                with
+                | P.Result served when served.P.coalesced ->
+                    (* this worker executed the original (stolen or
+                       home); ask the next one *)
+                    resubmit rest
+                | P.Result served ->
+                    if strip served.P.payload <> strip payload then
+                      incr mismatches;
+                    hits := !hits + served.P.payload.P.stage_hits;
+                    misses := !misses + served.P.payload.P.stage_misses
+                | _ -> Atomic.incr failures)
+          in
+          resubmit (match route with [] -> [] | _home :: rest -> rest))
+    fleet_answers;
+  Coord.stop coord;
+  List.iter W.stop ws;
+  List.iter remove_tree dirs;
+  let speedup = t_base /. t_fleet in
+  let hit_rate =
+    float_of_int !hits /. float_of_int (max 1 (!hits + !misses))
+  in
+  Printf.printf
+    "1 worker: %.3f s; fleet of %d: %.3f s — %.2fx aggregate throughput \
+     (%d cores)\n"
+    t_base fleet_size t_fleet speedup cores;
+  Printf.printf
+    "cross-worker resubmissions: fetch-through hit-rate %.2f, %d mismatches\n"
+    hit_rate !mismatches;
+  let json_path =
+    match Sys.getenv_opt "BENCH_SERVE_JSON" with
+    | Some p -> p
+    | None -> "BENCH_serve.json"
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 json_path in
+  Printf.fprintf oc
+    "{\"section\": \"cluster\", \"workers\": %d, \"jobs\": %d, \
+     \"cores\": %d, \"t_single_s\": %.3f, \"t_fleet_s\": %.3f, \
+     \"speedup\": %.3f, \"fetch_hit_rate\": %.3f}\n"
+    fleet_size n_jobs cores t_base t_fleet speedup hit_rate;
+  close_out oc;
+  Printf.printf "appended cluster row to %s\n" json_path;
+  let failed = ref false in
+  if Atomic.get failures > 0 then begin
+    Printf.eprintf "FAIL: %d requests were not answered with a Result\n"
+      (Atomic.get failures);
+    failed := true
+  end;
+  if !mismatches > 0 then begin
+    Printf.eprintf
+      "FAIL: %d cross-worker answers differed from the fleet's\n" !mismatches;
+    failed := true
+  end;
+  if hit_rate < 0.9 then begin
+    Printf.eprintf "FAIL: fetch-through hit-rate %.2f < 0.9\n" hit_rate;
+    failed := true
+  end;
+  let min_speedup = if cores >= 4 then 3.0 else 0.35 in
+  if speedup < min_speedup then begin
+    Printf.eprintf "FAIL: fleet speedup %.2fx < %.2fx (on %d cores)\n" speedup
+      min_speedup cores;
+    failed := true
+  end;
+  if !failed then exit 1;
+  if cores >= 4 then
+    print_endline
+      "gate: all answered, cross-worker answers bit-identical, \
+       fetch-through hit-rate >= 0.9, fleet >= 3x one worker."
+  else
+    Printf.printf
+      "gate: all answered, cross-worker answers bit-identical, \
+       fetch-through hit-rate >= 0.9; %d-core host, so the 3x fleet gate \
+       is reduced to a %.2fx no-regression bound.\n"
+      cores min_speedup
 
 (* ---------------------------------------------------------- micro-benches *)
 
@@ -1218,6 +1417,7 @@ let sections =
     ("store", store_bench);
     ("serve", serve_bench);
     ("serve-load", serve_load_bench);
+    ("cluster", cluster_bench);
     ("micro", micro);
   ]
 

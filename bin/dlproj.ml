@@ -9,10 +9,11 @@
      cache      artifact-store maintenance (stats, verify, gc)
      check      differential/metamorphic self-checks + mutation self-test
      bench-io   read/write ISCAS-85 .bench files
-     serve      projection daemon on a Unix-domain socket
+     serve      projection daemon on a Unix-domain socket or TCP endpoint
      submit     send one projection job to a running daemon
      ping       liveness / stats / shutdown RPCs against a daemon
      bench-serve  open-loop load generation against a running daemon
+     coord      consistent-hash coordinator in front of a worker fleet
 *)
 
 open Cmdliner
@@ -551,20 +552,70 @@ let socket_arg =
   Arg.(value & opt string "/tmp/dlproj.sock"
        & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
+let tcp_arg =
+  Arg.(value & opt (some string) None
+       & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"TCP endpoint instead of the Unix-domain socket \
+                 (overrides $(b,--socket)).  Port 0 asks the kernel for \
+                 an ephemeral port when listening.")
+
+let endpoint_of socket tcp =
+  match tcp with
+  | None -> Dl_serve.Transport.Unix_socket socket
+  | Some spec -> (
+      match Dl_serve.Transport.of_string spec with
+      | Dl_serve.Transport.Tcp _ as ep -> ep
+      | Dl_serve.Transport.Unix_socket _ ->
+          die "bad --tcp %S (expected HOST:PORT)" spec)
+
+let parse_endpoint ~what spec =
+  try Dl_serve.Transport.of_string spec
+  with Invalid_argument m -> die "bad %s %S: %s" what spec m
+
 let serve_cmd =
-  let run socket workers queue_capacity jobs cache =
-    let cfg =
-      Dl_serve.Server.config ~workers ~queue_capacity
-        ~domains_per_worker:(resolve_jobs jobs) ?cache_dir:cache ~socket ()
+  let run socket tcp workers queue_capacity jobs cache peers =
+    let listen = endpoint_of socket tcp in
+    let banner ep =
+      Printf.printf "dlproj serving on %s (%d worker%s, queue %d)%s%s\n%!"
+        (Dl_serve.Transport.to_string ep)
+        workers
+        (if workers = 1 then "" else "s")
+        queue_capacity
+        (match cache with
+        | None -> ""
+        | Some d -> Printf.sprintf ", cache %s" d)
+        (match peers with
+        | [] -> ""
+        | ps -> Printf.sprintf ", %d peer%s" (List.length ps)
+                  (if List.length ps = 1 then "" else "s"))
     in
-    Dl_serve.Server.run cfg ~on_ready:(fun _ ->
-        Printf.printf "dlproj serving on %s (%d worker%s, queue %d)%s\n%!"
-          socket workers
-          (if workers = 1 then "" else "s")
-          queue_capacity
-          (match cache with
-          | None -> ""
-          | Some d -> Printf.sprintf ", cache %s" d));
+    (match peers with
+    | [] ->
+        let cfg =
+          Dl_serve.Server.config ~workers ~queue_capacity
+            ~domains_per_worker:(resolve_jobs jobs) ?cache_dir:cache ~listen ()
+        in
+        Dl_serve.Server.run cfg
+          ~on_ready:(fun s -> banner (Dl_serve.Server.bound s))
+    | peers ->
+        (* A fleet member: same daemon, plus the peer store tier (fetch
+           artifacts from the ring before computing, publish afterwards). *)
+        let w =
+          Dl_cluster.Worker.start ~workers ~queue_capacity
+            ~domains_per_worker:(resolve_jobs jobs) ?cache_dir:cache ~listen ()
+        in
+        let self = Dl_cluster.Worker.bound w in
+        Dl_cluster.Worker.set_peers w
+          (self :: List.map (parse_endpoint ~what:"--peer") peers);
+        let server = Dl_cluster.Worker.server w in
+        let handler =
+          Sys.Signal_handle (fun _ -> Dl_serve.Server.request_stop server)
+        in
+        List.iter
+          (fun s -> ignore (Sys.signal s handler))
+          [ Sys.sigterm; Sys.sigint ];
+        banner self;
+        Dl_serve.Server.wait server);
     print_endline "dlproj server drained and exited"
   in
   let workers =
@@ -581,14 +632,25 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
            ~doc:"Content-addressed artifact store shared by all jobs.")
   in
+  let peers =
+    Arg.(value & opt_all string []
+         & info [ "peer" ] ~docv:"ENDPOINT"
+             ~doc:"Another worker of the fleet (repeatable; \
+                   $(b,HOST:PORT) or a socket path).  With peers, a \
+                   local stage miss is fetched from the key's home node \
+                   before computing, and computed artifacts are pushed \
+                   back to it.")
+  in
   Cmd.v
     (Cmd.info "serve" ~version
-       ~doc:"Serve projection jobs over a Unix-domain socket (drains \
-             gracefully on SIGTERM/SIGINT).")
-    Term.(const run $ socket_arg $ workers $ queue $ jobs_arg $ cache)
+       ~doc:"Serve projection jobs over a Unix-domain socket or TCP \
+             endpoint (drains gracefully on SIGTERM/SIGINT).")
+    Term.(const run $ socket_arg $ tcp_arg $ workers $ queue $ jobs_arg
+          $ cache $ peers)
 
 let submit_cmd =
-  let run socket spec seed max_random target_yield no_collapse deadline json =
+  let run socket tcp retries spec seed max_random target_yield no_collapse
+      deadline json =
     let circuit =
       match Dl_netlist.Benchmarks.by_name spec with
       | Some _ -> Dl_serve.Protocol.Builtin spec
@@ -606,18 +668,24 @@ let submit_cmd =
         ~target_yield ~collapse_faults:(not no_collapse) ?deadline_ms:deadline
         circuit
     in
-    Dl_serve.Client.with_client socket @@ fun client ->
-    match Dl_serve.Client.submit client job with
+    Dl_serve.Client.with_client (endpoint_of socket tcp) @@ fun client ->
+    match Dl_serve.Client.submit_retrying ~attempts:retries client job with
     | Dl_serve.Protocol.Result served ->
         if json then print_endline (Dl_serve.Protocol.served_to_json served)
         else Format.printf "%a" Dl_serve.Protocol.pp_served served
     | Dl_serve.Protocol.Rejected { retry_after_ms; queue_depth } ->
-        die "server busy (queue depth %d); retry in %d ms" queue_depth
+        die "server busy (queue depth %d); retry in %d ms%s" queue_depth
           retry_after_ms
+          (if retries = 0 then " (or pass --retries)" else "")
     | Dl_serve.Protocol.Expired -> die "deadline expired before completion"
     | Dl_serve.Protocol.Server_error msg -> die "server error: %s" msg
-    | Dl_serve.Protocol.Pong | Dl_serve.Protocol.Stats_reply _ ->
-        die "unexpected reply to submit"
+    | _ -> die "unexpected reply to submit"
+  in
+  let retries =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"On a busy-server rejection, sleep the server's \
+                 retry-after hint (jittered) and resubmit, up to $(docv) \
+                 times, before giving up.")
   in
   let max_random =
     Arg.(value & opt int 2048 & info [ "max-random" ] ~docv:"N"
@@ -643,12 +711,13 @@ let submit_cmd =
   Cmd.v
     (Cmd.info "submit" ~version
        ~doc:"Submit one projection job to a running dlproj server.")
-    Term.(const run $ socket_arg $ circuit_arg $ seed_arg $ max_random
-          $ target_yield $ no_collapse $ deadline $ json)
+    Term.(const run $ socket_arg $ tcp_arg $ retries $ circuit_arg $ seed_arg
+          $ max_random $ target_yield $ no_collapse $ deadline $ json)
 
 let ping_cmd =
-  let run socket stats shutdown =
-    Dl_serve.Client.with_client socket @@ fun client ->
+  let run socket tcp stats shutdown =
+    let endpoint = endpoint_of socket tcp in
+    Dl_serve.Client.with_client endpoint @@ fun client ->
     if shutdown then begin
       let s = Dl_serve.Client.shutdown client in
       Format.printf "server draining; final stats:@.%a@."
@@ -660,7 +729,8 @@ let ping_cmd =
     else begin
       let t0 = Unix.gettimeofday () in
       if Dl_serve.Client.ping client then
-        Printf.printf "pong from %s in %.1f ms\n" socket
+        Printf.printf "pong from %s in %.1f ms\n"
+          (Dl_serve.Transport.to_string endpoint)
           ((Unix.gettimeofday () -. t0) *. 1000.0)
       else die "unexpected reply to ping"
     end
@@ -676,10 +746,10 @@ let ping_cmd =
   Cmd.v
     (Cmd.info "ping" ~version
        ~doc:"Liveness, stats and shutdown RPCs against a dlproj server.")
-    Term.(const run $ socket_arg $ stats $ shutdown)
+    Term.(const run $ socket_arg $ tcp_arg $ stats $ shutdown)
 
 let bench_serve_cmd =
-  let run socket rate duration mix seed gates distinct deadline clients
+  let run socket tcp rate duration mix seed gates distinct deadline clients
       max_random trace plan_only json =
     let mix =
       try Dl_serve.Load_gen.mix_of_string mix
@@ -723,7 +793,9 @@ let bench_serve_cmd =
       if trace = None then write_trace "-"
     end
     else begin
-      let _records, report = Dl_serve.Load_gen.run ~clients ~socket cfg in
+      let _records, report =
+        Dl_serve.Load_gen.run ~clients ~socket:(endpoint_of socket tcp) cfg
+      in
       if json then print_endline (Dl_serve.Load_gen.report_to_json report)
       else Format.printf "%a@." Dl_serve.Load_gen.pp_report report
     end
@@ -782,9 +854,58 @@ let bench_serve_cmd =
        ~doc:"Replay a seeded open-loop traffic mix against a running \
              dlproj server and report throughput, tail latency and \
              backpressure.")
-    Term.(const run $ socket_arg $ rate $ duration $ mix $ seed_arg $ gates
-          $ distinct $ deadline $ clients $ max_random $ trace $ plan_only
-          $ json)
+    Term.(const run $ socket_arg $ tcp_arg $ rate $ duration $ mix $ seed_arg
+          $ gates $ distinct $ deadline $ clients $ max_random $ trace
+          $ plan_only $ json)
+
+(* ---------------------------------------------------------------- coord *)
+
+let coord_cmd =
+  let run socket tcp worker_specs max_in_flight probe_ms fanout =
+    if worker_specs = [] then die "coord needs at least one --worker";
+    let listen = endpoint_of socket tcp in
+    let workers = List.map (parse_endpoint ~what:"--worker") worker_specs in
+    let cfg =
+      Dl_cluster.Coord.config ~max_in_flight
+        ~probe_period_s:(float_of_int probe_ms /. 1000.0)
+        ~fanout_stages:fanout ~listen ~workers ()
+    in
+    Dl_cluster.Coord.run cfg ~on_ready:(fun t ->
+        Printf.printf "dlproj coordinating %d worker%s on %s%s\n%!"
+          (List.length workers)
+          (if List.length workers = 1 then "" else "s")
+          (Dl_serve.Transport.to_string (Dl_cluster.Coord.bound t))
+          (if fanout then ", stage fan-out on" else ""));
+    print_endline "dlproj coordinator exited"
+  in
+  let worker_specs =
+    Arg.(value & opt_all string []
+         & info [ "worker" ] ~docv:"ENDPOINT"
+             ~doc:"A worker daemon to dispatch to (repeatable; \
+                   $(b,HOST:PORT) or a socket path).")
+  in
+  let max_in_flight =
+    Arg.(value & opt int 4 & info [ "max-in-flight" ] ~docv:"N"
+           ~doc:"Outstanding dispatches per worker; past it the relay \
+                 waits for capacity.")
+  in
+  let probe_ms =
+    Arg.(value & opt int 1000 & info [ "probe-ms" ] ~docv:"MS"
+           ~doc:"Health-probe period: repeated failures eject a worker, \
+                 one success readmits it.")
+  in
+  let fanout =
+    Arg.(value & flag & info [ "fanout" ]
+           ~doc:"Fan each submission's independent stages out across the \
+                 ring before relaying the final submit.")
+  in
+  Cmd.v
+    (Cmd.info "coord" ~version
+       ~doc:"Coordinate a fleet of dlproj servers: consistent-hash \
+             dispatch with in-flight caps, queue-depth-aware work \
+             stealing and health-probe ejection/readmission.")
+    Term.(const run $ socket_arg $ tcp_arg $ worker_specs $ max_in_flight
+          $ probe_ms $ fanout)
 
 (* ------------------------------------------------------------------ svg *)
 
@@ -817,7 +938,7 @@ let () =
   let main = Cmd.group (Cmd.info "dlproj" ~version ~doc)
       [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd; cache_cmd;
         transition_cmd; compact_cmd; check_cmd; bench_io_cmd; serve_cmd;
-        submit_cmd; ping_cmd; bench_serve_cmd; svg_cmd ]
+        submit_cmd; ping_cmd; bench_serve_cmd; coord_cmd; svg_cmd ]
   in
   (* Operational failures (missing files, malformed netlists, bad paths,
      missing or dead sockets) get a one-line diagnostic and exit 1 instead

@@ -404,12 +404,13 @@ let experiment_cache ~seed =
    the same job must coalesce (no second execution). *)
 let serve_loopback ~seed =
   let socket =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "dlcheck-serve-%d-%d.sock" (Unix.getpid ()) (abs seed))
+    Dl_serve.Transport.Unix_socket
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "dlcheck-serve-%d-%d.sock" (Unix.getpid ()) (abs seed)))
   in
   let cfg =
-    Dl_serve.Server.config ~workers:1 ~domains_per_worker:1 ~socket ()
+    Dl_serve.Server.config ~workers:1 ~domains_per_worker:1 ~listen:socket ()
   in
   let server = Dl_serve.Server.start cfg in
   Fun.protect
@@ -458,6 +459,121 @@ let serve_loopback ~seed =
                   | _ -> "Pong/Stats"))
       | Dl_serve.Protocol.Server_error m -> failf "server error: %s" m
       | _ -> failf "submit: unexpected reply kind")
+
+(* Differential oracle for the cluster: a job relayed by the coordinator
+   through a TCP worker fleet must be bit-identical to a direct
+   in-process Experiment.run, and resubmitting the same job directly to
+   the worker that did NOT execute it must be served entirely from the
+   distributed store (fetch-through; no stage recomputed). *)
+let serve_cluster ~seed =
+  let module P = Dl_serve.Protocol in
+  let module T = Dl_serve.Transport in
+  let module W = Dl_cluster.Worker in
+  let tmp tag =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dlcheck-cluster-%d-%d-%s" (Unix.getpid ()) (abs seed)
+           tag)
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let dir1 = tmp "w1" and dir2 = tmp "w2" in
+  let loopback = T.Tcp ("127.0.0.1", 0) in
+  let w1 =
+    W.start ~workers:1 ~domains_per_worker:1 ~cache_dir:dir1 ~listen:loopback
+      ()
+  in
+  let w2 =
+    W.start ~workers:1 ~domains_per_worker:1 ~cache_dir:dir2 ~listen:loopback
+      ()
+  in
+  let fleet = [ W.bound w1; W.bound w2 ] in
+  List.iter (fun w -> W.set_peers w fleet) [ w1; w2 ];
+  let coord =
+    Dl_cluster.Coord.start
+      (Dl_cluster.Coord.config ~probe_period_s:0.2 ~listen:loopback
+         ~workers:fleet ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Dl_cluster.Coord.stop coord;
+      List.iter W.stop [ w1; w2 ];
+      List.iter (fun d -> try remove_tree d with Sys_error _ -> ())
+        [ dir1; dir2 ])
+    (fun () ->
+      let job_seed = 7 + (abs seed land 7) in
+      let spec =
+        P.job_spec ~seed:job_seed ~max_random_vectors:64
+          (P.Builtin "c432s_small")
+      in
+      let direct =
+        Experiment.run
+          (Experiment.config ~seed:job_seed ~max_random_vectors:64 ~domains:1
+             (Benchmarks.c432s_small ()))
+      in
+      let expect =
+        Dl_serve.Protocol.payload_of_experiment
+          ~key:(Experiment.request_key direct.cfg) direct
+      in
+      let strip (p : P.result_payload) =
+        { p with P.stage_hits = 0; stage_misses = 0 }
+      in
+      let submit_to endpoint =
+        Dl_serve.Client.with_client endpoint (fun c ->
+            Dl_serve.Client.submit c spec)
+      in
+      match submit_to (Dl_cluster.Coord.bound coord) with
+      | P.Result served when strip served.P.payload <> strip expect ->
+          failf "cluster answer differs from direct Experiment.run"
+      | P.Result _ -> (
+          (* The coordinator hashed the job to one worker; the other one
+             has none of its artifacts locally and must assemble the same
+             answer purely from peer fetches. *)
+          let resubmits =
+            List.map
+              (fun w ->
+                match submit_to (W.bound w) with
+                | P.Result served -> Ok served
+                | P.Server_error m -> Error ("server error: " ^ m)
+                | P.Rejected _ -> Error "rejected"
+                | _ -> Error "unexpected reply kind")
+              [ w1; w2 ]
+          in
+          match
+            List.find_map (function Error e -> Some e | Ok _ -> None)
+              resubmits
+          with
+          | Some e -> failf "direct resubmission: %s" e
+          | None -> (
+              let served =
+                List.filter_map
+                  (function Ok (s : P.served) -> Some s | Error _ -> None)
+                  resubmits
+              in
+              match
+                List.filter (fun (s : P.served) -> not s.P.coalesced) served
+              with
+              | [] ->
+                  failf
+                    "no worker executed the resubmission (both claim to \
+                     have run the original)"
+              | fresh ->
+                  List.fold_left
+                    (fun acc (s : P.served) ->
+                      if acc <> None then acc
+                      else if strip s.P.payload <> strip expect then
+                        failf "cross-worker answer differs from direct run"
+                      else if s.P.payload.P.stage_misses <> 0 then
+                        failf
+                          "cross-worker resubmission recomputed %d stage(s) \
+                           instead of hitting the distributed store"
+                          s.P.payload.P.stage_misses
+                      else acc)
+                    None fresh))
+      | P.Server_error m -> failf "cluster submit: server error: %s" m
+      | _ -> failf "cluster submit: unexpected reply kind")
 
 (* --- registry ----------------------------------------------------------- *)
 
@@ -523,6 +639,12 @@ let all =
         "served answer bit-identical to direct Experiment.run; identical \
          resubmission coalesces";
       kind = Sweep serve_loopback };
+    { name = "serve-cluster";
+      doc =
+        "coordinator + TCP worker fleet bit-identical to direct \
+         Experiment.run; cross-worker resubmission served from the \
+         distributed store";
+      kind = Sweep serve_cluster };
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

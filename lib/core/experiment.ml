@@ -19,18 +19,19 @@ type config = {
   collapse_faults : bool;
   sim_engine : Dl_fault.Fault_sim.engine;
   cache_dir : string option;
+  remote : Stage.remote option;
 }
 
 let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
     ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
     ?(domains = Dl_util.Parallel.default_domains ()) ?pool
     ?(collapse_faults = true) ?(sim_engine = Dl_fault.Fault_sim.Wide)
-    ?cache_dir circuit =
+    ?cache_dir ?remote circuit =
   if not (target_yield > 0.0 && target_yield < 1.0) then
     invalid_arg "Experiment.config: target yield must be in (0, 1)";
   if domains < 1 then invalid_arg "Experiment.config: domains must be >= 1";
   { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio;
-    rows; domains; pool; collapse_faults; sim_engine; cache_dir }
+    rows; domains; pool; collapse_faults; sim_engine; cache_dir; remote }
 
 type t = {
   cfg : config;
@@ -137,6 +138,147 @@ let stage_keys cfg =
 
 let request_key cfg = List.assoc "projection" (stage_keys cfg)
 
+(* --- stage bodies --------------------------------------------------------
+
+   One function per [Stage.run] call, shared by [run] (the full pipeline)
+   and [run_stage] (one stage plus its dependency closure — the unit of
+   cluster fan-out) so the stage bodies and key derivations exist exactly
+   once and cannot drift. *)
+
+let graph_of_config cfg =
+  let store = Option.map Dl_store.Store.open_ cfg.cache_dir in
+  Stage.create ?store ?remote:cfg.remote ()
+
+(* 1. Technology-map the netlist. *)
+let stage_mapping graph cfg =
+  let circuit_key = Dl_store.Codec.content_key Artifact.circuit cfg.circuit in
+  Stage.run graph ~stage:"mapping" ~codec:Artifact.circuit
+    ~inputs:[ circuit_key ]
+    (fun () -> Transform.decompose_for_cells cfg.circuit)
+
+(* 2. Test generation: random prefix then deterministic top-up. *)
+let stage_atpg graph cfg ~c ~mapping_key =
+  Stage.run graph ~stage:"atpg" ~codec:Artifact.atpg
+    ~config:(atpg_config cfg) ~inputs:[ mapping_key ]
+    (fun () ->
+      let r, _ =
+        Dl_atpg.Atpg.full_flow ~seed:cfg.seed
+          ~max_random:cfg.max_random_vectors c
+      in
+      {
+        Artifact.vectors = r.vectors;
+        stats = r.stats;
+        coverage = r.coverage;
+        untestable_faults = r.untestable_faults;
+        aborted_faults = r.aborted_faults;
+      })
+
+(* The paper neglects redundant stuck-at faults ("so that T(k) -> 1 when
+   k -> infinity"); drop the PODEM-proven-redundant ones from the T
+   denominator.  Aborted faults stay: they are potentially testable.
+
+   ATPG always works on the collapsed universe ([full_flow] collapses),
+   which is also what we simulate by default: one representative per
+   equivalence class, every class weighing the same in T(k).  With
+   [collapse_faults = false] the paper-faithful uncollapsed universe is
+   simulated instead — every line fault counts individually, so a class
+   with many equivalent members weighs proportionally more in the
+   coverage denominator (the classical uncollapsed coverage definition).
+   Final coverage is typically close but NOT identical between the two.
+   A PODEM-proved-redundant representative proves its whole equivalence
+   class redundant, so in uncollapsed mode the untestable filter expands
+   each untestable representative to its full class. *)
+let stage_universe graph cfg ~c ~atpg_art ~mapping_key ~atpg_key =
+  Stage.run graph ~stage:"fault-universe" ~codec:Artifact.stuck_faults
+    ~config:(universe_config cfg) ~inputs:[ mapping_key; atpg_key ]
+    (fun () ->
+      let untestable = atpg_art.Artifact.untestable_faults in
+      if cfg.collapse_faults then begin
+        let all_stuck_faults =
+          Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c)
+        in
+        Array.of_seq
+          (Seq.filter
+             (fun f ->
+               not
+                 (Array.exists
+                    (fun u -> Dl_fault.Stuck_at.equal u f)
+                    untestable))
+             (Array.to_seq all_stuck_faults))
+      end
+      else begin
+        let universe = Dl_fault.Stuck_at.universe c in
+        let classes = Dl_fault.Stuck_at.equivalence_classes c universe in
+        let untestable_members =
+          classes |> Array.to_seq
+          |> Seq.filter (fun cls ->
+                 Array.exists
+                   (fun u -> Dl_fault.Stuck_at.equal u cls.(0))
+                   untestable)
+          |> Seq.concat_map Array.to_seq
+          |> List.of_seq
+        in
+        Array.of_seq
+          (Seq.filter
+             (fun f ->
+               not
+                 (List.exists (Dl_fault.Stuck_at.equal f) untestable_members))
+             (Array.to_seq universe))
+      end)
+
+(* 3. Gate-level stuck-at fault simulation over the same sequence
+   (parallel engine; bit-for-bit identical to the serial one, so the
+   domain count is deliberately absent from the stage key). *)
+let stage_faultsim graph cfg ~c ~stuck_faults ~vectors ~mapping_key
+    ~universe_key ~atpg_key =
+  Stage.run graph ~stage:"fault-sim" ~codec:Artifact.detections
+    ~config:(faultsim_config cfg)
+    ~inputs:[ mapping_key; universe_key; atpg_key ]
+    (fun () ->
+      let sim =
+        Dl_fault.Fault_sim.run_parallel_with ~engine:cfg.sim_engine
+          ~domains:cfg.domains ?pool:cfg.pool c ~faults:stuck_faults
+          ~vectors
+      in
+      {
+        Artifact.first_detection = sim.first_detection;
+        vectors_applied = sim.vectors_applied;
+        gate_evaluations = sim.gate_evaluations;
+        sim_stats = sim.stats;
+      })
+
+(* 4. Layout synthesis and inductive fault analysis.  Mapping and layout
+   are recomputed even on a warm run (they are deterministic, cheap and
+   needed as live data structures); the geometry *scan* — the expensive
+   part — is what the layout-ifa artifact caches. *)
+let stage_ifa graph cfg ~layout ~mapping_key =
+  Stage.run graph ~stage:"layout-ifa" ~codec:Artifact.ifa
+    ~config:(ifa_config cfg) ~inputs:[ mapping_key ]
+    (fun () ->
+      let e =
+        Ifa.extract ~stats:cfg.stats ~min_weight_ratio:cfg.min_weight_ratio
+          layout
+      in
+      {
+        Artifact.faults = e.faults;
+        gross_weight = e.gross_weight;
+        summaries = e.summaries;
+      })
+
+(* 6. Switch-level realistic fault simulation. *)
+let stage_swift graph ~mapping ~faults ~vectors ~mapping_key ~ifa_key
+    ~atpg_key =
+  Stage.run graph ~stage:"swift" ~codec:Artifact.swift
+    ~inputs:[ mapping_key; ifa_key; atpg_key ]
+    (fun () ->
+      let network = Dl_switch.Network.build mapping in
+      let r = Swift.run network ~faults ~vectors in
+      {
+        Artifact.detection = r.detection;
+        vectors_applied = r.vectors_applied;
+        region_solves = r.region_solves;
+      })
+
 (* The stage decomposition of the paper's flow.  Each stage's key digests
    its input artifact keys, its config fingerprint and its codec version,
    so a warm run re-executes only stages whose keys changed:
@@ -153,127 +295,21 @@ let request_key cfg = List.assoc "projection" (stage_keys cfg)
                           summary; the only stage a yield change reruns)
 *)
 let run cfg =
-  let store = Option.map Dl_store.Store.open_ cfg.cache_dir in
-  let graph = Stage.create ?store () in
-  let circuit_key = Dl_store.Codec.content_key Artifact.circuit cfg.circuit in
-  (* 1. Technology-map the netlist. *)
-  let c, mapping_key =
-    Stage.run graph ~stage:"mapping" ~codec:Artifact.circuit
-      ~inputs:[ circuit_key ]
-      (fun () -> Transform.decompose_for_cells cfg.circuit)
-  in
-  (* 2. Test generation: random prefix then deterministic top-up. *)
-  let atpg_art, atpg_key =
-    Stage.run graph ~stage:"atpg" ~codec:Artifact.atpg
-      ~config:(atpg_config cfg) ~inputs:[ mapping_key ]
-      (fun () ->
-        let r, _ =
-          Dl_atpg.Atpg.full_flow ~seed:cfg.seed
-            ~max_random:cfg.max_random_vectors c
-        in
-        {
-          Artifact.vectors = r.vectors;
-          stats = r.stats;
-          coverage = r.coverage;
-          untestable_faults = r.untestable_faults;
-          aborted_faults = r.aborted_faults;
-        })
-  in
+  let graph = graph_of_config cfg in
+  let c, mapping_key = stage_mapping graph cfg in
+  let atpg_art, atpg_key = stage_atpg graph cfg ~c ~mapping_key in
   let vectors = atpg_art.Artifact.vectors in
-  (* The paper neglects redundant stuck-at faults ("so that T(k) -> 1 when
-     k -> infinity"); drop the PODEM-proven-redundant ones from the T
-     denominator.  Aborted faults stay: they are potentially testable.
-
-     ATPG always works on the collapsed universe ([full_flow] collapses),
-     which is also what we simulate by default: one representative per
-     equivalence class, every class weighing the same in T(k).  With
-     [collapse_faults = false] the paper-faithful uncollapsed universe is
-     simulated instead — every line fault counts individually, so a class
-     with many equivalent members weighs proportionally more in the
-     coverage denominator (the classical uncollapsed coverage definition).
-     Final coverage is typically close but NOT identical between the two.
-     A PODEM-proved-redundant representative proves its whole equivalence
-     class redundant, so in uncollapsed mode the untestable filter expands
-     each untestable representative to its full class. *)
   let stuck_faults, universe_key =
-    Stage.run graph ~stage:"fault-universe" ~codec:Artifact.stuck_faults
-      ~config:(universe_config cfg) ~inputs:[ mapping_key; atpg_key ]
-      (fun () ->
-        let untestable = atpg_art.Artifact.untestable_faults in
-        if cfg.collapse_faults then begin
-          let all_stuck_faults =
-            Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c)
-          in
-          Array.of_seq
-            (Seq.filter
-               (fun f ->
-                 not
-                   (Array.exists
-                      (fun u -> Dl_fault.Stuck_at.equal u f)
-                      untestable))
-               (Array.to_seq all_stuck_faults))
-        end
-        else begin
-          let universe = Dl_fault.Stuck_at.universe c in
-          let classes = Dl_fault.Stuck_at.equivalence_classes c universe in
-          let untestable_members =
-            classes |> Array.to_seq
-            |> Seq.filter (fun cls ->
-                   Array.exists
-                     (fun u -> Dl_fault.Stuck_at.equal u cls.(0))
-                     untestable)
-            |> Seq.concat_map Array.to_seq
-            |> List.of_seq
-          in
-          Array.of_seq
-            (Seq.filter
-               (fun f ->
-                 not
-                   (List.exists (Dl_fault.Stuck_at.equal f) untestable_members))
-               (Array.to_seq universe))
-        end)
+    stage_universe graph cfg ~c ~atpg_art ~mapping_key ~atpg_key
   in
-  (* 3. Gate-level stuck-at fault simulation over the same sequence
-     (parallel engine; bit-for-bit identical to the serial one, so the
-     domain count is deliberately absent from the stage key). *)
   let sim_art, faultsim_key =
-    Stage.run graph ~stage:"fault-sim" ~codec:Artifact.detections
-      ~config:(faultsim_config cfg)
-      ~inputs:[ mapping_key; universe_key; atpg_key ]
-      (fun () ->
-        let sim =
-          Dl_fault.Fault_sim.run_parallel_with ~engine:cfg.sim_engine
-            ~domains:cfg.domains ?pool:cfg.pool c ~faults:stuck_faults
-            ~vectors
-        in
-        {
-          Artifact.first_detection = sim.first_detection;
-          vectors_applied = sim.vectors_applied;
-          gate_evaluations = sim.gate_evaluations;
-          sim_stats = sim.stats;
-        })
+    stage_faultsim graph cfg ~c ~stuck_faults ~vectors ~mapping_key
+      ~universe_key ~atpg_key
   in
   let t_curve = Coverage.make sim_art.Artifact.first_detection in
-  (* 4. Layout synthesis and inductive fault analysis.  Mapping and layout
-     are recomputed even on a warm run (they are deterministic, cheap and
-     needed as live data structures); the geometry *scan* — the expensive
-     part — is what the layout-ifa artifact caches. *)
   let mapping = Dl_cell.Mapping.flatten c in
   let layout = Dl_layout.Layout.synthesize ?rows:cfg.rows mapping in
-  let ifa_art, ifa_key =
-    Stage.run graph ~stage:"layout-ifa" ~codec:Artifact.ifa
-      ~config:(ifa_config cfg) ~inputs:[ mapping_key ]
-      (fun () ->
-        let e =
-          Ifa.extract ~stats:cfg.stats ~min_weight_ratio:cfg.min_weight_ratio
-            layout
-        in
-        {
-          Artifact.faults = e.faults;
-          gross_weight = e.gross_weight;
-          summaries = e.summaries;
-        })
-  in
+  let ifa_art, ifa_key = stage_ifa graph cfg ~layout ~mapping_key in
   let extraction =
     {
       Ifa.layout;
@@ -289,18 +325,9 @@ let run cfg =
   let scaled_weights, scale_factor =
     Weighted.scale_to_yield ~weights:raw_weights ~target_yield:cfg.target_yield
   in
-  (* 6. Switch-level realistic fault simulation. *)
   let swift_art, swift_key =
-    Stage.run graph ~stage:"swift" ~codec:Artifact.swift
-      ~inputs:[ mapping_key; ifa_key; atpg_key ]
-      (fun () ->
-        let network = Dl_switch.Network.build mapping in
-        let r = Swift.run network ~faults:extraction.faults ~vectors in
-        {
-          Artifact.detection = r.detection;
-          vectors_applied = r.vectors_applied;
-          region_solves = r.region_solves;
-        })
+    stage_swift graph ~mapping ~faults:extraction.faults ~vectors
+      ~mapping_key ~ifa_key ~atpg_key
   in
   let swift_result =
     {
@@ -399,6 +426,57 @@ let run cfg =
     summary = summary_art.Artifact.text;
     stage_reports = Stage.reports graph;
   }
+
+(* One stage plus its dependency closure — what a cluster worker executes
+   for a [serve-stage] request.  Everything upstream of the requested
+   stage runs through the same graph, so with a warm (or peer-fed) store
+   the closure collapses to cache hits and only the requested stage
+   computes.  ["projection"] needs every artifact plus live curves, so it
+   simply delegates to [run]. *)
+let run_stage cfg ~stage =
+  match stage with
+  | "projection" -> (run cfg).stage_reports
+  | _ ->
+      let graph = graph_of_config cfg in
+      (match stage with
+      | "mapping" -> ignore (stage_mapping graph cfg)
+      | "atpg" ->
+          let c, mapping_key = stage_mapping graph cfg in
+          ignore (stage_atpg graph cfg ~c ~mapping_key)
+      | "fault-universe" ->
+          let c, mapping_key = stage_mapping graph cfg in
+          let atpg_art, atpg_key = stage_atpg graph cfg ~c ~mapping_key in
+          ignore
+            (stage_universe graph cfg ~c ~atpg_art ~mapping_key ~atpg_key)
+      | "fault-sim" ->
+          let c, mapping_key = stage_mapping graph cfg in
+          let atpg_art, atpg_key = stage_atpg graph cfg ~c ~mapping_key in
+          let stuck_faults, universe_key =
+            stage_universe graph cfg ~c ~atpg_art ~mapping_key ~atpg_key
+          in
+          ignore
+            (stage_faultsim graph cfg ~c ~stuck_faults
+               ~vectors:atpg_art.Artifact.vectors ~mapping_key ~universe_key
+               ~atpg_key)
+      | "layout-ifa" ->
+          let c, mapping_key = stage_mapping graph cfg in
+          let mapping = Dl_cell.Mapping.flatten c in
+          let layout = Dl_layout.Layout.synthesize ?rows:cfg.rows mapping in
+          ignore (stage_ifa graph cfg ~layout ~mapping_key)
+      | "swift" ->
+          let c, mapping_key = stage_mapping graph cfg in
+          let atpg_art, atpg_key = stage_atpg graph cfg ~c ~mapping_key in
+          let mapping = Dl_cell.Mapping.flatten c in
+          let layout = Dl_layout.Layout.synthesize ?rows:cfg.rows mapping in
+          let ifa_art, ifa_key = stage_ifa graph cfg ~layout ~mapping_key in
+          ignore
+            (stage_swift graph ~mapping ~faults:ifa_art.Artifact.faults
+               ~vectors:atpg_art.Artifact.vectors ~mapping_key ~ifa_key
+               ~atpg_key)
+      | other ->
+          invalid_arg
+            (Printf.sprintf "Experiment.run_stage: unknown stage %S" other));
+      Stage.reports graph
 
 let defect_level_at t k =
   Weighted.defect_level ~yield:t.yield ~theta:(Coverage.at t.theta_curve k)

@@ -56,13 +56,19 @@ type config = {
   cache_dir : string option;
       (** Root of the content-addressed artifact store; [None] (default)
           disables persistence (stages still execute and report keys). *)
+  remote : Dl_store.Stage.remote option;
+      (** Peer store tier for cluster fetch-through ({!Dl_cluster}): a
+          local stage miss first asks peer stores, and a computed artifact
+          is pushed to its key's home node.  Best-effort and
+          result-invisible, so (like [pool]) it is excluded from every
+          stage key. *)
 }
 
 val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
   ?stats:Dl_extract.Defect_stats.t -> ?min_weight_ratio:float ->
   ?rows:int -> ?domains:int -> ?pool:Dl_util.Parallel.t ->
   ?collapse_faults:bool -> ?sim_engine:Dl_fault.Fault_sim.engine ->
-  ?cache_dir:string -> Circuit.t -> config
+  ?cache_dir:string -> ?remote:Dl_store.Stage.remote -> Circuit.t -> config
 (** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
     pruning, [Domain.recommended_domain_count ()] domains (or [pool], which
     takes precedence), collapsed fault universe, [Wide] fault-sim engine,
@@ -113,6 +119,15 @@ type t = {
 }
 
 val run : config -> t
+
+val run_stage : config -> stage:string -> Dl_store.Stage.report list
+(** Execute one named stage (a {!stage_keys} name) plus its dependency
+    closure, nothing downstream — the unit of work a cluster coordinator
+    fans out.  With a warm or peer-fed store the upstream closure
+    collapses to cache hits.  Returns the per-stage reports of the
+    closure in execution order (the requested stage is last).
+    ["projection"] is the whole pipeline and delegates to {!run}.
+    @raise Invalid_argument on an unknown stage name. *)
 
 val defect_level_at : t -> int -> float
 (** [DL(Θ(k))] through eq. 3 with the scaled yield: the quantity the paper

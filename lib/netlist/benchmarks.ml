@@ -277,6 +277,102 @@ let c1908s_text () =
 
 let c1908s () = Bench_format.parse_string ~title:"c1908s" (c1908s_text ())
 
+(* c2670 is the ISCAS-85 12-bit ALU and controller (233 PI / 140 PO,
+   ~1.2k gates) — the largest part of its interface is wide datapath
+   buses, not the ALU itself.  [c2670s] reconstructs the high-level
+   model's sections with the exact 233-input/140-output interface: a
+   12-bit ripple-carry adder, an adder/operand comparator, two 64-bit
+   mask arrays, a control decoder keyed into the slice parities (so every
+   decoder line is observable at a parity output), an equality bank and
+   the flag section.  XORs are emitted as the 4-NAND macro. *)
+let c2670s_text () =
+  let b = Buffer.create 32768 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let xor = emit_xor b ~expand:true in
+  let bus prefix n = List.init n (fun i -> prefix ^ string_of_int i) in
+  let commas = String.concat ", " in
+  line "# c2670s: 12-bit ALU and controller, c2670-interface reconstruction";
+  List.iter
+    (fun (name, n) -> List.iter (fun s -> line "INPUT(%s)" s) (bus name n))
+    [ ("a", 12); ("b", 12) ];
+  line "INPUT(cin)";
+  List.iter
+    (fun (name, n) -> List.iter (fun s -> line "INPUT(%s)" s) (bus name n))
+    [ ("e", 12); ("m", 64); ("k", 64); ("p", 32); ("q", 16); ("r", 16);
+      ("ctl", 3) ];
+  line "INPUT(cmp_en)";
+  List.iter
+    (fun (name, n) -> List.iter (fun s -> line "OUTPUT(%s)" s) (bus name n))
+    [ ("s", 12) ];
+  List.iter (fun s -> line "OUTPUT(%s)" s) [ "cout"; "eq"; "gt"; "lt" ];
+  List.iter
+    (fun (name, n) -> List.iter (fun s -> line "OUTPUT(%s)" s) (bus name n))
+    [ ("g", 64); ("h", 32); ("par", 8) ];
+  line "OUTPUT(parall)";
+  List.iter (fun s -> line "OUTPUT(%s)" s) (bus "qeq" 16);
+  List.iter (fun s -> line "OUTPUT(%s)" s) [ "qeq_all"; "valid"; "zero" ];
+  (* 12-bit ripple-carry adder: s = a + b + cin *)
+  for i = 0 to 11 do
+    let carry = if i = 0 then "cin" else Printf.sprintf "cy%d" i in
+    xor (Printf.sprintf "axb%d" i)
+      [ Printf.sprintf "a%d" i; Printf.sprintf "b%d" i ];
+    xor (Printf.sprintf "s%d" i) [ Printf.sprintf "axb%d" i; carry ];
+    line "ga%d = AND(a%d, b%d)" i i i;
+    line "pa%d = AND(axb%d, %s)" i i carry;
+    line "cy%d = OR(ga%d, pa%d)" (i + 1) i i
+  done;
+  line "cout = BUF(cy12)";
+  (* unsigned comparison of the sum against the e bus, gated by cmp_en *)
+  for i = 0 to 11 do
+    line "xn%d = XNOR(s%d, e%d)" i i i;
+    line "ne%d = NOT(e%d)" i i
+  done;
+  line "eqraw = AND(%s)" (commas (bus "xn" 12));
+  for i = 0 to 11 do
+    let higher = List.init (11 - i) (fun j -> Printf.sprintf "xn%d" (11 - j)) in
+    line "gth%d = AND(%s)" i
+      (commas (Printf.sprintf "s%d" i :: Printf.sprintf "ne%d" i :: higher))
+  done;
+  line "gtraw = OR(%s)" (commas (bus "gth" 12));
+  line "ltraw = NOR(eqraw, gtraw)";
+  line "eq = AND(eqraw, cmp_en)";
+  line "gt = AND(gtraw, cmp_en)";
+  line "lt = AND(ltraw, cmp_en)";
+  (* 64-bit mask array and the p-keyed half-width array riding on it *)
+  for i = 0 to 63 do
+    xor (Printf.sprintf "g%d" i)
+      [ Printf.sprintf "m%d" i; Printf.sprintf "k%d" i ]
+  done;
+  for i = 0 to 31 do
+    xor (Printf.sprintf "h%d" i)
+      [ Printf.sprintf "p%d" i; Printf.sprintf "g%d" (2 * i) ]
+  done;
+  (* 3-to-8 control decoder, keyed into the slice parities below so each
+     decoder line reaches a primary output *)
+  for j = 0 to 2 do line "nctl%d = NOT(ctl%d)" j j done;
+  for t = 0 to 7 do
+    let args =
+      List.init 3 (fun j ->
+          if t lsr j land 1 = 1 then Printf.sprintf "ctl%d" j
+          else Printf.sprintf "nctl%d" j)
+    in
+    line "dec%d = AND(%s)" t (commas args)
+  done;
+  for j = 0 to 7 do
+    xor (Printf.sprintf "par%d" j)
+      (List.init 8 (fun i -> Printf.sprintf "g%d" ((8 * j) + i))
+      @ [ Printf.sprintf "dec%d" j ])
+  done;
+  xor "parall" (bus "par" 8);
+  (* equality bank and flags *)
+  for i = 0 to 15 do line "qeq%d = XNOR(q%d, r%d)" i i i done;
+  line "qeq_all = AND(%s)" (commas (bus "qeq" 16));
+  line "valid = OR(ctl0, ctl1, ctl2, cmp_en)";
+  line "zero = NOR(%s)" (commas (bus "s" 12));
+  Buffer.contents b
+
+let c2670s () = Bench_format.parse_string ~title:"c2670s" (c2670s_text ())
+
 let all =
   [
     ("c17", c17);
@@ -286,6 +382,7 @@ let all =
     ("c880s", c880s);
     ("c1355s", c1355s);
     ("c1908s", c1908s);
+    ("c2670s", c2670s);
     ("add8", fun () -> Generator.ripple_adder 8);
     ("add16", fun () -> Generator.ripple_adder 16);
     ("cmp8", fun () -> Generator.equality_comparator 8);

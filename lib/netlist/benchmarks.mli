@@ -51,6 +51,15 @@ val c1908s : unit -> Circuit.t
 val c1908s_text : unit -> string
 (** The [.bench] source of {!c1908s}. *)
 
+val c2670s : unit -> Circuit.t
+(** The c2670-interface 12-bit ALU and controller (233 inputs, 140
+    outputs): ripple-carry adder, sum/operand comparator, two mask
+    arrays, a control decoder keyed into the slice parities, an equality
+    bank and flags, with XORs as 4-NAND macros. *)
+
+val c2670s_text : unit -> string
+(** The [.bench] source of {!c2670s}. *)
+
 val by_name : string -> Circuit.t option
 (** Lookup by benchmark name. *)
 

@@ -1,33 +1,70 @@
-(** Blocking client for the projection server: one connected Unix-domain
-    socket, one request/response exchange at a time.
+(** Blocking client for the projection server: one connected stream
+    socket ({!Transport} — Unix domain or TCP), one request/response
+    exchange at a time.
 
-    Connection-level failures raise [Unix.Unix_error] (socket file
-    missing, nothing listening); protocol-level failures — including the
-    server closing the connection mid-exchange — raise
-    {!Protocol.Protocol_error}.  [dlproj] maps both onto its one-line
+    Failure modes are distinguished in the error text: connection refused
+    ("is the server running?"), a missing socket file, a connect timeout,
+    the server closing cleanly at a frame boundary, and the server dying
+    {e mid-frame} all read differently.  All of them raise
+    {!Protocol.Protocol_error}; [dlproj] maps that onto its one-line
     [die]. *)
 
 type t
 
-val connect : ?max_frame:int -> string -> t
-(** Connect to the socket at the given path.
-    @raise Unix.Unix_error when the path is missing or nothing accepts. *)
+val connect :
+  ?max_frame:int -> ?connect_timeout_s:float -> ?retries:int ->
+  ?backoff_ms:int -> Transport.endpoint -> t
+(** Connect to the endpoint.  [connect_timeout_s] bounds TCP connection
+    establishment ({!Transport.connect}).  [retries] (default 0) extra
+    attempts are made on refused/unreachable/timed-out connects, sleeping
+    a jittered exponential backoff starting at [backoff_ms] (default 100,
+    doubling, capped at 10 s) between attempts — the jitter keeps a fleet
+    of clients from retrying in lockstep.
+    @raise Protocol.Protocol_error once every attempt failed, with a
+    message naming the failure mode. *)
+
+val endpoint : t -> Transport.endpoint
 
 val close : t -> unit
 (** Idempotent. *)
 
-val with_client : ?max_frame:int -> string -> (t -> 'a) -> 'a
+val with_client :
+  ?max_frame:int -> ?connect_timeout_s:float -> ?retries:int ->
+  ?backoff_ms:int -> Transport.endpoint -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exception). *)
 
-val rpc : t -> Protocol.request -> Protocol.response
-(** One round trip.
-    @raise Protocol.Protocol_error if the server hangs up or answers with
+val rpc : ?deadline_s:float -> t -> Protocol.request -> Protocol.response
+(** One round trip.  [deadline_s] bounds the server's reply {e frame}
+    (clock starts at its first byte; see {!Protocol.read_frame}) — it does
+    NOT bound how long the server may think before starting to reply.
+    @raise Protocol.Protocol_error if the server hangs up (the message
+    says whether it was at a frame boundary or mid-frame) or answers with
     an undecodable frame. *)
 
 val ping : t -> bool
 (** [true] iff the server answers {!Protocol.Pong}. *)
 
 val submit : t -> Protocol.job_spec -> Protocol.response
+
+val submit_retrying :
+  ?attempts:int -> t -> Protocol.job_spec -> Protocol.response
+(** {!submit}, but on {!Protocol.Rejected} sleep the server's
+    [retry_after_ms] hint (jittered) and resubmit, up to [attempts]
+    (default 3) extra times.  The final rejection, if any, is returned to
+    the caller like any other response. *)
+
+val run_stage : t -> Protocol.job_spec -> stage:string -> Protocol.response
+(** Submit one stage of the spec's experiment ({!Protocol.Serve_stage});
+    a successful answer is {!Protocol.Stage_done}. *)
+
+val store_get : t -> string -> bytes option
+(** Ask the server's artifact store for a stage key; [None] when absent.
+    @raise Protocol.Protocol_error on a non-store reply. *)
+
+val store_put : t -> key:string -> bytes -> bool
+(** Offer a codec-enveloped artifact; [false] means the server rejected
+    it (no store attached, or envelope validation failed). *)
+
 val get_stats : t -> Protocol.stats
 (** @raise Protocol.Protocol_error on a non-[Stats_reply] answer. *)
 

@@ -206,7 +206,8 @@ let outcome_of_response = function
   | Protocol.Rejected { retry_after_ms; _ } -> Rejected { retry_after_ms }
   | Protocol.Expired -> Expired
   | Protocol.Server_error m -> Failed m
-  | Protocol.Pong | Protocol.Stats_reply _ ->
+  | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Stage_done _
+  | Protocol.Store_found _ | Protocol.Store_missing | Protocol.Store_ack _ ->
       Failed "unexpected response kind"
 
 type report = {

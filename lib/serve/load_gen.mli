@@ -94,7 +94,8 @@ type report = {
   max_ms : float;
 }
 
-val run : ?clients:int -> socket:string -> config -> record array * report
+val run :
+  ?clients:int -> socket:Transport.endpoint -> config -> record array * report
 (** Replay the plan against a listening server with [clients] (default 4)
     concurrent connections, request [i] on connection [i mod clients].
     Records are indexed like the plan.  A connection that dies is

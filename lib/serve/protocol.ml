@@ -23,7 +23,16 @@ let job_spec ?(seed = 7) ?(max_random_vectors = 256) ?(target_yield = 0.75)
   { circuit; seed; max_random_vectors; target_yield; collapse_faults;
     min_weight_ratio; deadline_ms }
 
-type request = Ping | Get_stats | Submit of job_spec | Shutdown
+type request =
+  | Ping
+  | Get_stats
+  | Submit of job_spec
+  | Serve_stage of { spec : job_spec; stage : string }
+  | Store_get of string
+  | Store_put of { key : string; data : string }
+  | Shutdown
+
+type stage_outcome = Stage_hit | Stage_fetched | Stage_computed
 
 type result_payload = {
   circuit_title : string;
@@ -70,6 +79,15 @@ type response =
   | Rejected of { retry_after_ms : int; queue_depth : int }
   | Expired
   | Server_error of string
+  | Stage_done of {
+      stage : string;
+      key : string;
+      outcome : stage_outcome;
+      seconds : float;
+    }
+  | Store_found of string
+  | Store_missing
+  | Store_ack of bool
 
 (* --- codecs -------------------------------------------------------------- *)
 
@@ -116,7 +134,8 @@ let read_job_spec cur =
 let request_codec : request Codec.t =
   {
     Codec.kind = "serve-req";
-    version = 1;
+    (* v2: cluster traffic — per-stage jobs and peer store exchange. *)
+    version = 2;
     encode =
       (fun buf -> function
         | Ping -> Binary.write_byte buf 0
@@ -124,7 +143,18 @@ let request_codec : request Codec.t =
         | Submit spec ->
             Binary.write_byte buf 2;
             write_job_spec buf spec
-        | Shutdown -> Binary.write_byte buf 3);
+        | Shutdown -> Binary.write_byte buf 3
+        | Serve_stage { spec; stage } ->
+            Binary.write_byte buf 4;
+            write_job_spec buf spec;
+            Binary.write_string buf stage
+        | Store_get key ->
+            Binary.write_byte buf 5;
+            Binary.write_string buf key
+        | Store_put { key; data } ->
+            Binary.write_byte buf 6;
+            Binary.write_string buf key;
+            Binary.write_string buf data);
     decode =
       (fun cur ->
         match Binary.read_byte cur with
@@ -132,6 +162,15 @@ let request_codec : request Codec.t =
         | 1 -> Get_stats
         | 2 -> Submit (read_job_spec cur)
         | 3 -> Shutdown
+        | 4 ->
+            let spec = read_job_spec cur in
+            let stage = Binary.read_string cur in
+            Serve_stage { spec; stage }
+        | 5 -> Store_get (Binary.read_string cur)
+        | 6 ->
+            let key = Binary.read_string cur in
+            let data = Binary.read_string cur in
+            Store_put { key; data }
         | t -> bad "unknown request tag %d" t);
   }
 
@@ -203,11 +242,23 @@ let read_stats cur =
   { accepted; rejected; coalesced; executed; completed; expired; failed;
     queue_depth; in_flight; p50_ms; p99_ms; p999_ms; uptime_s }
 
+let write_stage_outcome buf = function
+  | Stage_hit -> Binary.write_byte buf 0
+  | Stage_fetched -> Binary.write_byte buf 1
+  | Stage_computed -> Binary.write_byte buf 2
+
+let read_stage_outcome cur =
+  match Binary.read_byte cur with
+  | 0 -> Stage_hit
+  | 1 -> Stage_fetched
+  | 2 -> Stage_computed
+  | t -> bad "unknown stage-outcome tag %d" t
+
 let response_codec : response Codec.t =
   {
     Codec.kind = "serve-resp";
-    (* v2: stats grew p999_ms. *)
-    version = 2;
+    (* v2: stats grew p999_ms.  v3: cluster replies. *)
+    version = 3;
     encode =
       (fun buf -> function
         | Pong -> Binary.write_byte buf 0
@@ -226,7 +277,20 @@ let response_codec : response Codec.t =
         | Expired -> Binary.write_byte buf 4
         | Server_error msg ->
             Binary.write_byte buf 5;
-            Binary.write_string buf msg);
+            Binary.write_string buf msg
+        | Stage_done { stage; key; outcome; seconds } ->
+            Binary.write_byte buf 6;
+            Binary.write_string buf stage;
+            Binary.write_string buf key;
+            write_stage_outcome buf outcome;
+            Binary.write_float buf seconds
+        | Store_found data ->
+            Binary.write_byte buf 7;
+            Binary.write_string buf data
+        | Store_missing -> Binary.write_byte buf 8
+        | Store_ack ok ->
+            Binary.write_byte buf 9;
+            Binary.write_bool buf ok);
     decode =
       (fun cur ->
         match Binary.read_byte cur with
@@ -243,6 +307,15 @@ let response_codec : response Codec.t =
             Rejected { retry_after_ms; queue_depth }
         | 4 -> Expired
         | 5 -> Server_error (Binary.read_string cur)
+        | 6 ->
+            let stage = Binary.read_string cur in
+            let key = Binary.read_string cur in
+            let outcome = read_stage_outcome cur in
+            let seconds = Binary.read_float cur in
+            Stage_done { stage; key; outcome; seconds }
+        | 7 -> Store_found (Binary.read_string cur)
+        | 8 -> Store_missing
+        | 9 -> Store_ack (Binary.read_bool cur)
         | t -> bad "unknown response tag %d" t);
   }
 
@@ -266,16 +339,32 @@ let really_write fd bytes =
     pos := !pos + n
   done
 
-(* [really_read fd buf len] fills [buf] up to [len]; returns the byte count
-   actually read, which is short only at EOF. *)
-let really_read fd buf len =
-  let pos = ref 0 in
+let wait_readable fd deadline =
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then proto_error "frame read deadline expired";
+    match Unix.select [ fd ] [] [] remaining with
+    | [], _, _ -> proto_error "frame read deadline expired"
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* [really_read ?deadline fd buf start len] fills [buf.[start..start+len)];
+   returns the byte count actually read, which is short only at EOF.
+   [deadline] is an absolute wall-clock instant past which waiting for more
+   bytes raises {!Protocol_error} — slow-loris protection for mid-frame
+   stalls. *)
+let really_read ?deadline fd buf start len =
+  let pos = ref start in
+  let stop = start + len in
   let eof = ref false in
-  while !pos < len && not !eof do
-    let n = retry_intr (fun () -> Unix.read fd buf !pos (len - !pos)) in
+  while !pos < stop && not !eof do
+    (match deadline with Some d -> wait_readable fd d | None -> ());
+    let n = retry_intr (fun () -> Unix.read fd buf !pos (stop - !pos)) in
     if n = 0 then eof := true else pos := !pos + n
   done;
-  !pos
+  !pos - start
 
 let write_frame fd payload =
   let len = Bytes.length payload in
@@ -284,25 +373,33 @@ let write_frame fd payload =
   Bytes.blit payload 0 frame 4 len;
   really_write fd frame
 
-let read_frame ?(max_frame = default_max_frame) fd =
+let read_frame ?(max_frame = default_max_frame) ?deadline_s fd =
   let header = Bytes.create 4 in
-  match really_read fd header 4 with
+  (* Wait for the first byte without a deadline: an idle connection is
+     not a violation.  The clock starts once a frame has begun — from
+     there the peer owes us the whole frame within [deadline_s]. *)
+  match really_read fd header 0 1 with
   | 0 -> None (* clean EOF at a frame boundary *)
-  | n when n < 4 -> proto_error "truncated frame header (%d of 4 bytes)" n
   | _ ->
+      let deadline =
+        Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
+      in
+      let got = really_read ?deadline fd header 1 3 in
+      if got < 3 then
+        proto_error "truncated frame header (%d of 4 bytes)" (1 + got);
       let len = Int32.to_int (Bytes.get_int32_le header 0) in
       if len < 0 || len > max_frame then
         proto_error "frame length %d exceeds limit %d" len max_frame;
       let payload = Bytes.create len in
-      let got = really_read fd payload len in
+      let got = really_read ?deadline fd payload 0 len in
       if got < len then
         proto_error "truncated frame body (%d of %d bytes)" got len;
       Some payload
 
 let send codec fd value = write_frame fd (Codec.to_bytes codec value)
 
-let recv ?max_frame codec fd =
-  match read_frame ?max_frame fd with
+let recv ?max_frame ?deadline_s codec fd =
+  match read_frame ?max_frame ?deadline_s fd with
   | None -> None
   | Some data -> (
       match Codec.of_bytes codec data with
@@ -316,7 +413,9 @@ let payload_of_experiment ~key (e : Experiment.t) =
   let hits, misses =
     List.fold_left
       (fun (h, m) (r : Dl_store.Stage.report) ->
-        if r.outcome = Dl_store.Stage.Hit then (h + 1, m) else (h, m + 1))
+        match r.outcome with
+        | Dl_store.Stage.Hit | Dl_store.Stage.Fetched -> (h + 1, m)
+        | Dl_store.Stage.Miss | Dl_store.Stage.Uncached -> (h, m + 1))
       (0, 0) e.stage_reports
   in
   {

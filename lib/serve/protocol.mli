@@ -46,9 +46,27 @@ type request =
   | Ping
   | Get_stats
   | Submit of job_spec
+  | Serve_stage of { spec : job_spec; stage : string }
+      (** Run one named stage of the spec's experiment (plus its
+          dependency closure) instead of the whole pipeline — the unit the
+          cluster coordinator fans out across workers.  [stage] is a
+          {!Dl_core.Experiment.stage_keys} name; the reply is
+          {!Stage_done}. *)
+  | Store_get of string
+      (** Peer artifact fetch: ask this node's store for the artifact
+          filed under the given stage key.  Answered {!Store_found} /
+          {!Store_missing}; never triggers computation. *)
+  | Store_put of { key : string; data : string }
+      (** Peer artifact push: offer a codec-enveloped artifact for the
+          given key.  The receiver validates the envelope (magic + CRC)
+          before persisting and answers {!Store_ack}. *)
   | Shutdown  (** Graceful drain: queued and running jobs complete, new
                   submissions are rejected, then the server exits.  The
                   reply is a final {!Stats_reply}. *)
+
+(** How a {!Serve_stage} request was satisfied: already in the local
+    store, fetched from a peer store, or computed here. *)
+type stage_outcome = Stage_hit | Stage_fetched | Stage_computed
 
 (** The projection result: run statistics, final coverages, and the same
     summary/fit artifact the stage graph caches for the projection stage. *)
@@ -111,6 +129,17 @@ type response =
       (** Admission or execution failure (unknown benchmark, malformed
           inline netlist, engine exception) — the message is the one-line
           diagnostic. *)
+  | Stage_done of {
+      stage : string;
+      key : string;  (** The stage key the artifact is filed under. *)
+      outcome : stage_outcome;
+      seconds : float;  (** Wall clock spent serving the stage. *)
+    }
+  | Store_found of string  (** The codec-enveloped artifact bytes. *)
+  | Store_missing
+  | Store_ack of bool
+      (** [false] when the offered artifact failed envelope validation
+          and was discarded. *)
 
 val request_codec : request Dl_store.Codec.t
 val response_codec : response Dl_store.Codec.t
@@ -127,14 +156,23 @@ exception Protocol_error of string
     Socket-level failures raise [Unix.Unix_error] as usual. *)
 
 val write_frame : Unix.file_descr -> bytes -> unit
-val read_frame : ?max_frame:int -> Unix.file_descr -> bytes option
-(** [None] on clean EOF at a frame boundary. *)
+
+val read_frame :
+  ?max_frame:int -> ?deadline_s:float -> Unix.file_descr -> bytes option
+(** [None] on clean EOF at a frame boundary.  [deadline_s] bounds how long
+    the peer may take to deliver the {e rest} of a frame once its first
+    byte has arrived — the wait for that first byte is unbounded, so idle
+    connections never expire, but a peer that trickles a frame byte-by-byte
+    (slow loris) is cut off with {!Protocol_error}. *)
 
 val send : 'a Dl_store.Codec.t -> Unix.file_descr -> 'a -> unit
-val recv : ?max_frame:int -> 'a Dl_store.Codec.t -> Unix.file_descr -> 'a option
+
+val recv :
+  ?max_frame:int -> ?deadline_s:float ->
+  'a Dl_store.Codec.t -> Unix.file_descr -> 'a option
 (** [send]/[recv]: one codec-enveloped value per frame.  [recv] returns
     [None] on clean EOF and raises {!Protocol_error} on a frame that does
-    not decode. *)
+    not decode or that misses its [deadline_s]. *)
 
 (** {2 Shared rendering}
 

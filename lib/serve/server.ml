@@ -4,22 +4,48 @@ module Benchmarks = Dl_netlist.Benchmarks
 module Bench_format = Dl_netlist.Bench_format
 
 type config = {
-  socket_path : string;
+  listen : Transport.endpoint;
   workers : int;
   queue_capacity : int;
   cache_capacity : int;
   domains_per_worker : int;
   cache_dir : string option;
   max_frame : int;
+  read_deadline_s : float option;
+  remote : Dl_store.Stage.remote option;
   on_job_start : (string -> unit) option;
 }
 
 let config ?(workers = 1) ?(queue_capacity = 16) ?(cache_capacity = 32)
     ?(domains_per_worker = Parallel.default_domains ()) ?cache_dir
-    ?(max_frame = Protocol.default_max_frame) ?on_job_start ~socket () =
+    ?(max_frame = Protocol.default_max_frame) ?read_deadline_s ?remote
+    ?on_job_start ~listen () =
   if workers < 1 then invalid_arg "Server.config: workers < 1";
-  { socket_path = socket; workers; queue_capacity; cache_capacity;
-    domains_per_worker; cache_dir; max_frame; on_job_start }
+  { listen; workers; queue_capacity; cache_capacity;
+    domains_per_worker; cache_dir; max_frame; read_deadline_s; remote;
+    on_job_start }
+
+(* What the scheduler queue carries: whole experiments (the [Submit]
+   path) or single stages plus their dependency closure (the cluster
+   fan-out path).  The two key spaces are prefixed apart so a
+   [Serve_stage "projection"] can never coalesce with a [Submit] whose
+   request key is that same projection digest but whose result has a
+   different shape. *)
+type task =
+  | Run_full of Experiment.config
+  | Run_stage of Experiment.config * string
+
+type task_result =
+  | Full_result of Protocol.result_payload
+  | Stage_result of {
+      stage : string;
+      key : string;
+      outcome : Protocol.stage_outcome;
+      seconds : float;
+    }
+
+let queue_key_full key = "full/" ^ key
+let queue_key_stage key = "stage/" ^ key
 
 type conn = {
   fd : Unix.file_descr;
@@ -33,7 +59,9 @@ type state = Serving | Stopping | Stopped
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
-  queue : (Experiment.config, Protocol.result_payload) Job_queue.t;
+  bound : Transport.endpoint;
+  store : Dl_store.Store.t option;
+  queue : (task, task_result) Job_queue.t;
   metrics : Metrics.t;
   mutex : Mutex.t;   (* guards conns, state *)
   cond : Condition.t;  (* broadcast on state change *)
@@ -73,7 +101,7 @@ let config_of_spec t (spec : Protocol.job_spec) circuit =
     ~max_random_vectors:spec.max_random_vectors
     ~target_yield:spec.target_yield ~collapse_faults:spec.collapse_faults
     ~min_weight_ratio:spec.min_weight_ratio ?cache_dir:t.cfg.cache_dir
-    circuit
+    ?remote:t.cfg.remote circuit
 
 let retry_after_ms t ~queue_depth =
   let mean = Metrics.mean_service_ms t.metrics in
@@ -111,23 +139,31 @@ let handle_submit t (spec : Protocol.job_spec) =
         Protocol.Expired
       end
       else
+        let finish ~coalesced = function
+          | Full_result payload -> deliver t ~t0 ~coalesced payload
+          | Stage_result _ ->
+              Protocol.Server_error "internal: stage result under submit key"
+        in
         let await ~coalesced ticket =
           match Job_queue.await t.queue ticket with
-          | `Ok payload -> deliver t ~t0 ~coalesced payload
+          | `Ok r -> finish ~coalesced r
           | `Error msg -> Protocol.Server_error msg
           | `Expired ->
               Metrics.incr_expired t.metrics;
               Protocol.Expired
         in
-        match Job_queue.submit t.queue ~key ?deadline cfg with
+        match
+          Job_queue.submit t.queue ~key:(queue_key_full key) ?deadline
+            (Run_full cfg)
+        with
         | Job_queue.Rejected { queue_depth } ->
             Metrics.incr_rejected t.metrics;
             Protocol.Rejected
               { retry_after_ms = retry_after_ms t ~queue_depth; queue_depth }
-        | Job_queue.Cached payload ->
+        | Job_queue.Cached r ->
             Metrics.incr_accepted t.metrics;
             Metrics.incr_coalesced t.metrics;
-            deliver t ~t0 ~coalesced:true payload
+            finish ~coalesced:true r
         | Job_queue.Coalesced ticket ->
             Metrics.incr_accepted t.metrics;
             Metrics.incr_coalesced t.metrics;
@@ -135,6 +171,93 @@ let handle_submit t (spec : Protocol.job_spec) =
         | Job_queue.Enqueued ticket ->
             Metrics.incr_accepted t.metrics;
             await ~coalesced:false ticket)
+
+(* --- cluster request handling -------------------------------------------- *)
+
+let handle_serve_stage t (spec : Protocol.job_spec) ~stage =
+  let t0 = Unix.gettimeofday () in
+  match resolve_circuit spec.circuit with
+  | Error msg -> Protocol.Server_error msg
+  | Ok circuit -> (
+      let cfg = config_of_spec t spec circuit in
+      match List.assoc_opt stage (Experiment.stage_keys cfg) with
+      | None ->
+          Protocol.Server_error
+            (Printf.sprintf "unknown stage %S (stages: %s)" stage
+               (String.concat ", "
+                  (List.map fst (Experiment.stage_keys cfg))))
+      | Some stage_key -> (
+          let deadline =
+            Option.map
+              (fun ms -> t0 +. (float_of_int ms /. 1000.0))
+              spec.deadline_ms
+          in
+          let finish = function
+            | Stage_result r ->
+                Metrics.incr_completed t.metrics;
+                Metrics.observe_service_ms t.metrics (service_ms t0);
+                Protocol.Stage_done
+                  {
+                    stage = r.stage;
+                    key = r.key;
+                    outcome = r.outcome;
+                    seconds = r.seconds;
+                  }
+            | Full_result _ ->
+                Protocol.Server_error "internal: full result under stage key"
+          in
+          let await ticket =
+            match Job_queue.await t.queue ticket with
+            | `Ok r -> finish r
+            | `Error msg -> Protocol.Server_error msg
+            | `Expired ->
+                Metrics.incr_expired t.metrics;
+                Protocol.Expired
+          in
+          match
+            Job_queue.submit t.queue ~key:(queue_key_stage stage_key)
+              ?deadline
+              (Run_stage (cfg, stage))
+          with
+          | Job_queue.Rejected { queue_depth } ->
+              Metrics.incr_rejected t.metrics;
+              Protocol.Rejected
+                { retry_after_ms = retry_after_ms t ~queue_depth; queue_depth }
+          | Job_queue.Cached r ->
+              Metrics.incr_accepted t.metrics;
+              Metrics.incr_coalesced t.metrics;
+              finish r
+          | Job_queue.Coalesced ticket ->
+              Metrics.incr_accepted t.metrics;
+              Metrics.incr_coalesced t.metrics;
+              await ticket
+          | Job_queue.Enqueued ticket ->
+              Metrics.incr_accepted t.metrics;
+              await ticket))
+
+(* Peer store exchange.  [Store_get] never computes — it answers from the
+   local artifact store or says so.  [Store_put] validates the offered
+   envelope (magic, kind, CRC) before letting it anywhere near disk: a
+   corrupt push is acked [false] and discarded, so one bad peer cannot
+   poison a store. *)
+let handle_store_get t key =
+  match t.store with
+  | None -> Protocol.Store_missing
+  | Some store -> (
+      match Dl_store.Store.load store key with
+      | None -> Protocol.Store_missing
+      | Some data -> Protocol.Store_found (Bytes.to_string data))
+
+let handle_store_put t ~key ~data =
+  match t.store with
+  | None -> Protocol.Store_ack false
+  | Some store -> (
+      let bytes = Bytes.of_string data in
+      match Dl_store.Codec.inspect ~check_crc:true bytes with
+      | Error _ -> Protocol.Store_ack false
+      | Ok (kind, version) ->
+          Dl_store.Store.put store ~key ~kind ~version bytes;
+          Protocol.Store_ack true)
 
 let stats t =
   Metrics.snapshot t.metrics ~queue_depth:(Job_queue.depth t.queue)
@@ -144,6 +267,9 @@ let handle t = function
   | Protocol.Ping -> Protocol.Pong
   | Protocol.Get_stats -> Protocol.Stats_reply (stats t)
   | Protocol.Submit spec -> handle_submit t spec
+  | Protocol.Serve_stage { spec; stage } -> handle_serve_stage t spec ~stage
+  | Protocol.Store_get key -> handle_store_get t key
+  | Protocol.Store_put { key; data } -> handle_store_put t ~key ~data
   | Protocol.Shutdown -> Protocol.Stats_reply (stats t)
 
 (* --- connection threads -------------------------------------------------- *)
@@ -157,7 +283,10 @@ let close_conn t conn =
 
 let conn_loop t conn =
   let rec loop () =
-    match Protocol.recv ~max_frame:t.cfg.max_frame Protocol.request_codec conn.fd with
+    match
+      Protocol.recv ~max_frame:t.cfg.max_frame
+        ?deadline_s:t.cfg.read_deadline_s Protocol.request_codec conn.fd
+    with
     | None -> ()
     | Some req ->
         locked t (fun () -> conn.busy <- true);
@@ -206,6 +335,12 @@ let worker_loop t () =
      so pools are owned, never shared, and reused across jobs. *)
   let pool = Parallel.create ~domains:t.cfg.domains_per_worker () in
   Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
+  let stage_outcome : Dl_store.Stage.outcome -> Protocol.stage_outcome =
+    function
+    | Dl_store.Stage.Hit -> Protocol.Stage_hit
+    | Dl_store.Stage.Fetched -> Protocol.Stage_fetched
+    | Dl_store.Stage.Miss | Dl_store.Stage.Uncached -> Protocol.Stage_computed
+  in
   let rec loop () =
     match Job_queue.next t.queue with
     | `Drained -> ()
@@ -214,10 +349,34 @@ let worker_loop t () =
         Metrics.incr_executed t.metrics;
         let result =
           try
-            let cfg = Job_queue.payload job in
-            let cfg = { cfg with Experiment.pool = Some pool } in
-            let e = Experiment.run cfg in
-            Ok (Protocol.payload_of_experiment ~key:(Job_queue.key job) e)
+            match Job_queue.payload job with
+            | Run_full cfg ->
+                let cfg = { cfg with Experiment.pool = Some pool } in
+                let e = Experiment.run cfg in
+                Ok
+                  (Full_result
+                     (Protocol.payload_of_experiment
+                        ~key:(Experiment.request_key cfg) e))
+            | Run_stage (cfg, stage) -> (
+                let cfg = { cfg with Experiment.pool = Some pool } in
+                let reports = Experiment.run_stage cfg ~stage in
+                match
+                  List.find_opt
+                    (fun (r : Dl_store.Stage.report) -> r.stage = stage)
+                    (List.rev reports)
+                with
+                | Some r ->
+                    Ok
+                      (Stage_result
+                         {
+                           stage;
+                           key = r.key;
+                           outcome = stage_outcome r.outcome;
+                           seconds = r.seconds;
+                         })
+                | None ->
+                    Error
+                      (Printf.sprintf "stage %S produced no report" stage))
           with exn ->
             Metrics.incr_failed t.metrics;
             Error (Printexc.to_string exn)
@@ -255,10 +414,8 @@ let do_stop t =
      Linux; the throwaway connect covers platforms where it does not. *)
   (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE
    with Unix.Unix_error _ -> ());
-  (let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-   (try Unix.connect probe (Unix.ADDR_UNIX t.cfg.socket_path)
-    with Unix.Unix_error _ -> ());
-   try Unix.close probe with Unix.Unix_error _ -> ());
+  (try Transport.close_quietly (Transport.connect ~timeout_s:1.0 t.bound)
+   with Unix.Unix_error _ -> ());
   Option.iter Thread.join t.accept_thread;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (* Workers drain every queued and running job, publishing all results. *)
@@ -281,7 +438,10 @@ let do_stop t =
     conns;
   List.iter (fun c -> Option.iter Thread.join c.thread) conns;
   Job_queue.shutdown t.queue;
-  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  (match t.cfg.listen with
+  | Transport.Unix_socket path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Transport.Tcp _ -> ());
   locked t (fun () ->
       t.state <- Stopped;
       Condition.broadcast t.cond)
@@ -300,17 +460,18 @@ let supervisor_loop t =
   loop ()
 
 let start cfg =
-  prepare_socket cfg.socket_path;
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path)
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
-  Unix.listen listen_fd 64;
+  (match cfg.listen with
+  | Transport.Unix_socket path -> prepare_socket path
+  | Transport.Tcp _ -> ());
+  let listen_fd = Transport.listen cfg.listen in
+  let bound = Transport.bound_endpoint listen_fd cfg.listen in
+  let store = Option.map Dl_store.Store.open_ cfg.cache_dir in
   let t =
     {
       cfg;
       listen_fd;
+      bound;
+      store;
       queue =
         Job_queue.create ~cache_capacity:cfg.cache_capacity
           ~capacity:cfg.queue_capacity ();
@@ -331,6 +492,7 @@ let start cfg =
   t.supervisor <- Some (Thread.create supervisor_loop t);
   t
 
+let bound t = t.bound
 let request_stop t = Atomic.set t.stop_flag true
 
 let wait t =

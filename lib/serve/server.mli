@@ -1,5 +1,5 @@
-(** The projection daemon: a Unix-domain-socket listener in front of
-    {!Job_queue} and {!Dl_core.Experiment.run}.
+(** The projection daemon: a stream-socket listener ({!Transport} — Unix
+    domain or TCP) in front of {!Job_queue} and {!Dl_core.Experiment.run}.
 
     Thread anatomy: one accept thread; one connection thread per client
     (it decodes frames, admits jobs, blocks in {!Job_queue.await} and
@@ -16,33 +16,49 @@
     connections, join everything and unlink the socket. *)
 
 type config = {
-  socket_path : string;
+  listen : Transport.endpoint;
   workers : int;            (** Scheduler threads = concurrent jobs. *)
   queue_capacity : int;     (** Bound on queued (not running) jobs. *)
   cache_capacity : int;     (** Completed-result cache entries. *)
   domains_per_worker : int; (** Size of each worker's domain pool. *)
-  cache_dir : string option;  (** Artifact store for the stage graph. *)
+  cache_dir : string option;  (** Artifact store for the stage graph and
+                                  the [Store_get]/[Store_put] peer tier. *)
   max_frame : int;
+  read_deadline_s : float option;
+      (** Per-frame read deadline on client connections: once a frame's
+          first byte arrives, the rest must follow within this bound
+          (slow-loris protection).  [None] (default) disables it. *)
+  remote : Dl_store.Stage.remote option;
+      (** Peer store tier threaded into every job's experiment config —
+          how a cluster worker fetches artifacts it misses locally
+          ({!Dl_cluster} constructs this). *)
   on_job_start : (string -> unit) option;
-      (** Test hook: called with the request key just before a job
-          executes (after dispatch, before any stage runs). *)
+      (** Test hook: called with the queue key (["full/<request key>"] or
+          ["stage/<stage key>"]) just before a job executes (after
+          dispatch, before any stage runs). *)
 }
 
 val config :
   ?workers:int -> ?queue_capacity:int -> ?cache_capacity:int ->
   ?domains_per_worker:int -> ?cache_dir:string -> ?max_frame:int ->
-  ?on_job_start:(string -> unit) -> socket:string -> unit -> config
+  ?read_deadline_s:float -> ?remote:Dl_store.Stage.remote ->
+  ?on_job_start:(string -> unit) -> listen:Transport.endpoint -> unit ->
+  config
 (** Defaults: 1 worker, queue 16, cache 32,
     [Dl_util.Parallel.default_domains ()] domains per worker,
-    {!Protocol.default_max_frame}. *)
+    {!Protocol.default_max_frame}, no read deadline, no peer tier. *)
 
 type t
 
 val start : config -> t
-(** Bind and serve.  A stale socket file (left by a crashed server) is
-    removed after probing that nothing answers on it; a {e live} socket
+(** Bind and serve.  A stale Unix-socket file (left by a crashed server)
+    is removed after probing that nothing answers on it; a {e live} socket
     raises [Failure] instead of stealing the address.
     @raise Unix.Unix_error on bind/listen failures. *)
+
+val bound : t -> Transport.endpoint
+(** The endpoint actually listening — binding [Tcp (host, 0)] resolves to
+    the kernel-assigned port. *)
 
 val stop : t -> unit
 (** Request the graceful drain and block until the server has fully shut

@@ -1,10 +1,19 @@
-type outcome = Hit | Miss | Uncached
+type outcome = Hit | Fetched | Miss | Uncached
 
 type report = { stage : string; key : string; outcome : outcome; seconds : float }
 
-type t = { store : Store.t option; mutable rev_reports : report list }
+type remote = {
+  fetch : string -> bytes option;
+  publish : string -> bytes -> unit;
+}
 
-let create ?store () = { store; rev_reports = [] }
+type t = {
+  store : Store.t option;
+  remote : remote option;
+  mutable rev_reports : report list;
+}
+
+let create ?store ?remote () = { store; remote; rev_reports = [] }
 let store t = t.store
 
 let key ~stage ~codec ~config ~inputs =
@@ -33,6 +42,32 @@ let key ~stage ~codec ~config ~inputs =
 let record t ~stage ~key ~outcome ~seconds =
   t.rev_reports <- { stage; key; outcome; seconds } :: t.rev_reports
 
+(* Peer fetch-through: a remote answer only counts if it decodes as the
+   expected artifact — a peer serving garbage (or a different codec
+   version) degrades to a local compute, never an error.  A good answer
+   is persisted locally so the next run is a plain hit. *)
+let try_fetch t ~key ~codec =
+  match t.remote with
+  | None -> None
+  | Some remote -> (
+      match (try remote.fetch key with _ -> None) with
+      | None -> None
+      | Some data -> (
+          match Codec.of_bytes codec data with
+          | Error _ -> None
+          | Ok value ->
+              (match t.store with
+              | None -> ()
+              | Some store ->
+                  Store.put store ~key ~kind:codec.Codec.kind
+                    ~version:codec.Codec.version data);
+              Some value))
+
+let try_publish t ~key data =
+  match t.remote with
+  | None -> ()
+  | Some remote -> ( try remote.publish key data with _ -> ())
+
 let run t ~stage ~codec ?(config = []) ~inputs f =
   let key = key ~stage ~codec ~config ~inputs in
   let t0 = Unix.gettimeofday () in
@@ -41,13 +76,18 @@ let run t ~stage ~codec ?(config = []) ~inputs f =
     (value, key)
   in
   let compute_and_store outcome =
-    let value = f () in
-    (match t.store with
-    | None -> ()
-    | Some store ->
-        Store.put store ~key ~kind:codec.Codec.kind ~version:codec.Codec.version
-          (Codec.to_bytes codec value));
-    finish outcome value
+    match try_fetch t ~key ~codec with
+    | Some value -> finish Fetched value
+    | None ->
+        let value = f () in
+        let data = Codec.to_bytes codec value in
+        (match t.store with
+        | None -> ()
+        | Some store ->
+            Store.put store ~key ~kind:codec.Codec.kind
+              ~version:codec.Codec.version data);
+        try_publish t ~key data;
+        finish outcome value
   in
   match t.store with
   | None -> compute_and_store Uncached
@@ -64,11 +104,12 @@ let run t ~stage ~codec ?(config = []) ~inputs f =
 
 let reports t = List.rev t.rev_reports
 
-let hits t =
-  List.length (List.filter (fun r -> r.outcome = Hit) (reports t))
+let cached r = r.outcome = Hit || r.outcome = Fetched
+
+let hits t = List.length (List.filter cached (reports t))
 
 let misses t =
-  List.length (List.filter (fun r -> r.outcome <> Hit) (reports t))
+  List.length (List.filter (fun r -> not (cached r)) (reports t))
 
 let pp_reports ppf reports =
   Format.fprintf ppf "@[<v>";
@@ -78,6 +119,7 @@ let pp_reports ppf reports =
         r.stage
         (match r.outcome with
         | Hit -> "hit"
+        | Fetched -> "fetch"
         | Miss -> "miss"
         | Uncached -> "-")
         r.seconds

@@ -11,7 +11,8 @@
     what key-invalidation tests assert on). *)
 
 type outcome =
-  | Hit       (** Loaded from the store. *)
+  | Hit       (** Loaded from the local store. *)
+  | Fetched   (** Fetched from a peer store (and persisted locally). *)
   | Miss      (** Computed (and stored, when a store is attached). *)
   | Uncached  (** Computed; no store attached. *)
 
@@ -25,7 +26,17 @@ type report = {
 
 type t
 
-val create : ?store:Store.t -> unit -> t
+(** Peer tier for cluster fetch-through.  [fetch key] asks peer stores
+    for the codec-enveloped artifact bytes before a local compute;
+    [publish key data] pushes a freshly computed artifact toward the
+    key's home node.  Both are best-effort: any exception they raise is
+    swallowed and the stage proceeds as a plain miss/store. *)
+type remote = {
+  fetch : string -> bytes option;
+  publish : string -> bytes -> unit;
+}
+
+val create : ?store:Store.t -> ?remote:remote -> unit -> t
 val store : t -> Store.t option
 
 val key :
@@ -47,12 +58,17 @@ val run :
   'a * string
 (** [(value, key)].  On a decode failure (bad checksum, stale version,
     malformed payload) the on-disk artifact is removed and the stage
-    recomputes — corruption degrades to a miss, never an error. *)
+    recomputes — corruption degrades to a miss, never an error.  When a
+    [remote] tier is attached, a local miss first tries [remote.fetch]
+    (a validated answer is persisted locally and reported {!Fetched});
+    a computed artifact is offered to [remote.publish] best-effort. *)
 
 val reports : t -> report list
 (** In execution order. *)
 
 val hits : t -> int
+(** [Hit] + [Fetched] outcomes — answers that skipped the compute. *)
+
 val misses : t -> int
 (** [Miss] + [Uncached] outcomes. *)
 

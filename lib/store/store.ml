@@ -52,12 +52,19 @@ let append_manifest t ~key ~kind ~version ~bytes =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Printf.fprintf oc "%s %s %d %d\n" key kind version bytes)
 
+(* The pid alone is not enough to make tmp names unique: server worker
+   threads share a process and may put the same key concurrently (e.g. a
+   peer push racing a local compute). *)
+let put_seq = Atomic.make 0
+
 let put t ~key ~kind ~version data =
   let path = object_path t key in
   mkdir_p (Filename.dirname path);
   let tmp =
     Filename.concat (Filename.dirname path)
-      (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) (Filename.basename path))
+      (Printf.sprintf ".tmp.%d.%d.%s" (Unix.getpid ())
+         (Atomic.fetch_and_add put_seq 1)
+         (Filename.basename path))
   in
   let oc = open_out_bin tmp in
   (try

@@ -944,6 +944,124 @@ let test_c1908s_secded () =
       Alcotest.failf "check-bit flip ic%d miscorrected data" j
   done
 
+let test_c2670s_interface () =
+  let c = Benchmarks.c2670s () in
+  Alcotest.(check int) "c2670s inputs" 233 (Circuit.input_count c);
+  Alcotest.(check int) "c2670s outputs" 140 (Array.length c.Circuit.outputs);
+  Alcotest.(check int) "c2670s nodes" 1106 (Array.length c.Circuit.nodes);
+  (* the XOR expansion must leave a NAND-dominated netlist, like the
+     NAND-level ISCAS original *)
+  let nands =
+    Array.fold_left
+      (fun acc (nd : Circuit.node) ->
+        if nd.kind = Gate.Nand then acc + 1 else acc)
+      0 c.Circuit.nodes
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "NAND-dominated (%d NANDs)" nands)
+    true
+    (nands * 2 > Array.length c.Circuit.nodes)
+
+let test_c2670s_alu () =
+  let c = Benchmarks.c2670s () in
+  let bits prefix width value =
+    List.filter_map
+      (fun i ->
+        if value lsr i land 1 = 1 then Some (Printf.sprintf "%s%d" prefix i)
+        else None)
+      (List.init width Fun.id)
+  in
+  let word out prefix width =
+    List.fold_left
+      (fun acc i ->
+        acc
+        lor ((if out_bit c out (Printf.sprintf "%s%d" prefix i) then 1 else 0)
+             lsl i))
+      0 (List.init width Fun.id)
+  in
+  (* adder: s = a + b + cin over 12 bits, with carry-out and zero flag *)
+  List.iter
+    (fun (a, b, cin) ->
+      let high = bits "a" 12 a @ bits "b" 12 b @ if cin then [ "cin" ] else [] in
+      let out = outputs_for c high in
+      let total = a + b + if cin then 1 else 0 in
+      Alcotest.(check int)
+        (Printf.sprintf "sum %d+%d" a b)
+        (total land 0xfff) (word out "s" 12);
+      Alcotest.(check bool)
+        (Printf.sprintf "cout %d+%d" a b)
+        (total > 0xfff) (out_bit c out "cout");
+      Alcotest.(check bool)
+        (Printf.sprintf "zero %d+%d" a b)
+        (total land 0xfff = 0)
+        (out_bit c out "zero"))
+    [ (0, 0, false); (1, 2, false); (4095, 1, false); (2730, 1365, true);
+      (4095, 4095, true) ]
+  ;
+  (* comparator of the sum against e, gated by cmp_en *)
+  let cmp a e =
+    let out = outputs_for c (bits "a" 12 a @ bits "e" 12 e @ [ "cmp_en" ]) in
+    ( out_bit c out "eq", out_bit c out "gt", out_bit c out "lt" )
+  in
+  Alcotest.(check (triple bool bool bool)) "100 = 100" (true, false, false)
+    (cmp 100 100);
+  Alcotest.(check (triple bool bool bool)) "200 > 100" (false, true, false)
+    (cmp 200 100);
+  Alcotest.(check (triple bool bool bool)) "100 < 200" (false, false, true)
+    (cmp 100 200);
+  let ungated = outputs_for c (bits "a" 12 7 @ bits "e" 12 7) in
+  Alcotest.(check bool) "eq gated off without cmp_en" false
+    (out_bit c ungated "eq")
+
+let test_c2670s_masks_and_control () =
+  let c = Benchmarks.c2670s () in
+  let bits prefix width value =
+    List.filter_map
+      (fun i ->
+        if value lsr i land 1 = 1 then Some (Printf.sprintf "%s%d" prefix i)
+        else None)
+      (List.init width Fun.id)
+  in
+  (* mask arrays: g = m xor k bitwise; h rides on the even g bits *)
+  let out = outputs_for c [ "m3"; "k3"; "m7"; "k9"; "p0"; "p3"; "m6" ] in
+  Alcotest.(check bool) "g3 = m3 xor k3 (both high)" false
+    (out_bit c out "g3");
+  Alcotest.(check bool) "g7 = m7" true (out_bit c out "g7");
+  Alcotest.(check bool) "g9 = k9" true (out_bit c out "g9");
+  Alcotest.(check bool) "h0 = p0 (g0 low)" true (out_bit c out "h0");
+  Alcotest.(check bool) "h3 = p3 xor g6" false (out_bit c out "h3");
+  (* control decoder keyed into the slice parities: with the g bus all
+     zero, par_t mirrors the decoded ctl value and nothing else *)
+  List.iter
+    (fun t ->
+      let out = outputs_for c (bits "ctl" 3 t) in
+      List.iter
+        (fun j ->
+          Alcotest.(check bool)
+            (Printf.sprintf "par%d under ctl=%d" j t)
+            (j = t)
+            (out_bit c out (Printf.sprintf "par%d" j)))
+        (List.init 8 Fun.id);
+      Alcotest.(check bool)
+        (Printf.sprintf "parall under ctl=%d" t)
+        true
+        (out_bit c out "parall"))
+    [ 0; 3; 5; 7 ];
+  (* equality bank *)
+  let out = outputs_for c (bits "q" 16 0xbeef @ bits "r" 16 0xbeef) in
+  Alcotest.(check bool) "qeq_all on equal buses" true
+    (out_bit c out "qeq_all");
+  let out = outputs_for c (bits "q" 16 0xbeef @ bits "r" 16 0xbee7) in
+  Alcotest.(check bool) "qeq3 sees the differing bit" false
+    (out_bit c out "qeq3");
+  Alcotest.(check bool) "qeq_all off on differing buses" false
+    (out_bit c out "qeq_all");
+  (* flags *)
+  Alcotest.(check bool) "valid under ctl1" true
+    (out_bit c (outputs_for c [ "ctl1" ]) "valid");
+  Alcotest.(check bool) "idle: not valid" false
+    (out_bit c (outputs_for c []) "valid")
+
 let () =
   Alcotest.run "dl_netlist"
     [
@@ -1036,6 +1154,12 @@ let () =
           Alcotest.test_case "c1908s interface" `Quick test_c1908s_interface;
           Alcotest.test_case "c1908s SEC/DED behavior" `Quick
             test_c1908s_secded;
+          Alcotest.test_case "c2670s interface + NAND mix" `Quick
+            test_c2670s_interface;
+          Alcotest.test_case "c2670s adder + comparator" `Quick
+            test_c2670s_alu;
+          Alcotest.test_case "c2670s masks, decoder, equality bank" `Quick
+            test_c2670s_masks_and_control;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

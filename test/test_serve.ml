@@ -10,6 +10,9 @@ module P = Dl_serve.Protocol
 module Job_queue = Dl_serve.Job_queue
 module Server = Dl_serve.Server
 module Client = Dl_serve.Client
+module Transport = Dl_serve.Transport
+
+let ep path = Transport.Unix_socket path
 module Codec = Dl_store.Codec
 module Experiment = Dl_core.Experiment
 
@@ -357,7 +360,7 @@ let with_server ?(workers = 1) ?(queue_capacity = 16) ?on_job_start f =
   let socket = tmp_socket () in
   let cfg =
     Server.config ~workers ~queue_capacity ~domains_per_worker:1 ?on_job_start
-      ~socket ()
+      ~listen:(ep socket) ()
   in
   let server = Server.start cfg in
   Fun.protect
@@ -370,11 +373,11 @@ let submit_result client spec =
   | P.Rejected _ -> Alcotest.fail "submission rejected"
   | P.Expired -> Alcotest.fail "submission expired"
   | P.Server_error m -> Alcotest.failf "server error: %s" m
-  | P.Pong | P.Stats_reply _ -> Alcotest.fail "wrong reply kind"
+  | _ -> Alcotest.fail "wrong reply kind"
 
 let test_server_ping_and_unknown () =
   with_server (fun _server socket ->
-      Client.with_client socket (fun c ->
+      Client.with_client (ep socket) (fun c ->
           Alcotest.(check bool) "pong" true (Client.ping c);
           match Client.submit c (P.job_spec (P.Builtin "nonesuch")) with
           | P.Server_error msg ->
@@ -385,7 +388,7 @@ let test_server_ping_and_unknown () =
 
 let test_server_bit_identical_and_inline () =
   with_server (fun _server socket ->
-      Client.with_client socket (fun c ->
+      Client.with_client (ep socket) (fun c ->
           let served = submit_result c quick_spec in
           let direct =
             Experiment.run
@@ -443,7 +446,7 @@ let test_server_concurrent_coalescing () =
       Fun.protect ~finally:(fun () -> Atomic.set release true) @@ fun () ->
       let results = Array.make 2 None in
       let submitter i () =
-        Client.with_client socket (fun c ->
+        Client.with_client (ep socket) (fun c ->
             results.(i) <- Some (submit_result c quick_spec))
       in
       let threads = Array.init 2 (fun i -> Thread.create (submitter i) ()) in
@@ -489,7 +492,7 @@ let test_server_queue_full_rejects () =
       let submitter i =
         Thread.create
           (fun () ->
-            Client.with_client socket (fun c ->
+            Client.with_client (ep socket) (fun c ->
                 results.(i) <- Some (Client.submit c specs.(i))))
           ()
       in
@@ -505,7 +508,7 @@ let test_server_queue_full_rejects () =
       (* the queue is full: the third distinct request must be rejected
          immediately, not block *)
       let t0 = Unix.gettimeofday () in
-      (Client.with_client socket @@ fun c ->
+      (Client.with_client (ep socket) @@ fun c ->
        match Client.submit c specs.(2) with
        | P.Rejected { retry_after_ms; queue_depth } ->
            Alcotest.(check int) "reported queue depth" 1 queue_depth;
@@ -535,13 +538,13 @@ let test_server_deadline_expires_queued_job () =
   with_server ~on_job_start (fun server socket ->
       Fun.protect ~finally:(fun () -> Atomic.set release true) @@ fun () ->
       let blocker = Thread.create (fun () ->
-          Client.with_client socket (fun c ->
+          Client.with_client (ep socket) (fun c ->
               ignore (Client.submit c quick_spec))) ()
       in
       wait_for "blocker dispatched" (fun () ->
           (Server.stats server).P.in_flight = 1);
       (* behind the blocked worker, a 50 ms deadline cannot be met *)
-      (Client.with_client socket @@ fun c ->
+      (Client.with_client (ep socket) @@ fun c ->
        match
          Client.submit c
            (P.job_spec ~seed:999 ~max_random_vectors:32 ~deadline_ms:50
@@ -565,14 +568,14 @@ let test_server_sigterm_drains () =
     Unix.kill (Unix.getpid ()) Sys.sigterm
   in
   let cfg =
-    Server.config ~workers:1 ~domains_per_worker:1 ~on_job_start ~socket ()
+    Server.config ~workers:1 ~domains_per_worker:1 ~on_job_start ~listen:(ep socket) ()
   in
   let runner = Thread.create (fun () -> Server.run cfg) () in
   let deadline = Unix.gettimeofday () +. 5.0 in
   while not (Sys.file_exists socket) && Unix.gettimeofday () < deadline do
     Thread.delay 0.005
   done;
-  Client.with_client socket (fun c ->
+  Client.with_client (ep socket) (fun c ->
       served_ref := Some (submit_result c quick_spec));
   Thread.join runner;
   (match !served_ref with
@@ -589,12 +592,12 @@ let test_server_stale_socket_recovery () =
   let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind dead (Unix.ADDR_UNIX socket);
   Unix.close dead;
-  let cfg = Server.config ~domains_per_worker:1 ~socket () in
+  let cfg = Server.config ~domains_per_worker:1 ~listen:(ep socket) () in
   let server = Server.start cfg in
   Fun.protect
     ~finally:(fun () -> Server.stop server)
     (fun () ->
-      Client.with_client socket (fun c ->
+      Client.with_client (ep socket) (fun c ->
           Alcotest.(check bool) "recovered and serving" true (Client.ping c));
       (* a live server must not be stolen from *)
       match Server.start cfg with
