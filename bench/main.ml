@@ -9,14 +9,15 @@
 
    Sections: fig1 fig2 fig3 fig4 fig5 fig6 examples ablation delay
    quality resistive stability sweep clustered lot par kernel store serve
-   micro
+   micro mc
 
    The [kernel] section additionally writes BENCH_fault_sim.json
    (machine-readable old-vs-new throughput gate) to the working directory
    or to $BENCH_FAULT_SIM_JSON; [store] likewise writes BENCH_store.json
    (cold-vs-warm artifact-cache gate) or $BENCH_STORE_JSON; [serve] writes
    BENCH_serve.json (concurrent loopback daemon gate) or
-   $BENCH_SERVE_JSON. *)
+   $BENCH_SERVE_JSON; [mc] writes BENCH_mc.json (Monte-Carlo throughput
+   and uncertainty-band gate) or $BENCH_MC_JSON. *)
 
 open Dl_core
 module Coverage = Dl_fault.Coverage
@@ -1393,6 +1394,125 @@ let micro () =
     (List.sort compare !rows);
   Table.print table
 
+(* --------------------------------------------------------------- mc bench *)
+
+(* Statistical-layer gate: Monte-Carlo wafer simulation throughput plus
+   sanity of the uncertainty summaries on the real c432s pipeline.  Gates:
+   (a) Wafer_mc.simulate sustains a minimum dies/sec over the extracted
+   weight universe, (b) every MC band contains the paper's closed-form
+   point estimate (eq. 3) between its 5% and 95% per-wafer quantiles, and
+   (c) the bootstrap CIs contain their own full-data point estimates.
+   Writes the machine-readable BENCH_mc.json (or $BENCH_MC_JSON). *)
+let mc_bench () =
+  section_banner "MC" "wafer Monte-Carlo + bootstrap gates (c432s)";
+  let c = Dl_netlist.Benchmarks.c432s () in
+  let mc = Experiment.mc ~dies:20_000 () in
+  Printf.printf "[pipeline with --mc-dies 20000 --bootstrap 100...]\n%!";
+  let t0 = Unix.gettimeofday () in
+  let e =
+    Experiment.run
+      (Experiment.config ~seed:7 ~max_random_vectors:256 ~mc ~bootstrap:100 c)
+  in
+  let pipeline_s = Unix.gettimeofday () -. t0 in
+  let m = Option.get e.Experiment.wafer_mc in
+  let b = Option.get e.Experiment.bootstrap_fit in
+  (* Throughput: re-run the simulator alone over the same universe. *)
+  let firsts =
+    Array.map
+      (fun (d : Dl_switch.Swift.detection) -> d.voltage)
+      e.Experiment.swift_result.detection
+  in
+  let points =
+    Array.map
+      (fun (b : Wafer_mc.band) -> (b.k, b.coverage))
+      m.Wafer_mc.bands
+  in
+  let dies = 50_000 in
+  let t0 = Unix.gettimeofday () in
+  let timed =
+    Wafer_mc.simulate
+      ~seeds:(Dl_util.Seeds.scope (Dl_util.Seeds.create 7) "bench-mc")
+      ~dies ~weights:e.Experiment.scaled_weights ~firsts ~points ()
+  in
+  let mc_s = Unix.gettimeofday () -. t0 in
+  let dies_per_s = float_of_int dies /. mc_s in
+  Printf.printf
+    "pipeline %.2f s; standalone MC: %d dies x %d points in %.3f s = %.0f \
+     dies/s (observed yield %.4f)\n"
+    pipeline_s dies (Array.length points) mc_s dies_per_s
+    (Wafer_mc.observed_yield timed);
+  let final = Wafer_mc.final_band m in
+  Printf.printf
+    "final band (k=%d, theta=%.4f): DL %.1f ppm in [%.1f, %.1f] ppm; \
+     closed form %.1f ppm\n"
+    final.Wafer_mc.k final.Wafer_mc.coverage
+    (1e6 *. final.Wafer_mc.dl_point)
+    (1e6 *. final.Wafer_mc.dl_q05)
+    (1e6 *. final.Wafer_mc.dl_q95)
+    (1e6
+    *. Weighted.defect_level ~yield:e.Experiment.yield
+         ~theta:final.Wafer_mc.coverage);
+  Printf.printf
+    "bootstrap (%d replicates): R %.3f in [%.3f, %.3f], thetamax %.4f in \
+     [%.4f, %.4f]\n"
+    b.Bootstrap.replicates b.Bootstrap.point.Projection.params.r
+    b.Bootstrap.r.Bootstrap.lo b.Bootstrap.r.Bootstrap.hi
+    b.Bootstrap.point.Projection.params.theta_max
+    b.Bootstrap.theta_max.Bootstrap.lo b.Bootstrap.theta_max.Bootstrap.hi;
+  let bad_band =
+    Array.find_opt
+      (fun (band : Wafer_mc.band) ->
+        let closed =
+          Weighted.defect_level ~yield:e.Experiment.yield
+            ~theta:band.Wafer_mc.coverage
+        in
+        not
+          (band.Wafer_mc.dl_q05 <= closed && closed <= band.Wafer_mc.dl_q95))
+      m.Wafer_mc.bands
+  in
+  let ci_ok =
+    Bootstrap.contains b.Bootstrap.r b.Bootstrap.point.Projection.params.r
+    && Bootstrap.contains b.Bootstrap.theta_max
+         b.Bootstrap.point.Projection.params.theta_max
+  in
+  let json_path =
+    match Sys.getenv_opt "BENCH_MC_JSON" with
+    | Some p -> p
+    | None -> "BENCH_mc.json"
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"section\": \"mc\", \"dies\": %d, \"mc_s\": %.3f, \"dies_per_s\": \
+     %.0f, \"pipeline_s\": %.2f, \"bands\": %d, \"band_contains_point\": %b, \
+     \"bootstrap_ci_contains_point\": %b}\n"
+    dies mc_s dies_per_s pipeline_s (Array.length m.Wafer_mc.bands)
+    (bad_band = None) ci_ok;
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  let failed = ref false in
+  let min_dies_per_s = 20_000.0 in
+  if dies_per_s < min_dies_per_s then begin
+    Printf.eprintf "FAIL: %.0f dies/s below the %.0f dies/s floor\n" dies_per_s
+      min_dies_per_s;
+    failed := true
+  end;
+  (match bad_band with
+  | Some band ->
+      Printf.eprintf
+        "FAIL: band at k=%d does not contain the closed-form point estimate\n"
+        band.Wafer_mc.k;
+      failed := true
+  | None -> ());
+  if not ci_ok then begin
+    Printf.eprintf
+      "FAIL: bootstrap CI does not contain its own point estimate\n";
+    failed := true
+  end;
+  if !failed then exit 1;
+  print_endline
+    "gate: MC throughput above floor; bands bracket the closed form; \
+     bootstrap CIs bracket their point estimates."
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -1419,6 +1539,7 @@ let sections =
     ("serve-load", serve_load_bench);
     ("cluster", cluster_bench);
     ("micro", micro);
+    ("mc", mc_bench);
   ]
 
 let () =

@@ -202,9 +202,66 @@ let project_cmd =
 
 (* -------------------------------------------------------------- pipeline *)
 
+(* JSON fragments for the optional statistical stages, spliced into the
+   served-response object (where null means "stage not run" and an
+   infinite alpha renders as null = unclustered). *)
+let json_float_or_null v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let wafer_mc_json (m : Dl_core.Wafer_mc.t) =
+  let bands =
+    m.bands
+    |> Array.map (fun (b : Dl_core.Wafer_mc.band) ->
+           Printf.sprintf
+             "{\"k\": %d, \"theta\": %s, \"dl\": %s, \"q05\": %s, \"q50\": \
+              %s, \"q95\": %s}"
+             b.k
+             (json_float_or_null b.coverage)
+             (json_float_or_null b.dl_point)
+             (json_float_or_null b.dl_q05)
+             (json_float_or_null b.dl_q50)
+             (json_float_or_null b.dl_q95))
+    |> Array.to_list |> String.concat ", "
+  in
+  Printf.sprintf
+    "{\"dies\": %d, \"wafers\": %d, \"lots\": %d, \"alpha_wafer\": %s, \
+     \"alpha_lot\": %s, \"observed_yield\": %s, \"bands\": [%s]}"
+    m.dies m.wafers m.lots
+    (json_float_or_null m.alpha_wafer)
+    (json_float_or_null m.alpha_lot)
+    (json_float_or_null (Dl_core.Wafer_mc.observed_yield m))
+    bands
+
+let bootstrap_json (b : Dl_core.Bootstrap.t) =
+  let ci (c : Dl_core.Bootstrap.ci) =
+    Printf.sprintf "{\"lo\": %s, \"median\": %s, \"hi\": %s}"
+      (json_float_or_null c.lo)
+      (json_float_or_null c.median)
+      (json_float_or_null c.hi)
+  in
+  Printf.sprintf
+    "{\"replicates\": %d, \"r\": {\"point\": %s, \"ci\": %s}, \"theta_max\": \
+     {\"point\": %s, \"ci\": %s}, \"alpha\": {\"point\": %s, \"ci\": %s}}"
+    b.replicates
+    (json_float_or_null b.point.Dl_core.Projection.params.r)
+    (ci b.r)
+    (json_float_or_null b.point.Dl_core.Projection.params.theta_max)
+    (ci b.theta_max)
+    (json_float_or_null b.alpha_point)
+    (ci b.alpha)
+
+(* The served-response JSON is a single flat object; extend it in place
+   rather than wrapping, so consumers of the core schema keep working. *)
+let splice_json base extras =
+  if extras = [] then base
+  else
+    String.sub base 0 (String.length base - 1)
+    ^ ", " ^ String.concat ", " extras ^ "}"
+
 let pipeline_cmd =
   let run spec seed jobs max_random target_yield points no_collapse engine
-      sim_stats report cache json =
+      sim_stats mc_dies mc_alpha_wafer mc_alpha_lot bootstrap report cache
+      json =
     let c = load_circuit spec in
     check_writable_parent report;
     let sim_engine =
@@ -216,10 +273,27 @@ let pipeline_cmd =
                (List.map Dl_fault.Fault_sim.engine_to_string
                   Dl_fault.Fault_sim.engines))
     in
+    let mc =
+      if mc_dies = 0 then None
+      else if mc_dies < 0 then die "--mc-dies must be positive"
+      else
+        match
+          Dl_core.Experiment.mc ~alpha_wafer:mc_alpha_wafer
+            ~alpha_lot:mc_alpha_lot ~dies:mc_dies ()
+        with
+        | m -> Some m
+        | exception Invalid_argument msg -> die "%s" msg
+    in
+    let bootstrap =
+      match bootstrap with
+      | 0 -> None
+      | k when k < 0 -> die "--bootstrap must be positive"
+      | k -> Some k
+    in
     let cfg =
       Dl_core.Experiment.config ~seed ~max_random_vectors:max_random ~target_yield
         ~domains:(resolve_jobs jobs) ~collapse_faults:(not no_collapse)
-        ~sim_engine ?cache_dir:cache c
+        ~sim_engine ?cache_dir:cache ?mc ?bootstrap c
     in
     let t0 = Unix.gettimeofday () in
     let e = Dl_core.Experiment.run cfg in
@@ -240,7 +314,18 @@ let pipeline_cmd =
           service_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
         }
       in
-      print_endline (Dl_serve.Protocol.served_to_json served);
+      let extras =
+        List.filter_map Fun.id
+          [
+            Option.map
+              (fun m -> "\"wafer_mc\": " ^ wafer_mc_json m)
+              e.wafer_mc;
+            Option.map
+              (fun b -> "\"bootstrap\": " ^ bootstrap_json b)
+              e.bootstrap_fit;
+          ]
+      in
+      print_endline (splice_json (Dl_serve.Protocol.served_to_json served) extras);
       Option.iter
         (fun path ->
           Dl_core.Report.write_file path e;
@@ -269,6 +354,45 @@ let pipeline_cmd =
     Printf.printf "\nfitted eq. 11: R = %.2f, θmax = %.3f (rmse %.4f, %s)\n"
       fit.params.r fit.params.theta_max fit.rmse
       (Dl_core.Projection.rmse_unit fit.rmse_scale);
+    Option.iter
+      (fun (m : Dl_core.Wafer_mc.t) ->
+        let alpha_str a =
+          if Float.is_finite a then Printf.sprintf "%g" a else "∞"
+        in
+        Printf.printf
+          "\nMonte-Carlo wafer simulation: %d dies (%d wafers × %d, %d \
+           lots), α_wafer %s, α_lot %s, observed yield %.4f\n"
+          m.dies m.wafers m.dies_per_wafer m.lots (alpha_str m.alpha_wafer)
+          (alpha_str m.alpha_lot)
+          (Dl_core.Wafer_mc.observed_yield m);
+        let t = Table.create
+            [ ("k", Table.Right); ("Θ(k)", Table.Right);
+              ("DL point", Table.Right); ("DL 5%", Table.Right);
+              ("DL 50%", Table.Right); ("DL 95%", Table.Right) ]
+        in
+        Array.iter
+          (fun (b : Dl_core.Wafer_mc.band) ->
+            Table.add_row t
+              [ string_of_int b.k; Table.fmt_pct b.coverage;
+                Table.fmt_ppm b.dl_point; Table.fmt_ppm b.dl_q05;
+                Table.fmt_ppm b.dl_q50; Table.fmt_ppm b.dl_q95 ])
+          m.bands;
+        Table.print t)
+      e.wafer_mc;
+    Option.iter
+      (fun (b : Dl_core.Bootstrap.t) ->
+        Printf.printf
+          "\nbootstrap (%d replicates, 5–95%% percentile CIs):\n"
+          b.replicates;
+        Printf.printf "  R    = %.3f  CI [%.3f, %.3f]\n"
+          b.point.Dl_core.Projection.params.r b.r.Dl_core.Bootstrap.lo
+          b.r.hi;
+        Printf.printf "  θmax = %.4f  CI [%.4f, %.4f]\n"
+          b.point.Dl_core.Projection.params.theta_max
+          b.theta_max.Dl_core.Bootstrap.lo b.theta_max.hi;
+        Printf.printf "  α    = %.3g  CI [%.3g, %.3g]\n" b.alpha_point
+          b.alpha.Dl_core.Bootstrap.lo b.alpha.hi)
+      e.bootstrap_fit;
     match report with
     | None -> ()
     | Some path ->
@@ -324,12 +448,38 @@ let pipeline_cmd =
                  events, inferred/simulated/dropped faults, stem \
                  simulations) on stderr.")
   in
+  let mc_dies =
+    Arg.(value & opt int 0 & info [ "mc-dies" ] ~docv:"N"
+           ~doc:"Run the Monte-Carlo wafer/lot simulation over $(docv) dies \
+                 and print 5/50/95 % DL(T) bands (0 = off).  Draws are \
+                 replayable functions of $(b,--seed); results cache as the \
+                 wafer-mc stage.")
+  in
+  let mc_alpha_wafer =
+    Arg.(value & opt float infinity & info [ "mc-alpha-wafer" ] ~docv:"A"
+           ~doc:"Wafer-level clustering parameter (gamma shape) for \
+                 $(b,--mc-dies); $(docv) = inf (default) disables \
+                 wafer-level clustering.")
+  in
+  let mc_alpha_lot =
+    Arg.(value & opt float infinity & info [ "mc-alpha-lot" ] ~docv:"A"
+           ~doc:"Lot-level clustering parameter for $(b,--mc-dies); \
+                 $(docv) = inf (default) disables lot-level clustering.")
+  in
+  let bootstrap =
+    Arg.(value & opt int 0 & info [ "bootstrap" ] ~docv:"K"
+           ~doc:"Bootstrap the (R, θmax) and clustering-α fits over $(docv) \
+                 case-resampled replicates and print percentile confidence \
+                 intervals (0 = off).  Caches as the bootstrap-fit stage.")
+  in
   Cmd.v
     (Cmd.info "pipeline" ~version
        ~doc:"Full experiment: layout, IFA, ATPG, gate+switch fault simulation, \
-             DL projection and (R, θmax) fit.")
+             DL projection and (R, θmax) fit, with optional Monte-Carlo DL \
+             bands and bootstrap confidence intervals.")
     Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ max_random $ target_yield
-          $ points $ no_collapse $ engine $ sim_stats $ report $ cache $ json)
+          $ points $ no_collapse $ engine $ sim_stats $ mc_dies
+          $ mc_alpha_wafer $ mc_alpha_lot $ bootstrap $ report $ cache $ json)
 
 (* ----------------------------------------------------------------- cache *)
 

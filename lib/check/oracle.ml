@@ -575,6 +575,204 @@ let serve_cluster ~seed =
       | P.Server_error m -> failf "cluster submit: server error: %s" m
       | _ -> failf "cluster submit: unexpected reply kind")
 
+(* --- mc-poisson-limit: Wafer_mc at infinite alphas vs closed form ------- *)
+
+module Seeds = Dl_util.Seeds
+module Rng = Dl_util.Rng
+module Weighted = Dl_core.Weighted
+module Clustered = Dl_core.Clustered
+module Wafer_mc = Dl_core.Wafer_mc
+module Bootstrap = Dl_core.Bootstrap
+
+(* A synthetic weighted fault universe with known coverage labels: [n]
+   faults, weights scaled so the Poisson yield is exactly [target_yield],
+   first detections uniform over the vector budget with a fixed
+   never-detected fraction.  Returns the scaled weights, the firsts and
+   the [(k, theta(k))] grid the MC bands are evaluated on. *)
+let synthetic_universe rng ~n ~n_vectors ~target_yield ~points =
+  let raw = Array.init n (fun _ -> Rng.float_in rng 0.2 1.0) in
+  let weights, _scale = Weighted.scale_to_yield ~weights:raw ~target_yield in
+  let firsts =
+    Array.init n (fun _ ->
+        if Rng.bernoulli rng 0.15 then None else Some (Rng.int rng n_vectors))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let theta_at k =
+    let detected = ref 0.0 in
+    Array.iteri
+      (fun j first ->
+        match first with
+        | Some v when v < k -> detected := !detected +. weights.(j)
+        | _ -> ())
+      firsts;
+    !detected /. total
+  in
+  let grid =
+    Array.init points (fun i ->
+        let k = (i + 1) * n_vectors / points in
+        (k, theta_at k))
+  in
+  (weights, firsts, grid)
+
+let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stddev a =
+  let m = mean a in
+  let s = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+  sqrt (s /. float_of_int (max 1 (Array.length a - 1)))
+
+(* Standard error of the pooled DL estimate from the per-wafer spread —
+   valid for clustered runs too, where dies within a wafer are correlated
+   and the plain binomial error underestimates. *)
+let band_tolerance (b : Wafer_mc.band) =
+  let wafers = Array.length b.wafer_dls in
+  if wafers < 2 then 0.05
+  else (5.0 *. stddev b.wafer_dls /. sqrt (float_of_int wafers)) +. 1e-4
+
+let mc_poisson_limit ~seed =
+  let target_yield = 0.75 in
+  let n_vectors = 512 in
+  let seeds = Seeds.scope (Seeds.create (9000 + abs seed)) "mc-poisson" in
+  let rng = Seeds.stream seeds "universe" in
+  let weights, firsts, grid =
+    synthetic_universe rng ~n:300 ~n_vectors ~target_yield ~points:6
+  in
+  let m =
+    Wafer_mc.simulate
+      ~seeds:(Seeds.scope seeds "sim")
+      ~dies:40_000 ~weights ~firsts ~points:grid ()
+  in
+  let y = Wafer_mc.observed_yield m in
+  if abs_float (y -. target_yield) > 0.011 then
+    failf "mc-poisson-limit: observed yield %.4f vs Poisson %.4f" y
+      target_yield
+  else
+    Array.fold_left
+      (fun acc (b : Wafer_mc.band) ->
+        if acc <> None then acc
+        else
+          let closed =
+            Weighted.defect_level ~yield:target_yield ~theta:b.coverage
+          in
+          let tol = band_tolerance b in
+          if abs_float (b.dl_point -. closed) > tol then
+            failf
+              "mc-poisson-limit: k=%d theta=%.4f: MC DL %.5f vs closed form \
+               %.5f (tol %.5f)"
+              b.k b.coverage b.dl_point closed tol
+          else if not (b.dl_q05 <= b.dl_q50 && b.dl_q50 <= b.dl_q95) then
+            failf "mc-poisson-limit: k=%d: quantiles not ordered" b.k
+          else acc)
+      None m.bands
+
+(* --- mc-clustered-consistency: single-level MC vs negative binomial ----- *)
+
+let mc_clustered_consistency ~seed =
+  let target_yield = 0.75 in
+  let n_vectors = 512 in
+  let seeds = Seeds.scope (Seeds.create (9100 + abs seed)) "mc-clustered" in
+  let rng = Seeds.stream seeds "universe" in
+  let weights, firsts, grid =
+    synthetic_universe rng ~n:300 ~n_vectors ~target_yield ~points:4
+  in
+  let lambda = Array.fold_left ( +. ) 0.0 weights in
+  let rec alphas = function
+    | [] -> None
+    | alpha :: rest -> (
+        (* Single clustering level: wafer severities gamma(alpha)/alpha,
+           lots Poisson — the per-die marginal is the negative binomial
+           with mean [lambda] and clustering [alpha]. *)
+        let m =
+          Wafer_mc.simulate ~alpha_wafer:alpha
+            ~seeds:(Seeds.scope seeds (Printf.sprintf "sim-a%g" alpha))
+            ~dies:40_000 ~weights ~firsts ~points:grid ()
+        in
+        let yield_nb = (1.0 +. (lambda /. alpha)) ** -.alpha in
+        let y = Wafer_mc.observed_yield m in
+        let y_tol =
+          (* wafer-correlated pass/fail: use the per-wafer spread of the
+             defective fraction via the widest band's sample count *)
+          5.0 *. sqrt (yield_nb *. (1.0 -. yield_nb) /. float_of_int m.wafers)
+        in
+        if abs_float (y -. yield_nb) > y_tol then
+          failf
+            "mc-clustered-consistency: alpha=%g observed yield %.4f vs NB \
+             %.4f (tol %.4f)"
+            alpha y yield_nb y_tol
+        else
+          let err =
+            Array.fold_left
+              (fun acc (b : Wafer_mc.band) ->
+                if acc <> None then acc
+                else
+                  let closed =
+                    Clustered.defect_level ~yield:yield_nb ~alpha
+                      ~coverage:b.coverage
+                  in
+                  let tol = band_tolerance b in
+                  if abs_float (b.dl_point -. closed) > tol then
+                    failf
+                      "mc-clustered-consistency: alpha=%g k=%d theta=%.4f: \
+                       MC DL %.5f vs clustered closed form %.5f (tol %.5f)"
+                      alpha b.k b.coverage b.dl_point closed tol
+                  else acc)
+              None m.bands
+          in
+          if err <> None then err else alphas rest)
+  in
+  alphas [ 0.5; 2.0; 10.0 ]
+
+(* --- bootstrap-coverage: CI coverage on synthetic eq. 9 truth ----------- *)
+
+(* Draw fault populations whose expected coverage curves follow eq. 9
+   exactly — T(k) = k/n uniform stuck firsts, realistic firsts by inverting
+   theta(T) = theta_max (1 - (1-T)^R) — then check that the 90% bootstrap
+   intervals cover the truth in most trials.  With 12 trials at nominal
+   0.9 coverage, P[fewer than 7 hits] < 1e-4 even allowing for small-sample
+   undercoverage, so the bound is robust yet discriminating. *)
+let bootstrap_coverage ~seed =
+  let r_true = 1.5 and tmax_true = 0.9 in
+  let n_vectors = 1024 and n_faults = 300 in
+  let trials = 12 and replicates = 60 in
+  let seeds = Seeds.scope (Seeds.create (9200 + abs seed)) "bootstrap-cov" in
+  let run_trial i =
+    let rng = Seeds.stream seeds (Printf.sprintf "trial-%d" i) in
+    let t_firsts =
+      Array.init n_faults (fun _ -> Some (Rng.int rng n_vectors))
+    in
+    let theta_firsts =
+      Array.init n_faults (fun _ ->
+          let u = Rng.float rng 1.0 in
+          if u >= tmax_true then None
+          else
+            let t = 1.0 -. ((1.0 -. (u /. tmax_true)) ** (1.0 /. r_true)) in
+            Some
+              (min (n_vectors - 1)
+                 (int_of_float (t *. float_of_int n_vectors))))
+    in
+    let theta_weights = Array.make n_faults 1.0 in
+    let b =
+      Bootstrap.run ~fit_points:40
+        ~seeds:(Seeds.scope seeds (Printf.sprintf "boot-%d" i))
+        ~replicates ~yield:0.75 ~t_firsts ~theta_firsts ~theta_weights
+        ~n_vectors ()
+    in
+    (Bootstrap.contains b.r r_true, Bootstrap.contains b.theta_max tmax_true)
+  in
+  let r_hits = ref 0 and tmax_hits = ref 0 in
+  for i = 0 to trials - 1 do
+    let r_in, tmax_in = run_trial i in
+    if r_in then incr r_hits;
+    if tmax_in then incr tmax_hits
+  done;
+  if !r_hits < 7 then
+    failf "bootstrap-coverage: R=%.2f covered in only %d/%d trials" r_true
+      !r_hits trials
+  else if !tmax_hits < 7 then
+    failf "bootstrap-coverage: thetamax=%.2f covered in only %d/%d trials"
+      tmax_true !tmax_hits trials
+  else None
+
 (* --- registry ----------------------------------------------------------- *)
 
 let all =
@@ -645,6 +843,21 @@ let all =
          Experiment.run; cross-worker resubmission served from the \
          distributed store";
       kind = Sweep serve_cluster };
+    { name = "mc-poisson-limit";
+      doc =
+        "Wafer_mc at infinite alphas recovers the Poisson closed form \
+         (eq. 3) within sampling error; quantiles ordered";
+      kind = Sweep mc_poisson_limit };
+    { name = "mc-clustered-consistency";
+      doc =
+        "single-level clustered Wafer_mc matches the negative-binomial \
+         closed form for alpha in {0.5, 2, 10}";
+      kind = Sweep mc_clustered_consistency };
+    { name = "bootstrap-coverage";
+      doc =
+        "90% bootstrap CIs on (R, thetamax) cover synthetic eq. 9 truth \
+         in >= 7/12 trials";
+      kind = Sweep bootstrap_coverage };
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

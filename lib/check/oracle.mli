@@ -36,7 +36,17 @@ val all : t list
     - ["serve-loopback"]: an answer served by {!Dl_serve.Server} over a
       Unix-socket loopback is bit-identical to a direct
       {!Dl_core.Experiment.run} of the same config, and an identical
-      resubmission is coalesced, not re-executed. *)
+      resubmission is coalesced, not re-executed;
+    - ["mc-poisson-limit"]: {!Dl_core.Wafer_mc.simulate} with both alphas
+      infinite recovers the Poisson closed form
+      {!Dl_core.Weighted.defect_level} within the per-wafer sampling
+      error, with ordered band quantiles;
+    - ["mc-clustered-consistency"]: single-level clustered simulation
+      matches {!Dl_core.Clustered.defect_level} against the implied
+      negative-binomial yield for several alphas;
+    - ["bootstrap-coverage"]: the 90% {!Dl_core.Bootstrap} intervals on
+      [(R, θmax)] cover a synthetic eq. 9 ground truth in at least 7 of
+      12 independent trials. *)
 
 val find : string -> t option
 val names : unit -> string list

@@ -34,12 +34,26 @@ let required_coverage ~yield ~alpha ~target_dl =
     Dl_util.Numerics.clamp01 t
   end
 
-let fit_alpha ~yield points =
+let fit_alpha ?(init = 2.0) ~yield points =
+  check ~yield ~alpha:init;
+  if points = [] then invalid_arg "Clustered.fit_alpha: no points";
+  (* Degenerate data (NaN coordinates, coverages outside [0,1]) would
+     surface as a NaN optimum; reject it up front.  Single-point and
+     zero-variance DL inputs degenerate gracefully to a finite rmse. *)
+  List.iter
+    (fun (t, dl) ->
+      if Float.is_nan t || Float.is_nan dl then
+        invalid_arg "Clustered.fit_alpha: NaN in data";
+      if not (t >= 0.0 && t <= 1.0) then
+        invalid_arg "Clustered.fit_alpha: coverage outside [0, 1]")
+    points;
   let data = Dl_util.Fit.make_data points in
   (* Fit in log-alpha space: the effect of alpha spans decades. *)
+  let lo = log 1e-2 and hi = log 1e6 in
+  let init = Float.min hi (Float.max lo (log init)) in
   let model p t = defect_level ~yield ~alpha:(exp p.(0)) ~coverage:t in
   let r =
-    Dl_util.Fit.curve_fit ~model ~lo:[| log 1e-2 |] ~hi:[| log 1e6 |]
-      ~init:[| log 2.0 |] data
+    Dl_util.Fit.curve_fit ~model ~lo:[| lo |] ~hi:[| hi |] ~init:[| init |]
+      data
   in
   (exp r.params.(0), r.rmse)

@@ -35,6 +35,10 @@ val defect_level_projected :
 val required_coverage : yield:float -> alpha:float -> target_dl:float -> float
 (** Invert {!defect_level} for the coverage reaching a DL target. *)
 
-val fit_alpha : yield:float -> (float * float) list -> float * float
-(** Least-squares fit of [alpha] to observed [(coverage, DL)] points;
-    returns [(alpha, rmse)]. *)
+val fit_alpha : ?init:float -> yield:float -> (float * float) list -> float * float
+(** Least-squares fit of [alpha] to observed [(coverage, DL)] points
+    (log-alpha simplex over [1e-2 .. 1e6], descent started at [init],
+    default 2); returns [(alpha, rmse)].  Single-point and zero-variance
+    inputs produce a finite rmse.
+    @raise Invalid_argument on an empty point list, NaN coordinates,
+    coverages outside [0, 1], yield outside (0, 1] or [init <= 0]. *)

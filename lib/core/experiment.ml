@@ -6,6 +6,36 @@ module Swift = Dl_switch.Swift
 module Stage = Dl_store.Stage
 module Artifact = Dl_store.Artifact
 
+type mc = {
+  mc_dies : int;
+  mc_dies_per_wafer : int;
+  mc_wafers_per_lot : int;
+  mc_alpha_wafer : float;
+  mc_alpha_lot : float;
+  mc_points : int;
+}
+
+let mc ?(dies_per_wafer = 256) ?(wafers_per_lot = 4) ?(alpha_wafer = infinity)
+    ?(alpha_lot = infinity) ?(points = 25) ~dies () =
+  if dies <= 0 then invalid_arg "Experiment.mc: dies must be positive";
+  if dies_per_wafer <= 0 then
+    invalid_arg "Experiment.mc: dies_per_wafer must be positive";
+  if wafers_per_lot <= 0 then
+    invalid_arg "Experiment.mc: wafers_per_lot must be positive";
+  if Float.is_nan alpha_wafer || alpha_wafer <= 0.0 then
+    invalid_arg "Experiment.mc: alpha_wafer must be positive";
+  if Float.is_nan alpha_lot || alpha_lot <= 0.0 then
+    invalid_arg "Experiment.mc: alpha_lot must be positive";
+  if points < 1 then invalid_arg "Experiment.mc: points must be >= 1";
+  {
+    mc_dies = dies;
+    mc_dies_per_wafer = dies_per_wafer;
+    mc_wafers_per_lot = wafers_per_lot;
+    mc_alpha_wafer = alpha_wafer;
+    mc_alpha_lot = alpha_lot;
+    mc_points = points;
+  }
+
 type config = {
   circuit : Circuit.t;
   seed : int;
@@ -20,18 +50,25 @@ type config = {
   sim_engine : Dl_fault.Fault_sim.engine;
   cache_dir : string option;
   remote : Stage.remote option;
+  mc : mc option;
+  bootstrap : int option;
 }
 
 let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
     ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
     ?(domains = Dl_util.Parallel.default_domains ()) ?pool
     ?(collapse_faults = true) ?(sim_engine = Dl_fault.Fault_sim.Wide)
-    ?cache_dir ?remote circuit =
+    ?cache_dir ?remote ?mc ?bootstrap circuit =
   if not (target_yield > 0.0 && target_yield < 1.0) then
     invalid_arg "Experiment.config: target yield must be in (0, 1)";
   if domains < 1 then invalid_arg "Experiment.config: domains must be >= 1";
+  (match bootstrap with
+  | Some k when k <= 0 ->
+      invalid_arg "Experiment.config: bootstrap replicates must be positive"
+  | _ -> ());
   { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio;
-    rows; domains; pool; collapse_faults; sim_engine; cache_dir; remote }
+    rows; domains; pool; collapse_faults; sim_engine; cache_dir; remote;
+    mc; bootstrap }
 
 type t = {
   cfg : config;
@@ -50,6 +87,8 @@ type t = {
   theta_iddq_curve : Coverage.t;
   swift_result : Swift.result;
   fit : Projection.fit;
+  wafer_mc : Wafer_mc.t option;
+  bootstrap_fit : Bootstrap.t option;
   summary : string;
   stage_reports : Stage.report list;
 }
@@ -86,6 +125,29 @@ let projection_config cfg =
   [
     ("target_yield", Printf.sprintf "%h" cfg.target_yield);
     ("fit_points", string_of_int fit_sample_points);
+  ]
+
+(* The MC knobs fingerprint ONLY the wafer-mc stage (and the bootstrap
+   count only bootstrap-fit): turning either on, or changing dies/alphas/
+   replicates, must never invalidate a simulation artifact.  [cfg.seed]
+   drives the Seeds streams of both stages but is deliberately absent
+   here — it is already digested via the atpg input key. *)
+let wafer_mc_config cfg m =
+  [
+    ("dies", string_of_int m.mc_dies);
+    ("dies_per_wafer", string_of_int m.mc_dies_per_wafer);
+    ("wafers_per_lot", string_of_int m.mc_wafers_per_lot);
+    ("alpha_wafer", Printf.sprintf "%h" m.mc_alpha_wafer);
+    ("alpha_lot", Printf.sprintf "%h" m.mc_alpha_lot);
+    ("points", string_of_int m.mc_points);
+    ("target_yield", Printf.sprintf "%h" cfg.target_yield);
+  ]
+
+let bootstrap_config cfg replicates =
+  [
+    ("replicates", string_of_int replicates);
+    ("fit_points", string_of_int fit_sample_points);
+    ("target_yield", Printf.sprintf "%h" cfg.target_yield);
   ]
 
 (* The stage keys are pure functions of the config: every stage's key
@@ -126,15 +188,39 @@ let stage_keys cfg =
       ~config:(projection_config cfg)
       ~inputs:[ universe; faultsim; ifa; swift ]
   in
-  [
-    ("mapping", mapping);
-    ("atpg", atpg);
-    ("fault-universe", universe);
-    ("fault-sim", faultsim);
-    ("layout-ifa", ifa);
-    ("swift", swift);
-    ("projection", projection);
-  ]
+  let base =
+    [
+      ("mapping", mapping);
+      ("atpg", atpg);
+      ("fault-universe", universe);
+      ("fault-sim", faultsim);
+      ("layout-ifa", ifa);
+      ("swift", swift);
+      ("projection", projection);
+    ]
+  in
+  let with_mc =
+    match cfg.mc with
+    | None -> base
+    | Some m ->
+        base
+        @ [
+            ( "wafer-mc",
+              Stage.key ~stage:"wafer-mc" ~codec:Artifact.wafer_mc
+                ~config:(wafer_mc_config cfg m)
+                ~inputs:[ atpg; ifa; swift ] );
+          ]
+  in
+  match cfg.bootstrap with
+  | None -> with_mc
+  | Some k ->
+      with_mc
+      @ [
+          ( "bootstrap-fit",
+            Stage.key ~stage:"bootstrap-fit" ~codec:Artifact.bootstrap_fit
+              ~config:(bootstrap_config cfg k)
+              ~inputs:[ universe; faultsim; ifa; swift ] );
+        ]
 
 let request_key cfg = List.assoc "projection" (stage_keys cfg)
 
@@ -279,6 +365,120 @@ let stage_swift graph ~mapping ~faults ~vectors ~mapping_key ~ifa_key
         region_solves = r.region_solves;
       })
 
+(* 7/8. The statistical stages (PR: Monte-Carlo yield engine).  Both draw
+   exclusively from path-keyed Seeds streams rooted at [cfg.seed], so the
+   cached artifact is a pure function of its stage key. *)
+
+let seeds_of cfg name = Dl_util.Seeds.scope (Dl_util.Seeds.create cfg.seed) name
+
+let artifact_of_wafer_mc (t : Wafer_mc.t) : Artifact.wafer_mc =
+  {
+    Artifact.mc_dies = t.dies;
+    mc_dies_per_wafer = t.dies_per_wafer;
+    mc_wafers_per_lot = t.wafers_per_lot;
+    mc_wafers = t.wafers;
+    mc_lots = t.lots;
+    mc_alpha_wafer = t.alpha_wafer;
+    mc_alpha_lot = t.alpha_lot;
+    mc_defective = t.defective;
+    mc_bands =
+      Array.map
+        (fun (b : Wafer_mc.band) ->
+          {
+            Artifact.k = b.k;
+            coverage = b.coverage;
+            dl_point = b.dl_point;
+            dl_q05 = b.dl_q05;
+            dl_q50 = b.dl_q50;
+            dl_q95 = b.dl_q95;
+            passed = b.passed;
+            defective_passed = b.defective_passed;
+            wafer_dls = b.wafer_dls;
+          })
+        t.bands;
+  }
+
+let wafer_mc_of_artifact (a : Artifact.wafer_mc) : Wafer_mc.t =
+  {
+    Wafer_mc.dies = a.Artifact.mc_dies;
+    dies_per_wafer = a.mc_dies_per_wafer;
+    wafers_per_lot = a.mc_wafers_per_lot;
+    wafers = a.mc_wafers;
+    lots = a.mc_lots;
+    alpha_wafer = a.mc_alpha_wafer;
+    alpha_lot = a.mc_alpha_lot;
+    defective = a.mc_defective;
+    bands =
+      Array.map
+        (fun (b : Artifact.wafer_mc_band) ->
+          {
+            Wafer_mc.k = b.Artifact.k;
+            coverage = b.coverage;
+            dl_point = b.dl_point;
+            dl_q05 = b.dl_q05;
+            dl_q50 = b.dl_q50;
+            dl_q95 = b.dl_q95;
+            passed = b.passed;
+            defective_passed = b.defective_passed;
+            wafer_dls = b.wafer_dls;
+          })
+        a.mc_bands;
+  }
+
+let artifact_of_bootstrap (b : Bootstrap.t) : Artifact.bootstrap_fit =
+  {
+    Artifact.fit_points = b.fit_points;
+    point_r = b.point.Projection.params.r;
+    point_theta_max = b.point.Projection.params.theta_max;
+    point_rmse = b.point.Projection.rmse;
+    point_rmse_log10 = (b.point.Projection.rmse_scale = Projection.Log10);
+    alpha_point = b.alpha_point;
+    r_samples = b.r_samples;
+    theta_max_samples = b.theta_max_samples;
+    alpha_samples = b.alpha_samples;
+  }
+
+let bootstrap_of_artifact (a : Artifact.bootstrap_fit) : Bootstrap.t =
+  Bootstrap.of_samples ~fit_points:a.Artifact.fit_points
+    ~point:
+      {
+        Projection.params =
+          { Projection.r = a.point_r; theta_max = a.point_theta_max };
+        rmse = a.point_rmse;
+        rmse_scale =
+          (if a.point_rmse_log10 then Projection.Log10 else Projection.Linear);
+      }
+    ~alpha_point:a.alpha_point ~r_samples:a.r_samples
+    ~theta_max_samples:a.theta_max_samples ~alpha_samples:a.alpha_samples
+
+let stage_wafer_mc graph cfg m ~n_vectors ~scaled_weights ~voltage_firsts
+    ~theta_curve ~atpg_key ~ifa_key ~swift_key =
+  Stage.run graph ~stage:"wafer-mc" ~codec:Artifact.wafer_mc
+    ~config:(wafer_mc_config cfg m)
+    ~inputs:[ atpg_key; ifa_key; swift_key ]
+    (fun () ->
+      let ks = Coverage.log_spaced ~max:n_vectors ~points:m.mc_points in
+      let points = Array.map (fun k -> (k, Coverage.at theta_curve k)) ks in
+      artifact_of_wafer_mc
+        (Wafer_mc.simulate ~dies_per_wafer:m.mc_dies_per_wafer
+           ~wafers_per_lot:m.mc_wafers_per_lot ~alpha_wafer:m.mc_alpha_wafer
+           ~alpha_lot:m.mc_alpha_lot
+           ~seeds:(seeds_of cfg "wafer-mc")
+           ~dies:m.mc_dies ~weights:scaled_weights ~firsts:voltage_firsts
+           ~points ()))
+
+let stage_bootstrap graph cfg replicates ~n_vectors ~t_firsts ~theta_firsts
+    ~theta_weights ~universe_key ~faultsim_key ~ifa_key ~swift_key =
+  Stage.run graph ~stage:"bootstrap-fit" ~codec:Artifact.bootstrap_fit
+    ~config:(bootstrap_config cfg replicates)
+    ~inputs:[ universe_key; faultsim_key; ifa_key; swift_key ]
+    (fun () ->
+      artifact_of_bootstrap
+        (Bootstrap.run ~fit_points:fit_sample_points
+           ~seeds:(seeds_of cfg "bootstrap-fit")
+           ~replicates ~yield:cfg.target_yield ~t_firsts ~theta_firsts
+           ~theta_weights ~n_vectors ()))
+
 (* The stage decomposition of the paper's flow.  Each stage's key digests
    its input artifact keys, its config fingerprint and its codec version,
    so a warm run re-executes only stages whose keys changed:
@@ -293,6 +493,10 @@ let stage_swift graph ~mapping ~faults ~vectors ~mapping_key ~ifa_key
        -> swift          (switch-level realistic simulation)
        -> projection     [target_yield, fit points] (susceptibility fit +
                           summary; the only stage a yield change reruns)
+       -> wafer-mc       [dies, wafer/lot shape, alphas, points, yield]
+                          (optional; Monte-Carlo DL bands)
+       -> bootstrap-fit  [replicates, fit points, yield]
+                          (optional; CIs on (R, θmax) and alpha)
 *)
 let run cfg =
   let graph = graph_of_config cfg in
@@ -406,6 +610,28 @@ let run cfg =
          else Projection.Linear);
     }
   in
+  let wafer_mc =
+    Option.map
+      (fun m ->
+        let art, _ =
+          stage_wafer_mc graph cfg m ~n_vectors:n ~scaled_weights
+            ~voltage_firsts ~theta_curve ~atpg_key ~ifa_key ~swift_key
+        in
+        wafer_mc_of_artifact art)
+      cfg.mc
+  in
+  let bootstrap_fit =
+    Option.map
+      (fun k ->
+        let art, _ =
+          stage_bootstrap graph cfg k ~n_vectors:n
+            ~t_firsts:sim_art.Artifact.first_detection
+            ~theta_firsts:voltage_firsts ~theta_weights:scaled_weights
+            ~universe_key ~faultsim_key ~ifa_key ~swift_key
+        in
+        bootstrap_of_artifact art)
+      cfg.bootstrap
+  in
   {
     cfg;
     mapped_circuit = c;
@@ -423,6 +649,8 @@ let run cfg =
     theta_iddq_curve;
     swift_result;
     fit;
+    wafer_mc;
+    bootstrap_fit;
     summary = summary_art.Artifact.text;
     stage_reports = Stage.reports graph;
   }
@@ -473,6 +701,87 @@ let run_stage cfg ~stage =
             (stage_swift graph ~mapping ~faults:ifa_art.Artifact.faults
                ~vectors:atpg_art.Artifact.vectors ~mapping_key ~ifa_key
                ~atpg_key)
+      | "wafer-mc" ->
+          let m =
+            match cfg.mc with
+            | Some m -> m
+            | None ->
+                invalid_arg
+                  "Experiment.run_stage: wafer-mc requested but cfg.mc is None"
+          in
+          let c, mapping_key = stage_mapping graph cfg in
+          let atpg_art, atpg_key = stage_atpg graph cfg ~c ~mapping_key in
+          let mapping = Dl_cell.Mapping.flatten c in
+          let layout = Dl_layout.Layout.synthesize ?rows:cfg.rows mapping in
+          let ifa_art, ifa_key = stage_ifa graph cfg ~layout ~mapping_key in
+          let swift_art, swift_key =
+            stage_swift graph ~mapping ~faults:ifa_art.Artifact.faults
+              ~vectors:atpg_art.Artifact.vectors ~mapping_key ~ifa_key
+              ~atpg_key
+          in
+          let raw_weights =
+            Array.map (fun (f : Realistic.t) -> f.weight) ifa_art.Artifact.faults
+          in
+          let scaled_weights, _ =
+            Weighted.scale_to_yield ~weights:raw_weights
+              ~target_yield:cfg.target_yield
+          in
+          let voltage_firsts =
+            Array.map
+              (fun (d : Swift.detection) -> d.voltage)
+              swift_art.Artifact.detection
+          in
+          let theta_curve = Coverage.make ~weights:scaled_weights voltage_firsts in
+          ignore
+            (stage_wafer_mc graph cfg m
+               ~n_vectors:(Array.length atpg_art.Artifact.vectors)
+               ~scaled_weights ~voltage_firsts ~theta_curve ~atpg_key ~ifa_key
+               ~swift_key)
+      | "bootstrap-fit" ->
+          let replicates =
+            match cfg.bootstrap with
+            | Some k -> k
+            | None ->
+                invalid_arg
+                  "Experiment.run_stage: bootstrap-fit requested but \
+                   cfg.bootstrap is None"
+          in
+          let c, mapping_key = stage_mapping graph cfg in
+          let atpg_art, atpg_key = stage_atpg graph cfg ~c ~mapping_key in
+          let stuck_faults, universe_key =
+            stage_universe graph cfg ~c ~atpg_art ~mapping_key ~atpg_key
+          in
+          let sim_art, faultsim_key =
+            stage_faultsim graph cfg ~c ~stuck_faults
+              ~vectors:atpg_art.Artifact.vectors ~mapping_key ~universe_key
+              ~atpg_key
+          in
+          let mapping = Dl_cell.Mapping.flatten c in
+          let layout = Dl_layout.Layout.synthesize ?rows:cfg.rows mapping in
+          let ifa_art, ifa_key = stage_ifa graph cfg ~layout ~mapping_key in
+          let swift_art, swift_key =
+            stage_swift graph ~mapping ~faults:ifa_art.Artifact.faults
+              ~vectors:atpg_art.Artifact.vectors ~mapping_key ~ifa_key
+              ~atpg_key
+          in
+          let raw_weights =
+            Array.map (fun (f : Realistic.t) -> f.weight) ifa_art.Artifact.faults
+          in
+          let scaled_weights, _ =
+            Weighted.scale_to_yield ~weights:raw_weights
+              ~target_yield:cfg.target_yield
+          in
+          let voltage_firsts =
+            Array.map
+              (fun (d : Swift.detection) -> d.voltage)
+              swift_art.Artifact.detection
+          in
+          ignore
+            (stage_bootstrap graph cfg replicates
+               ~n_vectors:(Array.length atpg_art.Artifact.vectors)
+               ~t_firsts:sim_art.Artifact.first_detection
+               ~theta_firsts:voltage_firsts ~theta_weights:scaled_weights
+               ~universe_key ~faultsim_key ~ifa_key ~swift_key)
       | other ->
           invalid_arg
             (Printf.sprintf "Experiment.run_stage: unknown stage %S" other));

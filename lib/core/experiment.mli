@@ -16,6 +16,23 @@
 
 open Dl_netlist
 
+(** Monte-Carlo wafer-simulation knobs (the optional [wafer-mc] stage). *)
+type mc = {
+  mc_dies : int;             (** Total dies to simulate. *)
+  mc_dies_per_wafer : int;
+  mc_wafers_per_lot : int;
+  mc_alpha_wafer : float;    (** Wafer-level clustering; [infinity] = none. *)
+  mc_alpha_lot : float;      (** Lot-level clustering; [infinity] = none. *)
+  mc_points : int;           (** Coverage points of the DL(T) band grid. *)
+}
+
+val mc :
+  ?dies_per_wafer:int -> ?wafers_per_lot:int -> ?alpha_wafer:float ->
+  ?alpha_lot:float -> ?points:int -> dies:int -> unit -> mc
+(** Defaults: 256 dies per wafer, 4 wafers per lot, both alphas infinite
+    (pure Poisson — the paper's model), 25 band points.
+    @raise Invalid_argument on non-positive values. *)
+
 type config = {
   circuit : Circuit.t;
   seed : int;
@@ -62,31 +79,44 @@ type config = {
           is pushed to its key's home node.  Best-effort and
           result-invisible, so (like [pool]) it is excluded from every
           stage key. *)
+  mc : mc option;
+      (** When set, run the [wafer-mc] stage ({!Wafer_mc}).  The knobs
+          fingerprint only that stage's key — toggling or re-tuning the MC
+          never invalidates a simulation artifact. *)
+  bootstrap : int option;
+      (** When set, run the [bootstrap-fit] stage ({!Bootstrap}) with this
+          many replicates.  Fingerprints only the bootstrap-fit key. *)
 }
 
 val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
   ?stats:Dl_extract.Defect_stats.t -> ?min_weight_ratio:float ->
   ?rows:int -> ?domains:int -> ?pool:Dl_util.Parallel.t ->
   ?collapse_faults:bool -> ?sim_engine:Dl_fault.Fault_sim.engine ->
-  ?cache_dir:string -> ?remote:Dl_store.Stage.remote -> Circuit.t -> config
+  ?cache_dir:string -> ?remote:Dl_store.Stage.remote ->
+  ?mc:mc -> ?bootstrap:int -> Circuit.t -> config
 (** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
     pruning, [Domain.recommended_domain_count ()] domains (or [pool], which
     takes precedence), collapsed fault universe, [Wide] fault-sim engine,
-    no cache. *)
+    no cache, no Monte-Carlo stage, no bootstrap stage. *)
 
 val stage_keys : config -> (string * string) list
 (** [(stage, key)] for every stage of {!run}, in execution order, derived
     from the config alone — no stage is executed.  Equal to the keys in
     {!t.stage_reports} of an actual run of the same config (property-
     tested).  The root of the digest DAG is the content key of
-    [cfg.circuit]; [domains], [pool] and [cache_dir] influence nothing. *)
+    [cfg.circuit]; [domains], [pool] and [cache_dir] influence nothing.
+    The optional [wafer-mc] / [bootstrap-fit] stages appear (last) only
+    when [cfg.mc] / [cfg.bootstrap] are set; their knobs fingerprint only
+    their own keys. *)
 
 val request_key : config -> string
 (** The ["projection"] stage key: a single digest of everything that can
-    change the result of {!run} (circuit content, seed, vector budget,
-    fault-universe mode, defect statistics, layout rows, pruning threshold,
-    target yield).  Two configs with equal [request_key] produce
-    bit-identical experiments — the coalescing key of {!Dl_serve}. *)
+    change the core pipeline result of {!run} (circuit content, seed,
+    vector budget, fault-universe mode, defect statistics, layout rows,
+    pruning threshold, target yield).  Two configs with equal
+    [request_key] produce bit-identical experiments — the coalescing key
+    of {!Dl_serve}.  The optional statistical stages are not part of it;
+    their own stage keys play that role for their artifacts. *)
 
 type t = {
   cfg : config;
@@ -113,6 +143,12 @@ type t = {
   fit : Projection.fit;
       (** The eq. 9 fit over {!fit_params}'s default sampling (cached with
           the projection stage). *)
+  wafer_mc : Wafer_mc.t option;
+      (** Monte-Carlo DL(T) bands when [cfg.mc] is set (cached as the
+          [wafer-mc] stage, seeded from [cfg.seed]). *)
+  bootstrap_fit : Bootstrap.t option;
+      (** Bootstrap CIs on [(R, θmax)] and the clustering alpha when
+          [cfg.bootstrap] is set (cached as the [bootstrap-fit] stage). *)
   summary : string;            (** What {!pp_summary} prints. *)
   stage_reports : Dl_store.Stage.report list;
       (** Per-stage key / hit-miss / timing of this run, execution order. *)

@@ -15,34 +15,10 @@ let observed_yield lot =
   if lot.dies = 0 then 1.0
   else float_of_int (lot.dies - lot.defective_total) /. float_of_int lot.dies
 
-(* Marsaglia-Tsang Gamma(shape, scale 1) generator; the shape < 1 case uses
-   the boosting identity Gamma(a) = Gamma(a+1) * U^(1/a). *)
-let rec gamma_shape rng alpha =
-  if alpha < 1.0 then begin
-    let u = 1.0 -. Rng.float rng 1.0 in
-    gamma_shape rng (alpha +. 1.0) *. (u ** (1.0 /. alpha))
-  end
-  else begin
-    let d = alpha -. (1.0 /. 3.0) in
-    let c = 1.0 /. sqrt (9.0 *. d) in
-    let rec draw () =
-      let x = Rng.gaussian rng in
-      let v = 1.0 +. (c *. x) in
-      if v <= 0.0 then draw ()
-      else begin
-        let v3 = v *. v *. v in
-        let u = 1.0 -. Rng.float rng 1.0 in
-        if log u < (0.5 *. x *. x) +. d -. (d *. v3) +. (d *. log v3) then d *. v3
-        else draw ()
-      end
-    in
-    draw ()
-  end
-
 let gamma_sample rng ~alpha =
   if alpha <= 0.0 then invalid_arg "Production.gamma_sample: alpha must be positive";
-  (* Divide by the mean (= shape) for a mean-1 severity factor. *)
-  gamma_shape rng alpha /. alpha
+  (* Mean-1 severity factor: Gamma(alpha, 1/alpha) (see Dl_util.Prob). *)
+  Dl_util.Prob.gamma_mixing_sample rng ~alpha
 
 let check_inputs ~dies ~weights ~detected =
   if dies <= 0 then invalid_arg "Production.simulate: dies must be positive";

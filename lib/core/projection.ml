@@ -57,6 +57,22 @@ let rmse_unit = function Linear -> "linear units" | Log10 -> "log10 units"
 let lo = [| 0.05; 0.01 |]
 let hi = [| 50.0; 1.0 |]
 
+(* Degenerate data (a NaN coordinate, a coverage outside [0,1]) would
+   otherwise surface as NaN parameters out of the simplex; reject it
+   up front.  Single-point and zero-variance inputs are fine — the fit
+   degenerates gracefully to a finite (if meaningless) optimum. *)
+let check_points ~who points =
+  if Array.length points = 0 then
+    invalid_arg (Printf.sprintf "Projection.%s: no points" who);
+  Array.iter
+    (fun (t, y) ->
+      if Float.is_nan t || Float.is_nan y then
+        invalid_arg (Printf.sprintf "Projection.%s: NaN in data" who);
+      if not (t >= 0.0 && t <= 1.0) then
+        invalid_arg
+          (Printf.sprintf "Projection.%s: coverage outside [0, 1]" who))
+    points
+
 (* Multi-start: the boundary theta_max = 1 attracts a local optimum. *)
 let starts =
   List.concat_map
@@ -75,7 +91,7 @@ let best_fit ~model data =
 
 let fit_dl ~yield points =
   check_yield yield;
-  if Array.length points = 0 then invalid_arg "Projection.fit_dl: no points";
+  check_points ~who:"fit_dl" points;
   (* Fit on log10 DL so the ppm tail matters as much as the knee. *)
   let floor_dl = 1e-12 in
   let log_points =
@@ -95,10 +111,22 @@ let fit_dl ~yield points =
     rmse_scale = Log10 }
 
 let fit_theta points =
-  if Array.length points = 0 then invalid_arg "Projection.fit_theta: no points";
+  check_points ~who:"fit_theta" points;
   let data = Dl_util.Fit.make_data (Array.to_list points) in
   let model p t = theta_of_coverage { r = p.(0); theta_max = p.(1) } t in
   let r = best_fit ~model data in
+  { params = { r = r.params.(0); theta_max = r.params.(1) };
+    rmse = r.rmse;
+    rmse_scale = Linear }
+
+let fit_theta_from ~init points =
+  check_params init;
+  check_points ~who:"fit_theta_from" points;
+  let data = Dl_util.Fit.make_data (Array.to_list points) in
+  let model p t = theta_of_coverage { r = p.(0); theta_max = p.(1) } t in
+  let clamp v l h = Float.min h (Float.max l v) in
+  let init = [| clamp init.r lo.(0) hi.(0); clamp init.theta_max lo.(1) hi.(1) |] in
+  let r = Dl_util.Fit.curve_fit ~model ~lo ~hi ~init data in
   { params = { r = r.params.(0); theta_max = r.params.(1) };
     rmse = r.rmse;
     rmse_scale = Linear }

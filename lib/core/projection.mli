@@ -59,4 +59,15 @@ val fit_theta : (float * float) array -> fit
 (** Fit [(R, θmax)] to [(T, Θ)] points via eq. 9 — the better-conditioned
     form when weighted-coverage data is available directly (simulation).
     Residuals are minimized on Θ itself, so [rmse] is in linear coverage
-    units ([rmse_scale = Linear]). *)
+    units ([rmse_scale = Linear]).
+
+    Both fitters reject degenerate data with [Invalid_argument]: empty
+    point sets, NaN coordinates, or coverages outside [0, 1].  Single-point
+    and zero-variance inputs are accepted and produce a finite rmse. *)
+
+val fit_theta_from : init:params -> (float * float) array -> fit
+(** Like {!fit_theta} but a single simplex descent seeded at [init]
+    (clamped into the fit bounds) instead of the 15-start sweep — the
+    cheap refit used for bootstrap replicates, where the full-data point
+    estimate is a good starting point and a ~15x cheaper fit matters.
+    @raise Invalid_argument on invalid [init] or degenerate data. *)

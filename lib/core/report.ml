@@ -58,6 +58,37 @@ let of_experiment ?(points = 12) (e : Experiment.t) =
   out "| unweighted Γ as Θ | %s | %s |\n"
     (pct (Coverage.at e.gamma_curve final))
     (ppm (Weighted.defect_level ~yield:e.yield ~theta:(Coverage.at e.gamma_curve final)));
+  Option.iter
+    (fun (m : Wafer_mc.t) ->
+      let alpha_str a = if Float.is_finite a then Printf.sprintf "%g" a else "∞" in
+      out "\n## Monte-Carlo DL bands (wafer-mc)\n\n";
+      out
+        "- %d dies (%d wafers × %d dies, %d lots), α_wafer = %s, α_lot = %s; \
+         observed yield %s\n\n"
+        m.dies m.wafers m.dies_per_wafer m.lots (alpha_str m.alpha_wafer)
+        (alpha_str m.alpha_lot)
+        (pct (Wafer_mc.observed_yield m));
+      out "| k | Θ(k) | DL point | DL 5%% | DL 50%% | DL 95%% |\n";
+      out "|---|---|---|---|---|---|\n";
+      Array.iter
+        (fun (b : Wafer_mc.band) ->
+          out "| %d | %s | %s | %s | %s | %s |\n" b.k (pct b.coverage)
+            (ppm b.dl_point) (ppm b.dl_q05) (ppm b.dl_q50) (ppm b.dl_q95))
+        m.bands)
+    e.wafer_mc;
+  Option.iter
+    (fun (b : Bootstrap.t) ->
+      out "\n## Bootstrap confidence intervals (%d replicates)\n\n"
+        b.replicates;
+      out "| parameter | point | 5%% | 50%% | 95%% |\n|---|---|---|---|---|\n";
+      out "| R | %.3f | %.3f | %.3f | %.3f |\n" b.point.Projection.params.r
+        b.r.Bootstrap.lo b.r.median b.r.hi;
+      out "| θmax | %.4f | %.4f | %.4f | %.4f |\n"
+        b.point.Projection.params.theta_max b.theta_max.Bootstrap.lo
+        b.theta_max.median b.theta_max.hi;
+      out "| α (clustering) | %.3g | %.3g | %.3g | %.3g |\n" b.alpha_point
+        b.alpha.Bootstrap.lo b.alpha.median b.alpha.hi)
+    e.bootstrap_fit;
   Buffer.contents buf
 
 let write_file ?points path e =

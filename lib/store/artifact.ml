@@ -397,6 +397,128 @@ let summary : summary Codec.t =
   in
   { kind = "summary"; version = 1; encode; decode }
 
+(* ---------------------------------------------------------- wafer-mc *)
+
+type wafer_mc_band = {
+  k : int;
+  coverage : float;
+  dl_point : float;
+  dl_q05 : float;
+  dl_q50 : float;
+  dl_q95 : float;
+  passed : int;
+  defective_passed : int;
+  wafer_dls : float array;
+}
+
+type wafer_mc = {
+  mc_dies : int;
+  mc_dies_per_wafer : int;
+  mc_wafers_per_lot : int;
+  mc_wafers : int;
+  mc_lots : int;
+  mc_alpha_wafer : float;
+  mc_alpha_lot : float;
+  mc_defective : int;
+  mc_bands : wafer_mc_band array;
+}
+
+let wafer_mc : wafer_mc Codec.t =
+  let encode_band buf (b : wafer_mc_band) =
+    B.write_varint buf b.k;
+    B.write_float buf b.coverage;
+    B.write_float buf b.dl_point;
+    B.write_float buf b.dl_q05;
+    B.write_float buf b.dl_q50;
+    B.write_float buf b.dl_q95;
+    B.write_varint buf b.passed;
+    B.write_varint buf b.defective_passed;
+    B.write_array (fun b v -> B.write_float b v) buf b.wafer_dls
+  in
+  let decode_band cur : wafer_mc_band =
+    let k = B.read_varint cur in
+    let coverage = B.read_float cur in
+    let dl_point = B.read_float cur in
+    let dl_q05 = B.read_float cur in
+    let dl_q50 = B.read_float cur in
+    let dl_q95 = B.read_float cur in
+    let passed = B.read_varint cur in
+    let defective_passed = B.read_varint cur in
+    let wafer_dls = B.read_array B.read_float cur in
+    { k; coverage; dl_point; dl_q05; dl_q50; dl_q95; passed;
+      defective_passed; wafer_dls }
+  in
+  let encode buf x =
+    B.write_varint buf x.mc_dies;
+    B.write_varint buf x.mc_dies_per_wafer;
+    B.write_varint buf x.mc_wafers_per_lot;
+    B.write_varint buf x.mc_wafers;
+    B.write_varint buf x.mc_lots;
+    B.write_float buf x.mc_alpha_wafer;
+    B.write_float buf x.mc_alpha_lot;
+    B.write_varint buf x.mc_defective;
+    B.write_array encode_band buf x.mc_bands
+  in
+  let decode cur =
+    let mc_dies = B.read_varint cur in
+    let mc_dies_per_wafer = B.read_varint cur in
+    let mc_wafers_per_lot = B.read_varint cur in
+    let mc_wafers = B.read_varint cur in
+    let mc_lots = B.read_varint cur in
+    let mc_alpha_wafer = B.read_float cur in
+    let mc_alpha_lot = B.read_float cur in
+    let mc_defective = B.read_varint cur in
+    let mc_bands = B.read_array decode_band cur in
+    { mc_dies; mc_dies_per_wafer; mc_wafers_per_lot; mc_wafers; mc_lots;
+      mc_alpha_wafer; mc_alpha_lot; mc_defective; mc_bands }
+  in
+  { kind = "wafer-mc"; version = 1; encode; decode }
+
+(* ------------------------------------------------------ bootstrap-fit *)
+
+type bootstrap_fit = {
+  fit_points : int;
+  point_r : float;
+  point_theta_max : float;
+  point_rmse : float;
+  point_rmse_log10 : bool;
+  alpha_point : float;
+  r_samples : float array;
+  theta_max_samples : float array;
+  alpha_samples : float array;
+}
+
+let bootstrap_fit : bootstrap_fit Codec.t =
+  let encode buf x =
+    B.write_varint buf x.fit_points;
+    B.write_float buf x.point_r;
+    B.write_float buf x.point_theta_max;
+    B.write_float buf x.point_rmse;
+    B.write_bool buf x.point_rmse_log10;
+    B.write_float buf x.alpha_point;
+    B.write_array (fun b v -> B.write_float b v) buf x.r_samples;
+    B.write_array (fun b v -> B.write_float b v) buf x.theta_max_samples;
+    B.write_array (fun b v -> B.write_float b v) buf x.alpha_samples
+  in
+  let decode cur =
+    let fit_points = B.read_varint cur in
+    let point_r = B.read_float cur in
+    let point_theta_max = B.read_float cur in
+    let point_rmse = B.read_float cur in
+    let point_rmse_log10 = B.read_bool cur in
+    let alpha_point = B.read_float cur in
+    let r_samples = B.read_array B.read_float cur in
+    let theta_max_samples = B.read_array B.read_float cur in
+    let alpha_samples = B.read_array B.read_float cur in
+    if
+      Array.length theta_max_samples <> Array.length r_samples
+      || Array.length alpha_samples <> Array.length r_samples
+    then raise (B.Corrupt "bootstrap-fit sample arrays differ in length");
+    { fit_points; point_r; point_theta_max; point_rmse; point_rmse_log10;
+      alpha_point; r_samples; theta_max_samples; alpha_samples }
+  in
+  { kind = "bootstrap-fit"; version = 1; encode; decode }
+
 let current_versions =
   [
     (circuit.kind, circuit.version);
@@ -407,6 +529,8 @@ let current_versions =
     (ifa.kind, ifa.version);
     (swift.kind, swift.version);
     (summary.kind, summary.version);
+    (wafer_mc.kind, wafer_mc.version);
+    (bootstrap_fit.kind, bootstrap_fit.version);
   ]
 
 let defect_stats_fingerprint stats =

@@ -78,6 +78,54 @@ type summary = {
 
 val summary : summary Codec.t
 
+(** One coverage point of a Monte-Carlo DL(T) band
+    (mirrors {!Dl_core.Wafer_mc.band}). *)
+type wafer_mc_band = {
+  k : int;
+  coverage : float;
+  dl_point : float;
+  dl_q05 : float;
+  dl_q50 : float;
+  dl_q95 : float;
+  passed : int;
+  defective_passed : int;
+  wafer_dls : float array;
+}
+
+(** Monte-Carlo wafer/lot simulation output (the [wafer-mc] stage;
+    mirrors {!Dl_core.Wafer_mc.t}). *)
+type wafer_mc = {
+  mc_dies : int;
+  mc_dies_per_wafer : int;
+  mc_wafers_per_lot : int;
+  mc_wafers : int;
+  mc_lots : int;
+  mc_alpha_wafer : float;
+  mc_alpha_lot : float;
+  mc_defective : int;
+  mc_bands : wafer_mc_band array;
+}
+
+val wafer_mc : wafer_mc Codec.t
+
+(** Bootstrap refit output (the [bootstrap-fit] stage): the full-data
+    point estimates plus the per-replicate parameter samples — the
+    percentile intervals are recomputed from the samples on decode
+    ({!Dl_core.Bootstrap.of_samples}), so the two can never disagree. *)
+type bootstrap_fit = {
+  fit_points : int;
+  point_r : float;
+  point_theta_max : float;
+  point_rmse : float;
+  point_rmse_log10 : bool;
+  alpha_point : float;
+  r_samples : float array;
+  theta_max_samples : float array;
+  alpha_samples : float array;
+}
+
+val bootstrap_fit : bootstrap_fit Codec.t
+
 val current_versions : (string * int) list
 (** [(kind, version)] for every codec above — what {!Store.gc} uses to
     drop artifacts whose format byte is stale. *)

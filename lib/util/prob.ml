@@ -67,6 +67,46 @@ let poisson_sample rng ~lambda =
     loop 0 0.0
   end
 
+(* Marsaglia-Tsang Gamma(shape, scale 1) generator; the shape < 1 case uses
+   the boosting identity Gamma(a) = Gamma(a+1) * U^(1/a). *)
+let rec gamma_sample rng ~shape =
+  if shape <= 0.0 || Float.is_nan shape then
+    invalid_arg "Prob.gamma_sample: shape must be positive";
+  if shape < 1.0 then begin
+    let u = 1.0 -. Rng.float rng 1.0 in
+    gamma_sample rng ~shape:(shape +. 1.0) *. (u ** (1.0 /. shape))
+  end
+  else begin
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = Rng.gaussian rng in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then draw ()
+      else begin
+        let v3 = v *. v *. v in
+        let u = 1.0 -. Rng.float rng 1.0 in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v3) +. (d *. log v3) then d *. v3
+        else draw ()
+      end
+    in
+    draw ()
+  end
+
+let gamma_mixing_sample rng ~alpha =
+  if alpha <= 0.0 then invalid_arg "Prob.gamma_mixing_sample: alpha must be positive";
+  (* alpha = infinity is the Poisson limit: a point mass at the mean. *)
+  if Float.is_finite alpha then gamma_sample rng ~shape:alpha /. alpha else 1.0
+
+let negative_binomial_sample rng ~mean ~alpha =
+  if mean < 0.0 then invalid_arg "Prob.negative_binomial_sample: negative mean";
+  if alpha <= 0.0 then invalid_arg "Prob.negative_binomial_sample: alpha must be positive";
+  if mean = 0.0 then 0
+  else
+    (* Gamma-mixed Poisson: exactly the compound process behind
+       [negative_binomial_pmf]. *)
+    poisson_sample rng ~lambda:(mean *. gamma_mixing_sample rng ~alpha)
+
 let negative_binomial_pmf ~mean ~alpha k =
   if mean < 0.0 || alpha <= 0.0 then
     invalid_arg "Prob.negative_binomial_pmf: need mean >= 0 and alpha > 0";

@@ -13,6 +13,22 @@ val poisson_cdf : lambda:float -> int -> float
 val poisson_sample : Rng.t -> lambda:float -> int
 (** Inversion for small lambda, normal approximation above 500. *)
 
+val gamma_sample : Rng.t -> shape:float -> float
+(** Gamma(shape, scale 1) via Marsaglia-Tsang squeeze (boosted below
+    shape 1).  Mean and variance both equal [shape].
+    @raise Invalid_argument unless [shape > 0]. *)
+
+val gamma_mixing_sample : Rng.t -> alpha:float -> float
+(** A mean-1 clustering severity factor: Gamma(alpha, 1/alpha), i.e.
+    [gamma_sample ~shape:alpha / alpha].  [alpha = infinity] is the
+    Poisson limit and returns exactly 1. *)
+
+val negative_binomial_sample : Rng.t -> mean:float -> alpha:float -> int
+(** One draw of the gamma-mixed Poisson behind {!negative_binomial_pmf}:
+    [poisson_sample ~lambda:(mean * gamma_mixing_sample ~alpha)].
+    Mean [mean], variance [mean + mean^2/alpha]; [alpha = infinity]
+    degenerates to {!poisson_sample}. *)
+
 val negative_binomial_pmf : mean:float -> alpha:float -> int -> float
 (** Stapper's clustered defect count: gamma-mixed Poisson with clustering
     parameter [alpha] ([alpha -> infinity] recovers Poisson). *)

@@ -286,6 +286,180 @@ let test_projection_fit_rmse_scales () =
   Alcotest.(check string) "log label" "log10 units"
     (Projection.rmse_unit fd.rmse_scale)
 
+(* --- degenerate fit inputs -------------------------------------------------------------------- *)
+
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fit_degenerate_rejects () =
+  expect_invalid "fit_theta empty" (fun () -> Projection.fit_theta [||]);
+  expect_invalid "fit_dl empty" (fun () -> Projection.fit_dl ~yield:0.75 [||]);
+  expect_invalid "fit_theta NaN y" (fun () ->
+      Projection.fit_theta [| (0.5, Float.nan) |]);
+  expect_invalid "fit_theta NaN x" (fun () ->
+      Projection.fit_theta [| (Float.nan, 0.5) |]);
+  expect_invalid "fit_theta coverage > 1" (fun () ->
+      Projection.fit_theta [| (1.5, 0.5) |]);
+  expect_invalid "fit_dl coverage < 0" (fun () ->
+      Projection.fit_dl ~yield:0.75 [| (-0.1, 0.01) |]);
+  expect_invalid "fit_alpha empty" (fun () ->
+      Clustered.fit_alpha ~yield:0.75 []);
+  expect_invalid "fit_alpha NaN" (fun () ->
+      Clustered.fit_alpha ~yield:0.75 [ (0.5, Float.nan) ]);
+  expect_invalid "fit_alpha coverage > 1" (fun () ->
+      Clustered.fit_alpha ~yield:0.75 [ (1.2, 0.01) ]);
+  expect_invalid "fit_alpha bad init" (fun () ->
+      Clustered.fit_alpha ~init:0.0 ~yield:0.75 [ (0.5, 0.1) ]);
+  expect_invalid "fit_alpha bad yield" (fun () ->
+      Clustered.fit_alpha ~yield:0.0 [ (0.5, 0.1) ])
+
+let finite_rmse name rmse =
+  Alcotest.(check bool) (name ^ " rmse finite") true (Float.is_finite rmse)
+
+let test_fit_degenerate_finite () =
+  (* Degenerate but well-typed inputs must converge to something finite
+     rather than exploding inside the simplex. *)
+  let single = Projection.fit_theta [| (0.5, 0.4) |] in
+  finite_rmse "single point" single.rmse;
+  let flat =
+    Projection.fit_theta (Array.make 8 (0.5, 0.4))
+  in
+  finite_rmse "zero variance" flat.rmse;
+  let saturated =
+    Projection.fit_theta [| (0.5, 1.0); (0.9, 1.0); (1.0, 1.0) |]
+  in
+  finite_rmse "coverage 1" saturated.rmse;
+  let dl_flat =
+    Projection.fit_dl ~yield:0.75 (Array.make 6 (0.9, 1e-3))
+  in
+  finite_rmse "fit_dl zero variance" dl_flat.rmse;
+  let a1, r1 = Clustered.fit_alpha ~yield:0.75 [ (0.5, 0.1) ] in
+  finite_rmse "fit_alpha single" r1;
+  Alcotest.(check bool) "alpha positive" true (a1 > 0.0);
+  let a2, r2 =
+    Clustered.fit_alpha ~yield:0.75 [ (0.5, 0.1); (0.5, 0.1); (0.5, 0.1) ]
+  in
+  finite_rmse "fit_alpha zero variance" r2;
+  Alcotest.(check bool) "alpha positive" true (a2 > 0.0);
+  let _, r3 = Clustered.fit_alpha ~yield:0.75 [ (1.0, 0.0) ] in
+  finite_rmse "fit_alpha full coverage" r3
+
+let test_fit_theta_from_matches_multistart () =
+  (* On clean data, the cheap single-start refit from the optimum must not
+     move it. *)
+  let truth = { Projection.r = 1.9; theta_max = 0.96 } in
+  let points =
+    Array.init 50 (fun i ->
+        let t = float_of_int i /. 50.0 in
+        (t, Projection.theta_of_coverage truth t))
+  in
+  let full = Projection.fit_theta points in
+  let from = Projection.fit_theta_from ~init:full.params points in
+  checkf_eps 1e-6 "R stable" full.params.r from.params.r;
+  checkf_eps 1e-6 "theta_max stable" full.params.theta_max
+    from.params.theta_max
+
+(* --- Wafer_mc / Bootstrap --------------------------------------------------------------------- *)
+
+let mc_universe () =
+  let rng = Dl_util.Rng.create 42 in
+  let n = 120 in
+  let raw = Array.init n (fun _ -> Dl_util.Rng.float_in rng 0.2 1.0) in
+  let weights, _ = Weighted.scale_to_yield ~weights:raw ~target_yield:0.8 in
+  let firsts =
+    Array.init n (fun _ ->
+        if Dl_util.Rng.bernoulli rng 0.2 then None
+        else Some (Dl_util.Rng.int rng 256))
+  in
+  (weights, firsts)
+
+let test_wafer_mc_replay () =
+  let weights, firsts = mc_universe () in
+  let points = [| (16, 0.3); (64, 0.6); (256, 0.9) |] in
+  let run seed =
+    Wafer_mc.simulate
+      ~seeds:(Dl_util.Seeds.scope (Dl_util.Seeds.create seed) "mc")
+      ~dies:2_000 ~weights ~firsts ~points ()
+  in
+  let a = run 7 and b = run 7 in
+  Alcotest.(check bool) "same master seed replays bit-for-bit" true (a = b);
+  let c = run 8 in
+  Alcotest.(check bool) "different master seed differs" true
+    (a.defective <> c.defective || a.bands <> c.bands);
+  Alcotest.(check int) "one band per point" 3 (Array.length a.bands);
+  Alcotest.(check bool) "observed yield sane" true
+    (let y = Wafer_mc.observed_yield a in
+     y > 0.5 && y < 1.0);
+  Alcotest.(check int) "final band is last point" 256 (Wafer_mc.final_band a).k;
+  let h = Wafer_mc.histogram (Wafer_mc.final_band a) in
+  Alcotest.(check int) "histogram holds every wafer sample"
+    (Array.length (Wafer_mc.final_band a).wafer_dls)
+    (Dl_util.Histogram.total h)
+
+let test_wafer_mc_validation () =
+  let weights, firsts = mc_universe () in
+  let seeds = Dl_util.Seeds.create 1 in
+  let points = [| (16, 0.5) |] in
+  expect_invalid "zero dies" (fun () ->
+      Wafer_mc.simulate ~seeds ~dies:0 ~weights ~firsts ~points ());
+  expect_invalid "negative alpha" (fun () ->
+      Wafer_mc.simulate ~alpha_wafer:(-1.0) ~seeds ~dies:10 ~weights ~firsts
+        ~points ());
+  expect_invalid "length mismatch" (fun () ->
+      Wafer_mc.simulate ~seeds ~dies:10 ~weights ~firsts:[| None |] ~points ());
+  expect_invalid "negative weight" (fun () ->
+      Wafer_mc.simulate ~seeds ~dies:10 ~weights:[| -1.0 |]
+        ~firsts:[| None |] ~points ());
+  expect_invalid "empty grid" (fun () ->
+      Wafer_mc.simulate ~seeds ~dies:10 ~weights ~firsts ~points:[||] ())
+
+let test_bootstrap_replay () =
+  let weights, firsts = mc_universe () in
+  let t_firsts =
+    Array.init 100 (fun i -> if i mod 5 = 0 then None else Some (i * 2))
+  in
+  let run seed =
+    Bootstrap.run ~fit_points:20
+      ~seeds:(Dl_util.Seeds.scope (Dl_util.Seeds.create seed) "boot")
+      ~replicates:25 ~yield:0.8 ~t_firsts ~theta_firsts:firsts
+      ~theta_weights:weights ~n_vectors:256 ()
+  in
+  let a = run 7 and b = run 7 in
+  Alcotest.(check bool) "same master seed replays bit-for-bit" true (a = b);
+  Alcotest.(check int) "replicate count" 25 (Array.length a.r_samples);
+  Alcotest.(check bool) "CI ordered" true
+    (a.r.lo <= a.r.median && a.r.median <= a.r.hi);
+  Alcotest.(check bool) "median inside own CI" true
+    (Bootstrap.contains a.r a.r.median);
+  (* of_samples rebuilds the same summary from the persisted parts *)
+  let rebuilt =
+    Bootstrap.of_samples ~fit_points:a.fit_points ~point:a.point
+      ~alpha_point:a.alpha_point ~r_samples:a.r_samples
+      ~theta_max_samples:a.theta_max_samples ~alpha_samples:a.alpha_samples
+  in
+  Alcotest.(check bool) "of_samples round-trips" true (rebuilt = a)
+
+let test_bootstrap_validation () =
+  let weights, firsts = mc_universe () in
+  let seeds = Dl_util.Seeds.create 1 in
+  let t_firsts = [| Some 1; Some 2 |] in
+  expect_invalid "zero replicates" (fun () ->
+      Bootstrap.run ~seeds ~replicates:0 ~yield:0.8 ~t_firsts
+        ~theta_firsts:firsts ~theta_weights:weights ~n_vectors:256 ());
+  expect_invalid "bad yield" (fun () ->
+      Bootstrap.run ~seeds ~replicates:5 ~yield:1.5 ~t_firsts
+        ~theta_firsts:firsts ~theta_weights:weights ~n_vectors:256 ());
+  expect_invalid "empty t sample" (fun () ->
+      Bootstrap.run ~seeds ~replicates:5 ~yield:0.8 ~t_firsts:[||]
+        ~theta_firsts:firsts ~theta_weights:weights ~n_vectors:256 ());
+  expect_invalid "weights/firsts mismatch" (fun () ->
+      Bootstrap.run ~seeds ~replicates:5 ~yield:0.8 ~t_firsts
+        ~theta_firsts:firsts ~theta_weights:[| 1.0 |] ~n_vectors:256 ())
+
 (* --- Yield models ----------------------------------------------------------------------------- *)
 
 let test_yield_poisson () = checkf "poisson" (exp (-2.0)) (Yield_model.poisson ~area:4.0 ~density:0.5)
@@ -444,6 +618,25 @@ let () =
           Alcotest.test_case "fit theta recovers" `Quick test_projection_fit_theta_recovers;
           Alcotest.test_case "fit dl recovers" `Quick test_projection_fit_dl_recovers;
           Alcotest.test_case "fit rmse scales" `Quick test_projection_fit_rmse_scales;
+        ] );
+      ( "degenerate-fits",
+        [
+          Alcotest.test_case "invalid inputs rejected" `Quick
+            test_fit_degenerate_rejects;
+          Alcotest.test_case "degenerate inputs stay finite" `Quick
+            test_fit_degenerate_finite;
+          Alcotest.test_case "single-start refit stable" `Quick
+            test_fit_theta_from_matches_multistart;
+        ] );
+      ( "wafer-mc",
+        [
+          Alcotest.test_case "seeded replay" `Quick test_wafer_mc_replay;
+          Alcotest.test_case "validation" `Quick test_wafer_mc_validation;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "seeded replay" `Quick test_bootstrap_replay;
+          Alcotest.test_case "validation" `Quick test_bootstrap_validation;
         ] );
       ( "yield-models",
         [

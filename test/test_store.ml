@@ -259,6 +259,88 @@ let prop_summary_roundtrip =
           && v'.Artifact.fit_rmse_log10 = v.Artifact.fit_rmse_log10
           && bits v'.Artifact.scale_factor = bits v.Artifact.scale_factor)
 
+(* --- statistical-stage artifacts ------------------------------------------ *)
+
+let sample_wafer_mc () =
+  let band i =
+    { Artifact.k = (i + 1) * 16; coverage = 0.2 *. float_of_int (i + 1);
+      dl_point = 0.01 /. float_of_int (i + 1); dl_q05 = 0.001; dl_q50 = 0.005;
+      dl_q95 = 0.02; passed = 900 - i; defective_passed = 9 - i;
+      wafer_dls = Array.init (3 + i) (fun j -> 0.002 *. float_of_int j) }
+  in
+  { Artifact.mc_dies = 1000; mc_dies_per_wafer = 256; mc_wafers_per_lot = 4;
+    mc_wafers = 4; mc_lots = 1; mc_alpha_wafer = Float.infinity;
+    mc_alpha_lot = 2.5; mc_defective = 250;
+    mc_bands = Array.init 3 band }
+
+let sample_bootstrap_fit () =
+  { Artifact.fit_points = 100; point_r = 1.5; point_theta_max = 0.9;
+    point_rmse = 0.01; point_rmse_log10 = false; alpha_point = 12.5;
+    r_samples = Array.init 20 (fun i -> 1.4 +. (0.01 *. float_of_int i));
+    theta_max_samples = Array.init 20 (fun i -> 0.88 +. (0.001 *. float_of_int i));
+    alpha_samples = Array.init 20 (fun i -> 10.0 +. float_of_int i) }
+
+let test_wafer_mc_roundtrip () =
+  (* Exact round-trip, including the infinite (no-clustering) alpha. *)
+  Alcotest.(check bool) "wafer-mc" true
+    (roundtrip Artifact.wafer_mc (sample_wafer_mc ()))
+
+let test_bootstrap_fit_roundtrip () =
+  Alcotest.(check bool) "bootstrap-fit" true
+    (roundtrip Artifact.bootstrap_fit (sample_bootstrap_fit ()))
+
+let test_wafer_mc_every_byte_flip_detected () =
+  let data = Codec.to_bytes Artifact.wafer_mc (sample_wafer_mc ()) in
+  for i = 0 to Bytes.length data - 1 do
+    let corrupted = Bytes.copy data in
+    Bytes.set corrupted i
+      (Char.chr (Char.code (Bytes.get corrupted i) lxor 0x40));
+    match Codec.of_bytes Artifact.wafer_mc corrupted with
+    | Ok _ -> Alcotest.failf "byte flip at %d went undetected" i
+    | Error _ -> ()
+  done
+
+let test_bootstrap_fit_every_byte_flip_detected () =
+  let data = Codec.to_bytes Artifact.bootstrap_fit (sample_bootstrap_fit ()) in
+  for i = 0 to Bytes.length data - 1 do
+    let corrupted = Bytes.copy data in
+    Bytes.set corrupted i
+      (Char.chr (Char.code (Bytes.get corrupted i) lxor 0x40));
+    match Codec.of_bytes Artifact.bootstrap_fit corrupted with
+    | Ok _ -> Alcotest.failf "byte flip at %d went undetected" i
+    | Error _ -> ()
+  done
+
+let stale_version_rejected (type a) (codec : a Codec.t) (v : a) =
+  let bumped = { codec with Codec.version = codec.Codec.version + 1 } in
+  match Codec.of_bytes codec (Codec.to_bytes bumped v) with
+  | Error (Codec.Stale_version { expected; found }) ->
+      expected = codec.Codec.version && found = expected + 1
+  | _ -> false
+
+let test_statistical_version_bump_is_stale () =
+  Alcotest.(check bool) "wafer-mc stale" true
+    (stale_version_rejected Artifact.wafer_mc (sample_wafer_mc ()));
+  Alcotest.(check bool) "bootstrap-fit stale" true
+    (stale_version_rejected Artifact.bootstrap_fit (sample_bootstrap_fit ()))
+
+let test_bootstrap_fit_length_mismatch_is_malformed () =
+  (* The three sample arrays are parallel (one entry per replicate); a
+     mismatched encoding must not decode. *)
+  let v = sample_bootstrap_fit () in
+  let bad = { v with Artifact.theta_max_samples = Array.make 3 0.9 } in
+  match Codec.of_bytes Artifact.bootstrap_fit (Codec.to_bytes Artifact.bootstrap_fit bad) with
+  | Error (Codec.Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "length-mismatched samples decoded"
+  | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
+
+let test_current_versions_cover_statistical_stages () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool) (kind ^ " registered") true
+        (List.mem_assoc kind Artifact.current_versions))
+    [ "wafer-mc"; "bootstrap-fit" ]
+
 (* --- store ---------------------------------------------------------------- *)
 
 let test_store_put_load () =
@@ -525,6 +607,57 @@ let test_experiment_uncached_matches_cached () =
            (fun s -> stage_key plain s = stage_key cached s)
            all_stages))
 
+let test_statistical_stage_key_sensitivity () =
+  (* The MC / bootstrap knobs must fingerprint ONLY their own stages: the
+     simulation artifacts of a tuned re-run stay warm.  stage_keys derives
+     every key without executing anything. *)
+  let circuit = Benchmarks.c17 () in
+  let keys ?mc ?bootstrap ?(target_yield = 0.75) ?(seed = 7) () =
+    Experiment.stage_keys
+      (Experiment.config ~seed ~max_random_vectors:64 ~target_yield ?mc
+         ?bootstrap circuit)
+  in
+  let key stage l = List.assoc stage l in
+  let base = keys () in
+  Alcotest.(check int) "base pipeline has 7 stages" 7 (List.length base);
+  let mc1 = keys ~mc:(Experiment.mc ~dies:1000 ()) () in
+  let mc2 = keys ~mc:(Experiment.mc ~dies:2000 ()) () in
+  let mc3 = keys ~mc:(Experiment.mc ~dies:1000 ~alpha_wafer:2.0 ()) () in
+  let boot1 = keys ~bootstrap:100 () in
+  let boot2 = keys ~bootstrap:200 () in
+  let both = keys ~mc:(Experiment.mc ~dies:1000 ()) ~bootstrap:100 () in
+  Alcotest.(check int) "mc adds one stage" 8 (List.length mc1);
+  Alcotest.(check int) "mc + bootstrap adds two" 9 (List.length both);
+  Alcotest.(check bool) "enabling mc moves no base key" true
+    (List.for_all (fun (s, k) -> key s mc1 = k) base);
+  Alcotest.(check bool) "enabling bootstrap moves no base key" true
+    (List.for_all (fun (s, k) -> key s boot1 = k) base);
+  Alcotest.(check bool) "mc-dies moves the wafer-mc key" false
+    (key "wafer-mc" mc1 = key "wafer-mc" mc2);
+  Alcotest.(check bool) "alpha moves the wafer-mc key" false
+    (key "wafer-mc" mc1 = key "wafer-mc" mc3);
+  Alcotest.(check bool) "mc-dies moves nothing else" true
+    (List.for_all (fun (s, k) -> s = "wafer-mc" || key s mc2 = k) mc1);
+  Alcotest.(check bool) "replicate count moves the bootstrap-fit key" false
+    (key "bootstrap-fit" boot1 = key "bootstrap-fit" boot2);
+  Alcotest.(check bool) "replicate count moves nothing else" true
+    (List.for_all (fun (s, k) -> s = "bootstrap-fit" || key s boot2 = k) boot1);
+  Alcotest.(check bool) "mc knobs never touch the bootstrap-fit key" true
+    (key "bootstrap-fit" both = key "bootstrap-fit" boot1);
+  (* Both statistical stages depend on the projection inputs: yield and
+     seed changes reach them. *)
+  let yld = keys ~mc:(Experiment.mc ~dies:1000 ()) ~bootstrap:100
+      ~target_yield:0.9 () in
+  Alcotest.(check bool) "target yield moves wafer-mc" false
+    (key "wafer-mc" both = key "wafer-mc" yld);
+  Alcotest.(check bool) "target yield moves bootstrap-fit" false
+    (key "bootstrap-fit" both = key "bootstrap-fit" yld);
+  let seeded = keys ~mc:(Experiment.mc ~dies:1000 ()) ~bootstrap:100 ~seed:8 () in
+  Alcotest.(check bool) "seed moves wafer-mc (via its inputs)" false
+    (key "wafer-mc" both = key "wafer-mc" seeded);
+  Alcotest.(check bool) "seed moves bootstrap-fit (via its inputs)" false
+    (key "bootstrap-fit" both = key "bootstrap-fit" seeded)
+
 let () =
   Random.self_init ();
   Alcotest.run "store"
@@ -562,6 +695,20 @@ let () =
               test_builtin_circuits_roundtrip;
             Alcotest.test_case "ifa + swift artifacts round-trip" `Quick
               test_ifa_swift_roundtrip;
+            Alcotest.test_case "wafer-mc round-trip" `Quick
+              test_wafer_mc_roundtrip;
+            Alcotest.test_case "bootstrap-fit round-trip" `Quick
+              test_bootstrap_fit_roundtrip;
+            Alcotest.test_case "wafer-mc every byte flip detected" `Quick
+              test_wafer_mc_every_byte_flip_detected;
+            Alcotest.test_case "bootstrap-fit every byte flip detected" `Quick
+              test_bootstrap_fit_every_byte_flip_detected;
+            Alcotest.test_case "statistical version bumps are stale" `Quick
+              test_statistical_version_bump_is_stale;
+            Alcotest.test_case "bootstrap-fit sample mismatch rejected" `Quick
+              test_bootstrap_fit_length_mismatch_is_malformed;
+            Alcotest.test_case "current_versions covers new kinds" `Quick
+              test_current_versions_cover_statistical_stages;
           ] );
       ( "store",
         [
@@ -578,6 +725,8 @@ let () =
           Alcotest.test_case "version bump is a miss" `Quick
             test_stage_version_bump_is_miss;
           Alcotest.test_case "key sensitivity" `Quick test_stage_key_sensitivity;
+          Alcotest.test_case "statistical stage-key sensitivity" `Quick
+            test_statistical_stage_key_sensitivity;
         ] );
       ( "experiment",
         [

@@ -401,6 +401,130 @@ let test_log_factorial () =
   Alcotest.(check bool) "large n accurate" true
     (Float.abs (Prob.log_factorial 300 -. exact 300) < 1e-6)
 
+let sample_moments f n =
+  let xs = Array.init n (fun _ -> f ()) in
+  let m = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let v =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+    /. float_of_int (n - 1)
+  in
+  (m, v)
+
+let test_gamma_sample_moments () =
+  (* Gamma(shape, 1): mean = variance = shape; covers both the
+     Marsaglia-Tsang core (shape >= 1) and the boosting branch. *)
+  List.iter
+    (fun shape ->
+      let rng = Rng.create 123 in
+      let n = 20_000 in
+      let m, v = sample_moments (fun () -> Prob.gamma_sample rng ~shape) n in
+      let fn = float_of_int n in
+      let mean_tol = 6.0 *. sqrt (shape /. fn) in
+      let var_tol =
+        (6.0 *. sqrt (((2.0 *. shape *. shape) +. (6.0 *. shape)) /. fn))
+        +. 0.02
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "gamma(%g) mean" shape)
+        true
+        (Float.abs (m -. shape) < mean_tol);
+      Alcotest.(check bool)
+        (Printf.sprintf "gamma(%g) variance" shape)
+        true
+        (Float.abs (v -. shape) < var_tol))
+    [ 0.4; 1.0; 2.0; 7.5 ]
+
+let test_gamma_sample_rejects () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero shape"
+    (Invalid_argument "Prob.gamma_sample: shape must be positive") (fun () ->
+      ignore (Prob.gamma_sample rng ~shape:0.0));
+  Alcotest.check_raises "nan shape"
+    (Invalid_argument "Prob.gamma_sample: shape must be positive") (fun () ->
+      ignore (Prob.gamma_sample rng ~shape:Float.nan));
+  Alcotest.check_raises "mixing zero alpha"
+    (Invalid_argument "Prob.gamma_mixing_sample: alpha must be positive")
+    (fun () -> ignore (Prob.gamma_mixing_sample rng ~alpha:0.0))
+
+let test_gamma_mixing_sample () =
+  let rng = Rng.create 5 in
+  check_close ~eps:0.0 "infinite alpha degenerates to 1"
+    1.0
+    (Prob.gamma_mixing_sample rng ~alpha:Float.infinity);
+  (* mean-1 severity: mean ~ 1, variance ~ 1/alpha *)
+  let alpha = 2.0 in
+  let m, v =
+    sample_moments (fun () -> Prob.gamma_mixing_sample rng ~alpha) 20_000
+  in
+  Alcotest.(check bool) "mixing mean 1" true (Float.abs (m -. 1.0) < 0.03);
+  Alcotest.(check bool)
+    "mixing variance 1/alpha" true
+    (Float.abs (v -. (1.0 /. alpha)) < 0.05)
+
+let test_negative_binomial_sample_moments () =
+  (* Gamma-mixed Poisson: mean m, variance m + m^2/alpha. *)
+  List.iter
+    (fun (mean, alpha) ->
+      let rng = Rng.create 77 in
+      let n = 20_000 in
+      let target_var = mean +. (mean *. mean /. alpha) in
+      let m, v =
+        sample_moments
+          (fun () ->
+            float_of_int (Prob.negative_binomial_sample rng ~mean ~alpha))
+          n
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "nb(%g,%g) mean" mean alpha)
+        true
+        (Float.abs (m -. mean) < 6.0 *. sqrt (target_var /. float_of_int n));
+      Alcotest.(check bool)
+        (Printf.sprintf "nb(%g,%g) variance" mean alpha)
+        true
+        (Float.abs (v -. target_var) < (0.2 *. target_var) +. 0.1))
+    [ (3.0, 0.5); (3.0, 5.0); (0.7, 2.0); (2.0, Float.infinity) ]
+
+let test_negative_binomial_sample_rejects () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "negative mean"
+    (Invalid_argument "Prob.negative_binomial_sample: negative mean")
+    (fun () -> ignore (Prob.negative_binomial_sample rng ~mean:(-1.0) ~alpha:2.0));
+  Alcotest.check_raises "zero alpha"
+    (Invalid_argument "Prob.negative_binomial_sample: alpha must be positive")
+    (fun () -> ignore (Prob.negative_binomial_sample rng ~mean:1.0 ~alpha:0.0));
+  Alcotest.(check int)
+    "zero mean samples zero" 0
+    (Prob.negative_binomial_sample rng ~mean:0.0 ~alpha:2.0)
+
+let test_poisson_sample_chisq () =
+  (* Chi-square goodness of fit against the pmf: bins 0..8 plus the >= 9
+     tail, 20k draws at a fixed seed.  chi2_{0.999, df=9} = 27.88. *)
+  let lambda = 2.5 in
+  let n = 20_000 in
+  let rng = Rng.create 2024 in
+  let bins = 9 in
+  let counts = Array.make (bins + 1) 0 in
+  for _ = 1 to n do
+    let k = Prob.poisson_sample rng ~lambda in
+    let b = if k >= bins then bins else k in
+    counts.(b) <- counts.(b) + 1
+  done;
+  let chi2 = ref 0.0 in
+  let tail_p = ref 1.0 in
+  for k = 0 to bins - 1 do
+    let p = Prob.poisson_pmf ~lambda k in
+    tail_p := !tail_p -. p;
+    let expected = float_of_int n *. p in
+    let d = float_of_int counts.(k) -. expected in
+    chi2 := !chi2 +. (d *. d /. expected)
+  done;
+  let expected_tail = float_of_int n *. !tail_p in
+  let d = float_of_int counts.(bins) -. expected_tail in
+  chi2 := !chi2 +. (d *. d /. expected_tail);
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.2f < 27.88" !chi2)
+    true (!chi2 < 27.88)
+
 (* --- Table ---------------------------------------------------------------- *)
 
 let test_table_render () =
@@ -590,11 +714,51 @@ let prop_seeds_scope_is_path_prefix =
       let direct = String.concat "/" (segs @ [ leaf ]) in
       Seeds.fingerprint scoped leaf = Seeds.fingerprint s direct)
 
+(* Distribution properties over randomly-drawn parameters.  The sampler rng
+   is derived deterministically from the parameters, so each parameter
+   point is a reproducible 6-sigma moment check — the QCheck layer only
+   varies which points get probed. *)
+let prop_gamma_sample_mean =
+  QCheck.Test.make ~name:"gamma_sample mean tracks shape" ~count:40
+    QCheck.(float_range 0.3 12.0)
+    (fun shape ->
+      let rng = Rng.create (Hashtbl.hash (Printf.sprintf "g/%.9f" shape)) in
+      let n = 4_000 in
+      let acc = ref 0.0 in
+      for _ = 1 to n do
+        acc := !acc +. Prob.gamma_sample rng ~shape
+      done;
+      let m = !acc /. float_of_int n in
+      Float.abs (m -. shape) < (6.0 *. sqrt (shape /. float_of_int n)) +. 0.01)
+
+let prop_negative_binomial_sample_mean =
+  QCheck.Test.make ~name:"negative_binomial_sample mean and overdispersion"
+    ~count:40
+    QCheck.(pair (float_range 0.5 5.0) (float_range 1.0 20.0))
+    (fun (mean, alpha) ->
+      let rng =
+        Rng.create (Hashtbl.hash (Printf.sprintf "nb/%.9f/%.9f" mean alpha))
+      in
+      let n = 4_000 in
+      let acc = ref 0.0 and acc2 = ref 0.0 in
+      for _ = 1 to n do
+        let x = float_of_int (Prob.negative_binomial_sample rng ~mean ~alpha) in
+        acc := !acc +. x;
+        acc2 := !acc2 +. (x *. x)
+      done;
+      let fn = float_of_int n in
+      let m = !acc /. fn in
+      let v = (!acc2 /. fn) -. (m *. m) in
+      let target_var = mean +. (mean *. mean /. alpha) in
+      Float.abs (m -. mean) < (6.0 *. sqrt (target_var /. fn)) +. 0.02
+      && Float.abs (v -. target_var) < (0.35 *. target_var) +. 0.4)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_quantile_bounds; prop_histogram_conserves;
       prop_weight_probability_inverse; prop_seeds_distinct_paths;
-      prop_seeds_scope_is_path_prefix ]
+      prop_seeds_scope_is_path_prefix; prop_gamma_sample_mean;
+      prop_negative_binomial_sample_mean ]
 
 let () =
   Alcotest.run "dl_util"
@@ -678,6 +842,18 @@ let () =
           Alcotest.test_case "binomial pmf" `Quick test_binomial_pmf;
           Alcotest.test_case "truncated poisson" `Quick test_truncated_poisson;
           Alcotest.test_case "log factorial" `Quick test_log_factorial;
+          Alcotest.test_case "gamma sampling moments" `Quick
+            test_gamma_sample_moments;
+          Alcotest.test_case "gamma sampling validation" `Quick
+            test_gamma_sample_rejects;
+          Alcotest.test_case "gamma mixing severity" `Quick
+            test_gamma_mixing_sample;
+          Alcotest.test_case "nb sampling moments" `Quick
+            test_negative_binomial_sample_moments;
+          Alcotest.test_case "nb sampling validation" `Quick
+            test_negative_binomial_sample_rejects;
+          Alcotest.test_case "poisson sampling chi-square" `Quick
+            test_poisson_sample_chisq;
         ] );
       ( "table",
         [
