@@ -9,7 +9,7 @@
 
    Sections: fig1 fig2 fig3 fig4 fig5 fig6 examples ablation delay
    quality resistive stability sweep clustered lot par kernel store serve
-   micro mc
+   micro mc ndet
 
    The [kernel] section additionally writes BENCH_fault_sim.json
    (machine-readable old-vs-new throughput gate) to the working directory
@@ -17,7 +17,9 @@
    (cold-vs-warm artifact-cache gate) or $BENCH_STORE_JSON; [serve] writes
    BENCH_serve.json (concurrent loopback daemon gate) or
    $BENCH_SERVE_JSON; [mc] writes BENCH_mc.json (Monte-Carlo throughput
-   and uncertainty-band gate) or $BENCH_MC_JSON. *)
+   and uncertainty-band gate) or $BENCH_MC_JSON; [ndet] writes
+   BENCH_ndet.json (multi-detect overhead and DL(n) monotonicity gate) or
+   $BENCH_NDET_JSON. *)
 
 open Dl_core
 module Coverage = Dl_fault.Coverage
@@ -1513,6 +1515,147 @@ let mc_bench () =
     "gate: MC throughput above floor; bands bracket the closed form; \
      bootstrap CIs bracket their point estimates."
 
+(* ------------------------------------------------------------ ndet bench *)
+
+(* n-detection gates on the real c880s pipeline: (a) engine overhead — the
+   chunked multi-detect driver at quota 4 must cost at most 2.5x the
+   dropping 1-detection engine on the same universe and vector sequence
+   (best of 3 runs each), and (b) the full-pipeline DL(n) table must be
+   monotone non-increasing in n at the shared coverage target.  Writes the
+   machine-readable BENCH_ndet.json (or $BENCH_NDET_JSON). *)
+let ndet_bench () =
+  section_banner "NDET" "multi-detect overhead + DL(n) monotonicity (c880s)";
+  let c = Dl_netlist.Benchmarks.c880s () in
+  Printf.printf "[pipeline with --ndet 8...]\n%!";
+  let t0 = Unix.gettimeofday () in
+  let e =
+    Experiment.run
+      (Experiment.config ~seed:7 ~max_random_vectors:256 ~ndet:8 c)
+  in
+  let pipeline_s = Unix.gettimeofday () -. t0 in
+  let nd = Option.get e.Experiment.ndet in
+  let mapped = e.Experiment.mapped_circuit in
+  let faults = e.Experiment.stuck_faults in
+  let engine = e.Experiment.cfg.Experiment.sim_engine in
+  (* Overhead measurement on a long random sequence: the chunked driver
+     has fixed per-block bookkeeping, so a fair amortized comparison needs
+     enough vectors that both engines drop most faults well before the
+     end.  Repeat each run and take the best of 3 batches to shed timer
+     and allocation noise at sub-millisecond per-run cost. *)
+  let rng = Dl_util.Rng.create 4242 in
+  let n_pi = Dl_netlist.Circuit.input_count mapped in
+  let vectors =
+    Array.init 1024 (fun _ ->
+        Array.init n_pi (fun _ -> Dl_util.Rng.bool rng))
+  in
+  let repeats = 10 in
+  let best_of_3 f =
+    let rec go best i =
+      if i >= 3 then best
+      else begin
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to repeats do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        go
+          (Float.min best ((Unix.gettimeofday () -. t0) /. float_of_int repeats))
+          (i + 1)
+      end
+    in
+    go infinity 0
+  in
+  let single =
+    Dl_fault.Fault_sim.run_with ~engine ~drop_detected:true mapped ~faults
+      ~vectors
+  in
+  let ndet4 =
+    Dl_fault.Fault_sim.run_ndet ~engine ~drop_after:4 mapped ~faults ~vectors
+  in
+  let t_single =
+    best_of_3 (fun () ->
+        Dl_fault.Fault_sim.run_with ~engine ~drop_detected:true mapped ~faults
+          ~vectors)
+  in
+  let t_ndet4 =
+    best_of_3 (fun () ->
+        Dl_fault.Fault_sim.run_ndet ~engine ~drop_after:4 mapped ~faults
+          ~vectors)
+  in
+  (* The gated overhead is the deterministic work ratio (faulty-machine
+     gate evaluations), not wall clock: sub-millisecond timings swing with
+     machine load, while the evaluation counters are reproducible to the
+     bit on every run.  Wall clock stays as an informational column. *)
+  let overhead =
+    float_of_int ndet4.Dl_fault.Fault_sim.gate_evaluations
+    /. float_of_int (max 1 single.Dl_fault.Fault_sim.gate_evaluations)
+  in
+  let wall_ratio = t_ndet4 /. t_single in
+  Printf.printf
+    "pipeline %.2f s; %d faults x %d vectors [%s]: 1-detection %.4f s \
+     (%d evals), run_ndet(4) %.4f s (%d evals), work overhead %.2fx \
+     (wall %.2fx)\n"
+    pipeline_s (Array.length faults) (Array.length vectors)
+    (Dl_fault.Fault_sim.engine_to_string engine)
+    t_single single.Dl_fault.Fault_sim.gate_evaluations t_ndet4
+    ndet4.Dl_fault.Fault_sim.gate_evaluations overhead wall_ratio;
+  let rows = nd.Experiment.dl_n.Dl_n.rows in
+  let table = Table.create
+      [ ("n", Table.Right); ("final T(n)", Table.Right);
+        ("k@T*", Table.Right); ("DL@T*", Table.Right) ]
+  in
+  Array.iter
+    (fun (r : Dl_n.row) ->
+      Table.add_row table
+        [ string_of_int r.Dl_n.n; Table.fmt_pct r.Dl_n.final_t;
+          string_of_int r.Dl_n.k_at_target; Table.fmt_ppm r.Dl_n.dl_at_target ])
+    rows;
+  Table.print table;
+  let monotone = ref true in
+  Array.iteri
+    (fun j (r : Dl_n.row) ->
+      if j > 0 && r.Dl_n.dl_at_target > rows.(j - 1).Dl_n.dl_at_target +. 1e-12
+      then monotone := false)
+    rows;
+  let json_path =
+    match Sys.getenv_opt "BENCH_NDET_JSON" with
+    | Some p -> p
+    | None -> "BENCH_ndet.json"
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"section\": \"ndet\", \"pipeline_s\": %.2f, \"t_single_s\": %.4f, \
+     \"t_ndet4_s\": %.4f, \"overhead\": %.3f, \"wall_ratio\": %.3f, \
+     \"single_evals\": %d, \"ndet4_evals\": %d, \"dl_monotone\": %b, \
+     \"rows\": [%s]}\n"
+    pipeline_s t_single t_ndet4 overhead wall_ratio
+    single.Dl_fault.Fault_sim.gate_evaluations
+    ndet4.Dl_fault.Fault_sim.gate_evaluations !monotone
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun (r : Dl_n.row) ->
+               Printf.sprintf "{\"n\": %d, \"dl_at_target\": %.17g}" r.Dl_n.n
+                 r.Dl_n.dl_at_target)
+             rows)));
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  let failed = ref false in
+  let max_overhead = 2.5 in
+  if overhead > max_overhead then begin
+    Printf.eprintf
+      "FAIL: run_ndet(4) work overhead %.2fx above the %.1fx ceiling\n"
+      overhead max_overhead;
+    failed := true
+  end;
+  if not !monotone then begin
+    Printf.eprintf "FAIL: DL(n) at the shared target is not non-increasing\n";
+    failed := true
+  end;
+  if !failed then exit 1;
+  print_endline
+    "gate: multi-detect overhead under the ceiling; DL(n) monotone \
+     non-increasing."
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -1540,6 +1683,7 @@ let sections =
     ("cluster", cluster_bench);
     ("micro", micro);
     ("mc", mc_bench);
+    ("ndet", ndet_bench);
   ]
 
 let () =

@@ -6,6 +6,8 @@
      extract    synthesize layout + inductive fault analysis
      project    closed-form DL projections from (Y, T, R, θmax)
      pipeline   the full paper experiment on a benchmark
+     ndet       n-detection test generation and per-n coverage profile
+     benchmarks list built-in benchmark circuits
      cache      artifact-store maintenance (stats, verify, gc)
      check      differential/metamorphic self-checks + mutation self-test
      bench-io   read/write ISCAS-85 .bench files
@@ -250,6 +252,30 @@ let bootstrap_json (b : Dl_core.Bootstrap.t) =
     (json_float_or_null b.alpha_point)
     (ci b.alpha)
 
+let ndet_json (nd : Dl_core.Experiment.ndet_result) =
+  let rows =
+    nd.dl_n.rows
+    |> Array.map (fun (r : Dl_core.Dl_n.row) ->
+           Printf.sprintf
+             "{\"n\": %d, \"final_t\": %s, \"r\": %s, \"theta_max\": %s, \
+              \"residual_dl\": %s, \"k_at_target\": %d, \"dl_at_target\": %s}"
+             r.n
+             (json_float_or_null r.final_t)
+             (json_float_or_null r.fit.Dl_core.Projection.params.r)
+             (json_float_or_null r.fit.Dl_core.Projection.params.theta_max)
+             (json_float_or_null r.residual_dl)
+             r.k_at_target
+             (json_float_or_null r.dl_at_target))
+    |> Array.to_list |> String.concat ", "
+  in
+  Printf.sprintf
+    "{\"n\": %d, \"t_star\": %s, \"rows\": [%s], \"gen_vectors\": %d, \
+     \"gen_random\": %d, \"gen_topup\": %d, \"gen_under_quota\": %d}"
+    nd.ndet_n
+    (json_float_or_null nd.dl_n.t_star)
+    rows nd.gen_stats.final_vectors nd.gen_stats.random_vectors
+    nd.gen_stats.topup_vectors nd.gen_stats.under_quota
+
 (* The served-response JSON is a single flat object; extend it in place
    rather than wrapping, so consumers of the core schema keep working. *)
 let splice_json base extras =
@@ -260,8 +286,8 @@ let splice_json base extras =
 
 let pipeline_cmd =
   let run spec seed jobs max_random target_yield points no_collapse engine
-      sim_stats mc_dies mc_alpha_wafer mc_alpha_lot bootstrap report cache
-      json =
+      sim_stats mc_dies mc_alpha_wafer mc_alpha_lot bootstrap ndet report
+      cache json =
     let c = load_circuit spec in
     check_writable_parent report;
     let sim_engine =
@@ -290,10 +316,16 @@ let pipeline_cmd =
       | k when k < 0 -> die "--bootstrap must be positive"
       | k -> Some k
     in
+    let ndet =
+      match ndet with
+      | 0 -> None
+      | k when k < 0 -> die "--ndet must be positive"
+      | k -> Some k
+    in
     let cfg =
       Dl_core.Experiment.config ~seed ~max_random_vectors:max_random ~target_yield
         ~domains:(resolve_jobs jobs) ~collapse_faults:(not no_collapse)
-        ~sim_engine ?cache_dir:cache ?mc ?bootstrap c
+        ~sim_engine ?cache_dir:cache ?mc ?bootstrap ?ndet c
     in
     let t0 = Unix.gettimeofday () in
     let e = Dl_core.Experiment.run cfg in
@@ -323,6 +355,7 @@ let pipeline_cmd =
             Option.map
               (fun b -> "\"bootstrap\": " ^ bootstrap_json b)
               e.bootstrap_fit;
+            Option.map (fun nd -> "\"ndet\": " ^ ndet_json nd) e.ndet;
           ]
       in
       print_endline (splice_json (Dl_serve.Protocol.served_to_json served) extras);
@@ -393,6 +426,34 @@ let pipeline_cmd =
         Printf.printf "  α    = %.3g  CI [%.3g, %.3g]\n" b.alpha_point
           b.alpha.Dl_core.Bootstrap.lo b.alpha.hi)
       e.bootstrap_fit;
+    Option.iter
+      (fun (nd : Dl_core.Experiment.ndet_result) ->
+        Printf.printf
+          "\nDL(n) table (quota %d, shared coverage target T* = %s):\n"
+          nd.ndet_n
+          (Table.fmt_pct nd.dl_n.t_star);
+        let t = Table.create
+            [ ("n", Table.Right); ("final T(n)", Table.Right);
+              ("R", Table.Right); ("θmax", Table.Right);
+              ("residual DL", Table.Right); ("k@T*", Table.Right);
+              ("DL@T*", Table.Right) ]
+        in
+        Array.iter
+          (fun (r : Dl_core.Dl_n.row) ->
+            Table.add_row t
+              [ string_of_int r.n; Table.fmt_pct r.final_t;
+                Printf.sprintf "%.2f" r.fit.Dl_core.Projection.params.r;
+                Printf.sprintf "%.4f" r.fit.Dl_core.Projection.params.theta_max;
+                Table.fmt_ppm r.residual_dl; string_of_int r.k_at_target;
+                Table.fmt_ppm r.dl_at_target ])
+          nd.dl_n.rows;
+        Table.print t;
+        Printf.printf
+          "n-detection test set (n = %d): %d vectors (%d random + %d top-up \
+           before compaction), %d faults under quota\n"
+          nd.ndet_n nd.gen_stats.final_vectors nd.gen_stats.random_vectors
+          nd.gen_stats.topup_vectors nd.gen_stats.under_quota)
+      e.ndet;
     match report with
     | None -> ()
     | Some path ->
@@ -472,14 +533,130 @@ let pipeline_cmd =
                  case-resampled replicates and print percentile confidence \
                  intervals (0 = off).  Caches as the bootstrap-fit stage.")
   in
+  let ndet =
+    Arg.(value & opt int 0 & info [ "ndet" ] ~docv:"N"
+           ~doc:"Profile n-detection up to quota $(docv) and print the DL(n) \
+                 table (each fault required to be detected n times before \
+                 it counts), plus generate a registered n-detection test set \
+                 (0 = off).  Caches as the ndet-sim / ndet-atpg stages.")
+  in
   Cmd.v
     (Cmd.info "pipeline" ~version
        ~doc:"Full experiment: layout, IFA, ATPG, gate+switch fault simulation, \
              DL projection and (R, θmax) fit, with optional Monte-Carlo DL \
-             bands and bootstrap confidence intervals.")
+             bands, bootstrap confidence intervals and DL(n) n-detection \
+             curves.")
     Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ max_random $ target_yield
           $ points $ no_collapse $ engine $ sim_stats $ mc_dies
-          $ mc_alpha_wafer $ mc_alpha_lot $ bootstrap $ report $ cache $ json)
+          $ mc_alpha_wafer $ mc_alpha_lot $ bootstrap $ ndet $ report $ cache
+          $ json)
+
+(* ------------------------------------------------------------------ ndet *)
+
+let ndet_cmd =
+  let run spec seed jobs n max_random engine =
+    if n < 1 then die "-n must be >= 1";
+    let sim_engine =
+      match Dl_fault.Fault_sim.engine_of_string engine with
+      | Some e -> e
+      | None ->
+          die "unknown engine %S (known: %s)" engine
+            (String.concat ", "
+               (List.map Dl_fault.Fault_sim.engine_to_string
+                  Dl_fault.Fault_sim.engines))
+    in
+    let c = Dl_netlist.Transform.decompose_for_cells (load_circuit spec) in
+    let faults = Dl_fault.Stuck_at.collapse c (Dl_fault.Stuck_at.universe c) in
+    let r =
+      Dl_ndet.Atpg_n.run ~seed ~max_random ~engine:sim_engine ~n c ~faults
+    in
+    let s = r.stats in
+    Printf.printf
+      "%d collapsed faults, quota n = %d\n\
+       vectors: %d kept after compaction (%d random + %d top-up generated)\n\
+       untestable %d, aborted %d, under quota %d\n"
+      s.total_faults s.n s.final_vectors s.random_vectors s.topup_vectors
+      s.untestable s.aborted s.under_quota;
+    (* Per-n coverage of the kept set, over the testable universe (the
+       PODEM-proved-redundant classes can never meet any quota). *)
+    let testable =
+      Array.of_list
+        (Array.to_list faults
+         |> List.filter (fun f ->
+                not (Array.exists (fun u -> u = f) r.untestable_faults)))
+    in
+    if Array.length r.vectors = 0 then
+      print_endline "empty test set: nothing to profile"
+    else begin
+      let profile =
+        Dl_fault.Fault_sim.run_ndet ~engine:sim_engine
+          ~domains:(resolve_jobs jobs) ~drop_after:n c ~faults:testable
+          ~vectors:r.vectors
+      in
+      let t = Table.create
+          [ ("n", Table.Right); ("faults detected n+ times", Table.Right);
+            ("Tn(final)", Table.Right) ]
+      in
+      Array.iter
+        (fun n' ->
+          Table.add_row t
+            [ string_of_int n';
+              Printf.sprintf "%d / %d"
+                (Dl_ndet.Profile.detected_at_least profile ~k:n')
+                (Array.length testable);
+              Table.fmt_pct (Dl_ndet.Profile.final_coverage profile ~n:n') ])
+        (Dl_core.Dl_n.default_ns ~max_n:n);
+      Table.print t
+    end
+  in
+  let n_arg =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N"
+           ~doc:"Detection quota: every testable fault is targeted until \
+                 detected $(docv) times.")
+  in
+  let max_random =
+    Arg.(value & opt int 4096 & info [ "max-random" ] ~docv:"N"
+           ~doc:"Random-phase vector budget.")
+  in
+  let engine =
+    Arg.(value & opt string "flat"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"PPSFP engine variant (reference, flat, event, pruned, \
+                   wide).  Results are engine-independent.")
+  in
+  Cmd.v
+    (Cmd.info "ndet" ~version
+       ~doc:"Generate an n-detection test set (random quotas + PODEM \
+             re-targeting + reverse compaction) and profile its per-n \
+             coverage.")
+    Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ n_arg $ max_random
+          $ engine)
+
+(* ------------------------------------------------------------ benchmarks *)
+
+let benchmarks_cmd =
+  let run () =
+    let t = Table.create
+        [ ("name", Table.Left); ("PIs", Table.Right); ("POs", Table.Right);
+          ("gates", Table.Right); ("nodes", Table.Right) ]
+    in
+    List.iter
+      (fun (name, build) ->
+        let c = build () in
+        Table.add_row t
+          [ name;
+            string_of_int (Circuit.input_count c);
+            string_of_int (Circuit.output_count c);
+            string_of_int (Circuit.gate_count c);
+            string_of_int (Circuit.node_count c) ])
+      Dl_netlist.Benchmarks.all;
+    Table.print t
+  in
+  Cmd.v
+    (Cmd.info "benchmarks" ~version
+       ~doc:"List the built-in benchmark circuits with their interface and \
+             gate counts.")
+    Term.(const run $ const ())
 
 (* ----------------------------------------------------------------- cache *)
 
@@ -1086,9 +1263,10 @@ let () =
    with Invalid_argument _ -> ());
   let doc = "defect-level projection from layout-extracted realistic faults" in
   let main = Cmd.group (Cmd.info "dlproj" ~version ~doc)
-      [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd; cache_cmd;
-        transition_cmd; compact_cmd; check_cmd; bench_io_cmd; serve_cmd;
-        submit_cmd; ping_cmd; bench_serve_cmd; coord_cmd; svg_cmd ]
+      [ info_cmd; atpg_cmd; extract_cmd; project_cmd; pipeline_cmd; ndet_cmd;
+        benchmarks_cmd; cache_cmd; transition_cmd; compact_cmd; check_cmd;
+        bench_io_cmd; serve_cmd; submit_cmd; ping_cmd; bench_serve_cmd;
+        coord_cmd; svg_cmd ]
   in
   (* Operational failures (missing files, malformed netlists, bad paths,
      missing or dead sockets) get a one-line diagnostic and exit 1 instead

@@ -773,6 +773,174 @@ let bootstrap_coverage ~seed =
       tmax_true !tmax_hits trials
   else None
 
+(* --- ndet-1detect: multi-detect at quota 1 vs the dropping engines ------ *)
+
+module Dl_n = Dl_core.Dl_n
+module Ndet_profile = Dl_ndet.Profile
+
+(* The drop-invariance lemma made checkable: at [drop_after:1] the chunked
+   multi-detect driver must be bit-identical to [drop_detected:true] on
+   every engine — same firsts, and the n = 1 coverage curve equal (as a
+   value) to the one the single-detection flow builds. *)
+let ndet_one_detect (case : Testcase.t) =
+  let { Testcase.circuit = c; vectors; faults; _ } = case in
+  if Array.length vectors = 0 || Array.length faults = 0 then None
+  else
+    let rec engines = function
+      | [] -> None
+      | engine :: rest ->
+          let single =
+            Fault_sim.run_with ~engine ~drop_detected:true c ~faults ~vectors
+          in
+          let nd = Fault_sim.run_ndet ~engine ~drop_after:1 c ~faults ~vectors in
+          let firsts = Fault_sim.ndet_first_detection nd in
+          let rec fault i =
+            if i >= Array.length faults then
+              if
+                Ndet_profile.coverage nd ~n:1
+                <> Dl_fault.Coverage.make single.first_detection
+              then
+                failf "ndet-1detect [%s]: n=1 coverage curve differs"
+                  (Fault_sim.engine_to_string engine)
+              else engines rest
+            else if firsts.(i) <> single.first_detection.(i) then
+              failf
+                "ndet-1detect [%s]: fault %d first detection %s vs %s"
+                (Fault_sim.engine_to_string engine)
+                i
+                (match firsts.(i) with
+                 | None -> "never" | Some v -> string_of_int v)
+                (match single.first_detection.(i) with
+                 | None -> "never" | Some v -> string_of_int v)
+            else if nd.counts.(i) <> (if firsts.(i) = None then 0 else 1) then
+              failf "ndet-1detect [%s]: fault %d count %d inconsistent"
+                (Fault_sim.engine_to_string engine)
+                i nd.counts.(i)
+            else fault (i + 1)
+          in
+          fault 0
+    in
+    engines Fault_sim.engines
+
+(* --- ndet-monotone: count and coverage monotonicity across quotas ------- *)
+
+(* Detection of one fault is independent of which other faults are still
+   live, so a lower quota is a pure truncation of a higher one: counts at
+   quota 2 must equal [min counts4 2], the first two detection indices must
+   agree, indices must be strictly increasing in k, and the T_n curves
+   pointwise non-increasing in n. *)
+let ndet_monotone (case : Testcase.t) =
+  let { Testcase.circuit = c; vectors; faults; _ } = case in
+  let n_vectors = Array.length vectors in
+  if n_vectors = 0 || Array.length faults = 0 then None
+  else
+    let nd2 = Fault_sim.run_ndet ~drop_after:2 c ~faults ~vectors in
+    let nd4 = Fault_sim.run_ndet ~drop_after:4 c ~faults ~vectors in
+    let rec fault i =
+      if i >= Array.length faults then None
+      else if nd2.counts.(i) <> min nd4.counts.(i) 2 then
+        failf "ndet-monotone: fault %d counts %d@2 vs %d@4" i nd2.counts.(i)
+          nd4.counts.(i)
+      else
+        let rec kth k prev =
+          if k > 4 then fault (i + 1)
+          else
+            let at4 = (Fault_sim.ndet_kth_detection nd4 ~k).(i) in
+            (if k <= 2 then
+               let at2 = (Fault_sim.ndet_kth_detection nd2 ~k).(i) in
+               if at2 <> at4 then
+                 failf "ndet-monotone: fault %d k=%d index differs across \
+                        quotas" i k
+               else None
+             else None)
+            |> function
+            | Some _ as err -> err
+            | None -> (
+                match (prev, at4) with
+                | Some p, Some v when v <= p ->
+                    failf
+                      "ndet-monotone: fault %d detection indices not \
+                       increasing (k=%d: %d after %d)"
+                      i k v p
+                | Some _, None | None, None -> kth (k + 1) prev
+                | _, _ -> kth (k + 1) at4)
+        in
+        kth 1 None
+    in
+    match fault 0 with
+    | Some _ as err -> err
+    | None ->
+        let curves =
+          Array.map (fun n -> Ndet_profile.coverage nd4 ~n) [| 1; 2; 3; 4 |]
+        in
+        let ks = Dl_fault.Coverage.log_spaced ~max:n_vectors ~points:12 in
+        Array.fold_left
+          (fun acc k ->
+            if acc <> None then acc
+            else
+              let rec level j =
+                if j >= Array.length curves - 1 then None
+                else
+                  let hi = Dl_fault.Coverage.at curves.(j) k
+                  and lo = Dl_fault.Coverage.at curves.(j + 1) k in
+                  if lo > hi +. 1e-12 then
+                    failf
+                      "ndet-monotone: T_%d(%d) = %.6f exceeds T_%d(%d) = %.6f"
+                      (j + 2) k lo (j + 1) k hi
+                  else level (j + 1)
+              in
+              level 0)
+          None ks
+
+(* --- ndet-dl-monotone: DL(n) table non-increasing at the shared target -- *)
+
+(* [Dl_n.analyze] is curve-agnostic in its theta argument, so a synthetic
+   weighted stand-in built from the profile's own firsts exercises the
+   whole table construction cheaply: dl_at_target must be non-increasing
+   and k_at_target non-decreasing in n, every row reaching t_star. *)
+let ndet_dl_monotone (case : Testcase.t) =
+  let { Testcase.circuit = c; vectors; faults; seed } = case in
+  let n_vectors = Array.length vectors in
+  if n_vectors = 0 || Array.length faults = 0 then None
+  else
+    let nd = Fault_sim.run_ndet ~drop_after:4 c ~faults ~vectors in
+    let rng = Rng.create (0x9DE7 + abs seed) in
+    let weights =
+      Array.init (Array.length faults) (fun _ -> Rng.float_in rng 0.1 1.0)
+    in
+    let theta_curve =
+      Dl_fault.Coverage.make ~weights (Fault_sim.ndet_first_detection nd)
+    in
+    let table =
+      Dl_n.analyze ~ns:[| 1; 2; 4 |] ~fit_points:24 ~profile:nd ~theta_curve
+        ~yield:0.75 ~n_vectors ()
+    in
+    let rows = table.Dl_n.rows in
+    let rec row j =
+      if j >= Array.length rows then None
+      else
+        let r = rows.(j) in
+        if r.Dl_n.final_t < table.Dl_n.t_star -. 1e-12 then
+          failf "ndet-dl-monotone: row n=%d final T %.6f below t* %.6f"
+            r.Dl_n.n r.Dl_n.final_t table.Dl_n.t_star
+        else if
+          j > 0 && r.Dl_n.dl_at_target > rows.(j - 1).Dl_n.dl_at_target +. 1e-12
+        then
+          failf
+            "ndet-dl-monotone: DL@T* increased from %.6f (n=%d) to %.6f \
+             (n=%d)"
+            rows.(j - 1).Dl_n.dl_at_target
+            rows.(j - 1).Dl_n.n r.Dl_n.dl_at_target r.Dl_n.n
+        else if j > 0 && r.Dl_n.k_at_target < rows.(j - 1).Dl_n.k_at_target
+        then
+          failf
+            "ndet-dl-monotone: k@T* decreased from %d (n=%d) to %d (n=%d)"
+            rows.(j - 1).Dl_n.k_at_target
+            rows.(j - 1).Dl_n.n r.Dl_n.k_at_target r.Dl_n.n
+        else row (j + 1)
+    in
+    row 0
+
 (* --- registry ----------------------------------------------------------- *)
 
 let all =
@@ -858,6 +1026,21 @@ let all =
         "90% bootstrap CIs on (R, thetamax) cover synthetic eq. 9 truth \
          in >= 7/12 trials";
       kind = Sweep bootstrap_coverage };
+    { name = "ndet-1detect";
+      doc =
+        "run_ndet at quota 1 bit-identical to drop_detected on every \
+         engine; n=1 coverage curve equal to the single-detection one";
+      kind = Case ndet_one_detect };
+    { name = "ndet-monotone";
+      doc =
+        "quota-2 counts/indices a truncation of quota-4; per-fault \
+         detection indices increasing; T_n pointwise non-increasing in n";
+      kind = Case ndet_monotone };
+    { name = "ndet-dl-monotone";
+      doc =
+        "Dl_n table on a synthetic weighted theta: DL@T* non-increasing \
+         and k@T* non-decreasing in n, every row reaching t*";
+      kind = Case ndet_dl_monotone };
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -46,7 +46,17 @@ val all : t list
       negative-binomial yield for several alphas;
     - ["bootstrap-coverage"]: the 90% {!Dl_core.Bootstrap} intervals on
       [(R, θmax)] cover a synthetic eq. 9 ground truth in at least 7 of
-      12 independent trials. *)
+      12 independent trials;
+    - ["ndet-1detect"]: {!Dl_fault.Fault_sim.run_ndet} at [drop_after:1]
+      is bit-identical to the dropping single-detection run on every
+      engine, with an equal n = 1 coverage curve;
+    - ["ndet-monotone"]: a lower quota is a pure truncation of a higher
+      one (counts, k-th detection indices), per-fault detection indices
+      strictly increase in k, and T{_n}(k) is pointwise non-increasing
+      in n;
+    - ["ndet-dl-monotone"]: the {!Dl_core.Dl_n} table over a synthetic
+      weighted Θ stand-in has DL@T* non-increasing and k@T*
+      non-decreasing in n, every row reaching the shared target. *)
 
 val find : string -> t option
 val names : unit -> string list

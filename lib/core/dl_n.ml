@@ -1,0 +1,85 @@
+module Coverage = Dl_fault.Coverage
+module Profile = Dl_ndet.Profile
+
+type row = {
+  n : int;
+  final_t : float;
+  fit : Projection.fit;
+  residual_dl : float;
+  k_at_target : int;
+  dl_at_target : float;
+}
+
+type t = {
+  max_n : int;
+  t_star : float;
+  yield : float;
+  rows : row array;
+}
+
+let default_ns ~max_n =
+  if max_n < 1 then invalid_arg "Dl_n.default_ns: max_n must be >= 1";
+  let rec powers acc p =
+    if p >= max_n then List.rev (max_n :: acc)
+    else powers (p :: acc) (2 * p)
+  in
+  Array.of_list (powers [] 1)
+
+(* Smallest k in [1, n_vectors] with coverage(k) >= target; coverage is
+   non-decreasing in k so binary search applies.  [n_vectors] when even the
+   full sequence falls short (only possible for target > final, which
+   [analyze] never asks for). *)
+let first_k_reaching curve ~n_vectors ~target =
+  if Coverage.at curve n_vectors < target then n_vectors
+  else begin
+    let lo = ref 1 and hi = ref n_vectors in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Coverage.at curve mid >= target then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let analyze ?ns ?(fit_points = 100) ~profile ~theta_curve ~yield ~n_vectors () =
+  let max_n = Profile.max_n profile in
+  let ns = match ns with Some ns -> ns | None -> default_ns ~max_n in
+  if Array.length ns = 0 then invalid_arg "Dl_n.analyze: empty ns";
+  Array.iter
+    (fun n ->
+      if n < 1 || n > max_n then
+        invalid_arg
+          (Printf.sprintf "Dl_n.analyze: n = %d outside [1, %d]" n max_n))
+    ns;
+  if n_vectors < 1 then invalid_arg "Dl_n.analyze: n_vectors must be >= 1";
+  let curves = Array.map (fun n -> (n, Profile.coverage profile ~n)) ns in
+  let t_star =
+    Array.fold_left
+      (fun acc (_, curve) -> Float.min acc (Coverage.at curve n_vectors))
+      1.0 curves
+  in
+  let ks = Coverage.log_spaced ~max:n_vectors ~points:fit_points in
+  let rows =
+    Array.map
+      (fun (n, curve) ->
+        let samples =
+          Array.map
+            (fun k -> (Coverage.at curve k, Coverage.at theta_curve k))
+            ks
+        in
+        let fit = Projection.fit_theta samples in
+        let k_at_target = first_k_reaching curve ~n_vectors ~target:t_star in
+        {
+          n;
+          final_t = Coverage.at curve n_vectors;
+          fit;
+          residual_dl =
+            Projection.residual_defect_level ~yield
+              ~theta_max:fit.Projection.params.theta_max;
+          k_at_target;
+          dl_at_target =
+            Weighted.defect_level ~yield
+              ~theta:(Coverage.at theta_curve k_at_target);
+        })
+      curves
+  in
+  { max_n; t_star; yield; rows }

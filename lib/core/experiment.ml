@@ -52,13 +52,14 @@ type config = {
   remote : Stage.remote option;
   mc : mc option;
   bootstrap : int option;
+  ndet : int option;
 }
 
 let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
     ?(stats = Dl_extract.Defect_stats.default) ?(min_weight_ratio = 0.0) ?rows
     ?(domains = Dl_util.Parallel.default_domains ()) ?pool
     ?(collapse_faults = true) ?(sim_engine = Dl_fault.Fault_sim.Wide)
-    ?cache_dir ?remote ?mc ?bootstrap circuit =
+    ?cache_dir ?remote ?mc ?bootstrap ?ndet circuit =
   if not (target_yield > 0.0 && target_yield < 1.0) then
     invalid_arg "Experiment.config: target yield must be in (0, 1)";
   if domains < 1 then invalid_arg "Experiment.config: domains must be >= 1";
@@ -66,9 +67,26 @@ let config ?(seed = 7) ?(max_random_vectors = 4096) ?(target_yield = 0.75)
   | Some k when k <= 0 ->
       invalid_arg "Experiment.config: bootstrap replicates must be positive"
   | _ -> ());
+  (match ndet with
+  | Some n when n < 1 ->
+      invalid_arg "Experiment.config: ndet quota must be >= 1"
+  | _ -> ());
   { circuit; seed; max_random_vectors; target_yield; stats; min_weight_ratio;
     rows; domains; pool; collapse_faults; sim_engine; cache_dir; remote;
-    mc; bootstrap }
+    mc; bootstrap; ndet }
+
+(* The n-detection extension (PR: Dl_ndet).  [profile] is the multi-detect
+   simulation of the SAME vector sequence the 1-detection flow applies, so
+   its n = 1 slice is bit-identical to [t_curve]; [gen_*] is the separately
+   generated n-detection test set ({!Dl_ndet.Atpg_n}). *)
+type ndet_result = {
+  ndet_n : int;
+  profile : Dl_fault.Fault_sim.ndet;
+  dl_n : Dl_n.t;
+  gen_vectors : bool array array;
+  gen_counts : int array;
+  gen_stats : Dl_ndet.Atpg_n.stats;
+}
 
 type t = {
   cfg : config;
@@ -89,6 +107,7 @@ type t = {
   fit : Projection.fit;
   wafer_mc : Wafer_mc.t option;
   bootstrap_fit : Bootstrap.t option;
+  ndet : ndet_result option;
   summary : string;
   stage_reports : Stage.report list;
 }
@@ -148,6 +167,22 @@ let bootstrap_config cfg replicates =
     ("replicates", string_of_int replicates);
     ("fit_points", string_of_int fit_sample_points);
     ("target_yield", Printf.sprintf "%h" cfg.target_yield);
+  ]
+
+(* Like fault-sim, the multi-detect profile keys on the engine: counts and
+   detection indices are engine-independent, but the cached artifact
+   carries per-engine [Stats] counters. *)
+let ndet_sim_config cfg n =
+  [
+    ("n", string_of_int n);
+    ("engine", Dl_fault.Fault_sim.engine_to_string cfg.sim_engine);
+  ]
+
+let ndet_atpg_config cfg n =
+  [
+    ("n", string_of_int n);
+    ("seed", string_of_int cfg.seed);
+    ("max_random_vectors", string_of_int cfg.max_random_vectors);
   ]
 
 (* The stage keys are pure functions of the config: every stage's key
@@ -211,15 +246,31 @@ let stage_keys cfg =
                 ~inputs:[ atpg; ifa; swift ] );
           ]
   in
-  match cfg.bootstrap with
-  | None -> with_mc
-  | Some k ->
-      with_mc
+  let with_bootstrap =
+    match cfg.bootstrap with
+    | None -> with_mc
+    | Some k ->
+        with_mc
+        @ [
+            ( "bootstrap-fit",
+              Stage.key ~stage:"bootstrap-fit" ~codec:Artifact.bootstrap_fit
+                ~config:(bootstrap_config cfg k)
+                ~inputs:[ universe; faultsim; ifa; swift ] );
+          ]
+  in
+  match cfg.ndet with
+  | None -> with_bootstrap
+  | Some n ->
+      with_bootstrap
       @ [
-          ( "bootstrap-fit",
-            Stage.key ~stage:"bootstrap-fit" ~codec:Artifact.bootstrap_fit
-              ~config:(bootstrap_config cfg k)
-              ~inputs:[ universe; faultsim; ifa; swift ] );
+          ( "ndet-sim",
+            Stage.key ~stage:"ndet-sim" ~codec:Artifact.ndet_profile
+              ~config:(ndet_sim_config cfg n)
+              ~inputs:[ mapping; universe; atpg ] );
+          ( "ndet-atpg",
+            Stage.key ~stage:"ndet-atpg" ~codec:Artifact.ndet_atpg
+              ~config:(ndet_atpg_config cfg n)
+              ~inputs:[ mapping; universe ] );
         ]
 
 let request_key cfg = List.assoc "projection" (stage_keys cfg)
@@ -479,6 +530,60 @@ let stage_bootstrap graph cfg replicates ~n_vectors ~t_firsts ~theta_firsts
            ~replicates ~yield:cfg.target_yield ~t_firsts ~theta_firsts
            ~theta_weights ~n_vectors ()))
 
+(* 9/10. n-detection (PR: Dl_ndet).  The ndet-sim stage profiles the SAME
+   atpg vector sequence under a detection quota, so its n = 1 slice is
+   bit-identical to fault-sim's first detections; ndet-atpg generates the
+   registered n-detection test set. *)
+
+let stage_ndet_sim graph cfg n ~c ~stuck_faults ~vectors ~mapping_key
+    ~universe_key ~atpg_key =
+  Stage.run graph ~stage:"ndet-sim" ~codec:Artifact.ndet_profile
+    ~config:(ndet_sim_config cfg n)
+    ~inputs:[ mapping_key; universe_key; atpg_key ]
+    (fun () ->
+      let nd =
+        Dl_fault.Fault_sim.run_ndet ~engine:cfg.sim_engine
+          ~domains:cfg.domains ?pool:cfg.pool ~drop_after:n c
+          ~faults:stuck_faults ~vectors
+      in
+      {
+        Artifact.nd_drop_after = nd.drop_after;
+        nd_counts = nd.counts;
+        nd_detections = nd.detections;
+        nd_vectors_applied = nd.vectors_applied;
+        nd_gate_evaluations = nd.gate_evaluations;
+        nd_sim_stats = nd.stats;
+      })
+
+let profile_of_artifact ~stuck_faults (a : Artifact.ndet_profile) :
+    Dl_fault.Fault_sim.ndet =
+  {
+    Dl_fault.Fault_sim.faults = stuck_faults;
+    drop_after = a.Artifact.nd_drop_after;
+    counts = a.nd_counts;
+    detections = a.nd_detections;
+    vectors_applied = a.nd_vectors_applied;
+    gate_evaluations = a.nd_gate_evaluations;
+    stats = a.nd_sim_stats;
+  }
+
+let stage_ndet_atpg graph cfg n ~c ~stuck_faults ~mapping_key ~universe_key =
+  Stage.run graph ~stage:"ndet-atpg" ~codec:Artifact.ndet_atpg
+    ~config:(ndet_atpg_config cfg n)
+    ~inputs:[ mapping_key; universe_key ]
+    (fun () ->
+      let r =
+        Dl_ndet.Atpg_n.run ~seed:cfg.seed ~max_random:cfg.max_random_vectors
+          ~engine:cfg.sim_engine ~n c ~faults:stuck_faults
+      in
+      {
+        Artifact.na_vectors = r.Dl_ndet.Atpg_n.vectors;
+        na_counts = r.counts;
+        na_stats = r.stats;
+        na_untestable_faults = r.untestable_faults;
+        na_aborted_faults = r.aborted_faults;
+      })
+
 (* The stage decomposition of the paper's flow.  Each stage's key digests
    its input artifact keys, its config fingerprint and its codec version,
    so a warm run re-executes only stages whose keys changed:
@@ -497,6 +602,10 @@ let stage_bootstrap graph cfg replicates ~n_vectors ~t_firsts ~theta_firsts
                           (optional; Monte-Carlo DL bands)
        -> bootstrap-fit  [replicates, fit points, yield]
                           (optional; CIs on (R, θmax) and alpha)
+       -> ndet-sim       [n, engine] (optional; multi-detect profile of
+                          the atpg sequence)
+       -> ndet-atpg      [n, seed, max_random_vectors]
+                          (optional; the n-detection test set)
 *)
 let run cfg =
   let graph = graph_of_config cfg in
@@ -632,6 +741,32 @@ let run cfg =
         bootstrap_of_artifact art)
       cfg.bootstrap
   in
+  let ndet =
+    Option.map
+      (fun ndet_n ->
+        let prof_art, _ =
+          stage_ndet_sim graph cfg ndet_n ~c ~stuck_faults ~vectors
+            ~mapping_key ~universe_key ~atpg_key
+        in
+        let profile = profile_of_artifact ~stuck_faults prof_art in
+        let gen_art, _ =
+          stage_ndet_atpg graph cfg ndet_n ~c ~stuck_faults ~mapping_key
+            ~universe_key
+        in
+        let dl_n =
+          Dl_n.analyze ~fit_points:fit_sample_points ~profile ~theta_curve
+            ~yield:cfg.target_yield ~n_vectors:n ()
+        in
+        {
+          ndet_n;
+          profile;
+          dl_n;
+          gen_vectors = gen_art.Artifact.na_vectors;
+          gen_counts = gen_art.Artifact.na_counts;
+          gen_stats = gen_art.Artifact.na_stats;
+        })
+      cfg.ndet
+  in
   {
     cfg;
     mapped_circuit = c;
@@ -651,6 +786,7 @@ let run cfg =
     fit;
     wafer_mc;
     bootstrap_fit;
+    ndet;
     summary = summary_art.Artifact.text;
     stage_reports = Stage.reports graph;
   }
@@ -782,6 +918,41 @@ let run_stage cfg ~stage =
                ~t_firsts:sim_art.Artifact.first_detection
                ~theta_firsts:voltage_firsts ~theta_weights:scaled_weights
                ~universe_key ~faultsim_key ~ifa_key ~swift_key)
+      | "ndet-sim" ->
+          let n =
+            match cfg.ndet with
+            | Some n -> n
+            | None ->
+                invalid_arg
+                  "Experiment.run_stage: ndet-sim requested but cfg.ndet is \
+                   None"
+          in
+          let c, mapping_key = stage_mapping graph cfg in
+          let atpg_art, atpg_key = stage_atpg graph cfg ~c ~mapping_key in
+          let stuck_faults, universe_key =
+            stage_universe graph cfg ~c ~atpg_art ~mapping_key ~atpg_key
+          in
+          ignore
+            (stage_ndet_sim graph cfg n ~c ~stuck_faults
+               ~vectors:atpg_art.Artifact.vectors ~mapping_key ~universe_key
+               ~atpg_key)
+      | "ndet-atpg" ->
+          let n =
+            match cfg.ndet with
+            | Some n -> n
+            | None ->
+                invalid_arg
+                  "Experiment.run_stage: ndet-atpg requested but cfg.ndet is \
+                   None"
+          in
+          let c, mapping_key = stage_mapping graph cfg in
+          let atpg_art, atpg_key = stage_atpg graph cfg ~c ~mapping_key in
+          let stuck_faults, universe_key =
+            stage_universe graph cfg ~c ~atpg_art ~mapping_key ~atpg_key
+          in
+          ignore
+            (stage_ndet_atpg graph cfg n ~c ~stuck_faults ~mapping_key
+               ~universe_key)
       | other ->
           invalid_arg
             (Printf.sprintf "Experiment.run_stage: unknown stage %S" other));

@@ -86,6 +86,12 @@ type config = {
   bootstrap : int option;
       (** When set, run the [bootstrap-fit] stage ({!Bootstrap}) with this
           many replicates.  Fingerprints only the bootstrap-fit key. *)
+  ndet : int option;
+      (** When set (the detection quota n), run the [ndet-sim] and
+          [ndet-atpg] stages ({!Dl_ndet}): a multi-detect profile of the
+          atpg sequence (yielding the DL(n) table for every n' <= n) plus
+          a registered n-detection test set.  Fingerprints only the two
+          ndet stage keys. *)
 }
 
 val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
@@ -93,11 +99,12 @@ val config : ?seed:int -> ?max_random_vectors:int -> ?target_yield:float ->
   ?rows:int -> ?domains:int -> ?pool:Dl_util.Parallel.t ->
   ?collapse_faults:bool -> ?sim_engine:Dl_fault.Fault_sim.engine ->
   ?cache_dir:string -> ?remote:Dl_store.Stage.remote ->
-  ?mc:mc -> ?bootstrap:int -> Circuit.t -> config
+  ?mc:mc -> ?bootstrap:int -> ?ndet:int -> Circuit.t -> config
 (** Defaults: seed 7, 4096 random vectors, yield 0.75, Maly statistics, no
     pruning, [Domain.recommended_domain_count ()] domains (or [pool], which
     takes precedence), collapsed fault universe, [Wide] fault-sim engine,
-    no cache, no Monte-Carlo stage, no bootstrap stage. *)
+    no cache, no Monte-Carlo stage, no bootstrap stage, no n-detection
+    stages. *)
 
 val stage_keys : config -> (string * string) list
 (** [(stage, key)] for every stage of {!run}, in execution order, derived
@@ -105,9 +112,9 @@ val stage_keys : config -> (string * string) list
     {!t.stage_reports} of an actual run of the same config (property-
     tested).  The root of the digest DAG is the content key of
     [cfg.circuit]; [domains], [pool] and [cache_dir] influence nothing.
-    The optional [wafer-mc] / [bootstrap-fit] stages appear (last) only
-    when [cfg.mc] / [cfg.bootstrap] are set; their knobs fingerprint only
-    their own keys. *)
+    The optional [wafer-mc] / [bootstrap-fit] / [ndet-sim] / [ndet-atpg]
+    stages appear (last) only when [cfg.mc] / [cfg.bootstrap] / [cfg.ndet]
+    are set; their knobs fingerprint only their own keys. *)
 
 val request_key : config -> string
 (** The ["projection"] stage key: a single digest of everything that can
@@ -117,6 +124,20 @@ val request_key : config -> string
     [request_key] produce bit-identical experiments — the coalescing key
     of {!Dl_serve}.  The optional statistical stages are not part of it;
     their own stage keys play that role for their artifacts. *)
+
+(** The n-detection extension's live result (when [cfg.ndet] is set).
+    [profile] is the multi-detect simulation of the SAME vector sequence
+    the 1-detection flow applies — its n = 1 slice is bit-identical to
+    {!t.t_curve}'s first detections — and [dl_n] the DL(n) table built
+    from it; [gen_*] is the separately generated n-detection test set. *)
+type ndet_result = {
+  ndet_n : int;  (** = the configured quota. *)
+  profile : Dl_fault.Fault_sim.ndet;
+  dl_n : Dl_n.t;
+  gen_vectors : bool array array;
+  gen_counts : int array;  (** Per-fault counts on [gen_vectors], capped. *)
+  gen_stats : Dl_ndet.Atpg_n.stats;
+}
 
 type t = {
   cfg : config;
@@ -149,6 +170,10 @@ type t = {
   bootstrap_fit : Bootstrap.t option;
       (** Bootstrap CIs on [(R, θmax)] and the clustering alpha when
           [cfg.bootstrap] is set (cached as the [bootstrap-fit] stage). *)
+  ndet : ndet_result option;
+      (** The n-detection profile, DL(n) table and generated test set when
+          [cfg.ndet] is set (cached as the [ndet-sim] / [ndet-atpg]
+          stages). *)
   summary : string;            (** What {!pp_summary} prints. *)
   stage_reports : Dl_store.Stage.report list;
       (** Per-stage key / hit-miss / timing of this run, execution order. *)

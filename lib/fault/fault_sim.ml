@@ -2213,3 +2213,107 @@ let detects_fault (c : Circuit.t) (f : Stuck_at.t) vector =
       | _ -> ())
     good;
   !differs
+
+(* --- multi-detect (drop-after-n) driver ----------------------------------- *)
+
+type ndet = {
+  faults : Stuck_at.t array;
+  drop_after : int;
+  counts : int array;
+  detections : int array;
+  vectors_applied : int;
+  gate_evaluations : int;
+  stats : Stats.t;
+}
+
+(* The chunked driver below relies on the engine-independence lemma: running
+   any engine with [drop_detected:false] over a block-width-aligned chunk of
+   the vector sequence, restricted to the faults still live at the chunk
+   boundary, produces exactly the detection events the full dropping run
+   would have produced for those faults in that window.  Dropping is a
+   performance optimisation, never a semantic one, so at [drop_after:1] the
+   recorded first detections are bit-identical to [run ~drop_detected:true]
+   for every engine. *)
+let run_ndet ?(engine = Flat) ?domains ?pool ?on_detect ~drop_after
+    (c : Circuit.t) ~faults ~vectors =
+  if drop_after < 1 then
+    invalid_arg "Fault_sim.run_ndet: drop_after must be >= 1";
+  let n_faults = Array.length faults in
+  let n_vectors = Array.length vectors in
+  let counts = Array.make n_faults 0 in
+  let detections = Array.make (n_faults * drop_after) (-1) in
+  let stats = ref Stats.zero in
+  let gate_evaluations = ref 0 in
+  (* chunk at the engine's native block width so the live set is refreshed
+     exactly where the dropping engines refresh theirs *)
+  let chunk_width = match engine with Wide -> 256 | _ -> 64 in
+  let run_chunk pool_opt ~live ~base ~count =
+    let sub_faults = Array.map (fun i -> faults.(i)) live in
+    let sub_vectors = Array.sub vectors base count in
+    let on_detect_sub ~fault_index ~vector_index =
+      let fi = live.(fault_index) in
+      let k = counts.(fi) in
+      if k < drop_after then begin
+        counts.(fi) <- k + 1;
+        detections.((fi * drop_after) + k) <- base + vector_index;
+        match on_detect with
+        | Some callback ->
+            callback ~fault_index:fi ~vector_index:(base + vector_index)
+        | None -> ()
+      end
+    in
+    let r =
+      match pool_opt with
+      | Some pool ->
+          run_parallel_with ~engine ~drop_detected:false
+            ~on_detect:on_detect_sub ~pool c ~faults:sub_faults
+            ~vectors:sub_vectors
+      | None ->
+          run_with ~engine ~drop_detected:false ~on_detect:on_detect_sub c
+            ~faults:sub_faults ~vectors:sub_vectors
+    in
+    stats := Stats.add !stats r.stats;
+    gate_evaluations := !gate_evaluations + r.gate_evaluations
+  in
+  let drive pool_opt =
+    let live = ref (Array.init n_faults (fun i -> i)) in
+    let base = ref 0 in
+    while !base < n_vectors && Array.length !live > 0 do
+      let count = min chunk_width (n_vectors - !base) in
+      run_chunk pool_opt ~live:!live ~base:!base ~count;
+      base := !base + count;
+      if !base < n_vectors then
+        live :=
+          Array.of_list
+            (List.filter
+               (fun i -> counts.(i) < drop_after)
+               (Array.to_list !live))
+    done
+  in
+  (match (pool, domains) with
+  | Some pool, _ -> drive (Some pool)
+  | None, Some d when d > 1 ->
+      Parallel.with_pool ~domains:d (fun pool -> drive (Some pool))
+  | None, _ -> drive None);
+  let dropped =
+    Array.fold_left (fun acc k -> if k >= drop_after then acc + 1 else acc) 0
+      counts
+  in
+  {
+    faults;
+    drop_after;
+    counts;
+    detections;
+    vectors_applied = n_vectors;
+    gate_evaluations = !gate_evaluations;
+    stats = { !stats with faults_dropped = dropped };
+  }
+
+let ndet_kth_detection nd ~k =
+  if k < 1 || k > nd.drop_after then
+    invalid_arg "Fault_sim.ndet_kth_detection: k out of range";
+  Array.init (Array.length nd.counts) (fun i ->
+      if nd.counts.(i) >= k then Some nd.detections.((i * nd.drop_after) + k - 1)
+      else None)
+
+let ndet_first_detection nd = ndet_kth_detection nd ~k:1

@@ -180,3 +180,60 @@ val detects_fault : Circuit.t -> Stuck_at.t -> bool array -> bool
 (** [detects_fault c f v]: single-vector oracle via dual ternary
     simulation; independent of the PPSFP machinery (used for
     cross-checking). *)
+
+(** {1 Multi-detect simulation}
+
+    n-detection generalises dropping from "first detection" to "first
+    [drop_after] detections": a fault stays in the simulated set until it
+    has been observed at [drop_after] distinct vectors.  The profile below
+    is the substrate for the {!Dl_ndet} subsystem's T{_n}(k) coverage
+    curves and DL(n) projections. *)
+
+type ndet = {
+  faults : Stuck_at.t array;
+  drop_after : int;  (** the detection quota n (>= 1) *)
+  counts : int array;
+      (** per-fault detection count, capped at [drop_after] *)
+  detections : int array;
+      (** row-major [n_faults * drop_after]: slot [f * drop_after + k] holds
+          the vector index of fault [f]'s (k+1)-th detection, or [-1] if the
+          fault was detected fewer than [k+1] times *)
+  vectors_applied : int;
+  gate_evaluations : int;
+  stats : Stats.t;
+      (** accumulated engine counters; [faults_dropped] is the number of
+          faults that reached the full [drop_after] quota *)
+}
+
+val run_ndet :
+  ?engine:engine ->
+  ?domains:int ->
+  ?pool:Dl_util.Parallel.t ->
+  ?on_detect:(fault_index:int -> vector_index:int -> unit) ->
+  drop_after:int ->
+  Circuit.t ->
+  faults:Stuck_at.t array ->
+  vectors:bool array array ->
+  ndet
+(** Simulate until each fault has been detected [drop_after] times (or the
+    vectors run out), recording every k-th detection index.  Implemented as
+    a chunked driver over {!run_with}/{!run_parallel_with} with dropping
+    disabled inside each engine-native block, refreshing the live-fault set
+    at block boundaries — exactly the granularity at which the dropping
+    engines refresh theirs, so [drop_after:1] reproduces
+    [run ~drop_detected:true] bit-for-bit on every engine: identical first
+    detections and an identical counted [on_detect] event stream.
+    [on_detect] fires only for counted detections (at most [drop_after] per
+    fault), in the underlying engine's replay order with chunk-global
+    vector indices.  [engine] defaults to [Flat]; [domains]/[pool] select
+    the parallel path (one pool is created up front and reused across all
+    chunks).  Raises [Invalid_argument] if [drop_after < 1]. *)
+
+val ndet_kth_detection : ndet -> k:int -> int option array
+(** Vector index of each fault's k-th detection (1-based [k]), [None] where
+    the fault was detected fewer than [k] times.  [k:1] is the
+    [first_detection] array of the equivalent single-detection run.
+    Raises [Invalid_argument] unless [1 <= k <= drop_after]. *)
+
+val ndet_first_detection : ndet -> int option array
+(** [ndet_kth_detection ~k:1]. *)

@@ -373,6 +373,159 @@ let c2670s_text () =
 
 let c2670s () = Bench_format.parse_string ~title:"c2670s" (c2670s_text ())
 
+(* c3540 is the ISCAS-85 8-bit binary/BCD ALU (50 PI / 22 PO).  [c3540s]
+   reconstructs the high-level model's datapath with the exact
+   50-input/22-output interface: two-level operand selection, a
+   ripple-carry adder with a decimal-adjust stage (nibble > 9 or nibble
+   carry adds 6, BCD-gated, with the adjust carry rippling into the high
+   nibble), a logic unit, a bidirectional 1-bit shifter, function select,
+   output masking, a comparator against the c bus, the flag section, a
+   5-line priority encoder and four enable-gated condition outputs. *)
+let c3540s_text () =
+  let b = Buffer.create 16384 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let bus prefix n = List.init n (fun i -> prefix ^ string_of_int i) in
+  let commas = String.concat ", " in
+  line "# c3540s: 8-bit binary/BCD ALU, c3540-interface reconstruction";
+  List.iter
+    (fun name -> List.iter (fun s -> line "INPUT(%s)" s) (bus name 8))
+    [ "a"; "b"; "c"; "mask" ];
+  List.iter (fun s -> line "INPUT(%s)" s)
+    [ "op0"; "op1"; "op2"; "cin"; "sel0"; "sel1"; "shen"; "dir"; "bcd" ];
+  for i = 0 to 3 do line "INPUT(en%d)" i done;
+  for i = 0 to 4 do line "INPUT(pr%d)" i done;
+  for i = 0 to 7 do line "OUTPUT(y%d)" i done;
+  List.iter (fun s -> line "OUTPUT(%s)" s)
+    [ "cout"; "zero"; "parity"; "sign"; "ovf"; "eq"; "gt"; "valid"; "pri0";
+      "pri1"; "q0"; "q1"; "q2"; "q3" ];
+  (* operand selection: x = sel0 ? b : a, w = sel1 ? c : b *)
+  line "nsel0 = NOT(sel0)";
+  line "nsel1 = NOT(sel1)";
+  for i = 0 to 7 do
+    line "xa%d = AND(a%d, nsel0)" i i;
+    line "xb%d = AND(b%d, sel0)" i i;
+    line "x%d = OR(xa%d, xb%d)" i i i;
+    line "wb%d = AND(b%d, nsel1)" i i;
+    line "wc%d = AND(c%d, sel1)" i i;
+    line "w%d = OR(wb%d, wc%d)" i i i
+  done;
+  (* ripple-carry adder; xr* doubles as the logic unit's XOR *)
+  for i = 0 to 7 do
+    let carry = if i = 0 then "cin" else Printf.sprintf "cy%d" i in
+    line "xr%d = XOR(x%d, w%d)" i i i;
+    line "s%d = XOR(xr%d, %s)" i i carry;
+    line "g%d = AND(x%d, w%d)" i i i;
+    line "t%d = AND(xr%d, %s)" i i carry;
+    line "cy%d = OR(g%d, t%d)" (i + 1) i i
+  done;
+  (* decimal adjust, low nibble: +6 when the digit exceeds 9 or the
+     nibble carried; the adjust carry [bc4] ripples into the high nibble *)
+  line "ors12 = OR(s1, s2)";
+  line "dethl = AND(s3, ors12)";
+  line "detl = OR(cy4, dethl)";
+  line "adjl = AND(detl, bcd)";
+  line "d0 = BUF(s0)";
+  line "d1 = XOR(s1, adjl)";
+  line "bc2 = AND(s1, adjl)";
+  line "d2 = XOR(s2, adjl, bc2)";
+  line "mj2a = AND(s2, adjl)";
+  line "mj2b = AND(s2, bc2)";
+  line "mj2c = AND(adjl, bc2)";
+  line "bc3 = OR(mj2a, mj2b, mj2c)";
+  line "d3 = XOR(s3, bc3)";
+  line "bc4 = AND(s3, bc3)";
+  (* decimal adjust, high nibble, with the low-nibble adjust carry in *)
+  line "ors56 = OR(s5, s6)";
+  line "dethh = AND(s7, ors56)";
+  line "deth = OR(cy8, dethh)";
+  line "adjh = AND(deth, bcd)";
+  line "d4 = XOR(s4, bc4)";
+  line "bc5 = AND(s4, bc4)";
+  line "d5 = XOR(s5, adjh, bc5)";
+  line "mj5a = AND(s5, adjh)";
+  line "mj5b = AND(s5, bc5)";
+  line "mj5c = AND(adjh, bc5)";
+  line "bc6 = OR(mj5a, mj5b, mj5c)";
+  line "d6 = XOR(s6, adjh, bc6)";
+  line "mj6a = AND(s6, adjh)";
+  line "mj6b = AND(s6, bc6)";
+  line "mj6c = AND(adjh, bc6)";
+  line "bc7 = OR(mj6a, mj6b, mj6c)";
+  line "d7 = XOR(s7, bc7)";
+  line "bc8 = AND(s7, bc7)";
+  (* logic unit *)
+  for i = 0 to 7 do
+    line "la%d = AND(x%d, w%d)" i i i;
+    line "lo%d = OR(x%d, w%d)" i i i
+  done;
+  (* bidirectional 1-bit shifter on x, serial fill from cin *)
+  line "ndir = NOT(dir)";
+  line "nshen = NOT(shen)";
+  for i = 0 to 7 do
+    let left = if i = 0 then "cin" else Printf.sprintf "x%d" (i - 1) in
+    let right = if i = 7 then "cin" else Printf.sprintf "x%d" (i + 1) in
+    line "shl%d = AND(%s, ndir)" i left;
+    line "shr%d = AND(%s, dir)" i right;
+    line "shx%d = OR(shl%d, shr%d)" i i i;
+    line "shs%d = AND(shx%d, shen)" i i;
+    line "shp%d = AND(x%d, nshen)" i i;
+    line "sh%d = OR(shs%d, shp%d)" i i i
+  done;
+  (* function select: op2 = 0 picks (op1,op0) in {adjusted sum, AND, OR,
+     XOR}; op2 = 1 is the shifter lane *)
+  line "nop0 = NOT(op0)";
+  line "nop1 = NOT(op1)";
+  line "nop2 = NOT(op2)";
+  for i = 0 to 7 do
+    line "f%dm0 = AND(d%d, nop1, nop0, nop2)" i i;
+    line "f%dm1 = AND(la%d, nop1, op0, nop2)" i i;
+    line "f%dm2 = AND(lo%d, op1, nop0, nop2)" i i;
+    line "f%dm3 = AND(xr%d, op1, op0, nop2)" i i;
+    line "f%dm4 = AND(sh%d, op2)" i i;
+    line "f%d = OR(f%dm0, f%dm1, f%dm2, f%dm3, f%dm4)" i i i i i i
+  done;
+  (* masked result bus and the flag section *)
+  for i = 0 to 7 do line "y%d = AND(f%d, mask%d)" i i i done;
+  line "cout = OR(cy8, adjh, bc8)";
+  line "ovfraw = XOR(cy7, cy8)";
+  line "ovf = BUF(ovfraw)";
+  line "sign = BUF(f7)";
+  line "zero = NOR(%s)" (commas (bus "y" 8));
+  line "parraw = XOR(%s)" (commas (bus "y" 8));
+  line "parity = BUF(parraw)";
+  (* unsigned comparison of the ALU result against the c bus *)
+  for i = 0 to 7 do
+    line "xn%d = XNOR(f%d, c%d)" i i i;
+    line "nc%d = NOT(c%d)" i i
+  done;
+  line "eqraw = AND(%s)" (commas (bus "xn" 8));
+  for i = 0 to 7 do
+    let higher = List.init (7 - i) (fun k -> Printf.sprintf "xn%d" (7 - k)) in
+    line "gth%d = AND(%s)" i
+      (commas (Printf.sprintf "f%d" i :: Printf.sprintf "nc%d" i :: higher))
+  done;
+  line "gtraw = OR(%s)" (commas (bus "gth" 8));
+  line "eq = BUF(eqraw)";
+  line "gt = BUF(gtraw)";
+  (* priority encoder over the request lines; pr4 wins with code 0 *)
+  for i = 1 to 4 do line "npr%d = NOT(pr%d)" i i done;
+  line "h4 = BUF(pr4)";
+  for i = 3 downto 0 do
+    let above = List.init (4 - i) (fun k -> Printf.sprintf "npr%d" (4 - k)) in
+    line "h%d = AND(%s)" i (commas (Printf.sprintf "pr%d" i :: above))
+  done;
+  line "valid = OR(%s)" (commas (bus "pr" 5));
+  line "pri0 = OR(h1, h3)";
+  line "pri1 = OR(h2, h3)";
+  (* enable-gated condition outputs *)
+  line "q0 = AND(en0, eqraw)";
+  line "q1 = AND(en1, gtraw)";
+  line "q2 = AND(en2, parraw)";
+  line "q3 = AND(en3, ovfraw)";
+  Buffer.contents b
+
+let c3540s () = Bench_format.parse_string ~title:"c3540s" (c3540s_text ())
+
 let all =
   [
     ("c17", c17);
@@ -383,6 +536,7 @@ let all =
     ("c1355s", c1355s);
     ("c1908s", c1908s);
     ("c2670s", c2670s);
+    ("c3540s", c3540s);
     ("add8", fun () -> Generator.ripple_adder 8);
     ("add16", fun () -> Generator.ripple_adder 16);
     ("cmp8", fun () -> Generator.equality_comparator 8);

@@ -60,6 +60,16 @@ val c2670s : unit -> Circuit.t
 val c2670s_text : unit -> string
 (** The [.bench] source of {!c2670s}. *)
 
+val c3540s : unit -> Circuit.t
+(** The c3540-interface 8-bit binary/BCD ALU (50 inputs, 22 outputs):
+    two-level operand selection, ripple-carry adder with a BCD
+    decimal-adjust stage, logic unit, bidirectional 1-bit shifter,
+    masked result bus, comparator, flags, a 5-line priority encoder and
+    enable-gated condition outputs. *)
+
+val c3540s_text : unit -> string
+(** The [.bench] source of {!c3540s}. *)
+
 val by_name : string -> Circuit.t option
 (** Lookup by benchmark name. *)
 

@@ -569,6 +569,63 @@ module Family = struct
 
   type t = { name : string; doc : string; shape : shape }
 
+  (* Array-backed signal set with O(1) add, remove and uniform draw —
+     what keeps 100k-gate generation linear.  Deterministic: the array
+     order is a pure function of the add/remove history, and the
+     hashtable is used for membership only, never iterated. *)
+  module Pool = struct
+    type t = {
+      mutable arr : string array;
+      mutable len : int;
+      pos : (string, int) Hashtbl.t;
+    }
+
+    let create () = { arr = Array.make 16 ""; len = 0; pos = Hashtbl.create 64 }
+    let is_empty p = p.len = 0
+    let elements p = Array.to_list (Array.sub p.arr 0 p.len)
+
+    let add p nm =
+      if not (Hashtbl.mem p.pos nm) then begin
+        if p.len = Array.length p.arr then begin
+          let bigger = Array.make (2 * p.len) "" in
+          Array.blit p.arr 0 bigger 0 p.len;
+          p.arr <- bigger
+        end;
+        p.arr.(p.len) <- nm;
+        Hashtbl.replace p.pos nm p.len;
+        p.len <- p.len + 1
+      end
+
+    let remove p nm =
+      match Hashtbl.find_opt p.pos nm with
+      | None -> ()
+      | Some i ->
+          let last = p.len - 1 in
+          let moved = p.arr.(last) in
+          p.arr.(i) <- moved;
+          Hashtbl.replace p.pos moved i;
+          Hashtbl.remove p.pos nm;
+          p.len <- last
+
+    (* Uniform over members passing [ok]; a few random probes, then a
+       deterministic index-order scan so exhaustion is exact, not lucky. *)
+    let draw p rng ~ok =
+      let rec probe n =
+        if p.len = 0 then None
+        else if n > 8 then
+          let rec scan i =
+            if i >= p.len then None
+            else if ok p.arr.(i) then Some p.arr.(i)
+            else scan (i + 1)
+          in
+          scan 0
+        else
+          let nm = p.arr.(Rng.int rng p.len) in
+          if ok nm then Some nm else probe (n + 1)
+      in
+      probe 0
+  end
+
   (* One production per emitted gate: the grammar draws a kind from
      [weights], an arity from the kind, and fanins by three biased rules —
      a locality window (depth), a used-signal bias (reconvergence), and
@@ -580,20 +637,30 @@ module Family = struct
     let outputs = max 1 (int_of_float (float_of_int gates *. s.output_share)) in
     let builder = Circuit.Builder.create ~title in
     let counter = ref 0 in
-    let signals = ref [] in          (* most recent first *)
+    let signals = ref (Array.make 16 "") in  (* oldest first, growable *)
     let n_signals = ref 0 in
-    let arr = ref [||] in            (* same set, index order, refreshed lazily *)
-    let stale = ref true in
     let use_count = Hashtbl.create 64 in
     let is_pi = Hashtbl.create 64 in
-    let unused = Hashtbl.create 64 in
+    let unused = Pool.create () in           (* zero uses so far *)
+    let used_below_cap = Pool.create () in   (* >= 1 use, below its cap *)
     let uses nm = Option.value ~default:0 (Hashtbl.find_opt use_count nm) in
     let cap nm = if Hashtbl.mem is_pi nm then s.pi_fanout_cap else s.fanout_cap in
     let push nm =
-      signals := nm :: !signals;
+      if !n_signals = Array.length !signals then begin
+        let bigger = Array.make (2 * !n_signals) "" in
+        Array.blit !signals 0 bigger 0 !n_signals;
+        signals := bigger
+      end;
+      !signals.(!n_signals) <- nm;
       incr n_signals;
-      stale := true;
-      Hashtbl.replace unused nm ()
+      Pool.add unused nm
+    in
+    let bump_use nm =
+      let u = uses nm + 1 in
+      Hashtbl.replace use_count nm u;
+      Pool.remove unused nm;
+      if u < cap nm then Pool.add used_below_cap nm
+      else Pool.remove used_below_cap nm
     in
     for i = 1 to inputs do
       let nm = Printf.sprintf "pi%d" i in
@@ -601,27 +668,12 @@ module Family = struct
       Hashtbl.replace is_pi nm ();
       push nm
     done;
-    let all_signals () =
-      if !stale then begin
-        arr := Array.of_list (List.rev !signals);
-        stale := false
-      end;
-      !arr
-    in
     let pick_fanin chosen =
       let ok nm = (not (List.mem nm chosen)) && uses nm < cap nm in
-      (* Sorted fold: deterministic across hashtable layouts. *)
-      let unused_pool () =
-        Hashtbl.fold (fun nm () acc -> if ok nm then nm :: acc else acc) unused []
-        |> List.sort compare |> Array.of_list
-      in
       let rec draw tries =
-        if tries > 64 then
-          let pool = unused_pool () in
-          if Array.length pool > 0 then Some (Rng.choose rng pool) else None
+        if tries > 64 then Pool.draw unused rng ~ok
         else begin
-          let all = all_signals () in
-          let n = Array.length all in
+          let n = !n_signals in
           let idx =
             if Rng.bernoulli rng s.locality then
               (* recent window: depth grows when fanins chain off the frontier *)
@@ -629,28 +681,24 @@ module Family = struct
               n - 1 - Rng.int rng (min w n)
             else Rng.int rng n
           in
-          let nm = all.(idx) in
+          let nm = !signals.(idx) in
           let nm =
             (* reconvergence: sometimes insist on a signal that already has
                fanout, creating a second path from the same stem *)
             if Rng.bernoulli rng s.reuse_bias && uses nm = 0 then
-              let used =
-                Array.of_list
-                  (List.sort compare
-                     (Hashtbl.fold
-                        (fun k v acc -> if v > 0 && ok k then k :: acc else acc)
-                        use_count []))
-              in
-              if Array.length used > 0 then Rng.choose rng used else nm
+              match Pool.draw used_below_cap rng ~ok with
+              | Some u -> u
+              | None -> nm
             else nm
           in
           if ok nm then Some nm else draw (tries + 1)
         end
       in
       (* Consume virgin PIs early so none dangle. *)
-      let pool = unused_pool () in
-      if Array.length pool > 0 && Rng.bernoulli rng 0.5 then
-        Some (Rng.choose rng pool)
+      if (not (Pool.is_empty unused)) && Rng.bernoulli rng 0.5 then
+        match Pool.draw unused rng ~ok with
+        | Some nm -> Some nm
+        | None -> draw 0
       else draw 0
     in
     let arity_of kind =
@@ -692,41 +740,37 @@ module Family = struct
           in
           let name = fresh_name "g" counter in
           Circuit.Builder.add_gate builder name kind fanin;
-          List.iter
-            (fun nm ->
-              Hashtbl.remove unused nm;
-              Hashtbl.replace use_count nm (uses nm + 1))
-            fanin;
+          List.iter bump_use fanin;
           push name
     done;
     (* Funnel surplus sinks so exactly [outputs] remain (NAND keeps the
-       funnel logic irredundant; single-use so tree classes stay trees). *)
-    let rec funnel () =
-      let sinks =
-        Hashtbl.fold (fun nm () acc -> nm :: acc) unused [] |> List.sort compare
-      in
-      let n = List.length sinks in
-      if n > outputs then begin
-        let take = min 4 (n - outputs + 1) in
-        let chosen = List.filteri (fun i _ -> i < take) sinks in
+       funnel logic irredundant; single-use so tree classes stay trees).
+       A queue keeps the funnel linear: each new funnel gate re-enters at
+       the tail and is itself consumed or emitted later. *)
+    let funnel () =
+      let q = Queue.create () in
+      List.iter
+        (fun nm -> Queue.add nm q)
+        (List.sort compare (Pool.elements unused));
+      while Queue.length q > outputs do
+        let take = min 4 (Queue.length q - outputs + 1) in
+        let chosen = ref [] in
+        for _ = 1 to take do chosen := Queue.pop q :: !chosen done;
+        let chosen = List.rev !chosen in
         let name = fresh_name "g" counter in
         Circuit.Builder.add_gate builder name Gate.Nand chosen;
-        List.iter
-          (fun nm ->
-            Hashtbl.remove unused nm;
-            Hashtbl.replace use_count nm (uses nm + 1))
-          chosen;
+        List.iter bump_use chosen;
         push name;
-        funnel ()
-      end
-      else if n < outputs then begin
+        Queue.add name q
+      done;
+      while Queue.length q < outputs do
         let name = fresh_name "po_buf" counter in
-        let all = all_signals () in
-        Circuit.Builder.add_gate builder name Gate.Buf [ Rng.choose rng all ];
+        let feed = !signals.(Rng.int rng !n_signals) in
+        Circuit.Builder.add_gate builder name Gate.Buf [ feed ];
         push name;
-        funnel ()
-      end
-      else List.iter (Circuit.Builder.add_output builder) sinks
+        Queue.add name q
+      done;
+      Queue.iter (Circuit.Builder.add_output builder) q
     in
     funnel ();
     Circuit.Builder.finalize builder
@@ -781,6 +825,17 @@ module Family = struct
         shape = { weights = nand_mix; input_share = 0.2; output_share = 0.08;
                   locality = 0.6; window_share = 0.35; fanout_cap = 3;
                   pi_fanout_cap = 6; reuse_bias = 0.15 } };
+      { name = "vlsi-flat";
+        doc = "100k-gate-scale workload: shallow local cones with bounded \
+               fanout, so generation, levelization and kernel layout stay \
+               linear in the gate count";
+        (* The tight window (2% of the signal pool) keeps fanin draws in
+           cache-friendly locality at any size; the plentiful PIs and POs
+           keep the cones shallow and observable, which is what makes a
+           100k-gate sweep finish in seconds rather than minutes. *)
+        shape = { weights = nand_mix; input_share = 0.12; output_share = 0.06;
+                  locality = 0.85; window_share = 0.02; fanout_cap = 3;
+                  pi_fanout_cap = 16; reuse_bias = 0.1 } };
     ]
 
   let names () = List.map (fun f -> f.name) all

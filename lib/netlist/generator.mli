@@ -68,8 +68,8 @@ val array_multiplier : ?title:string -> int -> Circuit.t
     not a generator.  Classes are registered by name so the check harness,
     the load generator and the benches can sweep them (["deep-narrow"],
     ["xor-heavy"], ["reconvergent"], ["tree-like"], ["fanout-free-heavy"],
-    ["mixed"]).  Generation is driven by {!Dl_util.Seeds} streams: the
-    circuit is a pure function of [(class, seed, gates)]. *)
+    ["mixed"], ["vlsi-flat"]).  Generation is driven by {!Dl_util.Seeds}
+    streams: the circuit is a pure function of [(class, seed, gates)]. *)
 module Family : sig
   type shape = {
     weights : (Gate.kind * int) list;  (** gate-kind mix (positive total). *)

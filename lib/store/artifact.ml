@@ -519,6 +519,116 @@ let bootstrap_fit : bootstrap_fit Codec.t =
   in
   { kind = "bootstrap-fit"; version = 1; encode; decode }
 
+(* -------------------------------------------------------- ndet *)
+
+type ndet_profile = {
+  nd_drop_after : int;
+  nd_counts : int array;
+  nd_detections : int array;
+  nd_vectors_applied : int;
+  nd_gate_evaluations : int;
+  nd_sim_stats : Dl_fault.Fault_sim.Stats.t;
+}
+
+let write_sim_stats buf (s : Dl_fault.Fault_sim.Stats.t) =
+  B.write_varint buf s.gate_evaluations;
+  B.write_varint buf s.events;
+  B.write_varint buf s.faults_inferred;
+  B.write_varint buf s.faults_simulated;
+  B.write_varint buf s.stem_simulations;
+  B.write_varint buf s.faults_dropped
+
+let read_sim_stats cur : Dl_fault.Fault_sim.Stats.t =
+  let gate_evaluations = B.read_varint cur in
+  let events = B.read_varint cur in
+  let faults_inferred = B.read_varint cur in
+  let faults_simulated = B.read_varint cur in
+  let stem_simulations = B.read_varint cur in
+  let faults_dropped = B.read_varint cur in
+  { gate_evaluations; events; faults_inferred; faults_simulated;
+    stem_simulations; faults_dropped }
+
+let ndet_profile : ndet_profile Codec.t =
+  let encode buf (p : ndet_profile) =
+    B.write_varint buf p.nd_drop_after;
+    B.write_array (fun b k -> B.write_varint b k) buf p.nd_counts;
+    (* detection slots are >= -1: shift by one to stay in varint range *)
+    B.write_array (fun b v -> B.write_varint b (v + 1)) buf p.nd_detections;
+    B.write_varint buf p.nd_vectors_applied;
+    B.write_varint buf p.nd_gate_evaluations;
+    write_sim_stats buf p.nd_sim_stats
+  in
+  let decode cur : ndet_profile =
+    let nd_drop_after = B.read_varint cur in
+    let nd_counts = B.read_array B.read_varint cur in
+    let nd_detections = B.read_array (fun c -> B.read_varint c - 1) cur in
+    let nd_vectors_applied = B.read_varint cur in
+    let nd_gate_evaluations = B.read_varint cur in
+    let nd_sim_stats = read_sim_stats cur in
+    if Array.length nd_detections <> Array.length nd_counts * nd_drop_after
+    then raise (B.Corrupt "ndet-profile detections length mismatch");
+    { nd_drop_after; nd_counts; nd_detections; nd_vectors_applied;
+      nd_gate_evaluations; nd_sim_stats }
+  in
+  { kind = "ndet-profile"; version = 1; encode; decode }
+
+type ndet_atpg = {
+  na_vectors : bool array array;
+  na_counts : int array;
+  na_stats : Dl_ndet.Atpg_n.stats;
+  na_untestable_faults : Stuck_at.t array;
+  na_aborted_faults : Stuck_at.t array;
+}
+
+let ndet_atpg : ndet_atpg Codec.t =
+  let encode buf (a : ndet_atpg) =
+    encode_patterns buf a.na_vectors;
+    B.write_array (fun b k -> B.write_varint b k) buf a.na_counts;
+    let s = a.na_stats in
+    B.write_varint buf s.Dl_ndet.Atpg_n.n;
+    B.write_varint buf s.total_faults;
+    B.write_varint buf s.untestable;
+    B.write_varint buf s.aborted;
+    B.write_varint buf s.under_quota;
+    B.write_varint buf s.random_vectors;
+    B.write_varint buf s.topup_vectors;
+    B.write_varint buf s.final_vectors;
+    B.write_array encode_stuck buf a.na_untestable_faults;
+    B.write_array encode_stuck buf a.na_aborted_faults
+  in
+  let decode cur : ndet_atpg =
+    let na_vectors = decode_patterns cur in
+    let na_counts = B.read_array B.read_varint cur in
+    let n = B.read_varint cur in
+    let total_faults = B.read_varint cur in
+    let untestable = B.read_varint cur in
+    let aborted = B.read_varint cur in
+    let under_quota = B.read_varint cur in
+    let random_vectors = B.read_varint cur in
+    let topup_vectors = B.read_varint cur in
+    let final_vectors = B.read_varint cur in
+    let na_untestable_faults = B.read_array decode_stuck cur in
+    let na_aborted_faults = B.read_array decode_stuck cur in
+    {
+      na_vectors;
+      na_counts;
+      na_stats =
+        {
+          n;
+          total_faults;
+          untestable;
+          aborted;
+          under_quota;
+          random_vectors;
+          topup_vectors;
+          final_vectors;
+        };
+      na_untestable_faults;
+      na_aborted_faults;
+    }
+  in
+  { kind = "ndet-atpg"; version = 1; encode; decode }
+
 let current_versions =
   [
     (circuit.kind, circuit.version);
@@ -531,17 +641,19 @@ let current_versions =
     (summary.kind, summary.version);
     (wafer_mc.kind, wafer_mc.version);
     (bootstrap_fit.kind, bootstrap_fit.version);
+    (ndet_profile.kind, ndet_profile.version);
+    (ndet_atpg.kind, ndet_atpg.version);
   ]
 
-let defect_stats_fingerprint stats =
+let defect_stats_fingerprint na_stats =
   let buf = Buffer.create 256 in
   List.iter
     (fun cls ->
       Buffer.add_string buf (Defect_stats.class_name cls);
       Buffer.add_char buf '=';
-      Buffer.add_string buf (Printf.sprintf "%h" (Defect_stats.density stats cls));
+      Buffer.add_string buf (Printf.sprintf "%h" (Defect_stats.density na_stats cls));
       Buffer.add_char buf '/';
-      Buffer.add_string buf (Printf.sprintf "%h" (Defect_stats.x0 stats cls));
+      Buffer.add_string buf (Printf.sprintf "%h" (Defect_stats.x0 na_stats cls));
       Buffer.add_char buf '\n')
-    (Defect_stats.classes stats);
+    (Defect_stats.classes na_stats);
   Codec.key_of_string (Buffer.contents buf)

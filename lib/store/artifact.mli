@@ -126,6 +126,34 @@ type bootstrap_fit = {
 
 val bootstrap_fit : bootstrap_fit Codec.t
 
+(** Multi-detect simulation output (the [ndet-sim] stage), minus the fault
+    list — like {!detections}, the counts and detection indices are
+    parallel to the separately-cached universe artifact.  [nd_detections]
+    is row-major [faults * drop_after] with [-1] for "never reached the
+    k-th detection" (mirrors {!Dl_fault.Fault_sim.ndet}). *)
+type ndet_profile = {
+  nd_drop_after : int;
+  nd_counts : int array;
+  nd_detections : int array;
+  nd_vectors_applied : int;
+  nd_gate_evaluations : int;
+  nd_sim_stats : Dl_fault.Fault_sim.Stats.t;
+}
+
+val ndet_profile : ndet_profile Codec.t
+
+(** n-detection test-generation output (the [ndet-atpg] stage; mirrors
+    {!Dl_ndet.Atpg_n.result}). *)
+type ndet_atpg = {
+  na_vectors : bool array array;
+  na_counts : int array;
+  na_stats : Dl_ndet.Atpg_n.stats;
+  na_untestable_faults : Dl_fault.Stuck_at.t array;
+  na_aborted_faults : Dl_fault.Stuck_at.t array;
+}
+
+val ndet_atpg : ndet_atpg Codec.t
+
 val current_versions : (string * int) list
 (** [(kind, version)] for every codec above — what {!Store.gc} uses to
     drop artifacts whose format byte is stale. *)

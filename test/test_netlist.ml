@@ -1062,6 +1062,158 @@ let test_c2670s_masks_and_control () =
   Alcotest.(check bool) "idle: not valid" false
     (out_bit c (outputs_for c []) "valid")
 
+let c3540s_bits prefix value =
+  List.filter_map
+    (fun i ->
+      if value lsr i land 1 = 1 then Some (Printf.sprintf "%s%d" prefix i)
+      else None)
+    (List.init 8 Fun.id)
+
+let c3540s_word c out prefix =
+  List.fold_left
+    (fun acc i ->
+      acc
+      lor ((if out_bit c out (Printf.sprintf "%s%d" prefix i) then 1 else 0)
+           lsl i))
+    0
+    (List.init 8 Fun.id)
+
+let test_c3540s_interface () =
+  let c = Benchmarks.c3540s () in
+  Alcotest.(check int) "c3540s inputs" 50 (Circuit.input_count c);
+  Alcotest.(check int) "c3540s outputs" 22 (Array.length c.Circuit.outputs);
+  Alcotest.(check int) "c3540s nodes" 348 (Array.length c.Circuit.nodes)
+
+(* Binary add (op = 000, bcd = 0), the three logic modes, and the
+   operand-select muxes.  All op/sel/mode pins default low, so the add
+   path needs only the operand, mask and cin pins. *)
+let test_c3540s_alu () =
+  let c = Benchmarks.c3540s () in
+  let bits = c3540s_bits in
+  let mask_all = bits "mask" 255 in
+  List.iter
+    (fun (a, b, cin) ->
+      let high =
+        bits "a" a @ bits "b" b @ mask_all @ if cin then [ "cin" ] else []
+      in
+      let out = outputs_for c high in
+      let total = a + b + if cin then 1 else 0 in
+      Alcotest.(check int)
+        (Printf.sprintf "sum %d+%d" a b)
+        (total land 255)
+        (c3540s_word c out "y");
+      Alcotest.(check bool)
+        (Printf.sprintf "cout %d+%d" a b)
+        (total > 255) (out_bit c out "cout");
+      Alcotest.(check bool)
+        (Printf.sprintf "zero %d+%d" a b)
+        (total land 255 = 0)
+        (out_bit c out "zero");
+      Alcotest.(check bool)
+        (Printf.sprintf "sign %d+%d" a b)
+        (total land 128 <> 0)
+        (out_bit c out "sign"))
+    [ (0, 0, false); (3, 4, false); (255, 1, false); (170, 85, true);
+      (200, 100, true); (255, 255, true) ];
+  (* masking confines the result bus *)
+  let out = outputs_for c (bits "a" 0xff @ bits "mask" 0x0f) in
+  Alcotest.(check int) "mask 0x0f" 0x0f (c3540s_word c out "y");
+  (* signed overflow: 0x7f + 1 flips the sign without a carry out *)
+  let out = outputs_for c (bits "a" 0x7f @ bits "b" 0x01 @ mask_all) in
+  Alcotest.(check bool) "ovf on 0x7f+1" true (out_bit c out "ovf");
+  Alcotest.(check bool) "no cout on 0x7f+1" false (out_bit c out "cout");
+  (* logic modes: 01 AND, 10 OR, 11 XOR *)
+  let logic op_pins f =
+    let out =
+      outputs_for c
+        (bits "a" 0b11001100 @ bits "b" 0b10101010 @ mask_all @ op_pins)
+    in
+    Alcotest.(check int)
+      (String.concat "," op_pins)
+      (f 0b11001100 0b10101010) (c3540s_word c out "y")
+  in
+  logic [ "op0" ] ( land );
+  logic [ "op1" ] ( lor );
+  logic [ "op0"; "op1" ] ( lxor );
+  (* operand selection: sel0 routes b into x, sel1 routes c into w *)
+  let out =
+    outputs_for c
+      (bits "b" 33 @ bits "c" 66 @ mask_all @ [ "sel0"; "sel1" ])
+  in
+  Alcotest.(check int) "sel: b+c" 99 (c3540s_word c out "y")
+
+(* The BCD decimal-adjust stage and the shifter lane (op2 = 1). *)
+let test_c3540s_bcd_and_shift () =
+  let c = Benchmarks.c3540s () in
+  let bits = c3540s_bits in
+  let mask_all = bits "mask" 255 in
+  (* one-digit BCD sums: a + b in [0, 19] must read back as packed BCD *)
+  List.iter
+    (fun (a, b) ->
+      let total = a + b in
+      let expect = (total / 10 * 16) + (total mod 10) in
+      let out = outputs_for c (bits "a" a @ bits "b" b @ mask_all @ [ "bcd" ]) in
+      Alcotest.(check int)
+        (Printf.sprintf "bcd %d+%d" a b)
+        expect
+        (c3540s_word c out "y"))
+    [ (0, 0); (5, 4); (9, 0); (11, 0); (9, 9); (7, 6); (8, 8) ];
+  (* bcd low leaves the binary sum alone *)
+  let out = outputs_for c (bits "a" 11 @ mask_all) in
+  Alcotest.(check int) "binary 11+0" 11 (c3540s_word c out "y");
+  (* shifter: dir = 0 shifts left, dir = 1 shifts right, cin is the fill;
+     shen = 0 passes x through untouched *)
+  let shift pins a expect label =
+    let out = outputs_for c (bits "a" a @ mask_all @ ("op2" :: pins)) in
+    Alcotest.(check int) label expect (c3540s_word c out "y")
+  in
+  shift [ "shen" ] 0b01011010 0b10110100 "shift left";
+  shift [ "shen"; "cin" ] 0b01011010 0b10110101 "shift left, fill";
+  shift [ "shen"; "dir" ] 0b01011010 0b00101101 "shift right";
+  shift [ "shen"; "dir"; "cin" ] 0b01011010 0b10101101 "shift right, fill";
+  shift [] 0b01011010 0b01011010 "shift disabled"
+
+(* Comparator against the c bus, the 5-line priority encoder, and the
+   enable-gated condition outputs. *)
+let test_c3540s_compare_and_priority () =
+  let c = Benchmarks.c3540s () in
+  let bits = c3540s_bits in
+  let compare_at a cv =
+    let out = outputs_for c (bits "a" a @ bits "c" cv) in
+    (out_bit c out "eq", out_bit c out "gt")
+  in
+  Alcotest.(check (pair bool bool)) "5 vs 5" (true, false) (compare_at 5 5);
+  Alcotest.(check (pair bool bool)) "9 vs 3" (false, true) (compare_at 9 3);
+  Alcotest.(check (pair bool bool)) "3 vs 9" (false, false) (compare_at 3 9);
+  Alcotest.(check (pair bool bool)) "200 vs 199" (false, true)
+    (compare_at 200 199);
+  (* priority encoder: highest of pr3..pr0 encodes on pri1/pri0; pr4
+     preempts with code 0; no request drops valid *)
+  let prio pins =
+    let out = outputs_for c pins in
+    ( out_bit c out "valid",
+      (if out_bit c out "pri1" then 2 else 0)
+      + if out_bit c out "pri0" then 1 else 0 )
+  in
+  Alcotest.(check (pair bool int)) "pr3" (true, 3) (prio [ "pr3" ]);
+  Alcotest.(check (pair bool int)) "pr2|pr0" (true, 2) (prio [ "pr2"; "pr0" ]);
+  Alcotest.(check (pair bool int)) "pr1" (true, 1) (prio [ "pr1" ]);
+  Alcotest.(check (pair bool int)) "pr4 preempts pr3" (true, 0)
+    (prio [ "pr4"; "pr3" ]);
+  Alcotest.(check (pair bool int)) "idle" (false, 0) (prio []);
+  (* condition outputs fire only with their enable *)
+  let out = outputs_for c (bits "a" 5 @ bits "c" 5 @ [ "en0" ]) in
+  Alcotest.(check bool) "q0 = en0 & eq" true (out_bit c out "q0");
+  let out = outputs_for c (bits "a" 5 @ bits "c" 5) in
+  Alcotest.(check bool) "q0 quiet without en0" false (out_bit c out "q0");
+  let out = outputs_for c (bits "a" 9 @ bits "c" 3 @ [ "en1"; "en0" ]) in
+  Alcotest.(check bool) "q1 = en1 & gt" true (out_bit c out "q1");
+  Alcotest.(check bool) "q0 stays low on gt" false (out_bit c out "q0");
+  let out =
+    outputs_for c (bits "a" 0x7f @ bits "b" 1 @ bits "mask" 255 @ [ "en3" ])
+  in
+  Alcotest.(check bool) "q3 = en3 & ovf" true (out_bit c out "q3")
+
 let () =
   Alcotest.run "dl_netlist"
     [
@@ -1160,6 +1312,13 @@ let () =
             test_c2670s_alu;
           Alcotest.test_case "c2670s masks, decoder, equality bank" `Quick
             test_c2670s_masks_and_control;
+          Alcotest.test_case "c3540s interface" `Quick test_c3540s_interface;
+          Alcotest.test_case "c3540s adder, logic, operand select" `Quick
+            test_c3540s_alu;
+          Alcotest.test_case "c3540s BCD adjust + shifter" `Quick
+            test_c3540s_bcd_and_shift;
+          Alcotest.test_case "c3540s compare, priority, conditions" `Quick
+            test_c3540s_compare_and_priority;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
